@@ -1,0 +1,68 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the table/figure harnesses: environment knobs,
+/// repeated timed replays, and slowdown computation against the EMPTY
+/// tool (the paper's normalization baseline).
+///
+/// Knobs:
+///   FT_BENCH_SIZE  — workload size factor (default 1.0)
+///   FT_BENCH_REPS  — timing repetitions, best-of (default 3)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_BENCH_BENCHUTIL_H
+#define FASTTRACK_BENCH_BENCHUTIL_H
+
+#include "framework/Replay.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ft::bench {
+
+inline double sizeFactor() {
+  if (const char *Env = std::getenv("FT_BENCH_SIZE"))
+    return std::atof(Env) > 0 ? std::atof(Env) : 4.0;
+  // Default 4x the generators' base volume: large enough for stable
+  // wall-clock measurements, small enough to finish in seconds.
+  return 4.0;
+}
+
+inline unsigned repetitions() {
+  if (const char *Env = std::getenv("FT_BENCH_REPS")) {
+    int Reps = std::atoi(Env);
+    if (Reps > 0)
+      return static_cast<unsigned>(Reps);
+  }
+  return 3;
+}
+
+/// Replays \p T through \p Checker `repetitions()` times (clearing
+/// warnings in between) and returns the result of the fastest run.
+inline ReplayResult timedReplay(const Trace &T, Tool &Checker,
+                                const ReplayOptions &Options = {}) {
+  ReplayResult Best;
+  for (unsigned Rep = 0, Reps = repetitions(); Rep != Reps; ++Rep) {
+    Checker.clearWarnings();
+    ReplayResult Result = replay(T, Checker, Options);
+    if (Rep == 0 || Result.Seconds < Best.Seconds)
+      Best = Result;
+  }
+  return Best;
+}
+
+/// Prints a section banner.
+inline void banner(const std::string &Title) {
+  std::printf("\n==== %s ====\n\n", Title.c_str());
+}
+
+} // namespace ft::bench
+
+#endif // FASTTRACK_BENCH_BENCHUTIL_H

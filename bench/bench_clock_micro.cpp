@@ -1,0 +1,82 @@
+//===----------------------------------------------------------------------===//
+//
+// Experiment E9 (micro) — the primitive costs behind the whole paper:
+// O(1) epoch operations versus O(n) vector-clock operations as the
+// thread count grows. Uses google-benchmark.
+//
+// Expected: epoch compare/assign flat across thread counts; VC join /
+// compare / copy scale linearly with n — the gap FastTrack exploits.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clock/VectorClock.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ft;
+
+namespace {
+
+VectorClock denseClock(unsigned Threads, uint32_t Base) {
+  VectorClock C;
+  for (ThreadId T = 0; T != Threads; ++T)
+    C.set(T, Base + T);
+  return C;
+}
+
+void BM_EpochCompare(benchmark::State &State) {
+  unsigned Threads = State.range(0);
+  VectorClock C = denseClock(Threads, 10);
+  Epoch E = Epoch::make(Threads / 2, 9);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(C.epochLeq(E));
+  }
+}
+
+void BM_EpochAssign(benchmark::State &State) {
+  Epoch E = Epoch::make(3, 41);
+  Epoch Out;
+  for (auto _ : State) {
+    Out = E;
+    benchmark::DoNotOptimize(Out);
+  }
+}
+
+void BM_VcCompare(benchmark::State &State) {
+  unsigned Threads = State.range(0);
+  VectorClock A = denseClock(Threads, 10);
+  VectorClock B = denseClock(Threads, 11);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(A.leq(B));
+  }
+}
+
+void BM_VcJoin(benchmark::State &State) {
+  unsigned Threads = State.range(0);
+  VectorClock A = denseClock(Threads, 10);
+  VectorClock B = denseClock(Threads, 11);
+  for (auto _ : State) {
+    A.joinWith(B);
+    benchmark::DoNotOptimize(A);
+  }
+}
+
+void BM_VcCopy(benchmark::State &State) {
+  unsigned Threads = State.range(0);
+  VectorClock A = denseClock(Threads, 10);
+  VectorClock B;
+  for (auto _ : State) {
+    B.copyFrom(A);
+    benchmark::DoNotOptimize(B);
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_EpochCompare)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_EpochAssign);
+BENCHMARK(BM_VcCompare)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_VcJoin)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_VcCopy)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,147 @@
+//===----------------------------------------------------------------------===//
+//
+// Experiment E6 — Section 5.2's analysis-composition table: the slowdown
+// of the Atomizer, Velodrome, and SingleTrack checkers under five
+// prefilters (NONE, TL, ERASER, DJIT+, FASTTRACK), normalized to the
+// EMPTY tool on the same trace.
+//
+// Paper (average slowdowns over the uninstrumented programs):
+//             NONE   TL  ERASER  DJIT+  FASTTRACK
+//   Atomizer   57.2 16.8   (n/a)  17.5      12.6
+//   Velodrome  57.9 27.1   14.9   19.6      11.3
+//   SingleTrack 104.1 55.4 32.7   19.7      11.7
+// (Atomizer has no Eraser column: it already embeds Eraser, footnote 7.)
+// Shape: every filter helps; the FastTrack prefilter helps the most.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "checkers/Atomizer.h"
+#include "checkers/SingleTrack.h"
+#include "checkers/Velodrome.h"
+#include "core/FastTrack.h"
+#include "detectors/DjitPlus.h"
+#include "detectors/EmptyTool.h"
+#include "detectors/Eraser.h"
+#include "detectors/ThreadLocalFilter.h"
+#include "support/Table.h"
+#include "trace/RandomTrace.h"
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+using namespace ft;
+using namespace ft::bench;
+
+namespace {
+
+std::unique_ptr<Tool> makeFilter(const std::string &Name) {
+  if (Name == "TL")
+    return std::make_unique<ThreadLocalFilter>();
+  if (Name == "Eraser")
+    return std::make_unique<Eraser>();
+  if (Name == "DJIT+")
+    return std::make_unique<DjitPlus>();
+  if (Name == "FastTrack") {
+    // As a prefilter, FastTrack uses the Section 3 extension (same-epoch
+    // hits on read-shared data), matching DJIT+'s 78% same-epoch read
+    // coverage so redundant shared reads are filtered too.
+    FastTrackOptions Options;
+    Options.ExtendedSharedSameEpoch = true;
+    return std::make_unique<FastTrack>(Options);
+  }
+  return nullptr; // NONE
+}
+
+std::unique_ptr<Tool> makeChecker(const std::string &Name) {
+  if (Name == "Atomizer")
+    return std::make_unique<Atomizer>();
+  if (Name == "Velodrome")
+    return std::make_unique<Velodrome>();
+  return std::make_unique<SingleTrack>();
+}
+
+double timePipeline(const Trace &T, const std::string &FilterName,
+                    const std::string &CheckerName, uint64_t &Forwarded) {
+  double Best = 0;
+  for (unsigned Rep = 0, Reps = repetitions(); Rep != Reps; ++Rep) {
+    auto Checker = makeChecker(CheckerName);
+    // NONE uses a pass-through EmptyTool filter so every column pays the
+    // identical pipeline plumbing (as all tools share RoadRunner's event
+    // chain in the paper).
+    auto Filter = makeFilter(FilterName);
+    if (!Filter)
+      Filter = std::make_unique<EmptyTool>();
+    PipelineResult Result = replayFiltered(T, *Filter, *Checker);
+    double Seconds = Result.Total.Seconds;
+    Forwarded = Result.AccessesForwarded;
+    if (Rep == 0 || Seconds < Best)
+      Best = Seconds;
+  }
+  return Best;
+}
+
+} // namespace
+
+int main() {
+  banner("Section 5.2: checker slowdown under prefilters");
+
+  // A mixed transactional workload: random feasible traces with atomic
+  // blocks, mostly-disciplined accesses, and a little chaos.
+  RandomTraceConfig Config;
+  Config.Seed = 2024;
+  // 48 threads: the transactional checkers pay O(n) per communication
+  // edge, as the paper's do, while the FastTrack prefilter stays O(1).
+  Config.NumThreads = 48;
+  Config.NumVars = 384;
+  Config.NumLocks = 12;
+  Config.NumVolatiles = 3;
+  Config.OpsPerThread = static_cast<unsigned>(7000 * sizeFactor());
+  Config.ChaosProbability = 0.002;
+  Config.BarrierProbability = 0.0;
+  Config.EmitAtomicBlocks = true;
+  Config.MaxAccessBurst = 16;
+  Config.ThreadLocalShare = 0.55;
+  Config.ReadSharedShare = 0.25;
+  Trace T = generateRandomTrace(Config);
+
+  EmptyTool Baseline;
+  double EmptySeconds = timedReplay(T, Baseline).Seconds;
+  std::printf("Trace: %s events; Empty tool: %.3fs\n\n",
+              withCommas(T.size()).c_str(), EmptySeconds);
+
+  const std::vector<std::string> Filters = {"NONE", "TL", "Eraser", "DJIT+",
+                                            "FastTrack"};
+  const std::vector<std::string> Checkers = {"Atomizer", "Velodrome",
+                                             "SingleTrack"};
+
+  Table Out;
+  Out.addHeader({"Checker", "NONE", "TL", "ERASER", "DJIT+", "FASTTRACK",
+                 "FT-forwarded"});
+  for (const std::string &CheckerName : Checkers) {
+    std::vector<std::string> Row = {CheckerName};
+    uint64_t FtForwarded = 0;
+    for (const std::string &FilterName : Filters) {
+      if (CheckerName == "Atomizer" && FilterName == "Eraser") {
+        Row.push_back("-"); // embeds Eraser already (footnote 7)
+        continue;
+      }
+      uint64_t Forwarded = 0;
+      double Seconds = timePipeline(T, FilterName, CheckerName, Forwarded);
+      if (FilterName == "FastTrack")
+        FtForwarded = Forwarded;
+      Row.push_back(slowdown(EmptySeconds > 0 ? Seconds / EmptySeconds : 0));
+    }
+    Row.push_back(withCommas(FtForwarded));
+    Out.addRow(Row);
+  }
+  std::fputs(Out.render().c_str(), stdout);
+
+  std::printf("\nPaper shape: each prefilter reduces checker slowdown; the "
+              "FastTrack prefilter gives the largest reduction\n(Velodrome "
+              "57.9x -> 11.3x, SingleTrack 104.1x -> 11.7x, Atomizer 57.2x "
+              "-> 12.6x).\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+//
+// Experiment E2 — Table 1 (left half): instrumented running time of every
+// tool on the sixteen benchmarks, reported as slowdown relative to the
+// EMPTY tool (the paper normalizes against the uninstrumented program and
+// measures EMPTY's own overhead separately; with a trace-replay substrate
+// EMPTY *is* the uninstrumented baseline).
+//
+// Paper shape to reproduce (compute-bound averages, Table 1):
+//   Eraser 8.6x/4.1x≈2.1 over EMPTY, MultiRace 21.7/4.1≈5.3,
+//   Goldilocks 31.6/4.1≈7.7, BasicVC 89.8/4.1≈21.9, DJIT+ 20.2/4.1≈4.9,
+//   FastTrack 8.5/4.1≈2.1 — i.e. FastTrack ≈ Eraser, ≈2.3x faster than
+//   DJIT+, ≈10x faster than BasicVC.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "core/ToolRegistry.h"
+#include "support/Table.h"
+#include "workloads/Workload.h"
+
+#include <cstdio>
+
+using namespace ft;
+using namespace ft::bench;
+
+int main() {
+  banner("Table 1 (left): slowdown relative to the Empty tool");
+
+  const std::vector<std::string> Tools = {"empty",      "eraser", "multirace",
+                                          "goldilocks", "basicvc", "djit+",
+                                          "fasttrack"};
+  Table Out;
+  Out.addHeader({"Program", "Events", "Empty(s)", "Eraser", "MultiRace",
+                 "Goldilocks", "BasicVC", "DJIT+", "FastTrack"});
+
+  std::vector<double> GeoSum(Tools.size(), 0.0);
+  unsigned GeoCount = 0;
+
+  for (const Workload &W : benchmarkSuite()) {
+    Trace T = W.Generate(/*Seed=*/1, sizeFactor());
+    double EmptySeconds = 0;
+    std::vector<std::string> Row = {W.Name + (W.ComputeBound ? "" : "*")};
+    std::vector<double> Slowdowns;
+    for (size_t I = 0; I != Tools.size(); ++I) {
+      auto Checker = createTool(Tools[I]);
+      ReplayResult Result = timedReplay(T, *Checker);
+      if (I == 0) {
+        EmptySeconds = Result.Seconds;
+        Row.push_back(withCommas(Result.Events));
+        Row.push_back(fixed(EmptySeconds, 3));
+        continue;
+      }
+      double Slowdown =
+          EmptySeconds > 0 ? Result.Seconds / EmptySeconds : 0.0;
+      Slowdowns.push_back(Slowdown);
+      Row.push_back(slowdown(Slowdown));
+    }
+    Out.addRow(Row);
+    if (W.ComputeBound) {
+      ++GeoCount;
+      for (size_t I = 0; I != Slowdowns.size(); ++I)
+        GeoSum[I + 1] += Slowdowns[I];
+    }
+  }
+
+  Out.addSeparator();
+  std::vector<std::string> Avg = {"Average (compute-bound)", "", ""};
+  for (size_t I = 1; I != Tools.size(); ++I)
+    Avg.push_back(slowdown(GeoSum[I] / GeoCount));
+  Out.addRow(Avg);
+
+  std::fputs(Out.render().c_str(), stdout);
+  std::printf("\n('*' rows are not compute-bound and are excluded from the "
+              "average, as in the paper.)\n");
+  std::printf("Paper shape: FastTrack ~= Eraser, ~2.3x faster than DJIT+, "
+              "~10x faster than BasicVC;\nMultiRace ~= DJIT+; Goldilocks "
+              "slowest of the precise tools after BasicVC.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+//===----------------------------------------------------------------------===//
+//
+// Analysis composition (Section 5.2): chain FastTrack in front of the
+// Velodrome atomicity checker — the analogue of RoadRunner's
+// "-tool FastTrack:Velodrome" — on a MiniConc program whose atomic block
+// is not serializable.
+//
+// The program's 'transfer' reads a balance inside an atomic block while a
+// concurrent thread updates it between the block's read and write: a
+// classic lost update. FastTrack filters the redundant race-free accesses
+// and Velodrome reports the serializability cycle on what remains.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checkers/Velodrome.h"
+#include "core/FastTrack.h"
+#include "framework/Replay.h"
+#include "lang/Interp.h"
+
+#include <cstdio>
+
+using namespace ft;
+using namespace ft::lang;
+
+namespace {
+
+const char *DemoProgram = R"(
+shared balance;
+shared audit;
+
+fn auditor(rounds) {
+  local i = 0;
+  while (i < rounds) {
+    atomic {
+      local snapshot = balance;   // read inside the atomic block
+      audit = audit + snapshot;
+      balance = snapshot + 1;     // write back: lost update if interleaved
+    }
+    i = i + 1;
+  }
+}
+
+fn main() {
+  let a = spawn auditor(40);
+  let b = spawn auditor(40);
+  join a; join b;
+  print balance;
+}
+)";
+
+} // namespace
+
+int main() {
+  std::printf("FastTrack:Velodrome composition demo\n"
+              "====================================\n\n");
+
+  bool SawViolation = false;
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    std::vector<Diag> Diags;
+    InterpOptions Options;
+    Options.Seed = Seed;
+    InterpResult Run = runSource(DemoProgram, Diags, Options);
+    if (!Run.Ok) {
+      std::printf("error: %s\n",
+                  Diags.empty() ? toString(Run.Error).c_str()
+                                : toString(Diags[0]).c_str());
+      return 1;
+    }
+
+    FastTrack Filter;
+    Velodrome Checker;
+    PipelineResult Result = replayFiltered(Run.EventTrace, Filter, Checker);
+
+    if (Seed == 1)
+      std::printf("schedule 1: %llu accesses seen, %llu forwarded past "
+                  "FastTrack (%.1f%% filtered)\n\n",
+                  (unsigned long long)Result.AccessesSeen,
+                  (unsigned long long)Result.AccessesForwarded,
+                  Result.AccessesSeen
+                      ? 100.0 * (Result.AccessesSeen -
+                                 Result.AccessesForwarded) /
+                            Result.AccessesSeen
+                      : 0.0);
+
+    if (!Checker.violations().empty() && !SawViolation) {
+      SawViolation = true;
+      const CheckerViolation &V = Checker.violations().front();
+      std::printf("seed %llu: atomicity violation in thread %u's block "
+                  "(begun at op %zu): %s\n",
+                  (unsigned long long)Seed, V.Thread, V.BeginIndex,
+                  V.Detail.c_str());
+      std::printf("          program printed: %s",
+                  Run.Output.c_str());
+    }
+  }
+
+  if (!SawViolation) {
+    std::printf("no schedule exhibited the violation (unexpected)\n");
+    return 1;
+  }
+  std::printf("\nExpected final balance is 80; schedules with the lost "
+              "update print less.\nFastTrack also reports the underlying "
+              "data race; Velodrome pinpoints the non-serializable block.\n");
+  return 0;
+}

@@ -1,0 +1,174 @@
+//===----------------------------------------------------------------------===//
+//
+// End-to-end pipeline on real programs: compile a MiniConc source file,
+// execute it under the deterministic scheduler (the repository's analogue
+// of RoadRunner instrumenting a JVM), and run FastTrack on the emitted
+// event stream — across several schedules.
+//
+// Usage:
+//   miniconc_racecheck               # run the two built-in demo programs
+//   miniconc_racecheck FILE.mc [N]   # check FILE across N seeds (def. 10)
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FastTrack.h"
+#include "framework/Replay.h"
+#include "lang/Interp.h"
+#include "trace/TraceStats.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace ft;
+using namespace ft::lang;
+
+namespace {
+
+const char *BuggyBank = R"(
+// A bank with a deposit path that forgets the lock.
+shared balance;
+lock m;
+
+fn teller(rounds) {
+  local i = 0;
+  while (i < rounds) {
+    sync (m) { balance = balance + 10; }
+    i = i + 1;
+  }
+}
+
+fn hastyTeller(rounds) {
+  local i = 0;
+  while (i < rounds) {
+    balance = balance + 10;   // RACE: no lock
+    i = i + 1;
+  }
+}
+
+fn main() {
+  let a = spawn teller(25);
+  let b = spawn hastyTeller(25);
+  join a; join b;
+  print balance;
+}
+)";
+
+const char *SafePipeline = R"(
+// A race-free pipeline: data handed through a volatile flag and a
+// barrier-synchronized reduction.
+shared data[8];
+shared sum;
+volatile ready;
+lock m;
+barrier phase(3);
+
+fn producer() {
+  local i = 0;
+  while (i < 8) { data[i] = i * 3; i = i + 1; }
+  ready = 1;
+  await phase;
+}
+
+fn consumer() {
+  while (ready == 0) { }      // spin on the volatile
+  local i = 0;
+  while (i < 8) {
+    sync (m) { sum = sum + data[i]; }
+    i = i + 1;
+  }
+  await phase;
+}
+
+fn main() {
+  let p = spawn producer();
+  let c = spawn consumer();
+  await phase;
+  join p; join c;
+  print sum;
+}
+)";
+
+/// Compiles and runs \p Source across \p Seeds schedules, checking each
+/// emitted trace with FastTrack.
+int checkProgram(const std::string &Title, const std::string &Source,
+                 unsigned Seeds) {
+  std::printf("=== %s ===\n", Title.c_str());
+  unsigned RacySchedules = 0;
+  for (uint64_t Seed = 1; Seed <= Seeds; ++Seed) {
+    std::vector<Diag> Diags;
+    InterpOptions Options;
+    Options.Seed = Seed;
+    InterpResult Run = runSource(Source, Diags, Options);
+    if (!Diags.empty()) {
+      for (const Diag &D : Diags)
+        std::printf("compile error: %s\n", toString(D).c_str());
+      return 1;
+    }
+    if (!Run.Ok) {
+      std::printf("runtime error: %s\n", toString(Run.Error).c_str());
+      return 1;
+    }
+
+    FastTrack Detector;
+    replay(Run.EventTrace, Detector);
+    if (Seed == 1) {
+      TraceStats Stats = computeStats(Run.EventTrace);
+      std::printf("schedule 1: %llu events (%.1f%% reads), program output: "
+                  "%s",
+                  (unsigned long long)Stats.total(), Stats.readPercent(),
+                  Run.Output.empty() ? "(none)\n" : Run.Output.c_str());
+    }
+    if (!Detector.warnings().empty()) {
+      ++RacySchedules;
+      if (RacySchedules == 1)
+        for (const RaceWarning &W : Detector.warnings())
+          std::printf("seed %llu: %s\n", (unsigned long long)Seed,
+                      toString(W).c_str());
+    }
+  }
+  std::printf("%u of %u schedules produced race warnings.\n\n",
+              RacySchedules, Seeds);
+  return 0;
+}
+
+std::string readFile(const char *Path, bool &Ok) {
+  std::FILE *File = std::fopen(Path, "rb");
+  if (!File) {
+    Ok = false;
+    return {};
+  }
+  std::string Text;
+  char Buf[1 << 14];
+  size_t Got;
+  while ((Got = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
+    Text.append(Buf, Got);
+  std::fclose(File);
+  Ok = true;
+  return Text;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc > 1) {
+    bool Ok = true;
+    std::string Source = readFile(Argv[1], Ok);
+    if (!Ok) {
+      std::fprintf(stderr, "error: cannot read '%s'\n", Argv[1]);
+      return 1;
+    }
+    unsigned Seeds = Argc > 2 ? std::atoi(Argv[2]) : 10;
+    return checkProgram(Argv[1], Source, Seeds ? Seeds : 10);
+  }
+
+  std::printf("MiniConc race checking demo\n===========================\n\n");
+  int Status = checkProgram("buggy bank (one teller forgets the lock)",
+                            BuggyBank, 10);
+  Status |= checkProgram("safe pipeline (volatile + lock + barrier)",
+                         SafePipeline, 10);
+  std::printf("Note how the racy program may still print the right total "
+              "on lucky schedules\n— FastTrack flags it on every schedule "
+              "that exhibits the unordered accesses.\n");
+  return Status;
+}

@@ -1,0 +1,116 @@
+#include "checkers/Atomizer.h"
+
+using namespace ft;
+
+void Atomizer::begin(const ToolContext &Context) {
+  RaceApprox.begin(Context);
+  RaceApprox.clearWarnings();
+  Txns.assign(Context.NumThreads, TxnState());
+  Violations.clear();
+}
+
+void Atomizer::reportViolation(ThreadId T, size_t OpIndex,
+                               std::string Detail) {
+  TxnState &Txn = Txns[T];
+  if (Txn.Violated)
+    return;
+  Txn.Violated = true;
+  Violations.push_back({T, Txn.BeginIndex, OpIndex, std::move(Detail)});
+}
+
+void Atomizer::access(ThreadId T, VarId X, size_t OpIndex, bool IsWrite) {
+  if (IsWrite)
+    RaceApprox.onWrite(T, X, OpIndex);
+  else
+    RaceApprox.onRead(T, X, OpIndex);
+
+  TxnState &Txn = Txns[T];
+  if (!Txn.Active)
+    return;
+  if (!RaceApprox.isUnprotected(X))
+    return; // both-mover: lock-protected or (apparently) thread-local
+
+  // Non-mover: allowed once as the commit point.
+  if (Txn.P == Phase::PostCommit) {
+    reportViolation(T, OpIndex,
+                    "second non-mover access to x" + std::to_string(X) +
+                        " after commit point");
+    return;
+  }
+  Txn.P = Phase::PostCommit;
+}
+
+bool Atomizer::onRead(ThreadId T, VarId X, size_t OpIndex) {
+  access(T, X, OpIndex, /*IsWrite=*/false);
+  return true;
+}
+
+bool Atomizer::onWrite(ThreadId T, VarId X, size_t OpIndex) {
+  access(T, X, OpIndex, /*IsWrite=*/true);
+  return true;
+}
+
+void Atomizer::onAcquire(ThreadId T, LockId M, size_t OpIndex) {
+  RaceApprox.onAcquire(T, M, OpIndex);
+  TxnState &Txn = Txns[T];
+  if (Txn.Active && Txn.P == Phase::PostCommit)
+    reportViolation(T, OpIndex,
+                    "lock acquire (right mover) after commit point");
+}
+
+void Atomizer::onRelease(ThreadId T, LockId M, size_t OpIndex) {
+  RaceApprox.onRelease(T, M, OpIndex);
+  TxnState &Txn = Txns[T];
+  if (Txn.Active)
+    Txn.P = Phase::PostCommit; // left mover commits the block
+}
+
+void Atomizer::onVolatileRead(ThreadId T, VolatileId, size_t OpIndex) {
+  // A volatile read synchronizes-with prior writes: right-mover-like;
+  // treat as a non-mover commit for safety.
+  TxnState &Txn = Txns[T];
+  if (!Txn.Active)
+    return;
+  if (Txn.P == Phase::PostCommit)
+    reportViolation(T, OpIndex, "volatile read after commit point");
+  else
+    Txn.P = Phase::PostCommit;
+}
+
+void Atomizer::onVolatileWrite(ThreadId T, VolatileId, size_t OpIndex) {
+  TxnState &Txn = Txns[T];
+  if (Txn.Active)
+    Txn.P = Phase::PostCommit;
+  (void)OpIndex;
+}
+
+void Atomizer::onBarrier(const std::vector<ThreadId> &Threads,
+                         size_t OpIndex) {
+  RaceApprox.onBarrier(Threads, OpIndex);
+  for (ThreadId T : Threads)
+    if (Txns[T].Active)
+      reportViolation(T, OpIndex, "barrier inside atomic block");
+}
+
+void Atomizer::onAtomicBegin(ThreadId T, size_t OpIndex) {
+  TxnState &Txn = Txns[T];
+  if (Txn.Active) {
+    ++Txn.Depth; // flatten nesting
+    return;
+  }
+  Txn.Active = true;
+  Txn.Violated = false;
+  Txn.Depth = 1;
+  Txn.BeginIndex = OpIndex;
+  Txn.P = Phase::PreCommit;
+}
+
+void Atomizer::onAtomicEnd(ThreadId T, size_t) {
+  TxnState &Txn = Txns[T];
+  if (Txn.Depth > 0 && --Txn.Depth == 0)
+    Txn.Active = false;
+}
+
+size_t Atomizer::shadowBytes() const {
+  return RaceApprox.shadowBytes() + Txns.capacity() * sizeof(TxnState);
+}

@@ -1,0 +1,15 @@
+#include "checkers/SingleTrack.h"
+
+using namespace ft;
+
+void SingleTrack::checkIncomingEdge(ThreadId T, const VectorClock &Source,
+                                    ThreadId From, size_t OpIndex,
+                                    const std::string &EdgeDesc) {
+  // Determinism: the producing access must be ordered entirely before the
+  // block began; any concurrent influence makes the block's result
+  // schedule-dependent.
+  if (!Source.leq(txn(T).BeginSnapshot))
+    reportViolation(T, OpIndex,
+                    "nondeterministic " + EdgeDesc + " from thread " +
+                        std::to_string(From));
+}

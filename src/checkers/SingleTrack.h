@@ -1,0 +1,40 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SINGLETRACK-style dynamic determinism checker (Sadowski, Freund,
+/// Flanagan, ESOP 2009), the second downstream analysis of Section 5.2.
+///
+/// Where Velodrome allows an atomic block to consume external results as
+/// long as no cycle forms, a deterministic block must not observe *any*
+/// concurrent external effect at all: every incoming edge must originate
+/// from before the block began. This is a strictly stronger property, so
+/// SingleTrack reports a superset of Velodrome's violations — matching
+/// its higher baseline slowdown in the paper's composition table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_CHECKERS_SINGLETRACK_H
+#define FASTTRACK_CHECKERS_SINGLETRACK_H
+
+#include "checkers/TransactionalClockBase.h"
+
+namespace ft {
+
+/// The determinism checker.
+class SingleTrack : public TransactionalClockBase {
+public:
+  const char *name() const override { return "SingleTrack"; }
+
+protected:
+  void checkIncomingEdge(ThreadId T, const VectorClock &Source,
+                         ThreadId From, size_t OpIndex,
+                         const std::string &EdgeDesc) override;
+};
+
+} // namespace ft
+
+#endif // FASTTRACK_CHECKERS_SINGLETRACK_H

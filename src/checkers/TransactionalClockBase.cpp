@@ -1,0 +1,155 @@
+#include "checkers/TransactionalClockBase.h"
+
+using namespace ft;
+
+void TransactionalClockBase::begin(const ToolContext &Context) {
+  Clocks.assign(Context.NumThreads, VectorClock());
+  for (ThreadId T = 0; T != Context.NumThreads; ++T)
+    Clocks[T].inc(T);
+  Txns.assign(Context.NumThreads, TxnState());
+  Vars.assign(Context.NumVars, VarShadow());
+  Locks.assign(Context.NumLocks, ChannelShadow());
+  Volatiles.assign(Context.NumVolatiles, ChannelShadow());
+  Violations.clear();
+}
+
+void TransactionalClockBase::reportViolation(ThreadId T, size_t OpIndex,
+                                             std::string Detail) {
+  TxnState &Txn = Txns[T];
+  if (Txn.Violated)
+    return;
+  Txn.Violated = true;
+  Violations.push_back({T, Txn.BeginIndex, OpIndex, std::move(Detail)});
+}
+
+void TransactionalClockBase::consumeEdge(ThreadId T,
+                                         const VectorClock &Source,
+                                         ThreadId From, size_t OpIndex,
+                                         const char *EdgeDesc) {
+  if (Txns[T].Active && From != UnknownThread && From != T)
+    checkIncomingEdge(T, Source, From, OpIndex, EdgeDesc);
+  Clocks[T].joinWith(Source);
+}
+
+bool TransactionalClockBase::onRead(ThreadId T, VarId X, size_t OpIndex) {
+  VarShadow &Shadow = Vars[X];
+  // A self-edge (Writer == T) is program order: already ⊑ Clocks[T].
+  if (Shadow.Writer != UnknownThread && Shadow.Writer != T)
+    consumeEdge(T, Shadow.WriteClock, Shadow.Writer, OpIndex,
+                "write-read edge");
+
+  // Record/update this thread's reader entry.
+  for (auto &[Reader, Clock] : Shadow.Readers)
+    if (Reader == T) {
+      Clock.copyFrom(Clocks[T]);
+      return true;
+    }
+  Shadow.Readers.emplace_back(T, Clocks[T]);
+  return true;
+}
+
+bool TransactionalClockBase::onWrite(ThreadId T, VarId X, size_t OpIndex) {
+  VarShadow &Shadow = Vars[X];
+  if (Shadow.Writer != UnknownThread && Shadow.Writer != T)
+    consumeEdge(T, Shadow.WriteClock, Shadow.Writer, OpIndex,
+                "write-write edge");
+  for (auto &[Reader, Clock] : Shadow.Readers) {
+    if (Reader == T)
+      continue;
+    consumeEdge(T, Clock, Reader, OpIndex, "read-write edge");
+  }
+  Shadow.WriteClock.copyFrom(Clocks[T]);
+  Shadow.Writer = T;
+  Shadow.Readers.clear();
+  return true;
+}
+
+void TransactionalClockBase::onAcquire(ThreadId T, LockId M,
+                                       size_t OpIndex) {
+  ChannelShadow &Lock = Locks[M];
+  if (Lock.LastOwner != UnknownThread)
+    consumeEdge(T, Lock.Clock, Lock.LastOwner, OpIndex, "lock edge");
+}
+
+void TransactionalClockBase::onRelease(ThreadId T, LockId M, size_t) {
+  Locks[M].Clock.copyFrom(Clocks[T]);
+  Locks[M].LastOwner = T;
+  Clocks[T].inc(T);
+}
+
+void TransactionalClockBase::onFork(ThreadId T, ThreadId U, size_t) {
+  Clocks[U].joinWith(Clocks[T]);
+  Clocks[T].inc(T);
+}
+
+void TransactionalClockBase::onJoin(ThreadId T, ThreadId U, size_t OpIndex) {
+  consumeEdge(T, Clocks[U], U, OpIndex, "join edge");
+  Clocks[U].inc(U);
+}
+
+void TransactionalClockBase::onVolatileRead(ThreadId T, VolatileId V,
+                                            size_t OpIndex) {
+  ChannelShadow &Vol = Volatiles[V];
+  if (Vol.LastOwner != UnknownThread)
+    consumeEdge(T, Vol.Clock, Vol.LastOwner, OpIndex, "volatile edge");
+}
+
+void TransactionalClockBase::onVolatileWrite(ThreadId T, VolatileId V,
+                                             size_t) {
+  Volatiles[V].Clock.joinWith(Clocks[T]);
+  Volatiles[V].LastOwner = T;
+  Clocks[T].inc(T);
+}
+
+void TransactionalClockBase::onBarrier(const std::vector<ThreadId> &Threads,
+                                       size_t) {
+  VectorClock Joined;
+  for (ThreadId U : Threads)
+    Joined.joinWith(Clocks[U]);
+  for (ThreadId U : Threads) {
+    Clocks[U].copyFrom(Joined);
+    Clocks[U].inc(U);
+  }
+}
+
+void TransactionalClockBase::onAtomicBegin(ThreadId T, size_t OpIndex) {
+  TxnState &Txn = Txns[T];
+  // Nested blocks flatten into the outermost one (as in Velodrome).
+  if (Txn.Active) {
+    ++Txn.Depth;
+    return;
+  }
+  Clocks[T].inc(T); // ops of this block carry a fresh clock value
+  Txn.Active = true;
+  Txn.Violated = false;
+  Txn.Depth = 1;
+  Txn.BeginIndex = OpIndex;
+  Txn.BeginClock = Clocks[T].get(T);
+  Txn.BeginSnapshot.copyFrom(Clocks[T]);
+}
+
+void TransactionalClockBase::onAtomicEnd(ThreadId T, size_t) {
+  TxnState &Txn = Txns[T];
+  if (Txn.Depth > 0 && --Txn.Depth == 0)
+    Txn.Active = false;
+}
+
+size_t TransactionalClockBase::shadowBytes() const {
+  size_t Bytes = 0;
+  for (const VectorClock &Clock : Clocks)
+    Bytes += sizeof(VectorClock) + Clock.memoryBytes();
+  for (const TxnState &Txn : Txns)
+    Bytes += sizeof(TxnState) + Txn.BeginSnapshot.memoryBytes();
+  for (const VarShadow &Shadow : Vars) {
+    Bytes += sizeof(VarShadow) + Shadow.WriteClock.memoryBytes();
+    for (const auto &[Reader, Clock] : Shadow.Readers) {
+      (void)Reader;
+      Bytes += sizeof(std::pair<ThreadId, VectorClock>) + Clock.memoryBytes();
+    }
+  }
+  for (const ChannelShadow &Lock : Locks)
+    Bytes += sizeof(ChannelShadow) + Lock.Clock.memoryBytes();
+  for (const ChannelShadow &Vol : Volatiles)
+    Bytes += sizeof(ChannelShadow) + Vol.Clock.memoryBytes();
+  return Bytes;
+}

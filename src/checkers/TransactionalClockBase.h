@@ -1,0 +1,117 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the transaction-aware checkers of Section 5.2
+/// (the VELODROME atomicity checker and the SINGLETRACK determinism
+/// checker). These analyses track a *transactional happens-before* graph
+/// whose edges include not only synchronization (locks, fork/join,
+/// volatiles, barriers) but also data communication: a read observes the
+/// last write, a write observes the last readers.
+///
+/// The base class maintains per-thread transactional vector clocks that
+/// join along every such edge, per-variable writer/reader records, and
+/// per-thread atomic-block state; subclasses decide what constitutes a
+/// violation when an edge arrives at a thread inside an atomic block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_CHECKERS_TRANSACTIONALCLOCKBASE_H
+#define FASTTRACK_CHECKERS_TRANSACTIONALCLOCKBASE_H
+
+#include "clock/VectorClock.h"
+#include "framework/Tool.h"
+
+#include <string>
+#include <vector>
+
+namespace ft {
+
+/// One reported violation of a checker's property (atomicity or
+/// determinism), anchored at the transaction that could not be
+/// serialized.
+struct CheckerViolation {
+  ThreadId Thread;     ///< Thread whose atomic block is violated.
+  size_t BeginIndex;   ///< Op index of the block's AtomicBegin.
+  size_t OpIndex;      ///< Op index where the violation was discovered.
+  std::string Detail;  ///< e.g. "cycle via rd of x3 last written by t1".
+};
+
+/// Base for Velodrome/SingleTrack.
+class TransactionalClockBase : public Tool {
+public:
+  void begin(const ToolContext &Context) override;
+  bool onRead(ThreadId T, VarId X, size_t OpIndex) override;
+  bool onWrite(ThreadId T, VarId X, size_t OpIndex) override;
+  void onAcquire(ThreadId T, LockId M, size_t OpIndex) override;
+  void onRelease(ThreadId T, LockId M, size_t OpIndex) override;
+  void onFork(ThreadId T, ThreadId U, size_t OpIndex) override;
+  void onJoin(ThreadId T, ThreadId U, size_t OpIndex) override;
+  void onVolatileRead(ThreadId T, VolatileId V, size_t OpIndex) override;
+  void onVolatileWrite(ThreadId T, VolatileId V, size_t OpIndex) override;
+  void onBarrier(const std::vector<ThreadId> &Threads,
+                 size_t OpIndex) override;
+  void onAtomicBegin(ThreadId T, size_t OpIndex) override;
+  void onAtomicEnd(ThreadId T, size_t OpIndex) override;
+  size_t shadowBytes() const override;
+
+  const std::vector<CheckerViolation> &violations() const {
+    return Violations;
+  }
+
+protected:
+  /// Per-thread transaction context.
+  struct TxnState {
+    bool Active = false;
+    bool Violated = false;    ///< Report at most once per block.
+    unsigned Depth = 0;       ///< Nesting depth; blocks flatten.
+    size_t BeginIndex = 0;
+    ClockValue BeginClock = 0; ///< T_t(t) at block begin.
+    VectorClock BeginSnapshot; ///< T_t at block begin (SingleTrack).
+  };
+
+  /// Hook: an edge from \p Source (the clock of the producing access,
+  /// taken at its time) produced by thread \p From arrives at thread
+  /// \p T. Called only when T is inside an atomic block and From != T.
+  /// Implementations call reportViolation() when their property fails.
+  virtual void checkIncomingEdge(ThreadId T, const VectorClock &Source,
+                                 ThreadId From, size_t OpIndex,
+                                 const std::string &EdgeDesc) = 0;
+
+  void reportViolation(ThreadId T, size_t OpIndex, std::string Detail);
+
+  const VectorClock &txnClock(ThreadId T) const { return Clocks[T]; }
+  const TxnState &txn(ThreadId T) const { return Txns[T]; }
+
+private:
+  /// Joins \p Source into T's clock, first running the violation hook if
+  /// T is mid-transaction and the edge is cross-thread.
+  void consumeEdge(ThreadId T, const VectorClock &Source, ThreadId From,
+                   size_t OpIndex, const char *EdgeDesc);
+
+  struct VarShadow {
+    VectorClock WriteClock;
+    ThreadId Writer = UnknownThread;
+    /// Readers since the last write, with their clocks at read time.
+    std::vector<std::pair<ThreadId, VectorClock>> Readers;
+  };
+
+  struct ChannelShadow { ///< Locks and volatiles.
+    VectorClock Clock;
+    ThreadId LastOwner = UnknownThread;
+  };
+
+  std::vector<VectorClock> Clocks; ///< Transactional clocks per thread.
+  std::vector<TxnState> Txns;
+  std::vector<VarShadow> Vars;
+  std::vector<ChannelShadow> Locks;
+  std::vector<ChannelShadow> Volatiles;
+  std::vector<CheckerViolation> Violations;
+};
+
+} // namespace ft
+
+#endif // FASTTRACK_CHECKERS_TRANSACTIONALCLOCKBASE_H

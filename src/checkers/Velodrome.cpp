@@ -1,0 +1,14 @@
+#include "checkers/Velodrome.h"
+
+using namespace ft;
+
+void Velodrome::checkIncomingEdge(ThreadId T, const VectorClock &Source,
+                                  ThreadId From, size_t OpIndex,
+                                  const std::string &EdgeDesc) {
+  // Cycle: the edge's producer already observed an operation of this
+  // still-active block (its view of t reaches into the block).
+  if (Source.get(T) >= txn(T).BeginClock)
+    reportViolation(T, OpIndex,
+                    "serializability cycle via " + EdgeDesc +
+                        " from thread " + std::to_string(From));
+}

@@ -1,0 +1,43 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// VELODROME-style dynamic atomicity checker (Flanagan, Freund, Yi, PLDI
+/// 2008), one of the two downstream analyses FastTrack accelerates in
+/// Section 5.2 of the paper.
+///
+/// An atomic block is serializable iff it never lies on a cycle of the
+/// transactional happens-before graph. Cycles can only close through an
+/// *active* block: some operation of the block is observed by another
+/// thread, and the block later consumes an edge that is causally after
+/// that observation. Operationally: thread t's block begins at clock
+/// value B = T_t(t); a violation occurs when an incoming edge's source
+/// clock S satisfies S(t) ≥ B — the producer already saw part of this
+/// very block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_CHECKERS_VELODROME_H
+#define FASTTRACK_CHECKERS_VELODROME_H
+
+#include "checkers/TransactionalClockBase.h"
+
+namespace ft {
+
+/// The atomicity checker.
+class Velodrome : public TransactionalClockBase {
+public:
+  const char *name() const override { return "Velodrome"; }
+
+protected:
+  void checkIncomingEdge(ThreadId T, const VectorClock &Source,
+                         ThreadId From, size_t OpIndex,
+                         const std::string &EdgeDesc) override;
+};
+
+} // namespace ft
+
+#endif // FASTTRACK_CHECKERS_VELODROME_H

@@ -1,0 +1,10 @@
+#include "clock/ClockStats.h"
+
+using namespace ft;
+
+ClockStats &ft::clockStats() {
+  static ClockStats Stats;
+  return Stats;
+}
+
+void ft::resetClockStats() { clockStats() = ClockStats(); }

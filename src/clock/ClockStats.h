@@ -1,0 +1,57 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Global counters for vector-clock allocations and O(n)-time vector-clock
+/// operations. Table 2 of the paper compares exactly these two quantities
+/// between DJIT+ and FastTrack; the benchmark harness snapshots the
+/// counters around each tool run and reports the delta.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_CLOCK_CLOCKSTATS_H
+#define FASTTRACK_CLOCK_CLOCKSTATS_H
+
+#include <cstdint>
+
+namespace ft {
+
+/// Counts of vector-clock activity. All analyses in this repository share
+/// one VectorClock implementation (as the paper's tools share RoadRunner's),
+/// so these counters provide an apples-to-apples comparison.
+struct ClockStats {
+  /// Number of vector-clock buffers allocated (fresh or copy-constructed).
+  uint64_t Allocations = 0;
+  /// Number of O(n)-time joins (⊔).
+  uint64_t JoinOps = 0;
+  /// Number of O(n)-time pointwise comparisons (⊑).
+  uint64_t CompareOps = 0;
+  /// Number of O(n)-time whole-clock copies.
+  uint64_t CopyOps = 0;
+
+  /// Total O(n)-time operations.
+  uint64_t totalOps() const { return JoinOps + CompareOps + CopyOps; }
+
+  /// Pointwise difference (for snapshot deltas).
+  ClockStats operator-(const ClockStats &Other) const {
+    ClockStats Delta;
+    Delta.Allocations = Allocations - Other.Allocations;
+    Delta.JoinOps = JoinOps - Other.JoinOps;
+    Delta.CompareOps = CompareOps - Other.CompareOps;
+    Delta.CopyOps = CopyOps - Other.CopyOps;
+    return Delta;
+  }
+};
+
+/// Returns the mutable global counter block.
+ClockStats &clockStats();
+
+/// Zeroes the global counters.
+void resetClockStats();
+
+} // namespace ft
+
+#endif // FASTTRACK_CLOCK_CLOCKSTATS_H

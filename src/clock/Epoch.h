@@ -1,0 +1,98 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Epochs: the paper's lightweight happens-before representation.
+///
+/// An epoch c@t pairs a clock c with the thread t that owned it. Unlike a
+/// vector clock, an epoch needs only constant space and supports
+/// constant-time copy and comparison. Section 4 of the paper packs an epoch
+/// into a 32-bit integer with the thread identifier in the top eight bits
+/// and the clock in the bottom twenty-four; a 64-bit variant is provided
+/// for programs with more threads or longer executions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_CLOCK_EPOCH_H
+#define FASTTRACK_CLOCK_EPOCH_H
+
+#include "trace/Ids.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace ft {
+
+/// A packed epoch c@t over raw integer type \p RawT with \p TidBits bits of
+/// thread identifier in the high bits and the clock below.
+///
+/// The all-ones raw value is reserved as the READ_SHARED sentinel used by
+/// FastTrack's VarState (Section 4, Figure 5); it is never a valid epoch.
+template <typename RawT, unsigned TidBits> class BasicEpoch {
+public:
+  static constexpr unsigned ClockBits = sizeof(RawT) * 8 - TidBits;
+  static constexpr RawT MaxClock = (RawT(1) << ClockBits) - 1;
+  static constexpr RawT MaxTid = (RawT(1) << TidBits) - 1;
+
+  /// The minimal epoch ⊥e = 0@0. (Not unique as a happens-before bound —
+  /// 0@1 is equally minimal — but canonical as a representation.)
+  constexpr BasicEpoch() : Raw(0) {}
+
+  /// Builds the epoch c@t. Asserts both components fit the layout.
+  static constexpr BasicEpoch make(ThreadId T, RawT Clock) {
+    assert(T <= MaxTid && "thread id does not fit epoch layout");
+    assert(Clock <= MaxClock && "clock does not fit epoch layout");
+    return BasicEpoch((RawT(T) << ClockBits) | Clock);
+  }
+
+  /// Reconstructs an epoch from its packed representation.
+  static constexpr BasicEpoch fromRaw(RawT Raw) { return BasicEpoch(Raw); }
+
+  /// The READ_SHARED sentinel (not a valid epoch).
+  static constexpr BasicEpoch readShared() { return BasicEpoch(~RawT(0)); }
+
+  constexpr ThreadId tid() const {
+    return static_cast<ThreadId>(Raw >> ClockBits);
+  }
+  constexpr RawT clock() const { return Raw & MaxClock; }
+  constexpr RawT raw() const { return Raw; }
+
+  constexpr bool isReadShared() const { return Raw == ~RawT(0); }
+  constexpr bool isMinimal() const { return clock() == 0; }
+
+  friend constexpr bool operator==(BasicEpoch A, BasicEpoch B) {
+    return A.Raw == B.Raw;
+  }
+  friend constexpr bool operator!=(BasicEpoch A, BasicEpoch B) {
+    return A.Raw != B.Raw;
+  }
+
+  /// Renders like "4@0" (or "READ_SHARED").
+  std::string str() const {
+    if (isReadShared())
+      return "READ_SHARED";
+    return std::to_string(clock()) + "@" + std::to_string(tid());
+  }
+
+private:
+  explicit constexpr BasicEpoch(RawT Raw) : Raw(Raw) {}
+  RawT Raw;
+};
+
+/// The paper's default 32-bit epoch: 8-bit tid, 24-bit clock.
+using Epoch = BasicEpoch<uint32_t, 8>;
+
+/// The 64-bit variant mentioned in Section 4 for large thread counts or
+/// clock values: 16-bit tid, 48-bit clock.
+using Epoch64 = BasicEpoch<uint64_t, 16>;
+
+static_assert(sizeof(Epoch) == 4, "Epoch must stay a packed 32-bit value");
+static_assert(sizeof(Epoch64) == 8, "Epoch64 must stay a packed 64-bit value");
+
+} // namespace ft
+
+#endif // FASTTRACK_CLOCK_EPOCH_H

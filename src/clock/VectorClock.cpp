@@ -1,0 +1,88 @@
+#include "clock/VectorClock.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ft;
+
+VectorClock::VectorClock(unsigned NumThreads) {
+  if (NumThreads == 0)
+    return;
+  Clocks.assign(NumThreads, 0);
+  ++clockStats().Allocations;
+}
+
+VectorClock::VectorClock(const VectorClock &Other) : Clocks(Other.Clocks) {
+  if (!Clocks.empty()) {
+    ++clockStats().Allocations;
+    ++clockStats().CopyOps;
+  }
+}
+
+VectorClock &VectorClock::operator=(const VectorClock &Other) {
+  if (this == &Other)
+    return *this;
+  if (Clocks.capacity() < Other.Clocks.size())
+    ++clockStats().Allocations;
+  Clocks = Other.Clocks;
+  ++clockStats().CopyOps;
+  return *this;
+}
+
+void VectorClock::growTo(unsigned Size) {
+  if (Size <= Clocks.size())
+    return;
+  if (Clocks.capacity() < Size && Clocks.empty())
+    ++clockStats().Allocations;
+  Clocks.resize(Size, 0);
+}
+
+void VectorClock::set(ThreadId T, ClockValue Clock) {
+  growTo(T + 1);
+  Clocks[T] = Clock;
+}
+
+void VectorClock::inc(ThreadId T) {
+  growTo(T + 1);
+  ++Clocks[T];
+}
+
+void VectorClock::joinWith(const VectorClock &Other) {
+  ++clockStats().JoinOps;
+  growTo(Other.Clocks.size());
+  for (size_t I = 0, E = Other.Clocks.size(); I != E; ++I)
+    Clocks[I] = std::max(Clocks[I], Other.Clocks[I]);
+}
+
+bool VectorClock::leq(const VectorClock &Other) const {
+  ++clockStats().CompareOps;
+  for (size_t I = 0, E = Clocks.size(); I != E; ++I)
+    if (Clocks[I] > Other.get(static_cast<ThreadId>(I)))
+      return false;
+  return true;
+}
+
+bool VectorClock::isBottom() const {
+  return std::all_of(Clocks.begin(), Clocks.end(),
+                     [](ClockValue C) { return C == 0; });
+}
+
+bool ft::operator==(const VectorClock &A, const VectorClock &B) {
+  size_t Max = std::max(A.Clocks.size(), B.Clocks.size());
+  for (size_t I = 0; I != Max; ++I)
+    if (A.get(static_cast<ThreadId>(I)) != B.get(static_cast<ThreadId>(I)))
+      return false;
+  return true;
+}
+
+std::string VectorClock::str(unsigned MinEntries) const {
+  unsigned Count = std::max<unsigned>(Clocks.size(), MinEntries);
+  std::string Out = "<";
+  for (unsigned I = 0; I != Count; ++I) {
+    if (I != 0)
+      Out += ',';
+    Out += std::to_string(get(I));
+  }
+  Out += '>';
+  return Out;
+}

@@ -1,0 +1,119 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Vector clocks (Mattern 1988), the classical happens-before
+/// representation reviewed in Section 2.2 of the paper:
+///
+///   V1 ⊑ V2   iff  ∀t. V1(t) ≤ V2(t)
+///   V1 ⊔ V2   =    λt. max(V1(t), V2(t))
+///   ⊥V        =    λt. 0
+///   inc_t(V)  =    λu. if u = t then V(u) + 1 else V(u)
+///
+/// Every O(n)-time operation increments the global ClockStats counters so
+/// Table 2 can be regenerated. Entries beyond the stored size are
+/// implicitly zero, which keeps clocks for short-lived threads small.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_CLOCK_VECTORCLOCK_H
+#define FASTTRACK_CLOCK_VECTORCLOCK_H
+
+#include "clock/ClockStats.h"
+#include "clock/Epoch.h"
+#include "trace/Ids.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ft {
+
+/// The clock value type; 32 bits matches the paper's 24-bit packed clocks
+/// with headroom (epoch packing asserts the 24-bit bound separately).
+using ClockValue = uint32_t;
+
+class VectorClock;
+bool operator==(const VectorClock &A, const VectorClock &B);
+
+/// A growable vector clock with implicit-zero semantics past its size.
+class VectorClock {
+public:
+  /// Builds ⊥V. No buffer is allocated until the clock becomes nonzero.
+  VectorClock() = default;
+
+  /// Builds ⊥V pre-sized for \p NumThreads threads (counted as one
+  /// allocation when nonzero).
+  explicit VectorClock(unsigned NumThreads);
+
+  VectorClock(const VectorClock &Other);
+  VectorClock &operator=(const VectorClock &Other);
+  VectorClock(VectorClock &&Other) noexcept = default;
+  VectorClock &operator=(VectorClock &&Other) noexcept = default;
+
+  /// Returns V(t); zero for entries past the stored size.
+  ClockValue get(ThreadId T) const {
+    return T < Clocks.size() ? Clocks[T] : 0;
+  }
+
+  /// Sets V(t) := Clock, growing as needed.
+  void set(ThreadId T, ClockValue Clock);
+
+  /// inc_t: increments this clock's own entry for \p T.
+  void inc(ThreadId T);
+
+  /// ⊔: joins \p Other into this clock in place. O(n); counted.
+  void joinWith(const VectorClock &Other);
+
+  /// ⊑: pointwise ≤ against \p Other. O(n); counted.
+  bool leq(const VectorClock &Other) const;
+
+  /// Copies \p Other into this clock. O(n); counted. (operator= does the
+  /// same; this spelling documents intent at call sites.)
+  void copyFrom(const VectorClock &Other) { *this = Other; }
+
+  /// Zeroes every entry, keeping the buffer for reuse. Not counted: this
+  /// models FastTrack recycling a read vector clock (Figure 5 reuses
+  /// x.Rvc when a variable becomes read-shared again).
+  void resetToBottom() {
+    std::fill(Clocks.begin(), Clocks.end(), ClockValue(0));
+  }
+
+  /// ≼: epoch-to-vector-clock comparison, c@t ≼ V iff c ≤ V(t). O(1) and
+  /// deliberately *not* counted — this is FastTrack's constant-time fast
+  /// path.
+  template <typename RawT, unsigned TidBits>
+  bool epochLeq(BasicEpoch<RawT, TidBits> E) const {
+    return E.clock() <= get(E.tid());
+  }
+
+  /// Returns the epoch E(t) = V(t)@t of this clock for thread \p T.
+  Epoch epochOf(ThreadId T) const { return Epoch::make(T, get(T)); }
+
+  /// Number of stored entries (trailing entries may still be zero).
+  unsigned size() const { return Clocks.size(); }
+
+  /// True when every entry is zero.
+  bool isBottom() const;
+
+  /// Heap bytes owned by this clock (for memory-overhead accounting).
+  size_t memoryBytes() const { return Clocks.capacity() * sizeof(ClockValue); }
+
+  friend bool operator==(const VectorClock &A, const VectorClock &B);
+
+  /// Renders like "<4,8,0>" showing \p MinEntries entries at least.
+  std::string str(unsigned MinEntries = 0) const;
+
+private:
+  void growTo(unsigned Size);
+
+  std::vector<ClockValue> Clocks;
+};
+
+} // namespace ft
+
+#endif // FASTTRACK_CLOCK_VECTORCLOCK_H

@@ -1,0 +1,46 @@
+#include "core/ToolRegistry.h"
+
+#include "core/FastTrack.h"
+#include "detectors/BasicVC.h"
+#include "detectors/DjitPlus.h"
+#include "detectors/EmptyTool.h"
+#include "detectors/Eraser.h"
+#include "detectors/Goldilocks.h"
+#include "detectors/MultiRace.h"
+#include "detectors/ThreadLocalFilter.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace ft;
+
+std::unique_ptr<Tool> ft::createTool(const std::string &Name) {
+  std::string Key = Name;
+  std::transform(Key.begin(), Key.end(), Key.begin(), [](unsigned char C) {
+    return static_cast<char>(std::tolower(C));
+  });
+  if (Key == "empty")
+    return std::make_unique<EmptyTool>();
+  if (Key == "tl")
+    return std::make_unique<ThreadLocalFilter>();
+  if (Key == "eraser")
+    return std::make_unique<Eraser>();
+  if (Key == "goldilocks")
+    return std::make_unique<Goldilocks>();
+  if (Key == "basicvc")
+    return std::make_unique<BasicVC>();
+  if (Key == "djit+" || Key == "djit")
+    return std::make_unique<DjitPlus>();
+  if (Key == "multirace")
+    return std::make_unique<MultiRace>();
+  if (Key == "fasttrack")
+    return std::make_unique<FastTrack>();
+  if (Key == "fasttrack64")
+    return std::make_unique<FastTrack64>();
+  return nullptr;
+}
+
+std::vector<std::string> ft::registeredToolNames() {
+  return {"empty",   "eraser",    "multirace", "goldilocks",
+          "basicvc", "djit+", "fasttrack"};
+}

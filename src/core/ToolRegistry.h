@@ -1,0 +1,35 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Construction of analysis tools by name, mirroring RoadRunner's
+/// "-tool <name>" command line. Examples and benches use this to stay
+/// decoupled from concrete tool classes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_CORE_TOOLREGISTRY_H
+#define FASTTRACK_CORE_TOOLREGISTRY_H
+
+#include "framework/Tool.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ft {
+
+/// Creates a tool from a (case-insensitive) name: "empty", "tl", "eraser",
+/// "goldilocks", "basicvc", "djit+" (or "djit"), "multirace", "fasttrack".
+/// \returns nullptr for unknown names.
+std::unique_ptr<Tool> createTool(const std::string &Name);
+
+/// All registered tool names, in the column order of the paper's Table 1.
+std::vector<std::string> registeredToolNames();
+
+} // namespace ft
+
+#endif // FASTTRACK_CORE_TOOLREGISTRY_H

@@ -1,0 +1,50 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BASICVC: the traditional vector-clock race detector of Section 5.1 —
+/// "a simple VC-based race detector that maintains a read and a write VC
+/// for each memory location and performs at least one VC comparison on
+/// every memory access." It is the fully-general, fully-slow baseline
+/// FastTrack is roughly 10x faster than.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_DETECTORS_BASICVC_H
+#define FASTTRACK_DETECTORS_BASICVC_H
+
+#include "framework/VectorClockToolBase.h"
+
+namespace ft {
+
+/// Read/write checks without any fast path:
+///
+///   read  rd(t,x):  check Wx ⊑ Ct;             Rx(t) := Ct(t)
+///   write wr(t,x):  check Wx ⊑ Ct and Rx ⊑ Ct; Wx(t) := Ct(t)
+class BasicVC : public VectorClockToolBase {
+public:
+  const char *name() const override { return "BasicVC"; }
+
+  void begin(const ToolContext &Context) override;
+  bool onRead(ThreadId T, VarId X, size_t OpIndex) override;
+  bool onWrite(ThreadId T, VarId X, size_t OpIndex) override;
+  size_t shadowBytes() const override;
+
+private:
+  /// Finds a thread whose entry of \p Prior exceeds Ct, i.e. a concurrent
+  /// prior access, for error reporting.
+  ThreadId conflictingThread(const VectorClock &Prior, ThreadId T) const;
+
+  struct VarState {
+    VectorClock R;
+    VectorClock W;
+  };
+  std::vector<VarState> Vars;
+};
+
+} // namespace ft
+
+#endif // FASTTRACK_DETECTORS_BASICVC_H

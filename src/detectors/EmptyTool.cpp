@@ -1,0 +1,3 @@
+#include "detectors/EmptyTool.h"
+
+// EmptyTool is header-only; this file anchors it in the library.

@@ -1,0 +1,60 @@
+#include "detectors/LockSet.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ft;
+
+LockSet::LockSet(std::vector<LockId> Init) : Locks(std::move(Init)) {
+  std::sort(Locks.begin(), Locks.end());
+  Locks.erase(std::unique(Locks.begin(), Locks.end()), Locks.end());
+}
+
+void LockSet::intersectWith(const LockSet &Other) {
+  size_t Out = 0;
+  size_t J = 0;
+  for (size_t I = 0; I != Locks.size(); ++I) {
+    while (J != Other.Locks.size() && Other.Locks[J] < Locks[I])
+      ++J;
+    if (J != Other.Locks.size() && Other.Locks[J] == Locks[I])
+      Locks[Out++] = Locks[I];
+  }
+  Locks.resize(Out);
+}
+
+void LockSet::insert(LockId M) {
+  auto It = std::lower_bound(Locks.begin(), Locks.end(), M);
+  if (It == Locks.end() || *It != M)
+    Locks.insert(It, M);
+}
+
+bool LockSet::contains(LockId M) const {
+  return std::binary_search(Locks.begin(), Locks.end(), M);
+}
+
+void HeldLocks::reset(unsigned NumThreads) {
+  Held.assign(NumThreads, LockSet());
+}
+
+void HeldLocks::acquire(ThreadId T, LockId M) {
+  assert(T < Held.size() && "unknown thread");
+  Held[T].insert(M);
+}
+
+void HeldLocks::release(ThreadId T, LockId M) {
+  assert(T < Held.size() && "unknown thread");
+  // Rebuild without M; release of an unheld lock is a no-op.
+  std::vector<LockId> Remaining;
+  Remaining.reserve(Held[T].size());
+  for (LockId Held_ : Held[T].locks())
+    if (Held_ != M)
+      Remaining.push_back(Held_);
+  Held[T] = LockSet(std::move(Remaining));
+}
+
+size_t HeldLocks::memoryBytes() const {
+  size_t Bytes = 0;
+  for (const LockSet &Set : Held)
+    Bytes += sizeof(LockSet) + Set.memoryBytes();
+  return Bytes;
+}

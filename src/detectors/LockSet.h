@@ -1,0 +1,78 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lock sets and per-thread held-lock tracking, shared by the Eraser and
+/// MultiRace detectors (and, in generalized "synchronization device" form,
+/// by Goldilocks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_DETECTORS_LOCKSET_H
+#define FASTTRACK_DETECTORS_LOCKSET_H
+
+#include "trace/Ids.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace ft {
+
+/// A small sorted set of lock ids. Lock sets shrink monotonically under
+/// intersection (Eraser's C(v) refinement), so a sorted vector is compact
+/// and fast for the handful of locks typically held.
+class LockSet {
+public:
+  LockSet() = default;
+
+  /// Builds a set from \p Locks (sorted, deduplicated).
+  explicit LockSet(std::vector<LockId> Locks);
+
+  /// Intersects this set with \p Other in place.
+  void intersectWith(const LockSet &Other);
+
+  /// Inserts \p M.
+  void insert(LockId M);
+
+  bool contains(LockId M) const;
+  bool empty() const { return Locks.empty(); }
+  size_t size() const { return Locks.size(); }
+  void clear() { Locks.clear(); }
+
+  const std::vector<LockId> &locks() const { return Locks; }
+  size_t memoryBytes() const { return Locks.capacity() * sizeof(LockId); }
+
+  friend bool operator==(const LockSet &A, const LockSet &B) {
+    return A.Locks == B.Locks;
+  }
+
+private:
+  std::vector<LockId> Locks; // sorted, unique
+};
+
+/// Tracks the set of locks each thread currently holds, fed by
+/// acquire/release events. Acquires arrive already re-entrancy-filtered
+/// by the replay layer, so each (thread, lock) pair nests at most once.
+class HeldLocks {
+public:
+  /// Resets to \p NumThreads empty sets.
+  void reset(unsigned NumThreads);
+
+  void acquire(ThreadId T, LockId M);
+  void release(ThreadId T, LockId M);
+
+  /// The locks \p T currently holds, as a LockSet view.
+  const LockSet &held(ThreadId T) const { return Held[T]; }
+
+  size_t memoryBytes() const;
+
+private:
+  std::vector<LockSet> Held;
+};
+
+} // namespace ft
+
+#endif // FASTTRACK_DETECTORS_LOCKSET_H

@@ -1,0 +1,87 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MULTIRACE: the hybrid LockSet / DJIT+ detector of Pozniansky and
+/// Schuster, as described in Section 5.1 of the FastTrack paper:
+///
+///   "MULTIRACE maintains DJIT+'s instrumentation state, as well as a lock
+///    set for each memory location. The checker updates the lock set for a
+///    location on the first access in an epoch, and full vector clock
+///    comparisons are performed after this lock set becomes empty."
+///
+/// While some lock is consistently held on every access (nonempty
+/// candidate set), accesses are totally ordered and the O(n) comparisons
+/// can be skipped soundly. The Eraser-style Virgin/Exclusive states for
+/// thread-local data are unsound in the same way Eraser's are, which is
+/// where MultiRace loses precision relative to DJIT+.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_DETECTORS_MULTIRACE_H
+#define FASTTRACK_DETECTORS_MULTIRACE_H
+
+#include "detectors/Eraser.h"
+#include "detectors/LockSet.h"
+#include "framework/VectorClockToolBase.h"
+
+namespace ft {
+
+/// Execution counters separating the lockset path from the VC path
+/// (Section 5.1 reports "roughly 10% of all operations required an ERASER
+/// operation").
+struct MultiRaceStats {
+  uint64_t SameEpochHits = 0;
+  uint64_t LockSetOps = 0;
+  uint64_t VcComparisons = 0;
+};
+
+/// The MultiRace analysis.
+class MultiRace : public VectorClockToolBase {
+public:
+  const char *name() const override { return "MultiRace"; }
+
+  void begin(const ToolContext &Context) override;
+  bool onRead(ThreadId T, VarId X, size_t OpIndex) override;
+  bool onWrite(ThreadId T, VarId X, size_t OpIndex) override;
+  void onAcquire(ThreadId T, LockId M, size_t OpIndex) override;
+  void onRelease(ThreadId T, LockId M, size_t OpIndex) override;
+  void onBarrier(const std::vector<ThreadId> &Threads,
+                 size_t OpIndex) override;
+  size_t shadowBytes() const override;
+
+  const MultiRaceStats &stats() const { return Stats; }
+
+private:
+  struct VarShadow {
+    VectorClock R;
+    VectorClock W;
+    LockSet Candidates;
+    EraserVarState State = EraserVarState::Virgin;
+    ThreadId Owner = 0;
+    uint32_t Generation = 0;
+    /// Once the candidate set empties, every subsequent first-in-epoch
+    /// access pays the DJIT+ comparisons.
+    bool LockSetDead = false;
+  };
+
+  void refresh(VarShadow &Shadow);
+  /// Updates the Eraser-style discipline state; returns true when the
+  /// access is "protected" (thread-local or nonempty lockset) so the VC
+  /// comparison may be skipped.
+  bool updateDiscipline(VarShadow &Shadow, ThreadId T, bool IsWrite);
+  void reportAccessRace(ThreadId T, VarId X, size_t OpIndex, OpKind Kind,
+                        const VectorClock &Prior, OpKind PriorKind);
+
+  HeldLocks Held;
+  std::vector<VarShadow> Vars;
+  MultiRaceStats Stats;
+  uint32_t Generation = 0;
+};
+
+} // namespace ft
+
+#endif // FASTTRACK_DETECTORS_MULTIRACE_H

@@ -1,0 +1,47 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TL: the thread-local prefilter of the Section 5.2 composition table.
+/// It forwards an access only once its variable has been touched by more
+/// than one thread; purely thread-local data never reaches the downstream
+/// checker. This is the cheapest useful prefilter and the baseline the
+/// paper compares Eraser/DJIT+/FastTrack prefilters against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_DETECTORS_THREADLOCALFILTER_H
+#define FASTTRACK_DETECTORS_THREADLOCALFILTER_H
+
+#include "framework/Tool.h"
+
+#include <vector>
+
+namespace ft {
+
+/// Tracks, per variable, whether a second thread has accessed it.
+class ThreadLocalFilter : public Tool {
+public:
+  const char *name() const override { return "TL"; }
+
+  void begin(const ToolContext &Context) override;
+  bool onRead(ThreadId T, VarId X, size_t OpIndex) override;
+  bool onWrite(ThreadId T, VarId X, size_t OpIndex) override;
+  size_t shadowBytes() const override;
+
+private:
+  bool access(ThreadId T, VarId X);
+
+  /// Per variable: NoOwner (untouched), a thread id (thread-local so far),
+  /// or Shared.
+  static constexpr uint32_t NoOwner = ~0u;
+  static constexpr uint32_t Shared = ~0u - 1;
+  std::vector<uint32_t> Owner;
+};
+
+} // namespace ft
+
+#endif // FASTTRACK_DETECTORS_THREADLOCALFILTER_H

@@ -1,0 +1,224 @@
+#include "framework/Replay.h"
+
+#include "support/Stopwatch.h"
+
+#include <unordered_map>
+
+using namespace ft;
+
+namespace {
+
+/// Tracks per-(thread, lock) nesting depth to strip redundant re-entrant
+/// acquire/release pairs, as RoadRunner does before events reach tools.
+class ReentrancyFilter {
+public:
+  /// Returns true when this acquire is the outermost one (dispatch it).
+  bool onAcquire(ThreadId T, LockId M) {
+    return ++Depth[key(T, M)] == 1;
+  }
+
+  /// Returns true when this release exits the outermost level.
+  bool onRelease(ThreadId T, LockId M) {
+    auto It = Depth.find(key(T, M));
+    if (It == Depth.end() || It->second == 0)
+      return true; // Infeasible trace; dispatch and let tools cope.
+    if (--It->second == 0) {
+      Depth.erase(It);
+      return true;
+    }
+    return false;
+  }
+
+private:
+  static uint64_t key(ThreadId T, LockId M) {
+    return (static_cast<uint64_t>(T) << 32) | M;
+  }
+  std::unordered_map<uint64_t, unsigned> Depth;
+};
+
+/// Precomputed variable remapping for the requested granularity.
+struct VarMap {
+  const std::vector<uint32_t> *Explicit = nullptr;
+  unsigned Divisor = 1;
+  bool Identity = true;
+
+  VarId map(VarId X) const {
+    if (Identity)
+      return X;
+    if (Explicit)
+      return X < Explicit->size() ? (*Explicit)[X] : X;
+    return X / Divisor;
+  }
+};
+
+VarMap makeVarMap(const ReplayOptions &Options) {
+  VarMap Map;
+  if (Options.Gran == Granularity::Fine)
+    return Map;
+  Map.Identity = false;
+  Map.Explicit = Options.VarToObject;
+  Map.Divisor = Options.DefaultFieldsPerObject ? Options.DefaultFieldsPerObject
+                                               : 1;
+  return Map;
+}
+
+ToolContext makeContext(const Trace &T, const VarMap &Map) {
+  ToolContext Context;
+  Context.NumThreads = T.numThreads();
+  Context.NumLocks = T.numLocks();
+  Context.NumVolatiles = T.numVolatiles();
+  if (Map.Identity) {
+    Context.NumVars = T.numVars();
+  } else {
+    unsigned MaxVar = 0;
+    for (VarId X = 0; X != T.numVars(); ++X)
+      MaxVar = std::max(MaxVar, Map.map(X) + 1);
+    Context.NumVars = MaxVar;
+  }
+  return Context;
+}
+
+/// The shared replay loop. \p ForEachAccess receives the access events and
+/// decides what "passed" means; sync events are dispatched via \p Sync.
+template <typename AccessFn, typename SyncFn>
+void replayLoop(const Trace &T, const ReplayOptions &Options,
+                const VarMap &Map, AccessFn &&Access, SyncFn &&Sync,
+                uint64_t &Events) {
+  ReentrancyFilter Reentrancy;
+  bool FilterLocks = Options.FilterReentrantLocks;
+
+  for (size_t I = 0, E = T.size(); I != E; ++I) {
+    const Operation &Op = T[I];
+    switch (Op.Kind) {
+    case OpKind::Read:
+    case OpKind::Write:
+      ++Events;
+      Access(Op.Kind, Op.Thread, Map.map(Op.Target), I);
+      break;
+    case OpKind::Acquire:
+      if (FilterLocks && !Reentrancy.onAcquire(Op.Thread, Op.Target))
+        break;
+      ++Events;
+      Sync(Op, I);
+      break;
+    case OpKind::Release:
+      if (FilterLocks && !Reentrancy.onRelease(Op.Thread, Op.Target))
+        break;
+      ++Events;
+      Sync(Op, I);
+      break;
+    default:
+      ++Events;
+      Sync(Op, I);
+      break;
+    }
+  }
+}
+
+void dispatchSync(Tool &Checker, const Trace &T, const Operation &Op,
+                  size_t I) {
+  switch (Op.Kind) {
+  case OpKind::Acquire:
+    Checker.onAcquire(Op.Thread, Op.Target, I);
+    break;
+  case OpKind::Release:
+    Checker.onRelease(Op.Thread, Op.Target, I);
+    break;
+  case OpKind::Fork:
+    Checker.onFork(Op.Thread, Op.Target, I);
+    break;
+  case OpKind::Join:
+    Checker.onJoin(Op.Thread, Op.Target, I);
+    break;
+  case OpKind::VolatileRead:
+    Checker.onVolatileRead(Op.Thread, Op.Target, I);
+    break;
+  case OpKind::VolatileWrite:
+    Checker.onVolatileWrite(Op.Thread, Op.Target, I);
+    break;
+  case OpKind::Barrier:
+    Checker.onBarrier(T.barrierSet(Op.Target), I);
+    break;
+  case OpKind::AtomicBegin:
+    Checker.onAtomicBegin(Op.Thread, I);
+    break;
+  case OpKind::AtomicEnd:
+    Checker.onAtomicEnd(Op.Thread, I);
+    break;
+  case OpKind::Read:
+  case OpKind::Write:
+    break; // handled by the access path
+  }
+}
+
+} // namespace
+
+ReplayResult ft::replay(const Trace &T, Tool &Checker,
+                        const ReplayOptions &Options) {
+  VarMap Map = makeVarMap(Options);
+  ReplayResult Result;
+  ClockStats Before = clockStats();
+
+  Stopwatch Watch;
+  Checker.begin(makeContext(T, Map));
+  replayLoop(
+      T, Options, Map,
+      [&](OpKind Kind, ThreadId Thread, VarId X, size_t I) {
+        bool Passed = Kind == OpKind::Read ? Checker.onRead(Thread, X, I)
+                                           : Checker.onWrite(Thread, X, I);
+        Result.AccessesPassed += Passed;
+      },
+      [&](const Operation &Op, size_t I) { dispatchSync(Checker, T, Op, I); },
+      Result.Events);
+  Checker.end();
+  Result.Seconds = Watch.seconds();
+
+  Result.Clocks = clockStats() - Before;
+  Result.ShadowBytes = Checker.shadowBytes();
+  Result.NumWarnings = Checker.warnings().size();
+  return Result;
+}
+
+PipelineResult ft::replayFiltered(const Trace &T, Tool &Filter,
+                                  Tool &Downstream,
+                                  const ReplayOptions &Options) {
+  VarMap Map = makeVarMap(Options);
+  PipelineResult Result;
+  ClockStats Before = clockStats();
+  ToolContext Context = makeContext(T, Map);
+
+  Stopwatch Watch;
+  Filter.begin(Context);
+  Downstream.begin(Context);
+  replayLoop(
+      T, Options, Map,
+      [&](OpKind Kind, ThreadId Thread, VarId X, size_t I) {
+        ++Result.AccessesSeen;
+        if (Kind == OpKind::Read) {
+          if (!Filter.onRead(Thread, X, I))
+            return;
+          ++Result.AccessesForwarded;
+          Downstream.onRead(Thread, X, I);
+        } else {
+          if (!Filter.onWrite(Thread, X, I))
+            return;
+          ++Result.AccessesForwarded;
+          Downstream.onWrite(Thread, X, I);
+        }
+      },
+      [&](const Operation &Op, size_t I) {
+        dispatchSync(Filter, T, Op, I);
+        dispatchSync(Downstream, T, Op, I);
+      },
+      Result.Total.Events);
+  Filter.end();
+  Downstream.end();
+  Result.Total.Seconds = Watch.seconds();
+
+  Result.Total.Clocks = clockStats() - Before;
+  Result.Total.ShadowBytes = Filter.shadowBytes() + Downstream.shadowBytes();
+  Result.Total.NumWarnings =
+      Filter.warnings().size() + Downstream.warnings().size();
+  Result.Total.AccessesPassed = Result.AccessesForwarded;
+  return Result;
+}

@@ -1,0 +1,73 @@
+#include "framework/VectorClockToolBase.h"
+
+using namespace ft;
+
+void VectorClockToolBase::begin(const ToolContext &Context) {
+  C.assign(Context.NumThreads, VectorClock());
+  ClockCache.assign(Context.NumThreads, 0);
+  // σ0: C = λt.inc_t(⊥V) — every thread starts at clock 1 in its own entry.
+  for (ThreadId T = 0; T != Context.NumThreads; ++T) {
+    C[T].inc(T);
+    refreshClock(T);
+  }
+  L.assign(Context.NumLocks, VectorClock());
+  LVolatile.assign(Context.NumVolatiles, VectorClock());
+}
+
+void VectorClockToolBase::onAcquire(ThreadId T, LockId M, size_t) {
+  C[T].joinWith(L[M]);
+}
+
+void VectorClockToolBase::onRelease(ThreadId T, LockId M, size_t) {
+  L[M].copyFrom(C[T]);
+  C[T].inc(T);
+  refreshClock(T);
+}
+
+void VectorClockToolBase::onFork(ThreadId T, ThreadId U, size_t) {
+  C[U].joinWith(C[T]);
+  refreshClock(U);
+  C[T].inc(T);
+  refreshClock(T);
+}
+
+void VectorClockToolBase::onJoin(ThreadId T, ThreadId U, size_t) {
+  C[T].joinWith(C[U]);
+  refreshClock(T);
+  C[U].inc(U);
+  refreshClock(U);
+}
+
+void VectorClockToolBase::onVolatileRead(ThreadId T, VolatileId V, size_t) {
+  C[T].joinWith(LVolatile[V]);
+}
+
+void VectorClockToolBase::onVolatileWrite(ThreadId T, VolatileId V, size_t) {
+  LVolatile[V].joinWith(C[T]);
+  C[T].inc(T);
+  refreshClock(T);
+}
+
+void VectorClockToolBase::onBarrier(const std::vector<ThreadId> &Threads,
+                                    size_t) {
+  VectorClock Joined;
+  for (ThreadId U : Threads)
+    Joined.joinWith(C[U]);
+  for (ThreadId U : Threads) {
+    C[U].copyFrom(Joined);
+    C[U].inc(U);
+    refreshClock(U);
+  }
+}
+
+size_t VectorClockToolBase::shadowBytes() const {
+  size_t Bytes = 0;
+  for (const VectorClock &Clock : C)
+    Bytes += sizeof(VectorClock) + Clock.memoryBytes();
+  for (const VectorClock &Clock : L)
+    Bytes += sizeof(VectorClock) + Clock.memoryBytes();
+  for (const VectorClock &Clock : LVolatile)
+    Bytes += sizeof(VectorClock) + Clock.memoryBytes();
+  Bytes += ClockCache.capacity() * sizeof(ClockValue);
+  return Bytes;
+}

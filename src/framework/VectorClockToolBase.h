@@ -1,0 +1,71 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared base for vector-clock-based tools (BasicVC, DJIT+, MultiRace,
+/// FastTrack). Implements the synchronization and threading rules of
+/// Figure 3 — acquire, release, fork, join — plus the volatile and barrier
+/// extensions of Section 4, which are identical across those analyses:
+///
+///   [FT ACQUIRE]          C't = Ct ⊔ Lm
+///   [FT RELEASE]          L'm = Ct;  C't = inc_t(Ct)
+///   [FT FORK]             C'u = Cu ⊔ Ct;  C't = inc_t(Ct)
+///   [FT JOIN]             C't = Ct ⊔ Cu;  C'u = inc_u(Cu)
+///   [FT READ VOLATILE]    C't = Ct ⊔ Lvx
+///   [FT WRITE VOLATILE]   L'vx = Ct ⊔ Lvx;  C't = inc_t(Ct)
+///   [FT BARRIER RELEASE]  C't = inc_t(⊔_{u∈T} Cu) for t ∈ T
+///
+/// These operations are rare (3.3 % of events), so the O(n) vector-clock
+/// work here is "perfectly adequate" (Section 3, Other Operations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_FRAMEWORK_VECTORCLOCKTOOLBASE_H
+#define FASTTRACK_FRAMEWORK_VECTORCLOCKTOOLBASE_H
+
+#include "clock/VectorClock.h"
+#include "framework/Tool.h"
+
+namespace ft {
+
+/// Maintains the C (per-thread) and L (per-lock, per-volatile) components
+/// of the analysis state σ = (C, L, R, W); derived tools own R and W.
+class VectorClockToolBase : public Tool {
+public:
+  void begin(const ToolContext &Context) override;
+  void onAcquire(ThreadId T, LockId M, size_t OpIndex) override;
+  void onRelease(ThreadId T, LockId M, size_t OpIndex) override;
+  void onFork(ThreadId T, ThreadId U, size_t OpIndex) override;
+  void onJoin(ThreadId T, ThreadId U, size_t OpIndex) override;
+  void onVolatileRead(ThreadId T, VolatileId V, size_t OpIndex) override;
+  void onVolatileWrite(ThreadId T, VolatileId V, size_t OpIndex) override;
+  void onBarrier(const std::vector<ThreadId> &Threads,
+                 size_t OpIndex) override;
+  size_t shadowBytes() const override;
+
+protected:
+  /// Ct: the current vector clock of thread \p T.
+  const VectorClock &threadClock(ThreadId T) const { return C[T]; }
+
+  /// Ct(t): the current clock of thread \p T (cached, O(1)). Derived
+  /// detectors pack this into their epoch representation — 32- or 64-bit
+  /// — so the cache stores the unpacked clock value.
+  ClockValue currentClock(ThreadId T) const { return ClockCache[T]; }
+
+  unsigned numThreads() const { return C.size(); }
+
+private:
+  void refreshClock(ThreadId T) { ClockCache[T] = C[T].get(T); }
+
+  std::vector<VectorClock> C;          ///< Per-thread clocks.
+  std::vector<VectorClock> L;          ///< Per-lock clocks.
+  std::vector<VectorClock> LVolatile;  ///< Per-volatile clocks (extended L).
+  std::vector<ClockValue> ClockCache;  ///< Ct(t), kept in sync with C.
+};
+
+} // namespace ft
+
+#endif // FASTTRACK_FRAMEWORK_VECTORCLOCKTOOLBASE_H

@@ -1,0 +1,46 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Race warnings emitted by analysis tools.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_FRAMEWORK_WARNING_H
+#define FASTTRACK_FRAMEWORK_WARNING_H
+
+#include "trace/Operation.h"
+
+#include <string>
+
+namespace ft {
+
+/// Sentinel for a warning whose prior access's thread is unknown (Eraser's
+/// lockset state machine does not always track it).
+inline constexpr ThreadId UnknownThread = ~0u;
+
+/// One race warning. The paper's tools report at most one warning per
+/// field (variable); the Tool base class enforces that policy.
+struct RaceWarning {
+  VarId Var = 0;
+  /// The access that triggered the warning.
+  size_t OpIndex = 0;
+  ThreadId CurrentThread = 0;
+  OpKind CurrentKind = OpKind::Read;
+  /// The conflicting earlier access, when the analysis knows it.
+  ThreadId PriorThread = UnknownThread;
+  OpKind PriorKind = OpKind::Write;
+  /// Free-form detail, e.g. "write-write race" or "empty lockset".
+  std::string Detail;
+};
+
+/// Renders a warning like "race on x3 at op 17: wr by thread 1 conflicts
+/// with wr by thread 0 (write-write race)".
+std::string toString(const RaceWarning &W);
+
+} // namespace ft
+
+#endif // FASTTRACK_FRAMEWORK_WARNING_H

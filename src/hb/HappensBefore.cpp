@@ -1,0 +1,83 @@
+#include "hb/HappensBefore.h"
+
+using namespace ft;
+
+HappensBefore::HappensBefore(const Trace &T) : T(T) {
+  unsigned NumThreads = T.numThreads();
+  // Initial state σ0 = (λt.inc_t(⊥V), λm.⊥V, ...): each thread starts with
+  // its own entry at 1 so distinct threads are never accidentally ordered.
+  std::vector<VectorClock> C(NumThreads);
+  for (ThreadId U = 0; U != NumThreads; ++U)
+    C[U].inc(U);
+  std::vector<VectorClock> L(T.numLocks());
+  std::vector<VectorClock> LV(T.numVolatiles());
+
+  Timestamps.reserve(T.size());
+  Actors.reserve(T.size());
+
+  for (const Operation &Op : T) {
+    ThreadId Actor = Op.Thread;
+    switch (Op.Kind) {
+    case OpKind::Read:
+    case OpKind::Write:
+    case OpKind::AtomicBegin:
+    case OpKind::AtomicEnd:
+      Timestamps.push_back(C[Actor]);
+      break;
+    case OpKind::Acquire:
+      // Acquire-like: stamp after joining the release edge.
+      C[Actor].joinWith(L[Op.Target]);
+      Timestamps.push_back(C[Actor]);
+      break;
+    case OpKind::Release:
+      Timestamps.push_back(C[Actor]);
+      L[Op.Target].copyFrom(C[Actor]);
+      C[Actor].inc(Actor);
+      break;
+    case OpKind::Fork:
+      Timestamps.push_back(C[Actor]);
+      C[Op.Target].joinWith(C[Actor]);
+      C[Actor].inc(Actor);
+      break;
+    case OpKind::Join:
+      // Acquire-like for the joining thread.
+      C[Actor].joinWith(C[Op.Target]);
+      Timestamps.push_back(C[Actor]);
+      C[Op.Target].inc(Op.Target);
+      break;
+    case OpKind::VolatileRead:
+      // [FT READ VOLATILE]: C'_t = C_t ⊔ L_vx. Acquire-like.
+      C[Actor].joinWith(LV[Op.Target]);
+      Timestamps.push_back(C[Actor]);
+      break;
+    case OpKind::VolatileWrite:
+      // [FT WRITE VOLATILE]: L'_vx = C_t ⊔ L_vx; C'_t = inc_t(C_t).
+      Timestamps.push_back(C[Actor]);
+      LV[Op.Target].joinWith(C[Actor]);
+      C[Actor].inc(Actor);
+      break;
+    case OpKind::Barrier: {
+      // [FT BARRIER RELEASE]: C'_t = inc_t(⊔_{u∈T} C_u) for t in the set.
+      const std::vector<ThreadId> &Set = T.barrierSet(Op.Target);
+      VectorClock Joined;
+      for (ThreadId U : Set)
+        Joined.joinWith(C[U]);
+      Timestamps.push_back(Joined);
+      for (ThreadId U : Set) {
+        C[U].copyFrom(Joined);
+        C[U].inc(U);
+      }
+      Actor = Set.front();
+      break;
+    }
+    }
+    Actors.push_back(Actor);
+  }
+}
+
+bool HappensBefore::happensBefore(size_t Earlier, size_t Later) const {
+  assert(Earlier < Later && "happensBefore requires trace order");
+  assert(Later < Timestamps.size() && "operation index out of range");
+  ThreadId Actor = Actors[Earlier];
+  return Timestamps[Earlier].get(Actor) <= Timestamps[Later].get(Actor);
+}

@@ -1,0 +1,70 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The happens-before relation <α of Section 2.1, computed exactly.
+///
+/// HappensBefore replays a trace maintaining full vector clocks for every
+/// thread, lock, and volatile, and assigns each operation a vector
+/// timestamp. Operation a happens before operation b (a earlier in the
+/// trace) iff Ta(tid(a)) ≤ Tb(tid(a)). This is the reference ("gold")
+/// model: slow and memory-hungry, but trivially correct, against which the
+/// production detectors are validated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_HB_HAPPENSBEFORE_H
+#define FASTTRACK_HB_HAPPENSBEFORE_H
+
+#include "clock/VectorClock.h"
+#include "trace/Trace.h"
+
+#include <vector>
+
+namespace ft {
+
+/// Exact happens-before information for one trace.
+///
+/// Timestamps follow the convention of the paper's appendix (Lemma 4):
+/// the timestamp of an acquire-like operation (acq, join, volatile read,
+/// barrier) is the thread's clock *after* joining in the incoming edge;
+/// all other operations are stamped with the thread's clock beforehand.
+class HappensBefore {
+public:
+  /// Replays \p T and computes all timestamps. O(|T| · n) time and space.
+  explicit HappensBefore(const Trace &T);
+
+  /// Returns the vector timestamp of operation \p Index. For Barrier
+  /// operations the timestamp is the joined pre-barrier clock shared by
+  /// every released thread.
+  const VectorClock &timestamp(size_t Index) const {
+    assert(Index < Timestamps.size() && "operation index out of range");
+    return Timestamps[Index];
+  }
+
+  /// Returns true iff operation \p Earlier happens before \p Later.
+  /// Requires Earlier < Later (trace order). Program order, locking,
+  /// fork/join, volatiles, and barriers are all included.
+  bool happensBefore(size_t Earlier, size_t Later) const;
+
+  /// Returns true iff the two operations are concurrent (neither happens
+  /// before the other). Requires Earlier < Later.
+  bool concurrent(size_t Earlier, size_t Later) const {
+    return !happensBefore(Earlier, Later);
+  }
+
+  const Trace &trace() const { return T; }
+
+private:
+  const Trace &T;
+  std::vector<VectorClock> Timestamps;
+  /// Acting thread for each op (for barriers: representative member).
+  std::vector<ThreadId> Actors;
+};
+
+} // namespace ft
+
+#endif // FASTTRACK_HB_HAPPENSBEFORE_H

@@ -1,0 +1,173 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax tree for MiniConc. Nodes are tagged structs (one for
+/// expressions, one for statements); the resolver (Sema) annotates
+/// references in place, so the interpreter never looks at names.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_LANG_AST_H
+#define FASTTRACK_LANG_AST_H
+
+#include "trace/Ids.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ft::lang {
+
+/// A diagnostic from the parser, resolver, or interpreter.
+struct Diag {
+  unsigned Line = 0;
+  unsigned Column = 0;
+  std::string Message;
+};
+
+/// Renders like "3:7: message".
+std::string toString(const Diag &D);
+
+enum class BinaryOp : uint8_t {
+  Add, Sub, Mul, Div, Mod, Lt, Le, Gt, Ge, Eq, Ne, And, Or,
+};
+enum class UnaryOp : uint8_t { Neg, Not };
+
+/// What a name reference resolved to.
+enum class RefKind : uint8_t {
+  Unresolved,
+  Local,       ///< RefIndex = local slot within the enclosing function.
+  Shared,      ///< RefIndex = the scalar's VarId.
+  Volatile,    ///< RefIndex = VolatileId.
+  SharedArray, ///< RefIndex = base VarId; ArraySize elements follow it.
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : uint8_t {
+  IntLit, ///< IntValue
+  VarRef, ///< Name -> Ref/RefIndex (Local, Shared, or Volatile)
+  Index,  ///< Name[Lhs] -> SharedArray base + dynamic index
+  Unary,  ///< UOp applied to Lhs
+  Binary, ///< Lhs BOp Rhs (And/Or short-circuit)
+  Call,   ///< Name(Args) -> CalleeIndex; synchronous, returns a value
+  Spawn,  ///< spawn Name(Args) -> CalleeIndex; returns the thread handle
+};
+
+/// An expression node.
+struct Expr {
+  ExprKind Kind;
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  int64_t IntValue = 0;             // IntLit
+  std::string Name;                 // VarRef / Index / Call / Spawn
+  RefKind Ref = RefKind::Unresolved;
+  uint32_t RefIndex = 0;            // slot, VarId, or VolatileId
+  uint32_t ArraySize = 0;           // Index: element count of the array
+  UnaryOp UOp = UnaryOp::Neg;
+  BinaryOp BOp = BinaryOp::Add;
+  ExprPtr Lhs;                      // Unary operand / Index subscript
+  ExprPtr Rhs;
+  std::vector<ExprPtr> Args;        // Call / Spawn
+  uint32_t CalleeIndex = 0;         // Call / Spawn: function table index
+
+  explicit Expr(ExprKind Kind) : Kind(Kind) {}
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : uint8_t {
+  Block,     ///< Stmts
+  DeclLocal, ///< local/let Name = Init (Init may be null: zero)
+  Assign,    ///< Target = Value (Target: VarRef or Index)
+  If,        ///< if (Cond) Then else Else
+  While,     ///< while (Cond) Body
+  Sync,      ///< sync (lock) Body
+  Atomic,    ///< atomic Body
+  Join,      ///< join Value
+  Await,     ///< await barrier
+  Wait,      ///< wait lock (must hold it; releases, blocks, reacquires)
+  Notify,    ///< notify lock (wakes one waiter; must hold the lock)
+  NotifyAll, ///< notifyall lock (wakes every waiter; must hold the lock)
+  Print,     ///< print Value
+  Return,    ///< return [Value]
+  ExprStmt,  ///< Value; (calls / spawns for effect)
+};
+
+/// A statement node.
+struct Stmt {
+  StmtKind Kind;
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  std::vector<StmtPtr> Stmts; // Block
+  std::string Name;           // DeclLocal / Sync lock / Await barrier
+  uint32_t RefIndex = 0;      // DeclLocal slot, Sync LockId, Await barrier id
+  ExprPtr Target;             // Assign
+  ExprPtr Value;              // DeclLocal init / Assign / Join / Print /
+                              // Return / ExprStmt / If & While condition
+  StmtPtr Body;               // If-then / While / Sync / Atomic
+  StmtPtr Else;               // If
+
+  explicit Stmt(StmtKind Kind) : Kind(Kind) {}
+};
+
+/// A function definition. Parameters occupy the first local slots.
+struct Function {
+  std::string Name;
+  std::vector<std::string> Params;
+  StmtPtr Body; ///< Always a Block.
+  unsigned NumLocals = 0; ///< Filled by the resolver (params included).
+  unsigned Line = 0;
+};
+
+/// A `shared` global: a scalar (Size == 1) or array. Occupies VarIds
+/// [BaseId, BaseId + Size).
+struct GlobalVar {
+  std::string Name;
+  uint32_t Size = 1;
+  VarId BaseId = 0;
+  unsigned Line = 0;
+};
+
+struct VolatileDecl {
+  std::string Name;
+  VolatileId Id = 0;
+  unsigned Line = 0;
+};
+
+struct LockDecl {
+  std::string Name;
+  LockId Id = 0;
+  unsigned Line = 0;
+};
+
+/// `barrier b(N);` — a reusable N-party barrier.
+struct BarrierDecl {
+  std::string Name;
+  uint32_t Arity = 0;
+  uint32_t Id = 0;
+  unsigned Line = 0;
+};
+
+/// A resolved MiniConc program, ready to interpret.
+struct Program {
+  std::vector<GlobalVar> Globals;
+  std::vector<VolatileDecl> Volatiles;
+  std::vector<LockDecl> Locks;
+  std::vector<BarrierDecl> Barriers;
+  std::vector<Function> Functions;
+  int MainIndex = -1;
+  uint32_t NumVarIds = 0; ///< Total shared VarId space (scalars + arrays).
+};
+
+} // namespace ft::lang
+
+#endif // FASTTRACK_LANG_AST_H

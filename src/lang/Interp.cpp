@@ -1,0 +1,769 @@
+#include "lang/Interp.h"
+
+#include "lang/Sema.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+
+#include <cassert>
+
+using namespace ft;
+using namespace ft::lang;
+
+namespace {
+
+/// What a control-stack entry represents.
+enum class FrameKind : uint8_t {
+  Stmt,        ///< Node is a Stmt*.
+  Expr,        ///< Node is an Expr*.
+  CallMarker,  ///< Function boundary; Aux = locals base to restore.
+  ReleaseLock, ///< Emit rel / drop re-entrancy level on exit; Aux = LockId.
+  EndAtomic,   ///< Emit the closing atomic marker.
+};
+
+struct Frame {
+  FrameKind Kind;
+  const void *Node = nullptr;
+  uint32_t Phase = 0;
+  uint32_t Aux = 0;
+
+  static Frame stmt(const Stmt *S) { return {FrameKind::Stmt, S, 0, 0}; }
+  static Frame expr(const Expr *E) { return {FrameKind::Expr, E, 0, 0}; }
+};
+
+enum class ThreadStatus : uint8_t {
+  Runnable,
+  BlockedOnLock,
+  BlockedOnJoin,
+  AtBarrier,
+  WaitingNotify, ///< Inside wait(m): released m, not yet notified.
+  Finished,
+};
+
+struct MachineThread {
+  ThreadId Id = 0;
+  ThreadStatus Status = ThreadStatus::Runnable;
+  uint32_t WaitTarget = 0; ///< Lock / thread / barrier blocked on.
+  std::vector<Frame> Frames;
+  std::vector<int64_t> Values; ///< Operand stack.
+  std::vector<int64_t> Locals; ///< Flat local-slot storage.
+  std::vector<uint32_t> BaseStack; ///< Locals base per active call.
+  bool Joined = false; ///< A join event for this thread was emitted.
+};
+
+struct LockRuntime {
+  bool Held = false;
+  ThreadId Holder = 0;
+  unsigned Depth = 0;
+  /// Threads parked in wait(m), in arrival order (notify wakes the
+  /// first, deterministically).
+  std::vector<ThreadId> WaitQueue;
+};
+
+struct BarrierRuntime {
+  std::vector<ThreadId> Waiting;
+};
+
+class Machine {
+public:
+  Machine(const Program &P, const InterpOptions &Options)
+      : P(P), Options(Options), Rng(Options.Seed) {}
+
+  InterpResult run();
+
+private:
+  //===--------------------------------------------------------------===//
+  // Error handling (no exceptions: set the flag, unwind via checks).
+  //===--------------------------------------------------------------===//
+
+  void fail(unsigned Line, unsigned Column, std::string Message) {
+    if (Failed)
+      return;
+    Failed = true;
+    Result.Error = {Line, Column, std::move(Message)};
+  }
+
+  //===--------------------------------------------------------------===//
+  // Thread management.
+  //===--------------------------------------------------------------===//
+
+  /// Creates a thread running \p Fn with \p Args; returns its id or -1.
+  int spawnThread(uint32_t FnIndex, const std::vector<int64_t> &Args,
+                  unsigned Line, unsigned Column) {
+    if (Threads.size() >= Options.MaxThreads) {
+      fail(Line, Column, "thread limit exceeded (" +
+                             std::to_string(Options.MaxThreads) + ")");
+      return -1;
+    }
+    const Function &Fn = P.Functions[FnIndex];
+    auto Th = std::make_unique<MachineThread>();
+    Th->Id = static_cast<ThreadId>(Threads.size());
+    Th->Locals.assign(Fn.NumLocals, 0);
+    for (size_t I = 0; I != Args.size(); ++I)
+      Th->Locals[I] = Args[I];
+    Th->BaseStack.push_back(0);
+    Th->Frames.push_back({FrameKind::CallMarker, nullptr, 0, 0});
+    Th->Frames.push_back(Frame::stmt(Fn.Body.get()));
+    Threads.push_back(std::move(Th));
+    return static_cast<int>(Threads.back()->Id);
+  }
+
+  void wakeBlockedOn(ThreadStatus Status, uint32_t Target) {
+    for (auto &Th : Threads)
+      if (Th->Status == Status && Th->WaitTarget == Target)
+        Th->Status = ThreadStatus::Runnable;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Value/frame helpers.
+  //===--------------------------------------------------------------===//
+
+  int64_t popValue(MachineThread &Th) {
+    assert(!Th.Values.empty() && "operand stack underflow");
+    int64_t V = Th.Values.back();
+    Th.Values.pop_back();
+    return V;
+  }
+
+  uint32_t localsBase(const MachineThread &Th) const {
+    assert(!Th.BaseStack.empty() && "no active call");
+    return Th.BaseStack.back();
+  }
+
+  /// Finishes the current call: restores locals, pushes \p ReturnValue.
+  /// The top frame must be the CallMarker.
+  void popCallMarker(MachineThread &Th, int64_t ReturnValue) {
+    Frame Marker = Th.Frames.back();
+    assert(Marker.Kind == FrameKind::CallMarker && "expected call marker");
+    Th.Frames.pop_back();
+    Th.Locals.resize(Marker.Aux);
+    Th.BaseStack.pop_back();
+    Th.Values.push_back(ReturnValue);
+  }
+
+  /// Unwinds frames for 'return': emits pending lock releases and atomic
+  /// ends, then completes the call with \p ReturnValue.
+  void unwindForReturn(MachineThread &Th, int64_t ReturnValue) {
+    while (!Th.Frames.empty()) {
+      Frame F = Th.Frames.back();
+      switch (F.Kind) {
+      case FrameKind::CallMarker:
+        popCallMarker(Th, ReturnValue);
+        return;
+      case FrameKind::ReleaseLock:
+        releaseLock(Th, F.Aux);
+        Th.Frames.pop_back();
+        break;
+      case FrameKind::EndAtomic:
+        Result.EventTrace.append(atomicEnd(Th.Id));
+        Th.Frames.pop_back();
+        break;
+      case FrameKind::Stmt:
+      case FrameKind::Expr:
+        Th.Frames.pop_back();
+        break;
+      }
+    }
+    assert(false && "return without an enclosing call marker");
+  }
+
+  void releaseLock(MachineThread &Th, LockId M) {
+    LockRuntime &Lock = LockStates[M];
+    assert(Lock.Held && Lock.Holder == Th.Id && "releasing unheld lock");
+    if (--Lock.Depth == 0) {
+      Lock.Held = false;
+      Result.EventTrace.append(rel(Th.Id, M));
+      wakeBlockedOn(ThreadStatus::BlockedOnLock, M);
+    }
+  }
+
+  //===--------------------------------------------------------------===//
+  // Stepping.
+  //===--------------------------------------------------------------===//
+
+  void step(MachineThread &Th);
+  void stepStmt(MachineThread &Th, Frame &F, const Stmt &S);
+  void stepExpr(MachineThread &Th, Frame &F, const Expr &E);
+
+  /// Evaluates args one per phase; returns true when all are on the
+  /// operand stack (and pops them into \p Out, first arg first).
+  bool collectArgs(MachineThread &Th, Frame &F, const Expr &E,
+                   std::vector<int64_t> &Out) {
+    if (F.Phase < E.Args.size()) {
+      unsigned Next = F.Phase;
+      ++F.Phase;
+      Th.Frames.push_back(Frame::expr(E.Args[Next].get()));
+      return false;
+    }
+    Out.resize(E.Args.size());
+    for (size_t I = E.Args.size(); I-- > 0;)
+      Out[I] = popValue(Th);
+    return true;
+  }
+
+  const Program &P;
+  const InterpOptions &Options;
+  Xoshiro256StarStar Rng;
+  InterpResult Result;
+  bool Failed = false;
+
+  std::vector<std::unique_ptr<MachineThread>> Threads;
+  std::vector<int64_t> Globals;
+  std::vector<int64_t> VolatileValues;
+  std::vector<LockRuntime> LockStates;
+  std::vector<BarrierRuntime> BarrierStates;
+};
+
+void Machine::stepExpr(MachineThread &Th, Frame &F, const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    Th.Values.push_back(E.IntValue);
+    Th.Frames.pop_back();
+    return;
+
+  case ExprKind::VarRef:
+    switch (E.Ref) {
+    case RefKind::Local:
+      Th.Values.push_back(Th.Locals[localsBase(Th) + E.RefIndex]);
+      break;
+    case RefKind::Shared:
+      Result.EventTrace.append(rd(Th.Id, E.RefIndex));
+      Th.Values.push_back(Globals[E.RefIndex]);
+      break;
+    case RefKind::Volatile:
+      Result.EventTrace.append(volRd(Th.Id, E.RefIndex));
+      Th.Values.push_back(VolatileValues[E.RefIndex]);
+      break;
+    case RefKind::SharedArray:
+    case RefKind::Unresolved:
+      fail(E.Line, E.Column, "internal: unresolved variable reference");
+      break;
+    }
+    Th.Frames.pop_back();
+    return;
+
+  case ExprKind::Index: {
+    if (F.Phase == 0) {
+      F.Phase = 1;
+      Th.Frames.push_back(Frame::expr(E.Lhs.get()));
+      return;
+    }
+    int64_t Index = popValue(Th);
+    if (Index < 0 || Index >= static_cast<int64_t>(E.ArraySize)) {
+      fail(E.Line, E.Column,
+           "index " + std::to_string(Index) + " out of bounds for '" +
+               E.Name + "[" + std::to_string(E.ArraySize) + "]'");
+      return;
+    }
+    VarId X = E.RefIndex + static_cast<VarId>(Index);
+    Result.EventTrace.append(rd(Th.Id, X));
+    Th.Values.push_back(Globals[X]);
+    Th.Frames.pop_back();
+    return;
+  }
+
+  case ExprKind::Unary: {
+    if (F.Phase == 0) {
+      F.Phase = 1;
+      Th.Frames.push_back(Frame::expr(E.Lhs.get()));
+      return;
+    }
+    int64_t V = popValue(Th);
+    Th.Values.push_back(E.UOp == UnaryOp::Neg ? -V : (V == 0 ? 1 : 0));
+    Th.Frames.pop_back();
+    return;
+  }
+
+  case ExprKind::Binary: {
+    bool ShortCircuit = E.BOp == BinaryOp::And || E.BOp == BinaryOp::Or;
+    if (F.Phase == 0) {
+      F.Phase = 1;
+      Th.Frames.push_back(Frame::expr(E.Lhs.get()));
+      return;
+    }
+    if (F.Phase == 1) {
+      if (ShortCircuit) {
+        int64_t Lhs = popValue(Th);
+        bool LhsTrue = Lhs != 0;
+        if (E.BOp == BinaryOp::And ? !LhsTrue : LhsTrue) {
+          Th.Values.push_back(LhsTrue ? 1 : 0);
+          Th.Frames.pop_back();
+          return;
+        }
+      }
+      F.Phase = 2;
+      Th.Frames.push_back(Frame::expr(E.Rhs.get()));
+      return;
+    }
+    int64_t Rhs = popValue(Th);
+    if (ShortCircuit) {
+      Th.Values.push_back(Rhs != 0 ? 1 : 0);
+      Th.Frames.pop_back();
+      return;
+    }
+    int64_t Lhs = popValue(Th);
+    int64_t Out = 0;
+    switch (E.BOp) {
+    case BinaryOp::Add:
+      Out = Lhs + Rhs;
+      break;
+    case BinaryOp::Sub:
+      Out = Lhs - Rhs;
+      break;
+    case BinaryOp::Mul:
+      Out = Lhs * Rhs;
+      break;
+    case BinaryOp::Div:
+    case BinaryOp::Mod:
+      if (Rhs == 0) {
+        fail(E.Line, E.Column, "division by zero");
+        return;
+      }
+      Out = E.BOp == BinaryOp::Div ? Lhs / Rhs : Lhs % Rhs;
+      break;
+    case BinaryOp::Lt:
+      Out = Lhs < Rhs;
+      break;
+    case BinaryOp::Le:
+      Out = Lhs <= Rhs;
+      break;
+    case BinaryOp::Gt:
+      Out = Lhs > Rhs;
+      break;
+    case BinaryOp::Ge:
+      Out = Lhs >= Rhs;
+      break;
+    case BinaryOp::Eq:
+      Out = Lhs == Rhs;
+      break;
+    case BinaryOp::Ne:
+      Out = Lhs != Rhs;
+      break;
+    case BinaryOp::And:
+    case BinaryOp::Or:
+      break; // handled above
+    }
+    Th.Values.push_back(Out);
+    Th.Frames.pop_back();
+    return;
+  }
+
+  case ExprKind::Call: {
+    std::vector<int64_t> Args;
+    if (!collectArgs(Th, F, E, Args))
+      return;
+    const Function &Callee = P.Functions[E.CalleeIndex];
+    Th.Frames.pop_back(); // replace the call expression...
+    uint32_t Base = Th.Locals.size();
+    Th.Frames.push_back({FrameKind::CallMarker, nullptr, 0, Base});
+    Th.Locals.resize(Base + Callee.NumLocals, 0);
+    for (size_t I = 0; I != Args.size(); ++I)
+      Th.Locals[Base + I] = Args[I];
+    Th.BaseStack.push_back(Base);
+    Th.Frames.push_back(Frame::stmt(Callee.Body.get()));
+    return;
+  }
+
+  case ExprKind::Spawn: {
+    std::vector<int64_t> Args;
+    if (!collectArgs(Th, F, E, Args))
+      return;
+    int NewTid = spawnThread(E.CalleeIndex, Args, E.Line, E.Column);
+    if (NewTid < 0)
+      return;
+    Result.EventTrace.append(fork(Th.Id, static_cast<ThreadId>(NewTid)));
+    Th.Values.push_back(NewTid);
+    Th.Frames.pop_back();
+    return;
+  }
+  }
+}
+
+void Machine::stepStmt(MachineThread &Th, Frame &F, const Stmt &S) {
+  switch (S.Kind) {
+  case StmtKind::Block:
+    if (F.Phase < S.Stmts.size()) {
+      const Stmt *Next = S.Stmts[F.Phase].get();
+      ++F.Phase;
+      Th.Frames.push_back(Frame::stmt(Next));
+      return;
+    }
+    Th.Frames.pop_back();
+    return;
+
+  case StmtKind::DeclLocal:
+    if (S.Value && F.Phase == 0) {
+      F.Phase = 1;
+      Th.Frames.push_back(Frame::expr(S.Value.get()));
+      return;
+    }
+    Th.Locals[localsBase(Th) + S.RefIndex] = S.Value ? popValue(Th) : 0;
+    Th.Frames.pop_back();
+    return;
+
+  case StmtKind::Assign: {
+    if (F.Phase == 0) {
+      F.Phase = 1;
+      Th.Frames.push_back(Frame::expr(S.Value.get()));
+      return;
+    }
+    const Expr &Target = *S.Target;
+    if (Target.Kind == ExprKind::VarRef) {
+      int64_t V = popValue(Th);
+      switch (Target.Ref) {
+      case RefKind::Local:
+        Th.Locals[localsBase(Th) + Target.RefIndex] = V;
+        break;
+      case RefKind::Shared:
+        Result.EventTrace.append(wr(Th.Id, Target.RefIndex));
+        Globals[Target.RefIndex] = V;
+        break;
+      case RefKind::Volatile:
+        Result.EventTrace.append(volWr(Th.Id, Target.RefIndex));
+        VolatileValues[Target.RefIndex] = V;
+        break;
+      case RefKind::SharedArray:
+      case RefKind::Unresolved:
+        fail(Target.Line, Target.Column,
+             "internal: unresolved assignment target");
+        break;
+      }
+      Th.Frames.pop_back();
+      return;
+    }
+    // Array element: evaluate the subscript, then store.
+    if (F.Phase == 1) {
+      F.Phase = 2;
+      Th.Frames.push_back(Frame::expr(Target.Lhs.get()));
+      return;
+    }
+    int64_t Index = popValue(Th);
+    int64_t V = popValue(Th);
+    if (Index < 0 || Index >= static_cast<int64_t>(Target.ArraySize)) {
+      fail(Target.Line, Target.Column,
+           "index " + std::to_string(Index) + " out of bounds for '" +
+               Target.Name + "[" + std::to_string(Target.ArraySize) + "]'");
+      return;
+    }
+    VarId X = Target.RefIndex + static_cast<VarId>(Index);
+    Result.EventTrace.append(wr(Th.Id, X));
+    Globals[X] = V;
+    Th.Frames.pop_back();
+    return;
+  }
+
+  case StmtKind::If:
+    if (F.Phase == 0) {
+      F.Phase = 1;
+      Th.Frames.push_back(Frame::expr(S.Value.get()));
+      return;
+    }
+    {
+      int64_t Cond = popValue(Th);
+      Th.Frames.pop_back();
+      if (Cond != 0)
+        Th.Frames.push_back(Frame::stmt(S.Body.get()));
+      else if (S.Else)
+        Th.Frames.push_back(Frame::stmt(S.Else.get()));
+    }
+    return;
+
+  case StmtKind::While:
+    if (F.Phase == 0) {
+      F.Phase = 1;
+      Th.Frames.push_back(Frame::expr(S.Value.get()));
+      return;
+    }
+    if (popValue(Th) != 0) {
+      F.Phase = 0; // re-test after the body
+      Th.Frames.push_back(Frame::stmt(S.Body.get()));
+      return;
+    }
+    Th.Frames.pop_back();
+    return;
+
+  case StmtKind::Sync: {
+    LockRuntime &Lock = LockStates[S.RefIndex];
+    if (Lock.Held && Lock.Holder != Th.Id) {
+      Th.Status = ThreadStatus::BlockedOnLock;
+      Th.WaitTarget = S.RefIndex;
+      return; // frame stays; retried once the lock frees up
+    }
+    if (!Lock.Held) {
+      Lock.Held = true;
+      Lock.Holder = Th.Id;
+      Lock.Depth = 1;
+      Result.EventTrace.append(acq(Th.Id, S.RefIndex));
+    } else {
+      ++Lock.Depth; // re-entrant: no event (RoadRunner filters these)
+    }
+    const Stmt *Body = S.Body.get();
+    Th.Frames.pop_back();
+    Th.Frames.push_back({FrameKind::ReleaseLock, nullptr, 0, S.RefIndex});
+    Th.Frames.push_back(Frame::stmt(Body));
+    return;
+  }
+
+  case StmtKind::Atomic: {
+    Result.EventTrace.append(atomicBegin(Th.Id));
+    const Stmt *Body = S.Body.get();
+    Th.Frames.pop_back();
+    Th.Frames.push_back({FrameKind::EndAtomic, nullptr, 0, 0});
+    Th.Frames.push_back(Frame::stmt(Body));
+    return;
+  }
+
+  case StmtKind::Join: {
+    if (F.Phase == 0) {
+      F.Phase = 1;
+      Th.Frames.push_back(Frame::expr(S.Value.get()));
+      return;
+    }
+    int64_t Target = Th.Values.back(); // keep until unblocked
+    if (Target < 0 || Target >= static_cast<int64_t>(Threads.size())) {
+      fail(S.Line, S.Column,
+           "join of invalid thread handle " + std::to_string(Target));
+      return;
+    }
+    if (Target == Th.Id) {
+      fail(S.Line, S.Column, "thread joins itself");
+      return;
+    }
+    MachineThread &Other = *Threads[Target];
+    if (Other.Status != ThreadStatus::Finished) {
+      Th.Status = ThreadStatus::BlockedOnJoin;
+      Th.WaitTarget = static_cast<uint32_t>(Target);
+      return;
+    }
+    popValue(Th);
+    if (!Other.Joined) {
+      Other.Joined = true;
+      Result.EventTrace.append(join(Th.Id, Other.Id));
+    }
+    Th.Frames.pop_back();
+    return;
+  }
+
+  case StmtKind::Await: {
+    BarrierRuntime &Barrier = BarrierStates[S.RefIndex];
+    const BarrierDecl &Decl = P.Barriers[S.RefIndex];
+    if (F.Phase == 1) { // woken up after the barrier fired
+      Th.Frames.pop_back();
+      return;
+    }
+    F.Phase = 1;
+    Barrier.Waiting.push_back(Th.Id);
+    if (Barrier.Waiting.size() < Decl.Arity) {
+      Th.Status = ThreadStatus::AtBarrier;
+      Th.WaitTarget = S.RefIndex;
+      return;
+    }
+    // Last arriver: release everyone.
+    Result.EventTrace.appendBarrier(Barrier.Waiting);
+    for (ThreadId Waiter : Barrier.Waiting)
+      Threads[Waiter]->Status = ThreadStatus::Runnable;
+    Barrier.Waiting.clear();
+    Th.Frames.pop_back();
+    return;
+  }
+
+  case StmtKind::Wait: {
+    LockRuntime &Lock = LockStates[S.RefIndex];
+    if (F.Phase == 0) {
+      // Entry: must hold the lock; release it fully (emitting the rel
+      // event of the paper's wait modelling) and park.
+      if (!Lock.Held || Lock.Holder != Th.Id) {
+        fail(S.Line, S.Column,
+             "wait on lock not held by the current thread");
+        return;
+      }
+      F.Phase = 1;
+      F.Aux = Lock.Depth; // restore the re-entrancy level on wake-up
+      Lock.Held = false;
+      Lock.Depth = 0;
+      Result.EventTrace.append(rel(Th.Id, S.RefIndex));
+      Lock.WaitQueue.push_back(Th.Id);
+      Th.Status = ThreadStatus::WaitingNotify;
+      Th.WaitTarget = S.RefIndex;
+      wakeBlockedOn(ThreadStatus::BlockedOnLock, S.RefIndex);
+      return;
+    }
+    // Notified: reacquire the lock ("the subsequent acquisition").
+    if (Lock.Held && Lock.Holder != Th.Id) {
+      Th.Status = ThreadStatus::BlockedOnLock;
+      Th.WaitTarget = S.RefIndex;
+      return;
+    }
+    Lock.Held = true;
+    Lock.Holder = Th.Id;
+    Lock.Depth = F.Aux;
+    Result.EventTrace.append(acq(Th.Id, S.RefIndex));
+    Th.Frames.pop_back();
+    return;
+  }
+
+  case StmtKind::Notify:
+  case StmtKind::NotifyAll: {
+    // Notify "affects scheduling of threads but does not induce any
+    // happens-before edges" (Section 4) — no event is emitted.
+    LockRuntime &Lock = LockStates[S.RefIndex];
+    if (!Lock.Held || Lock.Holder != Th.Id) {
+      fail(S.Line, S.Column,
+           "notify on lock not held by the current thread");
+      return;
+    }
+    unsigned Count = S.Kind == StmtKind::Notify
+                         ? std::min<size_t>(1, Lock.WaitQueue.size())
+                         : Lock.WaitQueue.size();
+    for (unsigned I = 0; I != Count; ++I) {
+      ThreadId Waiter = Lock.WaitQueue[I];
+      // Woken threads contend for the lock once the notifier releases.
+      Threads[Waiter]->Status = ThreadStatus::BlockedOnLock;
+      Threads[Waiter]->WaitTarget = S.RefIndex;
+    }
+    Lock.WaitQueue.erase(Lock.WaitQueue.begin(),
+                         Lock.WaitQueue.begin() + Count);
+    Th.Frames.pop_back();
+    return;
+  }
+
+  case StmtKind::Print:
+    if (F.Phase == 0) {
+      F.Phase = 1;
+      Th.Frames.push_back(Frame::expr(S.Value.get()));
+      return;
+    }
+    Result.Output += std::to_string(popValue(Th));
+    Result.Output += '\n';
+    Th.Frames.pop_back();
+    return;
+
+  case StmtKind::Return:
+    if (S.Value && F.Phase == 0) {
+      F.Phase = 1;
+      Th.Frames.push_back(Frame::expr(S.Value.get()));
+      return;
+    }
+    {
+      int64_t V = S.Value ? popValue(Th) : 0;
+      Th.Frames.pop_back();
+      unwindForReturn(Th, V);
+    }
+    return;
+
+  case StmtKind::ExprStmt:
+    if (F.Phase == 0) {
+      F.Phase = 1;
+      Th.Frames.push_back(Frame::expr(S.Value.get()));
+      return;
+    }
+    popValue(Th); // discard the statement's value
+    Th.Frames.pop_back();
+    return;
+  }
+}
+
+void Machine::step(MachineThread &Th) {
+  assert(!Th.Frames.empty() && "stepping a finished thread");
+  Frame &F = Th.Frames.back();
+  switch (F.Kind) {
+  case FrameKind::Stmt:
+    stepStmt(Th, F, *static_cast<const Stmt *>(F.Node));
+    return;
+  case FrameKind::Expr:
+    stepExpr(Th, F, *static_cast<const Expr *>(F.Node));
+    return;
+  case FrameKind::CallMarker:
+    popCallMarker(Th, 0); // implicit 'return 0' at end of body
+    return;
+  case FrameKind::ReleaseLock:
+    releaseLock(Th, F.Aux);
+    Th.Frames.pop_back();
+    return;
+  case FrameKind::EndAtomic:
+    Result.EventTrace.append(atomicEnd(Th.Id));
+    Th.Frames.pop_back();
+    return;
+  }
+}
+
+InterpResult Machine::run() {
+  Globals.assign(P.NumVarIds, 0);
+  VolatileValues.assign(P.Volatiles.size(), 0);
+  LockStates.assign(P.Locks.size(), LockRuntime());
+  BarrierStates.assign(P.Barriers.size(), BarrierRuntime());
+
+  assert(P.MainIndex >= 0 && "program must be resolved");
+  spawnThread(static_cast<uint32_t>(P.MainIndex), {}, 0, 0);
+
+  size_t Current = 0;
+  while (!Failed) {
+    // Retire finished threads and gather the runnable set.
+    std::vector<size_t> Runnable;
+    bool AnyUnfinished = false;
+    for (size_t I = 0; I != Threads.size(); ++I) {
+      MachineThread &Th = *Threads[I];
+      if (Th.Status == ThreadStatus::Finished)
+        continue;
+      if (Th.Frames.empty()) {
+        Th.Status = ThreadStatus::Finished;
+        wakeBlockedOn(ThreadStatus::BlockedOnJoin, Th.Id);
+        // A joiner may have just become runnable; recompute from scratch.
+        Runnable.clear();
+        I = static_cast<size_t>(-1);
+        AnyUnfinished = false;
+        continue;
+      }
+      AnyUnfinished = true;
+      if (Th.Status == ThreadStatus::Runnable)
+        Runnable.push_back(I);
+    }
+    if (!AnyUnfinished)
+      break; // all done
+    if (Runnable.empty()) {
+      fail(0, 0, "deadlock: every live thread is blocked");
+      break;
+    }
+    if (Result.Steps >= Options.MaxSteps) {
+      fail(0, 0, "step budget exceeded (" +
+                     std::to_string(Options.MaxSteps) + ")");
+      break;
+    }
+
+    // Keep running the current thread unless it blocked/finished or the
+    // scheduler decides to preempt.
+    bool CurrentRunnable = false;
+    for (size_t I : Runnable)
+      CurrentRunnable |= I == Current;
+    if (!CurrentRunnable || Rng.nextBool(Options.SwitchProbability))
+      Current = Runnable[Rng.nextBelow(Runnable.size())];
+
+    ++Result.Steps;
+    step(*Threads[Current]);
+  }
+
+  Result.Ok = !Failed;
+  return Result;
+}
+
+} // namespace
+
+InterpResult ft::lang::interpret(const Program &P,
+                                 const InterpOptions &Options) {
+  Machine M(P, Options);
+  return M.run();
+}
+
+InterpResult ft::lang::runSource(std::string_view Source,
+                                 std::vector<Diag> &Diags,
+                                 const InterpOptions &Options) {
+  Program P;
+  if (!compileProgram(Source, P, Diags)) {
+    InterpResult Result;
+    Result.Ok = false;
+    if (!Diags.empty())
+      Result.Error = Diags.front();
+    return Result;
+  }
+  return interpret(P, Options);
+}

@@ -1,0 +1,67 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniConc interpreter: a small-step abstract machine with one
+/// explicit control stack per thread, driven by a deterministic seeded
+/// scheduler. Every shared-memory and synchronization action emits one
+/// trace operation, so running a program yields exactly the event stream
+/// (Figure 1 of the paper) that RoadRunner's bytecode instrumentation
+/// would produce — this is the repository's substitute for the JVM
+/// substrate (see DESIGN.md).
+///
+/// Determinism: given the same program, seed, and options, the produced
+/// trace, output, and step count are identical. Different seeds yield
+/// different interleavings, which is how the tests explore schedules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_LANG_INTERP_H
+#define FASTTRACK_LANG_INTERP_H
+
+#include "lang/Ast.h"
+#include "trace/Trace.h"
+
+#include <string>
+
+namespace ft::lang {
+
+/// Scheduler and resource limits.
+struct InterpOptions {
+  uint64_t Seed = 1;
+
+  /// Probability of a context switch at each step boundary.
+  double SwitchProbability = 0.3;
+
+  /// Abort after this many machine steps (runaway-loop guard).
+  uint64_t MaxSteps = 50'000'000;
+
+  /// Maximum threads ever spawned; bounded by the 8-bit epoch tid space.
+  unsigned MaxThreads = 250;
+};
+
+/// Result of one interpretation.
+struct InterpResult {
+  bool Ok = false;
+  Diag Error;          ///< Valid when !Ok (runtime error, deadlock, ...).
+  Trace EventTrace;    ///< The emitted operation stream.
+  std::string Output;  ///< Concatenated 'print' lines.
+  uint64_t Steps = 0;  ///< Machine steps executed.
+};
+
+/// Runs \p P under the scheduler in \p Options. \p P must have been
+/// successfully resolved (see Sema.h).
+InterpResult interpret(const Program &P,
+                       const InterpOptions &Options = InterpOptions());
+
+/// Convenience: compile and run \p Source. Compile-time diagnostics are
+/// returned through \p Diags with Ok == false.
+InterpResult runSource(std::string_view Source, std::vector<Diag> &Diags,
+                       const InterpOptions &Options = InterpOptions());
+
+} // namespace ft::lang
+
+#endif // FASTTRACK_LANG_INTERP_H

@@ -1,0 +1,329 @@
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <utility>
+
+using namespace ft::lang;
+
+const char *ft::lang::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::KwShared:
+    return "'shared'";
+  case TokenKind::KwVolatile:
+    return "'volatile'";
+  case TokenKind::KwLock:
+    return "'lock'";
+  case TokenKind::KwBarrier:
+    return "'barrier'";
+  case TokenKind::KwFn:
+    return "'fn'";
+  case TokenKind::KwLocal:
+    return "'local'";
+  case TokenKind::KwLet:
+    return "'let'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwSync:
+    return "'sync'";
+  case TokenKind::KwAtomic:
+    return "'atomic'";
+  case TokenKind::KwSpawn:
+    return "'spawn'";
+  case TokenKind::KwJoin:
+    return "'join'";
+  case TokenKind::KwAwait:
+    return "'await'";
+  case TokenKind::KwWait:
+    return "'wait'";
+  case TokenKind::KwNotify:
+    return "'notify'";
+  case TokenKind::KwNotifyAll:
+    return "'notifyall'";
+  case TokenKind::KwPrint:
+    return "'print'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Lt:
+    return "'<'";
+  case TokenKind::Le:
+    return "'<='";
+  case TokenKind::Gt:
+    return "'>'";
+  case TokenKind::Ge:
+    return "'>='";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::AndAnd:
+    return "'&&'";
+  case TokenKind::OrOr:
+    return "'||'";
+  case TokenKind::Not:
+    return "'!'";
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  }
+  return "?";
+}
+
+namespace {
+
+struct KeywordEntry {
+  const char *Name;
+  TokenKind Kind;
+};
+
+const KeywordEntry Keywords[] = {
+    {"shared", TokenKind::KwShared},   {"volatile", TokenKind::KwVolatile},
+    {"lock", TokenKind::KwLock},       {"barrier", TokenKind::KwBarrier},
+    {"fn", TokenKind::KwFn},           {"local", TokenKind::KwLocal},
+    {"let", TokenKind::KwLet},         {"if", TokenKind::KwIf},
+    {"else", TokenKind::KwElse},       {"while", TokenKind::KwWhile},
+    {"sync", TokenKind::KwSync},       {"atomic", TokenKind::KwAtomic},
+    {"spawn", TokenKind::KwSpawn},     {"join", TokenKind::KwJoin},
+    {"await", TokenKind::KwAwait},     {"print", TokenKind::KwPrint},
+    {"wait", TokenKind::KwWait},       {"notify", TokenKind::KwNotify},
+    {"notifyall", TokenKind::KwNotifyAll},
+    {"return", TokenKind::KwReturn},
+};
+
+class LexerImpl {
+public:
+  explicit LexerImpl(std::string_view Source) : Source(Source) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Tokens;
+    while (true) {
+      Token Tok = next();
+      bool AtEnd = Tok.Kind == TokenKind::Eof;
+      Tokens.push_back(std::move(Tok));
+      if (AtEnd)
+        break;
+    }
+    return Tokens;
+  }
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+
+  char advance() {
+    char C = Source[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Column = 1;
+    } else {
+      ++Column;
+    }
+    return C;
+  }
+
+  bool skipTrivia(Token &ErrorOut) {
+    while (Pos < Source.size()) {
+      char C = peek();
+      if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+        advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '/') {
+        while (Pos < Source.size() && peek() != '\n')
+          advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '*') {
+        unsigned StartLine = Line, StartColumn = Column;
+        advance();
+        advance();
+        while (Pos < Source.size() && !(peek() == '*' && peek(1) == '/'))
+          advance();
+        if (Pos >= Source.size()) {
+          ErrorOut = makeToken(TokenKind::Error, StartLine, StartColumn);
+          ErrorOut.Text = "unterminated block comment";
+          return false;
+        }
+        advance();
+        advance();
+        continue;
+      }
+      break;
+    }
+    return true;
+  }
+
+  Token makeToken(TokenKind Kind, unsigned TokLine, unsigned TokColumn) {
+    Token Tok;
+    Tok.Kind = Kind;
+    Tok.Line = TokLine;
+    Tok.Column = TokColumn;
+    return Tok;
+  }
+
+  Token next() {
+    Token ErrorTok;
+    if (!skipTrivia(ErrorTok))
+      return ErrorTok;
+    if (Pos >= Source.size())
+      return makeToken(TokenKind::Eof, Line, Column);
+
+    unsigned TokLine = Line, TokColumn = Column;
+    char C = advance();
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Name(1, C);
+      while (std::isalnum(static_cast<unsigned char>(peek())) ||
+             peek() == '_')
+        Name += advance();
+      for (const KeywordEntry &Entry : Keywords)
+        if (Name == Entry.Name)
+          return makeToken(Entry.Kind, TokLine, TokColumn);
+      Token Tok = makeToken(TokenKind::Identifier, TokLine, TokColumn);
+      Tok.Text = std::move(Name);
+      return Tok;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      int64_t Value = C - '0';
+      bool Overflow = false;
+      std::string Spelling(1, C);
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        char D = advance();
+        Spelling += D;
+        if (Value > (INT64_MAX - (D - '0')) / 10)
+          Overflow = true;
+        else
+          Value = Value * 10 + (D - '0');
+      }
+      if (Overflow) {
+        Token Tok = makeToken(TokenKind::Error, TokLine, TokColumn);
+        Tok.Text = "integer literal '" + Spelling + "' overflows";
+        return Tok;
+      }
+      Token Tok = makeToken(TokenKind::IntLiteral, TokLine, TokColumn);
+      Tok.Text = std::move(Spelling);
+      Tok.IntValue = Value;
+      return Tok;
+    }
+
+    auto simple = [&](TokenKind Kind) { return makeToken(Kind, TokLine, TokColumn); };
+    switch (C) {
+    case '(':
+      return simple(TokenKind::LParen);
+    case ')':
+      return simple(TokenKind::RParen);
+    case '{':
+      return simple(TokenKind::LBrace);
+    case '}':
+      return simple(TokenKind::RBrace);
+    case '[':
+      return simple(TokenKind::LBracket);
+    case ']':
+      return simple(TokenKind::RBracket);
+    case ',':
+      return simple(TokenKind::Comma);
+    case ';':
+      return simple(TokenKind::Semicolon);
+    case '+':
+      return simple(TokenKind::Plus);
+    case '-':
+      return simple(TokenKind::Minus);
+    case '*':
+      return simple(TokenKind::Star);
+    case '/':
+      return simple(TokenKind::Slash);
+    case '%':
+      return simple(TokenKind::Percent);
+    case '=':
+      if (peek() == '=') {
+        advance();
+        return simple(TokenKind::EqEq);
+      }
+      return simple(TokenKind::Assign);
+    case '<':
+      if (peek() == '=') {
+        advance();
+        return simple(TokenKind::Le);
+      }
+      return simple(TokenKind::Lt);
+    case '>':
+      if (peek() == '=') {
+        advance();
+        return simple(TokenKind::Ge);
+      }
+      return simple(TokenKind::Gt);
+    case '!':
+      if (peek() == '=') {
+        advance();
+        return simple(TokenKind::NotEq);
+      }
+      return simple(TokenKind::Not);
+    case '&':
+      if (peek() == '&') {
+        advance();
+        return simple(TokenKind::AndAnd);
+      }
+      break;
+    case '|':
+      if (peek() == '|') {
+        advance();
+        return simple(TokenKind::OrOr);
+      }
+      break;
+    default:
+      break;
+    }
+    Token Tok = makeToken(TokenKind::Error, TokLine, TokColumn);
+    Tok.Text = std::string("unexpected character '") + C + "'";
+    return Tok;
+  }
+
+  std::string_view Source;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+};
+
+} // namespace
+
+std::vector<Token> ft::lang::lex(std::string_view Source) {
+  return LexerImpl(Source).run();
+}

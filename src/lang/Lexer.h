@@ -1,0 +1,29 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for MiniConc. Supports '//' line comments and
+/// '/* */' block comments; integers are decimal 64-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_LANG_LEXER_H
+#define FASTTRACK_LANG_LEXER_H
+
+#include "lang/Token.h"
+
+#include <string_view>
+#include <vector>
+
+namespace ft::lang {
+
+/// Lexes a whole source buffer into a token vector ending with Eof.
+/// Lexical errors become Error tokens (the parser reports them).
+std::vector<Token> lex(std::string_view Source);
+
+} // namespace ft::lang
+
+#endif // FASTTRACK_LANG_LEXER_H

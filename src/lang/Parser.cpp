@@ -1,0 +1,545 @@
+#include "lang/Parser.h"
+
+#include "lang/Lexer.h"
+
+#include <cassert>
+
+using namespace ft::lang;
+
+std::string ft::lang::toString(const Diag &D) {
+  return std::to_string(D.Line) + ":" + std::to_string(D.Column) + ": " +
+         D.Message;
+}
+
+namespace {
+
+/// Binding powers for the precedence climber.
+int binaryPrecedence(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::OrOr:
+    return 1;
+  case TokenKind::AndAnd:
+    return 2;
+  case TokenKind::EqEq:
+  case TokenKind::NotEq:
+    return 3;
+  case TokenKind::Lt:
+  case TokenKind::Le:
+  case TokenKind::Gt:
+  case TokenKind::Ge:
+    return 4;
+  case TokenKind::Plus:
+  case TokenKind::Minus:
+    return 5;
+  case TokenKind::Star:
+  case TokenKind::Slash:
+  case TokenKind::Percent:
+    return 6;
+  default:
+    return 0;
+  }
+}
+
+BinaryOp binaryOpFor(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::OrOr:
+    return BinaryOp::Or;
+  case TokenKind::AndAnd:
+    return BinaryOp::And;
+  case TokenKind::EqEq:
+    return BinaryOp::Eq;
+  case TokenKind::NotEq:
+    return BinaryOp::Ne;
+  case TokenKind::Lt:
+    return BinaryOp::Lt;
+  case TokenKind::Le:
+    return BinaryOp::Le;
+  case TokenKind::Gt:
+    return BinaryOp::Gt;
+  case TokenKind::Ge:
+    return BinaryOp::Ge;
+  case TokenKind::Plus:
+    return BinaryOp::Add;
+  case TokenKind::Minus:
+    return BinaryOp::Sub;
+  case TokenKind::Star:
+    return BinaryOp::Mul;
+  case TokenKind::Slash:
+    return BinaryOp::Div;
+  case TokenKind::Percent:
+    return BinaryOp::Mod;
+  default:
+    assert(false && "not a binary operator token");
+    return BinaryOp::Add;
+  }
+}
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, Program &Out, std::vector<Diag> &Diags)
+      : Tokens(std::move(Tokens)), Out(Out), Diags(Diags) {}
+
+  void run() {
+    while (!at(TokenKind::Eof)) {
+      size_t Before = Pos;
+      parseTopLevel();
+      if (Pos == Before)
+        advance(); // ensure progress on malformed input
+    }
+  }
+
+private:
+  //===--------------------------------------------------------------===//
+  // Token helpers.
+  //===--------------------------------------------------------------===//
+
+  const Token &peek() const { return Tokens[Pos]; }
+  bool at(TokenKind Kind) const { return peek().Kind == Kind; }
+
+  const Token &advance() {
+    const Token &Tok = Tokens[Pos];
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+    return Tok;
+  }
+
+  bool accept(TokenKind Kind) {
+    if (!at(Kind))
+      return false;
+    advance();
+    return true;
+  }
+
+  /// Consumes \p Kind or reports an error (returning false).
+  bool expect(TokenKind Kind, const char *Context) {
+    if (accept(Kind))
+      return true;
+    error(peek(), std::string("expected ") + tokenKindName(Kind) + " " +
+                      Context + ", found " + tokenKindName(peek().Kind));
+    return false;
+  }
+
+  void error(const Token &Tok, std::string Message) {
+    if (Tok.Kind == TokenKind::Error)
+      Message = Tok.Text; // surface the lexer's message
+    Diags.push_back({Tok.Line, Tok.Column, std::move(Message)});
+  }
+
+  /// Skips ahead to a statement/declaration boundary after an error.
+  void synchronize() {
+    while (!at(TokenKind::Eof)) {
+      if (accept(TokenKind::Semicolon))
+        return;
+      if (at(TokenKind::RBrace) || at(TokenKind::KwFn))
+        return;
+      advance();
+    }
+  }
+
+  //===--------------------------------------------------------------===//
+  // Declarations.
+  //===--------------------------------------------------------------===//
+
+  void parseTopLevel() {
+    const Token &Tok = peek();
+    switch (Tok.Kind) {
+    case TokenKind::KwShared:
+      parseSharedDecl();
+      return;
+    case TokenKind::KwVolatile:
+      parseSimpleDecl(TokenKind::KwVolatile);
+      return;
+    case TokenKind::KwLock:
+      parseSimpleDecl(TokenKind::KwLock);
+      return;
+    case TokenKind::KwBarrier:
+      parseBarrierDecl();
+      return;
+    case TokenKind::KwFn:
+      parseFunction();
+      return;
+    default:
+      error(Tok, "expected a declaration ('shared', 'volatile', 'lock', "
+                 "'barrier', or 'fn'), found " +
+                     std::string(tokenKindName(Tok.Kind)));
+      synchronize();
+      return;
+    }
+  }
+
+  void parseSharedDecl() {
+    unsigned Line = peek().Line;
+    advance(); // shared
+    if (!at(TokenKind::Identifier)) {
+      error(peek(), "expected variable name after 'shared'");
+      synchronize();
+      return;
+    }
+    GlobalVar Var;
+    Var.Name = advance().Text;
+    Var.Line = Line;
+    if (accept(TokenKind::LBracket)) {
+      if (!at(TokenKind::IntLiteral) || peek().IntValue <= 0) {
+        error(peek(), "array size must be a positive integer literal");
+        synchronize();
+        return;
+      }
+      Var.Size = static_cast<uint32_t>(advance().IntValue);
+      expect(TokenKind::RBracket, "after array size");
+    }
+    expect(TokenKind::Semicolon, "after 'shared' declaration");
+    Out.Globals.push_back(std::move(Var));
+  }
+
+  void parseSimpleDecl(TokenKind Keyword) {
+    unsigned Line = peek().Line;
+    advance(); // volatile / lock
+    if (!at(TokenKind::Identifier)) {
+      error(peek(), "expected name in declaration");
+      synchronize();
+      return;
+    }
+    std::string Name = advance().Text;
+    expect(TokenKind::Semicolon, "after declaration");
+    if (Keyword == TokenKind::KwVolatile)
+      Out.Volatiles.push_back({std::move(Name), 0, Line});
+    else
+      Out.Locks.push_back({std::move(Name), 0, Line});
+  }
+
+  void parseBarrierDecl() {
+    unsigned Line = peek().Line;
+    advance(); // barrier
+    if (!at(TokenKind::Identifier)) {
+      error(peek(), "expected barrier name");
+      synchronize();
+      return;
+    }
+    BarrierDecl Decl;
+    Decl.Name = advance().Text;
+    Decl.Line = Line;
+    if (expect(TokenKind::LParen, "after barrier name")) {
+      if (!at(TokenKind::IntLiteral) || peek().IntValue < 2) {
+        error(peek(), "barrier arity must be an integer literal >= 2");
+        synchronize();
+        return;
+      }
+      Decl.Arity = static_cast<uint32_t>(advance().IntValue);
+      expect(TokenKind::RParen, "after barrier arity");
+    }
+    expect(TokenKind::Semicolon, "after barrier declaration");
+    Out.Barriers.push_back(std::move(Decl));
+  }
+
+  void parseFunction() {
+    Function Fn;
+    Fn.Line = peek().Line;
+    advance(); // fn
+    if (!at(TokenKind::Identifier)) {
+      error(peek(), "expected function name after 'fn'");
+      synchronize();
+      return;
+    }
+    Fn.Name = advance().Text;
+    if (expect(TokenKind::LParen, "after function name") &&
+        !accept(TokenKind::RParen)) {
+      do {
+        if (!at(TokenKind::Identifier)) {
+          error(peek(), "expected parameter name");
+          break;
+        }
+        Fn.Params.push_back(advance().Text);
+      } while (accept(TokenKind::Comma));
+      expect(TokenKind::RParen, "after parameter list");
+    }
+    Fn.Body = parseBlock();
+    Out.Functions.push_back(std::move(Fn));
+  }
+
+  //===--------------------------------------------------------------===//
+  // Statements.
+  //===--------------------------------------------------------------===//
+
+  StmtPtr makeStmt(StmtKind Kind) {
+    auto S = std::make_unique<Stmt>(Kind);
+    S->Line = peek().Line;
+    S->Column = peek().Column;
+    return S;
+  }
+
+  StmtPtr parseBlock() {
+    auto Block = makeStmt(StmtKind::Block);
+    if (!expect(TokenKind::LBrace, "to open a block"))
+      return Block;
+    while (!at(TokenKind::RBrace) && !at(TokenKind::Eof)) {
+      size_t Before = Pos;
+      if (StmtPtr S = parseStatement())
+        Block->Stmts.push_back(std::move(S));
+      if (Pos == Before)
+        advance();
+    }
+    expect(TokenKind::RBrace, "to close the block");
+    return Block;
+  }
+
+  StmtPtr parseStatement() {
+    switch (peek().Kind) {
+    case TokenKind::LBrace:
+      return parseBlock();
+    case TokenKind::KwLocal:
+    case TokenKind::KwLet:
+      return parseDeclLocal();
+    case TokenKind::KwIf:
+      return parseIf();
+    case TokenKind::KwWhile:
+      return parseWhile();
+    case TokenKind::KwSync:
+      return parseSync();
+    case TokenKind::KwAtomic: {
+      auto S = makeStmt(StmtKind::Atomic);
+      advance();
+      S->Body = parseBlock();
+      return S;
+    }
+    case TokenKind::KwJoin: {
+      auto S = makeStmt(StmtKind::Join);
+      advance();
+      S->Value = parseExpr();
+      expect(TokenKind::Semicolon, "after 'join'");
+      return S;
+    }
+    case TokenKind::KwAwait: {
+      auto S = makeStmt(StmtKind::Await);
+      advance();
+      if (at(TokenKind::Identifier))
+        S->Name = advance().Text;
+      else
+        error(peek(), "expected barrier name after 'await'");
+      expect(TokenKind::Semicolon, "after 'await'");
+      return S;
+    }
+    case TokenKind::KwWait:
+    case TokenKind::KwNotify:
+    case TokenKind::KwNotifyAll: {
+      TokenKind Kw = peek().Kind;
+      auto S = makeStmt(Kw == TokenKind::KwWait     ? StmtKind::Wait
+                        : Kw == TokenKind::KwNotify ? StmtKind::Notify
+                                                    : StmtKind::NotifyAll);
+      advance();
+      if (at(TokenKind::Identifier))
+        S->Name = advance().Text;
+      else
+        error(peek(), std::string("expected lock name after ") +
+                          tokenKindName(Kw));
+      expect(TokenKind::Semicolon, "after wait/notify");
+      return S;
+    }
+    case TokenKind::KwPrint: {
+      auto S = makeStmt(StmtKind::Print);
+      advance();
+      S->Value = parseExpr();
+      expect(TokenKind::Semicolon, "after 'print'");
+      return S;
+    }
+    case TokenKind::KwReturn: {
+      auto S = makeStmt(StmtKind::Return);
+      advance();
+      if (!at(TokenKind::Semicolon))
+        S->Value = parseExpr();
+      expect(TokenKind::Semicolon, "after 'return'");
+      return S;
+    }
+    default:
+      return parseAssignOrExprStatement();
+    }
+  }
+
+  StmtPtr parseDeclLocal() {
+    auto S = makeStmt(StmtKind::DeclLocal);
+    advance(); // local / let
+    if (!at(TokenKind::Identifier)) {
+      error(peek(), "expected name after 'local'/'let'");
+      synchronize();
+      return S;
+    }
+    S->Name = advance().Text;
+    if (accept(TokenKind::Assign))
+      S->Value = parseExpr();
+    expect(TokenKind::Semicolon, "after local declaration");
+    return S;
+  }
+
+  StmtPtr parseIf() {
+    auto S = makeStmt(StmtKind::If);
+    advance(); // if
+    expect(TokenKind::LParen, "after 'if'");
+    S->Value = parseExpr();
+    expect(TokenKind::RParen, "after condition");
+    S->Body = parseBlock();
+    if (accept(TokenKind::KwElse)) {
+      if (at(TokenKind::KwIf))
+        S->Else = parseIf(); // else-if chain
+      else
+        S->Else = parseBlock();
+    }
+    return S;
+  }
+
+  StmtPtr parseWhile() {
+    auto S = makeStmt(StmtKind::While);
+    advance(); // while
+    expect(TokenKind::LParen, "after 'while'");
+    S->Value = parseExpr();
+    expect(TokenKind::RParen, "after condition");
+    S->Body = parseBlock();
+    return S;
+  }
+
+  StmtPtr parseSync() {
+    auto S = makeStmt(StmtKind::Sync);
+    advance(); // sync
+    expect(TokenKind::LParen, "after 'sync'");
+    if (at(TokenKind::Identifier))
+      S->Name = advance().Text;
+    else
+      error(peek(), "expected lock name in 'sync'");
+    expect(TokenKind::RParen, "after lock name");
+    S->Body = parseBlock();
+    return S;
+  }
+
+  StmtPtr parseAssignOrExprStatement() {
+    ExprPtr E = parseExpr();
+    if (accept(TokenKind::Assign)) {
+      auto S = makeStmt(StmtKind::Assign);
+      if (E && E->Kind != ExprKind::VarRef && E->Kind != ExprKind::Index)
+        error(peek(), "assignment target must be a variable or array "
+                      "element");
+      S->Target = std::move(E);
+      S->Value = parseExpr();
+      expect(TokenKind::Semicolon, "after assignment");
+      return S;
+    }
+    auto S = makeStmt(StmtKind::ExprStmt);
+    S->Value = std::move(E);
+    expect(TokenKind::Semicolon, "after expression statement");
+    return S;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Expressions (precedence climbing).
+  //===--------------------------------------------------------------===//
+
+  ExprPtr makeExpr(ExprKind Kind, const Token &Tok) {
+    auto E = std::make_unique<Expr>(Kind);
+    E->Line = Tok.Line;
+    E->Column = Tok.Column;
+    return E;
+  }
+
+  ExprPtr parseExpr(int MinPrecedence = 1) {
+    ExprPtr Lhs = parseUnary();
+    while (true) {
+      int Precedence = binaryPrecedence(peek().Kind);
+      if (Precedence < MinPrecedence)
+        return Lhs;
+      Token OpTok = advance();
+      ExprPtr Rhs = parseExpr(Precedence + 1);
+      auto E = makeExpr(ExprKind::Binary, OpTok);
+      E->BOp = binaryOpFor(OpTok.Kind);
+      E->Lhs = std::move(Lhs);
+      E->Rhs = std::move(Rhs);
+      Lhs = std::move(E);
+    }
+  }
+
+  ExprPtr parseUnary() {
+    if (at(TokenKind::Minus) || at(TokenKind::Not)) {
+      Token OpTok = advance();
+      auto E = makeExpr(ExprKind::Unary, OpTok);
+      E->UOp =
+          OpTok.Kind == TokenKind::Minus ? UnaryOp::Neg : UnaryOp::Not;
+      E->Lhs = parseUnary();
+      return E;
+    }
+    return parsePrimary();
+  }
+
+  ExprPtr parsePrimary() {
+    const Token &Tok = peek();
+    switch (Tok.Kind) {
+    case TokenKind::IntLiteral: {
+      auto E = makeExpr(ExprKind::IntLit, Tok);
+      E->IntValue = advance().IntValue;
+      return E;
+    }
+    case TokenKind::LParen: {
+      advance();
+      ExprPtr E = parseExpr();
+      expect(TokenKind::RParen, "after parenthesized expression");
+      return E;
+    }
+    case TokenKind::KwSpawn: {
+      Token SpawnTok = advance();
+      auto E = makeExpr(ExprKind::Spawn, SpawnTok);
+      if (at(TokenKind::Identifier))
+        E->Name = advance().Text;
+      else
+        error(peek(), "expected function name after 'spawn'");
+      parseCallArgs(*E);
+      return E;
+    }
+    case TokenKind::Identifier: {
+      Token NameTok = advance();
+      if (at(TokenKind::LParen)) {
+        auto E = makeExpr(ExprKind::Call, NameTok);
+        E->Name = NameTok.Text;
+        parseCallArgs(*E);
+        return E;
+      }
+      if (accept(TokenKind::LBracket)) {
+        auto E = makeExpr(ExprKind::Index, NameTok);
+        E->Name = NameTok.Text;
+        E->Lhs = parseExpr();
+        expect(TokenKind::RBracket, "after array subscript");
+        return E;
+      }
+      auto E = makeExpr(ExprKind::VarRef, NameTok);
+      E->Name = NameTok.Text;
+      return E;
+    }
+    default:
+      error(Tok, "expected an expression, found " +
+                     std::string(tokenKindName(Tok.Kind)));
+      advance();
+      auto E = makeExpr(ExprKind::IntLit, Tok);
+      return E; // zero literal as recovery value
+    }
+  }
+
+  void parseCallArgs(Expr &E) {
+    if (!expect(TokenKind::LParen, "to open the argument list"))
+      return;
+    if (accept(TokenKind::RParen))
+      return;
+    do {
+      E.Args.push_back(parseExpr());
+    } while (accept(TokenKind::Comma));
+    expect(TokenKind::RParen, "after arguments");
+  }
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  Program &Out;
+  std::vector<Diag> &Diags;
+};
+
+} // namespace
+
+bool ft::lang::parseProgram(std::string_view Source, Program &Out,
+                            std::vector<Diag> &Diags) {
+  size_t DiagsBefore = Diags.size();
+  Parser P(lex(Source), Out, Diags);
+  P.run();
+  return Diags.size() == DiagsBefore;
+}

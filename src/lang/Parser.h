@@ -1,0 +1,31 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MiniConc. Produces an unresolved AST;
+/// pair with resolveProgram() (Sema.h) or use compileProgram() for the
+/// full pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_LANG_PARSER_H
+#define FASTTRACK_LANG_PARSER_H
+
+#include "lang/Ast.h"
+
+#include <string_view>
+
+namespace ft::lang {
+
+/// Parses \p Source into \p Out. \returns true when no diagnostics were
+/// produced. The parser recovers at statement boundaries, so several
+/// errors can be reported at once.
+bool parseProgram(std::string_view Source, Program &Out,
+                  std::vector<Diag> &Diags);
+
+} // namespace ft::lang
+
+#endif // FASTTRACK_LANG_PARSER_H

@@ -1,0 +1,274 @@
+#include "lang/Sema.h"
+
+#include "lang/Parser.h"
+
+#include <map>
+
+using namespace ft;
+using namespace ft::lang;
+
+namespace {
+
+class Resolver {
+public:
+  Resolver(Program &P, std::vector<Diag> &Diags) : P(P), Diags(Diags) {}
+
+  bool run() {
+    size_t Before = Diags.size();
+    assignGlobalIds();
+    for (uint32_t I = 0; I != P.Functions.size(); ++I)
+      resolveFunction(P.Functions[I]);
+    checkMain();
+    return Diags.size() == Before;
+  }
+
+private:
+  void error(unsigned Line, unsigned Column, std::string Message) {
+    Diags.push_back({Line, Column, std::move(Message)});
+  }
+
+  void checkUniqueGlobal(const std::string &Name, unsigned Line) {
+    if (!GlobalNames.insert({Name, 0}).second)
+      error(Line, 1, "duplicate global declaration of '" + Name + "'");
+  }
+
+  void assignGlobalIds() {
+    VarId NextVar = 0;
+    for (GlobalVar &Var : P.Globals) {
+      checkUniqueGlobal(Var.Name, Var.Line);
+      Var.BaseId = NextVar;
+      NextVar += Var.Size;
+      SharedByName[Var.Name] = &Var;
+    }
+    P.NumVarIds = NextVar;
+    for (uint32_t I = 0; I != P.Volatiles.size(); ++I) {
+      checkUniqueGlobal(P.Volatiles[I].Name, P.Volatiles[I].Line);
+      P.Volatiles[I].Id = I;
+      VolatileByName[P.Volatiles[I].Name] = I;
+    }
+    for (uint32_t I = 0; I != P.Locks.size(); ++I) {
+      checkUniqueGlobal(P.Locks[I].Name, P.Locks[I].Line);
+      P.Locks[I].Id = I;
+      LockByName[P.Locks[I].Name] = I;
+    }
+    for (uint32_t I = 0; I != P.Barriers.size(); ++I) {
+      checkUniqueGlobal(P.Barriers[I].Name, P.Barriers[I].Line);
+      P.Barriers[I].Id = I;
+      BarrierByName[P.Barriers[I].Name] = I;
+    }
+    for (uint32_t I = 0; I != P.Functions.size(); ++I) {
+      const Function &Fn = P.Functions[I];
+      if (!FunctionByName.insert({Fn.Name, I}).second)
+        error(Fn.Line, 1, "duplicate function '" + Fn.Name + "'");
+    }
+  }
+
+  void checkMain() {
+    auto It = FunctionByName.find("main");
+    if (It == FunctionByName.end()) {
+      error(1, 1, "program has no 'fn main()'");
+      return;
+    }
+    P.MainIndex = static_cast<int>(It->second);
+    if (!P.Functions[It->second].Params.empty())
+      error(P.Functions[It->second].Line, 1,
+            "'fn main' must take no parameters");
+  }
+
+  //===--------------------------------------------------------------===//
+  // Per-function resolution.
+  //===--------------------------------------------------------------===//
+
+  void resolveFunction(Function &Fn) {
+    LocalSlots.clear();
+    NextSlot = 0;
+    for (const std::string &Param : Fn.Params) {
+      if (LocalSlots.count(Param))
+        error(Fn.Line, 1,
+              "duplicate parameter '" + Param + "' in '" + Fn.Name + "'");
+      LocalSlots[Param] = NextSlot++;
+    }
+    resolveStmt(*Fn.Body);
+    Fn.NumLocals = NextSlot;
+  }
+
+  void resolveStmt(Stmt &S) {
+    switch (S.Kind) {
+    case StmtKind::Block:
+      for (StmtPtr &Child : S.Stmts)
+        resolveStmt(*Child);
+      return;
+    case StmtKind::DeclLocal: {
+      if (S.Value)
+        resolveExpr(*S.Value);
+      // Function-level scoping: redeclaration is an error, and the slot
+      // is visible from here to the end of the function.
+      auto [It, Inserted] = LocalSlots.insert({S.Name, NextSlot});
+      if (!Inserted) {
+        error(S.Line, S.Column, "redeclaration of local '" + S.Name + "'");
+      } else {
+        ++NextSlot;
+      }
+      S.RefIndex = It->second;
+      return;
+    }
+    case StmtKind::Assign:
+      resolveExpr(*S.Value);
+      resolveExpr(*S.Target);
+      if (S.Target->Kind == ExprKind::VarRef &&
+          S.Target->Ref == RefKind::SharedArray)
+        error(S.Target->Line, S.Target->Column,
+              "cannot assign whole array '" + S.Target->Name + "'");
+      return;
+    case StmtKind::If:
+      resolveExpr(*S.Value);
+      resolveStmt(*S.Body);
+      if (S.Else)
+        resolveStmt(*S.Else);
+      return;
+    case StmtKind::While:
+      resolveExpr(*S.Value);
+      resolveStmt(*S.Body);
+      return;
+    case StmtKind::Sync: {
+      auto It = LockByName.find(S.Name);
+      if (It == LockByName.end())
+        error(S.Line, S.Column, "unknown lock '" + S.Name + "'");
+      else
+        S.RefIndex = It->second;
+      resolveStmt(*S.Body);
+      return;
+    }
+    case StmtKind::Wait:
+    case StmtKind::Notify:
+    case StmtKind::NotifyAll: {
+      auto It = LockByName.find(S.Name);
+      if (It == LockByName.end())
+        error(S.Line, S.Column, "unknown lock '" + S.Name + "'");
+      else
+        S.RefIndex = It->second;
+      return;
+    }
+    case StmtKind::Atomic:
+      resolveStmt(*S.Body);
+      return;
+    case StmtKind::Join:
+    case StmtKind::Print:
+    case StmtKind::ExprStmt:
+      resolveExpr(*S.Value);
+      return;
+    case StmtKind::Await: {
+      auto It = BarrierByName.find(S.Name);
+      if (It == BarrierByName.end())
+        error(S.Line, S.Column, "unknown barrier '" + S.Name + "'");
+      else
+        S.RefIndex = It->second;
+      return;
+    }
+    case StmtKind::Return:
+      if (S.Value)
+        resolveExpr(*S.Value);
+      return;
+    }
+  }
+
+  void resolveExpr(Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::IntLit:
+      return;
+    case ExprKind::VarRef: {
+      // Locals shadow globals; then shared scalars, then volatiles.
+      if (auto It = LocalSlots.find(E.Name); It != LocalSlots.end()) {
+        E.Ref = RefKind::Local;
+        E.RefIndex = It->second;
+        return;
+      }
+      if (auto It = SharedByName.find(E.Name); It != SharedByName.end()) {
+        const GlobalVar *Var = It->second;
+        if (Var->Size != 1) {
+          E.Ref = RefKind::SharedArray;
+          E.RefIndex = Var->BaseId;
+          E.ArraySize = Var->Size;
+          error(E.Line, E.Column,
+                "array '" + E.Name + "' must be subscripted");
+          return;
+        }
+        E.Ref = RefKind::Shared;
+        E.RefIndex = Var->BaseId;
+        return;
+      }
+      if (auto It = VolatileByName.find(E.Name);
+          It != VolatileByName.end()) {
+        E.Ref = RefKind::Volatile;
+        E.RefIndex = It->second;
+        return;
+      }
+      error(E.Line, E.Column, "unknown variable '" + E.Name + "'");
+      return;
+    }
+    case ExprKind::Index: {
+      resolveExpr(*E.Lhs);
+      auto It = SharedByName.find(E.Name);
+      if (It == SharedByName.end() || It->second->Size == 1) {
+        error(E.Line, E.Column, "'" + E.Name + "' is not a shared array");
+        return;
+      }
+      E.Ref = RefKind::SharedArray;
+      E.RefIndex = It->second->BaseId;
+      E.ArraySize = It->second->Size;
+      return;
+    }
+    case ExprKind::Unary:
+      resolveExpr(*E.Lhs);
+      return;
+    case ExprKind::Binary:
+      resolveExpr(*E.Lhs);
+      resolveExpr(*E.Rhs);
+      return;
+    case ExprKind::Call:
+    case ExprKind::Spawn: {
+      for (ExprPtr &Arg : E.Args)
+        resolveExpr(*Arg);
+      auto It = FunctionByName.find(E.Name);
+      if (It == FunctionByName.end()) {
+        error(E.Line, E.Column, "unknown function '" + E.Name + "'");
+        return;
+      }
+      E.CalleeIndex = It->second;
+      const Function &Callee = P.Functions[It->second];
+      if (Callee.Params.size() != E.Args.size())
+        error(E.Line, E.Column,
+              "'" + E.Name + "' expects " +
+                  std::to_string(Callee.Params.size()) + " argument(s), got " +
+                  std::to_string(E.Args.size()));
+      return;
+    }
+    }
+  }
+
+  Program &P;
+  std::vector<Diag> &Diags;
+
+  std::map<std::string, int> GlobalNames;
+  std::map<std::string, const GlobalVar *> SharedByName;
+  std::map<std::string, uint32_t> VolatileByName;
+  std::map<std::string, uint32_t> LockByName;
+  std::map<std::string, uint32_t> BarrierByName;
+  std::map<std::string, uint32_t> FunctionByName;
+
+  std::map<std::string, uint32_t> LocalSlots;
+  uint32_t NextSlot = 0;
+};
+
+} // namespace
+
+bool ft::lang::resolveProgram(Program &P, std::vector<Diag> &Diags) {
+  return Resolver(P, Diags).run();
+}
+
+bool ft::lang::compileProgram(std::string_view Source, Program &Out,
+                              std::vector<Diag> &Diags) {
+  if (!parseProgram(Source, Out, Diags))
+    return false;
+  return resolveProgram(Out, Diags);
+}

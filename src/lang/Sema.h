@@ -1,0 +1,37 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name resolution and static checks for MiniConc:
+///   - assigns VarIds / VolatileIds / LockIds / barrier ids and function
+///     indices, and checks for duplicate declarations;
+///   - resolves every identifier to a local slot, shared variable,
+///     volatile, or callee, with locals shadowing globals;
+///   - allocates local slots (function-level scoping, parameters first);
+///   - checks call/spawn arity, array subscripting, assignment targets,
+///     presence of fn main() with no parameters, and 'return' placement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_LANG_SEMA_H
+#define FASTTRACK_LANG_SEMA_H
+
+#include "lang/Ast.h"
+
+#include <string_view>
+
+namespace ft::lang {
+
+/// Resolves \p P in place. \returns true when no diagnostics were added.
+bool resolveProgram(Program &P, std::vector<Diag> &Diags);
+
+/// Parses and resolves in one step.
+bool compileProgram(std::string_view Source, Program &Out,
+                    std::vector<Diag> &Diags);
+
+} // namespace ft::lang
+
+#endif // FASTTRACK_LANG_SEMA_H

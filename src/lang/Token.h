@@ -1,0 +1,105 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokens of the MiniConc language — the small concurrent language whose
+/// interpreter stands in for the paper's JVM + RoadRunner substrate (see
+/// DESIGN.md, substitution table). Programs written in MiniConc are
+/// executed by a deterministic scheduler that emits exactly the event
+/// stream (Figure 1) the race detectors analyze.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_LANG_TOKEN_H
+#define FASTTRACK_LANG_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace ft::lang {
+
+/// Token kinds. Keyword tokens mirror the surface syntax:
+///
+/// \code
+///   shared x; shared a[8]; volatile flag; lock m; barrier b(2);
+///   fn worker(i) { local s = 0; sync (m) { x = x + i; } ... }
+///   sync (m) { wait m; }  sync (m) { notify m; }  notifyall m;
+///   fn main() { let t = spawn worker(1); join t; print x; }
+/// \endcode
+enum class TokenKind : uint8_t {
+  // Literals and identifiers.
+  Identifier,
+  IntLiteral,
+
+  // Keywords.
+  KwShared,
+  KwVolatile,
+  KwLock,
+  KwBarrier,
+  KwFn,
+  KwLocal,
+  KwLet,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwSync,
+  KwAtomic,
+  KwSpawn,
+  KwJoin,
+  KwAwait,
+  KwWait,
+  KwNotify,
+  KwNotifyAll,
+  KwPrint,
+  KwReturn,
+
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+
+  // Operators.
+  Assign,   // =
+  Plus,     // +
+  Minus,    // -
+  Star,     // *
+  Slash,    // /
+  Percent,  // %
+  Lt,       // <
+  Le,       // <=
+  Gt,       // >
+  Ge,       // >=
+  EqEq,     // ==
+  NotEq,    // !=
+  AndAnd,   // &&
+  OrOr,     // ||
+  Not,      // !
+
+  Eof,
+  Error, ///< Lexical error; Text holds the message.
+};
+
+/// Returns a human-readable name for diagnostics, e.g. "')'" or
+/// "identifier".
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token with its source position (1-based).
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;   ///< Identifier name, literal spelling, or error.
+  int64_t IntValue = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+};
+
+} // namespace ft::lang
+
+#endif // FASTTRACK_LANG_TOKEN_H

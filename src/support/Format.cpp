@@ -1,0 +1,51 @@
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace ft;
+
+std::string ft::withCommas(uint64_t Value) {
+  std::string Digits = std::to_string(Value);
+  std::string Result;
+  Result.reserve(Digits.size() + Digits.size() / 3);
+  size_t Lead = Digits.size() % 3;
+  if (Lead == 0)
+    Lead = 3;
+  for (size_t I = 0; I != Digits.size(); ++I) {
+    if (I != 0 && (I - Lead) % 3 == 0 && I >= Lead)
+      Result += ',';
+    Result += Digits[I];
+  }
+  return Result;
+}
+
+std::string ft::fixed(double Value, int Digits) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Digits, Value);
+  return Buf;
+}
+
+std::string ft::humanBytes(uint64_t Bytes) {
+  static const char *Units[] = {"B", "KB", "MB", "GB", "TB"};
+  double Scaled = static_cast<double>(Bytes);
+  unsigned Unit = 0;
+  while (Scaled >= 1024.0 && Unit + 1 < 5) {
+    Scaled /= 1024.0;
+    ++Unit;
+  }
+  return fixed(Scaled, Unit == 0 ? 0 : 1) + " " + Units[Unit];
+}
+
+std::string ft::slowdown(double Ratio) { return fixed(Ratio, 1) + "x"; }
+
+std::string ft::padLeft(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S;
+  return std::string(Width - S.size(), ' ') + S;
+}
+
+std::string ft::padRight(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S;
+  return S + std::string(Width - S.size(), ' ');
+}

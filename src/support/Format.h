@@ -1,0 +1,41 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string-formatting helpers shared by benches, examples, and error
+/// reporting. Kept dependency-free (no iostream in library code).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_SUPPORT_FORMAT_H
+#define FASTTRACK_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <string>
+
+namespace ft {
+
+/// Renders \p Value with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string withCommas(uint64_t Value);
+
+/// Renders \p Value with \p Digits digits after the decimal point.
+std::string fixed(double Value, int Digits = 1);
+
+/// Renders a byte count in a human-friendly unit, e.g. "12.4 MB".
+std::string humanBytes(uint64_t Bytes);
+
+/// Renders a ratio as a slowdown factor, e.g. 8.53 -> "8.5x".
+std::string slowdown(double Ratio);
+
+/// Pads \p S on the left to \p Width columns (right alignment).
+std::string padLeft(const std::string &S, size_t Width);
+
+/// Pads \p S on the right to \p Width columns (left alignment).
+std::string padRight(const std::string &S, size_t Width);
+
+} // namespace ft
+
+#endif // FASTTRACK_SUPPORT_FORMAT_H

@@ -1,0 +1,8 @@
+#include "support/MemoryTracker.h"
+
+using namespace ft;
+
+MemoryTracker &ft::globalMemoryTracker() {
+  static MemoryTracker Tracker;
+  return Tracker;
+}

@@ -1,0 +1,75 @@
+#include "support/Rng.h"
+
+using namespace ft;
+
+uint64_t ft::splitMix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+Xoshiro256StarStar::Xoshiro256StarStar(uint64_t Seed) {
+  SplitMix64 Seeder(Seed);
+  for (auto &Word : State)
+    Word = Seeder.next();
+}
+
+uint64_t Xoshiro256StarStar::next() {
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Xoshiro256StarStar::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "nextBelow bound must be nonzero");
+  // Lemire's multiply-shift; bias is < 2^-64 * Bound, negligible here.
+  return static_cast<uint64_t>(
+      (static_cast<__uint128_t>(next()) * Bound) >> 64);
+}
+
+int64_t Xoshiro256StarStar::nextInRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  return Lo + static_cast<int64_t>(nextBelow(Span));
+}
+
+bool Xoshiro256StarStar::nextBool(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return nextDouble() < P;
+}
+
+double Xoshiro256StarStar::nextDouble() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+unsigned ft::pickWeighted(Xoshiro256StarStar &Rng, const double *Weights,
+                          unsigned N) {
+  assert(N > 0 && "need at least one weight");
+  double Total = 0;
+  for (unsigned I = 0; I != N; ++I)
+    Total += Weights[I] > 0 ? Weights[I] : 0;
+  assert(Total > 0 && "need at least one positive weight");
+  double Draw = Rng.nextDouble() * Total;
+  for (unsigned I = 0; I != N; ++I) {
+    double W = Weights[I] > 0 ? Weights[I] : 0;
+    if (Draw < W)
+      return I;
+    Draw -= W;
+  }
+  return N - 1; // Floating-point slop lands on the last bucket.
+}

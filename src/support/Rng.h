@@ -1,0 +1,88 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random number generation for workload synthesis and
+/// property-based testing.
+///
+/// Two generators are provided: SplitMix64 (used for seeding and cheap
+/// stateless hashing) and Xoshiro256StarStar (the workhorse generator, with
+/// 256 bits of state and excellent statistical quality). All workloads and
+/// property tests in this repository are deterministic functions of a seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_SUPPORT_RNG_H
+#define FASTTRACK_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace ft {
+
+/// Mixes a 64-bit value into a well-distributed 64-bit hash.
+///
+/// This is the finalizer of the SplitMix64 generator; it is a bijection on
+/// 64-bit values and is suitable for hashing small integers.
+uint64_t splitMix64(uint64_t X);
+
+/// A tiny stateful SplitMix64 stream, mainly used to seed Xoshiro.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit value of the stream.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    return splitMix64(State);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// The xoshiro256** generator of Blackman and Vigna.
+///
+/// Fast, small, and statistically strong; the default generator for all
+/// synthetic workloads and randomized tests. Never produces the all-zero
+/// state because seeding goes through SplitMix64.
+class Xoshiro256StarStar {
+public:
+  /// Seeds the generator; any seed (including 0) is valid.
+  explicit Xoshiro256StarStar(uint64_t Seed = 0x853c49e6748fea9bULL);
+
+  /// Returns the next 64 random bits.
+  uint64_t next();
+
+  /// Returns a uniformly distributed value in [0, Bound). \p Bound must be
+  /// nonzero. Uses Lemire's multiply-shift rejection-free approximation,
+  /// which is unbiased enough for workload generation.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniformly distributed value in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P = 0.5);
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble();
+
+private:
+  uint64_t State[4];
+};
+
+/// Draws an index in [0, N) according to a table of relative weights.
+///
+/// \p Weights must contain at least one positive entry among the first
+/// \p N values. Used to realize the paper's operation-mix percentages
+/// (e.g. 82.3 % reads / 14.5 % writes / 3.3 % sync).
+unsigned pickWeighted(Xoshiro256StarStar &Rng, const double *Weights,
+                      unsigned N);
+
+} // namespace ft
+
+#endif // FASTTRACK_SUPPORT_RNG_H

@@ -1,0 +1,46 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A monotonic wall-clock stopwatch used by the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_SUPPORT_STOPWATCH_H
+#define FASTTRACK_SUPPORT_STOPWATCH_H
+
+#include <chrono>
+
+namespace ft {
+
+/// Measures elapsed wall-clock time from construction or the last restart.
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void restart() { Start = Clock::now(); }
+
+  /// Returns seconds elapsed since construction or the last restart.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Returns nanoseconds elapsed since construction or the last restart.
+  uint64_t nanoseconds() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                Start)
+        .count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace ft
+
+#endif // FASTTRACK_SUPPORT_STOPWATCH_H

@@ -1,0 +1,89 @@
+#include "support/Table.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace ft;
+
+void Table::addHeader(std::vector<std::string> Cells) {
+  Row R;
+  R.Cells = std::move(Cells);
+  R.IsHeader = true;
+  Rows.push_back(std::move(R));
+}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  Row R;
+  R.Cells = std::move(Cells);
+  Rows.push_back(std::move(R));
+}
+
+void Table::addSeparator() {
+  Row R;
+  R.IsSeparator = true;
+  Rows.push_back(std::move(R));
+}
+
+/// Returns true if \p S looks like a number (possibly with commas, a dot,
+/// an 'x' suffix, or a '%' suffix), so it should be right-aligned.
+static bool looksNumeric(const std::string &S) {
+  if (S.empty())
+    return false;
+  bool SawDigit = false;
+  for (char C : S) {
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      SawDigit = true;
+      continue;
+    }
+    if (C == '.' || C == ',' || C == '-' || C == '+' || C == 'x' || C == '%' ||
+        C == ' ')
+      continue;
+    return false;
+  }
+  return SawDigit;
+}
+
+std::string Table::render() const {
+  std::vector<size_t> Widths;
+  for (const Row &R : Rows) {
+    if (Widths.size() < R.Cells.size())
+      Widths.resize(R.Cells.size(), 0);
+    for (size_t I = 0; I != R.Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], R.Cells[I].size());
+  }
+
+  size_t TotalWidth = 0;
+  for (size_t W : Widths)
+    TotalWidth += W + 2;
+  if (TotalWidth >= 2)
+    TotalWidth -= 2;
+
+  std::string Out;
+  for (const Row &R : Rows) {
+    if (R.IsSeparator) {
+      Out += std::string(TotalWidth, '-');
+      Out += '\n';
+      continue;
+    }
+    std::string Line;
+    for (size_t I = 0; I != R.Cells.size(); ++I) {
+      const std::string &Cell = R.Cells[I];
+      bool RightAlign = !R.IsHeader && looksNumeric(Cell) && I != 0;
+      Line += RightAlign ? padLeft(Cell, Widths[I]) : padRight(Cell, Widths[I]);
+      if (I + 1 != R.Cells.size())
+        Line += "  ";
+    }
+    // Trim trailing spaces.
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    Out += Line;
+    Out += '\n';
+    if (R.IsHeader) {
+      Out += std::string(TotalWidth, '=');
+      Out += '\n';
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,50 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal aligned ASCII table printer used by the benchmark harnesses to
+/// regenerate the paper's tables on stdout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_SUPPORT_TABLE_H
+#define FASTTRACK_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace ft {
+
+/// Accumulates rows of cells, then renders them with per-column alignment.
+///
+/// The first row added with addHeader() is underlined; numeric-looking cells
+/// are right-aligned, text cells left-aligned.
+class Table {
+public:
+  /// Adds the header row.
+  void addHeader(std::vector<std::string> Cells);
+
+  /// Adds a data row.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Adds a horizontal separator at the current position.
+  void addSeparator();
+
+  /// Renders the table to a string terminated with a newline.
+  std::string render() const;
+
+private:
+  struct Row {
+    std::vector<std::string> Cells;
+    bool IsHeader = false;
+    bool IsSeparator = false;
+  };
+  std::vector<Row> Rows;
+};
+
+} // namespace ft
+
+#endif // FASTTRACK_SUPPORT_TABLE_H

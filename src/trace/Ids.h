@@ -1,0 +1,41 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Identifier types for the entities appearing in multithreaded program
+/// traces (Figure 1 of the paper): threads t, u ∈ Tid, variables x ∈ Var,
+/// locks m ∈ Lock, and volatile variables vx ∈ VolatileVar.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_TRACE_IDS_H
+#define FASTTRACK_TRACE_IDS_H
+
+#include <cstdint>
+
+namespace ft {
+
+/// Thread identifier. Thread 0 is the main thread of every trace.
+using ThreadId = uint32_t;
+
+/// Shared-variable identifier (an object field or array element in the
+/// paper's Java setting).
+using VarId = uint32_t;
+
+/// Lock identifier.
+using LockId = uint32_t;
+
+/// Volatile-variable identifier. Volatiles live in their own id space;
+/// the framework maps them into the extended L component of the analysis
+/// state (Section 4, "Extensions").
+using VolatileId = uint32_t;
+
+/// Sentinel meaning "no target" for operations without one.
+inline constexpr uint32_t NoTarget = ~0u;
+
+} // namespace ft
+
+#endif // FASTTRACK_TRACE_IDS_H

@@ -1,0 +1,63 @@
+#include "trace/Operation.h"
+
+using namespace ft;
+
+const char *ft::opKindName(OpKind Kind) {
+  switch (Kind) {
+  case OpKind::Read:
+    return "rd";
+  case OpKind::Write:
+    return "wr";
+  case OpKind::Acquire:
+    return "acq";
+  case OpKind::Release:
+    return "rel";
+  case OpKind::Fork:
+    return "fork";
+  case OpKind::Join:
+    return "join";
+  case OpKind::VolatileRead:
+    return "vrd";
+  case OpKind::VolatileWrite:
+    return "vwr";
+  case OpKind::Barrier:
+    return "barrier";
+  case OpKind::AtomicBegin:
+    return "abegin";
+  case OpKind::AtomicEnd:
+    return "aend";
+  }
+  return "?";
+}
+
+std::string ft::toString(const Operation &Op) {
+  std::string Out = opKindName(Op.Kind);
+  Out += '(';
+  Out += std::to_string(Op.Thread);
+  switch (Op.Kind) {
+  case OpKind::Read:
+  case OpKind::Write:
+    Out += ",x" + std::to_string(Op.Target);
+    break;
+  case OpKind::Acquire:
+  case OpKind::Release:
+    Out += ",m" + std::to_string(Op.Target);
+    break;
+  case OpKind::Fork:
+  case OpKind::Join:
+    Out += ",t" + std::to_string(Op.Target);
+    break;
+  case OpKind::VolatileRead:
+  case OpKind::VolatileWrite:
+    Out += ",v" + std::to_string(Op.Target);
+    break;
+  case OpKind::Barrier:
+    Out += ",set#" + std::to_string(Op.Target);
+    break;
+  case OpKind::AtomicBegin:
+  case OpKind::AtomicEnd:
+    break;
+  }
+  Out += ')';
+  return Out;
+}

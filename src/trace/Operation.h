@@ -1,0 +1,122 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Operation type: one event of a multithreaded program trace.
+///
+/// This realizes Figure 1 of the paper, extended with the operations the
+/// implementation section adds: volatile reads/writes, barrier releases,
+/// and atomic-block markers (consumed by the downstream atomicity and
+/// determinism checkers of Section 5.2, ignored by race detectors).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_TRACE_OPERATION_H
+#define FASTTRACK_TRACE_OPERATION_H
+
+#include "trace/Ids.h"
+
+#include <string>
+
+namespace ft {
+
+/// The kind of a trace operation.
+enum class OpKind : uint8_t {
+  Read,          ///< rd(t, x)
+  Write,         ///< wr(t, x)
+  Acquire,       ///< acq(t, m)
+  Release,       ///< rel(t, m)
+  Fork,          ///< fork(t, u): thread t forks thread u
+  Join,          ///< join(t, u): thread t joins thread u
+  VolatileRead,  ///< vol_rd(t, vx)
+  VolatileWrite, ///< vol_wr(t, vx)
+  Barrier,       ///< barrier_rel(T): thread set index in Aux
+  AtomicBegin,   ///< begin of an atomic block of thread t
+  AtomicEnd,     ///< end of an atomic block of thread t
+};
+
+/// Returns the mnemonic used in the trace text format, e.g. "rd".
+const char *opKindName(OpKind Kind);
+
+/// Returns true for rd/wr (the operations race detectors check).
+inline bool isAccess(OpKind Kind) {
+  return Kind == OpKind::Read || Kind == OpKind::Write;
+}
+
+/// Returns true for operations that target another thread (fork/join).
+inline bool isThreadOp(OpKind Kind) {
+  return Kind == OpKind::Fork || Kind == OpKind::Join;
+}
+
+/// Returns true for acq/rel.
+inline bool isLockOp(OpKind Kind) {
+  return Kind == OpKind::Acquire || Kind == OpKind::Release;
+}
+
+/// Returns true for vol_rd/vol_wr.
+inline bool isVolatileOp(OpKind Kind) {
+  return Kind == OpKind::VolatileRead || Kind == OpKind::VolatileWrite;
+}
+
+/// One event of a trace. 12 bytes; traces hold millions of these.
+struct Operation {
+  OpKind Kind;
+  /// The thread performing the operation. For Barrier this is the lowest
+  /// thread id in the released set (the full set lives in the trace's
+  /// barrier-set table).
+  ThreadId Thread;
+  /// Target entity: VarId for accesses, LockId for lock ops, ThreadId for
+  /// fork/join, VolatileId for volatile ops, barrier-set index for Barrier,
+  /// NoTarget for atomic markers.
+  uint32_t Target;
+
+  Operation() : Kind(OpKind::Read), Thread(0), Target(NoTarget) {}
+  Operation(OpKind Kind, ThreadId Thread, uint32_t Target)
+      : Kind(Kind), Thread(Thread), Target(Target) {}
+
+  friend bool operator==(const Operation &A, const Operation &B) {
+    return A.Kind == B.Kind && A.Thread == B.Thread && A.Target == B.Target;
+  }
+};
+
+/// Convenience constructors mirroring the paper's notation.
+inline Operation rd(ThreadId T, VarId X) {
+  return Operation(OpKind::Read, T, X);
+}
+inline Operation wr(ThreadId T, VarId X) {
+  return Operation(OpKind::Write, T, X);
+}
+inline Operation acq(ThreadId T, LockId M) {
+  return Operation(OpKind::Acquire, T, M);
+}
+inline Operation rel(ThreadId T, LockId M) {
+  return Operation(OpKind::Release, T, M);
+}
+inline Operation fork(ThreadId T, ThreadId U) {
+  return Operation(OpKind::Fork, T, U);
+}
+inline Operation join(ThreadId T, ThreadId U) {
+  return Operation(OpKind::Join, T, U);
+}
+inline Operation volRd(ThreadId T, VolatileId V) {
+  return Operation(OpKind::VolatileRead, T, V);
+}
+inline Operation volWr(ThreadId T, VolatileId V) {
+  return Operation(OpKind::VolatileWrite, T, V);
+}
+inline Operation atomicBegin(ThreadId T) {
+  return Operation(OpKind::AtomicBegin, T, NoTarget);
+}
+inline Operation atomicEnd(ThreadId T) {
+  return Operation(OpKind::AtomicEnd, T, NoTarget);
+}
+
+/// Renders an operation like "rd(1,x4)" for diagnostics.
+std::string toString(const Operation &Op);
+
+} // namespace ft
+
+#endif // FASTTRACK_TRACE_OPERATION_H

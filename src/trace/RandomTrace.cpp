@@ -1,0 +1,213 @@
+#include "trace/RandomTrace.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace ft;
+
+namespace {
+
+/// Variable classes realizing the paper's observation that data is mostly
+/// thread-local, lock-protected, or read-shared (Section 1).
+enum class VarClass { ThreadLocal, ReadShared, LockProtected };
+
+class Generator {
+public:
+  explicit Generator(const RandomTraceConfig &Config)
+      : Config(Config), Rng(Config.Seed) {}
+
+  Trace run();
+
+private:
+  struct Worker {
+    ThreadId Tid;
+    unsigned OpsLeft;
+    std::vector<LockId> LockStack;
+    unsigned AtomicOpsLeft = 0;
+    bool InAtomic = false;
+    bool Done = false;
+  };
+
+  VarClass classOf(VarId X) const {
+    unsigned TL = Config.NumThreads; // one thread-local var per worker
+    unsigned RS = std::max(1u, Config.NumVars / 4);
+    if (X < TL && TL + RS < Config.NumVars)
+      return VarClass::ThreadLocal;
+    if (X < TL + RS && TL + RS < Config.NumVars)
+      return VarClass::ReadShared;
+    return VarClass::LockProtected;
+  }
+
+  LockId lockOf(VarId X) const { return X % std::max(1u, Config.NumLocks); }
+
+  VarId pickVar(VarClass Class, ThreadId Tid);
+  void step(Worker &W);
+  void finish(Worker &W);
+
+  const RandomTraceConfig &Config;
+  Xoshiro256StarStar Rng;
+  Trace T;
+  std::vector<Worker> Workers;
+};
+
+VarId Generator::pickVar(VarClass Class, ThreadId Tid) {
+  unsigned TL = Config.NumThreads;
+  unsigned RS = std::max(1u, Config.NumVars / 4);
+  if (TL + RS >= Config.NumVars) {
+    // Degenerate config: everything is lock-protected.
+    return static_cast<VarId>(Rng.nextBelow(std::max(1u, Config.NumVars)));
+  }
+  switch (Class) {
+  case VarClass::ThreadLocal:
+    return (Tid - 1) % TL; // workers have tids 1..NumThreads
+  case VarClass::ReadShared:
+    return TL + static_cast<VarId>(Rng.nextBelow(RS));
+  case VarClass::LockProtected:
+    return TL + RS +
+           static_cast<VarId>(Rng.nextBelow(Config.NumVars - TL - RS));
+  }
+  return 0;
+}
+
+void Generator::step(Worker &W) {
+  assert(!W.Done && "stepping a finished worker");
+  --W.OpsLeft;
+
+  // Close or continue an open atomic block first.
+  if (W.InAtomic && W.AtomicOpsLeft == 0) {
+    T.append(atomicEnd(W.Tid));
+    W.InAtomic = false;
+    return;
+  }
+  if (W.InAtomic)
+    --W.AtomicOpsLeft;
+
+  if (Config.EmitAtomicBlocks && !W.InAtomic && Rng.nextBool(0.05)) {
+    T.append(atomicBegin(W.Tid));
+    W.InAtomic = true;
+    W.AtomicOpsLeft = 1 + static_cast<unsigned>(Rng.nextBelow(4));
+    return;
+  }
+
+  if (Config.NumVolatiles > 0 && Rng.nextBool(Config.VolatileProbability)) {
+    VolatileId V = static_cast<VolatileId>(Rng.nextBelow(Config.NumVolatiles));
+    if (Rng.nextBool(0.5))
+      T.append(volRd(W.Tid, V));
+    else
+      T.append(volWr(W.Tid, V));
+    return;
+  }
+
+  bool Chaotic = Rng.nextBool(Config.ChaosProbability);
+  double ClassDraw = Rng.nextDouble();
+  unsigned Burst =
+      1 + static_cast<unsigned>(Rng.nextBelow(
+              std::max(1u, Config.MaxAccessBurst)));
+  if (!Chaotic && ClassDraw < Config.ThreadLocalShare) {
+    // Thread-local access (bursty: repeated field reads/writes).
+    VarId X = pickVar(VarClass::ThreadLocal, W.Tid);
+    for (unsigned I = 0; I != Burst; ++I) {
+      if (Rng.nextBool(0.8))
+        T.append(rd(W.Tid, X));
+      else
+        T.append(wr(W.Tid, X));
+    }
+    return;
+  }
+  if (!Chaotic && ClassDraw < Config.ThreadLocalShare + Config.ReadSharedShare) {
+    // Read-shared data: read-only after the main thread's initialization.
+    VarId X = pickVar(VarClass::ReadShared, W.Tid);
+    for (unsigned I = 0; I != Burst; ++I)
+      T.append(rd(W.Tid, X));
+    return;
+  }
+
+  VarId X = Chaotic
+                ? static_cast<VarId>(Rng.nextBelow(std::max(1u, Config.NumVars)))
+                : pickVar(VarClass::LockProtected, W.Tid);
+  bool IsWrite = Rng.nextBool(0.3);
+  if (Chaotic) {
+    // Undisciplined access: no lock — the source of races.
+    T.append(IsWrite ? wr(W.Tid, X) : rd(W.Tid, X));
+    return;
+  }
+  LockId M = lockOf(X);
+  T.append(acq(W.Tid, M));
+  T.append(IsWrite ? wr(W.Tid, X) : rd(W.Tid, X));
+  if (Rng.nextBool(0.5))
+    T.append(IsWrite ? rd(W.Tid, X) : wr(W.Tid, X)); // longer critical section
+  T.append(rel(W.Tid, M));
+}
+
+void Generator::finish(Worker &W) {
+  if (W.InAtomic) {
+    T.append(atomicEnd(W.Tid));
+    W.InAtomic = false;
+  }
+  while (!W.LockStack.empty()) {
+    T.append(rel(W.Tid, W.LockStack.back()));
+    W.LockStack.pop_back();
+  }
+  W.Done = true;
+}
+
+Trace Generator::run() {
+  unsigned TL = Config.NumThreads;
+  unsigned RS = std::max(1u, Config.NumVars / 4);
+
+  // The main thread initializes the read-shared region, then forks.
+  if (TL + RS < Config.NumVars)
+    for (VarId X = TL; X != TL + RS; ++X)
+      T.append(wr(0, X));
+
+  Workers.clear();
+  for (ThreadId U = 1; U <= Config.NumThreads; ++U) {
+    T.append(fork(0, U));
+    Workers.push_back({U, std::max(1u, Config.OpsPerThread), {}, 0, false,
+                       false});
+  }
+
+  // Interleave worker steps at random until all budgets are exhausted.
+  while (true) {
+    std::vector<unsigned> Runnable;
+    for (unsigned I = 0; I != Workers.size(); ++I)
+      if (!Workers[I].Done)
+        Runnable.push_back(I);
+    if (Runnable.empty())
+      break;
+
+    if (Config.BarrierProbability > 0 &&
+        Rng.nextBool(Config.BarrierProbability)) {
+      std::vector<ThreadId> Set = {0};
+      for (unsigned I : Runnable)
+        Set.push_back(Workers[I].Tid);
+      if (Set.size() > 1)
+        T.appendBarrier(Set);
+    }
+
+    unsigned Pick = Runnable[Rng.nextBelow(Runnable.size())];
+    Worker &W = Workers[Pick];
+    step(W);
+    if (W.OpsLeft == 0)
+      finish(W);
+  }
+
+  for (Worker &W : Workers)
+    T.append(join(0, W.Tid));
+
+  // Post-join accesses by main: race-free because of the join edges.
+  for (VarId X = 0; X != std::min(Config.NumVars, TL + RS); ++X)
+    T.append(rd(0, X));
+
+  return std::move(T);
+}
+
+} // namespace
+
+Trace ft::generateRandomTrace(const RandomTraceConfig &Config) {
+  Generator Gen(Config);
+  return Gen.run();
+}

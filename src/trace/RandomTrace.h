@@ -1,0 +1,71 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded random generation of *feasible* traces, used by the
+/// property-based tests to validate every detector against the exact
+/// happens-before oracle on thousands of executions.
+///
+/// Two regimes:
+///   - Disciplined: every shared variable is protected by its own lock (or
+///     is thread-local, or is read-shared after a fork hand-off), so the
+///     generated trace is race-free by construction.
+///   - Chaotic: accesses ignore the discipline with some probability, so
+///     races occur naturally and the oracle decides which variables race.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_TRACE_RANDOMTRACE_H
+#define FASTTRACK_TRACE_RANDOMTRACE_H
+
+#include "trace/Trace.h"
+
+#include <cstdint>
+
+namespace ft {
+
+/// Parameters of the random trace generator.
+struct RandomTraceConfig {
+  uint64_t Seed = 1;
+  unsigned NumThreads = 4;  ///< Worker threads forked by the main thread.
+  unsigned NumVars = 12;
+  unsigned NumLocks = 3;
+  unsigned NumVolatiles = 2;
+  unsigned OpsPerThread = 60;
+
+  /// Probability that an access ignores the locking discipline (0 gives a
+  /// race-free trace).
+  double ChaosProbability = 0.0;
+
+  /// Probability of a volatile operation instead of a data access.
+  double VolatileProbability = 0.03;
+
+  /// Probability that, at a step boundary, all running threads pass a
+  /// barrier.
+  double BarrierProbability = 0.01;
+
+  /// Include atomic-block markers (for checker tests).
+  bool EmitAtomicBlocks = false;
+
+  /// Maximum repetitions of each data access (bursts of 1..MaxAccessBurst
+  /// back-to-back accesses to the same variable, as fields see in real
+  /// object code). Bursts after the first access are same-epoch hits.
+  unsigned MaxAccessBurst = 1;
+
+  /// Fraction of disciplined accesses that are thread-local, and
+  /// read-shared; the remainder is lock-protected.
+  double ThreadLocalShare = 0.35;
+  double ReadSharedShare = 0.25;
+};
+
+/// Generates one feasible trace: the main thread forks the workers, the
+/// workers run random operation mixes under the configured discipline, and
+/// the main thread joins them. The result always passes validateTrace().
+Trace generateRandomTrace(const RandomTraceConfig &Config);
+
+} // namespace ft
+
+#endif // FASTTRACK_TRACE_RANDOMTRACE_H

@@ -1,0 +1,3 @@
+#include "trace/TraceBuilder.h"
+
+// TraceBuilder is header-only; this file anchors the library target.

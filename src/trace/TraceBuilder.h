@@ -1,0 +1,96 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fluent builder for constructing traces in tests and examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_TRACE_TRACEBUILDER_H
+#define FASTTRACK_TRACE_TRACEBUILDER_H
+
+#include "trace/Trace.h"
+
+namespace ft {
+
+/// Builds traces with chained calls mirroring the paper's notation:
+///
+/// \code
+///   Trace T = TraceBuilder()
+///                 .wr(0, X).rel(0, M).acq(1, M).wr(1, X)
+///                 .take();
+/// \endcode
+///
+/// The builder does not enforce feasibility; pair it with TraceValidator
+/// when a test needs that guarantee.
+class TraceBuilder {
+public:
+  TraceBuilder &rd(ThreadId T, VarId X) {
+    Result.append(ft::rd(T, X));
+    return *this;
+  }
+  TraceBuilder &wr(ThreadId T, VarId X) {
+    Result.append(ft::wr(T, X));
+    return *this;
+  }
+  TraceBuilder &acq(ThreadId T, LockId M) {
+    Result.append(ft::acq(T, M));
+    return *this;
+  }
+  TraceBuilder &rel(ThreadId T, LockId M) {
+    Result.append(ft::rel(T, M));
+    return *this;
+  }
+  TraceBuilder &fork(ThreadId T, ThreadId U) {
+    Result.append(ft::fork(T, U));
+    return *this;
+  }
+  TraceBuilder &join(ThreadId T, ThreadId U) {
+    Result.append(ft::join(T, U));
+    return *this;
+  }
+  TraceBuilder &volRd(ThreadId T, VolatileId V) {
+    Result.append(ft::volRd(T, V));
+    return *this;
+  }
+  TraceBuilder &volWr(ThreadId T, VolatileId V) {
+    Result.append(ft::volWr(T, V));
+    return *this;
+  }
+  TraceBuilder &barrier(const std::vector<ThreadId> &Threads) {
+    Result.appendBarrier(Threads);
+    return *this;
+  }
+  TraceBuilder &atomicBegin(ThreadId T) {
+    Result.append(ft::atomicBegin(T));
+    return *this;
+  }
+  TraceBuilder &atomicEnd(ThreadId T) {
+    Result.append(ft::atomicEnd(T));
+    return *this;
+  }
+
+  /// Appends a lock-protected access sequence acq(t,m) op rel(t,m).
+  TraceBuilder &lockedRd(ThreadId T, LockId M, VarId X) {
+    return acq(T, M).rd(T, X).rel(T, M);
+  }
+  TraceBuilder &lockedWr(ThreadId T, LockId M, VarId X) {
+    return acq(T, M).wr(T, X).rel(T, M);
+  }
+
+  /// Returns the built trace, leaving the builder empty.
+  Trace take() { return std::move(Result); }
+
+  /// Peeks at the trace built so far.
+  const Trace &trace() const { return Result; }
+
+private:
+  Trace Result;
+};
+
+} // namespace ft
+
+#endif // FASTTRACK_TRACE_TRACEBUILDER_H

@@ -1,0 +1,189 @@
+#include "trace/TraceIO.h"
+
+#include <cstdio>
+#include <optional>
+
+using namespace ft;
+
+std::string ft::serializeTrace(const Trace &T) {
+  std::string Out;
+  Out.reserve(T.size() * 8);
+  for (const Operation &Op : T) {
+    Out += opKindName(Op.Kind);
+    if (Op.Kind == OpKind::Barrier) {
+      for (ThreadId U : T.barrierSet(Op.Target)) {
+        Out += ' ';
+        Out += std::to_string(U);
+      }
+    } else {
+      Out += ' ';
+      Out += std::to_string(Op.Thread);
+      if (Op.Target != NoTarget) {
+        Out += ' ';
+        Out += std::to_string(Op.Target);
+      }
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+namespace {
+
+/// Splits \p Text into lines and tokens without allocation-heavy streams.
+class LineLexer {
+public:
+  explicit LineLexer(std::string_view Text) : Rest(Text) {}
+
+  /// Fetches the next non-empty, non-comment line; returns false at EOF.
+  bool nextLine(std::vector<std::string_view> &Tokens, unsigned &LineNo) {
+    while (!Rest.empty()) {
+      ++Line;
+      size_t Eol = Rest.find('\n');
+      std::string_view Raw =
+          Eol == std::string_view::npos ? Rest : Rest.substr(0, Eol);
+      Rest = Eol == std::string_view::npos ? std::string_view()
+                                           : Rest.substr(Eol + 1);
+      size_t Hash = Raw.find('#');
+      if (Hash != std::string_view::npos)
+        Raw = Raw.substr(0, Hash);
+      Tokens.clear();
+      size_t Pos = 0;
+      while (Pos < Raw.size()) {
+        while (Pos < Raw.size() && (Raw[Pos] == ' ' || Raw[Pos] == '\t' ||
+                                    Raw[Pos] == '\r'))
+          ++Pos;
+        size_t Start = Pos;
+        while (Pos < Raw.size() && Raw[Pos] != ' ' && Raw[Pos] != '\t' &&
+               Raw[Pos] != '\r')
+          ++Pos;
+        if (Pos > Start)
+          Tokens.push_back(Raw.substr(Start, Pos - Start));
+      }
+      if (!Tokens.empty()) {
+        LineNo = Line;
+        return true;
+      }
+    }
+    return false;
+  }
+
+private:
+  std::string_view Rest;
+  unsigned Line = 0;
+};
+
+std::optional<uint32_t> parseU32(std::string_view Tok) {
+  if (Tok.empty() || Tok.size() > 10)
+    return std::nullopt;
+  uint64_t Value = 0;
+  for (char C : Tok) {
+    if (C < '0' || C > '9')
+      return std::nullopt;
+    Value = Value * 10 + (C - '0');
+  }
+  if (Value > 0xffffffffULL)
+    return std::nullopt;
+  return static_cast<uint32_t>(Value);
+}
+
+std::optional<OpKind> kindFromName(std::string_view Name) {
+  static const std::pair<const char *, OpKind> Names[] = {
+      {"rd", OpKind::Read},          {"wr", OpKind::Write},
+      {"acq", OpKind::Acquire},      {"rel", OpKind::Release},
+      {"fork", OpKind::Fork},        {"join", OpKind::Join},
+      {"vrd", OpKind::VolatileRead}, {"vwr", OpKind::VolatileWrite},
+      {"barrier", OpKind::Barrier},  {"abegin", OpKind::AtomicBegin},
+      {"aend", OpKind::AtomicEnd},
+  };
+  for (const auto &[Str, Kind] : Names)
+    if (Name == Str)
+      return Kind;
+  return std::nullopt;
+}
+
+} // namespace
+
+bool ft::parseTrace(std::string_view Text, Trace &Out, std::string &Error) {
+  Out.clear();
+  LineLexer Lexer(Text);
+  std::vector<std::string_view> Tokens;
+  unsigned LineNo = 0;
+  auto fail = [&](const std::string &Message) {
+    Error = "line " + std::to_string(LineNo) + ": " + Message;
+    return false;
+  };
+
+  while (Lexer.nextLine(Tokens, LineNo)) {
+    auto Kind = kindFromName(Tokens[0]);
+    if (!Kind)
+      return fail("unknown operation '" + std::string(Tokens[0]) + "'");
+
+    if (*Kind == OpKind::Barrier) {
+      if (Tokens.size() < 2)
+        return fail("barrier needs at least one thread id");
+      std::vector<ThreadId> Set;
+      for (size_t I = 1; I != Tokens.size(); ++I) {
+        auto Tid = parseU32(Tokens[I]);
+        if (!Tid)
+          return fail("bad thread id '" + std::string(Tokens[I]) + "'");
+        Set.push_back(*Tid);
+      }
+      Out.appendBarrier(Set);
+      continue;
+    }
+
+    bool HasTarget =
+        *Kind != OpKind::AtomicBegin && *Kind != OpKind::AtomicEnd;
+    size_t Expected = HasTarget ? 3 : 2;
+    if (Tokens.size() != Expected)
+      return fail("expected " + std::to_string(Expected - 1) +
+                  " operand(s) for '" + std::string(Tokens[0]) + "'");
+
+    auto Tid = parseU32(Tokens[1]);
+    if (!Tid)
+      return fail("bad thread id '" + std::string(Tokens[1]) + "'");
+    uint32_t Target = NoTarget;
+    if (HasTarget) {
+      auto Parsed = parseU32(Tokens[2]);
+      if (!Parsed)
+        return fail("bad target id '" + std::string(Tokens[2]) + "'");
+      Target = *Parsed;
+    }
+    Out.append(Operation(*Kind, *Tid, Target));
+  }
+  return true;
+}
+
+bool ft::saveTraceFile(const std::string &Path, const Trace &T,
+                       std::string &Error) {
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File) {
+    Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  std::string Text = serializeTrace(T);
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), File);
+  std::fclose(File);
+  if (Written != Text.size()) {
+    Error = "short write to '" + Path + "'";
+    return false;
+  }
+  return true;
+}
+
+bool ft::loadTraceFile(const std::string &Path, Trace &Out,
+                       std::string &Error) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File) {
+    Error = "cannot open '" + Path + "' for reading";
+    return false;
+  }
+  std::string Text;
+  char Buf[1 << 16];
+  size_t Got;
+  while ((Got = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
+    Text.append(Buf, Got);
+  std::fclose(File);
+  return parseTrace(Text, Out, Error);
+}

@@ -1,0 +1,58 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text serialization of traces, one operation per line:
+///
+/// \code
+///   # comment
+///   rd 0 3          # rd(t=0, x=3)
+///   wr 1 3
+///   acq 0 2
+///   rel 0 2
+///   fork 0 1
+///   join 0 1
+///   vrd 0 1         # volatile read
+///   vwr 0 1         # volatile write
+///   barrier 0 1 2   # barrier release of threads {0,1,2}
+///   abegin 0        # atomic-block begin
+///   aend 0
+/// \endcode
+///
+/// The format lets examples and external fuzzers feed traces to the
+/// detectors without linking against the generators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_TRACE_TRACEIO_H
+#define FASTTRACK_TRACE_TRACEIO_H
+
+#include "trace/Trace.h"
+
+#include <string>
+#include <string_view>
+
+namespace ft {
+
+/// Renders \p T in the text format described above.
+std::string serializeTrace(const Trace &T);
+
+/// Parses the text format into \p Out.
+///
+/// \returns true on success; on failure returns false and describes the
+/// problem (with a 1-based line number) in \p Error.
+bool parseTrace(std::string_view Text, Trace &Out, std::string &Error);
+
+/// Writes \p T to \p Path. \returns true on success.
+bool saveTraceFile(const std::string &Path, const Trace &T,
+                   std::string &Error);
+
+/// Reads a trace from \p Path into \p Out. \returns true on success.
+bool loadTraceFile(const std::string &Path, Trace &Out, std::string &Error);
+
+} // namespace ft
+
+#endif // FASTTRACK_TRACE_TRACEIO_H

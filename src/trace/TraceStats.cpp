@@ -1,0 +1,74 @@
+#include "trace/TraceStats.h"
+
+#include "support/Format.h"
+
+using namespace ft;
+
+static double percentOf(uint64_t Part, uint64_t Whole) {
+  return Whole == 0 ? 0.0 : 100.0 * static_cast<double>(Part) /
+                                static_cast<double>(Whole);
+}
+
+double TraceStats::readPercent() const { return percentOf(Reads, total()); }
+double TraceStats::writePercent() const { return percentOf(Writes, total()); }
+double TraceStats::syncPercent() const { return percentOf(syncOps(), total()); }
+
+std::string TraceStats::summary() const {
+  std::string Out;
+  auto addLine = [&](const char *Name, uint64_t Count) {
+    Out += padRight(Name, 16) + padLeft(withCommas(Count), 14) +
+           padLeft(fixed(percentOf(Count, total()), 1), 8) + "%\n";
+  };
+  addLine("reads", Reads);
+  addLine("writes", Writes);
+  addLine("acquires", Acquires);
+  addLine("releases", Releases);
+  addLine("forks", Forks);
+  addLine("joins", Joins);
+  addLine("volatile reads", VolatileReads);
+  addLine("volatile writes", VolatileWrites);
+  addLine("barriers", Barriers);
+  addLine("atomic markers", AtomicMarkers);
+  Out += padRight("total", 16) + padLeft(withCommas(total()), 14) + "\n";
+  return Out;
+}
+
+TraceStats ft::computeStats(const Trace &T) {
+  TraceStats Stats;
+  for (const Operation &Op : T) {
+    switch (Op.Kind) {
+    case OpKind::Read:
+      ++Stats.Reads;
+      break;
+    case OpKind::Write:
+      ++Stats.Writes;
+      break;
+    case OpKind::Acquire:
+      ++Stats.Acquires;
+      break;
+    case OpKind::Release:
+      ++Stats.Releases;
+      break;
+    case OpKind::Fork:
+      ++Stats.Forks;
+      break;
+    case OpKind::Join:
+      ++Stats.Joins;
+      break;
+    case OpKind::VolatileRead:
+      ++Stats.VolatileReads;
+      break;
+    case OpKind::VolatileWrite:
+      ++Stats.VolatileWrites;
+      break;
+    case OpKind::Barrier:
+      ++Stats.Barriers;
+      break;
+    case OpKind::AtomicBegin:
+    case OpKind::AtomicEnd:
+      ++Stats.AtomicMarkers;
+      break;
+    }
+  }
+  return Stats;
+}

@@ -1,0 +1,173 @@
+#include "trace/TraceValidator.h"
+
+#include <map>
+
+using namespace ft;
+
+namespace {
+
+/// Lifecycle of a thread relative to fork/join events.
+enum class ThreadPhase : uint8_t {
+  Unstarted, ///< Never seen. Only the main thread may act in this phase.
+  Running,   ///< Forked (or main), not yet joined.
+  Joined,    ///< join(v, u) has happened; u may not act again.
+};
+
+struct ValidatorState {
+  const Trace &T;
+  const TraceValidatorOptions &Options;
+  std::vector<TraceViolation> Violations;
+
+  /// Lock -> (holder thread, nesting depth); absent means free.
+  std::map<LockId, std::pair<ThreadId, unsigned>> LockHolder;
+  std::vector<ThreadPhase> Phase;
+  /// Number of operations performed by each thread (counts barrier
+  /// membership too, for rule 4).
+  std::vector<uint64_t> OpCount;
+  /// OpCount value at the moment the thread was forked; used for rule 4.
+  std::vector<uint64_t> OpCountAtFork;
+  std::vector<int> AtomicDepth;
+
+  ValidatorState(const Trace &T, const TraceValidatorOptions &Options)
+      : T(T), Options(Options) {
+    Phase.assign(T.numThreads(), ThreadPhase::Unstarted);
+    OpCount.assign(T.numThreads(), 0);
+    OpCountAtFork.assign(T.numThreads(), 0);
+    AtomicDepth.assign(T.numThreads(), 0);
+    if (!Phase.empty())
+      Phase[0] = ThreadPhase::Running;
+  }
+
+  void report(size_t Index, std::string Message) {
+    Violations.push_back({Index, std::move(Message)});
+  }
+
+  /// Checks that \p U may perform an operation at position \p Index.
+  void checkActor(size_t Index, ThreadId U) {
+    if (Phase[U] == ThreadPhase::Joined) {
+      report(Index, "thread " + std::to_string(U) +
+                        " acts after being joined");
+      return;
+    }
+    if (Phase[U] == ThreadPhase::Unstarted && Options.RequireFork)
+      report(Index,
+             "thread " + std::to_string(U) + " acts before being forked");
+  }
+
+  void run();
+  void visit(size_t Index, const Operation &Op);
+};
+
+void ValidatorState::visit(size_t Index, const Operation &Op) {
+  if (Op.Kind == OpKind::Barrier) {
+    for (ThreadId U : T.barrierSet(Op.Target)) {
+      checkActor(Index, U);
+      ++OpCount[U];
+    }
+    return;
+  }
+
+  checkActor(Index, Op.Thread);
+  ++OpCount[Op.Thread];
+
+  switch (Op.Kind) {
+  case OpKind::Acquire: {
+    auto It = LockHolder.find(Op.Target);
+    if (It == LockHolder.end()) {
+      LockHolder[Op.Target] = {Op.Thread, 1};
+      break;
+    }
+    auto &[Holder, Depth] = It->second;
+    if (Holder == Op.Thread && Options.AllowReentrantLocks) {
+      ++Depth;
+      break;
+    }
+    report(Index, "lock m" + std::to_string(Op.Target) +
+                      " acquired while held by thread " +
+                      std::to_string(Holder));
+    break;
+  }
+  case OpKind::Release: {
+    auto It = LockHolder.find(Op.Target);
+    if (It == LockHolder.end() || It->second.first != Op.Thread) {
+      report(Index, "thread " + std::to_string(Op.Thread) +
+                        " releases lock m" + std::to_string(Op.Target) +
+                        " it does not hold");
+      break;
+    }
+    if (--It->second.second == 0)
+      LockHolder.erase(It);
+    break;
+  }
+  case OpKind::Fork: {
+    ThreadId U = Op.Target;
+    if (U == Op.Thread) {
+      report(Index, "thread " + std::to_string(U) + " forks itself");
+      break;
+    }
+    if (Phase[U] != ThreadPhase::Unstarted) {
+      report(Index, "thread " + std::to_string(U) + " forked twice");
+      break;
+    }
+    if (OpCount[U] != 0)
+      report(Index, "thread " + std::to_string(U) +
+                        " has operations before its fork");
+    Phase[U] = ThreadPhase::Running;
+    OpCountAtFork[U] = OpCount[U];
+    break;
+  }
+  case OpKind::Join: {
+    ThreadId U = Op.Target;
+    if (U == Op.Thread) {
+      report(Index, "thread " + std::to_string(U) + " joins itself");
+      break;
+    }
+    if (Phase[U] != ThreadPhase::Running) {
+      report(Index, "join of thread " + std::to_string(U) +
+                        " which is not running");
+      break;
+    }
+    if (OpCount[U] == OpCountAtFork[U])
+      report(Index, "no operation of thread " + std::to_string(U) +
+                        " between its fork and join (rule 4)");
+    Phase[U] = ThreadPhase::Joined;
+    break;
+  }
+  case OpKind::AtomicBegin:
+    ++AtomicDepth[Op.Thread];
+    break;
+  case OpKind::AtomicEnd:
+    if (--AtomicDepth[Op.Thread] < 0 && Options.CheckAtomicBalance) {
+      report(Index, "atomic end without matching begin on thread " +
+                        std::to_string(Op.Thread));
+      AtomicDepth[Op.Thread] = 0;
+    }
+    break;
+  case OpKind::Read:
+  case OpKind::Write:
+  case OpKind::VolatileRead:
+  case OpKind::VolatileWrite:
+  case OpKind::Barrier:
+    break;
+  }
+}
+
+void ValidatorState::run() {
+  for (size_t I = 0, E = T.size(); I != E; ++I)
+    visit(I, T[I]);
+  if (Options.CheckAtomicBalance) {
+    for (ThreadId U = 0; U != AtomicDepth.size(); ++U)
+      if (AtomicDepth[U] > 0)
+        report(T.size(), "unclosed atomic block on thread " +
+                             std::to_string(U));
+  }
+}
+
+} // namespace
+
+std::vector<TraceViolation>
+ft::validateTrace(const Trace &T, const TraceValidatorOptions &Options) {
+  ValidatorState State(T, Options);
+  State.run();
+  return std::move(State.Violations);
+}

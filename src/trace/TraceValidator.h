@@ -1,0 +1,67 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks that a trace is feasible: Section 2.1 of the paper restricts
+/// attention to traces respecting the usual constraints on forks, joins,
+/// and locking. The detectors assume these constraints; the workload
+/// generators and the MiniConc interpreter are tested to produce only
+/// feasible traces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_TRACE_TRACEVALIDATOR_H
+#define FASTTRACK_TRACE_TRACEVALIDATOR_H
+
+#include "trace/Trace.h"
+
+#include <string>
+#include <vector>
+
+namespace ft {
+
+/// One feasibility violation: the index of the offending operation plus a
+/// human-readable message.
+struct TraceViolation {
+  size_t OpIndex;
+  std::string Message;
+};
+
+/// Options controlling which constraints TraceValidator enforces.
+struct TraceValidatorOptions {
+  /// Allow the same thread to re-acquire a lock it already holds
+  /// (re-entrant locking). The framework's ReentrantLockFilter strips the
+  /// redundant pairs before analysis, as RoadRunner does.
+  bool AllowReentrantLocks = false;
+
+  /// Require every thread other than the main thread (id 0) to be forked
+  /// before its first operation.
+  bool RequireFork = true;
+
+  /// Require atomic begin/end markers to be balanced per thread.
+  bool CheckAtomicBalance = true;
+};
+
+/// Validates the constraints of Section 2.1:
+///  (1) no thread acquires a lock previously acquired but not released,
+///  (2) no thread releases a lock it did not previously acquire,
+///  (3) no operations of thread u precede fork(t,u) or follow join(v,u),
+///  (4) at least one operation of u occurs between fork(t,u) and join(v,u).
+/// Plus: fork/join sanity (no self-fork, no double fork, join only of
+/// forked threads) and barrier sets containing only live threads.
+std::vector<TraceViolation>
+validateTrace(const Trace &T,
+              const TraceValidatorOptions &Options = TraceValidatorOptions());
+
+/// Returns true when validateTrace reports no violations.
+inline bool isFeasible(const Trace &T, const TraceValidatorOptions &Options =
+                                           TraceValidatorOptions()) {
+  return validateTrace(T, Options).empty();
+}
+
+} // namespace ft
+
+#endif // FASTTRACK_TRACE_TRACEVALIDATOR_H

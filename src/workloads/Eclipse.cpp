@@ -1,0 +1,118 @@
+//===----------------------------------------------------------------------===//
+//
+// The five Eclipse 3.4.0 operations of Section 5.3, modelled as
+// 24-thread IDE workloads: a lock-protected job queue, large read-shared
+// workspace metadata, per-thread build scratch state, and the specific
+// warning sources the paper lists — races on a tree-node array, progress
+// meters, a double-checked-locking field, result-hand-back array entries,
+// and debugger stream initialization. Eclipse's wait/notify, semaphore,
+// and readers-writer-lock idioms (which Eraser cannot model) appear as
+// volatile hand-offs, giving Eraser its hundreds of spurious warnings
+// (960 across the five operations in the paper).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "workloads/WorkloadKit.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ft;
+
+namespace {
+
+/// Shape of one Eclipse operation.
+struct EclipseSpec {
+  const char *Name;
+  unsigned Rounds;          ///< Work volume at SizeFactor 1.
+  unsigned MetadataVars;    ///< Read-shared workspace metadata size.
+  unsigned RealRaces;       ///< Racy variables (tree nodes, meters, ...).
+  unsigned EraserHandoffs;  ///< Spurious-warning hand-offs.
+};
+
+Trace makeEclipseOp(const EclipseSpec &Spec, uint64_t Seed, double F) {
+  unsigned Workers = 24;
+  WorkloadKit Kit(Workers, Seed);
+  unsigned Rounds =
+      std::max(1u, static_cast<unsigned>(std::lround(Spec.Rounds * F)));
+
+  VarId Metadata = Kit.allocVars(Spec.MetadataVars);
+  VarId JobQueue = Kit.allocVars(32);
+  VarId Resources = Kit.allocVars(8);
+  VarId Tl = Kit.allocVars(Workers * 8);
+  VarId RacyVars = Kit.allocVars(Spec.RealRaces);
+  VarId Handoffs = Kit.allocVars(Spec.EraserHandoffs);
+  LockId QueueLock = Kit.allocLocks(1);
+  LockId ResourceLocks = Kit.allocLocks(8);
+  VolatileId Flags = Kit.allocVolatiles(Spec.EraserHandoffs);
+
+  // Workspace metadata is initialized by the UI thread, then read-shared.
+  for (unsigned I = 0; I != Spec.MetadataVars; ++I)
+    Kit.wr(0, Metadata + I);
+  Kit.forkAll();
+
+  Kit.rounds(Rounds, [&](ThreadId T, unsigned R) {
+    // Pull a job.
+    Kit.acq(T, QueueLock);
+    Kit.rd(T, JobQueue + (R % 32));
+    Kit.wr(T, JobQueue + (R % 32));
+    Kit.rel(T, QueueLock);
+    // Consult the workspace and build in scratch space.
+    Kit.readSharedSweep(T, Metadata, Spec.MetadataVars, 20);
+    Kit.threadLocalWork(T, Tl + (T - 1) * 8, 8, 24);
+    // Touch a resource under a fine-grained lock.
+    unsigned Slot = static_cast<unsigned>(Kit.Rng.nextBelow(8));
+    Kit.lockedRmw(T, ResourceLocks + Slot, Resources + Slot);
+    // The real races: tree nodes / progress meters / double-checked
+    // locking. Each racy variable is shared by a fixed pair of threads
+    // that update it in the *same* round — accesses in different rounds
+    // would be serialized by the job-queue lock.
+    if (Spec.RealRaces != 0 && R % 8 == 1) {
+      unsigned Pair = (T - 1) / 2;
+      if (Pair < Spec.RealRaces)
+        Kit.racyRmw(T, RacyVars + Pair);
+    }
+  });
+
+  // The non-lock synchronization idioms Eraser cannot follow.
+  for (unsigned I = 0; I != Spec.EraserHandoffs; ++I)
+    Kit.volatileHandoffFalseAlarm(
+        Kit.workerTid(I % Workers),
+        Kit.workerTid((I + 7) % Workers), Handoffs + I, 1, Flags + I);
+
+  Kit.joinAll();
+  return Kit.take();
+}
+
+const EclipseSpec Specs[] = {
+    //               rounds meta  races handoffs
+    {"eclipse-startup", 160, 1024, 8, 220},
+    {"eclipse-import", 90, 512, 6, 180},
+    {"eclipse-clean-small", 110, 512, 6, 190},
+    {"eclipse-clean-large", 260, 1024, 6, 200},
+    {"eclipse-debug", 30, 256, 4, 170},
+};
+
+} // namespace
+
+const std::vector<Workload> &ft::eclipseOperations() {
+  static const std::vector<Workload> Ops = [] {
+    std::vector<Workload> Result;
+    for (const EclipseSpec &Spec : Specs) {
+      Workload W;
+      W.Name = Spec.Name;
+      W.Workers = 24;
+      W.ComputeBound = true;
+      W.RealRacyVars = Spec.RealRaces;
+      W.ExpectedEraserFalseAlarms = Spec.EraserHandoffs;
+      W.Generate = [&Spec](uint64_t Seed, double F) {
+        return makeEclipseOp(Spec, Seed, F);
+      };
+      Result.push_back(std::move(W));
+    }
+    return Result;
+  }();
+  return Ops;
+}

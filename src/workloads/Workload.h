@@ -1,0 +1,63 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The synthetic benchmark suite: sixteen trace generators whose sharing
+/// structure mirrors the Java programs of the paper's Table 1 (elevator,
+/// hedc, tsp, mtrt, jbb, the Java Grande kernels, colt, raja, philo), plus
+/// five "Eclipse operation" workloads for the Section 5.3 experiment.
+///
+/// Each generator is a deterministic function of a seed and a size factor,
+/// produces a feasible trace, and documents its ground truth: how many
+/// variables truly race (validated against the happens-before oracle in
+/// the test suite) and how the imprecise tools are expected to misjudge
+/// it. See DESIGN.md for why matching the access-pattern statistics
+/// reproduces the paper's relative-cost shape.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_WORKLOADS_WORKLOAD_H
+#define FASTTRACK_WORKLOADS_WORKLOAD_H
+
+#include "trace/Trace.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ft {
+
+/// One benchmark workload.
+struct Workload {
+  std::string Name;
+  /// Worker threads (the generated trace additionally has the main
+  /// thread, like the Java originals' main + workers).
+  unsigned Workers = 4;
+  /// True when the original is compute-bound; Table 1 averages exclude
+  /// the others (elevator, philo, hedc, jbb).
+  bool ComputeBound = true;
+  /// Number of variables with a real race (oracle-verified ground truth).
+  unsigned RealRacyVars = 0;
+  /// Variables Eraser warns about spuriously (expected false alarms).
+  unsigned ExpectedEraserFalseAlarms = 0;
+  /// Builds the trace. SizeFactor 1.0 targets the default event volume
+  /// (hundreds of thousands of events); tests use small factors.
+  std::function<Trace(uint64_t Seed, double SizeFactor)> Generate;
+};
+
+/// The sixteen Table 1 benchmark analogues, in the paper's row order.
+const std::vector<Workload> &benchmarkSuite();
+
+/// Looks up a benchmark by name; nullptr when unknown.
+const Workload *findWorkload(const std::string &Name);
+
+/// The five Eclipse operations of Section 5.3 (Startup, Import,
+/// Clean Small, Clean Large, Debug) — 24-thread IDE-like workloads.
+const std::vector<Workload> &eclipseOperations();
+
+} // namespace ft
+
+#endif // FASTTRACK_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,207 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Building blocks for the synthetic workload generators: a main thread,
+/// a set of worker threads, variable allocation, and the recurring
+/// sharing patterns of the paper's benchmarks (thread-local loops,
+/// lock-protected counters, read-shared tables, barrier phases,
+/// epoch-churned array sweeps, and the hand-off idioms that trip or fool
+/// the imprecise detectors).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_WORKLOADS_WORKLOADKIT_H
+#define FASTTRACK_WORKLOADS_WORKLOADKIT_H
+
+#include "support/Rng.h"
+#include "trace/Trace.h"
+
+#include <vector>
+
+namespace ft {
+
+/// Emits a structured multithreaded trace. Thread 0 is the main thread;
+/// workers are 1..Workers. The kit interleaves worker "rounds" in rotated
+/// order, which yields genuine concurrency between workers while keeping
+/// generation deterministic.
+class WorkloadKit {
+public:
+  WorkloadKit(unsigned Workers, uint64_t Seed)
+      : Rng(Seed), Workers(Workers) {}
+
+  unsigned workers() const { return Workers; }
+  ThreadId workerTid(unsigned I) const { return I + 1; }
+
+  /// Allocates \p Count fresh variable ids and returns the first.
+  VarId allocVars(unsigned Count) {
+    VarId First = NextVar;
+    NextVar += Count;
+    return First;
+  }
+  LockId allocLocks(unsigned Count) {
+    LockId First = NextLock;
+    NextLock += Count;
+    return First;
+  }
+  VolatileId allocVolatiles(unsigned Count) {
+    VolatileId First = NextVolatile;
+    NextVolatile += Count;
+    return First;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Raw events.
+  //===--------------------------------------------------------------===//
+
+  void rd(ThreadId T, VarId X) { Result.append(ft::rd(T, X)); }
+  void wr(ThreadId T, VarId X) { Result.append(ft::wr(T, X)); }
+  void acq(ThreadId T, LockId M) { Result.append(ft::acq(T, M)); }
+  void rel(ThreadId T, LockId M) { Result.append(ft::rel(T, M)); }
+  void volRd(ThreadId T, VolatileId V) { Result.append(ft::volRd(T, V)); }
+  void volWr(ThreadId T, VolatileId V) { Result.append(ft::volWr(T, V)); }
+  void atomicBegin(ThreadId T) { Result.append(ft::atomicBegin(T)); }
+  void atomicEnd(ThreadId T) { Result.append(ft::atomicEnd(T)); }
+
+  //===--------------------------------------------------------------===//
+  // Structure.
+  //===--------------------------------------------------------------===//
+
+  /// Main forks every worker.
+  void forkAll() {
+    for (unsigned I = 0; I != Workers; ++I)
+      Result.append(ft::fork(0, workerTid(I)));
+  }
+
+  /// Main joins every worker.
+  void joinAll() {
+    for (unsigned I = 0; I != Workers; ++I)
+      Result.append(ft::join(0, workerTid(I)));
+  }
+
+  /// Barrier release across all workers (not the main thread), as in the
+  /// Java Grande kernels.
+  void barrierWorkers() {
+    std::vector<ThreadId> Set;
+    for (unsigned I = 0; I != Workers; ++I)
+      Set.push_back(workerTid(I));
+    Result.appendBarrier(Set);
+  }
+
+  /// Runs \p Rounds rounds; in each round every worker is visited once,
+  /// in an order rotated per round, calling Fn(workerTid, round).
+  template <typename Fn> void rounds(unsigned Rounds, Fn &&Body) {
+    for (unsigned R = 0; R != Rounds; ++R) {
+      unsigned Rotation = static_cast<unsigned>(Rng.nextBelow(Workers));
+      for (unsigned I = 0; I != Workers; ++I) {
+        unsigned W = (I + Rotation) % Workers;
+        Body(workerTid(W), R);
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------===//
+  // Sharing patterns.
+  //===--------------------------------------------------------------===//
+
+  /// Thread-local compute: repeated read/write of the worker's own
+  /// scalars. Produces same-epoch fast-path hits.
+  void threadLocalWork(ThreadId T, VarId Base, unsigned Vars,
+                       unsigned Ops) {
+    for (unsigned I = 0; I != Ops; ++I) {
+      VarId X = Base + static_cast<VarId>(Rng.nextBelow(Vars));
+      if (Rng.nextBool(0.82))
+        rd(T, X);
+      else
+        wr(T, X);
+    }
+  }
+
+  /// Reads \p Count entries of a read-shared table (e.g. a scene graph or
+  /// input matrix). Produces [FT READ SHARED] traffic.
+  void readSharedSweep(ThreadId T, VarId Base, unsigned Vars,
+                       unsigned Count) {
+    for (unsigned I = 0; I != Count; ++I)
+      rd(T, Base + static_cast<VarId>(Rng.nextBelow(Vars)));
+  }
+
+  /// A lock-protected read-modify-write of \p X under \p M.
+  void lockedRmw(ThreadId T, LockId M, VarId X) {
+    acq(T, M);
+    rd(T, X);
+    wr(T, X);
+    rel(T, M);
+  }
+
+  /// An unsynchronized read-modify-write — a real (repeating) race.
+  void racyRmw(ThreadId T, VarId X) {
+    rd(T, X);
+    wr(T, X);
+  }
+
+  /// Sweeps a private array slice, taking a lock every \p ElemsPerEpoch
+  /// elements. The release ends the epoch, so each element's next access
+  /// is first-in-epoch: DJIT+ pays an O(n) comparison per element while
+  /// FastTrack pays an O(1) epoch check (the crypt/lufact cost profile).
+  void epochChurnSweep(ThreadId T, LockId M, VarId Base, unsigned Elems,
+                       unsigned ElemsPerEpoch, bool Write) {
+    for (unsigned I = 0; I != Elems; ++I) {
+      if (I % ElemsPerEpoch == 0) {
+        acq(T, M);
+        rel(T, M);
+      }
+      if (Write) {
+        rd(T, Base + I); // in-place update reads the element first
+        wr(T, Base + I);
+      } else {
+        rd(T, Base + I);
+      }
+    }
+  }
+
+  /// Race-free hand-off through a volatile flag that Eraser nevertheless
+  /// reports: writer publishes \p Vars unlocked, then stores the flag;
+  /// the reader consumes the flag and updates the data. The volatile
+  /// edge orders the accesses, but no lock protects the data, so
+  /// Eraser's candidate set empties (a guaranteed false alarm).
+  void volatileHandoffFalseAlarm(ThreadId Writer, ThreadId Reader,
+                                 VarId Base, unsigned Vars,
+                                 VolatileId Flag) {
+    for (unsigned I = 0; I != Vars; ++I)
+      wr(Writer, Base + I);
+    volWr(Writer, Flag);
+    volRd(Reader, Flag);
+    for (unsigned I = 0; I != Vars; ++I) {
+      rd(Reader, Base + I);
+      wr(Reader, Base + I);
+    }
+  }
+
+  /// A one-shot unsynchronized hand-off: \p Writer writes, \p Reader
+  /// later reads with no ordering. A real write-read race — and exactly
+  /// the shape the Eraser state machine (Exclusive -> Shared, no warning)
+  /// and Goldilocks' unsound thread-local fast path both miss, losing the
+  /// hedc races of Section 5.1.
+  void silentHandoffRace(ThreadId Writer, ThreadId Reader, VarId X) {
+    wr(Writer, X);
+    rd(Reader, X);
+  }
+
+  Trace take() { return std::move(Result); }
+
+  Xoshiro256StarStar Rng;
+
+private:
+  unsigned Workers;
+  Trace Result;
+  VarId NextVar = 0;
+  LockId NextLock = 0;
+  VolatileId NextVolatile = 0;
+};
+
+} // namespace ft
+
+#endif // FASTTRACK_WORKLOADS_WORKLOADKIT_H

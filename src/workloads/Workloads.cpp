@@ -1,0 +1,528 @@
+//===----------------------------------------------------------------------===//
+//
+// The sixteen Table 1 benchmark analogues. Each generator documents the
+// sharing structure of the Java original it models and its ground truth
+// (real races, expected Eraser false alarms). The numbers in comments
+// refer to the paper's Table 1 warning columns.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "workloads/WorkloadKit.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ft;
+
+namespace {
+
+unsigned scaled(unsigned N, double Factor) {
+  return std::max(1u, static_cast<unsigned>(std::lround(N * Factor)));
+}
+
+//===----------------------------------------------------------------------===//
+// colt: scientific library driven from a mostly-serial harness. Very
+// little sharing; 3 Eraser false alarms (volatile-style hand-offs), no
+// real races.
+//===----------------------------------------------------------------------===//
+
+Trace makeColt(uint64_t Seed, double F) {
+  WorkloadKit Kit(11, Seed);
+  VarId Tl = Kit.allocVars(11 * 8);
+  VarId Shared = Kit.allocVars(64);
+  VarId Handoff = Kit.allocVars(3);
+  VolatileId Flags = Kit.allocVolatiles(3);
+
+  for (unsigned I = 0; I != 64; ++I)
+    Kit.wr(0, Shared + I);
+  Kit.forkAll();
+
+  unsigned Rounds = scaled(400, F);
+  Kit.rounds(Rounds, [&](ThreadId T, unsigned R) {
+    Kit.threadLocalWork(T, Tl + (T - 1) * 8, 8, 24);
+    if (R % 4 == 0)
+      Kit.readSharedSweep(T, Shared, 64, 6);
+  });
+  // Three race-free volatile hand-offs that defeat the lockset discipline.
+  for (unsigned I = 0; I != 3; ++I)
+    Kit.volatileHandoffFalseAlarm(Kit.workerTid(I), Kit.workerTid(I + 3),
+                                  Handoff + I, 1, Flags + I);
+  Kit.joinAll();
+  return Kit.take();
+}
+
+//===----------------------------------------------------------------------===//
+// crypt: IDEA encryption — each worker sweeps large private array slices,
+// with frequent epoch boundaries. Every element access is first-in-epoch,
+// which is the worst case for DJIT+/BasicVC (O(n) per element) and the
+// best case for epochs. Race-free.
+//===----------------------------------------------------------------------===//
+
+Trace makeCrypt(uint64_t Seed, double F) {
+  WorkloadKit Kit(7, Seed);
+  unsigned Slice = scaled(6000, F);
+  VarId Data = Kit.allocVars(7 * Slice);
+  LockId Locks = Kit.allocLocks(7);
+
+  Kit.forkAll();
+  for (unsigned Phase = 0; Phase != 3; ++Phase) {
+    for (unsigned W = 0; W != 7; ++W) {
+      ThreadId T = Kit.workerTid(W);
+      Kit.epochChurnSweep(T, Locks + W, Data + W * Slice, Slice,
+                          /*ElemsPerEpoch=*/32, /*Write=*/Phase != 1);
+    }
+  }
+  Kit.joinAll();
+  return Kit.take();
+}
+
+//===----------------------------------------------------------------------===//
+// lufact: LU factorization — barrier per iteration, a read-shared pivot
+// row, and partitioned row updates. Barriers end epochs, so most accesses
+// are first-in-epoch. 4 Eraser false alarms; race-free.
+//===----------------------------------------------------------------------===//
+
+Trace makeLufact(uint64_t Seed, double F) {
+  WorkloadKit Kit(4, Seed);
+  unsigned Part = 96;
+  VarId Pivot = Kit.allocVars(48);
+  VarId Rows = Kit.allocVars(4 * Part);
+  VarId Handoff = Kit.allocVars(4);
+  VolatileId Flags = Kit.allocVolatiles(4);
+
+  for (unsigned I = 0; I != 48; ++I)
+    Kit.wr(0, Pivot + I);
+  Kit.forkAll();
+
+  unsigned Iterations = scaled(220, F);
+  for (unsigned It = 0; It != Iterations; ++It) {
+    Kit.barrierWorkers();
+    for (unsigned W = 0; W != 4; ++W) {
+      ThreadId T = Kit.workerTid(W);
+      Kit.readSharedSweep(T, Pivot, 48, 24);
+      for (unsigned I = 0; I != Part; ++I)
+        Kit.wr(T, Rows + W * Part + I);
+    }
+    if (It < 4)
+      Kit.volatileHandoffFalseAlarm(Kit.workerTid(It), Kit.workerTid((It + 1) % 4),
+                                    Handoff + It, 1, Flags + It);
+  }
+  Kit.joinAll();
+  return Kit.take();
+}
+
+//===----------------------------------------------------------------------===//
+// moldyn: molecular dynamics — barrier phases, read-shared coordinates,
+// and lock-protected force reduction. Race-free, no warnings.
+//===----------------------------------------------------------------------===//
+
+Trace makeMoldyn(uint64_t Seed, double F) {
+  WorkloadKit Kit(4, Seed);
+  VarId Coords = Kit.allocVars(256);
+  VarId Forces = Kit.allocVars(64);
+  VarId Tl = Kit.allocVars(4 * 8);
+  LockId ForceLock = Kit.allocLocks(1);
+
+  for (unsigned I = 0; I != 256; ++I)
+    Kit.wr(0, Coords + I);
+  Kit.forkAll();
+
+  unsigned Phases = scaled(260, F);
+  for (unsigned Phase = 0; Phase != Phases; ++Phase) {
+    Kit.barrierWorkers();
+    Kit.rounds(1, [&](ThreadId T, unsigned) {
+      Kit.readSharedSweep(T, Coords, 256, 48);
+      Kit.threadLocalWork(T, Tl + (T - 1) * 8, 8, 48);
+      for (unsigned I = 0; I != 6; ++I)
+        Kit.lockedRmw(T, ForceLock,
+                      Forces + static_cast<VarId>(Kit.Rng.nextBelow(64)));
+    });
+  }
+  Kit.joinAll();
+  return Kit.take();
+}
+
+//===----------------------------------------------------------------------===//
+// montecarlo: embarrassingly parallel simulation — dominated by
+// thread-local work, with a lock-protected result vector at the end.
+// Race-free; almost no vector clocks needed (25 allocated in Table 2).
+//===----------------------------------------------------------------------===//
+
+Trace makeMontecarlo(uint64_t Seed, double F) {
+  WorkloadKit Kit(4, Seed);
+  VarId Tl = Kit.allocVars(4 * 16);
+  VarId Results = Kit.allocVars(32);
+  LockId ResultLock = Kit.allocLocks(1);
+
+  Kit.forkAll();
+  unsigned Rounds = scaled(2200, F);
+  Kit.rounds(Rounds, [&](ThreadId T, unsigned) {
+    Kit.threadLocalWork(T, Tl + (T - 1) * 16, 16, 60);
+  });
+  Kit.rounds(scaled(24, F), [&](ThreadId T, unsigned R) {
+    Kit.lockedRmw(T, ResultLock, Results + (R % 32));
+  });
+  Kit.joinAll();
+  return Kit.take();
+}
+
+//===----------------------------------------------------------------------===//
+// mtrt: SPEC ray tracer — a large read-shared scene plus thread-local
+// rendering state, with one real (benign) race on a shared counter.
+//===----------------------------------------------------------------------===//
+
+Trace makeMtrt(uint64_t Seed, double F) {
+  WorkloadKit Kit(5, Seed);
+  VarId Scene = Kit.allocVars(512);
+  VarId Tl = Kit.allocVars(5 * 8);
+  VarId RacyCounter = Kit.allocVars(1);
+
+  for (unsigned I = 0; I != 512; ++I)
+    Kit.wr(0, Scene + I);
+  Kit.forkAll();
+
+  unsigned Rounds = scaled(450, F);
+  Kit.rounds(Rounds, [&](ThreadId T, unsigned R) {
+    Kit.readSharedSweep(T, Scene, 512, 40);
+    Kit.threadLocalWork(T, Tl + (T - 1) * 8, 8, 16);
+    if (R % 8 == 3 && T <= 2)
+      Kit.racyRmw(T, RacyCounter); // real race: threads 1 and 2
+  });
+  Kit.joinAll();
+  return Kit.take();
+}
+
+//===----------------------------------------------------------------------===//
+// raja: a two-thread ray tracer; read-shared scene, thread-local pixels.
+// Race-free, low overhead.
+//===----------------------------------------------------------------------===//
+
+Trace makeRaja(uint64_t Seed, double F) {
+  WorkloadKit Kit(2, Seed);
+  VarId Scene = Kit.allocVars(256);
+  VarId Tl = Kit.allocVars(2 * 8);
+
+  for (unsigned I = 0; I != 256; ++I)
+    Kit.wr(0, Scene + I);
+  Kit.forkAll();
+  Kit.rounds(scaled(700, F), [&](ThreadId T, unsigned) {
+    Kit.readSharedSweep(T, Scene, 256, 24);
+    Kit.threadLocalWork(T, Tl + (T - 1) * 8, 8, 40);
+  });
+  Kit.joinAll();
+  return Kit.take();
+}
+
+//===----------------------------------------------------------------------===//
+// raytracer: Java Grande ray tracer — the famous real race on the
+// 'checksum' field, updated by every worker without a lock.
+//===----------------------------------------------------------------------===//
+
+Trace makeRaytracer(uint64_t Seed, double F) {
+  WorkloadKit Kit(4, Seed);
+  VarId Scene = Kit.allocVars(384);
+  VarId Tl = Kit.allocVars(4 * 8);
+  VarId Checksum = Kit.allocVars(1);
+
+  for (unsigned I = 0; I != 384; ++I)
+    Kit.wr(0, Scene + I);
+  Kit.forkAll();
+  Kit.rounds(scaled(520, F), [&](ThreadId T, unsigned R) {
+    Kit.readSharedSweep(T, Scene, 384, 32);
+    Kit.threadLocalWork(T, Tl + (T - 1) * 8, 8, 20);
+    if (R % 16 == 3)
+      Kit.racyRmw(T, Checksum); // real write-write/read-write races
+  });
+  Kit.joinAll();
+  return Kit.take();
+}
+
+//===----------------------------------------------------------------------===//
+// sparse: sparse mat-vec — dominated by reads of a read-shared matrix
+// with thread-local accumulation. Race-free.
+//===----------------------------------------------------------------------===//
+
+Trace makeSparse(uint64_t Seed, double F) {
+  WorkloadKit Kit(4, Seed);
+  VarId Matrix = Kit.allocVars(1024);
+  VarId Out = Kit.allocVars(4 * 32);
+
+  for (unsigned I = 0; I != 1024; ++I)
+    Kit.wr(0, Matrix + I);
+  Kit.forkAll();
+  Kit.rounds(scaled(480, F), [&](ThreadId T, unsigned) {
+    Kit.readSharedSweep(T, Matrix, 1024, 56);
+    for (unsigned I = 0; I != 8; ++I)
+      Kit.wr(T, Out + (T - 1) * 32 + static_cast<VarId>(Kit.Rng.nextBelow(32)));
+  });
+  Kit.joinAll();
+  return Kit.take();
+}
+
+//===----------------------------------------------------------------------===//
+// series: Fourier coefficients — almost pure thread-local computation
+// (1.0x slowdowns across every tool). One Eraser false alarm.
+//===----------------------------------------------------------------------===//
+
+Trace makeSeries(uint64_t Seed, double F) {
+  WorkloadKit Kit(4, Seed);
+  VarId Tl = Kit.allocVars(4 * 4);
+  VarId Handoff = Kit.allocVars(1);
+  VolatileId Flag = Kit.allocVolatiles(1);
+
+  Kit.forkAll();
+  Kit.rounds(scaled(2600, F), [&](ThreadId T, unsigned) {
+    Kit.threadLocalWork(T, Tl + (T - 1) * 4, 4, 60);
+  });
+  Kit.volatileHandoffFalseAlarm(Kit.workerTid(0), Kit.workerTid(1), Handoff,
+                                1, Flag);
+  Kit.joinAll();
+  return Kit.take();
+}
+
+//===----------------------------------------------------------------------===//
+// sor: red/black successive over-relaxation — barrier-separated phases;
+// each worker writes its own color and reads the other color written in
+// the previous phase. Race-free; 3 Eraser false alarms.
+//===----------------------------------------------------------------------===//
+
+Trace makeSor(uint64_t Seed, double F) {
+  WorkloadKit Kit(4, Seed);
+  unsigned CellsPerWorker = 64; // per color
+  VarId Red = Kit.allocVars(4 * CellsPerWorker);
+  VarId Black = Kit.allocVars(4 * CellsPerWorker);
+  VarId Handoff = Kit.allocVars(3);
+  VolatileId Flags = Kit.allocVolatiles(3);
+
+  Kit.forkAll();
+  unsigned Phases = scaled(320, F);
+  for (unsigned Phase = 0; Phase != Phases; ++Phase) {
+    Kit.barrierWorkers();
+    bool RedPhase = Phase % 2 == 0;
+    VarId Mine = RedPhase ? Red : Black;
+    VarId Theirs = RedPhase ? Black : Red;
+    for (unsigned W = 0; W != 4; ++W) {
+      ThreadId T = Kit.workerTid(W);
+      // Read neighbour cells of the opposite color (previous phase).
+      unsigned Left = (W + 3) % 4, Right = (W + 1) % 4;
+      for (unsigned I = 0; I != 8; ++I) {
+        Kit.rd(T, Theirs + Left * CellsPerWorker + I);
+        Kit.rd(T, Theirs + Right * CellsPerWorker + I);
+      }
+      for (unsigned I = 0; I != CellsPerWorker; ++I) {
+        Kit.rd(T, Mine + W * CellsPerWorker + I);
+        Kit.wr(T, Mine + W * CellsPerWorker + I);
+      }
+    }
+    if (Phase < 3)
+      Kit.volatileHandoffFalseAlarm(Kit.workerTid(Phase),
+                                    Kit.workerTid((Phase + 2) % 4),
+                                    Handoff + Phase, 1, Flags + Phase);
+  }
+  Kit.joinAll();
+  return Kit.take();
+}
+
+//===----------------------------------------------------------------------===//
+// tsp: branch-and-bound traveling salesman — a lock-protected work queue
+// plus the classic benign race: the global bound is written under the
+// lock but read without it. 1 real racy variable, 8 Eraser false alarms.
+//===----------------------------------------------------------------------===//
+
+Trace makeTsp(uint64_t Seed, double F) {
+  WorkloadKit Kit(5, Seed);
+  VarId Queue = Kit.allocVars(16);
+  VarId MinBound = Kit.allocVars(1);
+  VarId Tl = Kit.allocVars(5 * 8);
+  VarId Handoff = Kit.allocVars(8);
+  LockId QueueLock = Kit.allocLocks(1);
+  VolatileId Flags = Kit.allocVolatiles(8);
+
+  Kit.forkAll();
+  Kit.rounds(scaled(380, F), [&](ThreadId T, unsigned R) {
+    // Grab work and update the bound under the lock...
+    Kit.acq(T, QueueLock);
+    Kit.rd(T, Queue + (R % 16));
+    Kit.wr(T, Queue + (R % 16));
+    Kit.wr(T, MinBound);
+    Kit.rel(T, QueueLock);
+    // ...but poll the bound without it (the benign race).
+    Kit.rd(T, MinBound);
+    Kit.threadLocalWork(T, Tl + (T - 1) * 8, 8, 30);
+  });
+  for (unsigned I = 0; I != 8; ++I)
+    Kit.volatileHandoffFalseAlarm(Kit.workerTid(I % 5),
+                                  Kit.workerTid((I + 2) % 5),
+                                  Handoff + I, 1, Flags + I);
+  Kit.joinAll();
+  return Kit.take();
+}
+
+//===----------------------------------------------------------------------===//
+// elevator: a discrete-event simulator — lock-protected state machine,
+// not compute-bound. Race-free, no warnings.
+//===----------------------------------------------------------------------===//
+
+Trace makeElevator(uint64_t Seed, double F) {
+  WorkloadKit Kit(5, Seed);
+  VarId State = Kit.allocVars(24);
+  VarId Tl = Kit.allocVars(5 * 4);
+  LockId StateLock = Kit.allocLocks(1);
+
+  Kit.forkAll();
+  Kit.rounds(scaled(120, F), [&](ThreadId T, unsigned R) {
+    Kit.acq(T, StateLock);
+    Kit.rd(T, State + (R % 24));
+    Kit.rd(T, State + ((R + 7) % 24));
+    Kit.wr(T, State + (R % 24));
+    Kit.rel(T, StateLock);
+    Kit.threadLocalWork(T, Tl + (T - 1) * 4, 4, 6);
+  });
+  Kit.joinAll();
+  return Kit.take();
+}
+
+//===----------------------------------------------------------------------===//
+// philo: dining philosophers — pure lock traffic on a ring of forks.
+// Race-free, tiny.
+//===----------------------------------------------------------------------===//
+
+Trace makePhilo(uint64_t Seed, double F) {
+  WorkloadKit Kit(6, Seed);
+  VarId Plates = Kit.allocVars(6);
+  LockId Forks = Kit.allocLocks(6);
+
+  Kit.forkAll();
+  Kit.rounds(scaled(80, F), [&](ThreadId T, unsigned) {
+    unsigned W = T - 1;
+    LockId First = Forks + std::min(W, (W + 1) % 6);
+    LockId Second = Forks + std::max(W, (W + 1) % 6);
+    Kit.acq(T, First);
+    Kit.acq(T, Second);
+    Kit.rd(T, Plates + W);
+    Kit.wr(T, Plates + W);
+    Kit.rel(T, Second);
+    Kit.rel(T, First);
+  });
+  Kit.joinAll();
+  return Kit.take();
+}
+
+//===----------------------------------------------------------------------===//
+// hedc: web-metadata crawler with a thread pool — the interesting
+// precision case. Three real races on task fields handed between pool
+// threads without synchronization: Eraser catches one (the reader also
+// writes) but silently misses two, and Goldilocks' unsound thread-local
+// fast path misses all three (Section 5.1). One extra Eraser false alarm.
+//===----------------------------------------------------------------------===//
+
+Trace makeHedc(uint64_t Seed, double F) {
+  WorkloadKit Kit(6, Seed);
+  VarId Pool = Kit.allocVars(12);
+  VarId TaskFields = Kit.allocVars(3);
+  VarId Handoff = Kit.allocVars(2);
+  VarId Tl = Kit.allocVars(6 * 4);
+  LockId PoolLock = Kit.allocLocks(1);
+  VolatileId Flag = Kit.allocVolatiles(1);
+
+  Kit.forkAll();
+  Kit.rounds(scaled(90, F), [&](ThreadId T, unsigned R) {
+    Kit.lockedRmw(T, PoolLock, Pool + (R % 12));
+    Kit.threadLocalWork(T, Tl + (T - 1) * 4, 4, 8);
+  });
+  // Race 1: writer hands off, reader reads *and writes* — Eraser's empty
+  // lockset fires at the reader's write (the one hedc race it reports).
+  Kit.wr(Kit.workerTid(0), TaskFields + 0);
+  Kit.rd(Kit.workerTid(1), TaskFields + 0);
+  Kit.wr(Kit.workerTid(1), TaskFields + 0);
+  // Races 2 and 3: pure write->read hand-offs — invisible to Eraser's
+  // Exclusive->Shared transition and to Goldilocks' thread-local mode.
+  Kit.silentHandoffRace(Kit.workerTid(2), Kit.workerTid(3), TaskFields + 1);
+  Kit.silentHandoffRace(Kit.workerTid(4), Kit.workerTid(5), TaskFields + 2);
+  // The spurious warning.
+  Kit.volatileHandoffFalseAlarm(Kit.workerTid(0), Kit.workerTid(2), Handoff,
+                                1, Flag);
+  Kit.joinAll();
+  return Kit.take();
+}
+
+//===----------------------------------------------------------------------===//
+// jbb: SPEC JBB business logic — the largest mixed workload: locks,
+// read-shared catalogs, volatiles, heavy object churn. Two real races
+// (one repeating, one silent hand-off) and one Eraser false alarm.
+//===----------------------------------------------------------------------===//
+
+Trace makeJbb(uint64_t Seed, double F) {
+  WorkloadKit Kit(5, Seed);
+  VarId Catalog = Kit.allocVars(768);
+  VarId Orders = Kit.allocVars(64);
+  VarId Stats = Kit.allocVars(1);
+  VarId HandoffRace = Kit.allocVars(1);
+  VarId Handoff = Kit.allocVars(2);
+  VarId Tl = Kit.allocVars(5 * 12);
+  LockId OrderLocks = Kit.allocLocks(8);
+  VolatileId Beat = Kit.allocVolatiles(1);
+  VolatileId Flags = Kit.allocVolatiles(2);
+
+  for (unsigned I = 0; I != 768; ++I)
+    Kit.wr(0, Catalog + I);
+  Kit.forkAll();
+  Kit.rounds(scaled(420, F), [&](ThreadId T, unsigned R) {
+    Kit.readSharedSweep(T, Catalog, 768, 24);
+    Kit.threadLocalWork(T, Tl + (T - 1) * 12, 12, 24);
+    unsigned Slot = static_cast<unsigned>(Kit.Rng.nextBelow(8));
+    Kit.acq(T, OrderLocks + Slot);
+    Kit.rd(T, Orders + Slot * 8 + (R % 8));
+    Kit.wr(T, Orders + Slot * 8 + (R % 8));
+    Kit.rel(T, OrderLocks + Slot);
+    if (R % 32 == 11)
+      Kit.racyRmw(T, Stats); // real repeating race
+    if (R % 64 == 21)
+      Kit.volWr(T, Beat);
+    else if (R % 64 == 40)
+      Kit.volRd(T, Beat);
+  });
+  Kit.silentHandoffRace(Kit.workerTid(1), Kit.workerTid(3), HandoffRace);
+  Kit.volatileHandoffFalseAlarm(Kit.workerTid(2), Kit.workerTid(4),
+                                Handoff + 0, 1, Flags + 0);
+  Kit.volatileHandoffFalseAlarm(Kit.workerTid(0), Kit.workerTid(3),
+                                Handoff + 1, 1, Flags + 1);
+  Kit.joinAll();
+  return Kit.take();
+}
+
+} // namespace
+
+const std::vector<Workload> &ft::benchmarkSuite() {
+  static const std::vector<Workload> Suite = {
+      {"colt", 11, true, 0, 3, makeColt},
+      {"crypt", 7, true, 0, 0, makeCrypt},
+      {"lufact", 4, true, 0, 4, makeLufact},
+      {"moldyn", 4, true, 0, 0, makeMoldyn},
+      {"montecarlo", 4, true, 0, 0, makeMontecarlo},
+      {"mtrt", 5, true, 1, 0, makeMtrt},
+      {"raja", 2, true, 0, 0, makeRaja},
+      {"raytracer", 4, true, 1, 0, makeRaytracer},
+      {"sparse", 4, true, 0, 0, makeSparse},
+      {"series", 4, true, 0, 1, makeSeries},
+      {"sor", 4, true, 0, 3, makeSor},
+      {"tsp", 5, true, 1, 8, makeTsp},
+      {"elevator", 5, false, 0, 0, makeElevator},
+      {"philo", 6, false, 0, 0, makePhilo},
+      {"hedc", 6, false, 3, 1, makeHedc},
+      {"jbb", 5, false, 2, 2, makeJbb},
+  };
+  return Suite;
+}
+
+const Workload *ft::findWorkload(const std::string &Name) {
+  for (const Workload &W : benchmarkSuite())
+    if (W.Name == Name)
+      return &W;
+  for (const Workload &W : eclipseOperations())
+    if (W.Name == Name)
+      return &W;
+  return nullptr;
+}

@@ -1,0 +1,340 @@
+//===--- CheckersTest.cpp - Velodrome, SingleTrack, Atomizer --------------===//
+
+#include "checkers/Atomizer.h"
+#include "checkers/SingleTrack.h"
+#include "checkers/Velodrome.h"
+#include "core/FastTrack.h"
+#include "detectors/ThreadLocalFilter.h"
+#include "framework/Replay.h"
+#include "trace/RandomTrace.h"
+#include "trace/TraceBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace ft;
+
+namespace {
+
+/// The canonical non-atomic pattern: t0's block reads x, t1 updates x,
+/// t0's block writes x back (a lost update / serializability cycle).
+Trace lostUpdateTrace() {
+  return TraceBuilder()
+      .fork(0, 1)
+      .atomicBegin(0)
+      .rd(0, 0)  // t0 reads x inside its block
+      .wr(1, 0)  // t1 writes x: consumes t0's read (edge t0 -> t1)
+      .wr(0, 0)  // block writes x: consumes t1's write (edge t1 -> t0)
+      .atomicEnd(0)
+      .take();
+}
+
+/// An atomic block whose interleaved neighbor touches unrelated data.
+Trace independentInterleavingTrace() {
+  return TraceBuilder()
+      .fork(0, 1)
+      .atomicBegin(0)
+      .rd(0, 0)
+      .wr(1, 1) // different variable: no edges into the block
+      .wr(0, 0)
+      .atomicEnd(0)
+      .take();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Velodrome.
+//===----------------------------------------------------------------------===//
+
+TEST(Velodrome, DetectsLostUpdateCycle) {
+  Velodrome Checker;
+  replay(lostUpdateTrace(), Checker);
+  ASSERT_EQ(Checker.violations().size(), 1u);
+  EXPECT_EQ(Checker.violations()[0].Thread, 0u);
+  EXPECT_NE(Checker.violations()[0].Detail.find("cycle"), std::string::npos);
+}
+
+TEST(Velodrome, IndependentInterleavingIsSerializable) {
+  Velodrome Checker;
+  replay(independentInterleavingTrace(), Checker);
+  EXPECT_TRUE(Checker.violations().empty());
+}
+
+TEST(Velodrome, OneWayCommunicationIsSerializable) {
+  // The block only *receives* from before its start — serializable (the
+  // block can be moved to after t1's write).
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .wr(1, 0)
+                .atomicBegin(0)
+                .rd(0, 0)
+                .wr(0, 0)
+                .atomicEnd(0)
+                .take();
+  Velodrome Checker;
+  replay(T, Checker);
+  EXPECT_TRUE(Checker.violations().empty());
+}
+
+TEST(Velodrome, OutgoingOnlyCommunicationIsSerializable) {
+  // The block only *produces*; the consumer never feeds back.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .atomicBegin(0)
+                .wr(0, 0)
+                .rd(1, 0)
+                .atomicEnd(0)
+                .take();
+  Velodrome Checker;
+  replay(T, Checker);
+  EXPECT_TRUE(Checker.violations().empty());
+}
+
+TEST(Velodrome, CycleThroughLockEdges) {
+  // The block publishes via a lock release, then re-acquires and sees a
+  // value produced after its own publication: cycle via lock edges.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .atomicBegin(0)
+                .acq(0, 0)
+                .wr(0, 0)
+                .rel(0, 0) // block publishes
+                .acq(1, 0)
+                .wr(1, 0)
+                .rel(1, 0) // t1 consumed and republished
+                .acq(0, 0)
+                .rd(0, 0)  // block consumes t1's update: cycle
+                .rel(0, 0)
+                .atomicEnd(0)
+                .take();
+  Velodrome Checker;
+  replay(T, Checker);
+  ASSERT_EQ(Checker.violations().size(), 1u);
+}
+
+TEST(Velodrome, ReportsOncePerBlock) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .atomicBegin(0)
+                .rd(0, 0)
+                .wr(1, 0)
+                .wr(0, 0) // violation
+                .rd(0, 1)
+                .wr(1, 1)
+                .wr(0, 1) // would be another, same block
+                .atomicEnd(0)
+                .take();
+  Velodrome Checker;
+  replay(T, Checker);
+  EXPECT_EQ(Checker.violations().size(), 1u);
+}
+
+TEST(Velodrome, SeparateBlocksReportSeparately) {
+  TraceBuilder B;
+  B.fork(0, 1);
+  for (int I = 0; I != 2; ++I) {
+    B.atomicBegin(0).rd(0, I).wr(1, I).wr(0, I).atomicEnd(0);
+  }
+  Velodrome Checker;
+  replay(B.take(), Checker);
+  EXPECT_EQ(Checker.violations().size(), 2u);
+}
+
+TEST(Velodrome, NestedBlocksFlatten) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .atomicBegin(0)
+                .atomicBegin(0)
+                .rd(0, 0)
+                .atomicEnd(0) // inner end must not close the outer block
+                .wr(1, 0)
+                .wr(0, 0)
+                .atomicEnd(0)
+                .take();
+  Velodrome Checker;
+  replay(T, Checker);
+  EXPECT_EQ(Checker.violations().size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// SingleTrack.
+//===----------------------------------------------------------------------===//
+
+TEST(SingleTrack, ConcurrentInfluenceIsNondeterministic) {
+  // Velodrome accepts one-way communication; SingleTrack rejects it when
+  // the producer is concurrent with the block.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .atomicBegin(0)
+                .rd(0, 1) // deterministic-region activity
+                .wr(1, 0) // concurrent producer
+                .rd(0, 0) // block observes concurrent effect
+                .atomicEnd(0)
+                .take();
+  SingleTrack Checker;
+  replay(T, Checker);
+  ASSERT_EQ(Checker.violations().size(), 1u);
+  EXPECT_NE(Checker.violations()[0].Detail.find("nondeterministic"),
+            std::string::npos);
+
+  Velodrome V;
+  replay(T, V);
+  EXPECT_TRUE(V.violations().empty()); // strictly weaker property
+}
+
+TEST(SingleTrack, PreOrderedInfluenceIsFine) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .wr(1, 0)
+                .join(0, 1) // ordered before the block starts
+                .atomicBegin(0)
+                .rd(0, 0)
+                .atomicEnd(0)
+                .take();
+  SingleTrack Checker;
+  replay(T, Checker);
+  EXPECT_TRUE(Checker.violations().empty());
+}
+
+TEST(SingleTrack, ViolationsAreSupersetOfVelodromeOnRandomTraces) {
+  for (uint64_t Seed = 1; Seed != 16; ++Seed) {
+    RandomTraceConfig Config;
+    Config.Seed = Seed;
+    Config.NumThreads = 3;
+    Config.OpsPerThread = 60;
+    Config.ChaosProbability = 0.3;
+    Config.EmitAtomicBlocks = true;
+    Trace T = generateRandomTrace(Config);
+
+    Velodrome V;
+    SingleTrack S;
+    replay(T, V);
+    replay(T, S);
+    EXPECT_GE(S.violations().size(), V.violations().size())
+        << "seed " << Seed;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Atomizer.
+//===----------------------------------------------------------------------===//
+
+TEST(Atomizer, WellLockedBlockIsReducible) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .lockedWr(1, 0, 0) // make x shared (lock-protected)
+                .atomicBegin(0)
+                .acq(0, 0)
+                .rd(0, 0)
+                .wr(0, 0)
+                .rel(0, 0)
+                .atomicEnd(0)
+                .take();
+  Atomizer Checker;
+  replay(T, Checker);
+  EXPECT_TRUE(Checker.violations().empty());
+}
+
+TEST(Atomizer, AcquireAfterReleaseViolatesReduction) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .atomicBegin(0)
+                .acq(0, 0)
+                .rel(0, 0) // left mover: commit
+                .acq(0, 1) // right mover after commit: violation
+                .rel(0, 1)
+                .atomicEnd(0)
+                .take();
+  Atomizer Checker;
+  replay(T, Checker);
+  ASSERT_EQ(Checker.violations().size(), 1u);
+  EXPECT_NE(Checker.violations()[0].Detail.find("right mover"),
+            std::string::npos);
+}
+
+TEST(Atomizer, SingleRacyAccessIsTheCommitPoint) {
+  // One unprotected shared access inside the block is fine (commit).
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .wr(1, 0)
+                .wr(0, 0) // unprotected sharing: x becomes racy
+                .atomicBegin(0)
+                .rd(0, 0) // non-mover #1: commit point
+                .atomicEnd(0)
+                .take();
+  Atomizer Checker;
+  replay(T, Checker);
+  EXPECT_TRUE(Checker.violations().empty());
+}
+
+TEST(Atomizer, TwoRacyAccessesViolate) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .wr(1, 0)
+                .wr(0, 0) // x racy
+                .wr(1, 1)
+                .wr(0, 1) // y racy
+                .atomicBegin(0)
+                .rd(0, 0) // commit point
+                .rd(0, 1) // second non-mover: violation
+                .atomicEnd(0)
+                .take();
+  Atomizer Checker;
+  replay(T, Checker);
+  ASSERT_EQ(Checker.violations().size(), 1u);
+  EXPECT_NE(Checker.violations()[0].Detail.find("non-mover"),
+            std::string::npos);
+}
+
+TEST(Atomizer, OutsideBlocksNothingIsChecked) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .wr(1, 0)
+                .wr(0, 0)
+                .rd(0, 0)
+                .rd(0, 0)
+                .take();
+  Atomizer Checker;
+  replay(T, Checker);
+  EXPECT_TRUE(Checker.violations().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Composition: prefilters must not change checker verdicts on the
+// accesses they keep, and FastTrack must shrink the stream the most.
+//===----------------------------------------------------------------------===//
+
+TEST(Composition, FastTrackPrefilterPreservesLostUpdateViolation) {
+  FastTrack Filter;
+  Velodrome Checker;
+  PipelineResult R = replayFiltered(lostUpdateTrace(), Filter, Checker);
+  EXPECT_EQ(Checker.violations().size(), 1u);
+  EXPECT_LE(R.AccessesForwarded, R.AccessesSeen);
+}
+
+TEST(Composition, FiltersReduceStreamMonotonically) {
+  RandomTraceConfig Config;
+  Config.Seed = 42;
+  Config.NumThreads = 4;
+  Config.OpsPerThread = 200;
+  Config.ChaosProbability = 0.05;
+  Config.EmitAtomicBlocks = true;
+  Trace T = generateRandomTrace(Config);
+
+  ThreadLocalFilter Tl;
+  Velodrome V1;
+  PipelineResult Rtl = replayFiltered(T, Tl, V1);
+
+  FastTrack Ft;
+  Velodrome V2;
+  PipelineResult Rft = replayFiltered(T, Ft, V2);
+
+  // Both filters materially shrink the access stream. (They are
+  // incomparable in general: TL drops *all* thread-local accesses while
+  // FastTrack forwards the first access of each epoch, and conversely
+  // FastTrack drops same-epoch accesses to shared data that TL keeps.)
+  EXPECT_LT(Rtl.AccessesForwarded, Rtl.AccessesSeen);
+  EXPECT_LT(Rft.AccessesForwarded, Rft.AccessesSeen);
+  // Downstream checker verdicts agree on what matters.
+  EXPECT_EQ(V1.violations().size(), V2.violations().size());
+}

@@ -1,0 +1,407 @@
+//===--- DetectorsTest.cpp - the five baseline detectors ------------------===//
+
+#include "core/ToolRegistry.h"
+#include "detectors/BasicVC.h"
+#include "detectors/DjitPlus.h"
+#include "detectors/EmptyTool.h"
+#include "detectors/Eraser.h"
+#include "detectors/Goldilocks.h"
+#include "detectors/LockSet.h"
+#include "detectors/MultiRace.h"
+#include "detectors/ThreadLocalFilter.h"
+#include "framework/Replay.h"
+#include "trace/TraceBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace ft;
+
+namespace {
+
+size_t warningsOf(Tool &Checker, const Trace &T) {
+  replay(T, Checker);
+  return Checker.warnings().size();
+}
+
+Trace raceTrace() {
+  return TraceBuilder().fork(0, 1).wr(0, 0).wr(1, 0).take();
+}
+
+Trace lockProtectedTrace() {
+  return TraceBuilder()
+      .fork(0, 1)
+      .lockedWr(0, 0, 0)
+      .lockedRd(1, 0, 0)
+      .lockedWr(1, 0, 0)
+      .join(0, 1)
+      .take();
+}
+
+Trace forkJoinHandoffTrace() {
+  // Race-free only via fork/join edges — no locks at all.
+  return TraceBuilder()
+      .wr(0, 0)
+      .fork(0, 1)
+      .rd(1, 0)
+      .wr(1, 0)
+      .join(0, 1)
+      .rd(0, 0)
+      .wr(0, 0)
+      .take();
+}
+
+Trace barrierTrace() {
+  return TraceBuilder()
+      .fork(0, 1)
+      .wr(1, 0)
+      .barrier({0, 1})
+      .wr(0, 0)
+      .barrier({0, 1})
+      .rd(1, 0)
+      .take();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// LockSet utility.
+//===----------------------------------------------------------------------===//
+
+TEST(LockSet, SortsAndDedupes) {
+  LockSet S({3, 1, 3, 2});
+  EXPECT_EQ(S.size(), 3u);
+  EXPECT_TRUE(S.contains(1));
+  EXPECT_TRUE(S.contains(2));
+  EXPECT_TRUE(S.contains(3));
+  EXPECT_FALSE(S.contains(0));
+}
+
+TEST(LockSet, Intersection) {
+  LockSet A({1, 2, 3});
+  A.intersectWith(LockSet({2, 3, 4}));
+  EXPECT_EQ(A.size(), 2u);
+  EXPECT_TRUE(A.contains(2));
+  EXPECT_TRUE(A.contains(3));
+  A.intersectWith(LockSet());
+  EXPECT_TRUE(A.empty());
+}
+
+TEST(LockSet, InsertKeepsSorted) {
+  LockSet S;
+  S.insert(5);
+  S.insert(1);
+  S.insert(5);
+  EXPECT_EQ(S.size(), 2u);
+  EXPECT_EQ(S.locks().front(), 1u);
+}
+
+TEST(HeldLocks, TracksAcquireRelease) {
+  HeldLocks Held;
+  Held.reset(2);
+  Held.acquire(0, 7);
+  Held.acquire(0, 9);
+  EXPECT_TRUE(Held.held(0).contains(7));
+  EXPECT_TRUE(Held.held(0).contains(9));
+  EXPECT_TRUE(Held.held(1).empty());
+  Held.release(0, 7);
+  EXPECT_FALSE(Held.held(0).contains(7));
+  EXPECT_TRUE(Held.held(0).contains(9));
+}
+
+//===----------------------------------------------------------------------===//
+// EmptyTool and ThreadLocalFilter.
+//===----------------------------------------------------------------------===//
+
+TEST(EmptyTool, ReportsNothingPassesEverything) {
+  EmptyTool Tool;
+  Trace T = raceTrace();
+  ReplayResult R = replay(T, Tool);
+  EXPECT_EQ(Tool.warnings().size(), 0u);
+  EXPECT_EQ(R.AccessesPassed, 2u);
+  EXPECT_EQ(R.Events, T.size());
+}
+
+TEST(ThreadLocalFilter, FiltersThreadLocalAccesses) {
+  ThreadLocalFilter Filter;
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .rd(0, 0) // thread-local so far: filtered
+                .wr(0, 0) // still: filtered
+                .rd(1, 0) // second thread: passes, var becomes shared
+                .rd(0, 0) // passes
+                .wr(1, 1) // new var, thread-local: filtered
+                .take();
+  ReplayResult R = replay(T, Filter);
+  EXPECT_EQ(R.AccessesPassed, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// BasicVC and DJIT+.
+//===----------------------------------------------------------------------===//
+
+TEST(BasicVC, PrecisionOnCoreTraces) {
+  BasicVC A, B, C, D;
+  EXPECT_EQ(warningsOf(A, raceTrace()), 1u);
+  EXPECT_EQ(warningsOf(B, lockProtectedTrace()), 0u);
+  EXPECT_EQ(warningsOf(C, forkJoinHandoffTrace()), 0u);
+  EXPECT_EQ(warningsOf(D, barrierTrace()), 0u);
+}
+
+TEST(BasicVC, ComparesOnEveryAccess) {
+  resetClockStats();
+  BasicVC Tool;
+  Trace T = TraceBuilder().rd(0, 0).rd(0, 0).wr(0, 0).wr(0, 0).take();
+  replay(T, Tool);
+  // 1 comparison per read + 2 per write = 6 for this trace.
+  EXPECT_EQ(clockStats().CompareOps, 6u);
+}
+
+TEST(DjitPlus, PrecisionOnCoreTraces) {
+  DjitPlus A, B, C, D;
+  EXPECT_EQ(warningsOf(A, raceTrace()), 1u);
+  EXPECT_EQ(warningsOf(B, lockProtectedTrace()), 0u);
+  EXPECT_EQ(warningsOf(C, forkJoinHandoffTrace()), 0u);
+  EXPECT_EQ(warningsOf(D, barrierTrace()), 0u);
+}
+
+TEST(DjitPlus, SameEpochSkipsComparisons) {
+  DjitPlus Tool;
+  Trace T = TraceBuilder().rd(0, 0).rd(0, 0).rd(0, 0).wr(0, 1).wr(0, 1)
+                .take();
+  replay(T, Tool);
+  EXPECT_EQ(Tool.ruleStats().ReadSameEpoch, 2u);
+  EXPECT_EQ(Tool.ruleStats().ReadGeneral, 1u);
+  EXPECT_EQ(Tool.ruleStats().WriteSameEpoch, 1u);
+  EXPECT_EQ(Tool.ruleStats().WriteGeneral, 1u);
+}
+
+TEST(DjitPlus, SameEpochReadOfWrittenDataStillChecked) {
+  // A same-epoch *read* hit requires a prior read in the epoch, not a
+  // write; DJIT+ tracks R and W separately.
+  DjitPlus Tool;
+  Trace T = TraceBuilder().wr(0, 0).rd(0, 0).take();
+  replay(T, Tool);
+  EXPECT_EQ(Tool.ruleStats().ReadGeneral, 1u);
+  EXPECT_EQ(Tool.warnings().size(), 0u);
+}
+
+TEST(DjitPlus, WarnsOnceReportsConflictingThread) {
+  DjitPlus Tool;
+  Trace T = TraceBuilder().fork(0, 1).wr(0, 0).wr(1, 0).wr(0, 0).take();
+  replay(T, Tool);
+  ASSERT_EQ(Tool.warnings().size(), 1u);
+  EXPECT_EQ(Tool.warnings()[0].PriorThread, 0u);
+  EXPECT_EQ(Tool.warnings()[0].CurrentThread, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Eraser: fast but imprecise, in both directions.
+//===----------------------------------------------------------------------===//
+
+TEST(Eraser, LockDisciplineIsQuiet) {
+  Eraser Tool;
+  EXPECT_EQ(warningsOf(Tool, lockProtectedTrace()), 0u);
+}
+
+TEST(Eraser, DetectsUnprotectedSharing) {
+  Eraser Tool;
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .wr(0, 0)
+                .wr(1, 0) // no lock: SharedModified with empty lockset
+                .take();
+  EXPECT_EQ(warningsOf(Tool, T), 1u);
+}
+
+TEST(Eraser, FalseAlarmOnForkJoinHandoff) {
+  // The fork/join hand-off is race-free, but Eraser has no happens-before
+  // reasoning: the child's unprotected write trips the empty lockset.
+  Eraser Tool;
+  EXPECT_EQ(warningsOf(Tool, forkJoinHandoffTrace()), 1u);
+}
+
+TEST(Eraser, MissesRaceHiddenByExclusiveState) {
+  // wr(0,x) then rd(1,x)/wr(1,x) with no synchronization: a real race,
+  // but Eraser's Exclusive->Shared transition forgets thread 0's write.
+  // (The "intentional unsoundness" that loses two hedc races, §5.1.)
+  Eraser Tool;
+  Trace T = TraceBuilder().fork(0, 1).wr(0, 0).rd(1, 0).take();
+  EXPECT_EQ(warningsOf(Tool, T), 0u);
+}
+
+TEST(Eraser, ReadSharedDataNeverWarns) {
+  Eraser Tool;
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .fork(0, 2)
+                .rd(1, 0)
+                .rd(2, 0)
+                .rd(0, 0)
+                .take();
+  EXPECT_EQ(warningsOf(Tool, T), 0u);
+}
+
+TEST(Eraser, BarrierAwareVariantIsQuietAcrossPhases) {
+  Eraser Aware(/*BarrierAware=*/true);
+  EXPECT_EQ(warningsOf(Aware, barrierTrace()), 0u);
+}
+
+TEST(Eraser, BarrierObliviousVariantWarnsAcrossPhases) {
+  Eraser Oblivious(/*BarrierAware=*/false);
+  EXPECT_EQ(warningsOf(Oblivious, barrierTrace()), 1u);
+}
+
+TEST(Eraser, LocksetIntersectionAcrossTwoLocks) {
+  // Accesses protected by {m0,m1} then {m1}: candidate set stays {m1}.
+  Eraser Tool;
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .acq(0, 0)
+                .acq(0, 1)
+                .wr(0, 0)
+                .rel(0, 1)
+                .rel(0, 0)
+                .acq(1, 1)
+                .wr(1, 0)
+                .rel(1, 1)
+                .take();
+  EXPECT_EQ(warningsOf(Tool, T), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// MultiRace: DJIT+ precision-ish with lockset short-circuit.
+//===----------------------------------------------------------------------===//
+
+TEST(MultiRace, CoreTraces) {
+  MultiRace A, B, C, D;
+  EXPECT_EQ(warningsOf(A, raceTrace()), 1u);
+  EXPECT_EQ(warningsOf(B, lockProtectedTrace()), 0u);
+  EXPECT_EQ(warningsOf(C, forkJoinHandoffTrace()), 0u);
+  EXPECT_EQ(warningsOf(D, barrierTrace()), 0u);
+}
+
+TEST(MultiRace, LockProtectedAccessesSkipVcComparisons) {
+  MultiRace Tool;
+  replay(lockProtectedTrace(), Tool);
+  EXPECT_EQ(Tool.stats().VcComparisons, 0u);
+  EXPECT_GT(Tool.stats().LockSetOps, 0u);
+}
+
+TEST(MultiRace, UnprotectedSharingFallsBackToVcChecks) {
+  MultiRace Tool;
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .lockedWr(0, 0, 0)
+                .wr(1, 0) // lockset empties here
+                .take();
+  replay(T, Tool);
+  EXPECT_GT(Tool.stats().VcComparisons, 0u);
+  EXPECT_EQ(Tool.warnings().size(), 1u);
+}
+
+TEST(MultiRace, MissesRaceHiddenByThreadLocalState) {
+  // Same unsound Exclusive hand-off as Eraser: both threads' accesses are
+  // unsynchronized but MultiRace's first transition records no history.
+  MultiRace Tool;
+  Trace T = TraceBuilder().fork(0, 1).wr(0, 0).rd(1, 0).take();
+  replay(T, Tool);
+  EXPECT_EQ(Tool.warnings().size(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Goldilocks: precise without vector clocks.
+//===----------------------------------------------------------------------===//
+
+TEST(Goldilocks, CoreTracesSoundMode) {
+  Goldilocks A(false), B(false), C(false), D(false);
+  EXPECT_EQ(warningsOf(A, raceTrace()), 1u);
+  EXPECT_EQ(warningsOf(B, lockProtectedTrace()), 0u);
+  EXPECT_EQ(warningsOf(C, forkJoinHandoffTrace()), 0u);
+  EXPECT_EQ(warningsOf(D, barrierTrace()), 0u);
+}
+
+TEST(Goldilocks, LockTransferChain) {
+  // x's lockset flows 0 -> m -> 1 across the release/acquire pair.
+  Goldilocks Tool(false);
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .wr(0, 0)
+                .acq(0, 0)
+                .rel(0, 0)
+                .acq(1, 0)
+                .rd(1, 0)
+                .rel(1, 0)
+                .take();
+  EXPECT_EQ(warningsOf(Tool, T), 0u);
+}
+
+TEST(Goldilocks, VolatileTransfer) {
+  Goldilocks Tool(false);
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .wr(0, 0)
+                .volWr(0, 0)
+                .volRd(1, 0)
+                .rd(1, 0)
+                .take();
+  EXPECT_EQ(warningsOf(Tool, T), 0u);
+}
+
+TEST(Goldilocks, DetectsReadWriteRace) {
+  Goldilocks Tool(false);
+  Trace T = TraceBuilder().fork(0, 1).rd(0, 0).rd(1, 0).wr(1, 0).take();
+  // rd(0,x) races with wr(1,x).
+  EXPECT_EQ(warningsOf(Tool, T), 1u);
+}
+
+TEST(Goldilocks, UnsoundThreadLocalFastPathMissesHandoffRace) {
+  Trace T = TraceBuilder().fork(0, 1).wr(0, 0).rd(1, 0).take();
+  Goldilocks Sound(false);
+  EXPECT_EQ(warningsOf(Sound, T), 1u); // real race, sound mode finds it
+  Goldilocks Fast(true);
+  EXPECT_EQ(warningsOf(Fast, T), 0u); // fast path forgets the hand-off
+}
+
+TEST(Goldilocks, ThreadLocalFastPathStillCatchesLaterRaces) {
+  Goldilocks Tool(true);
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .fork(0, 2)
+                .wr(1, 0) // thread-local phase (owner: 1)
+                .wr(2, 0) // hand-off forgotten...
+                .wr(1, 0) // ...but this later unsynchronized write races
+                .take();
+  EXPECT_EQ(warningsOf(Tool, T), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry.
+//===----------------------------------------------------------------------===//
+
+TEST(ToolRegistry, CreatesEveryRegisteredTool) {
+  for (const std::string &Name : registeredToolNames()) {
+    auto Tool = createTool(Name);
+    ASSERT_NE(Tool, nullptr) << Name;
+    EXPECT_NE(Tool->name(), nullptr);
+  }
+}
+
+TEST(ToolRegistry, IsCaseInsensitiveAndRejectsUnknown) {
+  EXPECT_NE(createTool("FastTrack"), nullptr);
+  EXPECT_NE(createTool("DJIT+"), nullptr);
+  EXPECT_NE(createTool("tl"), nullptr);
+  EXPECT_EQ(createTool("nonexistent"), nullptr);
+}
+
+TEST(ToolRegistry, RegisteredToolsAgreeOnSimpleRace) {
+  Trace T = raceTrace();
+  for (const std::string &Name : registeredToolNames()) {
+    if (Name == "empty")
+      continue;
+    auto Tool = createTool(Name);
+    replay(T, *Tool);
+    if (Name == "goldilocks")
+      continue; // default unsound thread-local fast path hides the hand-off
+    EXPECT_EQ(Tool->warnings().size(), 1u) << Name;
+  }
+}

@@ -1,0 +1,75 @@
+//===--- EpochTest.cpp - packed epoch representation tests ----------------===//
+
+#include "clock/Epoch.h"
+
+#include <gtest/gtest.h>
+
+using namespace ft;
+
+TEST(Epoch, DefaultIsMinimal) {
+  Epoch E;
+  EXPECT_EQ(E.tid(), 0u);
+  EXPECT_EQ(E.clock(), 0u);
+  EXPECT_TRUE(E.isMinimal());
+  EXPECT_EQ(E.raw(), 0u);
+  EXPECT_EQ(E.str(), "0@0");
+}
+
+TEST(Epoch, PacksTidInTopEightBits) {
+  // Section 4: top eight bits store the tid, bottom twenty-four the clock.
+  Epoch E = Epoch::make(5, 1234);
+  EXPECT_EQ(E.tid(), 5u);
+  EXPECT_EQ(E.clock(), 1234u);
+  EXPECT_EQ(E.raw(), (5u << 24) | 1234u);
+}
+
+TEST(Epoch, MaxValuesFit) {
+  Epoch E = Epoch::make(Epoch::MaxTid, Epoch::MaxClock);
+  EXPECT_EQ(E.tid(), Epoch::MaxTid);
+  EXPECT_EQ(E.clock(), Epoch::MaxClock);
+  EXPECT_EQ(Epoch::MaxTid, 255u);
+  EXPECT_EQ(Epoch::MaxClock, (1u << 24) - 1);
+}
+
+TEST(Epoch, SameThreadEpochsCompareAsIntegers) {
+  // Section 4: two epochs of the same thread compare directly as integers
+  // because the tid bits are identical.
+  Epoch A = Epoch::make(3, 10);
+  Epoch B = Epoch::make(3, 11);
+  EXPECT_LT(A.raw(), B.raw());
+}
+
+TEST(Epoch, ReadSharedSentinelIsNotAValidEpoch) {
+  Epoch RS = Epoch::readShared();
+  EXPECT_TRUE(RS.isReadShared());
+  EXPECT_FALSE(Epoch().isReadShared());
+  EXPECT_FALSE(Epoch::make(255, Epoch::MaxClock - 1).isReadShared());
+  EXPECT_EQ(RS.str(), "READ_SHARED");
+}
+
+TEST(Epoch, EqualityAndStr) {
+  EXPECT_EQ(Epoch::make(0, 4), Epoch::make(0, 4));
+  EXPECT_NE(Epoch::make(0, 4), Epoch::make(1, 4));
+  EXPECT_NE(Epoch::make(0, 4), Epoch::make(0, 5));
+  EXPECT_EQ(Epoch::make(0, 4).str(), "4@0");
+  EXPECT_EQ(Epoch::make(1, 8).str(), "8@1");
+}
+
+TEST(Epoch, RawRoundTrip) {
+  Epoch E = Epoch::make(17, 99);
+  EXPECT_EQ(Epoch::fromRaw(E.raw()), E);
+}
+
+TEST(Epoch64, SixteenBitTidFortyEightBitClock) {
+  // Section 4 mentions 64-bit epochs for large tids or clock values.
+  Epoch64 E = Epoch64::make(40000, (1ULL << 40));
+  EXPECT_EQ(E.tid(), 40000u);
+  EXPECT_EQ(E.clock(), 1ULL << 40);
+  EXPECT_EQ(Epoch64::MaxTid, 65535u);
+  EXPECT_EQ(Epoch64::MaxClock, (1ULL << 48) - 1);
+}
+
+TEST(Epoch64, ReadSharedDistinctFromAllEpochs) {
+  EXPECT_TRUE(Epoch64::readShared().isReadShared());
+  EXPECT_FALSE(Epoch64::make(65535, 5).isReadShared());
+}

@@ -1,0 +1,118 @@
+//===--- FastTrack64Test.cpp - the 64-bit epoch variant (Section 4) -------===//
+//
+// "While 32-bit epochs has been sufficient for all programs tested,
+//  switching to 64-bit epochs would enable the FASTTRACK to handle large
+//  thread identifiers or clock values."
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FastTrack.h"
+#include "core/ToolRegistry.h"
+#include "framework/Replay.h"
+#include "hb/RaceOracle.h"
+#include "trace/RandomTrace.h"
+#include "trace/TraceBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace ft;
+
+namespace {
+
+/// A trace with more threads than 8-bit tids can express.
+Trace manyThreadTrace(unsigned Workers) {
+  TraceBuilder B;
+  for (ThreadId U = 1; U <= Workers; ++U)
+    B.fork(0, U);
+  // Every worker touches its own variable plus one shared, lock-protected
+  // counter; two high-numbered workers race on one extra variable.
+  for (ThreadId U = 1; U <= Workers; ++U) {
+    B.rd(U, U).wr(U, U);
+    B.lockedWr(U, 0, 0);
+  }
+  B.wr(Workers - 1, Workers + 1);
+  B.rd(Workers, Workers + 1); // race
+  for (ThreadId U = 1; U <= Workers; ++U)
+    B.join(0, U);
+  return B.take();
+}
+
+} // namespace
+
+TEST(FastTrack64, AgreesWithFastTrack32WithinSmallTidRange) {
+  for (uint64_t Seed = 1; Seed != 12; ++Seed) {
+    RandomTraceConfig Config;
+    Config.Seed = Seed;
+    Config.ChaosProbability = 0.3;
+    Trace T = generateRandomTrace(Config);
+
+    FastTrack Ft32;
+    FastTrack64 Ft64;
+    replay(T, Ft32);
+    replay(T, Ft64);
+    ASSERT_EQ(Ft64.warnings().size(), Ft32.warnings().size())
+        << "seed " << Seed;
+    for (size_t I = 0; I != Ft32.warnings().size(); ++I) {
+      EXPECT_EQ(Ft64.warnings()[I].Var, Ft32.warnings()[I].Var);
+      EXPECT_EQ(Ft64.warnings()[I].OpIndex, Ft32.warnings()[I].OpIndex);
+    }
+  }
+}
+
+TEST(FastTrack64, HandlesMoreThanTwoHundredFiftySixThreads) {
+  Trace T = manyThreadTrace(400);
+  ASSERT_GT(T.numThreads(), 256u);
+
+  FastTrack64 Detector;
+  replay(T, Detector);
+  ASSERT_EQ(Detector.warnings().size(), 1u);
+  EXPECT_EQ(Detector.warnings()[0].Var, 401u);
+  EXPECT_EQ(Detector.warnings()[0].CurrentThread, 400u);
+  EXPECT_EQ(Detector.warnings()[0].PriorThread, 399u);
+}
+
+TEST(FastTrack64, MatchesOracleOnManyThreadTrace) {
+  Trace T = manyThreadTrace(300);
+  std::vector<VarId> Expected = racyVars(T);
+  FastTrack64 Detector;
+  replay(T, Detector);
+  std::vector<VarId> Got;
+  for (const RaceWarning &W : Detector.warnings())
+    Got.push_back(W.Var);
+  std::sort(Got.begin(), Got.end());
+  EXPECT_EQ(Got, Expected);
+}
+
+TEST(FastTrack64, ThirtyTwoBitVariantRefusesLargeTidSpaces) {
+  // The 32-bit layout asserts its 8-bit tid bound rather than silently
+  // corrupting epochs.
+  Trace T = manyThreadTrace(300);
+  FastTrack Detector;
+  EXPECT_DEATH(replay(T, Detector), "exceeds this epoch layout");
+}
+
+TEST(FastTrack64, RegisteredInToolRegistry) {
+  auto Detector = createTool("fasttrack64");
+  ASSERT_NE(Detector, nullptr);
+  EXPECT_STREQ(Detector->name(), "FastTrack64");
+  auto Ft32 = createTool("fasttrack");
+  EXPECT_STREQ(Ft32->name(), "FastTrack");
+}
+
+TEST(FastTrack64, RuleStatsAndAdaptiveRepresentationWork) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .rd(0, 0)
+                .rd(1, 0) // inflate
+                .join(0, 1)
+                .wr(0, 0) // deflate
+                .take();
+  FastTrack64 Detector;
+  replay(T, Detector);
+  EXPECT_EQ(Detector.ruleStats().ReadShare, 1u);
+  EXPECT_EQ(Detector.ruleStats().WriteShared, 1u);
+  EXPECT_EQ(Detector.inflatedReadStates(), 0u);
+  EXPECT_TRUE(Detector.warnings().empty());
+}

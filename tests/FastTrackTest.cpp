@@ -1,0 +1,375 @@
+//===--- FastTrackTest.cpp - the FastTrack algorithm, rule by rule --------===//
+
+#include "core/FastTrack.h"
+#include "framework/Replay.h"
+#include "trace/TraceBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace ft;
+
+namespace {
+
+/// Replays \p T through a fresh FastTrack instance and returns it.
+struct FtRun {
+  FastTrack Tool;
+  ReplayResult Result;
+
+  explicit FtRun(const Trace &T, FastTrackOptions Options = FastTrackOptions())
+      : Tool(Options) {
+    Result = replay(T, Tool);
+  }
+
+  size_t warningCount() const { return Tool.warnings().size(); }
+  const FastTrackRuleStats &rules() const { return Tool.ruleStats(); }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The worked examples from the paper.
+//===----------------------------------------------------------------------===//
+
+TEST(FastTrack, Section22LockHandoffIsRaceFree) {
+  // wr(0,x) rel(0,m) acq(1,m) wr(1,x): the Section 2.2/3 example. The
+  // second write sees Wx = 4@0 ≼ C1 and no race is reported.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .acq(0, 0)
+                .wr(0, 0)
+                .rel(0, 0)
+                .acq(1, 0)
+                .wr(1, 0)
+                .rel(1, 0)
+                .take();
+  FtRun R(T);
+  EXPECT_EQ(R.warningCount(), 0u);
+  EXPECT_EQ(R.rules().WriteExclusive, 2u);
+}
+
+TEST(FastTrack, Figure4AdaptiveRepresentation) {
+  // The Figure 4 trace: Rx inflates to a VC at the concurrent second read,
+  // deflates back to an epoch at the ordered write, and ends as a
+  // non-minimal epoch after the final read.
+  Trace T = TraceBuilder()
+                .wr(0, 0)    // Wx := epoch of thread 0
+                .fork(0, 1)
+                .rd(1, 0)    // Rx := epoch 1@1 (exclusive)
+                .rd(0, 0)    // concurrent with rd(1,x): Rx inflates to VC
+                .join(0, 1)
+                .wr(0, 0)    // happens after both reads: Rx deflates to ⊥e
+                .rd(0, 0)    // Rx := non-minimal epoch
+                .take();
+  FtRun R(T);
+  EXPECT_EQ(R.warningCount(), 0u);
+  EXPECT_EQ(R.rules().ReadExclusive, 2u); // rd(1,x) and the final rd(0,x)
+  EXPECT_EQ(R.rules().ReadShare, 1u);     // rd(0,x) inflates
+  EXPECT_EQ(R.rules().WriteShared, 1u);   // wr(0,x) after join deflates
+  EXPECT_EQ(R.Tool.inflatedReadStates(), 0u); // deflated by the write
+}
+
+//===----------------------------------------------------------------------===//
+// Read rules.
+//===----------------------------------------------------------------------===//
+
+TEST(FastTrack, ReadSameEpochFastPath) {
+  Trace T = TraceBuilder().rd(0, 0).rd(0, 0).rd(0, 0).take();
+  FtRun R(T);
+  EXPECT_EQ(R.rules().ReadExclusive, 1u);
+  EXPECT_EQ(R.rules().ReadSameEpoch, 2u);
+  EXPECT_EQ(R.warningCount(), 0u);
+}
+
+TEST(FastTrack, ReadExclusiveAcrossEpochs) {
+  // A release increments the thread's clock, ending the epoch; the next
+  // read is first-in-epoch again but still exclusive.
+  Trace T =
+      TraceBuilder().rd(0, 0).acq(0, 0).rel(0, 0).rd(0, 0).take();
+  FtRun R(T);
+  EXPECT_EQ(R.rules().ReadExclusive, 2u);
+  EXPECT_EQ(R.rules().ReadSameEpoch, 0u);
+}
+
+TEST(FastTrack, ReadShareInflatesOnConcurrentReads) {
+  Trace T = TraceBuilder().fork(0, 1).rd(0, 0).rd(1, 0).take();
+  FtRun R(T);
+  EXPECT_EQ(R.rules().ReadShare, 1u);
+  EXPECT_EQ(R.Tool.inflatedReadStates(), 1u);
+  EXPECT_EQ(R.warningCount(), 0u);
+}
+
+TEST(FastTrack, ReadSharedUpdatesInPlace) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .fork(0, 2)
+                .rd(0, 0)
+                .rd(1, 0) // inflate
+                .rd(2, 0) // [FT READ SHARED]
+                .take();
+  FtRun R(T);
+  EXPECT_EQ(R.rules().ReadShare, 1u);
+  EXPECT_EQ(R.rules().ReadShared, 1u);
+}
+
+TEST(FastTrack, OrderedReadsByDifferentThreadsStayExclusive) {
+  // Reads ordered through a lock: the epoch representation suffices.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .acq(0, 0)
+                .rd(0, 0)
+                .rel(0, 0)
+                .acq(1, 0)
+                .rd(1, 0)
+                .rel(1, 0)
+                .take();
+  FtRun R(T);
+  EXPECT_EQ(R.rules().ReadExclusive, 2u);
+  EXPECT_EQ(R.rules().ReadShare, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Write rules and race detection.
+//===----------------------------------------------------------------------===//
+
+TEST(FastTrack, WriteSameEpochFastPath) {
+  Trace T = TraceBuilder().wr(0, 0).wr(0, 0).take();
+  FtRun R(T);
+  EXPECT_EQ(R.rules().WriteExclusive, 1u);
+  EXPECT_EQ(R.rules().WriteSameEpoch, 1u);
+}
+
+TEST(FastTrack, DetectsWriteWriteRace) {
+  Trace T = TraceBuilder().fork(0, 1).wr(0, 0).wr(1, 0).take();
+  FtRun R(T);
+  ASSERT_EQ(R.warningCount(), 1u);
+  const RaceWarning &W = R.Tool.warnings()[0];
+  EXPECT_EQ(W.Var, 0u);
+  EXPECT_EQ(W.CurrentThread, 1u);
+  EXPECT_EQ(W.PriorThread, 0u);
+  EXPECT_EQ(W.Detail, "write-write race");
+}
+
+TEST(FastTrack, DetectsWriteReadRace) {
+  Trace T = TraceBuilder().fork(0, 1).wr(0, 0).rd(1, 0).take();
+  FtRun R(T);
+  ASSERT_EQ(R.warningCount(), 1u);
+  EXPECT_EQ(R.Tool.warnings()[0].Detail, "write-read race");
+  EXPECT_EQ(R.Tool.warnings()[0].PriorThread, 0u);
+}
+
+TEST(FastTrack, DetectsReadWriteRaceExclusive) {
+  Trace T = TraceBuilder().fork(0, 1).rd(0, 0).wr(1, 0).take();
+  FtRun R(T);
+  ASSERT_EQ(R.warningCount(), 1u);
+  EXPECT_EQ(R.Tool.warnings()[0].Detail, "read-write race");
+}
+
+TEST(FastTrack, DetectsReadWriteRaceShared) {
+  // Two concurrent readers inflate Rx; a concurrent write must compare
+  // against the whole read vector ([FT WRITE SHARED] slow path).
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .fork(0, 2)
+                .rd(0, 0)
+                .rd(1, 0)
+                .wr(2, 0)
+                .take();
+  FtRun R(T);
+  ASSERT_EQ(R.warningCount(), 1u);
+  EXPECT_EQ(R.Tool.warnings()[0].Detail, "read-write race");
+  EXPECT_EQ(R.rules().WriteShared, 1u);
+}
+
+TEST(FastTrack, BarrierSeparatedPhasesAreRaceFree) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .wr(1, 0)
+                .barrier({0, 1})
+                .wr(0, 0)
+                .barrier({0, 1})
+                .rd(1, 0)
+                .take();
+  FtRun R(T);
+  EXPECT_EQ(R.warningCount(), 0u);
+}
+
+TEST(FastTrack, VolatileHandoffIsRaceFree) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .wr(0, 0)
+                .volWr(0, 0)
+                .volRd(1, 0)
+                .rd(1, 0)
+                .take();
+  FtRun R(T);
+  EXPECT_EQ(R.warningCount(), 0u);
+}
+
+TEST(FastTrack, VolatileAccessesThemselvesNeverRace) {
+  Trace T = TraceBuilder().fork(0, 1).volWr(0, 0).volWr(1, 0).take();
+  FtRun R(T);
+  EXPECT_EQ(R.warningCount(), 0u);
+}
+
+TEST(FastTrack, OneWarningPerVariable) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .wr(0, 0)
+                .wr(1, 0)
+                .wr(0, 0)
+                .wr(1, 0)
+                .take();
+  FtRun R(T);
+  EXPECT_EQ(R.warningCount(), 1u);
+}
+
+TEST(FastTrack, RvcRecyclingDoesNotCauseFalseAlarms) {
+  // Variable goes read-shared, deflates at a write, then goes read-shared
+  // again. Stale Rvc entries from the first phase must not survive.
+  Trace T = TraceBuilder()
+                .fork(0, 1) // worker for phase 1
+                .rd(0, 0)
+                .rd(1, 0)   // inflate: Rvc[1] set
+                .join(0, 1)
+                .wr(0, 0)   // deflate
+                .fork(0, 2)
+                .rd(0, 0)
+                .rd(2, 0)   // re-inflate: Rvc must be clean
+                .join(0, 2)
+                .wr(0, 0)   // compares Rvc ⊑ C0; stale Rvc[1] would alarm
+                .take();
+  FtRun R(T);
+  EXPECT_EQ(R.warningCount(), 0u);
+  EXPECT_EQ(R.rules().ReadShare, 2u);
+  EXPECT_EQ(R.rules().WriteShared, 2u);
+}
+
+TEST(FastTrack, WriteAfterSharedDeflatesToEpochMode) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .rd(0, 0)
+                .rd(1, 0)
+                .join(0, 1)
+                .wr(0, 0)
+                .rd(0, 0) // exclusive again: epoch mode
+                .rd(0, 0) // same epoch
+                .take();
+  FtRun R(T);
+  EXPECT_EQ(R.Tool.inflatedReadStates(), 0u);
+  EXPECT_EQ(R.rules().ReadSameEpoch, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Precision guarantee: detect at least the first race on each variable.
+//===----------------------------------------------------------------------===//
+
+TEST(FastTrack, ReportsRaceOnEveryRacyVariable) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .wr(0, 0)
+                .wr(1, 0) // race on x0
+                .rd(0, 1)
+                .wr(1, 1) // race on x1
+                .lockedWr(0, 0, 2)
+                .lockedWr(1, 0, 2) // no race on x2
+                .take();
+  FtRun R(T);
+  EXPECT_EQ(R.warningCount(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Options / ablations.
+//===----------------------------------------------------------------------===//
+
+TEST(FastTrack, AblationNoSameEpochStillPrecise) {
+  FastTrackOptions Options;
+  Options.SameEpochFastPath = false;
+  Trace T = TraceBuilder().fork(0, 1).rd(0, 0).rd(0, 0).wr(1, 0).take();
+  FtRun R(T, Options);
+  EXPECT_EQ(R.rules().ReadSameEpoch, 0u);
+  EXPECT_EQ(R.warningCount(), 1u); // read-write race still found
+}
+
+TEST(FastTrack, AblationNoEpochReadsUsesVectorClocks) {
+  FastTrackOptions Options;
+  Options.EpochReads = false;
+  Trace T = TraceBuilder().rd(0, 0).acq(0, 0).rel(0, 0).rd(0, 0).take();
+  FtRun R(T, Options);
+  EXPECT_EQ(R.rules().ReadExclusive, 0u);
+  EXPECT_EQ(R.rules().ReadShare, 1u);   // inflated immediately
+  EXPECT_EQ(R.rules().ReadShared, 1u);
+  EXPECT_EQ(R.Tool.inflatedReadStates(), 1u);
+}
+
+TEST(FastTrack, ExtendedSharedSameEpochCountsAsFastPath) {
+  FastTrackOptions Options;
+  Options.ExtendedSharedSameEpoch = true;
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .rd(0, 0)
+                .rd(1, 0) // inflate
+                .rd(1, 0) // same epoch on shared data
+                .take();
+  FtRun R(T, Options);
+  EXPECT_EQ(R.rules().ReadSameEpoch, 1u);
+  EXPECT_EQ(R.rules().ReadShared, 0u);
+
+  // Without the extension the read takes the Shared rule.
+  FtRun R2(T);
+  EXPECT_EQ(R2.rules().ReadShared, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Filtering behaviour (prefilter pass flags) and accounting.
+//===----------------------------------------------------------------------===//
+
+TEST(FastTrack, SameEpochAccessesAreFilteredOut) {
+  Trace T = TraceBuilder().rd(0, 0).rd(0, 0).wr(0, 1).wr(0, 1).take();
+  FtRun R(T);
+  // 2 of the 4 accesses were same-epoch hits -> not passed downstream.
+  EXPECT_EQ(R.Result.AccessesPassed, 2u);
+}
+
+TEST(FastTrack, EpochStateUsesNoVectorClockOps) {
+  // A purely thread-local + lock-protected workload should allocate no
+  // per-variable VCs and perform only the O(n) ops of sync handling.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .rd(0, 0)
+                .wr(0, 0)
+                .lockedWr(0, 0, 1)
+                .lockedWr(1, 0, 1)
+                .join(0, 1)
+                .take();
+  resetClockStats();
+  FastTrack Tool;
+  replay(T, Tool);
+  // No reads ever inflate, so the only VC traffic is from sync operations.
+  EXPECT_EQ(Tool.inflatedReadStates(), 0u);
+  EXPECT_EQ(Tool.ruleStats().ReadShare, 0u);
+  EXPECT_EQ(Tool.ruleStats().WriteShared, 0u);
+}
+
+TEST(FastTrack, ShadowBytesGrowWithVariables) {
+  TraceBuilder B;
+  for (VarId X = 0; X != 100; ++X)
+    B.wr(0, X);
+  Trace T = B.take();
+  FastTrack Tool;
+  replay(T, Tool);
+  EXPECT_GT(Tool.shadowBytes(), 100 * sizeof(uint64_t));
+}
+
+TEST(FastTrack, RuleStatsTotalsMatchAccessCounts) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .rd(0, 0)
+                .rd(0, 0)
+                .wr(0, 1)
+                .rd(1, 2)
+                .wr(1, 1)
+                .take();
+  FtRun R(T);
+  EXPECT_EQ(R.rules().reads(), 3u);
+  EXPECT_EQ(R.rules().writes(), 2u);
+}

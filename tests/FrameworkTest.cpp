@@ -1,0 +1,241 @@
+//===--- FrameworkTest.cpp - replay dispatcher, granularity, pipelines ----===//
+
+#include "core/FastTrack.h"
+#include "detectors/EmptyTool.h"
+#include "detectors/Eraser.h"
+#include "detectors/ThreadLocalFilter.h"
+#include "framework/Replay.h"
+#include "framework/VectorClockToolBase.h"
+#include "trace/TraceBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace ft;
+
+namespace {
+
+/// Records every event it receives, for dispatch-order assertions.
+class RecordingTool : public Tool {
+public:
+  const char *name() const override { return "Recorder"; }
+  bool onRead(ThreadId T, VarId X, size_t) override {
+    Log.push_back("rd " + std::to_string(T) + " " + std::to_string(X));
+    return true;
+  }
+  bool onWrite(ThreadId T, VarId X, size_t) override {
+    Log.push_back("wr " + std::to_string(T) + " " + std::to_string(X));
+    return true;
+  }
+  void onAcquire(ThreadId T, LockId M, size_t) override {
+    Log.push_back("acq " + std::to_string(T) + " " + std::to_string(M));
+  }
+  void onRelease(ThreadId T, LockId M, size_t) override {
+    Log.push_back("rel " + std::to_string(T) + " " + std::to_string(M));
+  }
+  void onBarrier(const std::vector<ThreadId> &Threads, size_t) override {
+    Log.push_back("barrier " + std::to_string(Threads.size()));
+  }
+  void begin(const ToolContext &Context) override { Ctx = Context; }
+
+  std::vector<std::string> Log;
+  ToolContext Ctx;
+};
+
+} // namespace
+
+TEST(Replay, DispatchesEventsInOrder) {
+  RecordingTool Tool;
+  Trace T = TraceBuilder().rd(0, 1).acq(0, 2).wr(0, 1).rel(0, 2).take();
+  ReplayResult R = replay(T, Tool);
+  std::vector<std::string> Expected = {"rd 0 1", "acq 0 2", "wr 0 1",
+                                       "rel 0 2"};
+  EXPECT_EQ(Tool.Log, Expected);
+  EXPECT_EQ(R.Events, 4u);
+}
+
+TEST(Replay, ContextCarriesEntityCounts) {
+  RecordingTool Tool;
+  Trace T = TraceBuilder().fork(0, 2).wr(2, 9).acq(2, 4).rel(2, 4).take();
+  replay(T, Tool);
+  EXPECT_EQ(Tool.Ctx.NumThreads, 3u);
+  EXPECT_EQ(Tool.Ctx.NumVars, 10u);
+  EXPECT_EQ(Tool.Ctx.NumLocks, 5u);
+}
+
+TEST(Replay, FiltersReentrantLockPairs) {
+  RecordingTool Tool;
+  Trace T = TraceBuilder()
+                .acq(0, 0)
+                .acq(0, 0) // re-entrant: filtered
+                .rd(0, 0)
+                .rel(0, 0) // inner release: filtered
+                .rel(0, 0)
+                .take();
+  ReplayResult R = replay(T, Tool);
+  std::vector<std::string> Expected = {"acq 0 0", "rd 0 0", "rel 0 0"};
+  EXPECT_EQ(Tool.Log, Expected);
+  EXPECT_EQ(R.Events, 3u);
+}
+
+TEST(Replay, ReentrantFilterCanBeDisabled) {
+  RecordingTool Tool;
+  Trace T = TraceBuilder().acq(0, 0).acq(0, 0).rel(0, 0).rel(0, 0).take();
+  ReplayOptions Options;
+  Options.FilterReentrantLocks = false;
+  ReplayResult R = replay(T, Tool, Options);
+  EXPECT_EQ(R.Events, 4u);
+}
+
+TEST(Replay, CoarseGranularityMergesVariables) {
+  // Default coarse mapping: 8 fields per object. Vars 0..7 -> object 0.
+  RecordingTool Tool;
+  Trace T = TraceBuilder().wr(0, 0).wr(0, 7).wr(0, 8).take();
+  ReplayOptions Options;
+  Options.Gran = Granularity::Coarse;
+  replay(T, Tool, Options);
+  std::vector<std::string> Expected = {"wr 0 0", "wr 0 0", "wr 0 1"};
+  EXPECT_EQ(Tool.Log, Expected);
+  EXPECT_EQ(Tool.Ctx.NumVars, 2u);
+}
+
+TEST(Replay, CoarseGranularityWithExplicitMap) {
+  RecordingTool Tool;
+  Trace T = TraceBuilder().wr(0, 0).wr(0, 1).wr(0, 2).take();
+  std::vector<uint32_t> Map = {5, 5, 6};
+  ReplayOptions Options;
+  Options.Gran = Granularity::Coarse;
+  Options.VarToObject = &Map;
+  replay(T, Tool, Options);
+  std::vector<std::string> Expected = {"wr 0 5", "wr 0 5", "wr 0 6"};
+  EXPECT_EQ(Tool.Log, Expected);
+}
+
+TEST(Replay, CoarseGranularityCausesFalseSharingWarnings) {
+  // Two distinct fields protected by different locks are race-free under
+  // fine granularity but collide under coarse (the Section 4 trade-off).
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .lockedWr(0, 0, 0)
+                .lockedWr(1, 1, 1)
+                .take();
+  FastTrack Fine;
+  replay(T, Fine);
+  EXPECT_EQ(Fine.warnings().size(), 0u);
+
+  FastTrack Coarse;
+  ReplayOptions Options;
+  Options.Gran = Granularity::Coarse;
+  replay(T, Coarse, Options);
+  EXPECT_EQ(Coarse.warnings().size(), 1u);
+}
+
+TEST(Replay, MeasuresClockStatsDelta) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .acq(1, 0)
+                .rel(1, 0)
+                .join(0, 1)
+                .take();
+  FastTrack Tool;
+  ReplayResult R = replay(T, Tool);
+  EXPECT_GT(R.Clocks.totalOps(), 0u); // sync ops did VC work
+  EXPECT_EQ(R.NumWarnings, 0u);
+  EXPECT_GT(R.ShadowBytes, 0u);
+}
+
+TEST(Tool, WarningDeduplicationPerVariable) {
+  class AlwaysWarn : public Tool {
+  public:
+    const char *name() const override { return "AlwaysWarn"; }
+    bool onWrite(ThreadId T, VarId X, size_t I) override {
+      RaceWarning W;
+      W.Var = X;
+      W.OpIndex = I;
+      W.CurrentThread = T;
+      W.CurrentKind = OpKind::Write;
+      reportRace(std::move(W));
+      return true;
+    }
+  };
+  AlwaysWarn Tool;
+  Trace T = TraceBuilder().wr(0, 0).wr(0, 0).wr(0, 1).take();
+  replay(T, Tool);
+  EXPECT_EQ(Tool.warnings().size(), 2u);
+  Tool.clearWarnings();
+  EXPECT_TRUE(Tool.warnings().empty());
+}
+
+TEST(Warning, ToStringIncludesDetail) {
+  RaceWarning W;
+  W.Var = 3;
+  W.OpIndex = 17;
+  W.CurrentThread = 1;
+  W.CurrentKind = OpKind::Write;
+  W.PriorThread = 0;
+  W.PriorKind = OpKind::Write;
+  W.Detail = "write-write race";
+  std::string S = toString(W);
+  EXPECT_NE(S.find("x3"), std::string::npos);
+  EXPECT_NE(S.find("op 17"), std::string::npos);
+  EXPECT_NE(S.find("thread 1"), std::string::npos);
+  EXPECT_NE(S.find("write-write race"), std::string::npos);
+}
+
+TEST(Pipeline, FiltersAccessesBeforeDownstream) {
+  ThreadLocalFilter Filter;
+  RecordingTool Downstream;
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .wr(0, 0) // thread-local: dropped
+                .wr(0, 0) // dropped
+                .rd(1, 0) // shared now: forwarded
+                .rd(0, 0) // forwarded
+                .take();
+  PipelineResult R = replayFiltered(T, Filter, Downstream);
+  EXPECT_EQ(R.AccessesSeen, 4u);
+  EXPECT_EQ(R.AccessesForwarded, 2u);
+  std::vector<std::string> Expected = {"rd 1 0", "rd 0 0"};
+  EXPECT_EQ(Downstream.Log, Expected);
+}
+
+TEST(Pipeline, SyncEventsReachBothTools) {
+  EmptyTool Filter;
+  RecordingTool Downstream;
+  Trace T = TraceBuilder().acq(0, 0).rel(0, 0).take();
+  replayFiltered(T, Filter, Downstream);
+  std::vector<std::string> Expected = {"acq 0 0", "rel 0 0"};
+  EXPECT_EQ(Downstream.Log, Expected);
+}
+
+TEST(Pipeline, FastTrackPrefilterDropsSameEpochAccesses) {
+  FastTrack Filter;
+  RecordingTool Downstream;
+  TraceBuilder B;
+  B.fork(0, 1);
+  for (int I = 0; I != 10; ++I)
+    B.rd(1, 0); // 1 first-in-epoch + 9 same-epoch
+  PipelineResult R = replayFiltered(B.take(), Filter, Downstream);
+  EXPECT_EQ(R.AccessesSeen, 10u);
+  EXPECT_EQ(R.AccessesForwarded, 1u);
+}
+
+TEST(VectorClockToolBase, BarrierJoinsAllMembers) {
+  class Probe : public VectorClockToolBase {
+  public:
+    const char *name() const override { return "Probe"; }
+    using VectorClockToolBase::currentClock;
+    using VectorClockToolBase::threadClock;
+  };
+  Probe Tool;
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .acq(1, 0)
+                .rel(1, 0)
+                .barrier({0, 1})
+                .take();
+  replay(T, Tool);
+  // After the barrier both threads' clocks dominate each other's
+  // pre-barrier clocks; each was also incremented.
+  EXPECT_GE(Tool.threadClock(0).get(1), 2u);
+  EXPECT_GE(Tool.threadClock(1).get(0), 2u);
+}

@@ -1,0 +1,642 @@
+//===--- LangTest.cpp - MiniConc lexer, parser, sema, interpreter ---------===//
+
+#include "lang/Interp.h"
+#include "lang/Lexer.h"
+#include "lang/Sema.h"
+#include "trace/TraceStats.h"
+#include "trace/TraceValidator.h"
+#include "hb/RaceOracle.h"
+
+#include <gtest/gtest.h>
+
+using namespace ft;
+using namespace ft::lang;
+
+namespace {
+
+InterpResult runOk(const std::string &Source, uint64_t Seed = 1) {
+  std::vector<Diag> Diags;
+  InterpOptions Options;
+  Options.Seed = Seed;
+  InterpResult Result = runSource(Source, Diags, Options);
+  EXPECT_TRUE(Diags.empty()) << (Diags.empty() ? "" : toString(Diags[0]));
+  EXPECT_TRUE(Result.Ok) << toString(Result.Error);
+  return Result;
+}
+
+std::vector<Diag> compileErrors(const std::string &Source) {
+  Program P;
+  std::vector<Diag> Diags;
+  compileProgram(Source, P, Diags);
+  return Diags;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lexer.
+//===----------------------------------------------------------------------===//
+
+TEST(Lexer, TokenizesOperatorsAndKeywords) {
+  auto Tokens = lex("fn main() { local x = 1 <= 2 && 3 != 4; }");
+  std::vector<TokenKind> Kinds;
+  for (const Token &Tok : Tokens)
+    Kinds.push_back(Tok.Kind);
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwFn,     TokenKind::Identifier, TokenKind::LParen,
+      TokenKind::RParen,   TokenKind::LBrace,     TokenKind::KwLocal,
+      TokenKind::Identifier, TokenKind::Assign,   TokenKind::IntLiteral,
+      TokenKind::Le,       TokenKind::IntLiteral, TokenKind::AndAnd,
+      TokenKind::IntLiteral, TokenKind::NotEq,    TokenKind::IntLiteral,
+      TokenKind::Semicolon, TokenKind::RBrace,    TokenKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(Lexer, SkipsCommentsTracksLines) {
+  auto Tokens = lex("// line\n/* block\nspans */ x");
+  ASSERT_EQ(Tokens.size(), 2u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[0].Line, 3u);
+}
+
+TEST(Lexer, ReportsBadCharactersAndOverflow) {
+  auto Tokens = lex("@");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Error);
+  auto Tokens2 = lex("99999999999999999999999");
+  EXPECT_EQ(Tokens2[0].Kind, TokenKind::Error);
+  auto Tokens3 = lex("/* unterminated");
+  EXPECT_EQ(Tokens3[0].Kind, TokenKind::Error);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser and Sema diagnostics.
+//===----------------------------------------------------------------------===//
+
+TEST(Parser, ReportsMissingSemicolonWithLocation) {
+  auto Diags = compileErrors("shared x\nfn main() { }");
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_EQ(Diags[0].Line, 2u);
+  EXPECT_NE(Diags[0].Message.find("';'"), std::string::npos);
+}
+
+TEST(Parser, RecoversAndReportsMultipleErrors) {
+  auto Diags = compileErrors("fn main() { local = ; junk &&& ; }");
+  EXPECT_GE(Diags.size(), 2u);
+}
+
+TEST(Sema, UnknownNamesAreRejected) {
+  auto Diags = compileErrors("fn main() { x = 1; }");
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_NE(Diags[0].Message.find("unknown variable 'x'"),
+            std::string::npos);
+}
+
+TEST(Sema, RequiresMain) {
+  auto Diags = compileErrors("fn helper() { }");
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_NE(Diags[0].Message.find("no 'fn main()'"), std::string::npos);
+}
+
+TEST(Sema, ChecksArity) {
+  auto Diags =
+      compileErrors("fn f(a, b) { }\nfn main() { let t = spawn f(1); }");
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_NE(Diags[0].Message.find("expects 2 argument(s)"),
+            std::string::npos);
+}
+
+TEST(Sema, DuplicateDeclarationsRejected) {
+  EXPECT_FALSE(compileErrors("shared x; lock x; fn main() { }").empty());
+  EXPECT_FALSE(
+      compileErrors("fn main() { local a = 1; local a = 2; }").empty());
+  EXPECT_FALSE(compileErrors("fn f() { } fn f() { } fn main() { }").empty());
+}
+
+TEST(Sema, ArrayUsageChecked) {
+  EXPECT_FALSE(
+      compileErrors("shared a[4]; fn main() { a = 1; }").empty());
+  EXPECT_FALSE(compileErrors("shared x; fn main() { x[0] = 1; }").empty());
+  EXPECT_TRUE(
+      compileErrors("shared a[4]; fn main() { a[1] = 1; }").empty());
+}
+
+TEST(Sema, LocalsShadowGlobals) {
+  // The local 'x' shadows the shared one: no shared events are emitted.
+  InterpResult R = runOk("shared x;\n"
+                         "fn main() { local x = 5; x = x + 1; print x; }");
+  EXPECT_EQ(R.Output, "6\n");
+  EXPECT_EQ(computeStats(R.EventTrace).total(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter: sequential semantics.
+//===----------------------------------------------------------------------===//
+
+TEST(Interp, ArithmeticAndPrecedence) {
+  InterpResult R = runOk("fn main() {\n"
+                         "  print 2 + 3 * 4;\n"
+                         "  print (2 + 3) * 4;\n"
+                         "  print 10 / 3;\n"
+                         "  print 10 % 3;\n"
+                         "  print -5 + 1;\n"
+                         "  print !0;\n"
+                         "  print !7;\n"
+                         "}");
+  EXPECT_EQ(R.Output, "14\n20\n3\n1\n-4\n1\n0\n");
+}
+
+TEST(Interp, ComparisonsAndShortCircuit) {
+  InterpResult R = runOk("fn boom() { return 1 / 0; }\n"
+                         "fn main() {\n"
+                         "  print 1 < 2;\n"
+                         "  print 2 <= 1;\n"
+                         "  print 0 && boom();\n" // must short-circuit
+                         "  print 1 || boom();\n"
+                         "  print 1 && 2;\n"
+                         "}");
+  EXPECT_EQ(R.Output, "1\n0\n0\n1\n1\n");
+}
+
+TEST(Interp, ControlFlow) {
+  InterpResult R = runOk("fn main() {\n"
+                         "  local i = 0;\n"
+                         "  local sum = 0;\n"
+                         "  while (i < 5) { sum = sum + i; i = i + 1; }\n"
+                         "  if (sum == 10) { print 1; } else { print 0; }\n"
+                         "  if (sum == 11) { print 1; } else if (sum == 10) "
+                         "{ print 2; } else { print 3; }\n"
+                         "}");
+  EXPECT_EQ(R.Output, "1\n2\n");
+}
+
+TEST(Interp, FunctionsAndRecursion) {
+  InterpResult R = runOk("fn fib(n) {\n"
+                         "  if (n < 2) { return n; }\n"
+                         "  return fib(n - 1) + fib(n - 2);\n"
+                         "}\n"
+                         "fn main() { print fib(10); }");
+  EXPECT_EQ(R.Output, "55\n");
+}
+
+TEST(Interp, ImplicitReturnIsZero) {
+  InterpResult R = runOk("fn f() { }\nfn main() { print f(); }");
+  EXPECT_EQ(R.Output, "0\n");
+}
+
+TEST(Interp, SharedArraysReadAndWrite) {
+  InterpResult R = runOk("shared a[3];\n"
+                         "fn main() {\n"
+                         "  local i = 0;\n"
+                         "  while (i < 3) { a[i] = i * i; i = i + 1; }\n"
+                         "  print a[0] + a[1] + a[2];\n"
+                         "}");
+  EXPECT_EQ(R.Output, "5\n");
+  TraceStats Stats = computeStats(R.EventTrace);
+  EXPECT_EQ(Stats.Writes, 3u);
+  EXPECT_EQ(Stats.Reads, 3u);
+}
+
+TEST(Interp, RuntimeErrors) {
+  std::vector<Diag> Diags;
+  InterpResult R1 = runSource("fn main() { print 1 / 0; }", Diags);
+  EXPECT_FALSE(R1.Ok);
+  EXPECT_NE(R1.Error.Message.find("division by zero"), std::string::npos);
+
+  InterpResult R2 =
+      runSource("shared a[2]; fn main() { a[5] = 1; }", Diags);
+  EXPECT_FALSE(R2.Ok);
+  EXPECT_NE(R2.Error.Message.find("out of bounds"), std::string::npos);
+
+  InterpResult R3 = runSource("fn main() { join 42; }", Diags);
+  EXPECT_FALSE(R3.Ok);
+  EXPECT_NE(R3.Error.Message.find("invalid thread handle"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter: concurrency and event emission.
+//===----------------------------------------------------------------------===//
+
+TEST(Interp, SpawnJoinEmitsForkJoinEvents) {
+  InterpResult R = runOk("shared x;\n"
+                         "fn child() { x = 1; }\n"
+                         "fn main() { let t = spawn child(); join t; "
+                         "print x; }");
+  EXPECT_EQ(R.Output, "1\n");
+  TraceStats Stats = computeStats(R.EventTrace);
+  EXPECT_EQ(Stats.Forks, 1u);
+  EXPECT_EQ(Stats.Joins, 1u);
+  EXPECT_TRUE(isFeasible(R.EventTrace));
+}
+
+TEST(Interp, SyncEmitsAcquireRelease) {
+  InterpResult R = runOk("shared x; lock m;\n"
+                         "fn main() { sync (m) { x = x + 1; } print x; }");
+  EXPECT_EQ(R.Output, "1\n");
+  TraceStats Stats = computeStats(R.EventTrace);
+  EXPECT_EQ(Stats.Acquires, 1u);
+  EXPECT_EQ(Stats.Releases, 1u);
+}
+
+TEST(Interp, ReentrantSyncEmitsOneAcquireReleasePair) {
+  InterpResult R = runOk("shared x; lock m;\n"
+                         "fn inner() { sync (m) { x = x + 1; } }\n"
+                         "fn main() { sync (m) { inner(); } print x; }");
+  EXPECT_EQ(R.Output, "1\n");
+  TraceStats Stats = computeStats(R.EventTrace);
+  EXPECT_EQ(Stats.Acquires, 1u);
+  EXPECT_EQ(Stats.Releases, 1u);
+  EXPECT_TRUE(isFeasible(R.EventTrace)); // strict: no re-entrant pairs
+}
+
+TEST(Interp, ReturnInsideSyncReleasesTheLock) {
+  InterpResult R = runOk("shared x; lock m;\n"
+                         "fn f() { sync (m) { x = 1; return 7; } }\n"
+                         "fn main() { print f(); sync (m) { x = 2; } "
+                         "print x; }");
+  EXPECT_EQ(R.Output, "7\n2\n");
+  TraceStats Stats = computeStats(R.EventTrace);
+  EXPECT_EQ(Stats.Acquires, 2u);
+  EXPECT_EQ(Stats.Releases, 2u);
+}
+
+TEST(Interp, AtomicBlocksEmitMarkers) {
+  InterpResult R = runOk("shared x;\n"
+                         "fn main() { atomic { x = 1; x = 2; } }");
+  TraceStats Stats = computeStats(R.EventTrace);
+  EXPECT_EQ(Stats.AtomicMarkers, 2u);
+  EXPECT_TRUE(isFeasible(R.EventTrace));
+}
+
+TEST(Interp, VolatilesEmitVolatileEvents) {
+  InterpResult R = runOk("volatile flag;\n"
+                         "fn main() { flag = 1; print flag; }");
+  EXPECT_EQ(R.Output, "1\n");
+  TraceStats Stats = computeStats(R.EventTrace);
+  EXPECT_EQ(Stats.VolatileWrites, 1u);
+  EXPECT_EQ(Stats.VolatileReads, 1u);
+}
+
+TEST(Interp, BarrierReleasesAllParties) {
+  InterpResult R = runOk("shared x; barrier b(2);\n"
+                         "fn worker() { x = 1; await b; }\n"
+                         "fn main() { let t = spawn worker(); await b; "
+                         "print x; join t; }");
+  EXPECT_EQ(R.Output, "1\n");
+  TraceStats Stats = computeStats(R.EventTrace);
+  EXPECT_EQ(Stats.Barriers, 1u);
+  EXPECT_TRUE(isFeasible(R.EventTrace));
+}
+
+TEST(Interp, MutexActuallyExcludes) {
+  // Both threads increment under the lock 200 times; with exclusion the
+  // final value is exactly 400 on every schedule.
+  const char *Source = "shared x; lock m;\n"
+                       "fn worker() {\n"
+                       "  local i = 0;\n"
+                       "  while (i < 200) {\n"
+                       "    sync (m) { x = x + 1; }\n"
+                       "    i = i + 1;\n"
+                       "  }\n"
+                       "}\n"
+                       "fn main() {\n"
+                       "  let t1 = spawn worker();\n"
+                       "  let t2 = spawn worker();\n"
+                       "  join t1; join t2;\n"
+                       "  print x;\n"
+                       "}";
+  for (uint64_t Seed : {1, 7, 99}) {
+    InterpResult R = runOk(Source, Seed);
+    EXPECT_EQ(R.Output, "400\n") << "seed " << Seed;
+    EXPECT_TRUE(isFeasible(R.EventTrace)) << "seed " << Seed;
+  }
+}
+
+TEST(Interp, RacyIncrementCanLoseUpdates) {
+  // Unsynchronized read-modify-write: some schedule loses an update.
+  const char *Source = "shared x;\n"
+                       "fn worker() {\n"
+                       "  local i = 0;\n"
+                       "  while (i < 50) { x = x + 1; i = i + 1; }\n"
+                       "}\n"
+                       "fn main() {\n"
+                       "  let t1 = spawn worker();\n"
+                       "  let t2 = spawn worker();\n"
+                       "  join t1; join t2;\n"
+                       "  print x;\n"
+                       "}";
+  bool SawLostUpdate = false;
+  for (uint64_t Seed = 1; Seed != 20 && !SawLostUpdate; ++Seed) {
+    InterpResult R = runOk(Source, Seed);
+    SawLostUpdate = R.Output != "100\n";
+  }
+  EXPECT_TRUE(SawLostUpdate);
+}
+
+TEST(Interp, DeadlockIsDetected) {
+  std::vector<Diag> Diags;
+  // Two threads awaiting a 3-party barrier that never fills.
+  InterpResult R = runSource("barrier b(3);\n"
+                             "fn worker() { await b; }\n"
+                             "fn main() { let t = spawn worker(); "
+                             "await b; join t; }",
+                             Diags);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.Message.find("deadlock"), std::string::npos);
+}
+
+TEST(Interp, StepBudgetGuard) {
+  std::vector<Diag> Diags;
+  InterpOptions Options;
+  Options.MaxSteps = 1000;
+  InterpResult R =
+      runSource("fn main() { while (1) { } }", Diags, Options);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.Message.find("step budget"), std::string::npos);
+}
+
+TEST(Interp, DeterministicUnderSameSeed) {
+  const char *Source = "shared x; lock m;\n"
+                       "fn w(n) { local i = 0; while (i < n) { sync (m) "
+                       "{ x = x + 1; } i = i + 1; } }\n"
+                       "fn main() { let a = spawn w(20); let b = spawn "
+                       "w(30); join a; join b; print x; }";
+  InterpResult R1 = runOk(Source, 1234);
+  InterpResult R2 = runOk(Source, 1234);
+  EXPECT_EQ(R1.Steps, R2.Steps);
+  EXPECT_EQ(R1.Output, R2.Output);
+  ASSERT_EQ(R1.EventTrace.size(), R2.EventTrace.size());
+  for (size_t I = 0; I != R1.EventTrace.size(); ++I)
+    EXPECT_EQ(R1.EventTrace[I], R2.EventTrace[I]) << "op " << I;
+}
+
+TEST(Interp, SchedulesDifferUnderDifferentSeeds) {
+  const char *Source = "shared x;\n"
+                       "fn w() { local i = 0; while (i < 30) "
+                       "{ x = i; i = i + 1; } }\n"
+                       "fn main() { let a = spawn w(); let b = spawn w(); "
+                       "join a; join b; }";
+  InterpResult R1 = runOk(Source, 1);
+  InterpResult R2 = runOk(Source, 2);
+  bool Differ = R1.EventTrace.size() != R2.EventTrace.size();
+  for (size_t I = 0; !Differ && I != R1.EventTrace.size(); ++I)
+    Differ = !(R1.EventTrace[I] == R2.EventTrace[I]);
+  EXPECT_TRUE(Differ);
+}
+
+TEST(Interp, TracesAreAlwaysFeasible) {
+  const char *Source =
+      "shared x; shared a[4]; lock m; volatile flag; barrier b(3);\n"
+      "fn worker(id) {\n"
+      "  local i = 0;\n"
+      "  while (i < 20) {\n"
+      "    sync (m) { x = x + 1; a[id % 4] = x; }\n"
+      "    if (i == 10) { flag = id; }\n"
+      "    i = i + 1;\n"
+      "  }\n"
+      "  await b;\n"
+      "  atomic { a[0] = a[0] + flag; }\n"
+      "}\n"
+      "fn main() {\n"
+      "  let t1 = spawn worker(1);\n"
+      "  let t2 = spawn worker(2);\n"
+      "  await b;\n"
+      "  join t1; join t2;\n"
+      "  print a[0];\n"
+      "}";
+  for (uint64_t Seed = 1; Seed != 25; ++Seed) {
+    InterpResult R = runOk(Source, Seed);
+    auto Violations = validateTrace(R.EventTrace);
+    EXPECT_TRUE(Violations.empty())
+        << "seed " << Seed << ": "
+        << (Violations.empty() ? "" : Violations[0].Message);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Wait / notify (Section 4: wait = release + subsequent acquire; notify
+// induces no happens-before edges and emits nothing).
+//===----------------------------------------------------------------------===//
+
+TEST(Interp, WaitNotifyProducerConsumer) {
+  const char *Source =
+      "shared value; shared produced; lock m;\n"
+      "fn producer() {\n"
+      "  sync (m) {\n"
+      "    value = 42;\n"
+      "    produced = 1;\n"
+      "    notify m;\n"
+      "  }\n"
+      "}\n"
+      "fn main() {\n"
+      "  let p = spawn producer();\n"
+      "  sync (m) {\n"
+      "    while (produced == 0) { wait m; }\n"
+      "    print value;\n"
+      "  }\n"
+      "  join p;\n"
+      "}";
+  for (uint64_t Seed = 1; Seed != 12; ++Seed) {
+    InterpResult R = runOk(Source, Seed);
+    EXPECT_EQ(R.Output, "42\n") << "seed " << Seed;
+    EXPECT_TRUE(isFeasible(R.EventTrace)) << "seed " << Seed;
+  }
+}
+
+TEST(Interp, WaitEmitsReleaseAndReacquire) {
+  // One schedule where main must actually wait: its sync runs first.
+  const char *Source = "shared flag; lock m;\n"
+                       "fn setter() { sync (m) { flag = 1; notifyall m; } }\n"
+                       "fn main() {\n"
+                       "  let t = spawn setter();\n"
+                       "  sync (m) { while (flag == 0) { wait m; } }\n"
+                       "  join t;\n"
+                       "}";
+  bool SawWait = false;
+  for (uint64_t Seed = 1; Seed != 20 && !SawWait; ++Seed) {
+    InterpResult R = runOk(Source, Seed);
+    TraceStats Stats = computeStats(R.EventTrace);
+    ASSERT_EQ(Stats.Acquires, Stats.Releases) << "seed " << Seed;
+    // A schedule where main waited has >2 acquire/release pairs: its
+    // sync entry, the wait's release/reacquire, and the setter's pair.
+    SawWait = Stats.Acquires > 2;
+    EXPECT_TRUE(isFeasible(R.EventTrace)) << "seed " << Seed;
+  }
+  EXPECT_TRUE(SawWait);
+}
+
+TEST(Interp, NotifyAllWakesEveryWaiter) {
+  const char *Source =
+      "shared go; shared woke; lock m;\n"
+      "fn waiter() {\n"
+      "  sync (m) {\n"
+      "    while (go == 0) { wait m; }\n"
+      "    woke = woke + 1;\n"
+      "  }\n"
+      "}\n"
+      "fn main() {\n"
+      "  let a = spawn waiter();\n"
+      "  let b = spawn waiter();\n"
+      "  let c = spawn waiter();\n"
+      "  sync (m) { go = 1; notifyall m; }\n"
+      "  join a; join b; join c;\n"
+      "  print woke;\n"
+      "}";
+  for (uint64_t Seed = 1; Seed != 10; ++Seed) {
+    InterpResult R = runOk(Source, Seed);
+    EXPECT_EQ(R.Output, "3\n") << "seed " << Seed;
+  }
+}
+
+TEST(Interp, WaitWithoutLockIsARuntimeError) {
+  std::vector<Diag> Diags;
+  InterpResult R = runSource("lock m;\nfn main() { wait m; }", Diags);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.Message.find("not held"), std::string::npos);
+
+  InterpResult R2 = runSource("lock m;\nfn main() { notify m; }", Diags);
+  EXPECT_FALSE(R2.Ok);
+  EXPECT_NE(R2.Error.Message.find("not held"), std::string::npos);
+}
+
+TEST(Interp, LostWakeupDeadlockIsDetected) {
+  // The notify fires before the wait on some schedule ordering: since the
+  // whole notifier runs under the lock before main's sync can enter, a
+  // schedule where the setter's critical section completes first leaves
+  // main waiting forever.
+  const char *Source = "lock m;\n"
+                       "fn poker() { sync (m) { notify m; } }\n"
+                       "fn main() {\n"
+                       "  let t = spawn poker();\n"
+                       "  sync (m) { wait m; }\n"
+                       "  join t;\n"
+                       "}";
+  std::vector<Diag> Diags;
+  bool SawDeadlock = false;
+  for (uint64_t Seed = 1; Seed != 20 && !SawDeadlock; ++Seed) {
+    InterpOptions Options;
+    Options.Seed = Seed;
+    InterpResult R = runSource(Source, Diags, Options);
+    ASSERT_TRUE(Diags.empty());
+    if (!R.Ok) {
+      EXPECT_NE(R.Error.Message.find("deadlock"), std::string::npos);
+      SawDeadlock = true;
+    }
+  }
+  EXPECT_TRUE(SawDeadlock);
+}
+
+TEST(Interp, WaitNotifyTraceIsRaceFreeUnderFastTrack) {
+  // The condition-variable hand-off orders producer writes before the
+  // consumer's reads purely through wait's release/acquire pair.
+  const char *Source =
+      "shared data; shared ready; lock m;\n"
+      "fn producer() { sync (m) { data = 7; ready = 1; notify m; } }\n"
+      "fn main() {\n"
+      "  let p = spawn producer();\n"
+      "  sync (m) { while (ready == 0) { wait m; } }\n"
+      "  print data;\n"
+      "  join p;\n"
+      "}";
+  for (uint64_t Seed = 1; Seed != 12; ++Seed) {
+    InterpResult R = runOk(Source, Seed);
+    EXPECT_TRUE(isRaceFree(R.EventTrace)) << "seed " << Seed;
+  }
+}
+
+TEST(Sema, WaitNotifyRequireKnownLock) {
+  EXPECT_FALSE(compileErrors("fn main() { wait nope; }").empty());
+  EXPECT_FALSE(compileErrors("fn main() { notify nope; }").empty());
+  EXPECT_FALSE(compileErrors("fn main() { notifyall nope; }").empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Corner cases of the abstract machine.
+//===----------------------------------------------------------------------===//
+
+TEST(Interp, ReturnThroughNestedSyncAndAtomicUnwinds) {
+  // Returning from deep inside sync+atomic must emit the matching rel
+  // and aend events, in order.
+  const char *Source =
+      "shared x; lock m; lock n;\n"
+      "fn f() {\n"
+      "  sync (m) { atomic { sync (n) { x = 1; return 9; } } }\n"
+      "}\n"
+      "fn main() { print f(); sync (m) { x = 2; } }";
+  InterpResult R = runOk(Source);
+  EXPECT_EQ(R.Output, "9\n");
+  TraceStats Stats = computeStats(R.EventTrace);
+  EXPECT_EQ(Stats.Acquires, 3u);
+  EXPECT_EQ(Stats.Releases, 3u);
+  EXPECT_EQ(Stats.AtomicMarkers, 2u);
+  EXPECT_TRUE(isFeasible(R.EventTrace));
+}
+
+TEST(Interp, SpawnFromWorkerThread) {
+  const char *Source = "shared x;\n"
+                       "fn leaf() { x = x + 1; }\n"
+                       "fn mid() { let t = spawn leaf(); join t; x = x + 1; }\n"
+                       "fn main() { let t = spawn mid(); join t; print x; }";
+  InterpResult R = runOk(Source);
+  EXPECT_EQ(R.Output, "2\n");
+  EXPECT_TRUE(isFeasible(R.EventTrace));
+  EXPECT_TRUE(isRaceFree(R.EventTrace)); // fork/join chain orders all
+}
+
+TEST(Interp, SpawnResultUsableInExpressions) {
+  // Thread handles are ordinary integers; main has handle 0.
+  InterpResult R = runOk("fn w() { local z = 0; }\n"
+                         "fn main() { let t = spawn w(); print t; join t; }");
+  EXPECT_EQ(R.Output, "1\n");
+}
+
+TEST(Interp, DeepRecursionWithinReason) {
+  InterpResult R = runOk("fn sum(n) { if (n == 0) { return 0; } "
+                         "return n + sum(n - 1); }\n"
+                         "fn main() { print sum(200); }");
+  EXPECT_EQ(R.Output, "20100\n");
+}
+
+TEST(Interp, WhileConditionWithSideEffectFunctions) {
+  InterpResult R = runOk("shared c;\n"
+                         "fn bump() { c = c + 1; return c; }\n"
+                         "fn main() { while (bump() < 4) { } print c; }");
+  EXPECT_EQ(R.Output, "4\n");
+}
+
+TEST(Interp, DoubleJoinIsHarmlessAndEmitsOneEvent) {
+  InterpResult R = runOk("shared x;\nfn w() { x = 1; }\n"
+                         "fn main() { let t = spawn w(); join t; join t; }");
+  EXPECT_EQ(computeStats(R.EventTrace).Joins, 1u);
+  EXPECT_TRUE(isFeasible(R.EventTrace));
+}
+
+TEST(Interp, ArrayIndexExpressionsAreEvaluatedOnce) {
+  InterpResult R = runOk("shared a[4]; shared i;\n"
+                         "fn main() {\n"
+                         "  a[i + 1] = 5;\n"
+                         "  print a[1];\n"
+                         "}");
+  EXPECT_EQ(R.Output, "5\n");
+}
+
+TEST(Interp, NegativeArrayIndexCaught) {
+  std::vector<Diag> Diags;
+  InterpResult R =
+      runSource("shared a[4]; fn main() { a[0 - 1] = 1; }", Diags);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.Message.find("out of bounds"), std::string::npos);
+}
+
+TEST(Interp, BarrierIsReusableAcrossPhases) {
+  const char *Source =
+      "shared x; barrier b(2);\n"
+      "fn w() { x = 1; await b; await b; }\n"
+      "fn main() { let t = spawn w(); await b; x = 2; await b; join t; "
+      "print x; }";
+  // Wait: main's write between the barriers is ordered against the
+  // worker's pre-barrier write; the trace must have two barrier events.
+  InterpResult R = runOk(Source);
+  EXPECT_EQ(computeStats(R.EventTrace).Barriers, 2u);
+  EXPECT_TRUE(isRaceFree(R.EventTrace));
+}

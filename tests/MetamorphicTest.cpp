@@ -1,0 +1,253 @@
+//===--- MetamorphicTest.cpp - metamorphic and robustness properties ------===//
+//
+// DESIGN.md §6(3): transformations with known effects on the race
+// content of a trace, checked against the oracle and the detectors:
+//   - swapping adjacent independent accesses preserves happens-before,
+//     so every verdict is invariant;
+//   - renaming variables permutes the racy set;
+//   - a prefix of a trace can only have a subset of the racy variables;
+//   - deleting a critical section's lock operations can only add races;
+//   - detectors must stay oracle-exact on mutated traces and must not
+//     crash on malformed (infeasible) ones.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FastTrack.h"
+#include "core/ToolRegistry.h"
+#include "detectors/BasicVC.h"
+#include "detectors/DjitPlus.h"
+#include "framework/Replay.h"
+#include "hb/RaceOracle.h"
+#include "support/Rng.h"
+#include "trace/RandomTrace.h"
+#include "trace/TraceBuilder.h"
+#include "trace/TraceValidator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace ft;
+
+namespace {
+
+RandomTraceConfig configFor(uint64_t Seed, double Chaos) {
+  RandomTraceConfig Config;
+  Config.Seed = Seed;
+  Config.NumThreads = 3 + Seed % 3;
+  Config.NumVars = 10 + Seed % 12;
+  Config.NumLocks = 1 + Seed % 3;
+  Config.OpsPerThread = 30 + Seed % 40;
+  Config.ChaosProbability = Chaos;
+  return Config;
+}
+
+std::vector<VarId> warnedVars(Tool &Checker, const Trace &T) {
+  replay(T, Checker);
+  std::vector<VarId> Vars;
+  for (const RaceWarning &W : Checker.warnings())
+    Vars.push_back(W.Var);
+  std::sort(Vars.begin(), Vars.end());
+  Vars.erase(std::unique(Vars.begin(), Vars.end()), Vars.end());
+  return Vars;
+}
+
+/// Rebuilds \p T with up to \p Attempts swaps of adjacent operations that
+/// are (a) both plain accesses, (b) by different threads, (c) to
+/// different variables — a transformation that preserves the
+/// happens-before relation exactly.
+Trace swapIndependentNeighbors(const Trace &T, uint64_t Seed,
+                               unsigned Attempts) {
+  std::vector<Operation> Ops(T.begin(), T.end());
+  Xoshiro256StarStar Rng(Seed);
+  for (unsigned A = 0; A != Attempts && Ops.size() > 1; ++A) {
+    size_t I = Rng.nextBelow(Ops.size() - 1);
+    Operation &X = Ops[I];
+    Operation &Y = Ops[I + 1];
+    if (isAccess(X.Kind) && isAccess(Y.Kind) && X.Thread != Y.Thread &&
+        X.Target != Y.Target)
+      std::swap(X, Y);
+  }
+  Trace Out;
+  for (const Operation &Op : Ops) {
+    if (Op.Kind == OpKind::Barrier)
+      Out.appendBarrier(T.barrierSet(Op.Target));
+    else
+      Out.append(Op);
+  }
+  return Out;
+}
+
+/// Renames every variable id via an affine permutation.
+Trace renameVars(const Trace &T, VarId Stride, VarId Space) {
+  Trace Out;
+  for (const Operation &Op : T) {
+    if (Op.Kind == OpKind::Barrier) {
+      Out.appendBarrier(T.barrierSet(Op.Target));
+      continue;
+    }
+    Operation Copy = Op;
+    if (isAccess(Op.Kind))
+      Copy.Target = (Op.Target * Stride + 1) % Space;
+    Out.append(Copy);
+  }
+  return Out;
+}
+
+} // namespace
+
+class Metamorphic : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Metamorphic, IndependentSwapsPreserveEveryVerdict) {
+  Trace T = generateRandomTrace(configFor(GetParam(), 0.25));
+  Trace Mutant = swapIndependentNeighbors(T, GetParam() * 31 + 7, 200);
+  ASSERT_EQ(Mutant.size(), T.size());
+
+  EXPECT_EQ(racyVars(Mutant), racyVars(T)) << "seed " << GetParam();
+  FastTrack FtOrig, FtMutant;
+  EXPECT_EQ(warnedVars(FtMutant, Mutant), warnedVars(FtOrig, T))
+      << "seed " << GetParam();
+}
+
+TEST_P(Metamorphic, VariableRenamingPermutesTheRacySet) {
+  Trace T = generateRandomTrace(configFor(GetParam(), 0.3));
+  // Stride 1 keeps id arithmetic a bijection over [0, Space).
+  VarId Space = T.numVars();
+  Trace Renamed = renameVars(T, 1, Space);
+
+  std::vector<VarId> Expected;
+  for (VarId X : racyVars(T))
+    Expected.push_back((X + 1) % Space);
+  std::sort(Expected.begin(), Expected.end());
+
+  EXPECT_EQ(racyVars(Renamed), Expected) << "seed " << GetParam();
+  FastTrack Ft;
+  EXPECT_EQ(warnedVars(Ft, Renamed), Expected) << "seed " << GetParam();
+}
+
+TEST_P(Metamorphic, PrefixRacesAreASubsetOfFullTraceRaces) {
+  Trace T = generateRandomTrace(configFor(GetParam(), 0.3));
+  Trace Prefix;
+  size_t Keep = T.size() / 2;
+  for (size_t I = 0; I != Keep; ++I) {
+    if (T[I].Kind == OpKind::Barrier) {
+      std::vector<ThreadId> Set = T.barrierSet(T[I].Target);
+      Prefix.appendBarrier(Set);
+    } else {
+      Prefix.append(T[I]);
+    }
+  }
+  std::vector<VarId> Full = racyVars(T);
+  for (VarId X : racyVars(Prefix))
+    EXPECT_TRUE(std::binary_search(Full.begin(), Full.end(), X))
+        << "seed " << GetParam() << " var " << X;
+}
+
+TEST_P(Metamorphic, DroppingACriticalSectionOnlyAddsRaces) {
+  Trace T = generateRandomTrace(configFor(GetParam(), 0.0));
+  std::vector<VarId> Before = racyVars(T);
+
+  // Remove the first acquire and its matching release (same thread and
+  // lock), leaving that critical section unprotected.
+  Trace Mutant;
+  bool Removed = false;
+  ThreadId Holder = 0;
+  LockId Lock = 0;
+  bool LookingForRelease = false;
+  for (const Operation &Op : T) {
+    if (!Removed && !LookingForRelease && Op.Kind == OpKind::Acquire) {
+      Holder = Op.Thread;
+      Lock = Op.Target;
+      LookingForRelease = true;
+      continue; // drop the acquire
+    }
+    if (LookingForRelease && Op.Kind == OpKind::Release &&
+        Op.Thread == Holder && Op.Target == Lock) {
+      LookingForRelease = false;
+      Removed = true;
+      continue; // drop the matching release
+    }
+    if (Op.Kind == OpKind::Barrier)
+      Mutant.appendBarrier(T.barrierSet(Op.Target));
+    else
+      Mutant.append(Op);
+  }
+  if (!Removed)
+    GTEST_SKIP() << "trace had no critical section";
+
+  std::vector<VarId> After = racyVars(Mutant);
+  // Removing synchronization can only remove happens-before edges.
+  for (VarId X : Before)
+    EXPECT_TRUE(std::binary_search(After.begin(), After.end(), X))
+        << "seed " << GetParam();
+
+  // The detectors stay oracle-exact even on the mutated trace.
+  FastTrack Ft;
+  DjitPlus Djit;
+  EXPECT_EQ(warnedVars(Ft, Mutant), After) << "seed " << GetParam();
+  EXPECT_EQ(warnedVars(Djit, Mutant), After) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Metamorphic,
+                         ::testing::Range<uint64_t>(1, 31));
+
+//===----------------------------------------------------------------------===//
+// Robustness: infeasible traces must not crash any tool. Verdicts are
+// unspecified (the algorithms assume feasibility), but memory safety and
+// termination are not.
+//===----------------------------------------------------------------------===//
+
+TEST(Robustness, ToolsSurviveMalformedTraces) {
+  std::vector<Trace> Malformed;
+  // Release without acquire.
+  Malformed.push_back(TraceBuilder().rel(0, 0).wr(0, 0).take());
+  // Operations of a never-forked thread.
+  Malformed.push_back(TraceBuilder().wr(5, 0).rd(5, 1).take());
+  // Double fork and operation after join.
+  Malformed.push_back(TraceBuilder()
+                          .fork(0, 1)
+                          .wr(1, 0)
+                          .fork(0, 1)
+                          .join(0, 1)
+                          .wr(1, 0)
+                          .take());
+  // Join of an unforked thread; self-ish lock churn.
+  Malformed.push_back(
+      TraceBuilder().join(0, 3).acq(0, 0).acq(0, 0).rel(0, 0).take());
+
+  for (size_t I = 0; I != Malformed.size(); ++I) {
+    EXPECT_FALSE(isFeasible(Malformed[I])) << "case " << I;
+    for (const std::string &Name : registeredToolNames()) {
+      auto Checker = createTool(Name);
+      ReplayOptions Options;
+      Options.FilterReentrantLocks = true; // absorbs the lock nesting
+      replay(Malformed[I], *Checker, Options);
+      SUCCEED();
+    }
+  }
+}
+
+TEST(Robustness, EmptyAndSingleOpTraces) {
+  Trace Empty;
+  Trace Single = TraceBuilder().wr(0, 0).take();
+  for (const std::string &Name : registeredToolNames()) {
+    auto A = createTool(Name);
+    replay(Empty, *A);
+    EXPECT_TRUE(A->warnings().empty()) << Name;
+    auto B = createTool(Name);
+    replay(Single, *B);
+    EXPECT_TRUE(B->warnings().empty()) << Name;
+  }
+}
+
+TEST(Robustness, ToolReuseAcrossReplaysResetsState) {
+  Trace Racy = TraceBuilder().fork(0, 1).wr(0, 0).wr(1, 0).take();
+  Trace Clean = TraceBuilder().fork(0, 1).lockedWr(0, 0, 0)
+                    .lockedWr(1, 0, 0).take();
+  FastTrack Detector;
+  replay(Racy, Detector);
+  EXPECT_EQ(Detector.warnings().size(), 1u);
+  Detector.clearWarnings();
+  replay(Clean, Detector); // begin() must fully reset shadow state
+  EXPECT_TRUE(Detector.warnings().empty());
+}

@@ -1,0 +1,122 @@
+//===--- TraceIOTest.cpp - trace text format round trips ------------------===//
+
+#include "trace/TraceBuilder.h"
+#include "trace/TraceIO.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace ft;
+
+namespace {
+
+Trace sampleTrace() {
+  TraceBuilder B;
+  B.fork(0, 1).wr(0, 2).lockedRd(1, 0, 2).volWr(0, 1).volRd(1, 1);
+  B.barrier({0, 1}).atomicBegin(1).rd(1, 2).atomicEnd(1).join(0, 1);
+  return B.take();
+}
+
+} // namespace
+
+TEST(TraceIO, SerializeProducesOneLinePerOp) {
+  Trace T = sampleTrace();
+  std::string Text = serializeTrace(T);
+  size_t Lines = 0;
+  for (char C : Text)
+    Lines += C == '\n';
+  EXPECT_EQ(Lines, T.size());
+}
+
+TEST(TraceIO, RoundTripPreservesOperations) {
+  Trace T = sampleTrace();
+  std::string Text = serializeTrace(T);
+  Trace Parsed;
+  std::string Error;
+  ASSERT_TRUE(parseTrace(Text, Parsed, Error)) << Error;
+  ASSERT_EQ(Parsed.size(), T.size());
+  for (size_t I = 0; I != T.size(); ++I) {
+    EXPECT_EQ(Parsed[I].Kind, T[I].Kind) << "op " << I;
+    EXPECT_EQ(Parsed[I].Thread, T[I].Thread) << "op " << I;
+    if (T[I].Kind == OpKind::Barrier)
+      EXPECT_EQ(Parsed.barrierSet(Parsed[I].Target),
+                T.barrierSet(T[I].Target));
+    else
+      EXPECT_EQ(Parsed[I].Target, T[I].Target) << "op " << I;
+  }
+  EXPECT_EQ(Parsed.numThreads(), T.numThreads());
+  EXPECT_EQ(Parsed.numVars(), T.numVars());
+}
+
+TEST(TraceIO, ParsesCommentsAndBlankLines) {
+  Trace Parsed;
+  std::string Error;
+  ASSERT_TRUE(parseTrace("# header\n\n  rd 0 1  # trailing\n\n", Parsed,
+                         Error))
+      << Error;
+  ASSERT_EQ(Parsed.size(), 1u);
+  EXPECT_EQ(Parsed[0], rd(0, 1));
+}
+
+TEST(TraceIO, ParsesWindowsLineEndings) {
+  Trace Parsed;
+  std::string Error;
+  ASSERT_TRUE(parseTrace("rd 0 1\r\nwr 1 2\r\n", Parsed, Error)) << Error;
+  EXPECT_EQ(Parsed.size(), 2u);
+}
+
+TEST(TraceIO, RejectsUnknownOperation) {
+  Trace Parsed;
+  std::string Error;
+  EXPECT_FALSE(parseTrace("read 0 1\n", Parsed, Error));
+  EXPECT_NE(Error.find("line 1"), std::string::npos);
+  EXPECT_NE(Error.find("unknown operation"), std::string::npos);
+}
+
+TEST(TraceIO, RejectsWrongArity) {
+  Trace Parsed;
+  std::string Error;
+  EXPECT_FALSE(parseTrace("rd 0\n", Parsed, Error));
+  EXPECT_FALSE(parseTrace("rd 0 1 2\n", Parsed, Error));
+  EXPECT_FALSE(parseTrace("abegin 0 1\n", Parsed, Error));
+}
+
+TEST(TraceIO, RejectsBadNumbers) {
+  Trace Parsed;
+  std::string Error;
+  EXPECT_FALSE(parseTrace("rd zero 1\n", Parsed, Error));
+  EXPECT_FALSE(parseTrace("rd 0 -1\n", Parsed, Error));
+  EXPECT_FALSE(parseTrace("rd 0 99999999999\n", Parsed, Error));
+}
+
+TEST(TraceIO, ReportsCorrectLineNumber) {
+  Trace Parsed;
+  std::string Error;
+  EXPECT_FALSE(parseTrace("rd 0 1\n# ok\nwr 1\n", Parsed, Error));
+  EXPECT_NE(Error.find("line 3"), std::string::npos);
+}
+
+TEST(TraceIO, BarrierNeedsThreads) {
+  Trace Parsed;
+  std::string Error;
+  EXPECT_FALSE(parseTrace("barrier\n", Parsed, Error));
+}
+
+TEST(TraceIO, FileRoundTrip) {
+  Trace T = sampleTrace();
+  std::string Path = ::testing::TempDir() + "/ft_trace_io_test.trc";
+  std::string Error;
+  ASSERT_TRUE(saveTraceFile(Path, T, Error)) << Error;
+  Trace Loaded;
+  ASSERT_TRUE(loadTraceFile(Path, Loaded, Error)) << Error;
+  EXPECT_EQ(Loaded.size(), T.size());
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIO, LoadMissingFileFails) {
+  Trace Loaded;
+  std::string Error;
+  EXPECT_FALSE(loadTraceFile("/nonexistent/path.trc", Loaded, Error));
+  EXPECT_FALSE(Error.empty());
+}

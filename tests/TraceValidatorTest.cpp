@@ -1,0 +1,167 @@
+//===--- TraceValidatorTest.cpp - feasibility rules of Section 2.1 --------===//
+
+#include "trace/TraceBuilder.h"
+#include "trace/TraceValidator.h"
+
+#include <gtest/gtest.h>
+
+using namespace ft;
+
+namespace {
+
+std::vector<TraceViolation> check(const Trace &T) { return validateTrace(T); }
+
+} // namespace
+
+TEST(TraceValidator, EmptyTraceIsFeasible) {
+  Trace T;
+  EXPECT_TRUE(isFeasible(T));
+}
+
+TEST(TraceValidator, WellFormedForkJoinLocking) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .lockedWr(0, 0, 0)
+                .lockedRd(1, 0, 0)
+                .join(0, 1)
+                .take();
+  EXPECT_TRUE(isFeasible(T));
+}
+
+// Rule 1: no thread acquires a lock previously acquired but not released.
+TEST(TraceValidator, DoubleAcquireByOtherThreadIsInfeasible) {
+  Trace T = TraceBuilder().fork(0, 1).acq(0, 0).acq(1, 0).take();
+  auto V = check(T);
+  ASSERT_EQ(V.size(), 1u);
+  EXPECT_EQ(V[0].OpIndex, 2u);
+  EXPECT_NE(V[0].Message.find("acquired while held"), std::string::npos);
+}
+
+TEST(TraceValidator, ReentrantAcquireRejectedByDefault) {
+  Trace T = TraceBuilder().acq(0, 0).acq(0, 0).take();
+  EXPECT_FALSE(isFeasible(T));
+}
+
+TEST(TraceValidator, ReentrantAcquireAllowedWithOption) {
+  Trace T =
+      TraceBuilder().acq(0, 0).acq(0, 0).rel(0, 0).rel(0, 0).take();
+  TraceValidatorOptions Options;
+  Options.AllowReentrantLocks = true;
+  EXPECT_TRUE(isFeasible(T, Options));
+  EXPECT_FALSE(isFeasible(T));
+}
+
+TEST(TraceValidator, ReentrantUnderflowStillCaught) {
+  Trace T = TraceBuilder().acq(0, 0).rel(0, 0).rel(0, 0).take();
+  TraceValidatorOptions Options;
+  Options.AllowReentrantLocks = true;
+  EXPECT_FALSE(isFeasible(T, Options));
+}
+
+// Rule 2: no thread releases a lock it did not previously acquire.
+TEST(TraceValidator, ReleaseWithoutAcquireIsInfeasible) {
+  Trace T = TraceBuilder().rel(0, 3).take();
+  auto V = check(T);
+  ASSERT_EQ(V.size(), 1u);
+  EXPECT_NE(V[0].Message.find("does not hold"), std::string::npos);
+}
+
+TEST(TraceValidator, ReleaseOfLockHeldByOtherThreadIsInfeasible) {
+  Trace T = TraceBuilder().fork(0, 1).acq(0, 0).rel(1, 0).take();
+  EXPECT_FALSE(isFeasible(T));
+}
+
+// Rule 3: no operations of u before fork(t,u) or after join(v,u).
+TEST(TraceValidator, OperationBeforeForkIsInfeasible) {
+  Trace T = TraceBuilder().wr(1, 0).fork(0, 1).take();
+  auto V = check(T);
+  ASSERT_FALSE(V.empty());
+  EXPECT_NE(V[0].Message.find("before being forked"), std::string::npos);
+}
+
+TEST(TraceValidator, OperationAfterJoinIsInfeasible) {
+  Trace T = TraceBuilder().fork(0, 1).wr(1, 0).join(0, 1).wr(1, 0).take();
+  auto V = check(T);
+  ASSERT_EQ(V.size(), 1u);
+  EXPECT_EQ(V[0].OpIndex, 3u);
+  EXPECT_NE(V[0].Message.find("after being joined"), std::string::npos);
+}
+
+TEST(TraceValidator, UnforkedThreadAllowedWhenOptionDisabled) {
+  Trace T = TraceBuilder().wr(1, 0).take();
+  TraceValidatorOptions Options;
+  Options.RequireFork = false;
+  EXPECT_TRUE(isFeasible(T, Options));
+  EXPECT_FALSE(isFeasible(T));
+}
+
+// Rule 4: at least one operation of u between fork(t,u) and join(v,u).
+TEST(TraceValidator, EmptyForkJoinSpanIsInfeasible) {
+  Trace T = TraceBuilder().fork(0, 1).join(0, 1).take();
+  auto V = check(T);
+  ASSERT_EQ(V.size(), 1u);
+  EXPECT_NE(V[0].Message.find("rule 4"), std::string::npos);
+}
+
+TEST(TraceValidator, SelfForkAndSelfJoinRejected) {
+  EXPECT_FALSE(isFeasible(TraceBuilder().fork(0, 0).take()));
+  Trace T = TraceBuilder().fork(0, 1).wr(1, 0).join(1, 1).take();
+  EXPECT_FALSE(isFeasible(T));
+}
+
+TEST(TraceValidator, DoubleForkRejected) {
+  Trace T = TraceBuilder().fork(0, 1).wr(1, 0).fork(0, 1).take();
+  EXPECT_FALSE(isFeasible(T));
+}
+
+TEST(TraceValidator, JoinOfUnforkedThreadRejected) {
+  Trace T = TraceBuilder().join(0, 1).take();
+  EXPECT_FALSE(isFeasible(T));
+}
+
+TEST(TraceValidator, DoubleJoinRejected) {
+  Trace T =
+      TraceBuilder().fork(0, 1).wr(1, 0).join(0, 1).join(0, 1).take();
+  EXPECT_FALSE(isFeasible(T));
+}
+
+TEST(TraceValidator, BarrierOfRunningThreadsIsFeasible) {
+  Trace T = TraceBuilder().fork(0, 1).barrier({0, 1}).wr(1, 0).join(0, 1)
+                .take();
+  EXPECT_TRUE(isFeasible(T));
+}
+
+TEST(TraceValidator, BarrierOfUnforkedThreadRejected) {
+  Trace T = TraceBuilder().barrier({0, 1}).take();
+  EXPECT_FALSE(isFeasible(T));
+}
+
+TEST(TraceValidator, BarrierCountsAsOperationForRule4) {
+  // The only "operation" of thread 1 between fork and join is barrier
+  // membership; that suffices.
+  Trace T = TraceBuilder().fork(0, 1).barrier({0, 1}).join(0, 1).take();
+  EXPECT_TRUE(isFeasible(T));
+}
+
+TEST(TraceValidator, UnbalancedAtomicMarkers) {
+  EXPECT_FALSE(isFeasible(TraceBuilder().atomicEnd(0).take()));
+  EXPECT_FALSE(isFeasible(TraceBuilder().atomicBegin(0).take()));
+  EXPECT_TRUE(isFeasible(
+      TraceBuilder().atomicBegin(0).wr(0, 0).atomicEnd(0).take()));
+}
+
+TEST(TraceValidator, NestedAtomicBlocksAllowed) {
+  Trace T = TraceBuilder()
+                .atomicBegin(0)
+                .atomicBegin(0)
+                .wr(0, 0)
+                .atomicEnd(0)
+                .atomicEnd(0)
+                .take();
+  EXPECT_TRUE(isFeasible(T));
+}
+
+TEST(TraceValidator, ReportsMultipleViolations) {
+  Trace T = TraceBuilder().rel(0, 0).rel(0, 1).take();
+  EXPECT_EQ(check(T).size(), 2u);
+}

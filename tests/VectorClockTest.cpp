@@ -1,0 +1,181 @@
+//===--- VectorClockTest.cpp - vector clock algebra laws ------------------===//
+
+#include "clock/VectorClock.h"
+
+#include <gtest/gtest.h>
+
+using namespace ft;
+
+TEST(VectorClock, BottomIsAllZero) {
+  VectorClock V;
+  EXPECT_TRUE(V.isBottom());
+  EXPECT_EQ(V.get(0), 0u);
+  EXPECT_EQ(V.get(100), 0u);
+}
+
+TEST(VectorClock, SetAndGet) {
+  VectorClock V;
+  V.set(3, 7);
+  EXPECT_EQ(V.get(3), 7u);
+  EXPECT_EQ(V.get(0), 0u);
+  EXPECT_EQ(V.get(4), 0u);
+  EXPECT_FALSE(V.isBottom());
+}
+
+TEST(VectorClock, IncIncrementsOnlyOneEntry) {
+  VectorClock V;
+  V.inc(2);
+  V.inc(2);
+  V.inc(0);
+  EXPECT_EQ(V.get(2), 2u);
+  EXPECT_EQ(V.get(0), 1u);
+  EXPECT_EQ(V.get(1), 0u);
+}
+
+TEST(VectorClock, JoinIsPointwiseMax) {
+  VectorClock A, B;
+  A.set(0, 4);
+  A.set(1, 0);
+  B.set(0, 2);
+  B.set(1, 8);
+  A.joinWith(B);
+  EXPECT_EQ(A.get(0), 4u);
+  EXPECT_EQ(A.get(1), 8u);
+}
+
+TEST(VectorClock, JoinGrowsToLargerClock) {
+  VectorClock A, B;
+  B.set(5, 9);
+  A.joinWith(B);
+  EXPECT_EQ(A.get(5), 9u);
+}
+
+TEST(VectorClock, LeqIsPointwise) {
+  VectorClock A, B;
+  A.set(0, 4);
+  B.set(0, 4);
+  B.set(1, 8);
+  EXPECT_TRUE(A.leq(B));
+  EXPECT_FALSE(B.leq(A));
+}
+
+TEST(VectorClock, LeqHandlesImplicitZeros) {
+  VectorClock A, B;
+  A.set(3, 1);
+  EXPECT_TRUE(VectorClock().leq(A));
+  EXPECT_FALSE(A.leq(VectorClock()));
+}
+
+TEST(VectorClock, LeqLawsOnSamples) {
+  // Reflexivity, antisymmetry-ish (via ==), transitivity on a few samples.
+  VectorClock A, B, C;
+  A.set(0, 1);
+  B.set(0, 1);
+  B.set(1, 2);
+  C.set(0, 3);
+  C.set(1, 2);
+  EXPECT_TRUE(A.leq(A));
+  EXPECT_TRUE(A.leq(B));
+  EXPECT_TRUE(B.leq(C));
+  EXPECT_TRUE(A.leq(C));
+}
+
+TEST(VectorClock, JoinIsLeastUpperBoundOnSamples) {
+  VectorClock A, B;
+  A.set(0, 4);
+  B.set(1, 8);
+  VectorClock J = A;
+  J.joinWith(B);
+  EXPECT_TRUE(A.leq(J));
+  EXPECT_TRUE(B.leq(J));
+  // Any other upper bound dominates the join.
+  VectorClock U;
+  U.set(0, 9);
+  U.set(1, 9);
+  EXPECT_TRUE(J.leq(U));
+}
+
+TEST(VectorClock, EqualityIgnoresTrailingZeros) {
+  VectorClock A, B;
+  A.set(0, 1);
+  B.set(0, 1);
+  B.set(5, 0);
+  EXPECT_TRUE(A == B);
+}
+
+TEST(VectorClock, EpochLeqMatchesPaperDefinition) {
+  // c@t ≼ V iff c ≤ V(t). The Section 3 example: 4@0 ≼ <4,8,...> holds.
+  VectorClock C1;
+  C1.set(0, 4);
+  C1.set(1, 8);
+  EXPECT_TRUE(C1.epochLeq(Epoch::make(0, 4)));
+  EXPECT_TRUE(C1.epochLeq(Epoch::make(1, 8)));
+  EXPECT_FALSE(C1.epochLeq(Epoch::make(0, 5)));
+  EXPECT_TRUE(C1.epochLeq(Epoch())); // ⊥e ≼ anything
+}
+
+TEST(VectorClock, EpochOfExtractsCurrentEpoch) {
+  VectorClock C;
+  C.set(2, 9);
+  EXPECT_EQ(C.epochOf(2), Epoch::make(2, 9));
+  EXPECT_EQ(C.epochOf(0), Epoch::make(0, 0));
+}
+
+TEST(VectorClock, StrRendersEntries) {
+  VectorClock C;
+  C.set(0, 4);
+  C.set(1, 8);
+  EXPECT_EQ(C.str(), "<4,8>");
+  EXPECT_EQ(C.str(3), "<4,8,0>");
+}
+
+TEST(VectorClockStats, CountsAllocationsAndOps) {
+  resetClockStats();
+  {
+    VectorClock A(4);
+    VectorClock B(4);
+    A.joinWith(B);
+    (void)A.leq(B);
+    VectorClock C = A; // copy: allocation + copy op
+    (void)C;
+  }
+  ClockStats S = clockStats();
+  EXPECT_EQ(S.Allocations, 3u);
+  EXPECT_EQ(S.JoinOps, 1u);
+  EXPECT_EQ(S.CompareOps, 1u);
+  EXPECT_EQ(S.CopyOps, 1u);
+  EXPECT_EQ(S.totalOps(), 3u);
+}
+
+TEST(VectorClockStats, EpochLeqIsNotCounted) {
+  resetClockStats();
+  VectorClock C(8);
+  for (int I = 0; I != 100; ++I)
+    (void)C.epochLeq(Epoch::make(0, 1));
+  EXPECT_EQ(clockStats().totalOps(), 0u);
+}
+
+TEST(VectorClockStats, DeltaSubtraction) {
+  resetClockStats();
+  VectorClock A(2), B(2);
+  ClockStats Before = clockStats();
+  A.joinWith(B);
+  ClockStats Delta = clockStats() - Before;
+  EXPECT_EQ(Delta.JoinOps, 1u);
+  EXPECT_EQ(Delta.Allocations, 0u);
+}
+
+TEST(VectorClock, MemoryBytesReflectsCapacity) {
+  VectorClock V(16);
+  EXPECT_GE(V.memoryBytes(), 16 * sizeof(ClockValue));
+  EXPECT_EQ(VectorClock().memoryBytes(), 0u);
+}
+
+TEST(VectorClock, MoveDoesNotCountAllocation) {
+  resetClockStats();
+  VectorClock A(4);
+  uint64_t After = clockStats().Allocations;
+  VectorClock B = std::move(A);
+  (void)B;
+  EXPECT_EQ(clockStats().Allocations, After);
+}
