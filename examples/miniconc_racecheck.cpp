@@ -8,22 +8,40 @@
 // Usage:
 //   miniconc_racecheck               # run the two built-in demo programs
 //   miniconc_racecheck FILE.mc [N]   # check FILE across N seeds (def. 10)
+//   miniconc_racecheck --shards S ...  # sharded parallel replay across S
+//                                      # workers (0 = all cores)
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/FastTrack.h"
-#include "framework/Replay.h"
+#include "framework/ParallelReplay.h"
 #include "lang/Interp.h"
 #include "trace/TraceStats.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 using namespace ft;
 using namespace ft::lang;
 
 namespace {
+
+/// -1: serial replay(). Otherwise parallelReplay with this NumShards
+/// (0 = one shard per hardware thread).
+int ShardsFlag = -1;
+
+/// Replays through FastTrack with the engine selected by --shards.
+void checkTrace(const Trace &T, FastTrack &Detector) {
+  if (ShardsFlag < 0) {
+    replay(T, Detector);
+    return;
+  }
+  ParallelReplayOptions Options;
+  Options.NumShards = static_cast<unsigned>(ShardsFlag);
+  parallelReplay(T, Detector, Options);
+}
 
 const char *BuggyBank = R"(
 // A bank with a deposit path that forgets the lock.
@@ -111,7 +129,7 @@ int checkProgram(const std::string &Title, const std::string &Source,
     }
 
     FastTrack Detector;
-    replay(Run.EventTrace, Detector);
+    checkTrace(Run.EventTrace, Detector);
     if (Seed == 1) {
       TraceStats Stats = computeStats(Run.EventTrace);
       std::printf("schedule 1: %llu events (%.1f%% reads), program output: "
@@ -151,15 +169,33 @@ std::string readFile(const char *Path, bool &Ok) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  if (Argc > 1) {
+  std::vector<const char *> Args;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::string(Argv[I]) == "--shards") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: --shards needs a count (0 = all "
+                             "cores)\n");
+        return 1;
+      }
+      ShardsFlag = std::atoi(Argv[++I]);
+      if (ShardsFlag < 0) {
+        std::fprintf(stderr, "error: invalid shard count '%s'\n", Argv[I]);
+        return 1;
+      }
+      continue;
+    }
+    Args.push_back(Argv[I]);
+  }
+
+  if (!Args.empty()) {
     bool Ok = true;
-    std::string Source = readFile(Argv[1], Ok);
+    std::string Source = readFile(Args[0], Ok);
     if (!Ok) {
-      std::fprintf(stderr, "error: cannot read '%s'\n", Argv[1]);
+      std::fprintf(stderr, "error: cannot read '%s'\n", Args[0]);
       return 1;
     }
-    unsigned Seeds = Argc > 2 ? std::atoi(Argv[2]) : 10;
-    return checkProgram(Argv[1], Source, Seeds ? Seeds : 10);
+    unsigned Seeds = Args.size() > 1 ? std::atoi(Args[1]) : 10;
+    return checkProgram(Args[0], Source, Seeds ? Seeds : 10);
   }
 
   std::printf("MiniConc race checking demo\n===========================\n\n");

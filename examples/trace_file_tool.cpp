@@ -7,23 +7,38 @@
 //   trace_file_tool                     # self-demo on a generated file
 //   trace_file_tool FILE.trc [tool...]  # e.g. trace_file_tool t.trc
 //                                       #      fasttrack eraser djit+
+//   trace_file_tool --shards N FILE.trc [tool...]
+//                                       # sharded parallel replay across
+//                                       # N workers (0 = all cores)
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/ToolRegistry.h"
-#include "framework/Replay.h"
+#include "framework/ParallelReplay.h"
 #include "trace/TraceBuilder.h"
 #include "trace/TraceIO.h"
 #include "trace/TraceStats.h"
 #include "trace/TraceValidator.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 using namespace ft;
 
 namespace {
+
+/// -1: serial replay(). Otherwise the NumShards passed to parallelReplay
+/// (0 = one shard per hardware thread).
+int ShardsFlag = -1;
+
+const char *modeName(const ParallelReplayResult &Result) {
+  if (!Result.Sharded)
+    return "serial";
+  return Result.Mode == ShardMode::SpineDriven ? "spine-driven"
+                                               : "sync-replay";
+}
 
 int analyze(const std::string &Path, const std::vector<std::string> &Tools) {
   Trace T;
@@ -54,9 +69,22 @@ int analyze(const std::string &Path, const std::vector<std::string> &Tools) {
       std::fprintf(stderr, ")\n");
       return 1;
     }
-    ReplayResult Result = replay(T, *Detector);
-    std::printf("\n[%s] %zu warning(s) in %.3fs\n", Detector->name(),
-                Detector->warnings().size(), Result.Seconds);
+    if (ShardsFlag < 0) {
+      ReplayResult Result = replay(T, *Detector);
+      std::printf("\n[%s] %zu warning(s) in %.3fs\n", Detector->name(),
+                  Detector->warnings().size(), Result.Seconds);
+    } else {
+      ParallelReplayOptions Options;
+      Options.NumShards = static_cast<unsigned>(ShardsFlag);
+      ParallelReplayResult Result = parallelReplay(T, *Detector, Options);
+      std::printf("\n[%s] %zu warning(s) in %.3fs (%s", Detector->name(),
+                  Detector->warnings().size(), Result.Total.Seconds,
+                  modeName(Result));
+      if (Result.Sharded)
+        std::printf(", %u shards, pre-pass %.3fs", Result.Shards,
+                    Result.PrePassSeconds);
+      std::printf(")\n");
+    }
     for (const RaceWarning &W : Detector->warnings())
       std::printf("  %s\n", toString(W).c_str());
   }
@@ -66,18 +94,36 @@ int analyze(const std::string &Path, const std::vector<std::string> &Tools) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  if (Argc >= 2) {
-    std::vector<std::string> Tools;
-    for (int I = 2; I < Argc; ++I)
-      Tools.push_back(Argv[I]);
+  std::vector<std::string> Args;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--shards") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: --shards needs a count (0 = all "
+                             "cores)\n");
+        return 1;
+      }
+      ShardsFlag = std::atoi(Argv[++I]);
+      if (ShardsFlag < 0) {
+        std::fprintf(stderr, "error: invalid shard count '%s'\n", Argv[I]);
+        return 1;
+      }
+      continue;
+    }
+    Args.push_back(std::move(Arg));
+  }
+
+  if (!Args.empty()) {
+    std::vector<std::string> Tools(Args.begin() + 1, Args.end());
     if (Tools.empty())
       Tools.push_back("fasttrack");
-    return analyze(Argv[1], Tools);
+    return analyze(Args[0], Tools);
   }
 
   // Self-demo: write a small racy trace to a file, then analyze it.
   std::printf("trace_file_tool self-demo (pass FILE.trc [tools...] to "
-              "analyze your own traces)\n\n");
+              "analyze your own traces;\n--shards N runs the parallel "
+              "sharded engine, see docs/ARCHITECTURE.md)\n\n");
   Trace T = TraceBuilder()
                 .fork(0, 1)
                 .lockedWr(0, 0, 0)

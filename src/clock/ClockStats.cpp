@@ -3,7 +3,7 @@
 using namespace ft;
 
 ClockStats &ft::clockStats() {
-  static ClockStats Stats;
+  static thread_local ClockStats Stats;
   return Stats;
 }
 

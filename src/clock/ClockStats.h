@@ -5,10 +5,17 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Global counters for vector-clock allocations and O(n)-time vector-clock
+/// Counters for vector-clock allocations and O(n)-time vector-clock
 /// operations. Table 2 of the paper compares exactly these two quantities
 /// between DJIT+ and FastTrack; the benchmark harness snapshots the
 /// counters around each tool run and reports the delta.
+///
+/// The counter block is *per-thread* (thread_local): the sharded replay
+/// engine runs tool clones on worker threads, and contention-free
+/// counting keeps the hot path identical to the serial engine. Workers
+/// fold their deltas back into the launching thread's block when they
+/// finish (see ParallelReplay), so the established snapshot/delta idiom
+/// keeps working unchanged for single-threaded callers.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -44,12 +51,21 @@ struct ClockStats {
     Delta.CopyOps = CopyOps - Other.CopyOps;
     return Delta;
   }
+
+  /// Pointwise accumulation (for folding worker-thread deltas).
+  ClockStats &operator+=(const ClockStats &Other) {
+    Allocations += Other.Allocations;
+    JoinOps += Other.JoinOps;
+    CompareOps += Other.CompareOps;
+    CopyOps += Other.CopyOps;
+    return *this;
+  }
 };
 
-/// Returns the mutable global counter block.
+/// Returns the calling thread's mutable counter block.
 ClockStats &clockStats();
 
-/// Zeroes the global counters.
+/// Zeroes the calling thread's counters.
 void resetClockStats();
 
 } // namespace ft

@@ -41,6 +41,7 @@
 #ifndef FASTTRACK_CORE_FASTTRACK_H
 #define FASTTRACK_CORE_FASTTRACK_H
 
+#include "framework/ShardableTool.h"
 #include "framework/VectorClockToolBase.h"
 
 namespace ft {
@@ -67,6 +68,18 @@ struct FastTrackRuleStats {
   uint64_t fastPathOps() const {
     return reads() + writes() - ReadShare - WriteShared;
   }
+
+  /// Pointwise accumulation (sharded replay folds per-shard counters).
+  FastTrackRuleStats &operator+=(const FastTrackRuleStats &Other) {
+    ReadSameEpoch += Other.ReadSameEpoch;
+    ReadShared += Other.ReadShared;
+    ReadExclusive += Other.ReadExclusive;
+    ReadShare += Other.ReadShare;
+    WriteSameEpoch += Other.WriteSameEpoch;
+    WriteExclusive += Other.WriteExclusive;
+    WriteShared += Other.WriteShared;
+    return *this;
+  }
 };
 
 /// Configuration knobs. The defaults implement the published algorithm;
@@ -88,8 +101,12 @@ struct FastTrackOptions {
   bool ExtendedSharedSameEpoch = false;
 };
 
-/// The FastTrack analysis over epoch representation \p EpochT.
-template <typename EpochT> class BasicFastTrack : public VectorClockToolBase {
+/// The FastTrack analysis over epoch representation \p EpochT. Accesses
+/// touch only the accessed variable's VarState plus the thread clocks,
+/// and the clocks evolve by the Figure 3 rules alone — so the detector
+/// shards by variable under spine-driven parallel replay.
+template <typename EpochT>
+class BasicFastTrack : public VectorClockToolBase, public ShardableTool {
 public:
   explicit BasicFastTrack(FastTrackOptions Options = FastTrackOptions())
       : Options(Options) {}
@@ -107,6 +124,16 @@ public:
 
   /// Number of read states currently inflated to vector clocks.
   uint64_t inflatedReadStates() const;
+
+  // ShardableTool: FastTrack's sync behaviour is exactly Figure 3, so
+  // shard workers run off the precomputed sync spine.
+  ShardMode shardMode() const override { return ShardMode::SpineDriven; }
+  std::unique_ptr<Tool> cloneForShard() const override {
+    return std::make_unique<BasicFastTrack<EpochT>>(Options);
+  }
+  void mergeShard(Tool &ShardTool) override {
+    Rules += static_cast<BasicFastTrack<EpochT> &>(ShardTool).Rules;
+  }
 
 private:
   /// Per-variable shadow state (Figure 5's VarState): write epoch W, read

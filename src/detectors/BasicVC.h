@@ -16,6 +16,7 @@
 #ifndef FASTTRACK_DETECTORS_BASICVC_H
 #define FASTTRACK_DETECTORS_BASICVC_H
 
+#include "framework/ShardableTool.h"
 #include "framework/VectorClockToolBase.h"
 
 namespace ft {
@@ -24,7 +25,10 @@ namespace ft {
 ///
 ///   read  rd(t,x):  check Wx ⊑ Ct;             Rx(t) := Ct(t)
 ///   write wr(t,x):  check Wx ⊑ Ct and Rx ⊑ Ct; Wx(t) := Ct(t)
-class BasicVC : public VectorClockToolBase {
+///
+/// Sync behaviour is pure Figure 3, so BasicVC shards by variable under
+/// spine-driven parallel replay (no counters to merge).
+class BasicVC : public VectorClockToolBase, public ShardableTool {
 public:
   const char *name() const override { return "BasicVC"; }
 
@@ -32,6 +36,13 @@ public:
   bool onRead(ThreadId T, VarId X, size_t OpIndex) override;
   bool onWrite(ThreadId T, VarId X, size_t OpIndex) override;
   size_t shadowBytes() const override;
+
+  // ShardableTool.
+  ShardMode shardMode() const override { return ShardMode::SpineDriven; }
+  std::unique_ptr<Tool> cloneForShard() const override {
+    return std::make_unique<BasicVC>();
+  }
+  void mergeShard(Tool &) override {}
 
 private:
   /// Finds a thread whose entry of \p Prior exceeds Ct, i.e. a concurrent

@@ -23,6 +23,7 @@
 #ifndef FASTTRACK_DETECTORS_DJITPLUS_H
 #define FASTTRACK_DETECTORS_DJITPLUS_H
 
+#include "framework/ShardableTool.h"
 #include "framework/VectorClockToolBase.h"
 
 namespace ft {
@@ -36,12 +37,22 @@ struct DjitRuleStats {
 
   uint64_t reads() const { return ReadSameEpoch + ReadGeneral; }
   uint64_t writes() const { return WriteSameEpoch + WriteGeneral; }
+
+  /// Pointwise accumulation (sharded replay folds per-shard counters).
+  DjitRuleStats &operator+=(const DjitRuleStats &Other) {
+    ReadSameEpoch += Other.ReadSameEpoch;
+    ReadGeneral += Other.ReadGeneral;
+    WriteSameEpoch += Other.WriteSameEpoch;
+    WriteGeneral += Other.WriteGeneral;
+    return *this;
+  }
 };
 
 /// The DJIT+ analysis. R and W vector clocks are allocated lazily per
 /// variable on first use, which is what Table 2's allocation counts
-/// measure.
-class DjitPlus : public VectorClockToolBase {
+/// measure. Sync behaviour is pure Figure 3, so DJIT+ shards by variable
+/// under spine-driven parallel replay.
+class DjitPlus : public VectorClockToolBase, public ShardableTool {
 public:
   const char *name() const override { return "DJIT+"; }
 
@@ -51,6 +62,15 @@ public:
   size_t shadowBytes() const override;
 
   const DjitRuleStats &ruleStats() const { return Rules; }
+
+  // ShardableTool.
+  ShardMode shardMode() const override { return ShardMode::SpineDriven; }
+  std::unique_ptr<Tool> cloneForShard() const override {
+    return std::make_unique<DjitPlus>();
+  }
+  void mergeShard(Tool &ShardTool) override {
+    Rules += static_cast<DjitPlus &>(ShardTool).Rules;
+  }
 
 private:
   ThreadId conflictingThread(const VectorClock &Prior, ThreadId T) const;

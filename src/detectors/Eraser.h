@@ -25,6 +25,7 @@
 #define FASTTRACK_DETECTORS_ERASER_H
 
 #include "detectors/LockSet.h"
+#include "framework/ShardableTool.h"
 #include "framework/Tool.h"
 
 namespace ft {
@@ -37,8 +38,11 @@ enum class EraserVarState : uint8_t {
   SharedModified, ///< Written while shared: candidate lockset enforced.
 };
 
-/// The Eraser analysis with barrier support.
-class Eraser : public Tool {
+/// The Eraser analysis with barrier support. Per-variable state depends
+/// only on that variable's accesses plus the locks-held sets and barrier
+/// generation — all functions of the sync schedule — so Eraser shards by
+/// variable with each worker replaying the (cheap) sync events itself.
+class Eraser : public Tool, public ShardableTool {
 public:
   /// When true (default), a barrier release resets the state machine of
   /// every variable, modelling the barrier-aware Eraser the paper
@@ -66,6 +70,14 @@ public:
            Vars[X].State == EraserVarState::SharedModified &&
            Vars[X].Candidates.empty();
   }
+
+  // ShardableTool: lockset bookkeeping is not vector-clock shaped, so
+  // each worker replays the sync schedule through its own clone.
+  ShardMode shardMode() const override { return ShardMode::SyncReplay; }
+  std::unique_ptr<Tool> cloneForShard() const override {
+    return std::make_unique<Eraser>(BarrierAware);
+  }
+  void mergeShard(Tool &) override {}
 
 private:
   struct VarShadow {

@@ -1,0 +1,227 @@
+#include "framework/ParallelReplay.h"
+
+#include "framework/SyncSpine.h"
+#include "framework/VectorClockToolBase.h"
+#include "support/Stopwatch.h"
+#include "trace/ReentrancyFilter.h"
+#include "trace/ShardPartition.h"
+
+#include <algorithm>
+#include <thread>
+
+using namespace ft;
+
+namespace {
+
+/// What one worker hands back to the engine. Workers touch only their
+/// own slot, so no synchronization beyond thread join is needed (and the
+/// whole engine is clean under -fsanitize=thread).
+struct WorkerReport {
+  double Seconds = 0;
+  uint64_t AccessesSeen = 0;
+  uint64_t AccessesPassed = 0;
+  ClockStats Clocks; ///< The worker thread's counter delta.
+};
+
+/// Workers scan the whole (immutable, shared) trace and filter their own
+/// accesses with this pure membership test — the access schedules are
+/// never materialized, so the filtering is parallel work, not a serial
+/// pre-pass. Granularity-mapped ids keep whole objects in one shard.
+inline bool ownsAccess(VarId Mapped, unsigned Shard, unsigned NumShards) {
+  return Mapped % NumShards == Shard;
+}
+
+void runSpineWorker(const Trace &T, const SyncSpine &Spine,
+                    const GranularityMap &Map, const ToolContext &Context,
+                    Tool &Clone, unsigned Shard, unsigned NumShards,
+                    WorkerReport &Report) {
+  ClockStats Before = clockStats();
+  Stopwatch Watch;
+  Clone.begin(Context);
+
+  // The access rules read only the accessing thread's clock, so spine
+  // updates are installed lazily: at an access by thread t, fast-forward
+  // t's cursor past every update that precedes the access and install
+  // just the latest one (a pointer store — the spine is immutable).
+  // Skipped intermediate updates cost a pointer bump, and threads that
+  // never touch this shard cost nothing.
+  auto &VC = static_cast<VectorClockToolBase &>(Clone);
+  std::vector<size_t> Cursor(Spine.PerThread.size(), 0);
+  for (uint32_t I = 0, E = static_cast<uint32_t>(T.size()); I != E; ++I) {
+    const Operation &Op = T[I];
+    if (Op.Kind != OpKind::Read && Op.Kind != OpKind::Write)
+      continue;
+    VarId X = Map.map(Op.Target);
+    if (!ownsAccess(X, Shard, NumShards))
+      continue;
+
+    const std::vector<SpineUpdate> &Ups = Spine.PerThread[Op.Thread];
+    size_t &Cur = Cursor[Op.Thread];
+    size_t Next = Cur;
+    while (Next != Ups.size() && Ups[Next].OpIndex < I)
+      ++Next;
+    if (Next != Cur) {
+      VC.applySpineClock(Op.Thread, Ups[Next - 1].Clock);
+      Cur = Next;
+    }
+
+    ++Report.AccessesSeen;
+    Report.AccessesPassed += Op.Kind == OpKind::Read
+                                 ? Clone.onRead(Op.Thread, X, I)
+                                 : Clone.onWrite(Op.Thread, X, I);
+  }
+
+  Clone.end();
+  Report.Seconds = Watch.seconds();
+  Report.Clocks = clockStats() - Before;
+}
+
+void runSyncReplayWorker(const Trace &T, const GranularityMap &Map,
+                         const ToolContext &Context, Tool &Clone,
+                         unsigned Shard, unsigned NumShards,
+                         bool FilterReentrantLocks, WorkerReport &Report) {
+  ClockStats Before = clockStats();
+  Stopwatch Watch;
+  Clone.begin(Context);
+
+  // Every worker replays the full sync schedule through its own clone,
+  // each running the same re-entrancy filter the serial engine runs, so
+  // all clones see the identical dispatched lock events.
+  ReentrancyFilter Reentrancy(T.numThreads(), T.numLocks());
+  for (uint32_t I = 0, E = static_cast<uint32_t>(T.size()); I != E; ++I) {
+    const Operation &Op = T[I];
+    switch (Op.Kind) {
+    case OpKind::Read:
+    case OpKind::Write: {
+      VarId X = Map.map(Op.Target);
+      if (!ownsAccess(X, Shard, NumShards))
+        continue;
+      ++Report.AccessesSeen;
+      Report.AccessesPassed += Op.Kind == OpKind::Read
+                                   ? Clone.onRead(Op.Thread, X, I)
+                                   : Clone.onWrite(Op.Thread, X, I);
+      continue;
+    }
+    case OpKind::Acquire:
+      if (FilterReentrantLocks && !Reentrancy.onAcquire(Op.Thread, Op.Target))
+        continue;
+      break;
+    case OpKind::Release:
+      if (FilterReentrantLocks && !Reentrancy.onRelease(Op.Thread, Op.Target))
+        continue;
+      break;
+    default:
+      break;
+    }
+    dispatchSyncOp(Clone, T, Op, I);
+  }
+
+  Clone.end();
+  Report.Seconds = Watch.seconds();
+  Report.Clocks = clockStats() - Before;
+}
+
+} // namespace
+
+ParallelReplayResult ft::parallelReplay(const Trace &T, Tool &Primary,
+                                        const ParallelReplayOptions &Options) {
+  ParallelReplayResult Result;
+
+  unsigned Shards = Options.NumShards;
+  if (Shards == 0)
+    Shards = std::max(1u, std::thread::hardware_concurrency());
+
+  auto *Shardable = dynamic_cast<ShardableTool *>(&Primary);
+  if (!Shardable || Shards <= 1 || T.empty()) {
+    Result.Total = replay(T, Primary, Options.Replay);
+    return Result;
+  }
+
+  Stopwatch TotalWatch;
+  ClockStats Before = clockStats();
+  GranularityMap Map = GranularityMap::make(Options.Replay);
+  ToolContext Context = makeToolContext(T, Map);
+
+  std::vector<std::unique_ptr<Tool>> Clones;
+  Clones.reserve(Shards);
+  for (unsigned K = 0; K != Shards; ++K)
+    Clones.push_back(Shardable->cloneForShard());
+
+  // SpineDriven requires the clone to expose applySpineClock; degrade to
+  // SyncReplay otherwise (a misdeclared tool stays correct, just slower).
+  ShardMode Mode = Shardable->shardMode();
+  if (Mode == ShardMode::SpineDriven &&
+      !dynamic_cast<VectorClockToolBase *>(Clones.front().get()))
+    Mode = ShardMode::SyncReplay;
+
+  // --- 1. Serial pre-pass: the dispatched sync schedule, and the spine
+  // for vector-clock tools. This is the Amdahl bound on speedup; all
+  // per-access work happens in the workers.
+  Stopwatch PrePassWatch;
+  std::vector<uint32_t> SyncOps;
+  SyncSpine Spine;
+  if (Mode == ShardMode::SpineDriven) {
+    SpinePrePass Pre = buildSyncSpine(T, Options.Replay.FilterReentrantLocks);
+    SyncOps = std::move(Pre.SyncOps);
+    Spine = std::move(Pre.Spine);
+  } else {
+    SyncOps = collectSyncOps(T, Options.Replay.FilterReentrantLocks);
+  }
+  Result.PrePassSeconds = PrePassWatch.seconds();
+  Result.PlanBytes = SyncOps.capacity() * sizeof(uint32_t);
+  Result.SpineBytes = Spine.memoryBytes();
+  Result.SpineUpdates = Spine.numUpdates();
+
+  // --- 2. Sharded replay. ----------------------------------------------
+  bool Filter = Options.Replay.FilterReentrantLocks;
+  std::vector<WorkerReport> Reports(Shards);
+  std::vector<std::thread> Workers;
+  Workers.reserve(Shards);
+  for (unsigned K = 0; K != Shards; ++K) {
+    Tool &Clone = *Clones[K];
+    WorkerReport &Report = Reports[K];
+    if (Mode == ShardMode::SpineDriven)
+      Workers.emplace_back([&, K] {
+        runSpineWorker(T, Spine, Map, Context, Clone, K, Shards, Report);
+      });
+    else
+      Workers.emplace_back([&, K] {
+        runSyncReplayWorker(T, Map, Context, Clone, K, Shards, Filter,
+                            Report);
+      });
+  }
+  for (std::thread &Worker : Workers)
+    Worker.join();
+
+  // --- 3. Deterministic merge. -----------------------------------------
+  uint64_t Accesses = 0;
+  std::vector<RaceWarning> Merged;
+  for (unsigned K = 0; K != Shards; ++K) {
+    const std::vector<RaceWarning> &Ws = Clones[K]->warnings();
+    Merged.insert(Merged.end(), Ws.begin(), Ws.end());
+    Accesses += Reports[K].AccessesSeen;
+    Result.Total.AccessesPassed += Reports[K].AccessesPassed;
+    Result.Total.ShadowBytes += Clones[K]->shadowBytes();
+    Result.ShardSeconds.push_back(Reports[K].Seconds);
+    clockStats() += Reports[K].Clocks;
+  }
+  // Each access reports at most one warning and every access lives in
+  // exactly one shard, so op indices are unique: sorting by OpIndex
+  // reconstructs the serial engine's warning order exactly.
+  std::sort(Merged.begin(), Merged.end(),
+            [](const RaceWarning &A, const RaceWarning &B) {
+              return A.OpIndex < B.OpIndex;
+            });
+  Primary.adoptWarnings(Merged);
+  for (unsigned K = 0; K != Shards; ++K)
+    Shardable->mergeShard(*Clones[K]);
+
+  Result.Sharded = true;
+  Result.Mode = Mode;
+  Result.Shards = Shards;
+  Result.Total.Events = SyncOps.size() + Accesses;
+  Result.Total.NumWarnings = Primary.warnings().size();
+  Result.Total.Clocks = clockStats() - Before;
+  Result.Total.Seconds = TotalWatch.seconds();
+  return Result;
+}

@@ -1,0 +1,101 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel sharded replay engine (docs/ARCHITECTURE.md, "Sharded
+/// replay"). Offline replay admits a parallelism the online detectors of
+/// the paper cannot exploit: per-variable shadow state depends on thread
+/// clocks only at synchronization points, so a recorded trace can be
+/// partitioned *by variable* and replayed on many cores.
+///
+/// Pipeline:
+///   1. Serial pre-pass: collectSyncOps extracts the dispatched sync
+///      schedule; for spine-driven tools, buildSyncSpine additionally
+///      precomputes every thread clock at every sync point. Access
+///      schedules are never materialized — shard membership is the pure
+///      test mapped-var % N, evaluated by the workers in parallel.
+///   2. N workers, each owning a cloneForShard() of the tool, scan the
+///      shared immutable trace, replaying their shard's accesses in
+///      trace order — installing spine clocks (SpineDriven) or replaying
+///      the sync schedule (SyncReplay) in between.
+///   3. Deterministic merge: warnings are sorted back into trace order
+///      (op indices are unique, and the one-warning-per-variable dedup
+///      is shard-local by construction), rule counters fold via
+///      ShardableTool::mergeShard, and worker clock-op counts fold into
+///      the calling thread's ClockStats block.
+///
+/// The result is bit-identical to serial replay() for every opted-in
+/// tool: same warnings in the same order, same rule counters, same
+/// pass/filter decisions. Tools that do not implement ShardableTool
+/// (the order-sensitive transactional checkers) transparently fall back
+/// to the serial engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_FRAMEWORK_PARALLELREPLAY_H
+#define FASTTRACK_FRAMEWORK_PARALLELREPLAY_H
+
+#include "framework/Replay.h"
+#include "framework/ShardableTool.h"
+
+namespace ft {
+
+/// Options controlling one sharded replay.
+struct ParallelReplayOptions {
+  /// Granularity / lock-filtering options, as for replay().
+  ReplayOptions Replay;
+
+  /// Worker count. 0 picks std::thread::hardware_concurrency(); 1 (or a
+  /// tool without ShardableTool) runs the serial engine.
+  unsigned NumShards = 0;
+};
+
+/// Measurements from one sharded replay.
+struct ParallelReplayResult {
+  /// Aggregated measurements, field-compatible with serial replay():
+  /// Events and AccessesPassed match the serial run exactly; Seconds is
+  /// the end-to-end wall time (pre-pass + slowest worker + merge);
+  /// Clocks sums all threads' vector-clock activity (pre-pass included),
+  /// so it exceeds the serial count by the per-worker spine/sync cost.
+  ReplayResult Total;
+
+  /// False when the engine fell back to serial replay (tool not
+  /// shardable, or an effective shard count of 1).
+  bool Sharded = false;
+
+  /// How workers reconstructed sync state (meaningful when Sharded).
+  ShardMode Mode = ShardMode::SyncReplay;
+
+  /// Effective worker count (1 when not Sharded).
+  unsigned Shards = 1;
+
+  /// Wall time of the serial pre-pass (partition + spine build).
+  double PrePassSeconds = 0;
+
+  /// Heap footprint of the pre-pass artifacts (sync-schedule index and,
+  /// in spine-driven mode, the recorded spine clocks).
+  size_t PlanBytes = 0;
+  size_t SpineBytes = 0;
+
+  /// Clock changes recorded by the spine (0 in sync-replay mode).
+  size_t SpineUpdates = 0;
+
+  /// Per-worker replay-loop wall times (empty when not Sharded).
+  std::vector<double> ShardSeconds;
+};
+
+/// Replays \p T through \p Primary using \p Options.NumShards workers.
+/// On return \p Primary holds the merged warnings and rule counters, as
+/// if it had replayed the trace serially; its per-variable shadow state,
+/// however, lives in the discarded clones — callers needing shadow-state
+/// queries afterwards (e.g. Eraser::isUnprotected) should use replay().
+ParallelReplayResult parallelReplay(
+    const Trace &T, Tool &Primary,
+    const ParallelReplayOptions &Options = ParallelReplayOptions());
+
+} // namespace ft
+
+#endif // FASTTRACK_FRAMEWORK_PARALLELREPLAY_H

@@ -1,73 +1,16 @@
 #include "framework/Replay.h"
 
 #include "support/Stopwatch.h"
-
-#include <unordered_map>
+#include "trace/ReentrancyFilter.h"
 
 using namespace ft;
 
-namespace {
-
-/// Tracks per-(thread, lock) nesting depth to strip redundant re-entrant
-/// acquire/release pairs, as RoadRunner does before events reach tools.
-class ReentrancyFilter {
-public:
-  /// Returns true when this acquire is the outermost one (dispatch it).
-  bool onAcquire(ThreadId T, LockId M) {
-    return ++Depth[key(T, M)] == 1;
-  }
-
-  /// Returns true when this release exits the outermost level.
-  bool onRelease(ThreadId T, LockId M) {
-    auto It = Depth.find(key(T, M));
-    if (It == Depth.end() || It->second == 0)
-      return true; // Infeasible trace; dispatch and let tools cope.
-    if (--It->second == 0) {
-      Depth.erase(It);
-      return true;
-    }
-    return false;
-  }
-
-private:
-  static uint64_t key(ThreadId T, LockId M) {
-    return (static_cast<uint64_t>(T) << 32) | M;
-  }
-  std::unordered_map<uint64_t, unsigned> Depth;
-};
-
-/// Precomputed variable remapping for the requested granularity.
-struct VarMap {
-  const std::vector<uint32_t> *Explicit = nullptr;
-  unsigned Divisor = 1;
-  bool Identity = true;
-
-  VarId map(VarId X) const {
-    if (Identity)
-      return X;
-    if (Explicit)
-      return X < Explicit->size() ? (*Explicit)[X] : X;
-    return X / Divisor;
-  }
-};
-
-VarMap makeVarMap(const ReplayOptions &Options) {
-  VarMap Map;
-  if (Options.Gran == Granularity::Fine)
-    return Map;
-  Map.Identity = false;
-  Map.Explicit = Options.VarToObject;
-  Map.Divisor = Options.DefaultFieldsPerObject ? Options.DefaultFieldsPerObject
-                                               : 1;
-  return Map;
-}
-
-ToolContext makeContext(const Trace &T, const VarMap &Map) {
+ToolContext ft::makeToolContext(const Trace &T, const GranularityMap &Map) {
   ToolContext Context;
   Context.NumThreads = T.numThreads();
   Context.NumLocks = T.numLocks();
   Context.NumVolatiles = T.numVolatiles();
-  if (Map.Identity) {
+  if (Map.identity()) {
     Context.NumVars = T.numVars();
   } else {
     unsigned MaxVar = 0;
@@ -78,45 +21,8 @@ ToolContext makeContext(const Trace &T, const VarMap &Map) {
   return Context;
 }
 
-/// The shared replay loop. \p ForEachAccess receives the access events and
-/// decides what "passed" means; sync events are dispatched via \p Sync.
-template <typename AccessFn, typename SyncFn>
-void replayLoop(const Trace &T, const ReplayOptions &Options,
-                const VarMap &Map, AccessFn &&Access, SyncFn &&Sync,
-                uint64_t &Events) {
-  ReentrancyFilter Reentrancy;
-  bool FilterLocks = Options.FilterReentrantLocks;
-
-  for (size_t I = 0, E = T.size(); I != E; ++I) {
-    const Operation &Op = T[I];
-    switch (Op.Kind) {
-    case OpKind::Read:
-    case OpKind::Write:
-      ++Events;
-      Access(Op.Kind, Op.Thread, Map.map(Op.Target), I);
-      break;
-    case OpKind::Acquire:
-      if (FilterLocks && !Reentrancy.onAcquire(Op.Thread, Op.Target))
-        break;
-      ++Events;
-      Sync(Op, I);
-      break;
-    case OpKind::Release:
-      if (FilterLocks && !Reentrancy.onRelease(Op.Thread, Op.Target))
-        break;
-      ++Events;
-      Sync(Op, I);
-      break;
-    default:
-      ++Events;
-      Sync(Op, I);
-      break;
-    }
-  }
-}
-
-void dispatchSync(Tool &Checker, const Trace &T, const Operation &Op,
-                  size_t I) {
+void ft::dispatchSyncOp(Tool &Checker, const Trace &T, const Operation &Op,
+                        size_t I) {
   switch (Op.Kind) {
   case OpKind::Acquire:
     Checker.onAcquire(Op.Thread, Op.Target, I);
@@ -151,16 +57,55 @@ void dispatchSync(Tool &Checker, const Trace &T, const Operation &Op,
   }
 }
 
+namespace {
+
+/// The shared replay loop. \p ForEachAccess receives the access events and
+/// decides what "passed" means; sync events are dispatched via \p Sync.
+template <typename AccessFn, typename SyncFn>
+void replayLoop(const Trace &T, const ReplayOptions &Options,
+                const GranularityMap &Map, AccessFn &&Access, SyncFn &&Sync,
+                uint64_t &Events) {
+  ReentrancyFilter Reentrancy(T.numThreads(), T.numLocks());
+  bool FilterLocks = Options.FilterReentrantLocks;
+
+  for (size_t I = 0, E = T.size(); I != E; ++I) {
+    const Operation &Op = T[I];
+    switch (Op.Kind) {
+    case OpKind::Read:
+    case OpKind::Write:
+      ++Events;
+      Access(Op.Kind, Op.Thread, Map.map(Op.Target), I);
+      break;
+    case OpKind::Acquire:
+      if (FilterLocks && !Reentrancy.onAcquire(Op.Thread, Op.Target))
+        break;
+      ++Events;
+      Sync(Op, I);
+      break;
+    case OpKind::Release:
+      if (FilterLocks && !Reentrancy.onRelease(Op.Thread, Op.Target))
+        break;
+      ++Events;
+      Sync(Op, I);
+      break;
+    default:
+      ++Events;
+      Sync(Op, I);
+      break;
+    }
+  }
+}
+
 } // namespace
 
 ReplayResult ft::replay(const Trace &T, Tool &Checker,
                         const ReplayOptions &Options) {
-  VarMap Map = makeVarMap(Options);
+  GranularityMap Map = GranularityMap::make(Options);
   ReplayResult Result;
   ClockStats Before = clockStats();
 
   Stopwatch Watch;
-  Checker.begin(makeContext(T, Map));
+  Checker.begin(makeToolContext(T, Map));
   replayLoop(
       T, Options, Map,
       [&](OpKind Kind, ThreadId Thread, VarId X, size_t I) {
@@ -168,7 +113,7 @@ ReplayResult ft::replay(const Trace &T, Tool &Checker,
                                            : Checker.onWrite(Thread, X, I);
         Result.AccessesPassed += Passed;
       },
-      [&](const Operation &Op, size_t I) { dispatchSync(Checker, T, Op, I); },
+      [&](const Operation &Op, size_t I) { dispatchSyncOp(Checker, T, Op, I); },
       Result.Events);
   Checker.end();
   Result.Seconds = Watch.seconds();
@@ -182,10 +127,10 @@ ReplayResult ft::replay(const Trace &T, Tool &Checker,
 PipelineResult ft::replayFiltered(const Trace &T, Tool &Filter,
                                   Tool &Downstream,
                                   const ReplayOptions &Options) {
-  VarMap Map = makeVarMap(Options);
+  GranularityMap Map = GranularityMap::make(Options);
   PipelineResult Result;
   ClockStats Before = clockStats();
-  ToolContext Context = makeContext(T, Map);
+  ToolContext Context = makeToolContext(T, Map);
 
   Stopwatch Watch;
   Filter.begin(Context);
@@ -207,8 +152,8 @@ PipelineResult ft::replayFiltered(const Trace &T, Tool &Filter,
         }
       },
       [&](const Operation &Op, size_t I) {
-        dispatchSync(Filter, T, Op, I);
-        dispatchSync(Downstream, T, Op, I);
+        dispatchSyncOp(Filter, T, Op, I);
+        dispatchSyncOp(Downstream, T, Op, I);
       },
       Result.Total.Events);
   Filter.end();

@@ -32,6 +32,8 @@ namespace ft {
 /// precision for memory.
 enum class Granularity : uint8_t { Fine, Coarse };
 
+class GranularityMap;
+
 /// Options controlling one replay.
 struct ReplayOptions {
   Granularity Gran = Granularity::Fine;
@@ -46,6 +48,48 @@ struct ReplayOptions {
   /// Strip redundant re-entrant lock acquires/releases before dispatch.
   bool FilterReentrantLocks = true;
 };
+
+/// Precomputed variable remapping for the requested granularity. Shared
+/// by the serial and sharded replay engines so both dispatch identical
+/// variable ids (and the shard partitioner groups whole objects).
+class GranularityMap {
+public:
+  static GranularityMap make(const ReplayOptions &Options) {
+    GranularityMap Map;
+    if (Options.Gran == Granularity::Fine)
+      return Map;
+    Map.Identity = false;
+    Map.Explicit = Options.VarToObject;
+    Map.Divisor =
+        Options.DefaultFieldsPerObject ? Options.DefaultFieldsPerObject : 1;
+    return Map;
+  }
+
+  VarId map(VarId X) const {
+    if (Identity)
+      return X;
+    if (Explicit)
+      return X < Explicit->size() ? (*Explicit)[X] : X;
+    return X / Divisor;
+  }
+
+  bool identity() const { return Identity; }
+
+private:
+  const std::vector<uint32_t> *Explicit = nullptr;
+  unsigned Divisor = 1;
+  bool Identity = true;
+};
+
+/// Builds the ToolContext for replaying \p T under \p Map (entity counts
+/// already reflect the granularity remapping).
+ToolContext makeToolContext(const Trace &T, const GranularityMap &Map);
+
+/// Dispatches one non-access operation to \p Checker. Shared by the
+/// serial loop, the pipeline loop, and the sharded engine's sync-replay
+/// workers.
+void dispatchSyncOp(Tool &Checker, const Trace &T, const Operation &Op,
+                    size_t I);
 
 /// Measurements from one replay.
 struct ReplayResult {

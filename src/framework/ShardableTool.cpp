@@ -1,0 +1,5 @@
+#include "framework/ShardableTool.h"
+
+using namespace ft;
+
+ShardableTool::~ShardableTool() = default;

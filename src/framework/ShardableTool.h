@@ -1,0 +1,71 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ShardableTool mixin: how a Tool opts in to variable-sharded
+/// parallel replay (docs/ARCHITECTURE.md, "Sharded replay";
+/// docs/TOOL_AUTHORING.md, step 6).
+///
+/// A tool may opt in when its access handlers touch only (a) the shadow
+/// state of the accessed variable and (b) per-thread synchronization
+/// state that evolves independently of data accesses. All pure race
+/// detectors in this repository satisfy that; the transactional checkers
+/// (Atomizer, Velodrome, SingleTrack), whose per-thread clocks join along
+/// *data communication* edges, do not — they simply never implement this
+/// interface and ParallelReplay falls back to serial replay for them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_FRAMEWORK_SHARDABLETOOL_H
+#define FASTTRACK_FRAMEWORK_SHARDABLETOOL_H
+
+#include <memory>
+
+namespace ft {
+
+class Tool;
+
+/// How a shard worker reconstructs the synchronization state a tool's
+/// access handlers read.
+enum class ShardMode : uint8_t {
+  /// Every worker replays the full sync schedule through its own clone
+  /// (plus its shard's accesses). Right for tools with cheap, non-VC
+  /// sync state — e.g. Eraser's locks-held sets.
+  SyncReplay,
+
+  /// Workers never see sync events: the engine precomputes the per-thread
+  /// vector clocks at every sync point once (the "sync spine") and
+  /// installs them into each clone via
+  /// VectorClockToolBase::applySpineClock. Requires the tool's sync
+  /// behaviour to be exactly VectorClockToolBase's Figure 3 rules; the
+  /// engine verifies the clone is a VectorClockToolBase and otherwise
+  /// degrades to SyncReplay.
+  SpineDriven,
+};
+
+/// Interface a Tool additionally implements (multiple inheritance) to
+/// participate in ParallelReplay.
+class ShardableTool {
+public:
+  virtual ~ShardableTool();
+
+  virtual ShardMode shardMode() const = 0;
+
+  /// Returns a fresh, un-begun instance configured identically to this
+  /// tool (same options/flags). One clone is created per shard.
+  virtual std::unique_ptr<Tool> cloneForShard() const = 0;
+
+  /// Folds \p ShardTool's instrumentation counters (rule statistics and
+  /// the like) into this — the primary — instance. Called once per clone
+  /// after all workers join; \p ShardTool is always an object returned by
+  /// this tool's cloneForShard(). Warnings are merged separately by the
+  /// engine (Tool::adoptWarnings), so implementations only fold counters.
+  virtual void mergeShard(Tool &ShardTool) = 0;
+};
+
+} // namespace ft
+
+#endif // FASTTRACK_FRAMEWORK_SHARDABLETOOL_H

@@ -1,0 +1,118 @@
+#include "framework/SyncSpine.h"
+
+#include "trace/ReentrancyFilter.h"
+
+using namespace ft;
+
+size_t SyncSpine::numUpdates() const {
+  size_t N = 0;
+  for (const std::vector<SpineUpdate> &Ups : PerThread)
+    N += Ups.size();
+  return N;
+}
+
+size_t SyncSpine::memoryBytes() const {
+  size_t Bytes = PerThread.capacity() * sizeof(PerThread[0]);
+  for (const std::vector<SpineUpdate> &Ups : PerThread) {
+    Bytes += Ups.capacity() * sizeof(SpineUpdate);
+    for (const SpineUpdate &U : Ups)
+      Bytes += U.Clock.memoryBytes();
+  }
+  return Bytes;
+}
+
+SpinePrePass ft::buildSyncSpine(const Trace &T, bool FilterReentrantLocks) {
+  SpinePrePass Out;
+  SyncSpine &Spine = Out.Spine;
+  Spine.PerThread.resize(T.numThreads());
+
+  // σ0: C = λt.inc_t(⊥V), exactly VectorClockToolBase::begin. Workers
+  // begin() their clones into this same state, so nothing is dirty yet.
+  std::vector<VectorClock> C(T.numThreads());
+  for (ThreadId U = 0; U != T.numThreads(); ++U)
+    C[U].inc(U);
+  std::vector<VectorClock> L(T.numLocks());
+  std::vector<VectorClock> LVolatile(T.numVolatiles());
+
+  // Deferred recording: remember that C_u changed (and at which sync
+  // event); copy the clock into the spine only at u's next data access.
+  std::vector<uint32_t> ChangedAt(T.numThreads(), 0);
+  std::vector<uint8_t> Dirty(T.numThreads(), 0);
+  auto touched = [&](uint32_t I, ThreadId U) {
+    Dirty[U] = 1;
+    ChangedAt[U] = I;
+  };
+  // Join that dirties only when the clock actually changes. A no-op join
+  // (e.g. a thread reacquiring a lock it released — the common case in
+  // disciplined programs) needs no new spine entry.
+  auto joinTouch = [&](uint32_t I, ThreadId U, const VectorClock &Other) {
+    if (Other.leq(C[U]))
+      return;
+    C[U].joinWith(Other);
+    touched(I, U);
+  };
+
+  ReentrancyFilter Reentrancy(T.numThreads(), T.numLocks());
+  for (uint32_t I = 0, E = static_cast<uint32_t>(T.size()); I != E; ++I) {
+    const Operation &Op = T[I];
+    switch (Op.Kind) {
+    case OpKind::Read:
+    case OpKind::Write: {
+      ThreadId U = Op.Thread;
+      if (Dirty[U]) {
+        Spine.PerThread[U].push_back({ChangedAt[U], C[U]});
+        Dirty[U] = 0;
+      }
+      continue; // not a sync op
+    }
+    case OpKind::Acquire:
+      if (FilterReentrantLocks && !Reentrancy.onAcquire(Op.Thread, Op.Target))
+        continue;
+      joinTouch(I, Op.Thread, L[Op.Target]);
+      break;
+    case OpKind::Release:
+      if (FilterReentrantLocks && !Reentrancy.onRelease(Op.Thread, Op.Target))
+        continue;
+      L[Op.Target].copyFrom(C[Op.Thread]);
+      C[Op.Thread].inc(Op.Thread);
+      touched(I, Op.Thread);
+      break;
+    case OpKind::Fork:
+      C[Op.Target].joinWith(C[Op.Thread]);
+      touched(I, Op.Target);
+      C[Op.Thread].inc(Op.Thread);
+      touched(I, Op.Thread);
+      break;
+    case OpKind::Join:
+      joinTouch(I, Op.Thread, C[Op.Target]);
+      C[Op.Target].inc(Op.Target);
+      touched(I, Op.Target);
+      break;
+    case OpKind::VolatileRead:
+      joinTouch(I, Op.Thread, LVolatile[Op.Target]);
+      break;
+    case OpKind::VolatileWrite:
+      LVolatile[Op.Target].joinWith(C[Op.Thread]);
+      C[Op.Thread].inc(Op.Thread);
+      touched(I, Op.Thread);
+      break;
+    case OpKind::Barrier: {
+      const std::vector<ThreadId> &Threads = T.barrierSet(Op.Target);
+      VectorClock Joined;
+      for (ThreadId U : Threads)
+        Joined.joinWith(C[U]);
+      for (ThreadId U : Threads) {
+        C[U].copyFrom(Joined);
+        C[U].inc(U);
+        touched(I, U);
+      }
+      break;
+    }
+    case OpKind::AtomicBegin:
+    case OpKind::AtomicEnd:
+      break; // no clock effect (and spine-driven tools ignore them)
+    }
+    Out.SyncOps.push_back(I);
+  }
+  return Out;
+}

@@ -1,0 +1,79 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sync spine: per-thread vector clocks at synchronization points of
+/// a trace, precomputed once by a serial pass.
+///
+/// The Figure 3 rules make the C (thread) and L (lock/volatile) clocks a
+/// function of the sync events alone — data accesses never feed back into
+/// them. The spine exploits that: it applies exactly
+/// VectorClockToolBase's rules to a standalone (C, L) state and records
+/// the thread clocks that sharded workers will need. Spine-driven shard
+/// workers then *install* these recorded clocks (a pointer store — the
+/// spine is immutable and outlives the workers) instead of re-deriving
+/// them, and the L component is never replicated per worker at all.
+///
+/// Two laziness levels keep the spine small and the serial pre-pass
+/// short (it is the Amdahl bound on parallel speedup):
+///
+///   - Recording is deferred to each thread's first data access after
+///     its clock changed, so sync churn between two accesses by the same
+///     thread collapses into one recorded clock, and threads that stop
+///     accessing data stop costing anything. The recorded OpIndex is the
+///     index of the last sync event that changed the clock.
+///   - Workers install updates lazily per accessing thread: at an access
+///     by thread t, fast-forward t's cursor and install just the latest
+///     preceding clock. This is sound because the access rules of every
+///     spine-driven detector read only the *accessing* thread's clock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_FRAMEWORK_SYNCSPINE_H
+#define FASTTRACK_FRAMEWORK_SYNCSPINE_H
+
+#include "clock/VectorClock.h"
+#include "trace/Trace.h"
+
+#include <vector>
+
+namespace ft {
+
+/// One recorded thread-clock state.
+struct SpineUpdate {
+  uint32_t OpIndex;  ///< Last sync event that changed the clock.
+  VectorClock Clock; ///< The thread's clock after that event.
+};
+
+/// The spine of one trace, keyed by thread: PerThread[t] holds the
+/// recorded states of C_t in ascending OpIndex order.
+struct SyncSpine {
+  std::vector<std::vector<SpineUpdate>> PerThread;
+
+  /// Total updates across all threads.
+  size_t numUpdates() const;
+  /// Heap bytes held by the recorded clocks.
+  size_t memoryBytes() const;
+};
+
+/// Everything the spine-driven engine precomputes, in one trace pass.
+struct SpinePrePass {
+  /// The dispatched sync schedule (re-entrant lock events stripped when
+  /// requested), as collectSyncOps would return it.
+  std::vector<uint32_t> SyncOps;
+  SyncSpine Spine;
+};
+
+/// Builds the sync schedule and the spine in a single pass over \p T.
+/// The initial clock state matches VectorClockToolBase::begin — every
+/// thread starts at inc_t(⊥V) — so a freshly begun clone plus the
+/// spine's updates reconstructs the serial clock sequence exactly at
+/// every access.
+SpinePrePass buildSyncSpine(const Trace &T, bool FilterReentrantLocks);
+
+} // namespace ft
+
+#endif // FASTTRACK_FRAMEWORK_SYNCSPINE_H

@@ -30,6 +30,13 @@ bool Tool::alreadyWarned(VarId X) const {
   return X < WarnedVars.size() && WarnedVars[X];
 }
 
+size_t Tool::adoptWarnings(const std::vector<RaceWarning> &Merged) {
+  size_t Recorded = 0;
+  for (const RaceWarning &W : Merged)
+    Recorded += reportRace(W);
+  return Recorded;
+}
+
 bool Tool::reportRace(RaceWarning W) {
   if (alreadyWarned(W.Var))
     return false;

@@ -82,6 +82,12 @@ public:
   /// Drops accumulated warnings and the per-variable dedup set.
   void clearWarnings();
 
+  /// Merges externally collected warnings through the one-warning-per-
+  /// variable policy, in the given order. ParallelReplay uses this to
+  /// install the shard clones' warnings (sorted back into trace order)
+  /// into the primary tool. \returns the number recorded.
+  size_t adoptWarnings(const std::vector<RaceWarning> &Merged);
+
 protected:
   /// Records \p W unless a warning for the same variable already exists.
   /// \returns true when the warning was recorded.

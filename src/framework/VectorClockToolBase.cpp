@@ -5,9 +5,11 @@ using namespace ft;
 void VectorClockToolBase::begin(const ToolContext &Context) {
   C.assign(Context.NumThreads, VectorClock());
   ClockCache.assign(Context.NumThreads, 0);
+  View.assign(Context.NumThreads, nullptr);
   // σ0: C = λt.inc_t(⊥V) — every thread starts at clock 1 in its own entry.
   for (ThreadId T = 0; T != Context.NumThreads; ++T) {
     C[T].inc(T);
+    View[T] = &C[T]; // C is fully sized; its elements never move again
     refreshClock(T);
   }
   L.assign(Context.NumLocks, VectorClock());
@@ -69,5 +71,6 @@ size_t VectorClockToolBase::shadowBytes() const {
   for (const VectorClock &Clock : LVolatile)
     Bytes += sizeof(VectorClock) + Clock.memoryBytes();
   Bytes += ClockCache.capacity() * sizeof(ClockValue);
+  Bytes += View.capacity() * sizeof(const VectorClock *);
   return Bytes;
 }

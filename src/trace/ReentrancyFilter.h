@@ -1,0 +1,79 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tracks per-(thread, lock) nesting depth to strip redundant re-entrant
+/// acquire/release pairs, as RoadRunner does before events reach tools
+/// (Section 4, "ROADRUNNER"). Shared by the serial replay loop and the
+/// shard-partition pre-pass so both engines dispatch exactly the same
+/// lock events.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_TRACE_REENTRANCYFILTER_H
+#define FASTTRACK_TRACE_REENTRANCYFILTER_H
+
+#include "trace/Ids.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace ft {
+
+class ReentrancyFilter {
+public:
+  ReentrancyFilter() = default;
+
+  /// Sized variant: when the thread × lock space is small (the common
+  /// case — this is an O(1) array lookup per lock event instead of a
+  /// hash probe), depths live in a dense table. Falls back to the hash
+  /// map for huge id spaces.
+  ReentrancyFilter(unsigned NumThreads, unsigned NumLocks) {
+    if (static_cast<uint64_t>(NumThreads) * NumLocks <= DenseLimit) {
+      Locks = NumLocks;
+      Dense.assign(static_cast<size_t>(NumThreads) * NumLocks, 0);
+    }
+  }
+
+  /// Returns true when this acquire is the outermost one (dispatch it).
+  bool onAcquire(ThreadId T, LockId M) {
+    if (!Dense.empty())
+      return ++Dense[static_cast<size_t>(T) * Locks + M] == 1;
+    return ++Depth[key(T, M)] == 1;
+  }
+
+  /// Returns true when this release exits the outermost level.
+  bool onRelease(ThreadId T, LockId M) {
+    if (!Dense.empty()) {
+      unsigned &D = Dense[static_cast<size_t>(T) * Locks + M];
+      if (D == 0)
+        return true; // Infeasible trace; dispatch and let tools cope.
+      return --D == 0;
+    }
+    auto It = Depth.find(key(T, M));
+    if (It == Depth.end() || It->second == 0)
+      return true; // Infeasible trace; dispatch and let tools cope.
+    if (--It->second == 0) {
+      Depth.erase(It);
+      return true;
+    }
+    return false;
+  }
+
+private:
+  static constexpr uint64_t DenseLimit = 1u << 20;
+
+  static uint64_t key(ThreadId T, LockId M) {
+    return (static_cast<uint64_t>(T) << 32) | M;
+  }
+  unsigned Locks = 0;
+  std::vector<unsigned> Dense;
+  std::unordered_map<uint64_t, unsigned> Depth;
+};
+
+} // namespace ft
+
+#endif // FASTTRACK_TRACE_REENTRANCYFILTER_H

@@ -1,0 +1,33 @@
+#include "trace/ShardPartition.h"
+
+#include "trace/ReentrancyFilter.h"
+
+using namespace ft;
+
+std::vector<uint32_t> ft::collectSyncOps(const Trace &T,
+                                         bool FilterReentrantLocks) {
+  std::vector<uint32_t> SyncOps;
+  ReentrancyFilter Reentrancy(T.numThreads(), T.numLocks());
+  for (size_t I = 0, E = T.size(); I != E; ++I) {
+    const Operation &Op = T[I];
+    switch (Op.Kind) {
+    case OpKind::Read:
+    case OpKind::Write:
+      break;
+    case OpKind::Acquire:
+      if (FilterReentrantLocks && !Reentrancy.onAcquire(Op.Thread, Op.Target))
+        break;
+      SyncOps.push_back(static_cast<uint32_t>(I));
+      break;
+    case OpKind::Release:
+      if (FilterReentrantLocks && !Reentrancy.onRelease(Op.Thread, Op.Target))
+        break;
+      SyncOps.push_back(static_cast<uint32_t>(I));
+      break;
+    default:
+      SyncOps.push_back(static_cast<uint32_t>(I));
+      break;
+    }
+  }
+  return SyncOps;
+}

@@ -1,0 +1,54 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Variable-sharded partitioning of a trace, the basis of the parallel
+/// replay engine (docs/ARCHITECTURE.md, "Sharded replay").
+///
+/// The access rules of every sharding-compatible detector touch only the
+/// shadow state of the accessed variable plus the accessing thread's
+/// synchronization state, and the synchronization state itself evolves
+/// independently of data accesses. A trace therefore splits into
+///
+///   - one shared *sync schedule*: the non-access operations that the
+///     replay engine would dispatch (after re-entrant lock filtering),
+///     identical for every shard; and
+///   - per-shard *access schedules*: the rd/wr operations whose (possibly
+///     granularity-remapped) variable hashes into the shard,
+///
+/// such that replaying shard k's accesses interleaved with the sync
+/// schedule — in original trace order — visits exactly the serial
+/// engine's state sequence for shard k's variables.
+///
+/// The access schedules are never materialized: shard membership is the
+/// pure test `MapVar(x) % NumShards == k`, so each worker scans the
+/// (immutable, shared) trace and filters its own accesses — parallel
+/// work instead of a serial pre-pass. Only the sync schedule is
+/// collected up front; it feeds the sync spine and the engine's event
+/// accounting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_TRACE_SHARDPARTITION_H
+#define FASTTRACK_TRACE_SHARDPARTITION_H
+
+#include "trace/Trace.h"
+
+#include <vector>
+
+namespace ft {
+
+/// Returns the indices of the non-access operations the replay engine
+/// would dispatch, in trace order. With \p FilterReentrantLocks,
+/// re-entrant acquire/release pairs are stripped exactly as the serial
+/// engine strips them, so spine construction sees the same lock events
+/// the tools would.
+std::vector<uint32_t> collectSyncOps(const Trace &T,
+                                     bool FilterReentrantLocks);
+
+} // namespace ft
+
+#endif // FASTTRACK_TRACE_SHARDPARTITION_H
