@@ -10,11 +10,25 @@
 //   trace_file_tool --shards N FILE.trc [tool...]
 //                                       # sharded parallel replay across
 //                                       # N workers (0 = all cores)
+//   trace_file_tool --salvage FILE.trc  # skip malformed records instead
+//                                       # of aborting on the first error
+//   trace_file_tool --checkpoint-every N [--checkpoint-file P] FILE.trc
+//                                       # checkpoint the analysis every N
+//                                       # ops; a rerun resumes from the
+//                                       # last checkpoint (default P:
+//                                       # FILE.trc.ckpt)
+//   trace_file_tool --mem-budget BYTES FILE.trc
+//                                       # shadow-memory budget; breaching
+//                                       # it degrades granularity instead
+//                                       # of dying (suffix K/M/G ok)
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/ToolRegistry.h"
+#include "framework/Checkpoint.h"
 #include "framework/ParallelReplay.h"
+#include "framework/ResourceGovernor.h"
+#include "support/MemoryTracker.h"
 #include "trace/TraceBuilder.h"
 #include "trace/TraceIO.h"
 #include "trace/TraceStats.h"
@@ -32,6 +46,10 @@ namespace {
 /// -1: serial replay(). Otherwise the NumShards passed to parallelReplay
 /// (0 = one shard per hardware thread).
 int ShardsFlag = -1;
+bool SalvageFlag = false;
+uint64_t CheckpointEvery = 0;   // 0 = checkpointing off
+std::string CheckpointFile;     // empty = derive from the trace path
+uint64_t MemBudget = 0;         // 0 = unlimited
 
 const char *modeName(const ParallelReplayResult &Result) {
   if (!Result.Sharded)
@@ -40,11 +58,25 @@ const char *modeName(const ParallelReplayResult &Result) {
                                                : "sync-replay";
 }
 
+void printDiags(const std::vector<Diagnostic> &Diags) {
+  for (const Diagnostic &D : Diags)
+    std::fprintf(stderr, "%s\n", toString(D).c_str());
+}
+
 int analyze(const std::string &Path, const std::vector<std::string> &Tools) {
   Trace T;
-  std::string Error;
-  if (!loadTraceFile(Path, T, Error)) {
-    std::fprintf(stderr, "error: %s\n", Error.c_str());
+  ParseOptions ParseOpts;
+  ParseOpts.Salvage = SalvageFlag;
+  ParseReport Report = loadTraceFile(Path, T, ParseOpts);
+  printDiags(Report.Diags);
+  if (!Report.ok()) {
+    // Only print the flat status when no diagnostic already said it
+    // (e.g. file-open failures produce a Status but no diag list).
+    bool Rendered = false;
+    for (const Diagnostic &D : Report.Diags)
+      Rendered |= D.Sev == Severity::Error || D.Sev == Severity::Fatal;
+    if (!Rendered)
+      std::fprintf(stderr, "error: %s\n", Report.St.toString().c_str());
     return 1;
   }
 
@@ -69,14 +101,49 @@ int analyze(const std::string &Path, const std::vector<std::string> &Tools) {
       std::fprintf(stderr, ")\n");
       return 1;
     }
-    if (ShardsFlag < 0) {
+    if (CheckpointEvery != 0) {
+      if (ShardsFlag >= 0)
+        std::fprintf(stderr, "warning: --shards is ignored under "
+                             "--checkpoint-every (checkpointed replay is "
+                             "serial)\n");
+      CheckpointOptions Ck;
+      Ck.Path = CheckpointFile.empty() ? Path + ".ckpt" : CheckpointFile;
+      Ck.EveryOps = CheckpointEvery;
+      CheckpointedReplayResult Result = replayCheckpointed(T, *Detector, {}, Ck);
+      printDiags(Result.Diags);
+      std::printf("\n[%s] %zu warning(s) in %.3fs (", Detector->name(),
+                  Detector->warnings().size(), Result.Result.Seconds);
+      if (Result.Resumed)
+        std::printf("resumed at op %llu, ",
+                    static_cast<unsigned long long>(Result.ResumedAtOp));
+      std::printf("%llu checkpoint(s) written)\n",
+                  static_cast<unsigned long long>(Result.CheckpointsWritten));
+    } else if (MemBudget != 0) {
+      MemoryTracker Tracker;
+      GovernorOptions Gov;
+      Gov.ShadowBudgetBytes = MemBudget;
+      Gov.Tracker = &Tracker;
+      GovernedReplayResult Result = replayGoverned(T, *Detector, {}, Gov);
+      printDiags(Result.Diags);
+      std::printf("\n[%s] %zu warning(s) in %.3fs (", Detector->name(),
+                  Detector->warnings().size(), Result.Result.Seconds);
+      if (Result.FinalGran == Granularity::Fine)
+        std::printf("fine granularity");
+      else
+        std::printf("degraded %u time(s) to coarse, %u fields/object",
+                    Result.Degradations, Result.FinalFieldsPerObject);
+      std::printf(", peak shadow %llu bytes)\n",
+                  static_cast<unsigned long long>(Tracker.peakBytes()));
+    } else if (ShardsFlag < 0) {
       ReplayResult Result = replay(T, *Detector);
       std::printf("\n[%s] %zu warning(s) in %.3fs\n", Detector->name(),
                   Detector->warnings().size(), Result.Seconds);
     } else {
       ParallelReplayOptions Options;
       Options.NumShards = static_cast<unsigned>(ShardsFlag);
+      Options.WatchdogTimeoutMs = 10000;
       ParallelReplayResult Result = parallelReplay(T, *Detector, Options);
+      printDiags(Result.Diags);
       std::printf("\n[%s] %zu warning(s) in %.3fs (%s", Detector->name(),
                   Detector->warnings().size(), Result.Total.Seconds,
                   modeName(Result));
@@ -89,6 +156,25 @@ int analyze(const std::string &Path, const std::vector<std::string> &Tools) {
       std::printf("  %s\n", toString(W).c_str());
   }
   return 0;
+}
+
+/// Parses "1048576", "64K", "16M", "2G" (case-insensitive suffixes).
+bool parseBytes(const char *Text, uint64_t &Out) {
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Text, &End, 10);
+  if (End == Text)
+    return false;
+  uint64_t Mult = 1;
+  if (*End == 'k' || *End == 'K')
+    Mult = 1ull << 10, ++End;
+  else if (*End == 'm' || *End == 'M')
+    Mult = 1ull << 20, ++End;
+  else if (*End == 'g' || *End == 'G')
+    Mult = 1ull << 30, ++End;
+  if (*End != '\0')
+    return false;
+  Out = V * Mult;
+  return true;
 }
 
 } // namespace
@@ -108,6 +194,38 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "error: invalid shard count '%s'\n", Argv[I]);
         return 1;
       }
+      continue;
+    }
+    if (Arg == "--salvage") {
+      SalvageFlag = true;
+      continue;
+    }
+    if (Arg == "--checkpoint-every") {
+      if (I + 1 >= Argc || !parseBytes(Argv[I + 1], CheckpointEvery) ||
+          CheckpointEvery == 0) {
+        std::fprintf(stderr,
+                     "error: --checkpoint-every needs an op count > 0\n");
+        return 1;
+      }
+      ++I;
+      continue;
+    }
+    if (Arg == "--checkpoint-file") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: --checkpoint-file needs a path\n");
+        return 1;
+      }
+      CheckpointFile = Argv[++I];
+      continue;
+    }
+    if (Arg == "--mem-budget") {
+      if (I + 1 >= Argc || !parseBytes(Argv[I + 1], MemBudget) ||
+          MemBudget == 0) {
+        std::fprintf(stderr, "error: --mem-budget needs a byte count > 0 "
+                             "(suffix K/M/G ok)\n");
+        return 1;
+      }
+      ++I;
       continue;
     }
     Args.push_back(std::move(Arg));
@@ -133,9 +251,8 @@ int main(int Argc, char **Argv) {
                 .join(0, 1)
                 .take();
   std::string Path = "demo_trace.trc";
-  std::string Error;
-  if (!saveTraceFile(Path, T, Error)) {
-    std::fprintf(stderr, "error: %s\n", Error.c_str());
+  if (Status St = saveTraceFile(Path, T); !St.ok()) {
+    std::fprintf(stderr, "error: %s\n", St.toString().c_str());
     return 1;
   }
   std::printf("wrote %s:\n%s\n", Path.c_str(), serializeTrace(T).c_str());

@@ -1,5 +1,7 @@
 #include "core/FastTrack.h"
 
+#include "support/ByteStream.h"
+
 using namespace ft;
 
 template <typename EpochT>
@@ -146,6 +148,55 @@ uint64_t BasicFastTrack<EpochT>::inflatedReadStates() const {
   for (const VarState &State : Vars)
     Count += State.R.isReadShared();
   return Count;
+}
+
+template <typename EpochT>
+void BasicFastTrack<EpochT>::snapshotShadow(ByteWriter &Writer) const {
+  snapshotClocks(Writer);
+  Writer.u32(Vars.size());
+  for (const VarState &State : Vars) {
+    Writer.u64(static_cast<uint64_t>(State.W.raw()));
+    Writer.u64(static_cast<uint64_t>(State.R.raw()));
+    // The Rvc buffer only matters while the variable is read-shared;
+    // skipping it otherwise keeps checkpoints proportional to inflated
+    // state, not variable count.
+    if (State.R.isReadShared())
+      writeClock(Writer, State.Rvc);
+  }
+  Writer.u64(Rules.ReadSameEpoch);
+  Writer.u64(Rules.ReadShared);
+  Writer.u64(Rules.ReadExclusive);
+  Writer.u64(Rules.ReadShare);
+  Writer.u64(Rules.WriteSameEpoch);
+  Writer.u64(Rules.WriteExclusive);
+  Writer.u64(Rules.WriteShared);
+}
+
+template <typename EpochT>
+bool BasicFastTrack<EpochT>::restoreShadow(ByteReader &Reader) {
+  if (!restoreClocks(Reader))
+    return false;
+  if (Reader.u32() != Vars.size())
+    return false;
+  using RawT = decltype(EpochT().raw());
+  for (VarState &State : Vars) {
+    State.W = EpochT::fromRaw(static_cast<RawT>(Reader.u64()));
+    State.R = EpochT::fromRaw(static_cast<RawT>(Reader.u64()));
+    if (State.R.isReadShared()) {
+      if (!readClock(Reader, State.Rvc))
+        return false;
+    } else {
+      State.Rvc = VectorClock();
+    }
+  }
+  Rules.ReadSameEpoch = Reader.u64();
+  Rules.ReadShared = Reader.u64();
+  Rules.ReadExclusive = Reader.u64();
+  Rules.ReadShare = Reader.u64();
+  Rules.WriteSameEpoch = Reader.u64();
+  Rules.WriteExclusive = Reader.u64();
+  Rules.WriteShared = Reader.u64();
+  return !Reader.failed();
 }
 
 namespace ft {

@@ -135,6 +135,13 @@ public:
     Rules += static_cast<BasicFastTrack<EpochT> &>(ShardTool).Rules;
   }
 
+  // Checkpoint hooks: the full analysis state σ = (C, L, R, W) plus the
+  // Figure 2 rule counters, so a resumed replay continues bit-identically
+  // (framework/Checkpoint.h).
+  bool supportsCheckpoint() const override { return true; }
+  void snapshotShadow(ByteWriter &Writer) const override;
+  bool restoreShadow(ByteReader &Reader) override;
+
 private:
   /// Per-variable shadow state (Figure 5's VarState): write epoch W, read
   /// epoch R (or READ_SHARED), and the read vector clock used only in

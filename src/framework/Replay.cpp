@@ -1,5 +1,6 @@
 #include "framework/Replay.h"
 
+#include "support/MemoryTracker.h"
 #include "support/Stopwatch.h"
 #include "trace/ReentrancyFilter.h"
 
@@ -61,14 +62,29 @@ namespace {
 
 /// The shared replay loop. \p ForEachAccess receives the access events and
 /// decides what "passed" means; sync events are dispatched via \p Sync.
-template <typename AccessFn, typename SyncFn>
-void replayLoop(const Trace &T, const ReplayOptions &Options,
-                const GranularityMap &Map, AccessFn &&Access, SyncFn &&Sync,
-                uint64_t &Events) {
+/// \p Probe reports the tool-side shadow bytes for the budget governor.
+/// \returns the trace index after the last processed operation — T.size()
+/// on completion, earlier (with \p BudgetExceeded set) on a budget stop.
+template <typename AccessFn, typename SyncFn, typename ProbeFn>
+size_t replayLoop(const Trace &T, const ReplayOptions &Options,
+                  const GranularityMap &Map, AccessFn &&Access, SyncFn &&Sync,
+                  ProbeFn &&Probe, uint64_t &Events, bool &BudgetExceeded) {
   ReentrancyFilter Reentrancy(T.numThreads(), T.numLocks());
   bool FilterLocks = Options.FilterReentrantLocks;
+  uint64_t Budget = Options.ShadowBudgetBytes;
+  bool Probing = Budget != 0 || Options.BudgetTracker != nullptr;
+  size_t CheckEvery = std::max(1u, Options.BudgetCheckEveryOps);
 
   for (size_t I = 0, E = T.size(); I != E; ++I) {
+    if (Probing && I != 0 && I % CheckEvery == 0) {
+      uint64_t Live = Probe();
+      if (Options.BudgetTracker)
+        Options.BudgetTracker->sampleLive(Live);
+      if (Budget != 0 && Live > Budget) {
+        BudgetExceeded = true;
+        return I;
+      }
+    }
     const Operation &Op = T[I];
     switch (Op.Kind) {
     case OpKind::Read:
@@ -94,6 +110,7 @@ void replayLoop(const Trace &T, const ReplayOptions &Options,
       break;
     }
   }
+  return T.size();
 }
 
 } // namespace
@@ -106,7 +123,7 @@ ReplayResult ft::replay(const Trace &T, Tool &Checker,
 
   Stopwatch Watch;
   Checker.begin(makeToolContext(T, Map));
-  replayLoop(
+  Result.StoppedAtOp = replayLoop(
       T, Options, Map,
       [&](OpKind Kind, ThreadId Thread, VarId X, size_t I) {
         bool Passed = Kind == OpKind::Read ? Checker.onRead(Thread, X, I)
@@ -114,7 +131,8 @@ ReplayResult ft::replay(const Trace &T, Tool &Checker,
         Result.AccessesPassed += Passed;
       },
       [&](const Operation &Op, size_t I) { dispatchSyncOp(Checker, T, Op, I); },
-      Result.Events);
+      [&] { return Checker.shadowBytes(); }, Result.Events,
+      Result.BudgetExceeded);
   Checker.end();
   Result.Seconds = Watch.seconds();
 
@@ -135,7 +153,7 @@ PipelineResult ft::replayFiltered(const Trace &T, Tool &Filter,
   Stopwatch Watch;
   Filter.begin(Context);
   Downstream.begin(Context);
-  replayLoop(
+  Result.Total.StoppedAtOp = replayLoop(
       T, Options, Map,
       [&](OpKind Kind, ThreadId Thread, VarId X, size_t I) {
         ++Result.AccessesSeen;
@@ -155,7 +173,8 @@ PipelineResult ft::replayFiltered(const Trace &T, Tool &Filter,
         dispatchSyncOp(Filter, T, Op, I);
         dispatchSyncOp(Downstream, T, Op, I);
       },
-      Result.Total.Events);
+      [&] { return Filter.shadowBytes() + Downstream.shadowBytes(); },
+      Result.Total.Events, Result.Total.BudgetExceeded);
   Filter.end();
   Downstream.end();
   Result.Total.Seconds = Watch.seconds();

@@ -23,9 +23,12 @@
 
 #include "clock/ClockStats.h"
 #include "framework/Tool.h"
+#include "support/Status.h"
 #include "trace/Trace.h"
 
 namespace ft {
+
+class MemoryTracker;
 
 /// Analysis granularity (Section 4). Fine: every variable is its own
 /// shadow entity. Coarse: variables are grouped into objects, trading
@@ -47,6 +50,24 @@ struct ReplayOptions {
 
   /// Strip redundant re-entrant lock acquires/releases before dispatch.
   bool FilterReentrantLocks = true;
+
+  /// Soft shadow-memory budget in bytes; 0 (the default) is unlimited.
+  /// When set, the replay loop probes the tool's shadowBytes() every
+  /// BudgetCheckEveryOps operations and stops early — setting
+  /// ReplayResult::BudgetExceeded — on breach. Callers that want
+  /// degrade-instead-of-die semantics use replayGoverned()
+  /// (framework/ResourceGovernor.h), which retries at coarser
+  /// granularity instead of surfacing the truncated run.
+  uint64_t ShadowBudgetBytes = 0;
+
+  /// How often (in trace operations) the budget probe runs. Probes cost
+  /// an O(state) shadowBytes() walk, so they are amortized.
+  unsigned BudgetCheckEveryOps = 4096;
+
+  /// Optional tracker that receives every budget probe via sampleLive(),
+  /// so callers observe live/peak shadow bytes across the replay. Not
+  /// consulted for the budget itself (ShadowBudgetBytes is).
+  MemoryTracker *BudgetTracker = nullptr;
 };
 
 /// Precomputed variable remapping for the requested granularity. Shared
@@ -99,6 +120,12 @@ struct ReplayResult {
   ClockStats Clocks;             ///< Delta of the global VC counters.
   size_t ShadowBytes = 0;        ///< Tool-reported shadow state at end.
   size_t NumWarnings = 0;        ///< Warnings after the replay.
+
+  /// True when the replay stopped early because ShadowBudgetBytes was
+  /// breached; StoppedAtOp then holds the trace index after the last
+  /// processed operation (== trace size on a completed run).
+  bool BudgetExceeded = false;
+  size_t StoppedAtOp = 0;
 };
 
 /// Replays \p T through \p Checker.

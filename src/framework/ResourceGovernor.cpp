@@ -1,0 +1,78 @@
+#include "framework/ResourceGovernor.h"
+
+#include "support/MemoryTracker.h"
+
+#include <string>
+
+using namespace ft;
+
+static const char *granName(const ReplayOptions &Options) {
+  return Options.Gran == Granularity::Fine ? "fine" : "coarse";
+}
+
+static std::string attemptName(const ReplayOptions &Options) {
+  if (Options.Gran == Granularity::Fine)
+    return "fine granularity";
+  return "coarse granularity (" +
+         std::to_string(Options.DefaultFieldsPerObject) + " fields/object)";
+}
+
+GovernedReplayResult ft::replayGoverned(const Trace &T, Tool &Checker,
+                                        const ReplayOptions &Base,
+                                        const GovernorOptions &Gov) {
+  GovernedReplayResult Out;
+
+  ReplayOptions Attempt = Base;
+  Attempt.ShadowBudgetBytes = Gov.ShadowBudgetBytes;
+  Attempt.BudgetCheckEveryOps = Gov.BudgetCheckEveryOps;
+  Attempt.BudgetTracker = Gov.Tracker;
+  if (Gov.Tracker)
+    Gov.Tracker->setBudget(Gov.ShadowBudgetBytes);
+
+  // Rungs strictly coarser than the caller's own configuration.
+  std::vector<unsigned> Rungs;
+  if (Gov.ShadowBudgetBytes != 0)
+    for (unsigned Fields : Gov.Ladder)
+      if (Base.Gran == Granularity::Fine || Fields > Base.DefaultFieldsPerObject)
+        Rungs.push_back(Fields);
+
+  for (size_t Rung = 0;; ++Rung) {
+    // The last rung must complete: run it unbudgeted.
+    if (Rung == Rungs.size())
+      Attempt.ShadowBudgetBytes = 0;
+
+    Out.Result = replay(T, Checker, Attempt);
+    if (!Out.Result.BudgetExceeded)
+      break;
+
+    // Budget breached: discard this attempt's warnings (a from-scratch
+    // rerun at the coarser granularity re-derives its own) and degrade.
+    Checker.clearWarnings();
+    ++Out.Degradations;
+    std::string Note = "shadow budget of " +
+                       std::to_string(Gov.ShadowBudgetBytes) +
+                       " bytes exceeded at operation " +
+                       std::to_string(Out.Result.StoppedAtOp) + " under " +
+                       attemptName(Attempt) + "; degrading to coarse (" +
+                       std::to_string(Rungs[Rung]) + " fields/object)";
+    if (Attempt.VarToObject)
+      Note += "; explicit field mapping dropped";
+    Out.Diags.push_back({StatusCode::ResourceExhausted, Severity::Warning, 0,
+                         Out.Result.StoppedAtOp, std::move(Note)});
+    Attempt.Gran = Granularity::Coarse;
+    Attempt.VarToObject = nullptr;
+    Attempt.DefaultFieldsPerObject = Rungs[Rung];
+  }
+
+  if (Out.Degradations != 0)
+    Out.Diags.push_back(
+        {StatusCode::Ok, Severity::Note, 0, NoOpIndex,
+         std::string("replay completed at ") + granName(Attempt) +
+             " granularity after " + std::to_string(Out.Degradations) +
+             " degradation(s); precision is reduced (object-level, not "
+             "field-level, race reports)"});
+  Out.FinalGran = Attempt.Gran;
+  Out.FinalFieldsPerObject =
+      Attempt.Gran == Granularity::Coarse ? Attempt.DefaultFieldsPerObject : 0;
+  return Out;
+}

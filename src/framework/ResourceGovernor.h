@@ -1,0 +1,80 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resource governor: replay under a shadow-memory budget with
+/// graceful degradation instead of death.
+///
+/// Section 4 of the paper describes granularity as the memory knob: fine
+/// granularity shadows every field/element individually (Table 3's
+/// per-tool memory column), coarse granularity folds whole objects onto
+/// one shadow entry, trading precision for space. The governor operates
+/// that knob automatically: it runs the replay with periodic
+/// shadowBytes() probes, and when the live shadow state breaches the
+/// budget it abandons the attempt, coarsens the granularity one rung
+/// down the ladder, and restarts. The final rung runs unbudgeted, so a
+/// governed replay always completes — possibly with reduced precision,
+/// which is reported, never silently.
+///
+/// Degradation ladder (fields per object): fine → 8 → 64 → 512.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_FRAMEWORK_RESOURCEGOVERNOR_H
+#define FASTTRACK_FRAMEWORK_RESOURCEGOVERNOR_H
+
+#include "framework/Replay.h"
+#include "support/Status.h"
+
+#include <vector>
+
+namespace ft {
+
+class MemoryTracker;
+
+/// Options controlling one governed replay.
+struct GovernorOptions {
+  /// Shadow-memory budget in bytes. 0 means unlimited: the replay runs
+  /// once at the caller's granularity and never degrades.
+  uint64_t ShadowBudgetBytes = 0;
+
+  /// Probe cadence, forwarded to ReplayOptions::BudgetCheckEveryOps.
+  unsigned BudgetCheckEveryOps = 4096;
+
+  /// Coarse-granularity rungs (fields per object), tried in order after
+  /// the caller's own configuration breaches the budget. The last rung
+  /// runs without a budget so the replay always completes.
+  std::vector<unsigned> Ladder = {8, 64, 512};
+
+  /// Optional tracker observing every probe (live/peak shadow bytes).
+  MemoryTracker *Tracker = nullptr;
+};
+
+/// Outcome of replayGoverned().
+struct GovernedReplayResult {
+  ReplayResult Result;           ///< Measurements of the completed attempt.
+  Status St;
+  std::vector<Diagnostic> Diags; ///< One Warning per degradation.
+  unsigned Degradations = 0;     ///< Budget breaches → granularity drops.
+  Granularity FinalGran = Granularity::Fine;
+  unsigned FinalFieldsPerObject = 0; ///< 0 when FinalGran is Fine.
+};
+
+/// Replays \p T through \p Checker under \p Gov's budget, degrading
+/// granularity per the ladder instead of failing. Each degraded attempt
+/// restarts the analysis from the first event (Tool::begin() reinitializes
+/// shadow state), so the completed attempt's warnings are exactly what a
+/// from-scratch run at the final granularity produces. An explicit
+/// ReplayOptions::VarToObject mapping is dropped on degradation (the
+/// ladder uses the divisor mapping) — a diagnostic says so.
+GovernedReplayResult
+replayGoverned(const Trace &T, Tool &Checker,
+               const ReplayOptions &Base = ReplayOptions(),
+               const GovernorOptions &Gov = GovernorOptions());
+
+} // namespace ft
+
+#endif // FASTTRACK_FRAMEWORK_RESOURCEGOVERNOR_H

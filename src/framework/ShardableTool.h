@@ -26,6 +26,8 @@
 
 namespace ft {
 
+class ByteReader;
+class ByteWriter;
 class Tool;
 
 /// How a shard worker reconstructs the synchronization state a tool's
@@ -64,6 +66,33 @@ public:
   /// this tool's cloneForShard(). Warnings are merged separately by the
   /// engine (Tool::adoptWarnings), so implementations only fold counters.
   virtual void mergeShard(Tool &ShardTool) = 0;
+
+  /// \name Checkpoint hooks (framework/Checkpoint.h)
+  /// A tool additionally opts in to checkpoint/resume of long replays by
+  /// serializing its complete analysis state — everything its handlers
+  /// read or write, including instrumentation counters — such that a
+  /// restored instance continues bit-identically. Warnings and the
+  /// replay cursor are saved by the checkpoint driver; these hooks cover
+  /// only tool-owned shadow state. VectorClockToolBase provides
+  /// snapshotClocks/restoreClocks for the C/L components.
+  /// @{
+
+  /// True when snapshotShadow/restoreShadow are implemented.
+  virtual bool supportsCheckpoint() const { return false; }
+
+  /// Serializes all tool-owned analysis state into \p Writer.
+  virtual void snapshotShadow(ByteWriter &Writer) const { (void)Writer; }
+
+  /// Restores state serialized by snapshotShadow. begin() has already
+  /// been called with the same ToolContext the snapshotting instance
+  /// saw. \returns false when the image is malformed (the driver then
+  /// reports a structured CheckpointError instead of crashing).
+  virtual bool restoreShadow(ByteReader &Reader) {
+    (void)Reader;
+    return false;
+  }
+
+  /// @}
 };
 
 } // namespace ft

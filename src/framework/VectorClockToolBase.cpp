@@ -1,5 +1,7 @@
 #include "framework/VectorClockToolBase.h"
 
+#include "support/ByteStream.h"
+
 using namespace ft;
 
 void VectorClockToolBase::begin(const ToolContext &Context) {
@@ -60,6 +62,70 @@ void VectorClockToolBase::onBarrier(const std::vector<ThreadId> &Threads,
     C[U].inc(U);
     refreshClock(U);
   }
+}
+
+void VectorClockToolBase::writeClock(ByteWriter &Writer,
+                                     const VectorClock &Clock) {
+  // Canonical form: trailing zeros are trimmed. Restore re-derives sizes
+  // from the highest nonzero entry, so without trimming an uninterrupted
+  // run and a resumed one could serialize semantically-equal clocks with
+  // different stored sizes — breaking the bit-identical-image contract
+  // the checkpoint tests verify against.
+  uint32_t Size = Clock.size();
+  while (Size != 0 && Clock.get(Size - 1) == 0)
+    --Size;
+  Writer.u32(Size);
+  for (ThreadId T = 0; T != Size; ++T)
+    Writer.u32(Clock.get(T));
+}
+
+bool VectorClockToolBase::readClock(ByteReader &Reader, VectorClock &Clock) {
+  uint32_t Size = Reader.u32();
+  // Bound the size by the bytes actually available so a corrupt length
+  // cannot drive a multi-gigabyte allocation before reads start failing.
+  if (Reader.failed() || static_cast<uint64_t>(Size) * 4 > Reader.remaining())
+    return false;
+  Clock = VectorClock();
+  for (uint32_t T = 0; T != Size; ++T) {
+    ClockValue V = Reader.u32();
+    if (V != 0)
+      Clock.set(T, V);
+  }
+  return !Reader.failed();
+}
+
+void VectorClockToolBase::snapshotClocks(ByteWriter &Writer) const {
+  Writer.u32(C.size());
+  for (const VectorClock &Clock : C)
+    writeClock(Writer, Clock);
+  Writer.u32(L.size());
+  for (const VectorClock &Clock : L)
+    writeClock(Writer, Clock);
+  Writer.u32(LVolatile.size());
+  for (const VectorClock &Clock : LVolatile)
+    writeClock(Writer, Clock);
+}
+
+bool VectorClockToolBase::restoreClocks(ByteReader &Reader) {
+  if (Reader.u32() != C.size())
+    return false;
+  for (ThreadId T = 0; T != C.size(); ++T) {
+    if (!readClock(Reader, C[T]))
+      return false;
+    View[T] = &C[T];
+    refreshClock(T);
+  }
+  if (Reader.u32() != L.size())
+    return false;
+  for (VectorClock &Clock : L)
+    if (!readClock(Reader, Clock))
+      return false;
+  if (Reader.u32() != LVolatile.size())
+    return false;
+  for (VectorClock &Clock : LVolatile)
+    if (!readClock(Reader, Clock))
+      return false;
+  return !Reader.failed();
 }
 
 size_t VectorClockToolBase::shadowBytes() const {

@@ -31,6 +31,9 @@
 
 namespace ft {
 
+class ByteReader;
+class ByteWriter;
+
 /// Maintains the C (per-thread) and L (per-lock, per-volatile) components
 /// of the analysis state σ = (C, L, R, W); derived tools own R and W.
 class VectorClockToolBase : public Tool {
@@ -61,6 +64,23 @@ public:
   }
 
 protected:
+  /// Checkpoint support (framework/Checkpoint.h): serializes the C, L,
+  /// and volatile-L clocks. Derived tools call this from their
+  /// ShardableTool::snapshotShadow before writing their own R/W state.
+  void snapshotClocks(ByteWriter &Writer) const;
+
+  /// Restores what snapshotClocks wrote. begin() must already have run
+  /// with the original ToolContext (it sizes the vectors); the View and
+  /// clock-cache are re-pointed at the restored C. \returns false on a
+  /// malformed image.
+  bool restoreClocks(ByteReader &Reader);
+
+  /// Codec for one vector clock (size-prefixed entries), shared with
+  /// derived tools that checkpoint per-variable clocks (e.g. FastTrack's
+  /// read VCs).
+  static void writeClock(ByteWriter &Writer, const VectorClock &Clock);
+  static bool readClock(ByteReader &Reader, VectorClock &Clock);
+
   /// Ct: the current vector clock of thread \p T.
   const VectorClock &threadClock(ThreadId T) const { return *View[T]; }
 

@@ -1,0 +1,138 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny binary codec for checkpoint images: fixed-width little-endian
+/// integers, length-prefixed strings, and an FNV-1a checksum over the
+/// emitted bytes. The reader is fully bounds-checked and *sticky* — after
+/// the first short or malformed read every subsequent read fails — so
+/// deserializers can decode an entire record and test failed() once,
+/// which keeps restore paths both short and safe on corrupt or truncated
+/// images (the fault-injection suite feeds it garbage on purpose).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_SUPPORT_BYTESTREAM_H
+#define FASTTRACK_SUPPORT_BYTESTREAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ft {
+
+/// 64-bit FNV-1a over \p Data, seedable for incremental use.
+inline uint64_t fnv1a(std::string_view Data,
+                      uint64_t Seed = 0xcbf29ce484222325ULL) {
+  uint64_t Hash = Seed;
+  for (unsigned char C : Data) {
+    Hash ^= C;
+    Hash *= 0x100000001b3ULL;
+  }
+  return Hash;
+}
+
+/// Appends little-endian fields to a growing byte buffer.
+class ByteWriter {
+public:
+  void u8(uint8_t V) { Buf.push_back(static_cast<char>(V)); }
+
+  void u32(uint32_t V) {
+    for (unsigned I = 0; I != 4; ++I)
+      Buf.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+  }
+
+  void u64(uint64_t V) {
+    for (unsigned I = 0; I != 8; ++I)
+      Buf.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+  }
+
+  /// Length-prefixed byte string.
+  void str(std::string_view S) {
+    u64(S.size());
+    Buf.append(S);
+  }
+
+  const std::string &bytes() const { return Buf; }
+  size_t size() const { return Buf.size(); }
+
+  /// Checksum of everything written so far.
+  uint64_t checksum() const { return fnv1a(Buf); }
+
+private:
+  std::string Buf;
+};
+
+/// Bounds-checked reader over an immutable byte buffer. All reads return
+/// a value (zero/empty on failure) and latch the failure flag.
+class ByteReader {
+public:
+  explicit ByteReader(std::string_view Data) : Data(Data) {}
+
+  uint8_t u8() {
+    if (!need(1))
+      return 0;
+    return static_cast<uint8_t>(Data[Pos++]);
+  }
+
+  uint32_t u32() {
+    if (!need(4))
+      return 0;
+    uint32_t V = 0;
+    for (unsigned I = 0; I != 4; ++I)
+      V |= static_cast<uint32_t>(static_cast<unsigned char>(Data[Pos++]))
+           << (8 * I);
+    return V;
+  }
+
+  uint64_t u64() {
+    if (!need(8))
+      return 0;
+    uint64_t V = 0;
+    for (unsigned I = 0; I != 8; ++I)
+      V |= static_cast<uint64_t>(static_cast<unsigned char>(Data[Pos++]))
+           << (8 * I);
+    return V;
+  }
+
+  std::string str() {
+    uint64_t Len = u64();
+    if (Fail || Len > Data.size() - Pos) {
+      Fail = true;
+      return std::string();
+    }
+    std::string S(Data.substr(Pos, Len));
+    Pos += Len;
+    return S;
+  }
+
+  /// True once any read ran past the end (and for all reads after).
+  bool failed() const { return Fail; }
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return Fail ? 0 : Data.size() - Pos; }
+
+  /// Checksum of the bytes consumed so far (for validating a trailing
+  /// checksum field against everything that preceded it).
+  uint64_t checksumConsumed() const { return fnv1a(Data.substr(0, Pos)); }
+
+private:
+  bool need(size_t N) {
+    if (Fail || Data.size() - Pos < N)
+      Fail = true;
+    return !Fail;
+  }
+
+  std::string_view Data;
+  size_t Pos = 0;
+  bool Fail = false;
+};
+
+} // namespace ft
+
+#endif // FASTTRACK_SUPPORT_BYTESTREAM_H

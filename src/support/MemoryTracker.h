@@ -22,7 +22,11 @@
 
 namespace ft {
 
-/// Tracks live and peak bytes charged by an analysis tool.
+/// Tracks live and peak bytes charged by an analysis tool, optionally
+/// against a budget. The resource governor (framework/ResourceGovernor.h)
+/// samples a tool's shadowBytes() into a tracker between events and
+/// degrades analysis granularity when the budget is breached, instead of
+/// letting a long replay die to OOM.
 class MemoryTracker {
 public:
   /// Charges \p Bytes to the tracker.
@@ -36,6 +40,25 @@ public:
   /// Releases \p Bytes previously charged.
   void release(size_t Bytes) { Live -= Bytes < Live ? Bytes : Live; }
 
+  /// Replaces the live-byte reading with a fresh sample of externally
+  /// owned state (e.g. a tool's shadowBytes()), updating the peak. Used
+  /// by the governor's periodic probes, where state is resampled whole
+  /// rather than charged allocation by allocation.
+  void sampleLive(uint64_t Bytes) {
+    Live = Bytes;
+    if (Live > Peak)
+      Peak = Live;
+  }
+
+  /// Sets the byte budget; 0 (the default) means unlimited.
+  void setBudget(uint64_t Bytes) { Budget = Bytes; }
+
+  /// Returns the configured budget (0 = unlimited).
+  uint64_t budgetBytes() const { return Budget; }
+
+  /// True when live bytes exceed a nonzero budget.
+  bool overBudget() const { return Budget != 0 && Live > Budget; }
+
   /// Returns bytes currently charged.
   uint64_t liveBytes() const { return Live; }
 
@@ -45,13 +68,15 @@ public:
   /// Returns the cumulative bytes ever charged (ignores releases).
   uint64_t totalBytes() const { return Total; }
 
-  /// Resets all counters to zero.
+  /// Resets all counters to zero (the budget is configuration, not a
+  /// counter, and survives).
   void reset() { Live = Peak = Total = 0; }
 
 private:
   uint64_t Live = 0;
   uint64_t Peak = 0;
   uint64_t Total = 0;
+  uint64_t Budget = 0;
 };
 
 /// Returns the process-wide tracker used when no per-tool tracker is bound.

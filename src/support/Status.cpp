@@ -1,0 +1,60 @@
+#include "support/Status.h"
+
+using namespace ft;
+
+const char *ft::statusCodeName(StatusCode Code) {
+  switch (Code) {
+  case StatusCode::Ok:
+    return "ok";
+  case StatusCode::IoError:
+    return "io-error";
+  case StatusCode::ParseError:
+    return "parse-error";
+  case StatusCode::ValidationError:
+    return "validation-error";
+  case StatusCode::CheckpointError:
+    return "checkpoint-error";
+  case StatusCode::ResourceExhausted:
+    return "resource-exhausted";
+  case StatusCode::Stalled:
+    return "stalled";
+  case StatusCode::Cancelled:
+    return "cancelled";
+  }
+  return "unknown";
+}
+
+const char *ft::severityName(Severity Sev) {
+  switch (Sev) {
+  case Severity::Note:
+    return "note";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Error:
+    return "error";
+  case Severity::Fatal:
+    return "fatal";
+  }
+  return "unknown";
+}
+
+std::string ft::toString(const Diagnostic &D) {
+  std::string Out = severityName(D.Sev);
+  Out += ": ";
+  if (D.Line != 0) {
+    Out += "line " + std::to_string(D.Line) + ": ";
+  } else if (D.OpIndex != NoOpIndex) {
+    Out += "op " + std::to_string(D.OpIndex) + ": ";
+  }
+  Out += D.Message;
+  Out += " [";
+  Out += statusCodeName(D.Code);
+  Out += ']';
+  return Out;
+}
+
+std::string Status::toString() const {
+  if (ok())
+    return "ok";
+  return std::string(statusCodeName(Code)) + ": " + Msg;
+}

@@ -1,0 +1,115 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured error model shared by the ingestion and replay layers.
+///
+/// A production trace service cannot afford `bool + std::string` error
+/// plumbing: callers need to distinguish an unreadable file from a
+/// malformed record from an exhausted resource budget, attach diagnostics
+/// to the exact input line or trace operation, and keep going when a
+/// problem is recoverable. Two types carry that information everywhere:
+///
+///   - \ref Status — the outcome of a whole operation (one code + message);
+///   - \ref Diagnostic — one problem, anchored to a line or op index, with
+///     a severity that says whether the pipeline recovered from it.
+///
+/// TraceIO's salvage parser, the trace validator, the checkpointed replay
+/// driver, and the resource governor all report through these types.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_SUPPORT_STATUS_H
+#define FASTTRACK_SUPPORT_STATUS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace ft {
+
+/// What went wrong, machine-checkably. Ok is the unique success code.
+enum class StatusCode : uint8_t {
+  Ok,
+  IoError,           ///< File missing/unreadable/short write.
+  ParseError,        ///< Malformed trace text (or error budget exhausted).
+  ValidationError,   ///< Feasibility violation (Section 2.1 constraints).
+  CheckpointError,   ///< Corrupt/incompatible checkpoint image.
+  ResourceExhausted, ///< A configured memory/time budget was exceeded.
+  Stalled,           ///< A watchdog detected no forward progress.
+  Cancelled,         ///< The run was interrupted before completion.
+};
+
+/// Stable lowercase name, e.g. "parse-error".
+const char *statusCodeName(StatusCode Code);
+
+/// How bad one diagnostic is. Anything at or below Warning means the
+/// pipeline recovered and the result is usable (possibly degraded).
+enum class Severity : uint8_t {
+  Note,    ///< Informational (e.g. "resumed from checkpoint at op 5000").
+  Warning, ///< Recovered: record skipped, granularity degraded, fallback.
+  Error,   ///< The operation failed; the result is incomplete.
+  Fatal,   ///< The operation aborted outright.
+};
+
+/// Stable lowercase name, e.g. "warning".
+const char *severityName(Severity Sev);
+
+/// Sentinel for Diagnostic::OpIndex when the diagnostic is not anchored
+/// to a trace operation.
+inline constexpr size_t NoOpIndex = ~size_t(0);
+
+/// One structured problem report. Field layout is deliberately plain so
+/// harnesses can assert on codes and anchors instead of grepping
+/// messages.
+struct Diagnostic {
+  StatusCode Code = StatusCode::Ok;
+  Severity Sev = Severity::Error;
+  /// 1-based input line the problem was found on; 0 when not anchored to
+  /// a source line (e.g. validator and replay diagnostics).
+  unsigned Line = 0;
+  /// Index of the trace operation involved; NoOpIndex when none.
+  size_t OpIndex = NoOpIndex;
+  std::string Message;
+};
+
+/// Renders like "warning: line 12: bad thread id 'x' [parse-error]".
+std::string toString(const Diagnostic &D);
+
+/// The outcome of a whole operation: a code plus a human-readable
+/// message. Cheap to copy when Ok (empty message).
+class Status {
+public:
+  /// Default-constructed status is success.
+  Status() = default;
+
+  static Status okStatus() { return Status(); }
+
+  static Status error(StatusCode Code, std::string Message) {
+    Status S;
+    S.Code = Code;
+    S.Msg = std::move(Message);
+    return S;
+  }
+
+  bool ok() const { return Code == StatusCode::Ok; }
+  explicit operator bool() const { return ok(); }
+
+  StatusCode code() const { return Code; }
+  const std::string &message() const { return Msg; }
+
+  /// Renders like "parse-error: line 3: expected 2 operand(s)" (or "ok").
+  std::string toString() const;
+
+private:
+  StatusCode Code = StatusCode::Ok;
+  std::string Msg;
+};
+
+} // namespace ft
+
+#endif // FASTTRACK_SUPPORT_STATUS_H

@@ -16,8 +16,10 @@
 #ifndef FASTTRACK_TRACE_REENTRANCYFILTER_H
 #define FASTTRACK_TRACE_REENTRANCYFILTER_H
 
+#include "support/ByteStream.h"
 #include "trace/Ids.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <vector>
 
@@ -61,6 +63,47 @@ public:
       return true;
     }
     return false;
+  }
+
+  /// Checkpoint support: the filter's nesting depths are replay-cursor
+  /// state — resuming a trace mid-stream must dispatch exactly the lock
+  /// events the uninterrupted run would have. Sparse depths are written
+  /// in sorted key order so images are deterministic.
+  void snapshot(ByteWriter &Writer) const {
+    Writer.u32(Locks);
+    Writer.u64(Dense.size());
+    for (unsigned D : Dense)
+      Writer.u32(D);
+    std::vector<std::pair<uint64_t, unsigned>> Sorted(Depth.begin(),
+                                                      Depth.end());
+    std::sort(Sorted.begin(), Sorted.end());
+    Writer.u64(Sorted.size());
+    for (const auto &[Key, D] : Sorted) {
+      Writer.u64(Key);
+      Writer.u32(D);
+    }
+  }
+
+  /// Restores what snapshot() wrote. \returns false on a malformed image.
+  bool restore(ByteReader &Reader) {
+    Locks = Reader.u32();
+    uint64_t DenseSize = Reader.u64();
+    // Divide rather than multiply: a hostile length must not wrap around
+    // and slip past the bound into a huge allocation.
+    if (Reader.failed() || DenseSize > Reader.remaining() / 4)
+      return false;
+    Dense.assign(DenseSize, 0);
+    for (unsigned &D : Dense)
+      D = Reader.u32();
+    Depth.clear();
+    uint64_t SparseSize = Reader.u64();
+    if (Reader.failed() || SparseSize > Reader.remaining() / 12)
+      return false;
+    for (uint64_t I = 0; I != SparseSize; ++I) {
+      uint64_t Key = Reader.u64();
+      Depth[Key] = Reader.u32();
+    }
+    return !Reader.failed();
   }
 
 private:

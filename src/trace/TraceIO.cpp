@@ -1,5 +1,6 @@
 #include "trace/TraceIO.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <optional>
 
@@ -30,49 +31,6 @@ std::string ft::serializeTrace(const Trace &T) {
 
 namespace {
 
-/// Splits \p Text into lines and tokens without allocation-heavy streams.
-class LineLexer {
-public:
-  explicit LineLexer(std::string_view Text) : Rest(Text) {}
-
-  /// Fetches the next non-empty, non-comment line; returns false at EOF.
-  bool nextLine(std::vector<std::string_view> &Tokens, unsigned &LineNo) {
-    while (!Rest.empty()) {
-      ++Line;
-      size_t Eol = Rest.find('\n');
-      std::string_view Raw =
-          Eol == std::string_view::npos ? Rest : Rest.substr(0, Eol);
-      Rest = Eol == std::string_view::npos ? std::string_view()
-                                           : Rest.substr(Eol + 1);
-      size_t Hash = Raw.find('#');
-      if (Hash != std::string_view::npos)
-        Raw = Raw.substr(0, Hash);
-      Tokens.clear();
-      size_t Pos = 0;
-      while (Pos < Raw.size()) {
-        while (Pos < Raw.size() && (Raw[Pos] == ' ' || Raw[Pos] == '\t' ||
-                                    Raw[Pos] == '\r'))
-          ++Pos;
-        size_t Start = Pos;
-        while (Pos < Raw.size() && Raw[Pos] != ' ' && Raw[Pos] != '\t' &&
-               Raw[Pos] != '\r')
-          ++Pos;
-        if (Pos > Start)
-          Tokens.push_back(Raw.substr(Start, Pos - Start));
-      }
-      if (!Tokens.empty()) {
-        LineNo = Line;
-        return true;
-      }
-    }
-    return false;
-  }
-
-private:
-  std::string_view Rest;
-  unsigned Line = 0;
-};
-
 std::optional<uint32_t> parseU32(std::string_view Tok) {
   if (Tok.empty() || Tok.size() > 10)
     return std::nullopt;
@@ -102,88 +60,257 @@ std::optional<OpKind> kindFromName(std::string_view Name) {
   return std::nullopt;
 }
 
-} // namespace
+/// One record at a time: tokenizes each line, appends well-formed records
+/// to the trace, and routes malformed ones through the strict/salvage
+/// policy. Shared by the in-memory parser and the streaming file loader,
+/// so both enforce identical record grammar and diagnostics.
+class LineParser {
+public:
+  LineParser(Trace &Out, const ParseOptions &Options, ParseReport &Report)
+      : Out(Out), Options(Options), Report(Report) {}
 
-bool ft::parseTrace(std::string_view Text, Trace &Out, std::string &Error) {
-  Out.clear();
-  LineLexer Lexer(Text);
-  std::vector<std::string_view> Tokens;
-  unsigned LineNo = 0;
-  auto fail = [&](const std::string &Message) {
-    Error = "line " + std::to_string(LineNo) + ": " + Message;
-    return false;
-  };
+  /// Parses one raw input line (comments and blanks allowed). \p MaybeTruncated
+  /// marks a final line with no trailing newline, where a malformed
+  /// record usually means the file was cut off mid-write.
+  void consumeLine(std::string_view Raw, unsigned LineNo,
+                   bool MaybeTruncated = false) {
+    if (Aborted)
+      return;
+    size_t Hash = Raw.find('#');
+    if (Hash != std::string_view::npos)
+      Raw = Raw.substr(0, Hash);
+    tokenize(Raw);
+    if (Tokens.empty())
+      return;
+    std::string Err;
+    if (parseRecord(Err)) {
+      ++Report.Records;
+      return;
+    }
+    if (MaybeTruncated)
+      Err += " (truncated final record?)";
+    recordError(LineNo, std::move(Err));
+  }
 
-  while (Lexer.nextLine(Tokens, LineNo)) {
+  /// Emits the salvage summary note. Call once after the last line.
+  void finish() {
+    if (Options.Salvage && Report.Skipped != 0 && !Aborted)
+      Report.Diags.push_back(
+          {StatusCode::ParseError, Severity::Note, 0, NoOpIndex,
+           "salvage: skipped " + std::to_string(Report.Skipped) +
+               " malformed record(s), kept " +
+               std::to_string(Report.Records)});
+  }
+
+  /// True once the parse failed hard; remaining input is not consumed.
+  bool aborted() const { return Aborted; }
+
+private:
+  void tokenize(std::string_view Raw) {
+    Tokens.clear();
+    size_t Pos = 0;
+    while (Pos < Raw.size()) {
+      while (Pos < Raw.size() &&
+             (Raw[Pos] == ' ' || Raw[Pos] == '\t' || Raw[Pos] == '\r'))
+        ++Pos;
+      size_t Start = Pos;
+      while (Pos < Raw.size() && Raw[Pos] != ' ' && Raw[Pos] != '\t' &&
+             Raw[Pos] != '\r')
+        ++Pos;
+      if (Pos > Start)
+        Tokens.push_back(Raw.substr(Start, Pos - Start));
+    }
+  }
+
+  /// Parses an id token, enforcing the MaxId bound (ids that large would
+  /// collide with the NoTarget sentinel or wrap entity counts).
+  std::optional<uint32_t> parseId(std::string_view Tok, const char *What,
+                                  std::string &Err) {
+    auto Value = parseU32(Tok);
+    if (!Value) {
+      Err = std::string("bad ") + What + " '" + std::string(Tok) + "'";
+      return std::nullopt;
+    }
+    if (*Value >= Options.MaxId) {
+      Err = std::string(What) + " " + std::string(Tok) +
+            " out of range (ids must be < " + std::to_string(Options.MaxId) +
+            ")";
+      return std::nullopt;
+    }
+    return Value;
+  }
+
+  bool parseRecord(std::string &Err) {
     auto Kind = kindFromName(Tokens[0]);
-    if (!Kind)
-      return fail("unknown operation '" + std::string(Tokens[0]) + "'");
-
-    if (*Kind == OpKind::Barrier) {
-      if (Tokens.size() < 2)
-        return fail("barrier needs at least one thread id");
-      std::vector<ThreadId> Set;
-      for (size_t I = 1; I != Tokens.size(); ++I) {
-        auto Tid = parseU32(Tokens[I]);
-        if (!Tid)
-          return fail("bad thread id '" + std::string(Tokens[I]) + "'");
-        Set.push_back(*Tid);
-      }
-      Out.appendBarrier(Set);
-      continue;
+    if (!Kind) {
+      Err = "unknown operation '" + std::string(Tokens[0]) + "'";
+      return false;
     }
 
-    bool HasTarget =
-        *Kind != OpKind::AtomicBegin && *Kind != OpKind::AtomicEnd;
-    size_t Expected = HasTarget ? 3 : 2;
-    if (Tokens.size() != Expected)
-      return fail("expected " + std::to_string(Expected - 1) +
-                  " operand(s) for '" + std::string(Tokens[0]) + "'");
+    if (*Kind == OpKind::Barrier) {
+      if (Tokens.size() < 2) {
+        Err = "barrier needs at least one thread id";
+        return false;
+      }
+      BarrierSet.clear();
+      for (size_t I = 1; I != Tokens.size(); ++I) {
+        auto Tid = parseId(Tokens[I], "thread id", Err);
+        if (!Tid)
+          return false;
+        if (std::find(BarrierSet.begin(), BarrierSet.end(), *Tid) !=
+            BarrierSet.end()) {
+          Err = "duplicate thread id " + std::string(Tokens[I]) +
+                " in barrier";
+          return false;
+        }
+        BarrierSet.push_back(*Tid);
+      }
+      Out.appendBarrier(BarrierSet);
+      return true;
+    }
 
-    auto Tid = parseU32(Tokens[1]);
+    bool HasTarget = *Kind != OpKind::AtomicBegin && *Kind != OpKind::AtomicEnd;
+    size_t Expected = HasTarget ? 3 : 2;
+    if (Tokens.size() != Expected) {
+      Err = "expected " + std::to_string(Expected - 1) + " operand(s) for '" +
+            std::string(Tokens[0]) + "'";
+      return false;
+    }
+
+    auto Tid = parseId(Tokens[1], "thread id", Err);
     if (!Tid)
-      return fail("bad thread id '" + std::string(Tokens[1]) + "'");
+      return false;
     uint32_t Target = NoTarget;
     if (HasTarget) {
-      auto Parsed = parseU32(Tokens[2]);
+      auto Parsed = parseId(Tokens[2], "target id", Err);
       if (!Parsed)
-        return fail("bad target id '" + std::string(Tokens[2]) + "'");
+        return false;
       Target = *Parsed;
     }
     Out.append(Operation(*Kind, *Tid, Target));
+    return true;
   }
-  return true;
+
+  void recordError(unsigned LineNo, std::string Message) {
+    if (Options.Salvage) {
+      ++Report.Skipped;
+      Report.Diags.push_back({StatusCode::ParseError, Severity::Warning,
+                              LineNo, NoOpIndex, std::move(Message)});
+      if (Report.Skipped > Options.ErrorBudget) {
+        // The Diagnostic's Line field already carries the position; only the
+        // flat Status message needs it spelled out.
+        std::string Brief = "salvage error budget (" +
+                            std::to_string(Options.ErrorBudget) + ") exhausted";
+        Report.St = Status::error(StatusCode::ParseError,
+                                  Brief + " at line " + std::to_string(LineNo));
+        Report.Diags.push_back({StatusCode::ParseError, Severity::Fatal,
+                                LineNo, NoOpIndex, std::move(Brief)});
+        Aborted = true;
+      }
+      return;
+    }
+    Report.St = Status::error(StatusCode::ParseError,
+                              "line " + std::to_string(LineNo) + ": " + Message);
+    Report.Diags.push_back({StatusCode::ParseError, Severity::Error, LineNo,
+                            NoOpIndex, std::move(Message)});
+    Aborted = true;
+  }
+
+  Trace &Out;
+  const ParseOptions &Options;
+  ParseReport &Report;
+  std::vector<std::string_view> Tokens;
+  std::vector<ThreadId> BarrierSet;
+  bool Aborted = false;
+};
+
+} // namespace
+
+ParseReport ft::parseTrace(std::string_view Text, Trace &Out,
+                           const ParseOptions &Options) {
+  Out.clear();
+  ParseReport Report;
+  LineParser Parser(Out, Options, Report);
+  unsigned LineNo = 0;
+  while (!Text.empty() && !Parser.aborted()) {
+    size_t Eol = Text.find('\n');
+    bool LastAndUnterminated = Eol == std::string_view::npos;
+    std::string_view Raw =
+        LastAndUnterminated ? Text : Text.substr(0, Eol);
+    Text = LastAndUnterminated ? std::string_view() : Text.substr(Eol + 1);
+    Parser.consumeLine(Raw, ++LineNo, LastAndUnterminated);
+  }
+  Parser.finish();
+  return Report;
 }
 
-bool ft::saveTraceFile(const std::string &Path, const Trace &T,
-                       std::string &Error) {
+Status ft::saveTraceFile(const std::string &Path, const Trace &T) {
   std::FILE *File = std::fopen(Path.c_str(), "wb");
-  if (!File) {
-    Error = "cannot open '" + Path + "' for writing";
-    return false;
-  }
+  if (!File)
+    return Status::error(StatusCode::IoError,
+                         "cannot open '" + Path + "' for writing");
   std::string Text = serializeTrace(T);
   size_t Written = std::fwrite(Text.data(), 1, Text.size(), File);
   std::fclose(File);
-  if (Written != Text.size()) {
-    Error = "short write to '" + Path + "'";
-    return false;
-  }
-  return true;
+  if (Written != Text.size())
+    return Status::error(StatusCode::IoError, "short write to '" + Path + "'");
+  return Status::okStatus();
 }
 
-bool ft::loadTraceFile(const std::string &Path, Trace &Out,
-                       std::string &Error) {
+ParseReport ft::loadTraceFile(const std::string &Path, Trace &Out,
+                              const ParseOptions &Options) {
+  Out.clear();
+  ParseReport Report;
   std::FILE *File = std::fopen(Path.c_str(), "rb");
   if (!File) {
-    Error = "cannot open '" + Path + "' for reading";
-    return false;
+    Report.St = Status::error(StatusCode::IoError,
+                              "cannot open '" + Path + "' for reading");
+    Report.Diags.push_back({StatusCode::IoError, Severity::Error, 0,
+                            NoOpIndex, Report.St.message()});
+    return Report;
   }
-  std::string Text;
+
+  // Stream in fixed-size chunks; only a partial trailing line is ever
+  // carried between chunks, so peak memory stays one chunk + the trace.
+  LineParser Parser(Out, Options, Report);
+  std::string Carry;
   char Buf[1 << 16];
+  unsigned LineNo = 0;
   size_t Got;
-  while ((Got = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
-    Text.append(Buf, Got);
+  while (!Parser.aborted() &&
+         (Got = std::fread(Buf, 1, sizeof(Buf), File)) > 0) {
+    std::string_view Chunk(Buf, Got);
+    size_t Start = 0;
+    for (size_t Eol; (Eol = Chunk.find('\n', Start)) != std::string_view::npos;
+         Start = Eol + 1) {
+      std::string_view Line = Chunk.substr(Start, Eol - Start);
+      if (Carry.empty()) {
+        Parser.consumeLine(Line, ++LineNo);
+      } else {
+        Carry.append(Line);
+        Parser.consumeLine(Carry, ++LineNo);
+        Carry.clear();
+      }
+      if (Parser.aborted())
+        break;
+    }
+    if (!Parser.aborted())
+      Carry.append(Chunk.substr(Start));
+  }
+  bool ReadError = std::ferror(File) != 0;
   std::fclose(File);
-  return parseTrace(Text, Out, Error);
+
+  if (ReadError && !Parser.aborted()) {
+    Report.St = Status::error(StatusCode::IoError,
+                              "read error on '" + Path + "'");
+    Report.Diags.push_back({StatusCode::IoError, Severity::Error, 0,
+                            NoOpIndex, Report.St.message()});
+    return Report;
+  }
+  // A final line with no newline: parse it, flagging that a malformed
+  // record here usually means the file was truncated mid-write.
+  if (!Parser.aborted() && !Carry.empty())
+    Parser.consumeLine(Carry, ++LineNo, /*MaybeTruncated=*/true);
+  Parser.finish();
+  return Report;
 }

@@ -23,35 +23,83 @@
 /// \endcode
 ///
 /// The format lets examples and external fuzzers feed traces to the
-/// detectors without linking against the generators.
+/// detectors without linking against the generators — which means the
+/// parser is an ingestion boundary: inputs arrive truncated, corrupt, or
+/// adversarial. Parsing therefore reports through the structured
+/// diagnostic model (support/Status.h) and offers a *salvage mode* that
+/// skips malformed records under a configurable error budget instead of
+/// aborting at the first bad byte. File loading streams line by line, so
+/// multi-gigabyte traces never hold a second whole-file copy in memory.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef FASTTRACK_TRACE_TRACEIO_H
 #define FASTTRACK_TRACE_TRACEIO_H
 
+#include "support/Status.h"
 #include "trace/Trace.h"
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace ft {
+
+/// Upper bound (exclusive) on thread/variable/lock/volatile ids accepted
+/// by the parser. Ids at or above this are rejected: unchecked 32-bit
+/// ids would collide with the NoTarget sentinel and silently wrap the
+/// entity counts tools use to pre-size shadow state (Trace::numThreads
+/// computes max id + 1).
+inline constexpr uint32_t MaxEntityId = 1u << 24;
+
+/// Options controlling one parse.
+struct ParseOptions {
+  /// Salvage mode: skip malformed records, reporting one Warning
+  /// diagnostic each, instead of failing at the first error. The trace
+  /// that results holds every record that parsed.
+  bool Salvage = false;
+
+  /// Salvage error budget: after this many skipped records the parse
+  /// aborts with ParseError (an input that is mostly garbage is more
+  /// likely the wrong file than a damaged trace).
+  size_t ErrorBudget = 100;
+
+  /// Ids at or above this bound are rejected (see MaxEntityId).
+  uint32_t MaxId = MaxEntityId;
+};
+
+/// The outcome of one parse: an overall status plus per-line diagnostics
+/// and salvage accounting.
+struct ParseReport {
+  /// Ok, or the first/fatal failure. In salvage mode the parse is Ok as
+  /// long as the error budget held, even when records were skipped.
+  Status St;
+
+  /// Per-line diagnostics: one Warning per salvaged record, one Error
+  /// when the parse failed, Notes for salvage summaries.
+  std::vector<Diagnostic> Diags;
+
+  uint64_t Records = 0; ///< Operations appended to the output trace.
+  uint64_t Skipped = 0; ///< Malformed records skipped (salvage mode).
+
+  bool ok() const { return St.ok(); }
+};
 
 /// Renders \p T in the text format described above.
 std::string serializeTrace(const Trace &T);
 
-/// Parses the text format into \p Out.
-///
-/// \returns true on success; on failure returns false and describes the
-/// problem (with a 1-based line number) in \p Error.
-bool parseTrace(std::string_view Text, Trace &Out, std::string &Error);
+/// Parses the text format into \p Out (cleared first).
+ParseReport parseTrace(std::string_view Text, Trace &Out,
+                       const ParseOptions &Options = ParseOptions());
 
-/// Writes \p T to \p Path. \returns true on success.
-bool saveTraceFile(const std::string &Path, const Trace &T,
-                   std::string &Error);
+/// Writes \p T to \p Path.
+Status saveTraceFile(const std::string &Path, const Trace &T);
 
-/// Reads a trace from \p Path into \p Out. \returns true on success.
-bool loadTraceFile(const std::string &Path, Trace &Out, std::string &Error);
+/// Reads a trace from \p Path into \p Out, streaming the file line by
+/// line (peak memory is one I/O chunk plus the trace itself, never a
+/// second whole-file string).
+ParseReport loadTraceFile(const std::string &Path, Trace &Out,
+                          const ParseOptions &Options = ParseOptions());
 
 } // namespace ft
 

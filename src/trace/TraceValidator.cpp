@@ -16,7 +16,7 @@ enum class ThreadPhase : uint8_t {
 struct ValidatorState {
   const Trace &T;
   const TraceValidatorOptions &Options;
-  std::vector<TraceViolation> Violations;
+  std::vector<Diagnostic> Violations;
 
   /// Lock -> (holder thread, nesting depth); absent means free.
   std::map<LockId, std::pair<ThreadId, unsigned>> LockHolder;
@@ -39,7 +39,8 @@ struct ValidatorState {
   }
 
   void report(size_t Index, std::string Message) {
-    Violations.push_back({Index, std::move(Message)});
+    Violations.push_back({StatusCode::ValidationError, Severity::Error,
+                          /*Line=*/0, Index, std::move(Message)});
   }
 
   /// Checks that \p U may perform an operation at position \p Index.
@@ -165,7 +166,7 @@ void ValidatorState::run() {
 
 } // namespace
 
-std::vector<TraceViolation>
+std::vector<Diagnostic>
 ft::validateTrace(const Trace &T, const TraceValidatorOptions &Options) {
   ValidatorState State(T, Options);
   State.run();

@@ -16,6 +16,7 @@
 #ifndef FASTTRACK_TRACE_TRACEVALIDATOR_H
 #define FASTTRACK_TRACE_TRACEVALIDATOR_H
 
+#include "support/Status.h"
 #include "trace/Trace.h"
 
 #include <string>
@@ -23,12 +24,11 @@
 
 namespace ft {
 
-/// One feasibility violation: the index of the offending operation plus a
-/// human-readable message.
-struct TraceViolation {
-  size_t OpIndex;
-  std::string Message;
-};
+/// Feasibility violations are reported through the structured diagnostic
+/// model (support/Status.h): Code = ValidationError, Sev = Error, and
+/// OpIndex anchors the offending operation (T.size() for end-of-trace
+/// violations like an unclosed atomic block).
+using TraceViolation = Diagnostic;
 
 /// Options controlling which constraints TraceValidator enforces.
 struct TraceValidatorOptions {
@@ -52,7 +52,7 @@ struct TraceValidatorOptions {
 ///  (4) at least one operation of u occurs between fork(t,u) and join(v,u).
 /// Plus: fork/join sanity (no self-fork, no double fork, join only of
 /// forked threads) and barrier sets containing only live threads.
-std::vector<TraceViolation>
+std::vector<Diagnostic>
 validateTrace(const Trace &T,
               const TraceValidatorOptions &Options = TraceValidatorOptions());
 

@@ -1,0 +1,421 @@
+//===--- FaultInjectionTest.cpp - kill, corrupt, starve, stall ------------===//
+//
+// Deterministic fault injection for the fault-tolerant replay pipeline:
+//   - checkpoint/resume under injected kills, corrupt images, and
+//     mismatched traces (framework/Checkpoint.h) — resumed runs must be
+//     bit-identical to uninterrupted ones, invalid images must only ever
+//     cost time;
+//   - shadow-memory budgets and the degradation ladder
+//     (framework/ResourceGovernor.h) — a starved replay completes at
+//     coarser granularity with a warning instead of dying;
+//   - stalled parallel-replay workers (framework/ParallelReplay.h) — the
+//     watchdog cancels the sharded attempt and the serial fallback
+//     produces the same warnings.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FastTrack.h"
+#include "framework/Checkpoint.h"
+#include "framework/ParallelReplay.h"
+#include "framework/ResourceGovernor.h"
+#include "support/ByteStream.h"
+#include "support/MemoryTracker.h"
+#include "trace/RandomTrace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+using namespace ft;
+
+namespace {
+
+/// A chaotic trace with enough events for several checkpoint intervals
+/// and enough races for the warning comparisons to have teeth.
+Trace makeRacyTrace(uint64_t Seed, unsigned OpsPerThread = 400) {
+  RandomTraceConfig Config;
+  Config.Seed = Seed;
+  Config.NumThreads = 4;
+  Config.NumVars = 64;
+  Config.OpsPerThread = OpsPerThread;
+  Config.ChaosProbability = 0.15;
+  return generateRandomTrace(Config);
+}
+
+void expectSameWarnings(const std::vector<RaceWarning> &Expected,
+                        const std::vector<RaceWarning> &Actual,
+                        const char *Where) {
+  ASSERT_EQ(Expected.size(), Actual.size()) << Where;
+  for (size_t I = 0; I != Expected.size(); ++I) {
+    EXPECT_EQ(Expected[I].Var, Actual[I].Var) << Where << " #" << I;
+    EXPECT_EQ(Expected[I].OpIndex, Actual[I].OpIndex) << Where << " #" << I;
+    EXPECT_EQ(Expected[I].CurrentThread, Actual[I].CurrentThread)
+        << Where << " #" << I;
+    EXPECT_EQ(Expected[I].PriorThread, Actual[I].PriorThread)
+        << Where << " #" << I;
+    EXPECT_EQ(Expected[I].Detail, Actual[I].Detail) << Where << " #" << I;
+  }
+}
+
+void expectSameRuleStats(const FastTrackRuleStats &A,
+                         const FastTrackRuleStats &B, const char *Where) {
+  EXPECT_EQ(A.ReadSameEpoch, B.ReadSameEpoch) << Where;
+  EXPECT_EQ(A.ReadShared, B.ReadShared) << Where;
+  EXPECT_EQ(A.ReadExclusive, B.ReadExclusive) << Where;
+  EXPECT_EQ(A.ReadShare, B.ReadShare) << Where;
+  EXPECT_EQ(A.WriteSameEpoch, B.WriteSameEpoch) << Where;
+  EXPECT_EQ(A.WriteExclusive, B.WriteExclusive) << Where;
+  EXPECT_EQ(A.WriteShared, B.WriteShared) << Where;
+}
+
+/// The strongest equality check available: the full serialized analysis
+/// state σ = (C, L, R, W) plus rule counters, byte for byte.
+std::string shadowImage(const FastTrack &Tool) {
+  ByteWriter Writer;
+  Tool.snapshotShadow(Writer);
+  return std::string(Writer.bytes());
+}
+
+bool fileExists(const std::string &Path) {
+  if (std::FILE *File = std::fopen(Path.c_str(), "rb")) {
+    std::fclose(File);
+    return true;
+  }
+  return false;
+}
+
+bool hasDiag(const std::vector<Diagnostic> &Diags, StatusCode Code) {
+  for (const Diagnostic &D : Diags)
+    if (D.Code == Code)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(Checkpoint, NoFileMatchesPlainReplay) {
+  // With checkpointing disabled the driver must mirror replay() exactly.
+  Trace T = makeRacyTrace(11);
+  FastTrack Plain, Checkpointed;
+  ReplayResult Reference = replay(T, Plain);
+  CheckpointedReplayResult Result = replayCheckpointed(T, Checkpointed);
+  EXPECT_TRUE(Result.St.ok());
+  EXPECT_FALSE(Result.Resumed);
+  EXPECT_EQ(Result.CheckpointsWritten, 0u);
+  EXPECT_EQ(Result.Result.Events, Reference.Events);
+  EXPECT_EQ(Result.Result.AccessesPassed, Reference.AccessesPassed);
+  expectSameWarnings(Plain.warnings(), Checkpointed.warnings(), "no-file");
+  expectSameRuleStats(Plain.ruleStats(), Checkpointed.ruleStats(), "no-file");
+  EXPECT_EQ(shadowImage(Plain), shadowImage(Checkpointed));
+}
+
+TEST(Checkpoint, KillAndResumeIsBitIdentical) {
+  Trace T = makeRacyTrace(12);
+  FastTrack Reference;
+  ReplayResult Uninterrupted = replay(T, Reference);
+
+  const std::string Path = "fault_kill_resume.ckpt";
+  std::remove(Path.c_str());
+  CheckpointOptions Ck;
+  Ck.Path = Path;
+  Ck.EveryOps = 64;
+
+  // Run 1: killed mid-trace. No end() hook fires, no state is flushed —
+  // only the periodically renamed-into-place checkpoints survive.
+  CheckpointOptions Crash = Ck;
+  Crash.InjectCrashAfterOps = 500;
+  FastTrack Victim;
+  CheckpointedReplayResult Killed = replayCheckpointed(T, Victim, {}, Crash);
+  EXPECT_EQ(Killed.St.code(), StatusCode::Cancelled);
+  EXPECT_GT(Killed.CheckpointsWritten, 0u);
+  EXPECT_LT(Killed.Result.StoppedAtOp, T.size());
+  ASSERT_TRUE(fileExists(Path));
+
+  // Run 2: a fresh process (fresh tool) resumes and finishes.
+  FastTrack Survivor;
+  CheckpointedReplayResult Resumed = replayCheckpointed(T, Survivor, {}, Ck);
+  EXPECT_TRUE(Resumed.St.ok());
+  EXPECT_TRUE(Resumed.Resumed);
+  EXPECT_GT(Resumed.ResumedAtOp, 0u);
+  EXPECT_EQ(Resumed.ResumedAtOp % Ck.EveryOps, 0u);
+
+  EXPECT_EQ(Resumed.Result.Events, Uninterrupted.Events);
+  EXPECT_EQ(Resumed.Result.AccessesPassed, Uninterrupted.AccessesPassed);
+  expectSameWarnings(Reference.warnings(), Survivor.warnings(), "resume");
+  expectSameRuleStats(Reference.ruleStats(), Survivor.ruleStats(), "resume");
+  EXPECT_EQ(shadowImage(Reference), shadowImage(Survivor));
+
+  // A completed run cleans up its checkpoint.
+  EXPECT_FALSE(fileExists(Path));
+}
+
+TEST(Checkpoint, RepeatedKillsEventuallyComplete) {
+  // A run that dies every 300 ops still finishes: each attempt resumes
+  // from the last checkpoint and makes >= (300 - 64) ops of progress.
+  Trace T = makeRacyTrace(13, /*OpsPerThread=*/500);
+  FastTrack Reference;
+  replay(T, Reference);
+
+  const std::string Path = "fault_repeated_kills.ckpt";
+  std::remove(Path.c_str());
+  CheckpointOptions Ck;
+  Ck.Path = Path;
+  Ck.EveryOps = 64;
+  Ck.InjectCrashAfterOps = 300;
+
+  int Attempts = 0;
+  FastTrack Final;
+  for (; Attempts != 60; ++Attempts) {
+    FastTrack Tool;
+    CheckpointedReplayResult Result = replayCheckpointed(T, Tool, {}, Ck);
+    if (Result.St.ok()) {
+      expectSameWarnings(Reference.warnings(), Tool.warnings(), "repeated");
+      expectSameRuleStats(Reference.ruleStats(), Tool.ruleStats(),
+                          "repeated");
+      EXPECT_EQ(shadowImage(Reference), shadowImage(Tool));
+      break;
+    }
+    EXPECT_EQ(Result.St.code(), StatusCode::Cancelled);
+  }
+  EXPECT_GT(Attempts, 1);
+  EXPECT_LT(Attempts, 60);
+}
+
+TEST(Checkpoint, CorruptImageIsIgnoredWithDiagnostic) {
+  Trace T = makeRacyTrace(14);
+  FastTrack Reference;
+  replay(T, Reference);
+
+  const std::string Path = "fault_corrupt.ckpt";
+  std::remove(Path.c_str());
+  CheckpointOptions Ck;
+  Ck.Path = Path;
+  Ck.EveryOps = 64;
+
+  CheckpointOptions Crash = Ck;
+  Crash.InjectCrashAfterOps = 400;
+  FastTrack Victim;
+  replayCheckpointed(T, Victim, {}, Crash);
+  ASSERT_TRUE(fileExists(Path));
+
+  // Flip one byte mid-image; the trailing checksum must catch it.
+  {
+    std::FILE *File = std::fopen(Path.c_str(), "rb+");
+    ASSERT_NE(File, nullptr);
+    std::fseek(File, 100, SEEK_SET);
+    int C = std::fgetc(File);
+    std::fseek(File, 100, SEEK_SET);
+    std::fputc(C ^ 0x40, File);
+    std::fclose(File);
+  }
+
+  FastTrack Tool;
+  CheckpointedReplayResult Result = replayCheckpointed(T, Tool, {}, Ck);
+  EXPECT_TRUE(Result.St.ok());
+  EXPECT_FALSE(Result.Resumed);
+  EXPECT_TRUE(hasDiag(Result.Diags, StatusCode::CheckpointError));
+  expectSameWarnings(Reference.warnings(), Tool.warnings(), "corrupt");
+  EXPECT_EQ(shadowImage(Reference), shadowImage(Tool));
+}
+
+TEST(Checkpoint, WrongTraceIsRejectedByFingerprint) {
+  Trace A = makeRacyTrace(15);
+  Trace B = makeRacyTrace(16);
+  FastTrack ReferenceB;
+  replay(B, ReferenceB);
+
+  const std::string Path = "fault_wrong_trace.ckpt";
+  std::remove(Path.c_str());
+  CheckpointOptions Ck;
+  Ck.Path = Path;
+  Ck.EveryOps = 64;
+
+  CheckpointOptions Crash = Ck;
+  Crash.InjectCrashAfterOps = 400;
+  FastTrack Victim;
+  replayCheckpointed(A, Victim, {}, Crash);
+  ASSERT_TRUE(fileExists(Path));
+
+  // Resuming trace B against A's checkpoint must start B from scratch.
+  FastTrack Tool;
+  CheckpointedReplayResult Result = replayCheckpointed(B, Tool, {}, Ck);
+  EXPECT_TRUE(Result.St.ok());
+  EXPECT_FALSE(Result.Resumed);
+  EXPECT_TRUE(hasDiag(Result.Diags, StatusCode::CheckpointError));
+  expectSameWarnings(ReferenceB.warnings(), Tool.warnings(), "wrong-trace");
+  EXPECT_EQ(shadowImage(ReferenceB), shadowImage(Tool));
+}
+
+TEST(Checkpoint, ConfigMismatchIsRejectedByFingerprint) {
+  // Same trace, different granularity: the shadow layouts are
+  // incompatible, so the fingerprint must differ.
+  Trace T = makeRacyTrace(17);
+  const std::string Path = "fault_config_mismatch.ckpt";
+  std::remove(Path.c_str());
+  CheckpointOptions Ck;
+  Ck.Path = Path;
+  Ck.EveryOps = 64;
+
+  CheckpointOptions Crash = Ck;
+  Crash.InjectCrashAfterOps = 400;
+  FastTrack Victim;
+  replayCheckpointed(T, Victim, {}, Crash);
+  ASSERT_TRUE(fileExists(Path));
+
+  ReplayOptions Coarse;
+  Coarse.Gran = Granularity::Coarse;
+  FastTrack CoarseReference;
+  replay(T, CoarseReference, Coarse);
+  FastTrack Tool;
+  CheckpointedReplayResult Result = replayCheckpointed(T, Tool, Coarse, Ck);
+  EXPECT_TRUE(Result.St.ok());
+  EXPECT_FALSE(Result.Resumed);
+  EXPECT_TRUE(hasDiag(Result.Diags, StatusCode::CheckpointError));
+  expectSameWarnings(CoarseReference.warnings(), Tool.warnings(),
+                     "config-mismatch");
+  std::remove(Path.c_str());
+}
+
+namespace {
+
+/// A tool without checkpoint support (no ShardableTool base at all).
+class PlainCounter : public Tool {
+public:
+  const char *name() const override { return "PlainCounter"; }
+  bool onRead(ThreadId, VarId, size_t) override {
+    ++Reads;
+    return true;
+  }
+  uint64_t Reads = 0;
+};
+
+} // namespace
+
+TEST(Checkpoint, NonCheckpointableToolDegradesGracefully) {
+  Trace T = makeRacyTrace(18);
+  const std::string Path = "fault_unsupported.ckpt";
+  std::remove(Path.c_str());
+  CheckpointOptions Ck;
+  Ck.Path = Path;
+  Ck.EveryOps = 64;
+
+  PlainCounter Tool;
+  CheckpointedReplayResult Result = replayCheckpointed(T, Tool, {}, Ck);
+  EXPECT_TRUE(Result.St.ok());
+  EXPECT_TRUE(hasDiag(Result.Diags, StatusCode::CheckpointError));
+  EXPECT_EQ(Result.CheckpointsWritten, 0u);
+  EXPECT_FALSE(fileExists(Path));
+  EXPECT_GT(Tool.Reads, 0u); // the replay itself still ran
+}
+
+TEST(Governor, BudgetBreachDegradesAndCompletes) {
+  // Starve a fine-granularity replay: the governor must walk the ladder
+  // and finish at coarse granularity with warnings, never die.
+  Trace T = makeRacyTrace(19);
+  FastTrack Tool;
+  GovernorOptions Gov;
+  Gov.ShadowBudgetBytes = 2048; // far below fine-granularity needs
+  Gov.BudgetCheckEveryOps = 16;
+  MemoryTracker Tracker;
+  Gov.Tracker = &Tracker;
+
+  GovernedReplayResult Result = replayGoverned(T, Tool, {}, Gov);
+  EXPECT_TRUE(Result.St.ok());
+  EXPECT_GE(Result.Degradations, 1u);
+  EXPECT_EQ(Result.FinalGran, Granularity::Coarse);
+  EXPECT_FALSE(Result.Result.BudgetExceeded);
+  EXPECT_EQ(Result.Result.StoppedAtOp, T.size());
+  EXPECT_TRUE(hasDiag(Result.Diags, StatusCode::ResourceExhausted));
+  EXPECT_GT(Tracker.peakBytes(), 0u);
+
+  // The completed attempt equals a from-scratch run at that granularity.
+  ReplayOptions Coarse;
+  Coarse.Gran = Granularity::Coarse;
+  Coarse.DefaultFieldsPerObject = Result.FinalFieldsPerObject;
+  FastTrack Reference;
+  replay(T, Reference, Coarse);
+  expectSameWarnings(Reference.warnings(), Tool.warnings(), "degraded");
+  expectSameRuleStats(Reference.ruleStats(), Tool.ruleStats(), "degraded");
+}
+
+TEST(Governor, UnlimitedBudgetNeverDegrades) {
+  Trace T = makeRacyTrace(20);
+  FastTrack Governed, Plain;
+  GovernedReplayResult Result = replayGoverned(T, Governed);
+  replay(T, Plain);
+  EXPECT_EQ(Result.Degradations, 0u);
+  EXPECT_EQ(Result.FinalGran, Granularity::Fine);
+  EXPECT_TRUE(Result.Diags.empty());
+  expectSameWarnings(Plain.warnings(), Governed.warnings(), "unlimited");
+}
+
+TEST(Governor, AmpleBudgetStaysFine) {
+  Trace T = makeRacyTrace(21);
+  FastTrack Tool;
+  GovernorOptions Gov;
+  Gov.ShadowBudgetBytes = 1ull << 30;
+  GovernedReplayResult Result = replayGoverned(T, Tool, {}, Gov);
+  EXPECT_EQ(Result.Degradations, 0u);
+  EXPECT_EQ(Result.FinalGran, Granularity::Fine);
+}
+
+TEST(Replay, BudgetStopsEarlyAtProbeBoundary) {
+  Trace T = makeRacyTrace(22);
+  FastTrack Tool;
+  ReplayOptions Options;
+  Options.ShadowBudgetBytes = 1; // impossible: first probe breaches
+  Options.BudgetCheckEveryOps = 8;
+  ReplayResult Result = replay(T, Tool, Options);
+  EXPECT_TRUE(Result.BudgetExceeded);
+  EXPECT_LT(Result.StoppedAtOp, T.size());
+  EXPECT_EQ(Result.StoppedAtOp % 8, 0u);
+}
+
+TEST(Replay, BudgetTrackerObservesPeakWithoutBudget) {
+  Trace T = makeRacyTrace(23);
+  FastTrack Tool;
+  MemoryTracker Tracker;
+  ReplayOptions Options;
+  Options.BudgetTracker = &Tracker;
+  Options.BudgetCheckEveryOps = 16;
+  ReplayResult Result = replay(T, Tool, Options);
+  EXPECT_FALSE(Result.BudgetExceeded);
+  EXPECT_EQ(Result.StoppedAtOp, T.size());
+  EXPECT_GT(Tracker.peakBytes(), 0u);
+}
+
+TEST(Watchdog, StalledWorkerFallsBackToSerial) {
+  Trace T = makeRacyTrace(24);
+  FastTrack Reference;
+  replay(T, Reference);
+
+  FastTrack Tool;
+  ParallelReplayOptions Options;
+  Options.NumShards = 4;
+  Options.WatchdogTimeoutMs = 50;
+  Options.InjectStallShard = 2;
+  ParallelReplayResult Result = parallelReplay(T, Tool, Options);
+  EXPECT_TRUE(Result.WatchdogFired);
+  EXPECT_FALSE(Result.Sharded);
+  EXPECT_TRUE(hasDiag(Result.Diags, StatusCode::Stalled));
+  expectSameWarnings(Reference.warnings(), Tool.warnings(), "stall");
+  expectSameRuleStats(Reference.ruleStats(), Tool.ruleStats(), "stall");
+  EXPECT_EQ(Result.Total.NumWarnings, Reference.warnings().size());
+}
+
+TEST(Watchdog, HealthyRunStaysSharded) {
+  Trace T = makeRacyTrace(25);
+  FastTrack Reference;
+  replay(T, Reference);
+
+  FastTrack Tool;
+  ParallelReplayOptions Options;
+  Options.NumShards = 4;
+  Options.WatchdogTimeoutMs = 60000; // generous: must never fire
+  ParallelReplayResult Result = parallelReplay(T, Tool, Options);
+  EXPECT_FALSE(Result.WatchdogFired);
+  EXPECT_TRUE(Result.Sharded);
+  EXPECT_TRUE(Result.Diags.empty());
+  expectSameWarnings(Reference.warnings(), Tool.warnings(), "healthy");
+}

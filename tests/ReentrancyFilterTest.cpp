@@ -1,0 +1,126 @@
+//===--- ReentrancyFilterTest.cpp - dense/sparse paths, checkpointing -----===//
+//
+// The filter has two storage regimes — a dense array when thread × lock
+// fits under the internal DenseLimit (1 << 20) and a hash map beyond it —
+// that must behave identically, and its depths are replay-cursor state
+// serialized into checkpoints (framework/Checkpoint.h).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ByteStream.h"
+#include "trace/ReentrancyFilter.h"
+
+#include <gtest/gtest.h>
+
+using namespace ft;
+
+namespace {
+
+/// Drives the canonical nesting pattern through \p Filter and checks the
+/// outermost-only dispatch contract, whichever storage regime is active.
+void expectNestingSemantics(ReentrancyFilter Filter, ThreadId T, LockId M) {
+  EXPECT_TRUE(Filter.onAcquire(T, M));   // outermost: dispatch
+  EXPECT_FALSE(Filter.onAcquire(T, M));  // re-entrant: filtered
+  EXPECT_FALSE(Filter.onAcquire(T, M));
+  EXPECT_FALSE(Filter.onRelease(T, M));  // inner releases: filtered
+  EXPECT_FALSE(Filter.onRelease(T, M));
+  EXPECT_TRUE(Filter.onRelease(T, M));   // outermost release: dispatch
+  EXPECT_TRUE(Filter.onAcquire(T, M));   // fresh cycle dispatches again
+  EXPECT_TRUE(Filter.onRelease(T, M));
+}
+
+} // namespace
+
+TEST(ReentrancyFilter, DenseRegimeNesting) {
+  expectNestingSemantics(ReentrancyFilter(4, 4), 2, 3);
+}
+
+TEST(ReentrancyFilter, SparseRegimeNesting) {
+  // 2^11 threads × 2^10 locks = 2^21 > DenseLimit: hash-map regime, same
+  // contract, including ids far beyond any dense table.
+  expectNestingSemantics(ReentrancyFilter(1u << 11, 1u << 10), 2000, 1000);
+}
+
+TEST(ReentrancyFilter, DefaultConstructedUsesSparseRegime) {
+  expectNestingSemantics(ReentrancyFilter(), 7, 9);
+}
+
+TEST(ReentrancyFilter, DenseSparseBoundary) {
+  // Exactly DenseLimit (1024 × 1024 = 1 << 20) stays dense; one lock more
+  // tips into the sparse map. Both must behave identically — exercise the
+  // corner ids of each.
+  ReentrancyFilter AtLimit(1024, 1024);
+  expectNestingSemantics(AtLimit, 1023, 1023);
+  ReentrancyFilter PastLimit(1024, 1025);
+  expectNestingSemantics(PastLimit, 1023, 1024);
+}
+
+TEST(ReentrancyFilter, IndependentThreadsDoNotInterfere) {
+  ReentrancyFilter Filter(8, 8);
+  EXPECT_TRUE(Filter.onAcquire(0, 5));
+  // Same lock, different thread: an infeasible overlap in a real trace,
+  // but each thread's depth is tracked independently.
+  EXPECT_TRUE(Filter.onAcquire(1, 5));
+  EXPECT_FALSE(Filter.onAcquire(0, 5));
+  EXPECT_TRUE(Filter.onRelease(1, 5));
+  EXPECT_FALSE(Filter.onRelease(0, 5));
+  EXPECT_TRUE(Filter.onRelease(0, 5));
+}
+
+TEST(ReentrancyFilter, UnmatchedReleaseDispatches) {
+  // Infeasible traces dispatch the stray release and let tools cope —
+  // in both regimes.
+  ReentrancyFilter Dense(4, 4);
+  EXPECT_TRUE(Dense.onRelease(1, 1));
+  ReentrancyFilter Sparse;
+  EXPECT_TRUE(Sparse.onRelease(1, 1));
+}
+
+namespace {
+
+/// Snapshot \p Original, restore into a filter with the same geometry,
+/// and check both continue identically through a release/acquire tail.
+void expectSnapshotRoundTrip(ReentrancyFilter &Original,
+                             ReentrancyFilter Restored, ThreadId T,
+                             LockId M) {
+  ByteWriter Writer;
+  Original.snapshot(Writer);
+  ByteReader Reader{Writer.bytes()};
+  ASSERT_TRUE(Restored.restore(Reader));
+
+  EXPECT_EQ(Original.onRelease(T, M), Restored.onRelease(T, M));
+  EXPECT_EQ(Original.onRelease(T, M), Restored.onRelease(T, M));
+  EXPECT_EQ(Original.onAcquire(T, M), Restored.onAcquire(T, M));
+  EXPECT_EQ(Original.onRelease(T, M), Restored.onRelease(T, M));
+}
+
+} // namespace
+
+TEST(ReentrancyFilter, SnapshotRestoreDense) {
+  ReentrancyFilter Filter(4, 4);
+  EXPECT_TRUE(Filter.onAcquire(1, 2));
+  EXPECT_FALSE(Filter.onAcquire(1, 2)); // depth 2 at snapshot time
+  expectSnapshotRoundTrip(Filter, ReentrancyFilter(4, 4), 1, 2);
+}
+
+TEST(ReentrancyFilter, SnapshotRestoreSparse) {
+  ReentrancyFilter Filter(1u << 11, 1u << 10);
+  EXPECT_TRUE(Filter.onAcquire(1500, 900));
+  EXPECT_FALSE(Filter.onAcquire(1500, 900));
+  expectSnapshotRoundTrip(Filter, ReentrancyFilter(1u << 11, 1u << 10), 1500,
+                          900);
+}
+
+TEST(ReentrancyFilter, RestoreRejectsGarbage) {
+  // A corrupt length field must fail cleanly, not allocate gigabytes.
+  ByteWriter Writer;
+  Writer.u32(16);
+  Writer.u64(~uint64_t(0)); // absurd dense size
+  ReentrancyFilter Filter;
+  ByteReader Reader{Writer.bytes()};
+  EXPECT_FALSE(Filter.restore(Reader));
+
+  ReentrancyFilter Truncated;
+  ByteReader Empty{std::string_view("")};
+  EXPECT_FALSE(Truncated.restore(Empty));
+}

@@ -165,3 +165,85 @@ TEST(TraceValidator, ReportsMultipleViolations) {
   Trace T = TraceBuilder().rel(0, 0).rel(0, 1).take();
   EXPECT_EQ(check(T).size(), 2u);
 }
+
+TEST(TraceValidator, BarrierOfJoinedThreadRejected) {
+  // Thread 1 is joined before the barrier; barrier membership is an
+  // action, so it violates "no thread acts after being joined".
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .wr(1, 0)
+                .join(0, 1)
+                .barrier({0, 1})
+                .take();
+  auto V = check(T);
+  ASSERT_EQ(V.size(), 1u);
+  EXPECT_EQ(V[0].OpIndex, 3u);
+  EXPECT_NE(V[0].Message.find("after being joined"), std::string::npos);
+}
+
+TEST(TraceValidator, JoinByThirdThreadIsFeasible) {
+  // The joiner need not be the forker.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .fork(0, 2)
+                .wr(1, 0)
+                .wr(2, 1)
+                .join(2, 1)
+                .join(0, 2)
+                .take();
+  EXPECT_TRUE(isFeasible(T));
+}
+
+TEST(TraceValidator, JoinOfAlreadyJoinedThreadByAnotherThreadRejected) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .fork(0, 2)
+                .wr(1, 0)
+                .wr(2, 1)
+                .join(0, 1)
+                .join(2, 1) // thread 1 already joined
+                .take();
+  auto V = check(T);
+  ASSERT_EQ(V.size(), 1u);
+  EXPECT_EQ(V[0].OpIndex, 5u);
+  EXPECT_NE(V[0].Message.find("not running"), std::string::npos);
+}
+
+TEST(TraceValidator, ReforkOfJoinedThreadRejected) {
+  // The thread lifecycle is fork → act → join, once; ids are never
+  // recycled within a trace.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .wr(1, 0)
+                .join(0, 1)
+                .fork(0, 1)
+                .take();
+  auto V = check(T);
+  ASSERT_EQ(V.size(), 1u);
+  EXPECT_EQ(V[0].OpIndex, 3u);
+  EXPECT_NE(V[0].Message.find("forked twice"), std::string::npos);
+}
+
+TEST(TraceValidator, SingleThreadBarrierSatisfiesRule4) {
+  // Degenerate barrier of one thread still counts as that thread's
+  // operation between fork and join.
+  Trace T = TraceBuilder().fork(0, 1).barrier({1}).join(0, 1).take();
+  EXPECT_TRUE(isFeasible(T));
+}
+
+TEST(TraceValidator, JoinedThreadInBarrierReportsEveryViolation) {
+  // Both joined members of the barrier are reported, not just the first.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .fork(0, 2)
+                .wr(1, 0)
+                .wr(2, 1)
+                .join(0, 1)
+                .join(0, 2)
+                .barrier({1, 2})
+                .take();
+  auto V = check(T);
+  ASSERT_EQ(V.size(), 2u);
+  EXPECT_EQ(V[0].OpIndex, 6u);
+  EXPECT_EQ(V[1].OpIndex, 6u);
+}
