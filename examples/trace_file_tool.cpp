@@ -12,6 +12,8 @@
 //                                       # N workers (0 = all cores)
 //   trace_file_tool --salvage FILE.trc  # skip malformed records instead
 //                                       # of aborting on the first error
+//   trace_file_tool --stats FILE.trc    # operation mix + instrumentation
+//                                       # counters only; no detector runs
 //   trace_file_tool --checkpoint-every N [--checkpoint-file P] FILE.trc
 //                                       # checkpoint the analysis every N
 //                                       # ops; a rerun resumes from the
@@ -28,6 +30,7 @@
 #include "framework/Checkpoint.h"
 #include "framework/ParallelReplay.h"
 #include "framework/ResourceGovernor.h"
+#include "support/Format.h"
 #include "support/MemoryTracker.h"
 #include "trace/TraceBuilder.h"
 #include "trace/TraceIO.h"
@@ -47,6 +50,7 @@ namespace {
 /// (0 = one shard per hardware thread).
 int ShardsFlag = -1;
 bool SalvageFlag = false;
+bool StatsFlag = false;
 uint64_t CheckpointEvery = 0;   // 0 = checkpointing off
 std::string CheckpointFile;     // empty = derive from the trace path
 uint64_t MemBudget = 0;         // 0 = unlimited
@@ -91,6 +95,22 @@ int analyze(const std::string &Path, const std::vector<std::string> &Tools) {
                 Violations[0].Message.c_str());
   }
   std::printf("%s", computeStats(T).summary().c_str());
+
+  if (StatsFlag) {
+    // Instrumentation accounting, no detector: what would actually reach
+    // a tool after the re-entrancy filter, and who produced the events.
+    uint64_t Stripped = countReentrantLockOps(T);
+    std::printf("\nre-entrant lock ops  %s (filtered before dispatch)\n"
+                "dispatched ops       %s\n",
+                withCommas(Stripped).c_str(),
+                withCommas(T.size() - Stripped).c_str());
+    std::vector<uint64_t> PerThread = countOpsPerThread(T);
+    std::printf("events per thread   ");
+    for (size_t I = 0; I != PerThread.size(); ++I)
+      std::printf(" t%zu:%s", I, withCommas(PerThread[I]).c_str());
+    std::printf("\n");
+    return 0;
+  }
 
   for (const std::string &Name : Tools) {
     auto Detector = createTool(Name);
@@ -198,6 +218,10 @@ int main(int Argc, char **Argv) {
     }
     if (Arg == "--salvage") {
       SalvageFlag = true;
+      continue;
+    }
+    if (Arg == "--stats") {
+      StatsFlag = true;
       continue;
     }
     if (Arg == "--checkpoint-every") {

@@ -1,0 +1,153 @@
+#include "framework/OnlineDriver.h"
+
+using namespace ft;
+
+OnlineDriver::OnlineDriver(Tool &Checker, const ToolContext &Capacity,
+                           OnlineDriverOptions Options)
+    : Checker(Checker), Capacity(Capacity), Options(std::move(Options)),
+      Reentrancy(Capacity.NumThreads, Capacity.NumLocks) {
+  Checker.begin(Capacity);
+}
+
+void OnlineDriver::halt(std::string Message) {
+  Diagnostic D;
+  D.Code = StatusCode::ResourceExhausted;
+  D.Sev = Severity::Error;
+  D.OpIndex = Raw;
+  D.Message = std::move(Message);
+  Diags.push_back(std::move(D));
+  Halted = true;
+}
+
+void OnlineDriver::drainWarnings() {
+  const std::vector<RaceWarning> &Ws = Checker.warnings();
+  while (SinkCursor < Ws.size()) {
+    if (Options.WarningSink)
+      Options.WarningSink(Ws[SinkCursor]);
+    ++SinkCursor;
+  }
+}
+
+bool OnlineDriver::dispatch(const Operation &Op) {
+  if (Halted)
+    return false;
+
+  // Capacity checks before the index is consumed: a rejected operation is
+  // not part of the stream (the flight recorder must drop it too, so a
+  // halted run's capture stays replayable up to the halt point).
+  if (Op.Thread >= Capacity.NumThreads) {
+    halt("thread id " + std::to_string(Op.Thread) +
+         " exceeds declared capacity (" +
+         std::to_string(Capacity.NumThreads) + " threads)");
+    return false;
+  }
+  switch (Op.Kind) {
+  case OpKind::Read:
+  case OpKind::Write:
+    if (Op.Target >= Capacity.NumVars) {
+      halt("variable id " + std::to_string(Op.Target) +
+           " exceeds declared capacity (" + std::to_string(Capacity.NumVars) +
+           " variables)");
+      return false;
+    }
+    break;
+  case OpKind::Acquire:
+  case OpKind::Release:
+    if (Op.Target >= Capacity.NumLocks) {
+      halt("lock id " + std::to_string(Op.Target) +
+           " exceeds declared capacity (" + std::to_string(Capacity.NumLocks) +
+           " locks)");
+      return false;
+    }
+    break;
+  case OpKind::Fork:
+  case OpKind::Join:
+    if (Op.Target >= Capacity.NumThreads) {
+      halt("thread id " + std::to_string(Op.Target) +
+           " exceeds declared capacity (" +
+           std::to_string(Capacity.NumThreads) + " threads)");
+      return false;
+    }
+    break;
+  case OpKind::VolatileRead:
+  case OpKind::VolatileWrite:
+    if (Op.Target >= Capacity.NumVolatiles) {
+      halt("volatile id " + std::to_string(Op.Target) +
+           " exceeds declared capacity (" +
+           std::to_string(Capacity.NumVolatiles) + " volatiles)");
+      return false;
+    }
+    break;
+  case OpKind::Barrier:
+    // Barrier thread sets live in a Trace side table; an online stream
+    // has none. The in-process runtime never emits barriers.
+    halt("barrier operations cannot be dispatched online");
+    return false;
+  case OpKind::AtomicBegin:
+  case OpKind::AtomicEnd:
+    break;
+  }
+
+  size_t I = Raw++;
+  switch (Op.Kind) {
+  case OpKind::Read:
+    ++Dispatched;
+    AccessesPassed += Checker.onRead(Op.Thread, Op.Target, I);
+    break;
+  case OpKind::Write:
+    ++Dispatched;
+    AccessesPassed += Checker.onWrite(Op.Thread, Op.Target, I);
+    break;
+  case OpKind::Acquire:
+    if (Options.FilterReentrantLocks &&
+        !Reentrancy.onAcquire(Op.Thread, Op.Target))
+      break;
+    ++Dispatched;
+    Checker.onAcquire(Op.Thread, Op.Target, I);
+    break;
+  case OpKind::Release:
+    if (Options.FilterReentrantLocks &&
+        !Reentrancy.onRelease(Op.Thread, Op.Target))
+      break;
+    ++Dispatched;
+    Checker.onRelease(Op.Thread, Op.Target, I);
+    break;
+  case OpKind::Fork:
+    ++Dispatched;
+    Checker.onFork(Op.Thread, Op.Target, I);
+    break;
+  case OpKind::Join:
+    ++Dispatched;
+    Checker.onJoin(Op.Thread, Op.Target, I);
+    break;
+  case OpKind::VolatileRead:
+    ++Dispatched;
+    Checker.onVolatileRead(Op.Thread, Op.Target, I);
+    break;
+  case OpKind::VolatileWrite:
+    ++Dispatched;
+    Checker.onVolatileWrite(Op.Thread, Op.Target, I);
+    break;
+  case OpKind::AtomicBegin:
+    ++Dispatched;
+    Checker.onAtomicBegin(Op.Thread, I);
+    break;
+  case OpKind::AtomicEnd:
+    ++Dispatched;
+    Checker.onAtomicEnd(Op.Thread, I);
+    break;
+  case OpKind::Barrier:
+    break; // unreachable: rejected above
+  }
+
+  drainWarnings();
+  return true;
+}
+
+void OnlineDriver::finish() {
+  if (Finished)
+    return;
+  Finished = true;
+  Checker.end();
+  drainWarnings();
+}

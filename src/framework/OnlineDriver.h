@@ -1,0 +1,120 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The online dispatch entry point: the push-mode sibling of replay().
+///
+/// replay() pulls events out of an immutable Trace; an OnlineDriver is
+/// handed events one at a time, in the total order they were observed, by
+/// a producer that does not yet know how the execution ends — the
+/// in-process runtime of src/runtime, a streaming ingester, or a test.
+/// The driver applies the exact per-event semantics of the serial replay
+/// loop (re-entrant lock filtering, raw-stream op indices) so that a tool
+/// driven online reports byte-for-byte the warnings an offline replay of
+/// the same stream would: the online/offline equivalence contract the
+/// runtime's flight recorder depends on.
+///
+/// Because events arrive from a live program, entity counts cannot be
+/// known up front. The driver is constructed with a *capacity*
+/// ToolContext — the tool pre-sizes its shadow state from it exactly as
+/// it would for a trace — and every incoming operation is bounds-checked
+/// against that capacity. An over-capacity operation halts analysis with
+/// a resource-exhausted diagnostic rather than corrupting shadow state;
+/// the application is never the party that fails.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_FRAMEWORK_ONLINEDRIVER_H
+#define FASTTRACK_FRAMEWORK_ONLINEDRIVER_H
+
+#include "framework/Tool.h"
+#include "support/Status.h"
+#include "trace/ReentrancyFilter.h"
+
+#include <functional>
+#include <vector>
+
+namespace ft {
+
+/// Options controlling one online dispatch session.
+struct OnlineDriverOptions {
+  /// Strip redundant re-entrant lock acquires/releases before dispatch,
+  /// as the serial replay loop does. Keep this in sync with the replay
+  /// options used to re-check a captured stream offline.
+  bool FilterReentrantLocks = true;
+
+  /// Invoked once per new warning, immediately after the event that
+  /// raised it was dispatched — the "report races as they happen" sink.
+  /// Called from whichever thread calls dispatch(); may be empty.
+  std::function<void(const RaceWarning &)> WarningSink;
+};
+
+/// Drives one Tool from a live, totally-ordered event stream.
+///
+/// Not thread-safe: exactly one thread (the runtime's sequencer) may call
+/// dispatch()/finish(). Concurrency belongs to the producers upstream;
+/// by the time events reach the driver they are already merged.
+class OnlineDriver {
+public:
+  /// Calls Checker.begin(Capacity); the capacity bounds the entity ids
+  /// dispatch() will accept (tools index shadow state without checks).
+  OnlineDriver(Tool &Checker, const ToolContext &Capacity,
+               OnlineDriverOptions Options = OnlineDriverOptions());
+
+  /// Feeds the next operation of the merged stream. Every accepted
+  /// operation consumes one raw op index — including re-entrant lock
+  /// events the filter strips — so indices agree with an offline replay
+  /// of the captured stream. Barrier operations cannot be dispatched
+  /// online (their thread sets live in a Trace side table) and halt the
+  /// driver.
+  ///
+  /// \returns true when the operation was accepted (dispatched or
+  /// filtered); false when the driver is halted — by this operation
+  /// exceeding capacity or by an earlier halt. A rejected operation must
+  /// not be recorded by a flight recorder.
+  bool dispatch(const Operation &Op);
+
+  /// Calls Checker.end() and flushes the warning sink. Idempotent.
+  void finish();
+
+  /// True once an over-capacity or unsupported operation stopped the
+  /// analysis. The application may keep running; events are dropped.
+  bool halted() const { return Halted; }
+
+  /// Raw op indices consumed (== the length of a faithful capture).
+  uint64_t rawOps() const { return Raw; }
+
+  /// Events actually forwarded to the tool (post lock filtering).
+  uint64_t dispatched() const { return Dispatched; }
+
+  /// Accesses whose handler returned the pass flag.
+  uint64_t accessesPassed() const { return AccessesPassed; }
+
+  /// Diagnostics describing any halt, anchored to the raw op index.
+  const std::vector<Diagnostic> &diags() const { return Diags; }
+
+  const ToolContext &capacity() const { return Capacity; }
+
+private:
+  void halt(std::string Message);
+  void drainWarnings();
+
+  Tool &Checker;
+  ToolContext Capacity;
+  OnlineDriverOptions Options;
+  ReentrancyFilter Reentrancy;
+  std::vector<Diagnostic> Diags;
+  uint64_t Raw = 0;
+  uint64_t Dispatched = 0;
+  uint64_t AccessesPassed = 0;
+  size_t SinkCursor = 0;
+  bool Halted = false;
+  bool Finished = false;
+};
+
+} // namespace ft
+
+#endif // FASTTRACK_FRAMEWORK_ONLINEDRIVER_H

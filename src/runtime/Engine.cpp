@@ -1,0 +1,221 @@
+#include "runtime/Engine.h"
+
+#include "trace/TraceIO.h"
+#include "trace/TraceValidator.h"
+
+#include <cassert>
+
+using namespace ft;
+using namespace ft::runtime;
+
+namespace {
+
+/// The one live session (shims attach through Engine::current()).
+std::atomic<Engine *> CurrentEngine{nullptr};
+
+/// Session stamps start at 1 so a zero-initialized object cache never
+/// matches a real generation.
+std::atomic<uint64_t> GenerationCounter{0};
+
+ToolContext capacityContext(const OnlineOptions &Options) {
+  ToolContext Context;
+  Context.NumThreads = Options.MaxThreads;
+  Context.NumVars = Options.MaxVars;
+  Context.NumLocks = Options.MaxLocks;
+  Context.NumVolatiles = Options.MaxVolatiles;
+  return Context;
+}
+
+OnlineDriverOptions driverOptions(const OnlineOptions &Options) {
+  OnlineDriverOptions Driver;
+  Driver.FilterReentrantLocks = Options.FilterReentrantLocks;
+  Driver.WarningSink = Options.OnWarning;
+  return Driver;
+}
+
+/// Which engine/channel the calling thread is bound to. Rebinding is
+/// lazy: a thread carrying a stale binding (from a finished session)
+/// re-registers against the live engine on first emit.
+struct TlsBinding {
+  const void *E = nullptr;
+  void *Ch = nullptr;
+};
+thread_local TlsBinding Binding;
+
+} // namespace
+
+Engine *Engine::current() {
+  return CurrentEngine.load(std::memory_order_acquire);
+}
+
+Engine::Engine(Tool &Checker, OnlineOptions Opts)
+    : Checker(Checker), Options(std::move(Opts)),
+      Gen(GenerationCounter.fetch_add(1, std::memory_order_relaxed) + 1),
+      Driver(Checker, capacityContext(Options), driverOptions(Options)),
+      Capturing(Options.KeepCapture || !Options.CapturePath.empty()) {
+  // The constructing thread is the session's main thread, dense id 0.
+  ThreadId Main = Interner.allocateThreadId();
+  Binding = {this, registerThread(Main)};
+
+  assert(CurrentEngine.load(std::memory_order_relaxed) == nullptr &&
+         "one online session at a time");
+  CurrentEngine.store(this, std::memory_order_release);
+
+  SequencerThread = std::thread([this] { sequencerLoop(); });
+}
+
+Engine::~Engine() {
+  if (!Finished)
+    (void)finish();
+}
+
+Engine::Channel *Engine::registerThread(ThreadId Id) {
+  std::lock_guard<std::mutex> Guard(ChannelMu);
+  Channels.push_back(std::make_unique<Channel>(Id, Options.RingCapacity));
+  return Channels.back().get();
+}
+
+Engine::Channel *Engine::channelForCurrentThread() {
+  if (Binding.E == this)
+    return static_cast<Channel *>(Binding.Ch);
+  // A thread the runtime has not seen: auto-register so its events are
+  // analyzed rather than lost. Without a fork edge its accesses are
+  // conservatively unordered with every other thread; captures containing
+  // it fail the validator's fork-before-first-op rule (see class comment).
+  ThreadId Id = Interner.allocateThreadId();
+  Channel *Ch = registerThread(Id);
+  Binding = {this, Ch};
+  return Ch;
+}
+
+void Engine::bindCurrentThread(ThreadId Id) {
+  Binding = {this, registerThread(Id)};
+}
+
+void Engine::emit(OpKind Kind, uint32_t Target) {
+  if (Halted.load(std::memory_order_relaxed))
+    return;
+  Channel *Ch = channelForCurrentThread();
+  // Backpressure: park until the sequencer drains. The ticket is drawn
+  // only after space is certain, so the sequencer never waits on a seq
+  // number owned by a parked thread (that would deadlock the pipeline).
+  while (!Ch->Ring.hasSpace()) {
+    if (Halted.load(std::memory_order_relaxed))
+      return;
+    std::this_thread::yield();
+  }
+  OnlineEvent E;
+  E.Seq = Seq.fetch_add(1, std::memory_order_relaxed);
+  E.Kind = Kind;
+  E.Target = Target;
+  Ch->Ring.push(E);
+}
+
+ThreadId Engine::forkThread() {
+  ThreadId Child = Interner.allocateThreadId();
+  // Ticketed before the native thread starts, so fork(t, u) precedes
+  // every event of u in the merged order.
+  emit(OpKind::Fork, Child);
+  return Child;
+}
+
+void Engine::joinThread(ThreadId Child) {
+  // Ticketed after the native join returned, so every event of the child
+  // precedes join(t, u) in the merged order.
+  emit(OpKind::Join, Child);
+}
+
+void Engine::deliver(ThreadId T, const OnlineEvent &E) {
+  if (Halted.load(std::memory_order_relaxed))
+    return; // drain-and-discard once detection stopped
+  Operation Op(E.Kind, T, E.Target);
+  if (!Driver.dispatch(Op)) {
+    Halted.store(true, std::memory_order_relaxed);
+    return;
+  }
+  if (Capturing)
+    Capture.append(Op);
+}
+
+void Engine::sequencerLoop() {
+  uint64_t Next = 0;
+  std::vector<Channel *> Snapshot;
+  size_t Known = 0;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> Guard(ChannelMu);
+      if (Channels.size() != Known) {
+        Snapshot.clear();
+        for (const std::unique_ptr<Channel> &Ch : Channels)
+          Snapshot.push_back(Ch.get());
+        Known = Channels.size();
+      }
+    }
+    bool Progress = false;
+    for (Channel *Ch : Snapshot) {
+      while (const OnlineEvent *E = Ch->Ring.peek()) {
+        if (E->Seq != Next)
+          break; // this ring's head is from the future; try the others
+        deliver(Ch->Id, *E);
+        Ch->Ring.pop();
+        ++Next;
+        Progress = true;
+      }
+    }
+    if (Progress) {
+      NextSeq.store(Next, std::memory_order_release);
+      continue;
+    }
+    // No ring held ticket Next: either it is in flight (drawn but not yet
+    // published — a handful of instructions), or nothing is happening.
+    if (!Running.load(std::memory_order_acquire) &&
+        Next == Seq.load(std::memory_order_acquire))
+      break;
+    std::this_thread::yield();
+  }
+  // Vector-clock counters are thread-local (see ClockStats.h); all online
+  // VC work happened on this thread, so its block is the session's delta.
+  SequencerClocks = clockStats();
+}
+
+OnlineReport Engine::finish() {
+  assert(!Finished && "finish() is callable once");
+  Finished = true;
+
+  // Drain: every ticket handed out has been merged (or discarded after a
+  // halt). Requires all runtime Threads to be joined by the caller.
+  while (NextSeq.load(std::memory_order_acquire) <
+         Seq.load(std::memory_order_acquire))
+    std::this_thread::yield();
+  Running.store(false, std::memory_order_release);
+  SequencerThread.join();
+  Driver.finish();
+
+  Report.Seconds = Watch.seconds();
+  Report.Clocks = SequencerClocks;
+  Report.EventsCaptured = Capture.size();
+  Report.EventsDispatched = Driver.dispatched();
+  Report.NumWarnings = Checker.warnings().size();
+  Report.Halted = Driver.halted();
+  Report.Diags = Driver.diags();
+
+  if (Capturing && Options.ValidateCapture)
+    for (Diagnostic &D : validateTrace(Capture))
+      Report.Diags.push_back(std::move(D));
+  if (!Options.CapturePath.empty()) {
+    if (Status St = saveTraceFile(Options.CapturePath, Capture); !St.ok()) {
+      Diagnostic D;
+      D.Code = St.code();
+      D.Sev = Severity::Error;
+      D.Message = "flight recorder: " + St.message();
+      Report.Diags.push_back(std::move(D));
+    }
+  }
+  if (Options.KeepCapture)
+    Report.Captured = std::move(Capture);
+
+  if (Binding.E == this)
+    Binding = {};
+  CurrentEngine.store(nullptr, std::memory_order_release);
+  return std::move(Report);
+}

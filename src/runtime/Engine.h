@@ -1,0 +1,221 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The online detection engine: race-check real std::thread programs with
+/// any existing Tool, no trace file required.
+///
+/// This is the third producer column of the architecture diagram and the
+/// first one fed by real concurrency — the deployment model of the paper
+/// (RoadRunner instrumenting a live JVM), transplanted to native C++.
+/// An Engine session looks like:
+///
+/// \code
+///   FastTrack Detector;
+///   ft::runtime::OnlineOptions Options;
+///   Options.CapturePath = "run.trc";        // optional flight recorder
+///   {
+///     ft::runtime::Engine Engine(Detector, Options);
+///     // ... run code built from ft::runtime::Thread / Mutex / Shared<T>
+///     ft::runtime::OnlineReport Report = Engine.finish();
+///   }
+///   // Detector.warnings() holds the races, reported as they happened.
+/// \endcode
+///
+/// How the pieces fit (each one a paper-adjacent engineering idea):
+///
+///  - **Tickets.** Every instrumentation point draws a global sequence
+///    number (one relaxed fetch_add) at a moment when the real operation
+///    has made it safe: an acquire is ticketed while the lock is held, a
+///    release before it is given up, a fork before the child starts, a
+///    join after the child is reaped. Ticket order is therefore a legal
+///    linearization of the execution — the total order the framework's
+///    analyses are defined over.
+///  - **Rings.** Each thread publishes its ticketed events into a private
+///    bounded SPSC ring (EventRing.h). Emit is wait-free until the ring
+///    fills; a full ring parks the thread (bounded-queue backpressure),
+///    so the application can never race unboundedly ahead of the
+///    detector.
+///  - **The sequencer.** One drain thread merges the rings by ticket
+///    number into the totally-ordered stream and feeds the framework's
+///    OnlineDriver, which applies the serial replay loop's semantics
+///    (re-entrant lock filtering, raw op indices) to the unmodified Tool.
+///    Detection runs entirely off the application's critical path.
+///  - **The flight recorder.** The merged stream is optionally captured
+///    as a Trace and written as a .trc file on finish(), so any online
+///    run can be re-checked offline — against the hb/ oracle, another
+///    detector, or the same tool for the equivalence guarantee.
+///
+/// Threads created through ft::runtime::Thread get fork/join edges; any
+/// other thread that touches instrumented state is auto-registered on
+/// first emit (its events are analyzed, conservatively unordered — but a
+/// capture containing such a thread will fail TraceValidator's
+/// fork-before-first-op rule, so instrument thread creation too).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_RUNTIME_ENGINE_H
+#define FASTTRACK_RUNTIME_ENGINE_H
+
+#include "clock/ClockStats.h"
+#include "framework/OnlineDriver.h"
+#include "runtime/EventRing.h"
+#include "runtime/Interner.h"
+#include "support/Status.h"
+#include "support/Stopwatch.h"
+#include "trace/Trace.h"
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ft::runtime {
+
+/// Options for one online session.
+struct OnlineOptions {
+  /// Shadow-state capacity announced to the tool (tools pre-size flat
+  /// arrays and index them unchecked, so the engine enforces the bounds;
+  /// exceeding one halts detection — never the application). The default
+  /// FastTrack epoch layout caps threads at 256 anyway.
+  unsigned MaxThreads = 64;
+  unsigned MaxVars = 1u << 16;
+  unsigned MaxLocks = 1024;
+  unsigned MaxVolatiles = 1024;
+
+  /// Per-thread event-ring capacity (rounded up to a power of two). The
+  /// backpressure bound: an application thread more than this many events
+  /// ahead of the sequencer parks until it drains.
+  size_t RingCapacity = 1024;
+
+  /// Strip redundant re-entrant lock events, as replay() does.
+  bool FilterReentrantLocks = true;
+
+  /// Keep the merged stream as a Trace in the report (the flight
+  /// recorder's in-memory form; needed for in-process re-checks).
+  bool KeepCapture = true;
+
+  /// When nonempty, write the merged stream to this .trc file on
+  /// finish() — the on-disk flight recorder.
+  std::string CapturePath;
+
+  /// Run TraceValidator over the capture on finish() and attach any
+  /// violations to the report's diagnostics.
+  bool ValidateCapture = true;
+
+  /// Online warning sink: invoked from the sequencer thread the moment a
+  /// race is detected, with the full RaceWarning (thread/op context).
+  std::function<void(const RaceWarning &)> OnWarning;
+};
+
+/// What one online session measured and captured.
+struct OnlineReport {
+  double Seconds = 0;            ///< Wall-clock session time.
+  uint64_t EventsCaptured = 0;   ///< Raw merged-stream length.
+  uint64_t EventsDispatched = 0; ///< Events reaching the tool (post filter).
+  size_t NumWarnings = 0;        ///< Tool warnings at finish.
+  ClockStats Clocks;             ///< VC ops spent by online detection.
+  bool Halted = false;           ///< Detection stopped (capacity breach).
+  std::vector<Diagnostic> Diags; ///< Halt reasons, I/O and validator issues.
+  Trace Captured;                ///< The merged stream (when KeepCapture).
+};
+
+/// One online detection session over one Tool. Construct it, run
+/// instrumented code, call finish() after joining every runtime Thread.
+/// At most one Engine is live at a time (the instrumentation shims find
+/// it through Engine::current()).
+class Engine {
+public:
+  explicit Engine(Tool &Checker, OnlineOptions Options = OnlineOptions());
+  ~Engine();
+
+  Engine(const Engine &) = delete;
+  Engine &operator=(const Engine &) = delete;
+
+  /// Drains all in-flight events, stops the sequencer, calls the tool's
+  /// end(), writes/validates the capture, and returns the measurements.
+  /// All threads created through ft::runtime::Thread must be joined
+  /// first. Callable once; the destructor calls it if the caller did not.
+  OnlineReport finish();
+
+  /// The live engine instrumentation attaches to, or nullptr when no
+  /// session is active (shims become pass-throughs).
+  static Engine *current();
+
+  /// Monotone session stamp; instrumented objects cache (generation, id)
+  /// pairs so ids never leak across sessions.
+  uint64_t generation() const { return Gen; }
+
+  // --- instrumentation back end (called by the shims in Instrument.h) ---
+
+  /// Dense id for \p Obj in \p Kind's space.
+  uint32_t internId(EntityKind Kind, const void *Obj) {
+    return Interner.intern(Kind, Obj);
+  }
+
+  /// Emits one event from the calling thread, drawing the next global
+  /// ticket. Parks while the thread's ring is full (backpressure); drops
+  /// the event when detection has halted.
+  void emit(OpKind Kind, uint32_t Target);
+
+  /// Allocates a dense id for a child thread about to start and emits
+  /// fork(current, child). Call before the native thread launches so the
+  /// fork precedes the child's first event in ticket order.
+  ThreadId forkThread();
+
+  /// Emits join(current, child). Call after the native join returns so
+  /// every child event precedes it in ticket order.
+  void joinThread(ThreadId Child);
+
+  /// Binds the calling thread to dense id \p Id (child bootstrap).
+  void bindCurrentThread(ThreadId Id);
+
+private:
+  /// One registered thread: its dense id and its event ring.
+  struct Channel {
+    explicit Channel(ThreadId Id, size_t RingCapacity)
+        : Id(Id), Ring(RingCapacity) {}
+    ThreadId Id;
+    EventRing Ring;
+  };
+
+  Channel *channelForCurrentThread();
+  Channel *registerThread(ThreadId Id);
+  void sequencerLoop();
+  void deliver(ThreadId T, const OnlineEvent &E);
+
+  Tool &Checker;
+  OnlineOptions Options;
+  uint64_t Gen;
+  EntityInterner Interner;
+  OnlineDriver Driver;
+  Trace Capture;
+  bool Capturing;
+
+  /// Registered channels; guarded by ChannelMu. Channels are never
+  /// removed before teardown, so raw pointers handed to TLS bindings and
+  /// the sequencer stay valid.
+  std::mutex ChannelMu;
+  std::vector<std::unique_ptr<Channel>> Channels;
+
+  std::atomic<uint64_t> Seq{0};      ///< Next ticket to hand out.
+  std::atomic<uint64_t> NextSeq{0};  ///< Next ticket the sequencer expects.
+  std::atomic<bool> Running{true};   ///< Cleared by finish().
+  std::atomic<bool> Halted{false};   ///< Detection stopped; emits drop.
+
+  std::thread SequencerThread;
+  ClockStats SequencerClocks; ///< Sequencer-thread VC delta (set at exit).
+  Stopwatch Watch;
+  OnlineReport Report;
+  bool Finished = false;
+};
+
+} // namespace ft::runtime
+
+#endif // FASTTRACK_RUNTIME_ENGINE_H

@@ -1,0 +1,115 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-thread event channel: a bounded single-producer single-consumer
+/// ring buffer carrying instrumentation events from one application thread
+/// to the sequencer.
+///
+/// One ring per instrumented thread keeps the hot emit path free of
+/// cross-thread contention: the producer touches only its own tail (and
+/// reads the consumer's head with acquire ordering), the sequencer only
+/// its own heads. The bound is the backpressure mechanism — a thread that
+/// outruns the detector parks in emit() until the sequencer drains, so
+/// detection memory stays O(threads × capacity) no matter how fast the
+/// application generates events (the C11Tester/RoadRunner budgeting
+/// discipline, not an unbounded log).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_RUNTIME_EVENTRING_H
+#define FASTTRACK_RUNTIME_EVENTRING_H
+
+#include "trace/Operation.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace ft::runtime {
+
+/// One instrumentation event in flight. The producing thread is implied
+/// by the ring it travels through; Seq is the global total-order ticket
+/// the sequencer merges on.
+struct OnlineEvent {
+  uint64_t Seq = 0;
+  OpKind Kind = OpKind::Read;
+  uint32_t Target = 0;
+};
+
+/// Bounded SPSC ring of OnlineEvents. Capacity is rounded up to a power
+/// of two. All cross-thread hand-off is acquire/release on Head/Tail, so
+/// the ring is data-race-free by construction (certified by the CI TSan
+/// job, which runs real producer threads against a real sequencer).
+class EventRing {
+public:
+  explicit EventRing(size_t Capacity) {
+    size_t Pow2 = 1;
+    while (Pow2 < Capacity)
+      Pow2 <<= 1;
+    Buffer.resize(Pow2);
+    Mask = Pow2 - 1;
+  }
+
+  EventRing(const EventRing &) = delete;
+  EventRing &operator=(const EventRing &) = delete;
+
+  size_t capacity() const { return Buffer.size(); }
+
+  // --- producer side ---
+
+  /// True when push() may be called. The producer owns Tail, so a true
+  /// result cannot be invalidated by the consumer (draining only makes
+  /// more room).
+  bool hasSpace() const {
+    return Tail.load(std::memory_order_relaxed) -
+               Head.load(std::memory_order_acquire) <
+           Buffer.size();
+  }
+
+  /// Appends \p E. Precondition: hasSpace().
+  void push(const OnlineEvent &E) {
+    uint64_t T = Tail.load(std::memory_order_relaxed);
+    assert(T - Head.load(std::memory_order_acquire) < Buffer.size() &&
+           "push on a full ring");
+    Buffer[T & Mask] = E;
+    Tail.store(T + 1, std::memory_order_release);
+  }
+
+  // --- consumer side ---
+
+  /// Returns the oldest event without consuming it, or nullptr when the
+  /// ring is empty. The slot stays valid until the matching pop().
+  const OnlineEvent *peek() const {
+    uint64_t H = Head.load(std::memory_order_relaxed);
+    if (H == Tail.load(std::memory_order_acquire))
+      return nullptr;
+    return &Buffer[H & Mask];
+  }
+
+  /// Consumes the event peek() returned.
+  void pop() {
+    uint64_t H = Head.load(std::memory_order_relaxed);
+    assert(H != Tail.load(std::memory_order_acquire) && "pop on empty ring");
+    Head.store(H + 1, std::memory_order_release);
+  }
+
+  bool empty() const {
+    return Head.load(std::memory_order_acquire) ==
+           Tail.load(std::memory_order_acquire);
+  }
+
+private:
+  std::vector<OnlineEvent> Buffer;
+  size_t Mask = 0;
+  std::atomic<uint64_t> Head{0}; ///< Next slot to consume (sequencer).
+  std::atomic<uint64_t> Tail{0}; ///< Next slot to fill (owning thread).
+};
+
+} // namespace ft::runtime
+
+#endif // FASTTRACK_RUNTIME_EVENTRING_H

@@ -1,0 +1,234 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instrumentation API: drop-in concurrency primitives that emit
+/// trace events into the live Engine — the hand-written analogue of the
+/// bytecode instrumentation RoadRunner inserts automatically.
+///
+///   ft::runtime::Thread    std::thread + fork/join edges
+///   ft::runtime::Mutex     std::mutex + acq/rel events (BasicLockable)
+///   ft::runtime::CondVar   condition variable over Mutex; waiting emits
+///                          the rel/acq pair a real wait performs
+///   ft::runtime::Shared<T> a checked plain variable: FT_READ/FT_WRITE
+///                          emit rd/wr events with *no* ordering semantics
+///   ft::runtime::Volatile<T> a checked volatile: emits vrd/vwr, which
+///                          carry happens-before edges (Section 4)
+///
+/// With no Engine live, every shim is a plain pass-through, so the same
+/// program runs instrumented or not.
+///
+/// Two design points worth their comments:
+///
+///  - **Ticket placement encodes the synchronization order.** lock()
+///    emits after the native lock is held and unlock() before it is
+///    given up, so for any mutex the merged stream orders rel(t,m)
+///    before the next acq(u,m); Volatile writes ticket before the store
+///    and reads after the load, so a read that observed a write follows
+///    it in the stream. That is what makes ticket order a legal
+///    linearization.
+///  - **Shared<T> stores through a relaxed std::atomic.** The *logical*
+///    race is preserved exactly (rd/wr events with no inter-thread
+///    edges — FastTrack flags it), but the C++ program itself stays
+///    well-defined and ThreadSanitizer-clean, so deliberately racy
+///    example programs can run under the CI TSan job that certifies the
+///    runtime's own internals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_RUNTIME_INSTRUMENT_H
+#define FASTTRACK_RUNTIME_INSTRUMENT_H
+
+#include "runtime/Engine.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+
+namespace ft::runtime {
+
+/// Per-object cache of the dense id the live Engine assigned this object,
+/// stamped with the session generation so an object outliving a session
+/// re-interns in the next one instead of replaying a stale id.
+class CachedId {
+public:
+  uint32_t get(Engine &E, EntityKind Kind, const void *Obj) {
+    // Readers pair the Gen acquire with the release below, so a matching
+    // generation guarantees the Id store is visible. Concurrent first
+    // uses both intern (idempotent: same pointer, same id) and write the
+    // same values.
+    if (Gen.load(std::memory_order_acquire) == E.generation())
+      return Id.load(std::memory_order_relaxed);
+    uint32_t Dense = E.internId(Kind, Obj);
+    Id.store(Dense, std::memory_order_relaxed);
+    Gen.store(E.generation(), std::memory_order_release);
+    return Dense;
+  }
+
+private:
+  std::atomic<uint64_t> Gen{0};
+  std::atomic<uint32_t> Id{0};
+};
+
+/// std::mutex that reports acq/rel to the live Engine. BasicLockable, so
+/// std::lock_guard<Mutex> and CondVar::wait compose with it.
+class Mutex {
+public:
+  void lock() {
+    M.lock();
+    if (Engine *E = Engine::current())
+      E->emit(OpKind::Acquire, Id.get(*E, EntityKind::Lock, this));
+  }
+
+  void unlock() {
+    if (Engine *E = Engine::current())
+      E->emit(OpKind::Release, Id.get(*E, EntityKind::Lock, this));
+    M.unlock();
+  }
+
+private:
+  std::mutex M;
+  CachedId Id;
+};
+
+/// Condition variable over ft::runtime::Mutex. std::condition_variable_any
+/// waits by calling the lockable's unlock()/lock(), which are the
+/// instrumented ones — so a wait emits exactly the rel(m) ... acq(m) pair
+/// the underlying operation performs, with the tickets placed while the
+/// mutex is held on each side. Signals carry no event: in the lock-based
+/// happens-before model the edge comes from the mutex hand-off.
+class CondVar {
+public:
+  void wait(Mutex &M) { CV.wait(M); }
+
+  template <typename Predicate> void wait(Mutex &M, Predicate Pred) {
+    CV.wait(M, std::move(Pred));
+  }
+
+  void notifyOne() { CV.notify_one(); }
+  void notifyAll() { CV.notify_all(); }
+
+private:
+  std::condition_variable_any CV;
+};
+
+/// std::thread that reports fork/join edges. The fork event is ticketed
+/// before the native thread starts; the join event after the native join
+/// returns — bracketing every child event in the merged order, which is
+/// exactly the feasibility constraint TraceValidator enforces.
+class Thread {
+public:
+  Thread() = default;
+
+  template <typename Fn, typename... Args>
+  explicit Thread(Fn &&F, Args &&...A) {
+    Engine *E = Engine::current();
+    if (!E) {
+      Impl = std::thread(std::forward<Fn>(F), std::forward<Args>(A)...);
+      return;
+    }
+    Child = E->forkThread();
+    HasChild = true;
+    Impl = std::thread(
+        [E, Id = Child](std::decay_t<Fn> Body, std::decay_t<Args>... Rest) {
+          E->bindCurrentThread(Id);
+          std::invoke(std::move(Body), std::move(Rest)...);
+        },
+        std::forward<Fn>(F), std::forward<Args>(A)...);
+  }
+
+  Thread(Thread &&) = default;
+  Thread &operator=(Thread &&) = default;
+
+  void join() {
+    Impl.join();
+    if (!HasChild)
+      return;
+    if (Engine *E = Engine::current())
+      E->joinThread(Child);
+  }
+
+  bool joinable() const { return Impl.joinable(); }
+  ThreadId id() const { return Child; }
+
+private:
+  std::thread Impl;
+  ThreadId Child = 0;
+  bool HasChild = false;
+};
+
+/// A race-checked plain shared variable. read()/write() emit rd/wr events
+/// carrying no synchronization, so unprotected concurrent use is a
+/// genuine (logical) race the detector reports. T must be trivially
+/// copyable (it lives in a std::atomic; see the file comment for why).
+template <typename T> class Shared {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "Shared<T> requires a trivially copyable T");
+
+public:
+  Shared() : Value{} {}
+  explicit Shared(T Initial) : Value(Initial) {}
+
+  T read() const {
+    if (Engine *E = Engine::current())
+      E->emit(OpKind::Read, Id.get(*E, EntityKind::Var, this));
+    return Value.load(std::memory_order_relaxed);
+  }
+
+  void write(T V) {
+    if (Engine *E = Engine::current())
+      E->emit(OpKind::Write, Id.get(*E, EntityKind::Var, this));
+    Value.store(V, std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<T> Value;
+  mutable CachedId Id;
+};
+
+/// A race-checked volatile (Java volatile / C++ seq_cst atomic): emits
+/// vrd/vwr events, which the Figure 3 extension rules treat as
+/// synchronization — writes release, reads acquire. Writes ticket before
+/// the store and reads after the load, so whenever a read observes a
+/// write it also follows it in the merged stream.
+template <typename T> class Volatile {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "Volatile<T> requires a trivially copyable T");
+
+public:
+  Volatile() : Value{} {}
+  explicit Volatile(T Initial) : Value(Initial) {}
+
+  T read() const {
+    T V = Value.load(std::memory_order_seq_cst);
+    if (Engine *E = Engine::current())
+      E->emit(OpKind::VolatileRead, Id.get(*E, EntityKind::Volatile, this));
+    return V;
+  }
+
+  void write(T V) {
+    if (Engine *E = Engine::current())
+      E->emit(OpKind::VolatileWrite, Id.get(*E, EntityKind::Volatile, this));
+    Value.store(V, std::memory_order_seq_cst);
+  }
+
+private:
+  std::atomic<T> Value;
+  mutable CachedId Id;
+};
+
+} // namespace ft::runtime
+
+/// Access shims in the style of compiler-inserted instrumentation calls.
+/// FT_READ(x) yields the value; FT_WRITE(x, v) stores it.
+#define FT_READ(SharedVar) ((SharedVar).read())
+#define FT_WRITE(SharedVar, Value) ((SharedVar).write(Value))
+
+#endif // FASTTRACK_RUNTIME_INSTRUMENT_H

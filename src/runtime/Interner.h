@@ -1,0 +1,94 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pointer-to-dense-id interning for live program entities.
+///
+/// The offline pipeline works over dense thread/variable/lock ids because
+/// every analysis pre-sizes flat shadow arrays from them. A live program
+/// has addresses instead. The interner assigns each distinct object
+/// address the next dense id of its kind, first come first served — the
+/// runtime analogue of RoadRunner's shadow-location mapping. Ids are
+/// stable for the lifetime of one Engine; the instrumentation shims cache
+/// them per object (see Instrument.h) so the hash lookup is paid once per
+/// object, not once per access.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_RUNTIME_INTERNER_H
+#define FASTTRACK_RUNTIME_INTERNER_H
+
+#include "trace/Ids.h"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace ft::runtime {
+
+/// The kind of entity an id names. Each kind is its own dense id space,
+/// matching the trace format.
+enum class EntityKind : uint8_t { Var, Lock, Volatile };
+
+/// Thread-safe pointer→dense-id tables, one per entity kind, plus the
+/// thread-id allocator. Interning the same pointer twice (including
+/// concurrently) returns the same id.
+class EntityInterner {
+public:
+  /// Returns the dense id for \p Obj in \p Kind's space, allocating the
+  /// next id on first sight.
+  uint32_t intern(EntityKind Kind, const void *Obj) {
+    std::lock_guard<std::mutex> Guard(Mu);
+    auto &Table = table(Kind);
+    auto [It, Inserted] = Table.try_emplace(Obj, Table.size());
+    (void)Inserted;
+    return It->second;
+  }
+
+  /// Allocates the next dense thread id (the first call returns 0, the
+  /// main thread). Thread ids are never tied to addresses: std::thread
+  /// objects move, and ids must outlive them for the join event.
+  ThreadId allocateThreadId() {
+    std::lock_guard<std::mutex> Guard(Mu);
+    return NextThread++;
+  }
+
+  /// Entity counts so far (max id + 1 per space).
+  uint32_t numVars() const { return count(EntityKind::Var); }
+  uint32_t numLocks() const { return count(EntityKind::Lock); }
+  uint32_t numVolatiles() const { return count(EntityKind::Volatile); }
+  uint32_t numThreads() const {
+    std::lock_guard<std::mutex> Guard(Mu);
+    return NextThread;
+  }
+
+private:
+  std::unordered_map<const void *, uint32_t> &table(EntityKind Kind) {
+    switch (Kind) {
+    case EntityKind::Var:
+      return Vars;
+    case EntityKind::Lock:
+      return Locks;
+    case EntityKind::Volatile:
+      return Volatiles;
+    }
+    return Vars; // unreachable
+  }
+
+  uint32_t count(EntityKind Kind) const {
+    std::lock_guard<std::mutex> Guard(Mu);
+    return const_cast<EntityInterner *>(this)->table(Kind).size();
+  }
+
+  mutable std::mutex Mu;
+  std::unordered_map<const void *, uint32_t> Vars;
+  std::unordered_map<const void *, uint32_t> Locks;
+  std::unordered_map<const void *, uint32_t> Volatiles;
+  ThreadId NextThread = 0;
+};
+
+} // namespace ft::runtime
+
+#endif // FASTTRACK_RUNTIME_INTERNER_H

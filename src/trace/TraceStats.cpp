@@ -1,6 +1,7 @@
 #include "trace/TraceStats.h"
 
 #include "support/Format.h"
+#include "trace/ReentrancyFilter.h"
 
 using namespace ft;
 
@@ -31,6 +32,26 @@ std::string TraceStats::summary() const {
   addLine("atomic markers", AtomicMarkers);
   Out += padRight("total", 16) + padLeft(withCommas(total()), 14) + "\n";
   return Out;
+}
+
+uint64_t ft::countReentrantLockOps(const Trace &T) {
+  ReentrancyFilter Filter(T.numThreads(), T.numLocks());
+  uint64_t Stripped = 0;
+  for (const Operation &Op : T) {
+    if (Op.Kind == OpKind::Acquire && !Filter.onAcquire(Op.Thread, Op.Target))
+      ++Stripped;
+    else if (Op.Kind == OpKind::Release &&
+             !Filter.onRelease(Op.Thread, Op.Target))
+      ++Stripped;
+  }
+  return Stripped;
+}
+
+std::vector<uint64_t> ft::countOpsPerThread(const Trace &T) {
+  std::vector<uint64_t> Counts(T.numThreads(), 0);
+  for (const Operation &Op : T)
+    ++Counts[Op.Thread];
+  return Counts;
 }
 
 TraceStats ft::computeStats(const Trace &T) {

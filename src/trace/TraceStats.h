@@ -57,6 +57,14 @@ struct TraceStats {
 /// Computes the operation mix of \p T.
 TraceStats computeStats(const Trace &T);
 
+/// Counts the acquire/release operations the re-entrancy filter strips
+/// before dispatch (a dry run of ReentrancyFilter over \p T). Useful for
+/// instrumentation accounting: raw ops minus this is what tools see.
+uint64_t countReentrantLockOps(const Trace &T);
+
+/// Per-thread operation counts, indexed by ThreadId (size numThreads()).
+std::vector<uint64_t> countOpsPerThread(const Trace &T);
+
 } // namespace ft
 
 #endif // FASTTRACK_TRACE_TRACESTATS_H

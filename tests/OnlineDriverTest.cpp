@@ -1,0 +1,204 @@
+//===--- OnlineDriverTest.cpp - push-mode dispatch vs the replay loop -----===//
+
+#include "core/FastTrack.h"
+#include "detectors/Eraser.h"
+#include "framework/OnlineDriver.h"
+#include "framework/Replay.h"
+#include "trace/TraceBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace ft;
+
+namespace {
+
+/// Feeds every operation of \p T to a fresh driver over \p Checker.
+OnlineDriver pushAll(const Trace &T, Tool &Checker,
+                     const ToolContext &Capacity,
+                     OnlineDriverOptions Options = {}) {
+  OnlineDriver Driver(Checker, Capacity, std::move(Options));
+  for (const Operation &Op : T)
+    Driver.dispatch(Op);
+  Driver.finish();
+  return Driver;
+}
+
+ToolContext capacity(unsigned Threads = 8, unsigned Vars = 64,
+                     unsigned Locks = 8, unsigned Volatiles = 8) {
+  ToolContext Context;
+  Context.NumThreads = Threads;
+  Context.NumVars = Vars;
+  Context.NumLocks = Locks;
+  Context.NumVolatiles = Volatiles;
+  return Context;
+}
+
+void expectSameWarnings(const std::vector<RaceWarning> &A,
+                        const std::vector<RaceWarning> &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I) {
+    EXPECT_EQ(A[I].Var, B[I].Var);
+    EXPECT_EQ(A[I].OpIndex, B[I].OpIndex);
+    EXPECT_EQ(A[I].CurrentThread, B[I].CurrentThread);
+    EXPECT_EQ(A[I].CurrentKind, B[I].CurrentKind);
+    EXPECT_EQ(A[I].PriorThread, B[I].PriorThread);
+    EXPECT_EQ(A[I].PriorKind, B[I].PriorKind);
+    EXPECT_EQ(A[I].Detail, B[I].Detail);
+  }
+}
+
+/// A trace exercising races, lock hand-offs, re-entrant locks, volatiles,
+/// and fork/join — the op mix both engines must agree on.
+Trace mixedTrace() {
+  return TraceBuilder()
+      .fork(0, 1)
+      .fork(0, 2)
+      .acq(0, 0)
+      .acq(0, 0) // re-entrant: filtered by both engines
+      .wr(0, 0)
+      .rel(0, 0)
+      .rel(0, 0)
+      .acq(1, 0)
+      .wr(1, 0) // ordered via m0: no race
+      .rel(1, 0)
+      .wr(2, 1)
+      .rd(1, 1) // race on x1
+      .volWr(1, 0)
+      .volRd(2, 0)
+      .wr(2, 2)
+      .rd(1, 2) // race on x2 (vrd does not order t1 after t2's write)
+      .join(0, 1)
+      .join(0, 2)
+      .rd(0, 0)
+      .take();
+}
+
+} // namespace
+
+TEST(OnlineDriver, WarningsMatchOfflineReplayExactly) {
+  Trace T = mixedTrace();
+
+  FastTrack Online;
+  OnlineDriver Driver = pushAll(T, Online, capacity());
+
+  FastTrack Offline;
+  ReplayResult R = replay(T, Offline);
+
+  expectSameWarnings(Online.warnings(), Offline.warnings());
+  EXPECT_GT(Online.warnings().size(), 0u);
+  EXPECT_EQ(Driver.rawOps(), T.size());
+  EXPECT_EQ(Driver.dispatched(), R.Events);
+  EXPECT_EQ(Driver.accessesPassed(), R.AccessesPassed);
+  EXPECT_FALSE(Driver.halted());
+  EXPECT_TRUE(Driver.diags().empty());
+}
+
+TEST(OnlineDriver, EraserAgreesWithOfflineReplayToo) {
+  // A non-VC tool: the driver makes no assumptions about tool internals.
+  Trace T = mixedTrace();
+  Eraser Online, Offline;
+  pushAll(T, Online, capacity());
+  replay(T, Offline);
+  expectSameWarnings(Online.warnings(), Offline.warnings());
+}
+
+TEST(OnlineDriver, RawIndicesCountFilteredLockEvents) {
+  // The warning's OpIndex must name the position in the *raw* stream — a
+  // capture replayed offline yields the same index even though the
+  // re-entrant pair before the racy access was never dispatched.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .acq(0, 0)
+                .acq(0, 0)
+                .rel(0, 0)
+                .wr(0, 3)
+                .rel(0, 0)
+                .wr(1, 3) // raw op 6; two lock events before it filtered
+                .take();
+  FastTrack Online;
+  OnlineDriver Driver = pushAll(T, Online, capacity());
+  ASSERT_EQ(Online.warnings().size(), 1u);
+  EXPECT_EQ(Online.warnings()[0].OpIndex, 6u);
+  EXPECT_EQ(Driver.rawOps(), 7u);
+  EXPECT_EQ(Driver.dispatched(), 5u); // 2 of 7 filtered
+}
+
+TEST(OnlineDriver, WarningSinkFiresImmediately) {
+  std::vector<std::pair<size_t, size_t>> SinkLog; // (warning op, raw ops)
+  FastTrack Checker;
+  OnlineDriverOptions Options;
+  OnlineDriver *DriverPtr = nullptr;
+  Options.WarningSink = [&](const RaceWarning &W) {
+    SinkLog.emplace_back(W.OpIndex, DriverPtr->rawOps());
+  };
+  OnlineDriver Driver(Checker, capacity(), Options);
+  DriverPtr = &Driver;
+
+  Trace T = TraceBuilder().fork(0, 1).wr(0, 0).wr(1, 0).wr(0, 1).take();
+  for (const Operation &Op : T)
+    Driver.dispatch(Op);
+  Driver.finish();
+
+  ASSERT_EQ(SinkLog.size(), 1u);
+  EXPECT_EQ(SinkLog[0].first, 2u);  // the racy wr(1, x0)
+  EXPECT_EQ(SinkLog[0].second, 3u); // sink ran before op 3 was offered
+}
+
+TEST(OnlineDriver, OverCapacityVariableHaltsWithDiagnostic) {
+  FastTrack Checker;
+  OnlineDriver Driver(Checker, capacity(2, 4, 2, 2));
+  EXPECT_TRUE(Driver.dispatch(wr(0, 3)));  // at the edge: fine
+  EXPECT_FALSE(Driver.dispatch(wr(0, 4))); // over: halt
+  EXPECT_TRUE(Driver.halted());
+  ASSERT_EQ(Driver.diags().size(), 1u);
+  EXPECT_EQ(Driver.diags()[0].Code, StatusCode::ResourceExhausted);
+  EXPECT_EQ(Driver.diags()[0].OpIndex, 1u); // rejected op consumed no index
+  // Halted drivers reject everything; the raw stream stays replayable.
+  EXPECT_FALSE(Driver.dispatch(wr(0, 0)));
+  EXPECT_EQ(Driver.rawOps(), 1u);
+  Driver.finish();
+}
+
+TEST(OnlineDriver, OverCapacityThreadAndLockAndVolatileHalt) {
+  {
+    FastTrack Checker;
+    OnlineDriver Driver(Checker, capacity(2, 4, 2, 2));
+    EXPECT_FALSE(Driver.dispatch(wr(2, 0)));
+    EXPECT_TRUE(Driver.halted());
+  }
+  {
+    FastTrack Checker;
+    OnlineDriver Driver(Checker, capacity(2, 4, 2, 2));
+    EXPECT_FALSE(Driver.dispatch(acq(0, 2)));
+    EXPECT_TRUE(Driver.halted());
+  }
+  {
+    FastTrack Checker;
+    OnlineDriver Driver(Checker, capacity(2, 4, 2, 2));
+    EXPECT_FALSE(Driver.dispatch(volRd(0, 2)));
+    EXPECT_TRUE(Driver.halted());
+  }
+  {
+    FastTrack Checker;
+    OnlineDriver Driver(Checker, capacity(4, 4, 2, 2));
+    EXPECT_FALSE(Driver.dispatch(fork(0, 4)));
+    EXPECT_TRUE(Driver.halted());
+  }
+}
+
+TEST(OnlineDriver, BarrierOperationsHalt) {
+  FastTrack Checker;
+  OnlineDriver Driver(Checker, capacity());
+  Operation Barrier(OpKind::Barrier, 0, 0);
+  EXPECT_FALSE(Driver.dispatch(Barrier));
+  EXPECT_TRUE(Driver.halted());
+}
+
+TEST(OnlineDriver, FinishIsIdempotent) {
+  FastTrack Checker;
+  OnlineDriver Driver(Checker, capacity());
+  Driver.dispatch(wr(0, 0));
+  Driver.finish();
+  Driver.finish(); // second call must not re-run Tool::end()
+  EXPECT_EQ(Driver.rawOps(), 1u);
+}

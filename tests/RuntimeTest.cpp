@@ -1,0 +1,543 @@
+//===--- RuntimeTest.cpp - the online in-process detection runtime --------===//
+//
+// Covers the pieces bottom-up (ring, interner) and then the contracts the
+// subsystem exists for: ticket order is a legal linearization (captures
+// pass TraceValidator), online warnings equal an offline replay of the
+// flight-recorder capture exactly, capture files round-trip through
+// TraceIO, and backpressure/capacity limits degrade without deadlock.
+//
+// The CI TSan job runs this binary: real producer threads against the
+// real sequencer certify the runtime's own concurrency.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FastTrack.h"
+#include "detectors/Eraser.h"
+#include "framework/Replay.h"
+#include "runtime/Instrument.h"
+#include "trace/TraceBuilder.h"
+#include "trace/TraceIO.h"
+#include "trace/TraceValidator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+using namespace ft;
+namespace rt = ft::runtime;
+
+namespace {
+
+void expectSameWarnings(const std::vector<RaceWarning> &Online,
+                        const std::vector<RaceWarning> &Offline) {
+  ASSERT_EQ(Online.size(), Offline.size());
+  for (size_t I = 0; I != Online.size(); ++I) {
+    EXPECT_EQ(Online[I].Var, Offline[I].Var) << "warning " << I;
+    EXPECT_EQ(Online[I].OpIndex, Offline[I].OpIndex) << "warning " << I;
+    EXPECT_EQ(Online[I].CurrentThread, Offline[I].CurrentThread);
+    EXPECT_EQ(Online[I].CurrentKind, Offline[I].CurrentKind);
+    EXPECT_EQ(Online[I].PriorThread, Offline[I].PriorThread);
+    EXPECT_EQ(Online[I].PriorKind, Offline[I].PriorKind);
+    EXPECT_EQ(Online[I].Detail, Offline[I].Detail);
+  }
+}
+
+/// Runs \p Body under an online FastTrack session and asserts the full
+/// online/offline equivalence contract: the capture is feasible, and an
+/// offline replay of it reproduces the online warnings exactly.
+template <typename Body>
+rt::OnlineReport checkedSession(FastTrack &Detector, Body &&Run,
+                                rt::OnlineOptions Options = {}) {
+  rt::Engine Engine(Detector, std::move(Options));
+  Run();
+  rt::OnlineReport Report = Engine.finish();
+
+  EXPECT_FALSE(Report.Halted);
+  for (const Diagnostic &D : Report.Diags)
+    ADD_FAILURE() << toString(D);
+  EXPECT_TRUE(isFeasible(Report.Captured));
+
+  FastTrack Offline;
+  replay(Report.Captured, Offline);
+  expectSameWarnings(Detector.warnings(), Offline.warnings());
+  return Report;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// EventRing
+//===----------------------------------------------------------------------===//
+
+TEST(EventRing, FifoAndWraparound) {
+  rt::EventRing Ring(4);
+  EXPECT_EQ(Ring.capacity(), 4u);
+  for (uint64_t Round = 0; Round != 3; ++Round) {
+    for (uint64_t I = 0; I != 4; ++I) {
+      ASSERT_TRUE(Ring.hasSpace());
+      Ring.push({Round * 4 + I, OpKind::Read, static_cast<uint32_t>(I)});
+    }
+    EXPECT_FALSE(Ring.hasSpace());
+    for (uint64_t I = 0; I != 4; ++I) {
+      const rt::OnlineEvent *E = Ring.peek();
+      ASSERT_NE(E, nullptr);
+      EXPECT_EQ(E->Seq, Round * 4 + I);
+      Ring.pop();
+    }
+    EXPECT_EQ(Ring.peek(), nullptr);
+    EXPECT_TRUE(Ring.empty());
+  }
+}
+
+TEST(EventRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(rt::EventRing(3).capacity(), 4u);
+  EXPECT_EQ(rt::EventRing(5).capacity(), 8u);
+  EXPECT_EQ(rt::EventRing(1024).capacity(), 1024u);
+}
+
+//===----------------------------------------------------------------------===//
+// EntityInterner
+//===----------------------------------------------------------------------===//
+
+TEST(EntityInterner, DenseStableIdsPerKind) {
+  rt::EntityInterner Interner;
+  int A, B, C;
+  EXPECT_EQ(Interner.intern(rt::EntityKind::Var, &A), 0u);
+  EXPECT_EQ(Interner.intern(rt::EntityKind::Var, &B), 1u);
+  EXPECT_EQ(Interner.intern(rt::EntityKind::Var, &A), 0u); // stable
+  // Kinds are independent id spaces: the same address can be a var id
+  // and a lock id.
+  EXPECT_EQ(Interner.intern(rt::EntityKind::Lock, &A), 0u);
+  EXPECT_EQ(Interner.intern(rt::EntityKind::Volatile, &C), 0u);
+  EXPECT_EQ(Interner.numVars(), 2u);
+  EXPECT_EQ(Interner.numLocks(), 1u);
+  EXPECT_EQ(Interner.numVolatiles(), 1u);
+  EXPECT_EQ(Interner.allocateThreadId(), 0u);
+  EXPECT_EQ(Interner.allocateThreadId(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Engine: capture shape and linearization
+//===----------------------------------------------------------------------===//
+
+TEST(OnlineEngine, SingleThreadedCaptureIsTheProgramOrder) {
+  FastTrack Detector;
+  rt::Shared<int> X;
+  rt::Mutex M;
+  rt::Engine Engine(Detector);
+  FT_WRITE(X, 1);
+  M.lock();
+  (void)FT_READ(X);
+  M.unlock();
+  rt::OnlineReport Report = Engine.finish();
+
+  Trace Expected = TraceBuilder().wr(0, 0).acq(0, 0).rd(0, 0).rel(0, 0).take();
+  EXPECT_EQ(serializeTrace(Report.Captured), serializeTrace(Expected));
+  EXPECT_EQ(Report.EventsCaptured, 4u);
+  EXPECT_EQ(Report.EventsDispatched, 4u);
+  EXPECT_EQ(Report.NumWarnings, 0u);
+}
+
+TEST(OnlineEngine, ForkAndJoinBracketChildEvents) {
+  FastTrack Detector;
+  rt::Shared<int> X;
+  rt::Engine Engine(Detector);
+  FT_WRITE(X, 1);
+  rt::Thread Child([&X] { FT_WRITE(X, 2); });
+  Child.join();
+  (void)FT_READ(X);
+  rt::OnlineReport Report = Engine.finish();
+
+  // fork-join ordering makes this race-free, and the capture must spell
+  // the bracketing out exactly.
+  Trace Expected =
+      TraceBuilder().wr(0, 0).fork(0, 1).wr(1, 0).join(0, 1).rd(0, 0).take();
+  EXPECT_EQ(serializeTrace(Report.Captured), serializeTrace(Expected));
+  EXPECT_EQ(Report.NumWarnings, 0u);
+  EXPECT_TRUE(isFeasible(Report.Captured));
+}
+
+TEST(OnlineEngine, DetectsARaceOnlineAndReportsItImmediately) {
+  FastTrack Detector;
+  rt::Shared<int> X;
+  std::vector<RaceWarning> Sunk;
+  rt::OnlineOptions Options;
+  Options.OnWarning = [&Sunk](const RaceWarning &W) { Sunk.push_back(W); };
+
+  rt::Engine Engine(Detector, Options);
+  FT_WRITE(X, 1);
+  rt::Thread A([&X] { FT_WRITE(X, 2); });
+  rt::Thread B([&X] { (void)FT_READ(X); });
+  A.join();
+  B.join();
+  rt::OnlineReport Report = Engine.finish();
+
+  EXPECT_EQ(Report.NumWarnings, 1u); // dedup: one warning for x0
+  ASSERT_EQ(Sunk.size(), 1u);
+  EXPECT_EQ(Sunk[0].Var, 0u);
+  expectSameWarnings(Detector.warnings(), Sunk);
+}
+
+//===----------------------------------------------------------------------===//
+// Online/offline equivalence on the ported example programs
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The bounded-buffer port (examples/native_bounded_buffer.cpp), small.
+struct BoundedBuffer {
+  rt::Mutex M;
+  rt::CondVar CV;
+  rt::Shared<int> Slot;
+  rt::Shared<int> Full;
+  rt::Shared<int> Consumed;
+
+  void producer(int Items) {
+    for (int I = 1; I <= Items; ++I) {
+      std::lock_guard<rt::Mutex> Guard(M);
+      CV.wait(M, [this] { return FT_READ(Full) == 0; });
+      FT_WRITE(Slot, I * 10);
+      FT_WRITE(Full, 1);
+      CV.notifyAll();
+    }
+  }
+  void consumer(int Items) {
+    for (int I = 0; I < Items; ++I) {
+      std::lock_guard<rt::Mutex> Guard(M);
+      CV.wait(M, [this] { return FT_READ(Full) == 1; });
+      FT_WRITE(Consumed, FT_READ(Consumed) + FT_READ(Slot));
+      FT_WRITE(Full, 0);
+      CV.notifyAll();
+    }
+  }
+};
+
+/// The broken double-checked-locking port (racy on every schedule).
+struct BrokenLazyInit {
+  rt::Mutex InitLock;
+  rt::Shared<int> Singleton;
+  rt::Shared<int> Initialized;
+
+  int getInstance() {
+    if (FT_READ(Initialized) == 0) {
+      std::lock_guard<rt::Mutex> Guard(InitLock);
+      if (FT_READ(Initialized) == 0) {
+        FT_WRITE(Singleton, 42);
+        FT_WRITE(Initialized, 1);
+      }
+    }
+    return FT_READ(Singleton);
+  }
+};
+
+} // namespace
+
+TEST(OnlineEquivalence, BoundedBufferIsRaceFreeOnEverySchedule) {
+  for (int Round = 0; Round != 5; ++Round) {
+    FastTrack Detector;
+    BoundedBuffer Buffer;
+    rt::OnlineReport Report = checkedSession(Detector, [&Buffer] {
+      rt::Thread P([&Buffer] { Buffer.producer(5); });
+      rt::Thread C([&Buffer] { Buffer.consumer(5); });
+      P.join();
+      C.join();
+    });
+    EXPECT_EQ(Report.NumWarnings, 0u) << "round " << Round;
+    EXPECT_EQ(Buffer.Consumed.read(), 150);
+  }
+}
+
+TEST(OnlineEquivalence, DoubleCheckedLockingIsRacyOnEverySchedule) {
+  for (int Round = 0; Round != 5; ++Round) {
+    FastTrack Detector;
+    BrokenLazyInit Lazy;
+    rt::OnlineReport Report = checkedSession(Detector, [&Lazy] {
+      rt::Thread A([&Lazy] { (void)Lazy.getInstance(); });
+      rt::Thread B([&Lazy] { (void)Lazy.getInstance(); });
+      A.join();
+      B.join();
+    });
+    // Whatever the schedule, the unprotected flag read races with the
+    // initializing write (see the example for the argument).
+    EXPECT_GT(Report.NumWarnings, 0u) << "round " << Round;
+  }
+}
+
+TEST(OnlineEquivalence, VolatileFlagFixesDoubleCheckedLocking) {
+  FastTrack Detector;
+  rt::Mutex InitLock;
+  rt::Shared<int> Singleton;
+  rt::Volatile<int> Initialized;
+  auto GetInstance = [&] {
+    if (Initialized.read() == 0) {
+      std::lock_guard<rt::Mutex> Guard(InitLock);
+      if (Initialized.read() == 0) {
+        FT_WRITE(Singleton, 42);
+        Initialized.write(1);
+      }
+    }
+    return FT_READ(Singleton);
+  };
+  rt::OnlineReport Report = checkedSession(Detector, [&] {
+    rt::Thread A([&] { (void)GetInstance(); });
+    rt::Thread B([&] { (void)GetInstance(); });
+    A.join();
+    B.join();
+  });
+  EXPECT_EQ(Report.NumWarnings, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Flight recorder: capture → validate → save → load → replay round trip
+//===----------------------------------------------------------------------===//
+
+TEST(FlightRecorder, CaptureRoundTripsThroughDiskAndReplay) {
+  const char *Path = "runtime_capture_roundtrip.trc";
+  FastTrack Detector;
+  rt::Shared<int> X, Y;
+  rt::Mutex M;
+  rt::OnlineOptions Options;
+  Options.CapturePath = Path;
+
+  rt::Engine Engine(Detector, Options);
+  FT_WRITE(Y, 5);
+  rt::Thread A([&] {
+    M.lock();
+    FT_WRITE(X, 1);
+    M.unlock();
+    (void)FT_READ(Y); // race with main's later write
+  });
+  M.lock();
+  FT_WRITE(X, 2);
+  M.unlock();
+  FT_WRITE(Y, 6);
+  A.join();
+  rt::OnlineReport Report = Engine.finish();
+  ASSERT_TRUE(Report.Diags.empty());
+
+  // 1. The in-memory capture is feasible (already asserted by the engine
+  //    when ValidateCapture is on; assert independently here).
+  EXPECT_TRUE(isFeasible(Report.Captured));
+
+  // 2. The .trc file parses back to the identical trace.
+  Trace Loaded;
+  ParseReport Parse = loadTraceFile(Path, Loaded);
+  ASSERT_TRUE(Parse.ok());
+  EXPECT_EQ(serializeTrace(Loaded), serializeTrace(Report.Captured));
+  EXPECT_TRUE(isFeasible(Loaded));
+
+  // 3. Replaying the loaded file reproduces the online warnings exactly.
+  FastTrack Offline;
+  replay(Loaded, Offline);
+  expectSameWarnings(Detector.warnings(), Offline.warnings());
+  EXPECT_EQ(Detector.warnings().size(), 1u); // the y race
+
+  std::remove(Path);
+}
+
+TEST(FlightRecorder, KeepCaptureOffStillWritesTheFile) {
+  const char *Path = "runtime_capture_fileonly.trc";
+  FastTrack Detector;
+  rt::Shared<int> X;
+  rt::OnlineOptions Options;
+  Options.CapturePath = Path;
+  Options.KeepCapture = false;
+
+  rt::Engine Engine(Detector, Options);
+  FT_WRITE(X, 1);
+  rt::OnlineReport Report = Engine.finish();
+  EXPECT_TRUE(Report.Captured.empty()); // not kept in memory
+
+  Trace Loaded;
+  ASSERT_TRUE(loadTraceFile(Path, Loaded).ok());
+  EXPECT_EQ(Loaded.size(), 1u);
+  std::remove(Path);
+}
+
+//===----------------------------------------------------------------------===//
+// Backpressure, capacity, and degraded modes
+//===----------------------------------------------------------------------===//
+
+TEST(OnlineEngine, TinyRingsBackpressureWithoutDeadlockOrLoss) {
+  // Rings of 4 events force constant producer parking; every event must
+  // still arrive, in a feasible order.
+  FastTrack Detector;
+  rt::OnlineOptions Options;
+  Options.RingCapacity = 4;
+  rt::Mutex M;
+  rt::Shared<int> X;
+  constexpr int PerThread = 500;
+
+  rt::Engine Engine(Detector, Options);
+  auto Hammer = [&] {
+    for (int I = 0; I != PerThread; ++I) {
+      std::lock_guard<rt::Mutex> Guard(M);
+      FT_WRITE(X, I);
+    }
+  };
+  rt::Thread A(Hammer);
+  rt::Thread B(Hammer);
+  A.join();
+  B.join();
+  rt::OnlineReport Report = Engine.finish();
+
+  // 2 forks + 2 joins + 2 threads × 500 × (acq + wr + rel).
+  EXPECT_EQ(Report.EventsCaptured, 4u + 2u * PerThread * 3u);
+  EXPECT_EQ(Report.NumWarnings, 0u);
+  EXPECT_TRUE(isFeasible(Report.Captured));
+}
+
+TEST(OnlineEngine, CapacityBreachHaltsDetectionNotTheProgram) {
+  FastTrack Detector;
+  rt::OnlineOptions Options;
+  Options.MaxVars = 2;
+  std::vector<rt::Shared<int>> Vars(8);
+
+  rt::Engine Engine(Detector, Options);
+  for (rt::Shared<int> &V : Vars)
+    FT_WRITE(V, 1); // third distinct variable breaches MaxVars
+  rt::OnlineReport Report = Engine.finish();
+
+  EXPECT_TRUE(Report.Halted);
+  ASSERT_FALSE(Report.Diags.empty());
+  EXPECT_EQ(Report.Diags[0].Code, StatusCode::ResourceExhausted);
+  // The capture holds exactly the accepted prefix, still replayable.
+  EXPECT_EQ(Report.Captured.size(), 2u);
+  FastTrack Offline;
+  replay(Report.Captured, Offline);
+  expectSameWarnings(Detector.warnings(), Offline.warnings());
+}
+
+TEST(OnlineEngine, NoEngineMeansPassThrough) {
+  ASSERT_EQ(rt::Engine::current(), nullptr);
+  rt::Shared<int> X;
+  rt::Mutex M;
+  M.lock();
+  FT_WRITE(X, 7);
+  M.unlock();
+  EXPECT_EQ(FT_READ(X), 7);
+  rt::Thread T([&X] { FT_WRITE(X, 8); });
+  T.join();
+  EXPECT_EQ(FT_READ(X), 8);
+}
+
+TEST(OnlineEngine, ObjectsOutlivingASessionReInternCleanly) {
+  // The same Shared/Mutex objects run under two engines; the id cache
+  // must not leak ids across sessions (generation stamping).
+  rt::Shared<int> X;
+  rt::Mutex M;
+  auto Run = [&] {
+    FastTrack Detector;
+    rt::Engine Engine(Detector);
+    M.lock();
+    FT_WRITE(X, 1);
+    M.unlock();
+    rt::OnlineReport Report = Engine.finish();
+    EXPECT_EQ(Report.EventsCaptured, 3u);
+    EXPECT_EQ(Report.Captured[1].Target, 0u); // dense again each session
+    return Report.NumWarnings;
+  };
+  EXPECT_EQ(Run(), 0u);
+  EXPECT_EQ(Run(), 0u);
+}
+
+TEST(OnlineEngine, ForeignThreadsAreAnalyzedButFlaggedByTheValidator) {
+  // A plain std::thread (no fork edge) touching instrumented state: its
+  // accesses are analyzed — conservatively unordered, so this races —
+  // and the capture fails validation, as documented.
+  FastTrack Detector;
+  rt::OnlineOptions Options;
+  Options.ValidateCapture = false; // we validate by hand below
+  rt::Shared<int> X;
+
+  rt::Engine Engine(Detector, Options);
+  FT_WRITE(X, 1);
+  std::thread Foreign([&X] { FT_WRITE(X, 2); });
+  Foreign.join();
+  rt::OnlineReport Report = Engine.finish();
+
+  EXPECT_EQ(Report.NumWarnings, 1u); // no fork edge: a (real) race
+  EXPECT_FALSE(isFeasible(Report.Captured));
+}
+
+//===----------------------------------------------------------------------===//
+// Stress: many threads, mixed primitives, online == offline every time
+//===----------------------------------------------------------------------===//
+
+TEST(OnlineEquivalence, StressManyThreadsMixedPrimitives) {
+  constexpr unsigned NumThreads = 8;
+  constexpr int Iters = 200;
+  FastTrack Detector;
+  rt::Mutex Locks[2];
+  rt::Shared<int> Protected[2];
+  rt::Shared<int> Racy;
+  rt::Volatile<int> Flag;
+
+  rt::OnlineReport Report = checkedSession(Detector, [&] {
+    // Intern in a fixed order so var ids are deterministic, and seed the
+    // fork edges that order these writes before every thread.
+    FT_WRITE(Protected[0], 0);
+    FT_WRITE(Protected[1], 0);
+    FT_WRITE(Racy, 0);
+    std::vector<rt::Thread> Threads;
+    for (unsigned T = 0; T != NumThreads; ++T)
+      Threads.emplace_back([&, T] {
+        // First action, before any lock: two threads' initial writes can
+        // never be happens-before ordered, so this races on EVERY
+        // schedule (the only edge into a fresh thread is its fork).
+        FT_WRITE(Racy, static_cast<int>(T));
+        for (int I = 0; I != Iters; ++I) {
+          unsigned Which = (T + I) % 2;
+          Locks[Which].lock();
+          FT_WRITE(Protected[Which], FT_READ(Protected[Which]) + 1);
+          Locks[Which].unlock();
+          if (I % 32 == 0) {
+            Flag.write(I);
+            (void)Flag.read();
+          }
+        }
+      });
+    for (rt::Thread &T : Threads)
+      T.join();
+  });
+
+  EXPECT_EQ(Report.NumWarnings, 1u); // exactly the Racy variable
+  EXPECT_EQ(Detector.warnings()[0].Var, 2u);
+  EXPECT_GT(Report.EventsCaptured, NumThreads * Iters * 3ull);
+}
+
+//===----------------------------------------------------------------------===//
+// Eraser online: any existing Tool runs unchanged
+//===----------------------------------------------------------------------===//
+
+TEST(OnlineEngine, EraserRunsOnlineUnchanged) {
+  Eraser Detector;
+  rt::Mutex M;
+  rt::Shared<int> Guarded, Unguarded;
+
+  rt::Engine Engine(Detector);
+  rt::Thread A([&] {
+    M.lock();
+    FT_WRITE(Guarded, 1);
+    M.unlock();
+    FT_WRITE(Unguarded, 1);
+  });
+  rt::Thread B([&] {
+    M.lock();
+    FT_WRITE(Guarded, 2);
+    M.unlock();
+    FT_WRITE(Unguarded, 2);
+  });
+  A.join();
+  B.join();
+  rt::OnlineReport Report = Engine.finish();
+
+  ASSERT_EQ(Report.NumWarnings, 1u);
+  EXPECT_EQ(Detector.warnings()[0].Var, 1u); // Unguarded
+
+  Eraser Offline;
+  replay(Report.Captured, Offline);
+  expectSameWarnings(Detector.warnings(), Offline.warnings());
+}

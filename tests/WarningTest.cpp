@@ -1,0 +1,103 @@
+//===--- WarningTest.cpp - warning rendering and the dedup policy ---------===//
+
+#include "framework/Tool.h"
+
+#include <gtest/gtest.h>
+
+using namespace ft;
+
+namespace {
+
+/// Minimal tool exposing the protected reporting interface.
+class ReportingTool : public Tool {
+public:
+  const char *name() const override { return "Reporting"; }
+  bool report(RaceWarning W) { return reportRace(std::move(W)); }
+  bool warned(VarId X) const { return alreadyWarned(X); }
+};
+
+RaceWarning warning(VarId Var, size_t OpIndex, ThreadId Current,
+                    OpKind CurrentKind, ThreadId Prior, OpKind PriorKind,
+                    std::string Detail = "") {
+  RaceWarning W;
+  W.Var = Var;
+  W.OpIndex = OpIndex;
+  W.CurrentThread = Current;
+  W.CurrentKind = CurrentKind;
+  W.PriorThread = Prior;
+  W.PriorKind = PriorKind;
+  W.Detail = std::move(Detail);
+  return W;
+}
+
+} // namespace
+
+TEST(RenderWarning, FullConflictWithDetail) {
+  RaceWarning W = warning(3, 17, 1, OpKind::Write, 0, OpKind::Write,
+                          "write-write race");
+  EXPECT_EQ(toString(W), "race on x3 at op 17: wr by thread 1 conflicts "
+                         "with wr by thread 0 (write-write race)");
+}
+
+TEST(RenderWarning, UnknownPriorOmitsConflictClause) {
+  // Eraser's state machine does not always know the prior thread; the
+  // renderer must not print the UnknownThread sentinel.
+  RaceWarning W =
+      warning(5, 2, 2, OpKind::Read, UnknownThread, OpKind::Write);
+  EXPECT_EQ(toString(W), "race on x5 at op 2: rd by thread 2");
+}
+
+TEST(RenderWarning, UnknownPriorKeepsDetail) {
+  RaceWarning W = warning(0, 0, 0, OpKind::Write, UnknownThread,
+                          OpKind::Write, "empty lockset");
+  EXPECT_EQ(toString(W), "race on x0 at op 0: wr by thread 0 (empty "
+                         "lockset)");
+}
+
+TEST(RenderWarning, NoDetailOmitsParenthetical) {
+  RaceWarning W = warning(9, 100, 3, OpKind::Read, 1, OpKind::Write);
+  EXPECT_EQ(toString(W),
+            "race on x9 at op 100: rd by thread 3 conflicts with wr by "
+            "thread 1");
+}
+
+TEST(WarningDedup, OneWarningPerVariable) {
+  ReportingTool T;
+  EXPECT_TRUE(T.report(warning(4, 1, 0, OpKind::Write, 1, OpKind::Write)));
+  EXPECT_TRUE(T.warned(4));
+  // A second warning for the same variable is dropped, whatever its
+  // fields say (the paper's tools report at most one race per field).
+  EXPECT_FALSE(T.report(warning(4, 9, 2, OpKind::Read, 0, OpKind::Write)));
+  ASSERT_EQ(T.warnings().size(), 1u);
+  EXPECT_EQ(T.warnings()[0].OpIndex, 1u);
+
+  // Other variables are unaffected.
+  EXPECT_FALSE(T.warned(5));
+  EXPECT_TRUE(T.report(warning(5, 3, 1, OpKind::Read, 0, OpKind::Write)));
+  EXPECT_EQ(T.warnings().size(), 2u);
+}
+
+TEST(WarningDedup, ClearWarningsResetsThePolicy) {
+  ReportingTool T;
+  ASSERT_TRUE(T.report(warning(7, 0, 0, OpKind::Write, 1, OpKind::Read)));
+  T.clearWarnings();
+  EXPECT_TRUE(T.warnings().empty());
+  EXPECT_FALSE(T.warned(7));
+  EXPECT_TRUE(T.report(warning(7, 5, 1, OpKind::Write, 0, OpKind::Write)));
+}
+
+TEST(WarningDedup, AdoptWarningsAppliesThePolicyInOrder) {
+  ReportingTool T;
+  ASSERT_TRUE(T.report(warning(1, 0, 0, OpKind::Write, 1, OpKind::Write)));
+  std::vector<RaceWarning> Merged = {
+      warning(2, 3, 1, OpKind::Read, 0, OpKind::Write),
+      warning(1, 4, 2, OpKind::Read, 0, OpKind::Write), // dup of var 1
+      warning(2, 6, 2, OpKind::Write, 1, OpKind::Read), // dup of var 2
+      warning(3, 8, 0, OpKind::Write, 2, OpKind::Write),
+  };
+  EXPECT_EQ(T.adoptWarnings(Merged), 2u); // vars 2 and 3 only
+  ASSERT_EQ(T.warnings().size(), 3u);
+  EXPECT_EQ(T.warnings()[1].Var, 2u);
+  EXPECT_EQ(T.warnings()[1].OpIndex, 3u); // first var-2 warning won
+  EXPECT_EQ(T.warnings()[2].Var, 3u);
+}
