@@ -21,9 +21,11 @@
 #include "framework/Replay.h"
 #include "support/Format.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 namespace ft::bench {
 
@@ -62,6 +64,99 @@ inline ReplayResult timedReplay(const Trace &T, Tool &Checker,
 inline void banner(const std::string &Title) {
   std::printf("\n==== %s ====\n\n", Title.c_str());
 }
+
+/// The machine-readable side channel every bench binary offers: pass
+/// `--json out.json` (or `--json=out.json`) and the headline metrics are
+/// written as one JSON document next to the human-readable tables, so CI
+/// and future PRs can diff perf without scraping stdout. Without the
+/// flag, write() is a successful no-op.
+class BenchReport {
+public:
+  BenchReport(std::string BenchName, int Argc, char **Argv)
+      : Name(std::move(BenchName)) {
+    for (int I = 1; I < Argc; ++I) {
+      std::string Arg = Argv[I];
+      if (Arg == "--json" && I + 1 < Argc)
+        Path = Argv[++I];
+      else if (Arg.rfind("--json=", 0) == 0)
+        Path = Arg.substr(7);
+    }
+  }
+
+  /// Records one named measurement (e.g. "fasttrack_ns_per_event").
+  void metric(const std::string &MetricName, double Value,
+              const std::string &Unit = std::string()) {
+    Metrics.push_back({MetricName, Value, Unit});
+  }
+
+  /// Writes the document when --json was requested. Returns false on I/O
+  /// failure so mains can surface it as a nonzero exit for CI.
+  bool write() const {
+    if (Path.empty())
+      return true;
+    std::string Out = "{\n  \"bench\": \"";
+    appendEscaped(Out, Name);
+    Out += "\",\n  \"size_factor\": " + number(sizeFactor()) +
+           ",\n  \"reps\": " + std::to_string(repetitions()) +
+           ",\n  \"metrics\": [";
+    for (size_t I = 0; I != Metrics.size(); ++I) {
+      Out += I ? ",\n    {\"name\": \"" : "\n    {\"name\": \"";
+      appendEscaped(Out, Metrics[I].Name);
+      Out += "\", \"value\": " + number(Metrics[I].Value);
+      if (!Metrics[I].Unit.empty()) {
+        Out += ", \"unit\": \"";
+        appendEscaped(Out, Metrics[I].Unit);
+        Out += "\"";
+      }
+      Out += "}";
+    }
+    Out += "\n  ]\n}\n";
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   Path.c_str());
+      return false;
+    }
+    bool Ok = std::fwrite(Out.data(), 1, Out.size(), F) == Out.size();
+    Ok = std::fclose(F) == 0 && Ok;
+    if (!Ok)
+      std::fprintf(stderr, "error: short write to %s\n", Path.c_str());
+    return Ok;
+  }
+
+private:
+  struct Metric {
+    std::string Name;
+    double Value;
+    std::string Unit;
+  };
+
+  static std::string number(double Value) {
+    if (!std::isfinite(Value))
+      return "null"; // JSON has no NaN/Inf
+    char Buffer[64];
+    std::snprintf(Buffer, sizeof(Buffer), "%.17g", Value);
+    return Buffer;
+  }
+
+  static void appendEscaped(std::string &Out, const std::string &S) {
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buffer[8];
+        std::snprintf(Buffer, sizeof(Buffer), "\\u%04x", C);
+        Out += Buffer;
+        continue;
+      }
+      Out += C;
+    }
+  }
+
+  std::string Name;
+  std::string Path;
+  std::vector<Metric> Metrics;
+};
 
 } // namespace ft::bench
 

@@ -26,7 +26,8 @@
 using namespace ft;
 using namespace ft::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("bench_ablation_fastpaths", argc, argv);
   banner("Ablation: FastTrack fast paths");
 
   struct Config {
@@ -93,5 +94,10 @@ int main() {
   std::printf("\nExpected: 'full' fastest; removing epoch reads inflates "
               "allocations toward DJIT+'s; the extended same-epoch check "
               "changes little (as the paper observed).\n");
-  return 0;
+  const char *ConfigNames[5] = {"full", "no_same_epoch", "no_epoch_reads",
+                                "extended_shared", "djit"};
+  for (int I = 0; I != 5; ++I)
+    Report.metric(std::string("total_") + ConfigNames[I] + "_seconds", Sum[I],
+                  "s");
+  return Report.write() ? 0 : 1;
 }

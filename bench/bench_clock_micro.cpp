@@ -13,6 +13,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 using namespace ft;
 
 namespace {
@@ -79,4 +82,37 @@ BENCHMARK(BM_VcCompare)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 BENCHMARK(BM_VcJoin)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 BENCHMARK(BM_VcCopy)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): accept the repo-wide
+// `--json out.json` convention by rewriting it into google-benchmark's
+// own --benchmark_out/--benchmark_out_format flags, so all bench_*
+// binaries share one machine-readable interface.
+int main(int argc, char **argv) {
+  std::vector<std::string> Args;
+  Args.reserve(static_cast<size_t>(argc) + 1);
+  Args.emplace_back(argv[0]);
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    std::string Path;
+    if (Arg == "--json" && I + 1 < argc)
+      Path = argv[++I];
+    else if (Arg.rfind("--json=", 0) == 0)
+      Path = Arg.substr(7);
+    if (!Path.empty()) {
+      Args.push_back("--benchmark_out=" + Path);
+      Args.push_back("--benchmark_out_format=json");
+    } else {
+      Args.push_back(std::move(Arg));
+    }
+  }
+  std::vector<char *> Argv;
+  Argv.reserve(Args.size());
+  for (std::string &Arg : Args)
+    Argv.push_back(Arg.data());
+  int Argc = static_cast<int>(Argv.size());
+  benchmark::Initialize(&Argc, Argv.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -85,7 +85,8 @@ double timePipeline(const Trace &T, const std::string &FilterName,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("bench_composition", argc, argv);
   banner("Section 5.2: checker slowdown under prefilters");
 
   // A mixed transactional workload: random feasible traces with atomic
@@ -133,6 +134,8 @@ int main() {
       if (FilterName == "FastTrack")
         FtForwarded = Forwarded;
       Row.push_back(slowdown(EmptySeconds > 0 ? Seconds / EmptySeconds : 0));
+      Report.metric(CheckerName + "_" + FilterName + "_slowdown",
+                    EmptySeconds > 0 ? Seconds / EmptySeconds : 0, "x");
     }
     Row.push_back(withCommas(FtForwarded));
     Out.addRow(Row);
@@ -143,5 +146,5 @@ int main() {
               "FastTrack prefilter gives the largest reduction\n(Velodrome "
               "57.9x -> 11.3x, SingleTrack 104.1x -> 11.7x, Atomizer 57.2x "
               "-> 12.6x).\n");
-  return 0;
+  return Report.write() ? 0 : 1;
 }

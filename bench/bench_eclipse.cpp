@@ -22,7 +22,8 @@
 using namespace ft;
 using namespace ft::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("bench_eclipse", argc, argv);
   banner("Section 5.3: Eclipse operations (24 threads)");
 
   const std::vector<std::string> Tools = {"empty", "eraser", "djit+",
@@ -64,5 +65,7 @@ int main() {
               FtTotal);
   std::printf("Paper: Eraser ~960 warnings vs FastTrack 30 (all real); "
               "FastTrack's slowdown <= DJIT+'s, comparable to Eraser's.\n");
-  return 0;
+  Report.metric("eraser_warnings", double(EraserTotal));
+  Report.metric("fasttrack_warnings", double(FtTotal));
+  return Report.write() ? 0 : 1;
 }

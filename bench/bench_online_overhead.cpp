@@ -128,7 +128,8 @@ std::string nsPerEvent(const RunResult &R) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("bench_online_overhead", argc, argv);
   banner("Online runtime overhead: per-event shim cost (extension E12)");
 
   const int Iters =
@@ -160,6 +161,20 @@ int main() {
     Row("EMPTY", EmptyRun, 0);
     Row("FASTTRACK", FTRun, FTRun.Seconds / EmptyRun.Seconds);
     Out.addSeparator();
+
+    const std::string Prefix = "t" + std::to_string(NumThreads) + "_";
+    Report.metric(Prefix + "native_seconds", Native.Seconds, "s");
+    Report.metric(Prefix + "passthrough_seconds", Pass.Seconds, "s");
+    Report.metric(Prefix + "empty_seconds", EmptyRun.Seconds, "s");
+    Report.metric(Prefix + "fasttrack_seconds", FTRun.Seconds, "s");
+    if (EmptyRun.Events)
+      Report.metric(Prefix + "empty_ns_per_event",
+                    1e9 * EmptyRun.Seconds / double(EmptyRun.Events), "ns");
+    if (FTRun.Events) {
+      Report.metric(Prefix + "fasttrack_ns_per_event",
+                    1e9 * FTRun.Seconds / double(FTRun.Events), "ns");
+      Report.metric(Prefix + "events", double(FTRun.Events));
+    }
   }
   std::printf("%s", Out.render().c_str());
 
@@ -168,5 +183,5 @@ int main() {
               "sequencer) with zero analysis, and\nFASTTRACK/EMPTY the "
               "detector itself — the online analogue of Table 1's\n"
               "slowdown normalization.\n");
-  return 0;
+  return Report.write() ? 0 : 1;
 }

@@ -65,7 +65,8 @@ double timedSerial(const Trace &T, const std::string &ToolName) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("bench_parallel_replay", argc, argv);
   banner("Parallel sharded replay: 1/2/4/8 shards vs the serial engine");
 
   // Compute-bound regime (the paper's crypt/lufact/sor shape): access-
@@ -104,6 +105,7 @@ int main() {
                  "8 shards", "Speedup@4", "Mode"});
   for (const char *Name : Tools) {
     double SerialSeconds = timedSerial(T, Name);
+    Report.metric(std::string(Name) + "_serial_seconds", SerialSeconds, "s");
     std::vector<std::string> Row = {createTool(Name)->name(),
                                     fixed(SerialSeconds * 1e3, 1) + "ms"};
     double At4 = 0;
@@ -113,10 +115,15 @@ int main() {
       Row.push_back(fixed(Result.Total.Seconds * 1e3, 1) + "ms");
       if (Shards == 4)
         At4 = Result.Total.Seconds;
+      Report.metric(std::string(Name) + "_shards" + std::to_string(Shards) +
+                        "_seconds",
+                    Result.Total.Seconds, "s");
       if (Result.Sharded)
         Mode = Result.Mode == ShardMode::SpineDriven ? "spine" : "sync-replay";
     }
     Row.push_back(slowdown(At4 > 0 ? SerialSeconds / At4 : 0));
+    Report.metric(std::string(Name) + "_speedup_at4",
+                  At4 > 0 ? SerialSeconds / At4 : 0, "x");
     Row.push_back(Mode);
     Out.addRow(Row);
   }
@@ -142,5 +149,5 @@ int main() {
               "for the access-dominated\ndetectors; identical warnings and "
               "rule counters to serial replay in every cell\n(asserted by "
               "tests/ParallelReplayTest.cpp).\n");
-  return 0;
+  return Report.write() ? 0 : 1;
 }

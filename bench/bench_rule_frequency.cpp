@@ -26,7 +26,8 @@
 using namespace ft;
 using namespace ft::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("bench_rule_frequency", argc, argv);
   banner("Figure 2/3: operation mix and analysis-rule frequencies");
 
   TraceStats Mix;
@@ -113,5 +114,16 @@ int main() {
               "(%.2f%%; paper: >99%% of reads+writes, >96%% of all ops).\n",
               withCommas(FastPath).c_str(), withCommas(Accesses).c_str(),
               Accesses ? 100.0 * FastPath / Accesses : 0.0);
-  return 0;
+  auto frac = [](uint64_t Part, uint64_t Whole) {
+    return Whole ? 100.0 * double(Part) / double(Whole) : 0.0;
+  };
+  Report.metric("reads_pct", frac(Mix.Reads, Mix.total()), "%");
+  Report.metric("writes_pct", frac(Mix.Writes, Mix.total()), "%");
+  Report.metric("sync_pct", frac(Mix.syncOps(), Mix.total()), "%");
+  Report.metric("ft_read_same_epoch_pct", frac(Ft.ReadSameEpoch, Ft.reads()),
+                "%");
+  Report.metric("ft_write_same_epoch_pct", frac(Ft.WriteSameEpoch, Ft.writes()),
+                "%");
+  Report.metric("fast_path_pct", frac(FastPath, Accesses), "%");
+  return Report.write() ? 0 : 1;
 }

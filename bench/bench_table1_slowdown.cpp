@@ -25,7 +25,8 @@
 using namespace ft;
 using namespace ft::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("bench_table1_slowdown", argc, argv);
   banner("Table 1 (left): slowdown relative to the Empty tool");
 
   const std::vector<std::string> Tools = {"empty",      "eraser", "multirace",
@@ -56,6 +57,7 @@ int main() {
           EmptySeconds > 0 ? Result.Seconds / EmptySeconds : 0.0;
       Slowdowns.push_back(Slowdown);
       Row.push_back(slowdown(Slowdown));
+      Report.metric(W.Name + "_" + Tools[I] + "_slowdown", Slowdown, "x");
     }
     Out.addRow(Row);
     if (W.ComputeBound) {
@@ -67,8 +69,10 @@ int main() {
 
   Out.addSeparator();
   std::vector<std::string> Avg = {"Average (compute-bound)", "", ""};
-  for (size_t I = 1; I != Tools.size(); ++I)
+  for (size_t I = 1; I != Tools.size(); ++I) {
     Avg.push_back(slowdown(GeoSum[I] / GeoCount));
+    Report.metric("avg_" + Tools[I] + "_slowdown", GeoSum[I] / GeoCount, "x");
+  }
   Out.addRow(Avg);
 
   std::fputs(Out.render().c_str(), stdout);
@@ -77,5 +81,5 @@ int main() {
   std::printf("Paper shape: FastTrack ~= Eraser, ~2.3x faster than DJIT+, "
               "~10x faster than BasicVC;\nMultiRace ~= DJIT+; Goldilocks "
               "slowest of the precise tools after BasicVC.\n");
-  return 0;
+  return Report.write() ? 0 : 1;
 }

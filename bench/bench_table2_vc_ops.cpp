@@ -22,7 +22,8 @@
 using namespace ft;
 using namespace ft::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("bench_table2_vc_ops", argc, argv);
   banner("Table 2: vector clock allocations and O(n) operations");
 
   Table Out;
@@ -65,5 +66,11 @@ int main() {
               AllocRatio, OpsRatio);
   std::printf("Paper ratios: allocations ~155x, VC ops ~72x (both orders of "
               "magnitude).\n");
-  return 0;
+  Report.metric("djit_allocations", double(TotalAllocs[0]));
+  Report.metric("fasttrack_allocations", double(TotalAllocs[1]));
+  Report.metric("djit_vc_ops", double(TotalOps[0]));
+  Report.metric("fasttrack_vc_ops", double(TotalOps[1]));
+  Report.metric("alloc_ratio", AllocRatio, "x");
+  Report.metric("vc_ops_ratio", OpsRatio, "x");
+  return Report.write() ? 0 : 1;
 }

@@ -42,7 +42,8 @@ Cell measure(const Trace &T, Granularity Gran) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("bench_table3_granularity", argc, argv);
   banner("Table 3: fine vs coarse granularity (DJIT+ and FastTrack)");
 
   Table Out;
@@ -97,5 +98,11 @@ int main() {
               Bytes[1] ? double(Bytes[3]) / double(Bytes[1]) : 0.0);
   std::printf("Coarse granularity trades warnings for footprint: the last "
               "column shows FastTrack gaining spurious warnings.\n");
-  return 0;
+  const char *Cols[4] = {"djit_fine", "ft_fine", "djit_coarse", "ft_coarse"};
+  for (int I = 0; I != 4; ++I) {
+    Report.metric(std::string(Cols[I]) + "_shadow_bytes", double(Bytes[I]),
+                  "B");
+    Report.metric(std::string(Cols[I]) + "_seconds", Seconds[I], "s");
+  }
+  return Report.write() ? 0 : 1;
 }

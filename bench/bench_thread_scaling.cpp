@@ -28,7 +28,8 @@
 using namespace ft;
 using namespace ft::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("bench_thread_scaling", argc, argv);
   banner("Thread scaling: per-access cost vs thread count");
 
   Table Out;
@@ -53,27 +54,30 @@ int main() {
 
     EmptyTool Baseline;
     double EmptySeconds = timedReplay(T, Baseline).Seconds;
-    auto slowdownOf = [&](Tool &Checker) {
+    auto slowdownOf = [&](Tool &Checker, const char *Name) {
       double Seconds = timedReplay(T, Checker).Seconds;
-      return slowdown(EmptySeconds > 0 ? Seconds / EmptySeconds : 0);
+      double Ratio = EmptySeconds > 0 ? Seconds / EmptySeconds : 0;
+      Report.metric("t" + std::to_string(Threads) + "_" + Name + "_slowdown",
+                    Ratio, "x");
+      return slowdown(Ratio);
     };
 
     std::vector<std::string> Row = {std::to_string(Threads),
                                     withCommas(T.size())};
     Eraser E;
-    Row.push_back(slowdownOf(E));
+    Row.push_back(slowdownOf(E, "eraser"));
     BasicVC Basic;
-    Row.push_back(slowdownOf(Basic));
+    Row.push_back(slowdownOf(Basic, "basicvc"));
     DjitPlus Djit;
-    Row.push_back(slowdownOf(Djit));
+    Row.push_back(slowdownOf(Djit, "djit+"));
     if (Threads <= 250) {
       FastTrack Ft;
-      Row.push_back(slowdownOf(Ft));
+      Row.push_back(slowdownOf(Ft, "fasttrack"));
     } else {
       Row.push_back("-"); // 8-bit tids exhausted: FastTrack64 territory
     }
     FastTrack64 Ft64;
-    Row.push_back(slowdownOf(Ft64));
+    Row.push_back(slowdownOf(Ft64, "fasttrack64"));
     Out.addRow(Row);
   }
 
@@ -82,5 +86,5 @@ int main() {
               "count (O(n) VC comparisons);\nFastTrack's epoch fast paths "
               "stay flat, and FastTrack64 extends past 256 threads with "
               "no penalty at small n.\n");
-  return 0;
+  return Report.write() ? 0 : 1;
 }

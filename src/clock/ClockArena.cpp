@@ -1,0 +1,110 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clock/ClockArena.h"
+
+#include <cassert>
+#include <cstring>
+#include <new>
+
+namespace ft {
+namespace {
+
+/// Rounds \p N up to a power of two, at least ClockArena::MinEntries.
+uint32_t classCapacity(uint32_t N) {
+  uint32_t Cap = ClockArena::MinEntries;
+  while (Cap < N)
+    Cap <<= 1;
+  return Cap;
+}
+
+/// Index of the free list holding blocks of capacity \p Cap.
+/// MinEntries (16) maps to 0, 32 to 1, and so on.
+unsigned classIndex(uint32_t Cap) {
+  unsigned Idx = 0;
+  for (uint32_t C = ClockArena::MinEntries; C < Cap; C <<= 1)
+    ++Idx;
+  return Idx;
+}
+
+constexpr unsigned NumClasses = 11; // 16 .. 16384 entries.
+
+/// The calling thread's pool. Free blocks are chained intrusively: the
+/// first 8 bytes of a parked block hold the pointer to the next one
+/// (every block is >= 64 bytes, so the link always fits).
+struct ThreadPool {
+  void *Free[NumClasses] = {};
+  ClockArenaStats Stats;
+
+  ~ThreadPool() {
+    // Return cached blocks to the allocator so LSan sees a clean exit.
+    for (void *&Head : Free) {
+      while (Head) {
+        void *Next;
+        std::memcpy(&Next, Head, sizeof(Next));
+        ::operator delete(Head);
+        Head = Next;
+      }
+    }
+  }
+};
+
+ThreadPool &pool() {
+  static thread_local ThreadPool P;
+  return P;
+}
+
+} // namespace
+
+uint32_t *ClockArena::acquire(uint32_t MinNeeded, uint32_t &CapOut) {
+  const uint32_t Cap = classCapacity(MinNeeded);
+  CapOut = Cap;
+  ThreadPool &P = pool();
+  if (Cap <= MaxCachedEntries) {
+    void *&Head = P.Free[classIndex(Cap)];
+    if (Head) {
+      void *Block = Head;
+      std::memcpy(&Head, Block, sizeof(void *));
+      ++P.Stats.ReusedBlocks;
+      --P.Stats.CachedBlocks;
+      // Parked blocks are fully zeroed except for the intrusive link.
+      std::memset(Block, 0, sizeof(void *));
+      return static_cast<uint32_t *>(Block);
+    }
+  }
+  ++P.Stats.FreshBlocks;
+  void *Block = ::operator new(size_t(Cap) * sizeof(uint32_t));
+  std::memset(Block, 0, size_t(Cap) * sizeof(uint32_t));
+  return static_cast<uint32_t *>(Block);
+}
+
+void ClockArena::release(uint32_t *Block, uint32_t Cap) noexcept {
+  assert(Block && Cap >= MinEntries && (Cap & (Cap - 1)) == 0 &&
+         "block must come from acquire()");
+  if (Cap > MaxCachedEntries) {
+    ::operator delete(Block);
+    return;
+  }
+  // Re-zero now so acquire() only has to clear the link word. The block
+  // is hot in cache at release time (we just copied out of it), so this
+  // is cheaper than zeroing a cold block later.
+  std::memset(Block, 0, size_t(Cap) * sizeof(uint32_t));
+  ThreadPool &P = pool();
+  void *&Head = P.Free[classIndex(Cap)];
+  std::memcpy(Block, &Head, sizeof(void *));
+  Head = Block;
+  ++P.Stats.CachedBlocks;
+}
+
+ClockArenaStats ClockArena::stats() { return pool().Stats; }
+
+void ClockArena::resetStats() {
+  ClockArenaStats &S = pool().Stats;
+  S.FreshBlocks = 0;
+  S.ReusedBlocks = 0;
+}
+
+} // namespace ft

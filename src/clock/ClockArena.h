@@ -1,0 +1,74 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A per-thread free-list arena for vector-clock heap buffers.
+///
+/// VectorClock stores up to VectorClock::InlineCapacity entries inline;
+/// wider clocks need a heap block. Those blocks come from here instead of
+/// the global allocator: released blocks park on a thread-local free list
+/// (one list per power-of-two capacity class) and are handed back on the
+/// next acquire of the same class. The paths that matter are FastTrack's
+/// [FT READ SHARE] inflation and DJIT+/BasicVC per-variable clock growth —
+/// with recycling, neither touches `operator new` in steady state.
+///
+/// The lists are thread-local on purpose: the sharded replay engine runs
+/// tool clones on worker threads, and a shared pool would put a lock (or
+/// CAS traffic) on the clock-growth path. A block released on a different
+/// thread than it was acquired on simply migrates to the releasing
+/// thread's pool; each list is only ever touched by its owning thread, so
+/// the arena is data-race-free with no atomics at all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_CLOCK_CLOCKARENA_H
+#define FASTTRACK_CLOCK_CLOCKARENA_H
+
+#include <cstdint>
+
+namespace ft {
+
+/// Activity counters for the calling thread's arena (test/bench
+/// observability; not part of the paper's Table 2 accounting).
+struct ClockArenaStats {
+  /// Blocks obtained from the global allocator (free list missed).
+  uint64_t FreshBlocks = 0;
+  /// Blocks served from the free list (global allocator avoided).
+  uint64_t ReusedBlocks = 0;
+  /// Blocks currently parked on the free lists.
+  uint64_t CachedBlocks = 0;
+};
+
+/// The arena interface. All methods act on the calling thread's pool.
+class ClockArena {
+public:
+  /// Smallest heap block, in entries. Capacities are powers of two from
+  /// here up, so every released block fits a well-known class.
+  static constexpr uint32_t MinEntries = 16;
+
+  /// Largest block the free lists cache, in entries (64 KiB of clock
+  /// values). Wider blocks — thousands of threads — bypass the cache.
+  static constexpr uint32_t MaxCachedEntries = 16384;
+
+  /// Returns a zero-filled block of at least \p MinNeeded entries;
+  /// \p CapOut receives the actual (power-of-two) capacity.
+  static uint32_t *acquire(uint32_t MinNeeded, uint32_t &CapOut);
+
+  /// Returns \p Block (previously acquire()d with capacity \p Cap) to the
+  /// calling thread's pool.
+  static void release(uint32_t *Block, uint32_t Cap) noexcept;
+
+  /// The calling thread's counters.
+  static ClockArenaStats stats();
+
+  /// Zeroes the calling thread's Fresh/Reused counters (CachedBlocks
+  /// reflects live state and is not reset).
+  static void resetStats();
+};
+
+} // namespace ft
+
+#endif // FASTTRACK_CLOCK_CLOCKARENA_H

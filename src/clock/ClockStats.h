@@ -30,13 +30,19 @@ namespace ft {
 /// one VectorClock implementation (as the paper's tools share RoadRunner's),
 /// so these counters provide an apples-to-apples comparison.
 struct ClockStats {
-  /// Number of vector-clock buffers allocated (fresh or copy-constructed).
+  /// Number of clocks materialized: an empty (⊥, zero-size) clock gaining
+  /// stored entries, whether by sized construction, copy from a nonempty
+  /// clock, or first growth via set/inc/join. Growing an
+  /// already-materialized clock is *not* counted — in steady state that
+  /// path recycles ClockArena blocks rather than allocating.
   uint64_t Allocations = 0;
   /// Number of O(n)-time joins (⊔).
   uint64_t JoinOps = 0;
   /// Number of O(n)-time pointwise comparisons (⊑).
   uint64_t CompareOps = 0;
-  /// Number of O(n)-time whole-clock copies.
+  /// Number of O(n)-time whole-clock copies: exactly one per copy from a
+  /// nonempty source, regardless of spelling (copy constructor,
+  /// operator=, or copyFrom). Copies from empty clocks count nothing.
   uint64_t CopyOps = 0;
 
   /// Total O(n)-time operations.

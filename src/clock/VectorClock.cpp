@@ -5,70 +5,33 @@
 
 using namespace ft;
 
-VectorClock::VectorClock(unsigned NumThreads) {
-  if (NumThreads == 0)
-    return;
-  Clocks.assign(NumThreads, 0);
-  ++clockStats().Allocations;
+void VectorClock::spillTo(uint32_t Size) {
+  assert(Size > Cap && "inline/in-place growth handled by growTo");
+  uint32_t NewCap = 0;
+  ClockValue *Block = ClockArena::acquire(Size, NewCap);
+  std::memcpy(Block, data(), size_t(Count) * sizeof(ClockValue));
+  releaseBuffer();
+  Store.Heap = Block;
+  Cap = NewCap;
+  Count = Size; // Arena blocks come zeroed, so the tail invariant holds.
 }
 
-VectorClock::VectorClock(const VectorClock &Other) : Clocks(Other.Clocks) {
-  if (!Clocks.empty()) {
-    ++clockStats().Allocations;
-    ++clockStats().CopyOps;
-  }
-}
-
-VectorClock &VectorClock::operator=(const VectorClock &Other) {
-  if (this == &Other)
-    return *this;
-  if (Clocks.capacity() < Other.Clocks.size())
-    ++clockStats().Allocations;
-  Clocks = Other.Clocks;
+void VectorClock::assignGrow(const VectorClock &Other) {
+  assert(Other.Count > Cap && "in-place assignment handled by assignFrom");
   ++clockStats().CopyOps;
-  return *this;
-}
-
-void VectorClock::growTo(unsigned Size) {
-  if (Size <= Clocks.size())
-    return;
-  if (Clocks.capacity() < Size && Clocks.empty())
+  if (Count == 0)
     ++clockStats().Allocations;
-  Clocks.resize(Size, 0);
-}
-
-void VectorClock::set(ThreadId T, ClockValue Clock) {
-  growTo(T + 1);
-  Clocks[T] = Clock;
-}
-
-void VectorClock::inc(ThreadId T) {
-  growTo(T + 1);
-  ++Clocks[T];
-}
-
-void VectorClock::joinWith(const VectorClock &Other) {
-  ++clockStats().JoinOps;
-  growTo(Other.Clocks.size());
-  for (size_t I = 0, E = Other.Clocks.size(); I != E; ++I)
-    Clocks[I] = std::max(Clocks[I], Other.Clocks[I]);
-}
-
-bool VectorClock::leq(const VectorClock &Other) const {
-  ++clockStats().CompareOps;
-  for (size_t I = 0, E = Clocks.size(); I != E; ++I)
-    if (Clocks[I] > Other.get(static_cast<ThreadId>(I)))
-      return false;
-  return true;
-}
-
-bool VectorClock::isBottom() const {
-  return std::all_of(Clocks.begin(), Clocks.end(),
-                     [](ClockValue C) { return C == 0; });
+  uint32_t NewCap = 0;
+  ClockValue *Block = ClockArena::acquire(Other.Count, NewCap);
+  std::memcpy(Block, Other.data(), size_t(Other.Count) * sizeof(ClockValue));
+  releaseBuffer();
+  Store.Heap = Block;
+  Cap = NewCap;
+  Count = Other.Count;
 }
 
 bool ft::operator==(const VectorClock &A, const VectorClock &B) {
-  size_t Max = std::max(A.Clocks.size(), B.Clocks.size());
+  size_t Max = std::max<size_t>(A.size(), B.size());
   for (size_t I = 0; I != Max; ++I)
     if (A.get(static_cast<ThreadId>(I)) != B.get(static_cast<ThreadId>(I)))
       return false;
@@ -76,9 +39,9 @@ bool ft::operator==(const VectorClock &A, const VectorClock &B) {
 }
 
 std::string VectorClock::str(unsigned MinEntries) const {
-  unsigned Count = std::max<unsigned>(Clocks.size(), MinEntries);
+  unsigned NumShown = std::max<unsigned>(size(), MinEntries);
   std::string Out = "<";
-  for (unsigned I = 0; I != Count; ++I) {
+  for (unsigned I = 0; I != NumShown; ++I) {
     if (I != 0)
       Out += ',';
     Out += std::to_string(get(I));

@@ -1,5 +1,7 @@
 #include "core/FastTrack.h"
 
+#include "framework/Replay.h"
+
 #include "support/ByteStream.h"
 
 using namespace ft;
@@ -203,3 +205,6 @@ namespace ft {
 template class BasicFastTrack<Epoch>;
 template class BasicFastTrack<Epoch64>;
 } // namespace ft
+
+FT_REGISTER_FAST_REPLAY(::ft::FastTrack);
+FT_REGISTER_FAST_REPLAY(::ft::FastTrack64);

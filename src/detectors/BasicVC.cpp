@@ -1,5 +1,7 @@
 #include "detectors/BasicVC.h"
 
+#include "framework/Replay.h"
+
 using namespace ft;
 
 void BasicVC::begin(const ToolContext &Context) {
@@ -61,3 +63,5 @@ size_t BasicVC::shadowBytes() const {
     Bytes += sizeof(VarState) + State.R.memoryBytes() + State.W.memoryBytes();
   return Bytes;
 }
+
+FT_REGISTER_FAST_REPLAY(::ft::BasicVC);

@@ -1,5 +1,7 @@
 #include "detectors/DjitPlus.h"
 
+#include "framework/Replay.h"
+
 using namespace ft;
 
 void DjitPlus::begin(const ToolContext &Context) {
@@ -73,3 +75,5 @@ size_t DjitPlus::shadowBytes() const {
     Bytes += sizeof(VarState) + State.R.memoryBytes() + State.W.memoryBytes();
   return Bytes;
 }
+
+FT_REGISTER_FAST_REPLAY(::ft::DjitPlus);

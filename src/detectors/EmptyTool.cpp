@@ -1,3 +1,7 @@
 #include "detectors/EmptyTool.h"
 
+#include "framework/Replay.h"
+
 // EmptyTool is header-only; this file anchors it in the library.
+
+FT_REGISTER_FAST_REPLAY(::ft::EmptyTool);

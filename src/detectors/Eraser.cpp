@@ -1,5 +1,7 @@
 #include "detectors/Eraser.h"
 
+#include "framework/Replay.h"
+
 using namespace ft;
 
 void Eraser::begin(const ToolContext &Context) {
@@ -106,3 +108,5 @@ size_t Eraser::shadowBytes() const {
     Bytes += sizeof(VarShadow) + Shadow.Candidates.memoryBytes();
   return Bytes;
 }
+
+FT_REGISTER_FAST_REPLAY(::ft::Eraser);

@@ -1,5 +1,7 @@
 #include "detectors/Goldilocks.h"
 
+#include "framework/Replay.h"
+
 #include <algorithm>
 
 using namespace ft;
@@ -198,3 +200,5 @@ size_t Goldilocks::shadowBytes() const {
   }
   return Bytes;
 }
+
+FT_REGISTER_FAST_REPLAY(::ft::Goldilocks);

@@ -1,5 +1,7 @@
 #include "detectors/MultiRace.h"
 
+#include "framework/Replay.h"
+
 using namespace ft;
 
 void MultiRace::begin(const ToolContext &Context) {
@@ -136,3 +138,5 @@ size_t MultiRace::shadowBytes() const {
              Shadow.W.memoryBytes() + Shadow.Candidates.memoryBytes();
   return Bytes;
 }
+
+FT_REGISTER_FAST_REPLAY(::ft::MultiRace);

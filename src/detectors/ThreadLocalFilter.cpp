@@ -1,5 +1,7 @@
 #include "detectors/ThreadLocalFilter.h"
 
+#include "framework/Replay.h"
+
 using namespace ft;
 
 void ThreadLocalFilter::begin(const ToolContext &Context) {
@@ -33,3 +35,5 @@ bool ThreadLocalFilter::onWrite(ThreadId T, VarId X, size_t) {
 size_t ThreadLocalFilter::shadowBytes() const {
   return Owner.capacity() * sizeof(uint32_t);
 }
+
+FT_REGISTER_FAST_REPLAY(::ft::ThreadLocalFilter);

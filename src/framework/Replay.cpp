@@ -1,9 +1,5 @@
 #include "framework/Replay.h"
 
-#include "support/MemoryTracker.h"
-#include "support/Stopwatch.h"
-#include "trace/ReentrancyFilter.h"
-
 using namespace ft;
 
 ToolContext ft::makeToolContext(const Trace &T, const GranularityMap &Map) {
@@ -60,86 +56,37 @@ void ft::dispatchSyncOp(Tool &Checker, const Trace &T, const Operation &Op,
 
 namespace {
 
-/// The shared replay loop. \p ForEachAccess receives the access events and
-/// decides what "passed" means; sync events are dispatched via \p Sync.
-/// \p Probe reports the tool-side shadow bytes for the budget governor.
-/// \returns the trace index after the last processed operation — T.size()
-/// on completion, earlier (with \p BudgetExceeded set) on a budget stop.
-template <typename AccessFn, typename SyncFn, typename ProbeFn>
-size_t replayLoop(const Trace &T, const ReplayOptions &Options,
-                  const GranularityMap &Map, AccessFn &&Access, SyncFn &&Sync,
-                  ProbeFn &&Probe, uint64_t &Events, bool &BudgetExceeded) {
-  ReentrancyFilter Reentrancy(T.numThreads(), T.numLocks());
-  bool FilterLocks = Options.FilterReentrantLocks;
-  uint64_t Budget = Options.ShadowBudgetBytes;
-  bool Probing = Budget != 0 || Options.BudgetTracker != nullptr;
-  size_t CheckEvery = std::max(1u, Options.BudgetCheckEveryOps);
+/// The fast-replay registry. Filled by FastReplayRegistrar static
+/// initializers (single-threaded, before main) and only read afterwards,
+/// so plain storage suffices. Fixed capacity: registrations past the cap
+/// are dropped, which only costs those tools the fast path.
+struct FastReplayRegistry {
+  static constexpr size_t MaxProbes = 32;
+  FastReplayProbeFn Probes[MaxProbes] = {};
+  size_t NumProbes = 0;
+};
 
-  for (size_t I = 0, E = T.size(); I != E; ++I) {
-    if (Probing && I != 0 && I % CheckEvery == 0) {
-      uint64_t Live = Probe();
-      if (Options.BudgetTracker)
-        Options.BudgetTracker->sampleLive(Live);
-      if (Budget != 0 && Live > Budget) {
-        BudgetExceeded = true;
-        return I;
-      }
-    }
-    const Operation &Op = T[I];
-    switch (Op.Kind) {
-    case OpKind::Read:
-    case OpKind::Write:
-      ++Events;
-      Access(Op.Kind, Op.Thread, Map.map(Op.Target), I);
-      break;
-    case OpKind::Acquire:
-      if (FilterLocks && !Reentrancy.onAcquire(Op.Thread, Op.Target))
-        break;
-      ++Events;
-      Sync(Op, I);
-      break;
-    case OpKind::Release:
-      if (FilterLocks && !Reentrancy.onRelease(Op.Thread, Op.Target))
-        break;
-      ++Events;
-      Sync(Op, I);
-      break;
-    default:
-      ++Events;
-      Sync(Op, I);
-      break;
-    }
-  }
-  return T.size();
+FastReplayRegistry &fastReplayRegistry() {
+  static FastReplayRegistry Registry;
+  return Registry;
 }
 
 } // namespace
 
+void ft::registerFastReplay(FastReplayProbeFn Probe) {
+  FastReplayRegistry &Registry = fastReplayRegistry();
+  if (Registry.NumProbes < FastReplayRegistry::MaxProbes)
+    Registry.Probes[Registry.NumProbes++] = Probe;
+}
+
 ReplayResult ft::replay(const Trace &T, Tool &Checker,
                         const ReplayOptions &Options) {
-  GranularityMap Map = GranularityMap::make(Options);
+  const FastReplayRegistry &Registry = fastReplayRegistry();
   ReplayResult Result;
-  ClockStats Before = clockStats();
-
-  Stopwatch Watch;
-  Checker.begin(makeToolContext(T, Map));
-  Result.StoppedAtOp = replayLoop(
-      T, Options, Map,
-      [&](OpKind Kind, ThreadId Thread, VarId X, size_t I) {
-        bool Passed = Kind == OpKind::Read ? Checker.onRead(Thread, X, I)
-                                           : Checker.onWrite(Thread, X, I);
-        Result.AccessesPassed += Passed;
-      },
-      [&](const Operation &Op, size_t I) { dispatchSyncOp(Checker, T, Op, I); },
-      [&] { return Checker.shadowBytes(); }, Result.Events,
-      Result.BudgetExceeded);
-  Checker.end();
-  Result.Seconds = Watch.seconds();
-
-  Result.Clocks = clockStats() - Before;
-  Result.ShadowBytes = Checker.shadowBytes();
-  Result.NumWarnings = Checker.warnings().size();
-  return Result;
+  for (size_t I = 0; I != Registry.NumProbes; ++I)
+    if (Registry.Probes[I](T, Checker, Options, Result))
+      return Result;
+  return replayWithTool<Tool>(T, Checker, Options);
 }
 
 PipelineResult ft::replayFiltered(const Trace &T, Tool &Filter,
@@ -153,7 +100,7 @@ PipelineResult ft::replayFiltered(const Trace &T, Tool &Filter,
   Stopwatch Watch;
   Filter.begin(Context);
   Downstream.begin(Context);
-  Result.Total.StoppedAtOp = replayLoop(
+  Result.Total.StoppedAtOp = detail::replayLoop(
       T, Options, Map,
       [&](OpKind Kind, ThreadId Thread, VarId X, size_t I) {
         ++Result.AccessesSeen;

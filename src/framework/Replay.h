@@ -23,12 +23,18 @@
 
 #include "clock/ClockStats.h"
 #include "framework/Tool.h"
+#include "support/MemoryTracker.h"
 #include "support/Status.h"
+#include "support/Stopwatch.h"
+#include "trace/ReentrancyFilter.h"
 #include "trace/Trace.h"
 
-namespace ft {
+#include <algorithm>
+#include <limits>
+#include <type_traits>
+#include <typeinfo>
 
-class MemoryTracker;
+namespace ft {
 
 /// Analysis granularity (Section 4). Fine: every variable is its own
 /// shadow entity. Coarse: variables are grouped into objects, trading
@@ -128,7 +134,165 @@ struct ReplayResult {
   size_t StoppedAtOp = 0;
 };
 
-/// Replays \p T through \p Checker.
+namespace detail {
+
+/// The shared replay loop. \p ForEachAccess receives the access events and
+/// decides what "passed" means; sync events are dispatched via \p Sync.
+/// \p Probe reports the tool-side shadow bytes for the budget governor.
+/// \returns the trace index after the last processed operation — T.size()
+/// on completion, earlier (with \p BudgetExceeded set) on a budget stop.
+///
+/// Reads and writes dominate every workload in the suite (the paper's
+/// benchmarks run ~96% accesses), so the loop is arranged with the access
+/// dispatch as the predicted-taken straight-line path: one branch on
+/// isAccess(), then the sync switch only for the rare remainder. The
+/// budget probe is a single equality test against a precomputed next-fire
+/// index rather than a modulo per event.
+template <typename AccessFn, typename SyncFn, typename ProbeFn>
+size_t replayLoop(const Trace &T, const ReplayOptions &Options,
+                  const GranularityMap &Map, AccessFn &&Access, SyncFn &&Sync,
+                  ProbeFn &&Probe, uint64_t &Events, bool &BudgetExceeded) {
+  ReentrancyFilter Reentrancy(T.numThreads(), T.numLocks());
+  const bool FilterLocks = Options.FilterReentrantLocks;
+  const uint64_t Budget = Options.ShadowBudgetBytes;
+  const bool Probing = Budget != 0 || Options.BudgetTracker != nullptr;
+  const size_t CheckEvery = std::max(1u, Options.BudgetCheckEveryOps);
+  size_t NextProbe =
+      Probing ? CheckEvery : std::numeric_limits<size_t>::max();
+
+  for (size_t I = 0, E = T.size(); I != E; ++I) {
+    if (I == NextProbe) {
+      NextProbe += CheckEvery;
+      uint64_t Live = Probe();
+      if (Options.BudgetTracker)
+        Options.BudgetTracker->sampleLive(Live);
+      if (Budget != 0 && Live > Budget) {
+        BudgetExceeded = true;
+        return I;
+      }
+    }
+    const Operation &Op = T[I];
+    if (isAccess(Op.Kind)) {
+      ++Events;
+      Access(Op.Kind, Op.Thread, Map.map(Op.Target), I);
+      continue;
+    }
+    if (FilterLocks) {
+      if (Op.Kind == OpKind::Acquire &&
+          !Reentrancy.onAcquire(Op.Thread, Op.Target))
+        continue;
+      if (Op.Kind == OpKind::Release &&
+          !Reentrancy.onRelease(Op.Thread, Op.Target))
+        continue;
+    }
+    ++Events;
+    Sync(Op, I);
+  }
+  return T.size();
+}
+
+/// Dispatches onRead non-virtually when the concrete tool type is known
+/// at compile time (the qualified call pins the override, which lets the
+/// compiler inline FastTrack's same-epoch fast path straight into the
+/// replay loop). The ToolT == Tool instantiation keeps the virtual call
+/// for type-erased callers.
+template <typename ToolT>
+inline bool callOnRead(ToolT &Checker, ThreadId T, VarId X, size_t I) {
+  if constexpr (std::is_same_v<ToolT, Tool>)
+    return Checker.onRead(T, X, I);
+  else
+    return Checker.ToolT::onRead(T, X, I);
+}
+
+template <typename ToolT>
+inline bool callOnWrite(ToolT &Checker, ThreadId T, VarId X, size_t I) {
+  if constexpr (std::is_same_v<ToolT, Tool>)
+    return Checker.onWrite(T, X, I);
+  else
+    return Checker.ToolT::onWrite(T, X, I);
+}
+
+} // namespace detail
+
+/// Replays \p T through \p Checker with the access handlers dispatched
+/// non-virtually for the concrete \p ToolT. Correct only when \p Checker
+/// really is a \p ToolT (not a further-derived type that overrides
+/// onRead/onWrite again); replay() enforces that with an exact-type check
+/// before selecting this path. Sync handlers stay virtual — they are off
+/// the hot path.
+template <typename ToolT>
+ReplayResult replayWithTool(const Trace &T, ToolT &Checker,
+                            const ReplayOptions &Options = ReplayOptions()) {
+  GranularityMap Map = GranularityMap::make(Options);
+  ReplayResult Result;
+  ClockStats Before = clockStats();
+
+  Stopwatch Watch;
+  Checker.begin(makeToolContext(T, Map));
+  Result.StoppedAtOp = detail::replayLoop(
+      T, Options, Map,
+      [&](OpKind Kind, ThreadId Thread, VarId X, size_t I) {
+        bool Passed = Kind == OpKind::Read
+                          ? detail::callOnRead(Checker, Thread, X, I)
+                          : detail::callOnWrite(Checker, Thread, X, I);
+        Result.AccessesPassed += Passed;
+      },
+      [&](const Operation &Op, size_t I) { dispatchSyncOp(Checker, T, Op, I); },
+      [&] { return Checker.shadowBytes(); }, Result.Events,
+      Result.BudgetExceeded);
+  Checker.end();
+  Result.Seconds = Watch.seconds();
+
+  Result.Clocks = clockStats() - Before;
+  Result.ShadowBytes = Checker.shadowBytes();
+  Result.NumWarnings = Checker.warnings().size();
+  return Result;
+}
+
+/// A probe tried by replay() before falling back to virtual dispatch:
+/// returns true (and fills \p Result) when it recognizes the dynamic type
+/// of \p Checker and ran the devirtualized loop for it.
+using FastReplayProbeFn = bool (*)(const Trace &T, Tool &Checker,
+                                   const ReplayOptions &Options,
+                                   ReplayResult &Result);
+
+/// Adds \p Probe to the registry replay() consults. Called from static
+/// initializers in each tool's translation unit (so a tool that is linked
+/// in is automatically fast-pathed, and one that isn't costs nothing).
+void registerFastReplay(FastReplayProbeFn Probe);
+
+/// The generic probe for concrete tool \p ToolT: exact dynamic-type match
+/// only, so a subclass of a registered tool safely falls back to the
+/// virtual path.
+template <typename ToolT>
+bool fastReplayProbe(const Trace &T, Tool &Checker,
+                     const ReplayOptions &Options, ReplayResult &Result) {
+  if (typeid(Checker) != typeid(ToolT))
+    return false;
+  Result = replayWithTool(T, static_cast<ToolT &>(Checker), Options);
+  return true;
+}
+
+/// Registers fastReplayProbe<ToolT> at static-initialization time.
+struct FastReplayRegistrar {
+  explicit FastReplayRegistrar(FastReplayProbeFn Probe) {
+    registerFastReplay(Probe);
+  }
+};
+
+#define FT_FAST_REPLAY_CONCAT2(A, B) A##B
+#define FT_FAST_REPLAY_CONCAT(A, B) FT_FAST_REPLAY_CONCAT2(A, B)
+
+/// Place in the tool's own .cpp, where the access handlers' bodies are
+/// visible to the replayWithTool instantiation.
+#define FT_REGISTER_FAST_REPLAY(ToolT)                                         \
+  static ::ft::FastReplayRegistrar FT_FAST_REPLAY_CONCAT(                      \
+      FtFastReplayRegistrar_, __LINE__)(&::ft::fastReplayProbe<ToolT>)
+
+/// Replays \p T through \p Checker. Consults the fast-replay registry
+/// first: when \p Checker's exact type was registered, the devirtualized
+/// replayWithTool<ToolT> loop runs; otherwise the loop dispatches
+/// virtually. Results are identical either way.
 ReplayResult replay(const Trace &T, Tool &Checker,
                     const ReplayOptions &Options = ReplayOptions());
 

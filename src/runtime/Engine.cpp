@@ -72,6 +72,7 @@ Engine::~Engine() {
 Engine::Channel *Engine::registerThread(ThreadId Id) {
   std::lock_guard<std::mutex> Guard(ChannelMu);
   Channels.push_back(std::make_unique<Channel>(Id, Options.RingCapacity));
+  NumChannels.store(Channels.size(), std::memory_order_release);
   return Channels.back().get();
 }
 
@@ -141,25 +142,35 @@ void Engine::sequencerLoop() {
   uint64_t Next = 0;
   std::vector<Channel *> Snapshot;
   size_t Known = 0;
+  const size_t BatchCap = std::max<size_t>(1, Options.SequencerBatch);
+  std::vector<OnlineEvent> Batch(BatchCap);
   for (;;) {
-    {
+    // Rebuild the channel snapshot only when a registration happened;
+    // the steady-state sweep never touches ChannelMu.
+    if (NumChannels.load(std::memory_order_acquire) != Known) {
       std::lock_guard<std::mutex> Guard(ChannelMu);
-      if (Channels.size() != Known) {
-        Snapshot.clear();
-        for (const std::unique_ptr<Channel> &Ch : Channels)
-          Snapshot.push_back(Ch.get());
-        Known = Channels.size();
-      }
+      Snapshot.clear();
+      for (const std::unique_ptr<Channel> &Ch : Channels)
+        Snapshot.push_back(Ch.get());
+      Known = Channels.size();
     }
     bool Progress = false;
     for (Channel *Ch : Snapshot) {
-      while (const OnlineEvent *E = Ch->Ring.peek()) {
-        if (E->Seq != Next)
-          break; // this ring's head is from the future; try the others
-        deliver(Ch->Id, *E);
-        Ch->Ring.pop();
-        ++Next;
+      // Drain this ring's run of consecutive tickets in batches: the
+      // events are copied out and their slots released in one Head store
+      // (so a parked producer unblocks early), then dispatched from the
+      // local buffer. A short batch means the run ended — either the
+      // ring is out of events or its head ticket is from the future, so
+      // move on to the other rings.
+      for (;;) {
+        size_t N = Ch->Ring.popRunInto(Next, Batch.data(), BatchCap);
+        if (N == 0)
+          break;
         Progress = true;
+        for (size_t I = 0; I != N; ++I)
+          deliver(Ch->Id, Batch[I]);
+        if (N != BatchCap)
+          break;
       }
     }
     if (Progress) {

@@ -94,6 +94,12 @@ struct OnlineOptions {
   /// ahead of the sequencer parks until it drains.
   size_t RingCapacity = 1024;
 
+  /// How many consecutive events the sequencer copies out of a ring per
+  /// visit before dispatching them (EventRing::popRunInto). Larger
+  /// batches amortize the ring's atomic hand-off and release backpressure
+  /// space in bulk; events are dispatched in ticket order either way.
+  size_t SequencerBatch = 256;
+
   /// Strip redundant re-entrant lock events, as replay() does.
   bool FilterReentrantLocks = true;
 
@@ -200,9 +206,12 @@ private:
 
   /// Registered channels; guarded by ChannelMu. Channels are never
   /// removed before teardown, so raw pointers handed to TLS bindings and
-  /// the sequencer stay valid.
+  /// the sequencer stay valid. NumChannels mirrors Channels.size() so the
+  /// sequencer can notice registrations without taking the mutex on every
+  /// sweep (it locks only to rebuild its snapshot).
   std::mutex ChannelMu;
   std::vector<std::unique_ptr<Channel>> Channels;
+  std::atomic<size_t> NumChannels{0};
 
   std::atomic<uint64_t> Seq{0};      ///< Next ticket to hand out.
   std::atomic<uint64_t> NextSeq{0};  ///< Next ticket the sequencer expects.

@@ -18,6 +18,15 @@
 /// application generates events (the C11Tester/RoadRunner budgeting
 /// discipline, not an unbounded log).
 ///
+/// Two standard SPSC optimizations keep the indices off each other's
+/// cache lines:
+///  - Head and Tail live on separate 64-byte-aligned lines, so a push
+///    never invalidates the line a pop is spinning on (and vice versa).
+///  - Each side keeps a private cached copy of the other side's index and
+///    only re-reads the shared atomic when the cache says the ring looks
+///    full (producer) or empty (consumer). A steady-state push/pop pair
+///    is then one relaxed load + one release store per side.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FASTTRACK_RUNTIME_EVENTRING_H
@@ -64,11 +73,14 @@ public:
 
   /// True when push() may be called. The producer owns Tail, so a true
   /// result cannot be invalidated by the consumer (draining only makes
-  /// more room).
-  bool hasSpace() const {
-    return Tail.load(std::memory_order_relaxed) -
-               Head.load(std::memory_order_acquire) <
-           Buffer.size();
+  /// more room). Non-const: refreshes the producer's cached head when the
+  /// ring looks full.
+  bool hasSpace() {
+    uint64_t T = Tail.load(std::memory_order_relaxed);
+    if (T - HeadCache < Buffer.size())
+      return true;
+    HeadCache = Head.load(std::memory_order_acquire);
+    return T - HeadCache < Buffer.size();
   }
 
   /// Appends \p E. Precondition: hasSpace().
@@ -84,10 +96,15 @@ public:
 
   /// Returns the oldest event without consuming it, or nullptr when the
   /// ring is empty. The slot stays valid until the matching pop().
-  const OnlineEvent *peek() const {
+  /// Non-const: refreshes the consumer's cached tail when the ring looks
+  /// empty.
+  const OnlineEvent *peek() {
     uint64_t H = Head.load(std::memory_order_relaxed);
-    if (H == Tail.load(std::memory_order_acquire))
-      return nullptr;
+    if (H == TailCache) {
+      TailCache = Tail.load(std::memory_order_acquire);
+      if (H == TailCache)
+        return nullptr;
+    }
     return &Buffer[H & Mask];
   }
 
@@ -98,6 +115,34 @@ public:
     Head.store(H + 1, std::memory_order_release);
   }
 
+  /// Batch drain for the sequencer: copies out up to \p Max consecutive
+  /// events whose tickets continue the run \p NextSeq, advancing
+  /// \p NextSeq past each one, and releases all consumed slots with a
+  /// single Head store (so a parked producer sees the whole batch of
+  /// space at once). Stops early at the first out-of-run ticket — that
+  /// event stays in the ring for a later visit. Returns the number of
+  /// events written to \p Out.
+  size_t popRunInto(uint64_t &NextSeq, OnlineEvent *Out, size_t Max) {
+    uint64_t H = Head.load(std::memory_order_relaxed);
+    if (H == TailCache) {
+      TailCache = Tail.load(std::memory_order_acquire);
+      if (H == TailCache)
+        return 0;
+    }
+    size_t N = 0;
+    while (N != Max && H != TailCache) {
+      const OnlineEvent &E = Buffer[H & Mask];
+      if (E.Seq != NextSeq)
+        break;
+      Out[N++] = E;
+      ++H;
+      ++NextSeq;
+    }
+    if (N != 0)
+      Head.store(H, std::memory_order_release);
+    return N;
+  }
+
   bool empty() const {
     return Head.load(std::memory_order_acquire) ==
            Tail.load(std::memory_order_acquire);
@@ -106,8 +151,16 @@ public:
 private:
   std::vector<OnlineEvent> Buffer;
   size_t Mask = 0;
-  std::atomic<uint64_t> Head{0}; ///< Next slot to consume (sequencer).
-  std::atomic<uint64_t> Tail{0}; ///< Next slot to fill (owning thread).
+
+  /// Consumer cache line: the shared head index plus the consumer's
+  /// private cached copy of Tail.
+  alignas(64) std::atomic<uint64_t> Head{0}; ///< Next slot to consume.
+  uint64_t TailCache = 0;
+
+  /// Producer cache line: the shared tail index plus the producer's
+  /// private cached copy of Head.
+  alignas(64) std::atomic<uint64_t> Tail{0}; ///< Next slot to fill.
+  uint64_t HeadCache = 0;
 };
 
 } // namespace ft::runtime

@@ -143,6 +143,98 @@ TEST(Replay, MeasuresClockStatsDelta) {
   EXPECT_GT(R.ShadowBytes, 0u);
 }
 
+namespace {
+
+/// A mixed workload with real races, lock discipline, fork/join edges,
+/// volatiles and a reentrant pair — enough to touch every dispatch path.
+Trace devirtWorkload() {
+  TraceBuilder B;
+  B.fork(0, 1).fork(0, 2);
+  for (VarId X = 0; X != 4; ++X)
+    B.lockedWr(0, 0, X).lockedRd(1, 0, X);
+  B.wr(1, 10).rd(2, 10);         // write-read race on 10
+  B.rd(0, 11).rd(1, 11).wr(2, 11); // read-shared then racy write on 11
+  B.acq(0, 1).acq(0, 1).rel(0, 1).rel(0, 1); // reentrant pair
+  B.volWr(1, 0).volRd(2, 0);
+  B.join(0, 1).join(0, 2).wr(0, 10);
+  return B.take();
+}
+
+void expectSameReplayResults(const ReplayResult &A, const ReplayResult &B) {
+  EXPECT_EQ(A.Events, B.Events);
+  EXPECT_EQ(A.AccessesPassed, B.AccessesPassed);
+  EXPECT_EQ(A.NumWarnings, B.NumWarnings);
+  EXPECT_EQ(A.ShadowBytes, B.ShadowBytes);
+  EXPECT_EQ(A.StoppedAtOp, B.StoppedAtOp);
+  EXPECT_EQ(A.Clocks.Allocations, B.Clocks.Allocations);
+  EXPECT_EQ(A.Clocks.JoinOps, B.Clocks.JoinOps);
+  EXPECT_EQ(A.Clocks.CompareOps, B.Clocks.CompareOps);
+  EXPECT_EQ(A.Clocks.CopyOps, B.Clocks.CopyOps);
+}
+
+} // namespace
+
+TEST(Replay, DevirtualizedPathMatchesVirtualPathExactly) {
+  Trace T = devirtWorkload();
+
+  FastTrack Fast;
+  ReplayResult FastResult = replay(T, Fast); // registry: devirtualized
+
+  FastTrack Virt;
+  Tool &Erased = Virt;
+  ReplayResult VirtResult = replayWithTool<Tool>(T, Erased); // forced virtual
+
+  expectSameReplayResults(FastResult, VirtResult);
+  ASSERT_EQ(Fast.warnings().size(), Virt.warnings().size());
+  EXPECT_GT(Fast.warnings().size(), 0u) << "workload must contain races";
+  for (size_t I = 0; I != Fast.warnings().size(); ++I) {
+    EXPECT_EQ(Fast.warnings()[I].Var, Virt.warnings()[I].Var);
+    EXPECT_EQ(Fast.warnings()[I].OpIndex, Virt.warnings()[I].OpIndex);
+    EXPECT_EQ(Fast.warnings()[I].Detail, Virt.warnings()[I].Detail);
+  }
+  const FastTrackRuleStats &FR = Fast.ruleStats();
+  const FastTrackRuleStats &VR = Virt.ruleStats();
+  EXPECT_EQ(FR.ReadSameEpoch, VR.ReadSameEpoch);
+  EXPECT_EQ(FR.ReadShared, VR.ReadShared);
+  EXPECT_EQ(FR.ReadExclusive, VR.ReadExclusive);
+  EXPECT_EQ(FR.ReadShare, VR.ReadShare);
+  EXPECT_EQ(FR.WriteSameEpoch, VR.WriteSameEpoch);
+  EXPECT_EQ(FR.WriteExclusive, VR.WriteExclusive);
+  EXPECT_EQ(FR.WriteShared, VR.WriteShared);
+}
+
+namespace {
+
+/// Overrides a registered tool's access handlers; its exact type is NOT
+/// registered, so replay() must take the virtual path (a devirtualized
+/// FastTrack loop would silently skip these overrides).
+class CountingFastTrack : public FastTrack {
+public:
+  bool onRead(ThreadId T, VarId X, size_t I) override {
+    ++Reads;
+    return FastTrack::onRead(T, X, I);
+  }
+  bool onWrite(ThreadId T, VarId X, size_t I) override {
+    ++Writes;
+    return FastTrack::onWrite(T, X, I);
+  }
+  uint64_t Reads = 0, Writes = 0;
+};
+
+} // namespace
+
+TEST(Replay, SubclassOfRegisteredToolFallsBackToVirtualDispatch) {
+  Trace T = devirtWorkload();
+  CountingFastTrack Counting;
+  replay(T, Counting);
+  EXPECT_GT(Counting.Reads, 0u) << "override was bypassed";
+  EXPECT_GT(Counting.Writes, 0u) << "override was bypassed";
+
+  FastTrack Plain;
+  replay(T, Plain);
+  EXPECT_EQ(Counting.warnings().size(), Plain.warnings().size());
+}
+
 TEST(Tool, WarningDeduplicationPerVariable) {
   class AlwaysWarn : public Tool {
   public:

@@ -97,6 +97,70 @@ TEST(EventRing, CapacityRoundsUpToPowerOfTwo) {
   EXPECT_EQ(rt::EventRing(1024).capacity(), 1024u);
 }
 
+TEST(EventRing, PopRunDrainsConsecutiveTickets) {
+  rt::EventRing Ring(8);
+  for (uint64_t I = 0; I != 5; ++I)
+    Ring.push({I, OpKind::Read, static_cast<uint32_t>(I)});
+  rt::OnlineEvent Out[8];
+  uint64_t Next = 0;
+  size_t N = Ring.popRunInto(Next, Out, 8);
+  ASSERT_EQ(N, 5u);
+  EXPECT_EQ(Next, 5u);
+  for (uint64_t I = 0; I != 5; ++I) {
+    EXPECT_EQ(Out[I].Seq, I);
+    EXPECT_EQ(Out[I].Target, I);
+  }
+  EXPECT_TRUE(Ring.empty());
+  EXPECT_EQ(Ring.popRunInto(Next, Out, 8), 0u);
+}
+
+TEST(EventRing, PopRunRespectsMaxAndResumes) {
+  rt::EventRing Ring(8);
+  for (uint64_t I = 0; I != 6; ++I)
+    Ring.push({I, OpKind::Write, 0});
+  rt::OnlineEvent Out[4];
+  uint64_t Next = 0;
+  EXPECT_EQ(Ring.popRunInto(Next, Out, 4), 4u);
+  EXPECT_EQ(Next, 4u);
+  EXPECT_EQ(Ring.popRunInto(Next, Out, 4), 2u);
+  EXPECT_EQ(Next, 6u);
+  EXPECT_TRUE(Ring.empty());
+}
+
+TEST(EventRing, PopRunStopsAtOutOfRunTicket) {
+  // Ticket 7 belongs to another thread's ring; this ring resumes at 8.
+  rt::EventRing Ring(8);
+  Ring.push({5, OpKind::Read, 0});
+  Ring.push({6, OpKind::Read, 0});
+  Ring.push({8, OpKind::Read, 0});
+  rt::OnlineEvent Out[8];
+  uint64_t Next = 5;
+  EXPECT_EQ(Ring.popRunInto(Next, Out, 8), 2u);
+  EXPECT_EQ(Next, 7u);
+  ASSERT_NE(Ring.peek(), nullptr);
+  EXPECT_EQ(Ring.peek()->Seq, 8u) << "out-of-run event must stay queued";
+  Next = 8;
+  EXPECT_EQ(Ring.popRunInto(Next, Out, 8), 1u);
+  EXPECT_TRUE(Ring.empty());
+}
+
+TEST(EventRing, PopRunFreesSpaceForTheProducer) {
+  rt::EventRing Ring(4);
+  rt::OnlineEvent Out[4];
+  uint64_t Next = 0;
+  for (uint64_t I = 0; I != 4; ++I)
+    Ring.push({I, OpKind::Read, 0});
+  EXPECT_FALSE(Ring.hasSpace());
+  EXPECT_EQ(Ring.popRunInto(Next, Out, 4), 4u);
+  EXPECT_TRUE(Ring.hasSpace()) << "batch pop must release all slots";
+  for (uint64_t I = 4; I != 8; ++I) {
+    ASSERT_TRUE(Ring.hasSpace());
+    Ring.push({I, OpKind::Read, 0});
+  }
+  EXPECT_EQ(Ring.popRunInto(Next, Out, 4), 4u);
+  EXPECT_EQ(Next, 8u);
+}
+
 //===----------------------------------------------------------------------===//
 // EntityInterner
 //===----------------------------------------------------------------------===//
@@ -245,6 +309,29 @@ TEST(OnlineEquivalence, BoundedBufferIsRaceFreeOnEverySchedule) {
       C.join();
     });
     EXPECT_EQ(Report.NumWarnings, 0u) << "round " << Round;
+    EXPECT_EQ(Buffer.Consumed.read(), 150);
+  }
+}
+
+TEST(OnlineEquivalence, HoldsForEverySequencerBatchSize) {
+  // Batch edges: 1 degenerates to the unbatched drain, 2 and 3 force
+  // mid-run batch boundaries, 1024 exceeds every ring's content. The
+  // merged order (and so the warnings) must be identical throughout.
+  for (size_t Batch : {size_t(1), size_t(2), size_t(3), size_t(1024)}) {
+    FastTrack Detector;
+    BoundedBuffer Buffer;
+    rt::OnlineOptions Options;
+    Options.SequencerBatch = Batch;
+    rt::OnlineReport Report = checkedSession(
+        Detector,
+        [&Buffer] {
+          rt::Thread P([&Buffer] { Buffer.producer(5); });
+          rt::Thread C([&Buffer] { Buffer.consumer(5); });
+          P.join();
+          C.join();
+        },
+        std::move(Options));
+    EXPECT_EQ(Report.NumWarnings, 0u) << "batch " << Batch;
     EXPECT_EQ(Buffer.Consumed.read(), 150);
   }
 }

@@ -1,5 +1,6 @@
 //===--- VectorClockTest.cpp - vector clock algebra laws ------------------===//
 
+#include "clock/ClockArena.h"
 #include "clock/VectorClock.h"
 
 #include <gtest/gtest.h>
@@ -178,4 +179,206 @@ TEST(VectorClock, MoveDoesNotCountAllocation) {
   VectorClock B = std::move(A);
   (void)B;
   EXPECT_EQ(clockStats().Allocations, After);
+}
+
+// --- inline/heap boundary (small-buffer storage) ---
+
+TEST(VectorClock, GrowsAcrossInlineBoundaryPreservingEntries) {
+  VectorClock V;
+  for (ThreadId T = 0; T != VectorClock::InlineCapacity; ++T)
+    V.set(T, T + 1);
+  EXPECT_EQ(V.memoryBytes(), 0u) << "inline storage owns no heap";
+  V.set(VectorClock::InlineCapacity, 99); // spills to a heap block
+  EXPECT_GE(V.memoryBytes(),
+            (VectorClock::InlineCapacity + 1) * sizeof(ClockValue));
+  for (ThreadId T = 0; T != VectorClock::InlineCapacity; ++T)
+    EXPECT_EQ(V.get(T), T + 1) << "entry " << T << " lost in the spill";
+  EXPECT_EQ(V.get(VectorClock::InlineCapacity), 99u);
+}
+
+TEST(VectorClock, ImplicitZerosPastStoredSizeAfterSpill) {
+  VectorClock V;
+  V.set(20, 5); // heap-backed, size 21, capacity larger
+  EXPECT_EQ(V.size(), 21u);
+  EXPECT_EQ(V.get(10), 0u);
+  EXPECT_EQ(V.get(21), 0u);
+  EXPECT_EQ(V.get(1000), 0u);
+  V.inc(25); // grow within the same block
+  EXPECT_EQ(V.get(25), 1u);
+  EXPECT_EQ(V.get(24), 0u);
+}
+
+TEST(VectorClock, JoinAcrossDifferentStoredSizes) {
+  VectorClock Small, Large;
+  Small.set(2, 7);                 // inline, size 3
+  Large.set(20, 4);                // heap, size 21
+  Large.set(2, 1);
+
+  VectorClock A = Small;
+  A.joinWith(Large);               // inline clock absorbs a heap clock
+  EXPECT_EQ(A.get(2), 7u);
+  EXPECT_EQ(A.get(20), 4u);
+  EXPECT_EQ(A.size(), 21u);
+
+  VectorClock B = Large;
+  B.joinWith(Small);               // heap clock absorbs an inline clock
+  EXPECT_EQ(B.get(2), 7u);
+  EXPECT_EQ(B.get(20), 4u);
+  EXPECT_TRUE(A == B) << "join must commute across representations";
+}
+
+TEST(VectorClock, JoinAtNonMultipleOfFourSizes) {
+  // The join loop pads its trip count to 4 lanes; sizes 5 and 7 exercise
+  // both a padded tail read and a padded tail write.
+  VectorClock A, B;
+  for (ThreadId T = 0; T != 5; ++T)
+    A.set(T, 10 + T);
+  for (ThreadId T = 0; T != 7; ++T)
+    B.set(T, 14 - T);
+  A.joinWith(B);
+  for (ThreadId T = 0; T != 7; ++T)
+    EXPECT_EQ(A.get(T), std::max<ClockValue>(T < 5 ? 10 + T : 0, 14 - T));
+  EXPECT_EQ(A.get(7), 0u);
+}
+
+TEST(VectorClock, LeqAcrossDifferentStoredSizes) {
+  VectorClock Wide, Narrow;
+  Wide.set(10, 3); // heap, size 11
+  Narrow.set(1, 5); // inline, size 2
+  EXPECT_FALSE(Wide.leq(Narrow)) << "entry 10 faces an implicit zero";
+  EXPECT_FALSE(Narrow.leq(Wide)) << "entry 1 faces an implicit zero";
+  Wide.set(1, 5);
+  EXPECT_FALSE(Wide.leq(Narrow));
+  Wide.set(10, 0); // stored zero past Narrow's size is not a violation
+  EXPECT_TRUE(Wide.leq(Narrow));
+  EXPECT_TRUE(Narrow.leq(Wide));
+}
+
+TEST(VectorClock, ResetToBottomKeepsBufferAndSize) {
+  VectorClock V;
+  V.set(20, 5);
+  size_t Bytes = V.memoryBytes();
+  V.resetToBottom();
+  EXPECT_TRUE(V.isBottom());
+  EXPECT_EQ(V.size(), 21u) << "reset recycles the buffer, not the size";
+  EXPECT_EQ(V.memoryBytes(), Bytes) << "reset must not release the buffer";
+  uint64_t Allocs = clockStats().Allocations;
+  V.set(5, 1); // refill after recycle: no new materialization
+  EXPECT_EQ(clockStats().Allocations, Allocs);
+  EXPECT_EQ(V.get(5), 1u);
+  EXPECT_EQ(V.get(20), 0u);
+}
+
+TEST(VectorClock, MemoryBytesInlineVsHeap) {
+  EXPECT_EQ(VectorClock().memoryBytes(), 0u);
+  EXPECT_EQ(VectorClock(VectorClock::InlineCapacity).memoryBytes(), 0u);
+  VectorClock Spilled(VectorClock::InlineCapacity + 1);
+  EXPECT_GE(Spilled.memoryBytes(),
+            (VectorClock::InlineCapacity + 1) * sizeof(ClockValue));
+}
+
+TEST(VectorClock, AssignShrinkZeroesAbandonedTail) {
+  VectorClock Wide, Narrow;
+  Wide.set(6, 9); // size 7
+  Narrow.set(0, 1); // size 1
+  Wide = Narrow; // shrink in place: entries 1..6 must become zero
+  EXPECT_EQ(Wide.size(), 1u);
+  EXPECT_EQ(Wide.get(0), 1u);
+  Wide.joinWith(VectorClock(7)); // re-expose entries 1..6
+  for (ThreadId T = 1; T != 7; ++T)
+    EXPECT_EQ(Wide.get(T), 0u) << "stale entry " << T << " after shrink";
+}
+
+// --- ClockStats accounting pinned across spellings ---
+
+TEST(VectorClockStats, CopyCountsOnceRegardlessOfSpelling) {
+  resetClockStats();
+  VectorClock A(4);
+  A.set(0, 3);
+
+  VectorClock ByCtor = A;
+  EXPECT_EQ(clockStats().CopyOps, 1u);
+
+  VectorClock ByAssign;
+  ByAssign = A;
+  EXPECT_EQ(clockStats().CopyOps, 2u);
+
+  VectorClock ByCopyFrom;
+  ByCopyFrom.copyFrom(A);
+  EXPECT_EQ(clockStats().CopyOps, 3u);
+
+  // Each spelling also materialized one fresh clock (plus A itself).
+  EXPECT_EQ(clockStats().Allocations, 4u);
+}
+
+TEST(VectorClockStats, CopyFromEmptySourceCountsNothing) {
+  resetClockStats();
+  VectorClock Empty;
+  VectorClock ByCtor = Empty;
+  VectorClock ByAssign;
+  ByAssign = Empty;
+  VectorClock ByCopyFrom;
+  ByCopyFrom.copyFrom(Empty);
+  EXPECT_EQ(clockStats().CopyOps, 0u);
+  EXPECT_EQ(clockStats().Allocations, 0u);
+}
+
+TEST(VectorClockStats, AssignOntoMaterializedClockCountsCopyOnly) {
+  resetClockStats();
+  VectorClock A(4), B(4);
+  A.set(0, 1);
+  EXPECT_EQ(clockStats().Allocations, 2u);
+  B = A; // B already owns a buffer: copy, no allocation
+  EXPECT_EQ(clockStats().CopyOps, 1u);
+  EXPECT_EQ(clockStats().Allocations, 2u);
+}
+
+TEST(VectorClockStats, SelfAssignCountsNothing) {
+  resetClockStats();
+  VectorClock A(4);
+  A = *&A;
+  A.copyFrom(A);
+  EXPECT_EQ(clockStats().CopyOps, 0u);
+}
+
+TEST(VectorClockStats, GrowthOfMaterializedClockIsNotAnAllocation) {
+  resetClockStats();
+  VectorClock V;
+  V.set(0, 1); // materializes
+  EXPECT_EQ(clockStats().Allocations, 1u);
+  V.set(20, 2); // grows across the inline boundary: arena traffic, not
+                // a counted allocation
+  V.set(200, 3);
+  EXPECT_EQ(clockStats().Allocations, 1u);
+}
+
+// --- the arena behind heap-backed clocks ---
+
+TEST(ClockArena, RecyclesReleasedBlocks) {
+  { // Park at least one block of the class a size-21 clock uses.
+    VectorClock V;
+    V.set(20, 5);
+  }
+  ClockArena::resetStats();
+  {
+    VectorClock V;
+    V.set(20, 5); // same class: must come from the free list
+    EXPECT_EQ(V.get(20), 5u);
+    EXPECT_EQ(V.get(10), 0u) << "recycled block leaked old entries";
+  }
+  ClockArenaStats S = ClockArena::stats();
+  EXPECT_EQ(S.FreshBlocks, 0u) << "steady-state growth hit the allocator";
+  EXPECT_GE(S.ReusedBlocks, 1u);
+}
+
+TEST(ClockArena, ReusedBlocksComeBackZeroed) {
+  {
+    VectorClock V;
+    for (ThreadId T = 0; T != 30; ++T)
+      V.set(T, 0xDEAD);
+  }
+  VectorClock V;
+  V.set(29, 1); // same size class as the poisoned block
+  for (ThreadId T = 0; T != 29; ++T)
+    EXPECT_EQ(V.get(T), 0u) << "entry " << T;
 }
