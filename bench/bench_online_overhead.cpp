@@ -101,13 +101,18 @@ RunResult timePassThrough(unsigned NumThreads, int Iters) {
   return R;
 }
 
-RunResult timeOnline(Tool &Detector, unsigned NumThreads, int Iters) {
+RunResult timeOnline(Tool &Detector, unsigned NumThreads, int Iters,
+                     const rt::OnlineOptions &Base = rt::OnlineOptions()) {
   RunResult R;
   for (unsigned Rep = 0, Reps = repetitions(); Rep != Reps; ++Rep) {
     Detector.clearWarnings();
-    rt::OnlineOptions Options;
+    rt::OnlineOptions Options = Base;
     Options.KeepCapture = false; // measure the shim, not trace retention
     Options.ValidateCapture = false;
+    // Fixed-fidelity measurement: the rung is whatever the caller pinned
+    // (Full by default), and the supervisor must not shed accesses or
+    // degrade further mid-run — that would quietly shrink the workload.
+    Options.Supervise.Enabled = false;
     rt::Engine Engine(Detector, Options);
     double Seconds =
         runWorkload<rt::Mutex, rt::Shared<int>, rt::Thread>(NumThreads, Iters);
@@ -124,6 +129,23 @@ std::string nsPerEvent(const RunResult &R) {
   if (R.Events == 0)
     return "-";
   return fixed(1e9 * R.Seconds / static_cast<double>(R.Events), 0);
+}
+
+/// Options pinning the session at full fidelity: no ladder at all.
+rt::OnlineOptions fullFidelity() {
+  rt::OnlineOptions Options;
+  Options.Degrade.Enabled = false;
+  return Options;
+}
+
+/// Options pinning the session at one degraded rung (StartRung skips the
+/// overload trigger; the one-rung ladder is exhausted, so the session
+/// runs the whole workload there).
+rt::OnlineOptions pinnedRung(DegradeStep Step) {
+  rt::OnlineOptions Options;
+  Options.Degrade.Ladder = {Step};
+  Options.Degrade.StartRung = 1;
+  return Options;
 }
 
 } // namespace
@@ -146,9 +168,21 @@ int main(int argc, char **argv) {
     RunResult Native = timeNative(NumThreads, Iters);
     RunResult Pass = timePassThrough(NumThreads, Iters);
     EmptyTool Empty;
-    RunResult EmptyRun = timeOnline(Empty, NumThreads, Iters);
+    RunResult EmptyRun = timeOnline(Empty, NumThreads, Iters, fullFidelity());
     FastTrack FT;
-    RunResult FTRun = timeOnline(FT, NumThreads, Iters);
+    RunResult FTRun = timeOnline(FT, NumThreads, Iters, fullFidelity());
+    // The degraded-rung series: FastTrack pinned at coarse granularity
+    // (divisor 64: every access still delivered, ids remapped) and at
+    // 1-in-8 access sampling (7/8 of accesses shed before dispatch) —
+    // what an overloaded session actually pays after stepping down.
+    FastTrack FTCoarse;
+    RunResult CoarseRun = timeOnline(
+        FTCoarse, NumThreads, Iters,
+        pinnedRung({DegradeStep::Kind::CoarseGranularity, 64}));
+    FastTrack FTSample;
+    RunResult SampleRun = timeOnline(
+        FTSample, NumThreads, Iters,
+        pinnedRung({DegradeStep::Kind::AccessSampling, 8}));
 
     auto Row = [&](const char *Name, const RunResult &R, double VsEmpty) {
       Out.addRow({std::to_string(NumThreads), Name, fixed(R.Seconds, 3),
@@ -160,7 +194,14 @@ int main(int argc, char **argv) {
     Row("no engine", Pass, 0);
     Row("EMPTY", EmptyRun, 0);
     Row("FASTTRACK", FTRun, FTRun.Seconds / EmptyRun.Seconds);
+    Row("FT coarse64", CoarseRun, CoarseRun.Seconds / EmptyRun.Seconds);
+    Row("FT sample8", SampleRun, SampleRun.Seconds / EmptyRun.Seconds);
     Out.addSeparator();
+
+    // Degraded rungs shed work, so normalize them by the events the
+    // application *emitted* (4 per iteration), not by the shrunken
+    // delivered count — that is the per-op price the application pays.
+    const double Emitted = 4.0 * double(Iters) * double(NumThreads);
 
     const std::string Prefix = "t" + std::to_string(NumThreads) + "_";
     Report.metric(Prefix + "native_seconds", Native.Seconds, "s");
@@ -175,6 +216,10 @@ int main(int argc, char **argv) {
                     1e9 * FTRun.Seconds / double(FTRun.Events), "ns");
       Report.metric(Prefix + "events", double(FTRun.Events));
     }
+    Report.metric(Prefix + "fasttrack_coarse64_ns_per_event",
+                  1e9 * CoarseRun.Seconds / Emitted, "ns");
+    Report.metric(Prefix + "fasttrack_sample8_ns_per_event",
+                  1e9 * SampleRun.Seconds / Emitted, "ns");
   }
   std::printf("%s", Out.render().c_str());
 

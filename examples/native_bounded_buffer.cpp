@@ -13,6 +13,8 @@
 #include "runtime/Instrument.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
 
 using namespace ft;
@@ -64,7 +66,7 @@ bool sameWarnings(const std::vector<RaceWarning> &A,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
   std::printf("native bounded buffer — online race detection\n"
               "=============================================\n\n");
 
@@ -74,6 +76,23 @@ int main() {
   Options.OnWarning = [](const RaceWarning &W) {
     std::printf("  ONLINE WARNING: %s\n", toString(W).c_str());
   };
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--degrade") == 0 && I + 1 < argc) {
+      Options.Degrade.Enabled = std::strcmp(argv[++I], "off") != 0;
+    } else if (std::strcmp(argv[I], "--capture-segment-bytes") == 0 &&
+               I + 1 < argc) {
+      // Nonzero switches the flight recorder to crash-safe sealed
+      // segments (native_bounded_buffer.segNNNNNN.trc).
+      Options.CaptureSegmentBytes =
+          static_cast<size_t>(std::strtoull(argv[++I], nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--degrade on|off] "
+                   "[--capture-segment-bytes N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
 
   rt::Engine Engine(Detector, Options);
   BoundedBuffer Buffer;
@@ -92,8 +111,13 @@ int main() {
               (unsigned long long)Report.EventsCaptured,
               (unsigned long long)Report.EventsDispatched,
               Report.NumWarnings, Report.Seconds);
-  std::printf("flight recorder: native_bounded_buffer.trc (%zu ops)\n\n",
-              Report.Captured.size());
+  if (Options.CaptureSegmentBytes != 0)
+    std::printf("flight recorder: %u sealed segment(s), "
+                "native_bounded_buffer.segNNNNNN.trc (%zu ops)\n\n",
+                Report.CaptureSegments, Report.Captured.size());
+  else
+    std::printf("flight recorder: native_bounded_buffer.trc (%zu ops)\n\n",
+                Report.Captured.size());
 
   // Re-check the very same execution offline, as trace_file_tool would.
   FastTrack Offline;

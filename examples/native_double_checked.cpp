@@ -15,6 +15,8 @@
 #include "runtime/Instrument.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
 
 using namespace ft;
@@ -80,10 +82,11 @@ bool sameWarnings(const std::vector<RaceWarning> &A,
 /// FastTrack session; returns the report and checks online == offline.
 template <typename LazyInit>
 rt::OnlineReport check(const char *Title, const char *CapturePath,
-                       bool &EquivalenceOk) {
+                       bool &EquivalenceOk,
+                       const rt::OnlineOptions &BaseOptions) {
   std::printf("--- %s ---\n", Title);
   FastTrack Detector;
-  rt::OnlineOptions Options;
+  rt::OnlineOptions Options = BaseOptions;
   Options.CapturePath = CapturePath;
   Options.OnWarning = [](const RaceWarning &W) {
     std::printf("  ONLINE WARNING: %s\n", toString(W).c_str());
@@ -116,17 +119,35 @@ rt::OnlineReport check(const char *Title, const char *CapturePath,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
   std::printf("native double-checked locking — online race detection\n"
               "=====================================================\n\n");
+
+  rt::OnlineOptions BaseOptions;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--degrade") == 0 && I + 1 < argc) {
+      BaseOptions.Degrade.Enabled = std::strcmp(argv[++I], "off") != 0;
+    } else if (std::strcmp(argv[I], "--capture-segment-bytes") == 0 &&
+               I + 1 < argc) {
+      // Nonzero switches both captures to crash-safe sealed segments.
+      BaseOptions.CaptureSegmentBytes =
+          static_cast<size_t>(std::strtoull(argv[++I], nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--degrade on|off] "
+                   "[--capture-segment-bytes N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
 
   bool BrokenEq = false, FixedEq = false;
   rt::OnlineReport Broken = check<BrokenLazyInit>(
       "broken: plain flag (RACY by design)", "native_double_checked.trc",
-      BrokenEq);
+      BrokenEq, BaseOptions);
   rt::OnlineReport Fixed = check<FixedLazyInit>(
       "fixed: volatile flag (race-free)", "native_double_checked_fixed.trc",
-      FixedEq);
+      FixedEq, BaseOptions);
 
   bool Ok = BrokenEq && FixedEq && Broken.NumWarnings > 0 &&
             Fixed.NumWarnings == 0;

@@ -1,22 +1,126 @@
 #include "framework/OnlineDriver.h"
 
+#include "support/MemoryTracker.h"
+
+#include <algorithm>
+#include <exception>
+
 using namespace ft;
 
 OnlineDriver::OnlineDriver(Tool &Checker, const ToolContext &Capacity,
-                           OnlineDriverOptions Options)
-    : Checker(Checker), Capacity(Capacity), Options(std::move(Options)),
+                           OnlineDriverOptions Opts)
+    : Checker(Checker), Capacity(Capacity), Options(std::move(Opts)),
       Reentrancy(Capacity.NumThreads, Capacity.NumLocks) {
+  const DegradePolicy &D = Options.Degrade;
+  if (D.Enabled && D.StartRung != 0) {
+    Rung = D.StartRung < D.Ladder.size() ? D.StartRung
+                                         : static_cast<unsigned>(D.Ladder.size());
+    applyRung();
+  }
+  if (D.Enabled &&
+      (D.ShadowBudgetBytes != 0 ||
+       Options.ForceBudgetBreachAtRawOp != OnlineDriverOptions::NoFault))
+    NextProbe = std::max<unsigned>(1, D.BudgetCheckEveryOps);
   Checker.begin(Capacity);
 }
 
 void OnlineDriver::halt(std::string Message) {
+  halt(StatusCode::ResourceExhausted, std::move(Message));
+}
+
+void OnlineDriver::halt(StatusCode Code, std::string Message) {
   Diagnostic D;
-  D.Code = StatusCode::ResourceExhausted;
+  D.Code = Code;
   D.Sev = Severity::Error;
   D.OpIndex = Raw;
   D.Message = std::move(Message);
   Diags.push_back(std::move(D));
   Halted = true;
+}
+
+/// Recomputes the effective transform from ladder steps [0, Rung).
+void OnlineDriver::applyRung() {
+  Divisor = 1;
+  SampleEvery = 1;
+  SyncOnlyMode = false;
+  const std::vector<DegradeStep> &Ladder = Options.Degrade.Ladder;
+  for (unsigned I = 0; I != Rung && I < Ladder.size(); ++I) {
+    const DegradeStep &S = Ladder[I];
+    switch (S.K) {
+    case DegradeStep::Kind::CoarseGranularity:
+      Divisor = std::max(1u, S.Param);
+      break;
+    case DegradeStep::Kind::AccessSampling:
+      SampleEvery = std::max(1u, S.Param);
+      break;
+    case DegradeStep::Kind::SyncOnly:
+      SyncOnlyMode = true;
+      break;
+    }
+  }
+}
+
+bool OnlineDriver::stepDown(StatusCode Code, const std::string &Reason) {
+  const DegradePolicy &D = Options.Degrade;
+  if (!D.Enabled || Rung >= D.Ladder.size())
+    return false;
+  const DegradeStep &S = D.Ladder[Rung];
+  ++Rung;
+  ++Degradations;
+  applyRung();
+  std::string What;
+  switch (S.K) {
+  case DegradeStep::Kind::CoarseGranularity:
+    What = "coarse granularity (divisor " + std::to_string(Divisor) + ")";
+    break;
+  case DegradeStep::Kind::AccessSampling:
+    What = "access sampling (1 in " + std::to_string(SampleEvery) + ")";
+    break;
+  case DegradeStep::Kind::SyncOnly:
+    What = "sync-only (all accesses shed)";
+    break;
+  }
+  Diagnostic Diag;
+  Diag.Code = Code;
+  Diag.Sev = Severity::Warning;
+  Diag.OpIndex = Raw;
+  Diag.Message = "degraded to rung " + std::to_string(Rung) + "/" +
+                 std::to_string(D.Ladder.size()) + ": " + What + " — " + Reason;
+  Diags.push_back(std::move(Diag));
+  return true;
+}
+
+bool OnlineDriver::requestStepDown(StatusCode Code, const std::string &Reason) {
+  if (Halted)
+    return false;
+  return stepDown(Code, Reason);
+}
+
+void OnlineDriver::probeBudget() {
+  const DegradePolicy &D = Options.Degrade;
+  uint64_t Live = Checker.shadowBytes();
+  if (D.Tracker)
+    D.Tracker->sampleLive(Live);
+  bool Breach = D.ShadowBudgetBytes != 0 && Live > D.ShadowBudgetBytes;
+  if (Options.ForceBudgetBreachAtRawOp != OnlineDriverOptions::NoFault &&
+      Raw >= Options.ForceBudgetBreachAtRawOp) {
+    Breach = true;
+    // One forced breach per configured index; later probes read reality.
+    Options.ForceBudgetBreachAtRawOp = OnlineDriverOptions::NoFault;
+  }
+  if (Breach &&
+      !stepDown(StatusCode::ResourceExhausted,
+                "shadow memory " + std::to_string(Live) + " bytes over budget " +
+                    std::to_string(D.ShadowBudgetBytes) + " bytes")) {
+    // Ladder exhausted: keep running unbudgeted (the governor's final-rung
+    // rule) and stop probing — detection beats death.
+    Diags.push_back({StatusCode::ResourceExhausted, Severity::Note, 0, Raw,
+                     "shadow budget still breached at final rung; continuing "
+                     "unbudgeted"});
+    NextProbe = ~0ull;
+    return;
+  }
+  NextProbe = Raw + std::max<unsigned>(1, D.BudgetCheckEveryOps);
 }
 
 void OnlineDriver::drainWarnings() {
@@ -28,9 +132,28 @@ void OnlineDriver::drainWarnings() {
   }
 }
 
-bool OnlineDriver::dispatch(const Operation &Op) {
+OnlineDriver::DispatchOutcome OnlineDriver::offer(Operation &Op) {
   if (Halted)
-    return false;
+    return DispatchOutcome::Rejected;
+  if (Raw >= NextProbe)
+    probeBudget();
+
+  // Degraded transforms apply to accesses only — sync events are the HB
+  // spine and pass through every rung untouched, keeping the ordering
+  // relation exact however much access precision is shed.
+  bool IsAccess = Op.Kind == OpKind::Read || Op.Kind == OpKind::Write;
+  if (Rung != 0 && IsAccess) {
+    if (SyncOnlyMode) {
+      ++AccessesDropped;
+      return DispatchOutcome::Dropped;
+    }
+    if (SampleEvery != 1 && (AccessCounter++ % SampleEvery) != 0) {
+      ++AccessesDropped;
+      return DispatchOutcome::Dropped;
+    }
+    if (Divisor != 1)
+      Op.Target /= Divisor;
+  }
 
   // Capacity checks before the index is consumed: a rejected operation is
   // not part of the stream (the flight recorder must drop it too, so a
@@ -39,25 +162,40 @@ bool OnlineDriver::dispatch(const Operation &Op) {
     halt("thread id " + std::to_string(Op.Thread) +
          " exceeds declared capacity (" +
          std::to_string(Capacity.NumThreads) + " threads)");
-    return false;
+    return DispatchOutcome::Rejected;
   }
   switch (Op.Kind) {
   case OpKind::Read:
-  case OpKind::Write:
-    if (Op.Target >= Capacity.NumVars) {
-      halt("variable id " + std::to_string(Op.Target) +
-           " exceeds declared capacity (" + std::to_string(Capacity.NumVars) +
-           " variables)");
-      return false;
+  case OpKind::Write: {
+    // An over-capacity variable is the one breach a coarse rung can
+    // absorb: widen the divisor until the mapped id fits (or accesses are
+    // shed entirely). Only when the ladder cannot help does it halt.
+    const uint32_t Orig = Op.Target * Divisor; // lower bound of its bucket
+    while (Op.Target >= Capacity.NumVars) {
+      if (!stepDown(StatusCode::ResourceExhausted,
+                    "variable id " + std::to_string(Orig) +
+                        " exceeds declared capacity (" +
+                        std::to_string(Capacity.NumVars) + " variables)")) {
+        halt("variable id " + std::to_string(Orig) +
+             " exceeds declared capacity (" +
+             std::to_string(Capacity.NumVars) + " variables)");
+        return DispatchOutcome::Rejected;
+      }
+      if (SyncOnlyMode) {
+        ++AccessesDropped;
+        return DispatchOutcome::Dropped;
+      }
+      Op.Target = Orig / Divisor;
     }
     break;
+  }
   case OpKind::Acquire:
   case OpKind::Release:
     if (Op.Target >= Capacity.NumLocks) {
       halt("lock id " + std::to_string(Op.Target) +
            " exceeds declared capacity (" + std::to_string(Capacity.NumLocks) +
            " locks)");
-      return false;
+      return DispatchOutcome::Rejected;
     }
     break;
   case OpKind::Fork:
@@ -66,7 +204,7 @@ bool OnlineDriver::dispatch(const Operation &Op) {
       halt("thread id " + std::to_string(Op.Target) +
            " exceeds declared capacity (" +
            std::to_string(Capacity.NumThreads) + " threads)");
-      return false;
+      return DispatchOutcome::Rejected;
     }
     break;
   case OpKind::VolatileRead:
@@ -75,79 +213,105 @@ bool OnlineDriver::dispatch(const Operation &Op) {
       halt("volatile id " + std::to_string(Op.Target) +
            " exceeds declared capacity (" +
            std::to_string(Capacity.NumVolatiles) + " volatiles)");
-      return false;
+      return DispatchOutcome::Rejected;
     }
     break;
   case OpKind::Barrier:
     // Barrier thread sets live in a Trace side table; an online stream
     // has none. The in-process runtime never emits barriers.
     halt("barrier operations cannot be dispatched online");
-    return false;
+    return DispatchOutcome::Rejected;
   case OpKind::AtomicBegin:
   case OpKind::AtomicEnd:
     break;
   }
 
   size_t I = Raw++;
-  switch (Op.Kind) {
-  case OpKind::Read:
-    ++Dispatched;
-    AccessesPassed += Checker.onRead(Op.Thread, Op.Target, I);
-    break;
-  case OpKind::Write:
-    ++Dispatched;
-    AccessesPassed += Checker.onWrite(Op.Thread, Op.Target, I);
-    break;
-  case OpKind::Acquire:
-    if (Options.FilterReentrantLocks &&
-        !Reentrancy.onAcquire(Op.Thread, Op.Target))
+  // A tool that throws must not unwind into the sequencer thread (that
+  // would terminate the host process — the one outcome the online runtime
+  // exists to avoid). The op is rolled back out of the stream: its shadow
+  // effects may be torn, so the analysis halts with a ToolFault.
+  try {
+    switch (Op.Kind) {
+    case OpKind::Read:
+      ++Dispatched;
+      AccessesPassed += Checker.onRead(Op.Thread, Op.Target, I);
       break;
-    ++Dispatched;
-    Checker.onAcquire(Op.Thread, Op.Target, I);
-    break;
-  case OpKind::Release:
-    if (Options.FilterReentrantLocks &&
-        !Reentrancy.onRelease(Op.Thread, Op.Target))
+    case OpKind::Write:
+      ++Dispatched;
+      AccessesPassed += Checker.onWrite(Op.Thread, Op.Target, I);
       break;
-    ++Dispatched;
-    Checker.onRelease(Op.Thread, Op.Target, I);
-    break;
-  case OpKind::Fork:
-    ++Dispatched;
-    Checker.onFork(Op.Thread, Op.Target, I);
-    break;
-  case OpKind::Join:
-    ++Dispatched;
-    Checker.onJoin(Op.Thread, Op.Target, I);
-    break;
-  case OpKind::VolatileRead:
-    ++Dispatched;
-    Checker.onVolatileRead(Op.Thread, Op.Target, I);
-    break;
-  case OpKind::VolatileWrite:
-    ++Dispatched;
-    Checker.onVolatileWrite(Op.Thread, Op.Target, I);
-    break;
-  case OpKind::AtomicBegin:
-    ++Dispatched;
-    Checker.onAtomicBegin(Op.Thread, I);
-    break;
-  case OpKind::AtomicEnd:
-    ++Dispatched;
-    Checker.onAtomicEnd(Op.Thread, I);
-    break;
-  case OpKind::Barrier:
-    break; // unreachable: rejected above
+    case OpKind::Acquire:
+      if (Options.FilterReentrantLocks &&
+          !Reentrancy.onAcquire(Op.Thread, Op.Target))
+        break;
+      ++Dispatched;
+      Checker.onAcquire(Op.Thread, Op.Target, I);
+      break;
+    case OpKind::Release:
+      if (Options.FilterReentrantLocks &&
+          !Reentrancy.onRelease(Op.Thread, Op.Target))
+        break;
+      ++Dispatched;
+      Checker.onRelease(Op.Thread, Op.Target, I);
+      break;
+    case OpKind::Fork:
+      ++Dispatched;
+      Checker.onFork(Op.Thread, Op.Target, I);
+      break;
+    case OpKind::Join:
+      ++Dispatched;
+      Checker.onJoin(Op.Thread, Op.Target, I);
+      break;
+    case OpKind::VolatileRead:
+      ++Dispatched;
+      Checker.onVolatileRead(Op.Thread, Op.Target, I);
+      break;
+    case OpKind::VolatileWrite:
+      ++Dispatched;
+      Checker.onVolatileWrite(Op.Thread, Op.Target, I);
+      break;
+    case OpKind::AtomicBegin:
+      ++Dispatched;
+      Checker.onAtomicBegin(Op.Thread, I);
+      break;
+    case OpKind::AtomicEnd:
+      ++Dispatched;
+      Checker.onAtomicEnd(Op.Thread, I);
+      break;
+    case OpKind::Barrier:
+      break; // unreachable: rejected above
+    }
+    drainWarnings();
+  } catch (const std::exception &E) {
+    --Raw;
+    halt(StatusCode::ToolFault, std::string("tool '") + Checker.name() +
+                                    "' threw during dispatch: " + E.what());
+    return DispatchOutcome::Rejected;
+  } catch (...) {
+    --Raw;
+    halt(StatusCode::ToolFault, std::string("tool '") + Checker.name() +
+                                    "' threw a non-std exception during "
+                                    "dispatch");
+    return DispatchOutcome::Rejected;
   }
-
-  drainWarnings();
-  return true;
+  return DispatchOutcome::Delivered;
 }
 
 void OnlineDriver::finish() {
   if (Finished)
     return;
   Finished = true;
-  Checker.end();
-  drainWarnings();
+  try {
+    Checker.end();
+    drainWarnings();
+  } catch (const std::exception &E) {
+    halt(StatusCode::ToolFault,
+         std::string("tool '") + Checker.name() + "' threw during end(): " +
+             E.what());
+  } catch (...) {
+    halt(StatusCode::ToolFault, std::string("tool '") + Checker.name() +
+                                    "' threw a non-std exception during "
+                                    "end()");
+  }
 }

@@ -21,9 +21,32 @@
 /// known up front. The driver is constructed with a *capacity*
 /// ToolContext — the tool pre-sizes its shadow state from it exactly as
 /// it would for a trace — and every incoming operation is bounds-checked
-/// against that capacity. An over-capacity operation halts analysis with
-/// a resource-exhausted diagnostic rather than corrupting shadow state;
-/// the application is never the party that fails.
+/// against that capacity.
+///
+/// Unlike the original (PR 3) driver, an over-capacity variable or a
+/// shadow-memory budget breach no longer kills detection outright: the
+/// driver carries an *overload degradation ladder* (the online analogue
+/// of framework/ResourceGovernor.h, following SmartTrack's philosophy of
+/// degrading work per event rather than giving up):
+///
+///   Full → CoarseGranularity(8) → CoarseGranularity(64)
+///        → CoarseGranularity(512) → AccessSampling(1-in-8) → SyncOnly
+///
+/// Coarse rungs fold variable ids through a widening divisor (the
+/// GranularityMap mapping of replay()); sampling delivers a deterministic
+/// 1-in-N subset of accesses; SyncOnly drops all accesses. Sync events
+/// (acquire/release/fork/join/volatiles) are *never* degraded, so the
+/// happens-before spine stays exact on every rung. Each transition emits
+/// a Warning diagnostic anchored to the raw op index. Halting remains
+/// only for the failures no rung can absorb: thread/lock/volatile
+/// capacity breaches, barriers, and tools that throw mid-dispatch.
+///
+/// The equivalence contract survives degradation because the transform is
+/// applied *before* the flight recorder sees the op: offer() remaps the
+/// operation in place and tells the caller whether it is part of the
+/// delivered stream. Replaying a degraded capture offline therefore
+/// reproduces the online warnings byte for byte — the capture *is* the
+/// delivered subsequence.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,8 +62,64 @@
 
 namespace ft {
 
+class MemoryTracker;
+
+/// One rung of the overload-degradation ladder.
+struct DegradeStep {
+  enum class Kind : uint8_t {
+    /// Map variable ids through a widening divisor (fields-per-object),
+    /// like ResourceGovernor's 8/64/512 rungs. Divisors are absolute,
+    /// not cumulative: the step's Param replaces any earlier divisor.
+    CoarseGranularity,
+    /// Deliver a deterministic 1 in Param accesses; drop the rest.
+    AccessSampling,
+    /// Drop every access; only the sync spine reaches the tool.
+    SyncOnly,
+  };
+  Kind K = Kind::CoarseGranularity;
+  unsigned Param = 8;
+};
+
+/// Policy for stepping down under overload instead of halting. The
+/// effective configuration at rung R is the cumulative result of applying
+/// ladder steps [0, R): the latest coarse divisor, the latest sampling
+/// modulus, and whether a SyncOnly step was crossed.
+struct DegradePolicy {
+  /// Pin the whole ladder off: every trigger that would have degraded
+  /// halts instead (the pre-PR-5 behavior).
+  bool Enabled = true;
+
+  /// Rungs in the order they are applied. The default mirrors
+  /// ResourceGovernor's divisor ladder, then sheds accesses.
+  std::vector<DegradeStep> Ladder = {
+      {DegradeStep::Kind::CoarseGranularity, 8},
+      {DegradeStep::Kind::CoarseGranularity, 64},
+      {DegradeStep::Kind::CoarseGranularity, 512},
+      {DegradeStep::Kind::AccessSampling, 8},
+      {DegradeStep::Kind::SyncOnly, 0},
+  };
+
+  /// Shadow-memory budget in bytes; 0 disables the budget trigger. The
+  /// driver probes Tool::shadowBytes() every BudgetCheckEveryOps raw ops
+  /// and steps down one rung per breached probe. Once the ladder is
+  /// exhausted the run continues unbudgeted (with a Note diagnostic),
+  /// exactly like the governor's final rung.
+  uint64_t ShadowBudgetBytes = 0;
+  unsigned BudgetCheckEveryOps = 4096;
+
+  /// Optional tracker observing every budget probe (live/peak bytes).
+  MemoryTracker *Tracker = nullptr;
+
+  /// Ladder steps pre-applied at construction (0 = start Full). Lets the
+  /// benches measure a pinned rung without manufacturing overload.
+  unsigned StartRung = 0;
+};
+
 /// Options controlling one online dispatch session.
 struct OnlineDriverOptions {
+  /// Sentinel for the fault-injection knob below.
+  static constexpr uint64_t NoFault = ~0ull;
+
   /// Strip redundant re-entrant lock acquires/releases before dispatch,
   /// as the serial replay loop does. Keep this in sync with the replay
   /// options used to re-check a captured stream offline.
@@ -50,38 +129,77 @@ struct OnlineDriverOptions {
   /// raised it was dispatched — the "report races as they happen" sink.
   /// Called from whichever thread calls dispatch(); may be empty.
   std::function<void(const RaceWarning &)> WarningSink;
+
+  /// Overload-degradation policy (see DegradePolicy).
+  DegradePolicy Degrade;
+
+  /// Fault injection: the first budget probe at or after this raw op
+  /// index reports a breach regardless of actual shadow size (the
+  /// runtime's FaultPlan "allocation failure" hook). NoFault disables.
+  uint64_t ForceBudgetBreachAtRawOp = NoFault;
 };
 
 /// Drives one Tool from a live, totally-ordered event stream.
 ///
 /// Not thread-safe: exactly one thread (the runtime's sequencer) may call
-/// dispatch()/finish(). Concurrency belongs to the producers upstream;
-/// by the time events reach the driver they are already merged.
+/// offer()/dispatch()/finish(). Concurrency belongs to the producers
+/// upstream; by the time events reach the driver they are already merged.
 class OnlineDriver {
 public:
+  /// What happened to one offered operation.
+  enum class DispatchOutcome : uint8_t {
+    /// Part of the delivered stream: dispatched to the tool, or filtered
+    /// by the re-entrant lock filter (which still consumes a raw index).
+    /// A flight recorder must capture the operation as offer() left it
+    /// (coarse rungs remap the variable id in place).
+    Delivered,
+    /// Shed by a degraded rung (sampling or SyncOnly). Not part of the
+    /// delivered stream; must not be captured.
+    Dropped,
+    /// The driver is halted — by this operation or an earlier one.
+    /// Nothing was consumed; must not be captured.
+    Rejected,
+  };
+
   /// Calls Checker.begin(Capacity); the capacity bounds the entity ids
   /// dispatch() will accept (tools index shadow state without checks).
   OnlineDriver(Tool &Checker, const ToolContext &Capacity,
                OnlineDriverOptions Options = OnlineDriverOptions());
 
-  /// Feeds the next operation of the merged stream. Every accepted
-  /// operation consumes one raw op index — including re-entrant lock
-  /// events the filter strips — so indices agree with an offline replay
-  /// of the captured stream. Barrier operations cannot be dispatched
-  /// online (their thread sets live in a Trace side table) and halt the
-  /// driver.
-  ///
-  /// \returns true when the operation was accepted (dispatched or
-  /// filtered); false when the driver is halted — by this operation
-  /// exceeding capacity or by an earlier halt. A rejected operation must
-  /// not be recorded by a flight recorder.
-  bool dispatch(const Operation &Op);
+  /// Feeds the next operation of the merged stream, applying the current
+  /// degradation rung first: \p Op's variable id is remapped in place on
+  /// coarse rungs, so on Delivered the caller captures \p Op as returned.
+  /// Every Delivered operation consumes one raw op index — including
+  /// re-entrant lock events the filter strips — so indices agree with an
+  /// offline replay of the captured stream. Barrier operations cannot be
+  /// dispatched online (their thread sets live in a Trace side table)
+  /// and halt the driver. A tool that throws mid-dispatch halts the
+  /// driver with a ToolFault diagnostic instead of unwinding into the
+  /// sequencer (compose tools through ToolGroup to quarantine the
+  /// thrower and keep its siblings detecting).
+  DispatchOutcome offer(Operation &Op);
 
-  /// Calls Checker.end() and flushes the warning sink. Idempotent.
+  /// Compatibility shim over offer(): true iff the operation was
+  /// Delivered. Callers that capture the stream should use offer() to
+  /// distinguish Dropped from Rejected and to see the remapped id.
+  bool dispatch(const Operation &Op) {
+    Operation Copy = Op;
+    return offer(Copy) == DispatchOutcome::Delivered;
+  }
+
+  /// Steps one rung down the ladder on behalf of an external overload
+  /// signal (the runtime's supervisor: sustained ring pressure, repeated
+  /// sequencer stalls). \returns false when degradation is pinned off or
+  /// the ladder is exhausted; the caller decides what to do then — the
+  /// driver does not halt, because shedding continues at the final rung.
+  bool requestStepDown(StatusCode Code, const std::string &Reason);
+
+  /// Calls Checker.end() and flushes the warning sink. A throwing end()
+  /// is absorbed into a ToolFault diagnostic. Idempotent.
   void finish();
 
-  /// True once an over-capacity or unsupported operation stopped the
-  /// analysis. The application may keep running; events are dropped.
+  /// True once an unrecoverable operation stopped the analysis. The
+  /// application may keep running; events are dropped.
   bool halted() const { return Halted; }
 
   /// Raw op indices consumed (== the length of a faithful capture).
@@ -93,13 +211,27 @@ public:
   /// Accesses whose handler returned the pass flag.
   uint64_t accessesPassed() const { return AccessesPassed; }
 
-  /// Diagnostics describing any halt, anchored to the raw op index.
+  /// Accesses shed by sampling/SyncOnly rungs (not in the capture).
+  uint64_t accessesDropped() const { return AccessesDropped; }
+
+  /// Current ladder position: 0 = Full, N = ladder step N-1 applied.
+  unsigned rung() const { return Rung; }
+
+  /// Degradation transitions taken (== diagnostics emitted for them).
+  unsigned degradations() const { return Degradations; }
+
+  /// Diagnostics describing halts and degradations, anchored to the raw
+  /// op index at which they happened.
   const std::vector<Diagnostic> &diags() const { return Diags; }
 
   const ToolContext &capacity() const { return Capacity; }
 
 private:
   void halt(std::string Message);
+  void halt(StatusCode Code, std::string Message);
+  bool stepDown(StatusCode Code, const std::string &Reason);
+  void applyRung();
+  void probeBudget();
   void drainWarnings();
 
   Tool &Checker;
@@ -110,7 +242,16 @@ private:
   uint64_t Raw = 0;
   uint64_t Dispatched = 0;
   uint64_t AccessesPassed = 0;
+  uint64_t AccessesDropped = 0;
+  uint64_t AccessCounter = 0; ///< Accesses seen by the sampling gate.
+  uint64_t NextProbe = ~0ull; ///< Raw index of the next budget probe.
   size_t SinkCursor = 0;
+  unsigned Rung = 0;
+  unsigned Degradations = 0;
+  // Effective configuration at the current rung (derived by applyRung).
+  uint32_t Divisor = 1;
+  unsigned SampleEvery = 1;
+  bool SyncOnlyMode = false;
   bool Halted = false;
   bool Finished = false;
 };

@@ -1,0 +1,147 @@
+#include "framework/ToolGroup.h"
+
+#include <exception>
+#include <string>
+
+using namespace ft;
+
+ToolGroup::ToolGroup(std::vector<Tool *> Tools) {
+  for (Tool *T : Tools)
+    addMember(*T);
+}
+
+void ToolGroup::addMember(Tool &Member) {
+  Members.push_back({&Member, false, 0});
+}
+
+size_t ToolGroup::activeMembers() const {
+  size_t N = 0;
+  for (const Member &M : Members)
+    N += !M.Quarantined;
+  return N;
+}
+
+size_t ToolGroup::shadowBytes() const {
+  size_t Bytes = 0;
+  for (const Member &M : Members)
+    if (!M.Quarantined)
+      Bytes += M.T->shadowBytes();
+  return Bytes;
+}
+
+void ToolGroup::quarantine(Member &M, size_t OpIndex, const char *What) {
+  M.Quarantined = true;
+  Diags.push_back({StatusCode::ToolFault, Severity::Warning, 0, OpIndex,
+                   "tool '" + std::string(M.T->name()) +
+                       "' threw from an event handler: " + What +
+                       "; quarantined (" + std::to_string(activeMembers()) +
+                       " member(s) still detecting)"});
+}
+
+template <typename FnT>
+void ToolGroup::guarded(Member &M, size_t OpIndex, FnT &&Fn) {
+  try {
+    Fn();
+  } catch (const std::exception &E) {
+    quarantine(M, OpIndex, E.what());
+  } catch (...) {
+    quarantine(M, OpIndex, "non-standard exception");
+  }
+}
+
+void ToolGroup::begin(const ToolContext &Context) {
+  for (Member &M : Members)
+    if (!M.Quarantined)
+      guarded(M, NoOpIndex, [&] { M.T->begin(Context); });
+}
+
+void ToolGroup::end() {
+  // A quarantined member's end() is skipped too: its shadow state is
+  // whatever the throw left behind.
+  for (Member &M : Members)
+    if (!M.Quarantined)
+      guarded(M, NoOpIndex, [&] { M.T->end(); });
+  adoptNewWarnings();
+}
+
+bool ToolGroup::onRead(ThreadId T, VarId X, size_t OpIndex) {
+  bool Pass = false;
+  for (Member &M : Members)
+    if (!M.Quarantined)
+      guarded(M, OpIndex, [&] { Pass = M.T->onRead(T, X, OpIndex) || Pass; });
+  adoptNewWarnings();
+  // With no member left, never filter the stream (pass everything).
+  return Pass || activeMembers() == 0;
+}
+
+bool ToolGroup::onWrite(ThreadId T, VarId X, size_t OpIndex) {
+  bool Pass = false;
+  for (Member &M : Members)
+    if (!M.Quarantined)
+      guarded(M, OpIndex, [&] { Pass = M.T->onWrite(T, X, OpIndex) || Pass; });
+  adoptNewWarnings();
+  return Pass || activeMembers() == 0;
+}
+
+void ToolGroup::onAcquire(ThreadId T, LockId L, size_t OpIndex) {
+  for (Member &M : Members)
+    if (!M.Quarantined)
+      guarded(M, OpIndex, [&] { M.T->onAcquire(T, L, OpIndex); });
+  adoptNewWarnings();
+}
+
+void ToolGroup::onRelease(ThreadId T, LockId L, size_t OpIndex) {
+  for (Member &M : Members)
+    if (!M.Quarantined)
+      guarded(M, OpIndex, [&] { M.T->onRelease(T, L, OpIndex); });
+  adoptNewWarnings();
+}
+
+void ToolGroup::onFork(ThreadId T, ThreadId U, size_t OpIndex) {
+  for (Member &M : Members)
+    if (!M.Quarantined)
+      guarded(M, OpIndex, [&] { M.T->onFork(T, U, OpIndex); });
+  adoptNewWarnings();
+}
+
+void ToolGroup::onJoin(ThreadId T, ThreadId U, size_t OpIndex) {
+  for (Member &M : Members)
+    if (!M.Quarantined)
+      guarded(M, OpIndex, [&] { M.T->onJoin(T, U, OpIndex); });
+  adoptNewWarnings();
+}
+
+void ToolGroup::onVolatileRead(ThreadId T, VolatileId V, size_t OpIndex) {
+  for (Member &M : Members)
+    if (!M.Quarantined)
+      guarded(M, OpIndex, [&] { M.T->onVolatileRead(T, V, OpIndex); });
+  adoptNewWarnings();
+}
+
+void ToolGroup::onVolatileWrite(ThreadId T, VolatileId V, size_t OpIndex) {
+  for (Member &M : Members)
+    if (!M.Quarantined)
+      guarded(M, OpIndex, [&] { M.T->onVolatileWrite(T, V, OpIndex); });
+  adoptNewWarnings();
+}
+
+void ToolGroup::onBarrier(const std::vector<ThreadId> &Threads,
+                          size_t OpIndex) {
+  for (Member &M : Members)
+    if (!M.Quarantined)
+      guarded(M, OpIndex, [&] { M.T->onBarrier(Threads, OpIndex); });
+  adoptNewWarnings();
+}
+
+void ToolGroup::adoptNewWarnings() {
+  for (Member &M : Members) {
+    const std::vector<RaceWarning> &W = M.T->warnings();
+    if (M.WarningCursor == W.size())
+      continue;
+    std::vector<RaceWarning> Fresh(W.begin() +
+                                       static_cast<ptrdiff_t>(M.WarningCursor),
+                                   W.end());
+    adoptWarnings(Fresh);
+    M.WarningCursor = W.size();
+  }
+}

@@ -1,0 +1,106 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ToolGroup: run several Tools over one event stream, with fault
+/// isolation between them.
+///
+/// RoadRunner lets checkers be chained; the analogue here is a Tool that
+/// fans every event out to its members. The group exists for two reasons:
+///
+///  - **Apples-to-apples runs.** One replay (or one online session) can
+///    feed FastTrack and a reference detector simultaneously, paying the
+///    event-stream cost once.
+///  - **Quarantine.** A member that throws from an event handler is
+///    *quarantined*: the group records a ToolFault diagnostic, stops
+///    forwarding events to that member (including end() — its shadow
+///    state is suspect), and keeps every other member detecting. Without
+///    a group, a throwing tool halts the whole driver
+///    (OnlineDriver::offer's backstop).
+///
+/// Warnings reported by members are adopted into the group after every
+/// forwarded event, preserving stream order, so `group.warnings()` and an
+/// OnlineDriver's warning sink see the union (deduplicated to one warning
+/// per variable, the standard Tool policy — members agreeing on a racy
+/// variable produce one warning, first reporter wins).
+///
+/// The group does not own its members; they must outlive it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_FRAMEWORK_TOOLGROUP_H
+#define FASTTRACK_FRAMEWORK_TOOLGROUP_H
+
+#include "framework/Tool.h"
+#include "support/Status.h"
+
+#include <vector>
+
+namespace ft {
+
+/// Fans one event stream out to several member Tools, quarantining any
+/// member that throws.
+class ToolGroup : public Tool {
+public:
+  ToolGroup() = default;
+  explicit ToolGroup(std::vector<Tool *> Tools);
+
+  /// Adds a member (before begin()).
+  void addMember(Tool &Member);
+
+  const char *name() const override { return "ToolGroup"; }
+
+  void begin(const ToolContext &Context) override;
+  void end() override;
+
+  bool onRead(ThreadId T, VarId X, size_t OpIndex) override;
+  bool onWrite(ThreadId T, VarId X, size_t OpIndex) override;
+  void onAcquire(ThreadId T, LockId M, size_t OpIndex) override;
+  void onRelease(ThreadId T, LockId M, size_t OpIndex) override;
+  void onFork(ThreadId T, ThreadId U, size_t OpIndex) override;
+  void onJoin(ThreadId T, ThreadId U, size_t OpIndex) override;
+  void onVolatileRead(ThreadId T, VolatileId V, size_t OpIndex) override;
+  void onVolatileWrite(ThreadId T, VolatileId V, size_t OpIndex) override;
+  void onBarrier(const std::vector<ThreadId> &Threads,
+                 size_t OpIndex) override;
+
+  /// Sum over live members (a quarantined member's shadow state is
+  /// released from the budget's point of view: it will never grow again
+  /// and the member is effectively dead).
+  size_t shadowBytes() const override;
+
+  size_t numMembers() const { return Members.size(); }
+
+  /// True when member \p Index has been quarantined by a throw.
+  bool quarantined(size_t Index) const { return Members[Index].Quarantined; }
+
+  /// Members still receiving events.
+  size_t activeMembers() const;
+
+  /// ToolFault diagnostics, one per quarantined member, anchored to the
+  /// op index of the throwing call.
+  const std::vector<Diagnostic> &diags() const { return Diags; }
+
+private:
+  struct Member {
+    Tool *T = nullptr;
+    bool Quarantined = false;
+    size_t WarningCursor = 0; ///< Member warnings adopted so far.
+  };
+
+  /// Calls \p Fn on member \p M, quarantining it on a throw.
+  template <typename FnT> void guarded(Member &M, size_t OpIndex, FnT &&Fn);
+
+  void quarantine(Member &M, size_t OpIndex, const char *What);
+  void adoptNewWarnings();
+
+  std::vector<Member> Members;
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace ft
+
+#endif // FASTTRACK_FRAMEWORK_TOOLGROUP_H

@@ -1,9 +1,11 @@
 #include "runtime/Engine.h"
 
+#include "runtime/FaultPlan.h"
 #include "trace/TraceIO.h"
 #include "trace/TraceValidator.h"
 
 #include <cassert>
+#include <chrono>
 
 using namespace ft;
 using namespace ft::runtime;
@@ -30,6 +32,9 @@ OnlineDriverOptions driverOptions(const OnlineOptions &Options) {
   OnlineDriverOptions Driver;
   Driver.FilterReentrantLocks = Options.FilterReentrantLocks;
   Driver.WarningSink = Options.OnWarning;
+  Driver.Degrade = Options.Degrade;
+  if (Options.Faults)
+    Driver.ForceBudgetBreachAtRawOp = Options.Faults->ForceBudgetBreachAtRawOp;
   return Driver;
 }
 
@@ -52,7 +57,23 @@ Engine::Engine(Tool &Checker, OnlineOptions Opts)
     : Checker(Checker), Options(std::move(Opts)),
       Gen(GenerationCounter.fetch_add(1, std::memory_order_relaxed) + 1),
       Driver(Checker, capacityContext(Options), driverOptions(Options)),
-      Capturing(Options.KeepCapture || !Options.CapturePath.empty()) {
+      MemCapture(Options.KeepCapture ||
+                 (!Options.CapturePath.empty() &&
+                  Options.CaptureSegmentBytes == 0)),
+      Capturing(false) {
+  if (!Options.CapturePath.empty() && Options.CaptureSegmentBytes != 0) {
+    // Segmented flight recorder: CapturePath names the chain prefix (a
+    // trailing .trc is stripped — segments carry their own extension).
+    std::string Prefix = Options.CapturePath;
+    if (Prefix.size() > 4 &&
+        Prefix.compare(Prefix.size() - 4, 4, ".trc") == 0)
+      Prefix.resize(Prefix.size() - 4);
+    SegmentWriterOptions SW;
+    SW.SegmentBytes = Options.CaptureSegmentBytes;
+    SegWriter = std::make_unique<SegmentedTraceWriter>(Prefix, SW);
+  }
+  Capturing = MemCapture || SegWriter != nullptr;
+
   // The constructing thread is the session's main thread, dense id 0.
   ThreadId Main = Interner.allocateThreadId();
   Binding = {this, registerThread(Main)};
@@ -61,7 +82,9 @@ Engine::Engine(Tool &Checker, OnlineOptions Opts)
          "one online session at a time");
   CurrentEngine.store(this, std::memory_order_release);
 
-  SequencerThread = std::thread([this] { sequencerLoop(); });
+  SequencerThread = std::thread([this] { sequencerLoop(0); });
+  if (Options.Supervise.Enabled)
+    SupervisorThread = std::thread([this] { supervisorLoop(); });
 }
 
 Engine::~Engine() {
@@ -94,22 +117,69 @@ void Engine::bindCurrentThread(ThreadId Id) {
 }
 
 void Engine::emit(OpKind Kind, uint32_t Target) {
-  if (Halted.load(std::memory_order_relaxed))
-    return;
   Channel *Ch = channelForCurrentThread();
+  // Acquire pairs with the release store at every halt site: see the
+  // Halted declaration for why relaxed would be wrong here.
+  if (Halted.load(std::memory_order_acquire)) {
+    Ch->DroppedPostHalt.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   // Backpressure: park until the sequencer drains. The ticket is drawn
   // only after space is certain, so the sequencer never waits on a seq
-  // number owned by a parked thread (that would deadlock the pipeline).
-  while (!Ch->Ring.hasSpace()) {
-    if (Halted.load(std::memory_order_relaxed))
-      return;
-    std::this_thread::yield();
-  }
+  // number owned by a parked thread (that would deadlock the pipeline) —
+  // and an event shed while parked owns no ticket either, so shedding
+  // leaves no gap in the sequence.
+  if (!Ch->Ring.hasSpace() && !parkUntilSpace(Ch, Kind))
+    return;
   OnlineEvent E;
   E.Seq = Seq.fetch_add(1, std::memory_order_relaxed);
   E.Kind = Kind;
   E.Target = Target;
   Ch->Ring.push(E);
+}
+
+bool Engine::parkUntilSpace(Channel *Ch, OpKind Kind) {
+  // The cold path: the producer is about to block on the detector. The
+  // supervisor bounds that: a parked *access* is shed after MaxParkMs (or
+  // immediately in drop-and-count mode) and counted; sync events are the
+  // HB spine and keep waiting — the watchdog recovers the sequencer
+  // within its own deadline, so even they cannot wait unboundedly unless
+  // supervision is pinned off.
+  Ch->Parks.fetch_add(1, std::memory_order_relaxed);
+  ProducersParked.fetch_add(1, std::memory_order_relaxed);
+  const bool Droppable = isAccess(Kind) && Options.Supervise.Enabled;
+  const uint64_t DeadlineNs =
+      static_cast<uint64_t>(Options.Supervise.MaxParkMs) * 1000000ull;
+  Stopwatch Park;
+  unsigned Spins = 0;
+  bool GotSpace = false;
+  for (;;) {
+    if (Ch->Ring.hasSpace()) {
+      GotSpace = true;
+      break;
+    }
+    if (Halted.load(std::memory_order_acquire)) {
+      Ch->DroppedPostHalt.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (Droppable) {
+      if (DropAccesses.load(std::memory_order_acquire)) {
+        Ch->DroppedOverload.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      if (Park.nanoseconds() >= DeadlineNs) {
+        Ch->DroppedOverload.fetch_add(1, std::memory_order_relaxed);
+        DeadlineDrops.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+    }
+    if (++Spins < 64)
+      std::this_thread::yield();
+    else
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  ProducersParked.fetch_sub(1, std::memory_order_relaxed);
+  return GotSpace;
 }
 
 ThreadId Engine::forkThread() {
@@ -126,25 +196,39 @@ void Engine::joinThread(ThreadId Child) {
   emit(OpKind::Join, Child);
 }
 
-void Engine::deliver(ThreadId T, const OnlineEvent &E) {
-  if (Halted.load(std::memory_order_relaxed))
-    return; // drain-and-discard once detection stopped
-  Operation Op(E.Kind, T, E.Target);
-  if (!Driver.dispatch(Op)) {
-    Halted.store(true, std::memory_order_relaxed);
-    return;
-  }
-  if (Capturing)
-    Capture.append(Op);
+void Engine::noteMaxBacklog(uint64_t Backlog) {
+  uint64_t Seen = MaxBacklogSeen.load(std::memory_order_relaxed);
+  while (Backlog > Seen &&
+         !MaxBacklogSeen.compare_exchange_weak(Seen, Backlog,
+                                               std::memory_order_relaxed))
+    ;
 }
 
-void Engine::sequencerLoop() {
-  uint64_t Next = 0;
+void Engine::sequencerLoop(uint64_t Epoch) {
+  // A successor resumes exactly at the predecessor's published watermark:
+  // batches are popped, dispatched, and published atomically with respect
+  // to abandonment (the epoch is only checked between batches).
+  uint64_t Next = NextSeq.load(std::memory_order_acquire);
   std::vector<Channel *> Snapshot;
   size_t Known = 0;
   const size_t BatchCap = std::max<size_t>(1, Options.SequencerBatch);
   std::vector<OnlineEvent> Batch(BatchCap);
-  for (;;) {
+  std::vector<Operation> Delivered;
+  Delivered.reserve(BatchCap);
+  const FaultPlan *Faults = Options.Faults;
+  uint64_t LocalMaxBacklog = 0;
+  bool Abandoned = false;
+  while (!Abandoned) {
+    if (SequencerEpoch.load(std::memory_order_acquire) != Epoch)
+      break;
+    // Rung downgrades requested by the supervisor are applied here: the
+    // driver is single-threaded, so only the sequencer may touch it.
+    if (unsigned K = PendingDegrade.exchange(0, std::memory_order_acq_rel)) {
+      while (K-- != 0 &&
+             Driver.requestStepDown(StatusCode::Stalled,
+                                    "supervisor: sustained overload"))
+        ;
+    }
     // Rebuild the channel snapshot only when a registration happened;
     // the steady-state sweep never touches ChannelMu.
     if (NumChannels.load(std::memory_order_acquire) != Known) {
@@ -154,6 +238,9 @@ void Engine::sequencerLoop() {
         Snapshot.push_back(Ch.get());
       Known = Channels.size();
     }
+    uint64_t Backlog = Seq.load(std::memory_order_relaxed) - Next;
+    if (Backlog > LocalMaxBacklog)
+      LocalMaxBacklog = Backlog;
     bool Progress = false;
     for (Channel *Ch : Snapshot) {
       // Drain this ring's run of consecutive tickets in batches: the
@@ -163,20 +250,74 @@ void Engine::sequencerLoop() {
       // ring is out of events or its head ticket is from the future, so
       // move on to the other rings.
       for (;;) {
-        size_t N = Ch->Ring.popRunInto(Next, Batch.data(), BatchCap);
+        // Injected wedge (FaultPlan): busy-wait *before* consuming the
+        // ticket, so nothing is popped-but-undelivered — the supervisor
+        // abandons this thread and its successor resumes cleanly here.
+        if (Faults && Faults->takeStall(Next)) {
+          while (SequencerEpoch.load(std::memory_order_acquire) == Epoch)
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+          Abandoned = true;
+          break;
+        }
+        size_t Cap = BatchCap;
+        if (Faults &&
+            Faults->StallsArmed.load(std::memory_order_relaxed) != 0 &&
+            Faults->StallAtTicket > Next &&
+            Faults->StallAtTicket - Next < Cap)
+          // Stop the batch right before the stall ticket so the check
+          // above sees it exactly (a batch advances Next wholesale).
+          Cap = static_cast<size_t>(Faults->StallAtTicket - Next);
+        size_t N = Ch->Ring.popRunInto(Next, Batch.data(), Cap);
         if (N == 0)
           break;
         Progress = true;
-        for (size_t I = 0; I != N; ++I)
-          deliver(Ch->Id, Batch[I]);
-        if (N != BatchCap)
+        Delivered.clear();
+        for (size_t I = 0; I != N; ++I) {
+          if (Halted.load(std::memory_order_relaxed)) {
+            // Ticketed before the halt landed; discarded but counted —
+            // no silent loss (the relaxed load is fine: this thread set
+            // the flag itself or will re-check via the driver).
+            ++DiscardedPostHalt;
+            continue;
+          }
+          Operation Op(Batch[I].Kind, Ch->Id, Batch[I].Target);
+          OnlineDriver::DispatchOutcome Outcome = Driver.offer(Op);
+          if (Outcome == OnlineDriver::DispatchOutcome::Delivered) {
+            if (Capturing)
+              Delivered.push_back(Op);
+            if (Faults && Faults->inStorm(Batch[I].Seq))
+              std::this_thread::sleep_for(
+                  std::chrono::microseconds(Faults->DelayPerDeliveryUs));
+          } else if (Outcome == OnlineDriver::DispatchOutcome::Rejected) {
+            // Unrecoverable driver halt. Release pairs with the acquire
+            // in emit(): the driver's diagnostics are fully written
+            // before producers can observe the flag (see Halted).
+            Halted.store(true, std::memory_order_release);
+            ++DiscardedPostHalt;
+          }
+        }
+        if (!Delivered.empty()) {
+          // Batched capture (no per-event branch in the steady state):
+          // the whole delivered run lands in one appendRun / one
+          // segment write.
+          if (MemCapture)
+            Capture.appendRun(Delivered.data(), Delivered.size());
+          if (SegWriter)
+            SegWriter->append(Delivered.data(), Delivered.size());
+        }
+        // Publish the merge watermark per batch: the watchdog reads it
+        // for stall detection and a successor resumes from it.
+        NextSeq.store(Next, std::memory_order_release);
+        if (N != Cap)
           break;
       }
+      if (Abandoned)
+        break;
     }
-    if (Progress) {
-      NextSeq.store(Next, std::memory_order_release);
+    if (Abandoned)
+      break;
+    if (Progress)
       continue;
-    }
     // No ring held ticket Next: either it is in flight (drawn but not yet
     // published — a handful of instructions), or nothing is happening.
     if (!Running.load(std::memory_order_acquire) &&
@@ -184,9 +325,125 @@ void Engine::sequencerLoop() {
       break;
     std::this_thread::yield();
   }
-  // Vector-clock counters are thread-local (see ClockStats.h); all online
-  // VC work happened on this thread, so its block is the session's delta.
-  SequencerClocks = clockStats();
+  noteMaxBacklog(LocalMaxBacklog);
+  // Vector-clock counters are thread-local (see ClockStats.h); each
+  // sequencer incarnation folds its block in at exit (writes are
+  // serialized by the supervisor's restart joins).
+  SequencerClocks += clockStats();
+}
+
+void Engine::superviseNote(Severity Sev, StatusCode Code,
+                           std::string Message) {
+  std::lock_guard<std::mutex> Guard(SupMu);
+  SupDiags.push_back({Code, Sev, 0, NoOpIndex, std::move(Message)});
+}
+
+void Engine::handleStall(uint64_t Watermark) {
+  ++StallsSeen;
+  superviseNote(
+      Severity::Warning, StatusCode::Stalled,
+      "sequencer stalled at watermark " + std::to_string(Watermark) +
+          " past the " + std::to_string(Options.Supervise.StallDeadlineMs) +
+          " ms deadline; unparking producers into drop-and-count mode");
+  // Unpark blocked producers: parked accesses are shed and counted, sync
+  // events keep waiting for the restarted sequencer to drain.
+  DropAccesses.store(true, std::memory_order_release);
+  if (StallsSeen >= 2 && Options.Degrade.Enabled) {
+    PendingDegrade.fetch_add(1, std::memory_order_relaxed);
+    superviseNote(Severity::Warning, StatusCode::Stalled,
+                  "repeated sequencer stall: requested ladder downgrade");
+  }
+  if (Restarts.load(std::memory_order_relaxed) >=
+      Options.Supervise.MaxRestarts) {
+    // The true last resort: stop pretending the sequencer will recover.
+    // The epoch bump releases a cooperatively-wedged thread (an injected
+    // stall); a thread wedged inside a tool handler cannot be recovered
+    // portably and would block this join — that failure mode is
+    // documented, not handled.
+    SequencerEpoch.fetch_add(1, std::memory_order_acq_rel);
+    if (SequencerThread.joinable())
+      SequencerThread.join();
+    superviseNote(Severity::Error, StatusCode::Stalled,
+                  "sequencer unrecoverable after " +
+                      std::to_string(
+                          Restarts.load(std::memory_order_relaxed)) +
+                      " restart(s); detection halted");
+    SequencerGaveUp.store(true, std::memory_order_release);
+    // Release: the diagnostics above are visible before the flag (see
+    // the Halted declaration).
+    Halted.store(true, std::memory_order_release);
+    return;
+  }
+  restartSequencerLocked();
+}
+
+void Engine::restartSequencerLocked() {
+  // Abandon the wedged thread: it notices the epoch bump between batches
+  // (or inside an injected stall loop) and exits. The successor resumes
+  // from the published watermark; the predecessor publishes only after
+  // completing a batch, so no event is lost or delivered twice.
+  uint64_t NewEpoch =
+      SequencerEpoch.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (SequencerThread.joinable())
+    SequencerThread.join();
+  Restarts.fetch_add(1, std::memory_order_relaxed);
+  superviseNote(Severity::Note, StatusCode::Stalled, "sequencer restarted");
+  SequencerThread = std::thread([this, NewEpoch] { sequencerLoop(NewEpoch); });
+}
+
+void Engine::supervisorLoop() {
+  const SupervisorOptions &S = Options.Supervise;
+  uint64_t LastMark = NextSeq.load(std::memory_order_acquire);
+  uint64_t LastDeadlineDrops = DeadlineDrops.load(std::memory_order_relaxed);
+  unsigned StalledMs = 0;
+  unsigned PressureTicks = 0;
+  while (SupervisorRun.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(S.TickMs));
+    uint64_t Mark = NextSeq.load(std::memory_order_acquire);
+    uint64_t Tickets = Seq.load(std::memory_order_acquire);
+    if (Tickets > Mark)
+      noteMaxBacklog(Tickets - Mark);
+
+    // --- stall detection: outstanding tickets, frozen watermark ---
+    if (Mark != LastMark) {
+      StalledMs = 0;
+      // The sequencer is draining again: leave drop-and-count mode.
+      if (DropAccesses.load(std::memory_order_relaxed))
+        DropAccesses.store(false, std::memory_order_release);
+    } else if (Tickets != Mark &&
+               !Halted.load(std::memory_order_acquire) &&
+               !SequencerGaveUp.load(std::memory_order_acquire)) {
+      StalledMs += S.TickMs;
+      if (StalledMs >= S.StallDeadlineMs) {
+        handleStall(Mark);
+        StalledMs = 0;
+      }
+    } else {
+      StalledMs = 0;
+    }
+
+    // --- pressure detection: producers continuously parked or shedding
+    // accesses at the park deadline → the consumer is too slow for the
+    // event rate; request one rung of load shedding per sustained window.
+    uint64_t Drops = DeadlineDrops.load(std::memory_order_relaxed);
+    bool Pressure = ProducersParked.load(std::memory_order_relaxed) > 0 ||
+                    Drops != LastDeadlineDrops;
+    if (Pressure && !Halted.load(std::memory_order_relaxed)) {
+      if (++PressureTicks >= S.PressureTicksToDegrade) {
+        if (Options.Degrade.Enabled) {
+          PendingDegrade.fetch_add(1, std::memory_order_relaxed);
+          superviseNote(Severity::Warning, StatusCode::Stalled,
+                        "sustained ring pressure: requested ladder "
+                        "downgrade");
+        }
+        PressureTicks = 0;
+      }
+    } else {
+      PressureTicks = 0;
+    }
+    LastDeadlineDrops = Drops;
+    LastMark = Mark;
+  }
 }
 
 OnlineReport Engine::finish() {
@@ -194,26 +451,86 @@ OnlineReport Engine::finish() {
   Finished = true;
 
   // Drain: every ticket handed out has been merged (or discarded after a
-  // halt). Requires all runtime Threads to be joined by the caller.
+  // halt). Requires all runtime Threads to be joined by the caller. When
+  // the watchdog declared the sequencer dead, outstanding tickets will
+  // never merge — skip the wait and report what happened.
   while (NextSeq.load(std::memory_order_acquire) <
-         Seq.load(std::memory_order_acquire))
+             Seq.load(std::memory_order_acquire) &&
+         !SequencerGaveUp.load(std::memory_order_acquire))
     std::this_thread::yield();
   Running.store(false, std::memory_order_release);
-  SequencerThread.join();
+  // Stop the supervisor first so no restart can race the joins below.
+  SupervisorRun.store(false, std::memory_order_release);
+  if (SupervisorThread.joinable())
+    SupervisorThread.join();
+  if (SequencerThread.joinable())
+    SequencerThread.join();
   Driver.finish();
 
   Report.Seconds = Watch.seconds();
   Report.Clocks = SequencerClocks;
-  Report.EventsCaptured = Capture.size();
+  Report.EventsCaptured = Driver.rawOps();
   Report.EventsDispatched = Driver.dispatched();
   Report.NumWarnings = Checker.warnings().size();
-  Report.Halted = Driver.halted();
+  Report.Halted =
+      Driver.halted() || Halted.load(std::memory_order_acquire);
   Report.Diags = Driver.diags();
-
-  if (Capturing && Options.ValidateCapture)
-    for (Diagnostic &D : validateTrace(Capture))
+  {
+    std::lock_guard<std::mutex> Guard(SupMu);
+    for (Diagnostic &D : SupDiags)
       Report.Diags.push_back(std::move(D));
-  if (!Options.CapturePath.empty()) {
+    SupDiags.clear();
+  }
+  Report.DegradeRung = Driver.rung();
+  Report.Degradations = Driver.degradations();
+  Report.AccessesShed = Driver.accessesDropped();
+  Report.SequencerRestarts = Restarts.load(std::memory_order_relaxed);
+  Report.MaxBacklog = MaxBacklogSeen.load(std::memory_order_relaxed);
+  Report.DroppedPostHalt = DiscardedPostHalt;
+  if (SequencerGaveUp.load(std::memory_order_acquire))
+    // No sequencer will ever merge the outstanding tickets; count them as
+    // dropped rather than pretending the stream simply ended.
+    Report.DroppedPostHalt += Seq.load(std::memory_order_acquire) -
+                              NextSeq.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> Guard(ChannelMu);
+    for (const std::unique_ptr<Channel> &Ch : Channels) {
+      uint64_t PH = Ch->DroppedPostHalt.load(std::memory_order_relaxed);
+      uint64_t OV = Ch->DroppedOverload.load(std::memory_order_relaxed);
+      uint64_t PK = Ch->Parks.load(std::memory_order_relaxed);
+      Report.DroppedPostHalt += PH;
+      Report.DroppedOverload += OV;
+      Report.ParkEpisodes += PK;
+      if ((PH | OV | PK) != 0)
+        Report.PerThreadDrops.push_back({Ch->Id, PH, OV, PK});
+    }
+  }
+  if (Report.DroppedPostHalt != 0)
+    // One-shot: a single diagnostic however many events were lost; the
+    // per-thread accounting lives in the counters above.
+    Report.Diags.push_back(
+        {StatusCode::Cancelled, Severity::Warning, 0, NoOpIndex,
+         std::to_string(Report.DroppedPostHalt) +
+             " event(s) dropped after detection halted (per-thread counts "
+             "in the report)"});
+
+  if (SegWriter) {
+    (void)SegWriter->finish();
+    Report.CaptureSegments = SegWriter->segmentsSealed();
+    for (const Diagnostic &D : SegWriter->diags())
+      Report.Diags.push_back(D);
+  }
+  if (MemCapture && Options.ValidateCapture) {
+    TraceValidatorOptions VOpts;
+    // Shedding can strip every access of a thread while its fork/join
+    // spine is still delivered, which rule (4) would flag; that is a
+    // legitimate degraded capture, not a malformed one.
+    VOpts.RequireThreadOps =
+        Report.AccessesShed == 0 && Report.DroppedOverload == 0;
+    for (Diagnostic &D : validateTrace(Capture, VOpts))
+      Report.Diags.push_back(std::move(D));
+  }
+  if (!Options.CapturePath.empty() && !SegWriter) {
     if (Status St = saveTraceFile(Options.CapturePath, Capture); !St.ok()) {
       Diagnostic D;
       D.Code = St.code();

@@ -45,9 +45,32 @@
 ///    (re-entrant lock filtering, raw op indices) to the unmodified Tool.
 ///    Detection runs entirely off the application's critical path.
 ///  - **The flight recorder.** The merged stream is optionally captured
-///    as a Trace and written as a .trc file on finish(), so any online
-///    run can be re-checked offline — against the hb/ oracle, another
-///    detector, or the same tool for the equivalence guarantee.
+///    as a Trace and written as a .trc file on finish() — or, with
+///    CaptureSegmentBytes set, streamed as sealed, fsynced segments
+///    (trace/SegmentedCapture.h) so a crash loses at most one segment.
+///
+/// **Resilience.** A production detector must survive the host program
+/// misbehaving. Three mechanisms keep detection alive where PR 3 simply
+/// halted:
+///
+///  - **The degradation ladder** (OnlineDriver.h): sustained ring
+///    pressure, a shadow-memory budget breach, or an over-capacity
+///    variable steps the driver Full → coarse granularity → access
+///    sampling → sync-only instead of halting. Sync events are never
+///    degraded, so the happens-before spine stays exact; every
+///    transition is a Warning diagnostic in the report. Pin it off with
+///    OnlineOptions::Degrade.Enabled = false.
+///  - **The supervisor** (a watchdog thread, modeled on the parallel
+///    replay stall watchdog): when the sequencer's merge watermark stops
+///    advancing past the deadline, it unparks blocked producers into
+///    drop-and-count mode, abandons and restarts the sequencer, and from
+///    the second stall on also downgrades a ladder rung. Application
+///    threads therefore never block on a wedged detector for longer than
+///    the deadline (sync events wait for the restart; access events are
+///    shed and counted). Only an unrecoverable sequencer — MaxRestarts
+///    exhausted — halts detection, never the application.
+///  - **Fault injection** (FaultPlan.h): every transition above is
+///    drivable deterministically, keyed on ticket numbers.
 ///
 /// Threads created through ft::runtime::Thread get fork/join edges; any
 /// other thread that touches instrumented state is auto-registered on
@@ -66,6 +89,7 @@
 #include "runtime/Interner.h"
 #include "support/Status.h"
 #include "support/Stopwatch.h"
+#include "trace/SegmentedCapture.h"
 #include "trace/Trace.h"
 
 #include <atomic>
@@ -78,11 +102,47 @@
 
 namespace ft::runtime {
 
+struct FaultPlan;
+
+/// Knobs of the sequencer watchdog (tentpole piece 2). The supervisor is
+/// a 5 ms-tick thread; its cost is noise, but it is the only mechanism
+/// that bounds how long an application thread can block on a wedged
+/// detector, so it defaults on.
+struct SupervisorOptions {
+  /// Master switch. Off restores PR 3 behavior: a wedged sequencer parks
+  /// producers forever.
+  bool Enabled = true;
+
+  /// Sampling cadence of the watchdog thread.
+  unsigned TickMs = 5;
+
+  /// A sequencer whose merge watermark has not advanced for this long
+  /// (while tickets are outstanding) is declared stalled: blocked
+  /// producers are unparked into drop-and-count mode and the sequencer
+  /// is restarted (the second stall also downgrades a ladder rung).
+  unsigned StallDeadlineMs = 250;
+
+  /// Emit-side bound: an *access* event parked on a full ring this long
+  /// is dropped and counted rather than blocking the application
+  /// further. Sync events are never dropped this way (the HB spine must
+  /// stay exact); they wait for the supervisor to recover the sequencer.
+  unsigned MaxParkMs = 200;
+
+  /// Consecutive watchdog ticks observing park-deadline drops before the
+  /// supervisor requests a ladder rung downgrade (sustained pressure).
+  unsigned PressureTicksToDegrade = 2;
+
+  /// Sequencer restarts before the supervisor gives up and halts
+  /// detection (the true last resort).
+  unsigned MaxRestarts = 4;
+};
+
 /// Options for one online session.
 struct OnlineOptions {
   /// Shadow-state capacity announced to the tool (tools pre-size flat
-  /// arrays and index them unchecked, so the engine enforces the bounds;
-  /// exceeding one halts detection — never the application). The default
+  /// arrays and index them unchecked, so the engine enforces the bounds).
+  /// An over-capacity *variable* coarsens a ladder rung (when enabled);
+  /// other breaches halt detection — never the application. The default
   /// FastTrack epoch layout caps threads at 256 anyway.
   unsigned MaxThreads = 64;
   unsigned MaxVars = 1u << 16;
@@ -111,25 +171,64 @@ struct OnlineOptions {
   /// finish() — the on-disk flight recorder.
   std::string CapturePath;
 
+  /// When nonzero (and CapturePath is set), the flight recorder writes
+  /// crash-safe segments of roughly this many bytes instead of one file
+  /// at finish(): `<CapturePath minus .trc>.segNNNNNN.trc`, each sealed
+  /// with a checksummed footer and fsynced, recoverable after SIGKILL
+  /// with recoverSegmentedCapture(). 0 keeps the single-file recorder.
+  size_t CaptureSegmentBytes = 0;
+
   /// Run TraceValidator over the capture on finish() and attach any
   /// violations to the report's diagnostics.
   bool ValidateCapture = true;
+
+  /// Overload-degradation ladder shared with the driver (see
+  /// OnlineDriver.h). Degrade.Enabled = false pins every rung off.
+  DegradePolicy Degrade;
+
+  /// Sequencer watchdog knobs.
+  SupervisorOptions Supervise;
+
+  /// Deterministic fault injection for tests (not owned; may be null).
+  const FaultPlan *Faults = nullptr;
 
   /// Online warning sink: invoked from the sequencer thread the moment a
   /// race is detected, with the full RaceWarning (thread/op context).
   std::function<void(const RaceWarning &)> OnWarning;
 };
 
+/// Per-thread drop accounting (satellite: no silent event loss).
+struct ThreadDropStats {
+  ThreadId Thread = 0;
+  uint64_t PostHalt = 0; ///< Events dropped because detection had halted.
+  uint64_t Overload = 0; ///< Accesses shed by park-deadline/drop mode.
+  uint64_t Parks = 0;    ///< Backpressure park episodes.
+};
+
 /// What one online session measured and captured.
 struct OnlineReport {
   double Seconds = 0;            ///< Wall-clock session time.
-  uint64_t EventsCaptured = 0;   ///< Raw merged-stream length.
+  uint64_t EventsCaptured = 0;   ///< Delivered (captured) stream length.
   uint64_t EventsDispatched = 0; ///< Events reaching the tool (post filter).
   size_t NumWarnings = 0;        ///< Tool warnings at finish.
   ClockStats Clocks;             ///< VC ops spent by online detection.
-  bool Halted = false;           ///< Detection stopped (capacity breach).
-  std::vector<Diagnostic> Diags; ///< Halt reasons, I/O and validator issues.
+  bool Halted = false;           ///< Detection stopped (unrecoverable).
+  std::vector<Diagnostic> Diags; ///< Halts, degradations, watchdog events.
   Trace Captured;                ///< The merged stream (when KeepCapture).
+
+  // --- resilience telemetry ---
+  unsigned DegradeRung = 0;      ///< Final ladder position (0 = Full).
+  unsigned Degradations = 0;     ///< Ladder transitions taken.
+  uint64_t AccessesShed = 0;     ///< Accesses dropped by sampling/SyncOnly.
+  uint64_t DroppedPostHalt = 0;  ///< Events dropped after a halt (total).
+  uint64_t DroppedOverload = 0;  ///< Accesses shed at emit (park deadline
+                                 ///< or drop-and-count mode).
+  uint64_t ParkEpisodes = 0;     ///< Total backpressure park episodes.
+  uint64_t MaxBacklog = 0;       ///< Max observed tickets outstanding
+                                 ///< (MaxQueueDepth-style pressure stat).
+  unsigned SequencerRestarts = 0; ///< Watchdog recoveries.
+  unsigned CaptureSegments = 0;  ///< Segments sealed (segmented recorder).
+  std::vector<ThreadDropStats> PerThreadDrops; ///< Nonzero rows only.
 };
 
 /// One online detection session over one Tool. Construct it, run
@@ -144,10 +243,11 @@ public:
   Engine(const Engine &) = delete;
   Engine &operator=(const Engine &) = delete;
 
-  /// Drains all in-flight events, stops the sequencer, calls the tool's
-  /// end(), writes/validates the capture, and returns the measurements.
-  /// All threads created through ft::runtime::Thread must be joined
-  /// first. Callable once; the destructor calls it if the caller did not.
+  /// Drains all in-flight events, stops the supervisor and sequencer,
+  /// calls the tool's end(), writes/validates the capture, and returns
+  /// the measurements. All threads created through ft::runtime::Thread
+  /// must be joined first. Callable once; the destructor calls it if the
+  /// caller did not.
   OnlineReport finish();
 
   /// The live engine instrumentation attaches to, or nullptr when no
@@ -158,6 +258,10 @@ public:
   /// pairs so ids never leak across sessions.
   uint64_t generation() const { return Gen; }
 
+  /// True once detection halted (the application keeps running; events
+  /// are dropped and counted). Safe from any thread.
+  bool halted() const { return Halted.load(std::memory_order_acquire); }
+
   // --- instrumentation back end (called by the shims in Instrument.h) ---
 
   /// Dense id for \p Obj in \p Kind's space.
@@ -166,8 +270,11 @@ public:
   }
 
   /// Emits one event from the calling thread, drawing the next global
-  /// ticket. Parks while the thread's ring is full (backpressure); drops
-  /// the event when detection has halted.
+  /// ticket. Parks while the thread's ring is full (backpressure) — but
+  /// never past the supervisor's bounds: a parked *access* is dropped and
+  /// counted after MaxParkMs (or immediately in drop-and-count mode);
+  /// sync events wait for the watchdog to recover the sequencer. Events
+  /// after a halt are dropped and counted, never silently.
   void emit(OpKind Kind, uint32_t Target);
 
   /// Allocates a dense id for a child thread about to start and emits
@@ -183,18 +290,28 @@ public:
   void bindCurrentThread(ThreadId Id);
 
 private:
-  /// One registered thread: its dense id and its event ring.
+  /// One registered thread: its dense id, its event ring, and its drop
+  /// accounting (all counters relaxed; they are aggregated only after
+  /// every producer has been joined).
   struct Channel {
     explicit Channel(ThreadId Id, size_t RingCapacity)
         : Id(Id), Ring(RingCapacity) {}
     ThreadId Id;
     EventRing Ring;
+    std::atomic<uint64_t> DroppedPostHalt{0};
+    std::atomic<uint64_t> DroppedOverload{0};
+    std::atomic<uint64_t> Parks{0};
   };
 
   Channel *channelForCurrentThread();
   Channel *registerThread(ThreadId Id);
-  void sequencerLoop();
-  void deliver(ThreadId T, const OnlineEvent &E);
+  bool parkUntilSpace(Channel *Ch, OpKind Kind);
+  void sequencerLoop(uint64_t Epoch);
+  void supervisorLoop();
+  void handleStall(uint64_t Watermark);
+  void restartSequencerLocked();
+  void superviseNote(Severity Sev, StatusCode Code, std::string Message);
+  void noteMaxBacklog(uint64_t Backlog);
 
   Tool &Checker;
   OnlineOptions Options;
@@ -202,7 +319,9 @@ private:
   EntityInterner Interner;
   OnlineDriver Driver;
   Trace Capture;
-  bool Capturing;
+  bool MemCapture;  ///< Keep the in-memory Trace capture.
+  bool Capturing;   ///< Collect delivered batches (memory or segments).
+  std::unique_ptr<SegmentedTraceWriter> SegWriter;
 
   /// Registered channels; guarded by ChannelMu. Channels are never
   /// removed before teardown, so raw pointers handed to TLS bindings and
@@ -213,13 +332,54 @@ private:
   std::vector<std::unique_ptr<Channel>> Channels;
   std::atomic<size_t> NumChannels{0};
 
-  std::atomic<uint64_t> Seq{0};      ///< Next ticket to hand out.
-  std::atomic<uint64_t> NextSeq{0};  ///< Next ticket the sequencer expects.
-  std::atomic<bool> Running{true};   ///< Cleared by finish().
-  std::atomic<bool> Halted{false};   ///< Detection stopped; emits drop.
+  std::atomic<uint64_t> Seq{0};     ///< Next ticket to hand out.
+  std::atomic<uint64_t> NextSeq{0}; ///< The merge watermark: next ticket
+                                    ///< the sequencer expects. Published
+                                    ///< per batch so a restarted sequencer
+                                    ///< resumes exactly where its
+                                    ///< predecessor stopped.
+  std::atomic<bool> Running{true};  ///< Cleared by finish().
+
+  /// Detection stopped (unrecoverable breach, tool fault, or watchdog
+  /// give-up); emits drop-and-count. Store/load ordering is
+  /// release/acquire: the setter (sequencer or supervisor) publishes the
+  /// diagnostics and counters explaining the halt *before* the flag, so
+  /// any producer that observes Halted==true — and therefore stops
+  /// contributing events — also observes a fully-formed halt state, and
+  /// the pre-halt prefix it helped produce is consistent with the report
+  /// finish() assembles. Relaxed ordering would let a producer skip
+  /// events against a half-published halt.
+  std::atomic<bool> Halted{false};
+
+  // --- supervision state ---
+  std::atomic<uint64_t> SequencerEpoch{0}; ///< Bumped to abandon the
+                                           ///< current sequencer thread.
+  std::atomic<bool> DropAccesses{false};   ///< Drop-and-count mode: parked
+                                           ///< producers shed accesses.
+  std::atomic<bool> SequencerGaveUp{false}; ///< Watchdog exhausted
+                                            ///< MaxRestarts; no sequencer
+                                            ///< is draining anymore.
+  std::atomic<int> ProducersParked{0};
+  std::atomic<unsigned> PendingDegrade{0}; ///< Rung downgrades requested
+                                           ///< by the supervisor, applied
+                                           ///< by the sequencer between
+                                           ///< batches (the driver is not
+                                           ///< thread-safe).
+  std::atomic<uint64_t> DeadlineDrops{0};  ///< Accesses shed by MaxParkMs
+                                           ///< expiry (pressure signal).
+  std::atomic<uint64_t> MaxBacklogSeen{0};
+  std::atomic<unsigned> Restarts{0};
+  std::atomic<bool> SupervisorRun{true};
+  unsigned StallsSeen = 0; ///< Supervisor-thread private.
+  std::mutex SupMu;        ///< Guards SupDiags.
+  std::vector<Diagnostic> SupDiags;
+  uint64_t DiscardedPostHalt = 0; ///< Sequencer-side post-halt discards
+                                  ///< (events ticketed before the halt).
 
   std::thread SequencerThread;
-  ClockStats SequencerClocks; ///< Sequencer-thread VC delta (set at exit).
+  std::thread SupervisorThread;
+  ClockStats SequencerClocks; ///< Accumulated across restarts; writes are
+                              ///< serialized by the restart joins.
   Stopwatch Watch;
   OnlineReport Report;
   bool Finished = false;

@@ -1,0 +1,160 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection for the online runtime.
+///
+/// The resilience machinery of Engine.h — the degradation ladder, the
+/// sequencer watchdog, tool quarantine, crash-safe capture — only earns
+/// trust if every rung and recovery transition is exercised by a
+/// reproducible test rather than by luck. A FaultPlan describes *where*
+/// in the merged stream misbehavior strikes, keyed on global ticket
+/// numbers (the one coordinate that is deterministic across runs of the
+/// same workload schedule) and raw op indices:
+///
+///  - **Sequencer stalls/deaths.** The sequencer busy-waits instead of
+///    merging ticket StallAtTicket, as if wedged in a slow consumer; it
+///    only resumes when the supervisor abandons it (restart) — so each
+///    armed stall consumes one watchdog recovery. Arm it twice to drive
+///    the restart-then-downgrade path.
+///  - **Ring-full storms.** Every delivered event in a ticket window is
+///    slowed by a fixed delay, backing events up into the producers'
+///    rings until they park — the overload that walks the ladder.
+///  - **Allocation failures.** A budget probe is forced to report a
+///    shadow-memory breach at a chosen raw op (forwarded to
+///    OnlineDriverOptions::ForceBudgetBreachAtRawOp).
+///  - **Tool exceptions.** ThrowAfterTool wraps any Tool and throws from
+///    a chosen access handler call — the quarantine scenario.
+///
+/// The stall counter is mutable because the plan is observed from the
+/// sequencer thread while tests hold it by const pointer; it is the only
+/// mutable state and is internally synchronized.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_RUNTIME_FAULTPLAN_H
+#define FASTTRACK_RUNTIME_FAULTPLAN_H
+
+#include "framework/Tool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace ft::runtime {
+
+/// Where misbehavior strikes one online session. Default-constructed, a
+/// plan injects nothing.
+struct FaultPlan {
+  static constexpr uint64_t None = ~0ull;
+
+  /// The sequencer busy-waits instead of merging this ticket, until the
+  /// supervisor abandons the thread. NOTE: with no supervisor
+  /// (SupervisorOptions::Enabled = false) an armed stall wedges the
+  /// session forever — exactly the failure the watchdog exists for.
+  uint64_t StallAtTicket = None;
+
+  /// How many times the stall re-arms: the restarted sequencer hits the
+  /// same un-merged ticket again, so 2 drives stall → restart → stall →
+  /// restart + rung downgrade.
+  mutable std::atomic<unsigned> StallsArmed{0};
+
+  /// Ring-full storm: each event *delivered* while the next ticket lies
+  /// in [DelayFromTicket, DelayToTicket) costs this many microseconds in
+  /// the sequencer, simulating a slow consumer.
+  uint64_t DelayFromTicket = None;
+  uint64_t DelayToTicket = None;
+  unsigned DelayPerDeliveryUs = 0;
+
+  /// Forwarded to OnlineDriverOptions::ForceBudgetBreachAtRawOp: the
+  /// first budget probe at or after this raw op reports a breach.
+  uint64_t ForceBudgetBreachAtRawOp = None;
+
+  FaultPlan() = default;
+  FaultPlan(const FaultPlan &) = delete;
+  FaultPlan &operator=(const FaultPlan &) = delete;
+
+  /// True when the sequencer should stall before merging \p Ticket.
+  /// Consumes one armed stall.
+  bool takeStall(uint64_t Ticket) const {
+    if (Ticket != StallAtTicket)
+      return false;
+    unsigned Armed = StallsArmed.load(std::memory_order_relaxed);
+    while (Armed != 0) {
+      if (StallsArmed.compare_exchange_weak(Armed, Armed - 1,
+                                            std::memory_order_relaxed))
+        return true;
+    }
+    return false;
+  }
+
+  /// True when a delivery at \p Ticket falls inside the storm window.
+  bool inStorm(uint64_t Ticket) const {
+    return DelayPerDeliveryUs != 0 && Ticket >= DelayFromTicket &&
+           Ticket < DelayToTicket;
+  }
+};
+
+/// Tool decorator that forwards every event to \p Inner and throws from
+/// the Nth access handler call — the misbehaving member of a composition.
+/// Compose it into a ToolGroup to test quarantine, or hand it straight to
+/// an Engine to test the driver's halt-with-ToolFault backstop.
+class ThrowAfterTool : public Tool {
+public:
+  ThrowAfterTool(Tool &Inner, uint64_t ThrowAtAccess)
+      : Inner(Inner), ThrowAt(ThrowAtAccess) {}
+
+  const char *name() const override { return "ThrowAfter"; }
+  void begin(const ToolContext &Context) override { Inner.begin(Context); }
+  void end() override { Inner.end(); }
+
+  bool onRead(ThreadId T, VarId X, size_t OpIndex) override {
+    detonate();
+    return Inner.onRead(T, X, OpIndex);
+  }
+  bool onWrite(ThreadId T, VarId X, size_t OpIndex) override {
+    detonate();
+    return Inner.onWrite(T, X, OpIndex);
+  }
+  void onAcquire(ThreadId T, LockId M, size_t OpIndex) override {
+    Inner.onAcquire(T, M, OpIndex);
+  }
+  void onRelease(ThreadId T, LockId M, size_t OpIndex) override {
+    Inner.onRelease(T, M, OpIndex);
+  }
+  void onFork(ThreadId T, ThreadId U, size_t OpIndex) override {
+    Inner.onFork(T, U, OpIndex);
+  }
+  void onJoin(ThreadId T, ThreadId U, size_t OpIndex) override {
+    Inner.onJoin(T, U, OpIndex);
+  }
+  void onVolatileRead(ThreadId T, VolatileId V, size_t OpIndex) override {
+    Inner.onVolatileRead(T, V, OpIndex);
+  }
+  void onVolatileWrite(ThreadId T, VolatileId V, size_t OpIndex) override {
+    Inner.onVolatileWrite(T, V, OpIndex);
+  }
+  size_t shadowBytes() const override { return Inner.shadowBytes(); }
+
+  /// Accesses seen before the bang.
+  uint64_t accessesSeen() const { return Seen; }
+
+private:
+  void detonate() {
+    if (Seen++ == ThrowAt)
+      throw std::runtime_error("injected tool fault at access " +
+                               std::to_string(ThrowAt));
+  }
+
+  Tool &Inner;
+  uint64_t ThrowAt;
+  uint64_t Seen = 0;
+};
+
+} // namespace ft::runtime
+
+#endif // FASTTRACK_RUNTIME_FAULTPLAN_H

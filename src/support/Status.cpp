@@ -20,6 +20,8 @@ const char *ft::statusCodeName(StatusCode Code) {
     return "stalled";
   case StatusCode::Cancelled:
     return "cancelled";
+  case StatusCode::ToolFault:
+    return "tool-fault";
   }
   return "unknown";
 }

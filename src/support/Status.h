@@ -42,6 +42,7 @@ enum class StatusCode : uint8_t {
   ResourceExhausted, ///< A configured memory/time budget was exceeded.
   Stalled,           ///< A watchdog detected no forward progress.
   Cancelled,         ///< The run was interrupted before completion.
+  ToolFault,         ///< A tool threw from an event handler.
 };
 
 /// Stable lowercase name, e.g. "parse-error".

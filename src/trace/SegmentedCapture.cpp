@@ -1,0 +1,262 @@
+#include "trace/SegmentedCapture.h"
+
+#include "trace/TraceIO.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+using namespace ft;
+
+namespace {
+
+constexpr char FooterTag[] = "# ftseg sealed ";
+
+uint64_t fnv1a(uint64_t Seed, const char *Data, size_t N) {
+  uint64_t H = Seed;
+  for (size_t I = 0; I != N; ++I) {
+    H ^= static_cast<unsigned char>(Data[I]);
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+constexpr uint64_t Fnv1aInit = 1469598103934665603ull;
+
+/// Flushes stdio buffers and pushes the bytes to stable storage. A sealed
+/// footer must never be durable before its payload, and fsync orders both.
+bool syncFile(std::FILE *File) {
+  if (std::fflush(File) != 0)
+    return false;
+#ifndef _WIN32
+  if (fsync(fileno(File)) != 0)
+    return false;
+#endif
+  return true;
+}
+
+} // namespace
+
+std::string SegmentedTraceWriter::segmentPath(const std::string &Prefix,
+                                              unsigned Index) {
+  char Suffix[32];
+  std::snprintf(Suffix, sizeof(Suffix), ".seg%06u.trc", Index);
+  return Prefix + Suffix;
+}
+
+SegmentedTraceWriter::SegmentedTraceWriter(std::string Prefix,
+                                           SegmentWriterOptions Options)
+    : Prefix(std::move(Prefix)), Options(Options) {}
+
+SegmentedTraceWriter::~SegmentedTraceWriter() { (void)finish(); }
+
+void SegmentedTraceWriter::fail(std::string Message) {
+  Diags.push_back({StatusCode::IoError, Severity::Error, 0, NoOpIndex,
+                   "segmented capture: " + std::move(Message)});
+  Broken = true;
+  if (File) {
+    std::fclose(File);
+    File = nullptr;
+  }
+}
+
+bool SegmentedTraceWriter::ensureOpen() {
+  if (File)
+    return true;
+  std::string Path = segmentPath(Prefix, NextIndex);
+  File = std::fopen(Path.c_str(), "wb");
+  if (!File) {
+    fail("cannot open '" + Path + "' for writing");
+    return false;
+  }
+  ++NextIndex;
+  PayloadBytes = 0;
+  SegmentRecords = 0;
+  Sum = Fnv1aInit;
+  return true;
+}
+
+void SegmentedTraceWriter::seal() {
+  char Footer[96];
+  int Len = std::snprintf(Footer, sizeof(Footer),
+                          "%srecords=%" PRIu64 " sum=%016" PRIx64 "\n",
+                          FooterTag, SegmentRecords, Sum);
+  if (std::fwrite(Footer, 1, static_cast<size_t>(Len), File) !=
+      static_cast<size_t>(Len)) {
+    fail("short write sealing segment " + std::to_string(NextIndex - 1));
+    return;
+  }
+  if (Options.Fsync ? !syncFile(File) : std::fflush(File) != 0) {
+    fail("flush/fsync failed sealing segment " + std::to_string(NextIndex - 1));
+    return;
+  }
+  std::fclose(File);
+  File = nullptr;
+  ++Sealed;
+}
+
+void SegmentedTraceWriter::append(const Operation *Ops, size_t N) {
+  if (Broken || Finished || N == 0)
+    return;
+  if (!ensureOpen())
+    return;
+  Buffer.clear();
+  for (size_t I = 0; I != N; ++I)
+    serializeOperation(Buffer, Ops[I]);
+  if (std::fwrite(Buffer.data(), 1, Buffer.size(), File) != Buffer.size()) {
+    fail("short write to segment " + std::to_string(NextIndex - 1));
+    return;
+  }
+  if (Options.FlushEveryAppend && std::fflush(File) != 0) {
+    fail("flush failed on segment " + std::to_string(NextIndex - 1));
+    return;
+  }
+  Sum = fnv1a(Sum, Buffer.data(), Buffer.size());
+  PayloadBytes += Buffer.size();
+  SegmentRecords += N;
+  TotalRecords += N;
+  if (PayloadBytes >= Options.SegmentBytes)
+    seal();
+}
+
+Status SegmentedTraceWriter::finish() {
+  if (Finished)
+    return Diags.empty() ? Status::okStatus()
+                         : Status::error(StatusCode::IoError, Diags[0].Message);
+  Finished = true;
+  if (File && !Broken)
+    seal();
+  if (File) {
+    std::fclose(File);
+    File = nullptr;
+  }
+  if (!Diags.empty())
+    return Status::error(StatusCode::IoError, Diags[0].Message);
+  return Status::okStatus();
+}
+
+namespace {
+
+/// Reads a whole segment file (segments are bounded by SegmentBytes plus
+/// one footer, so slurping is safe). Returns false when the file does not
+/// exist; fails through \p R on read errors.
+bool slurpSegment(const std::string &Path, std::string &Out, bool &Exists,
+                  CaptureRecovery &R) {
+  Out.clear();
+  Exists = false;
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return false;
+  Exists = true;
+  char Buf[1 << 16];
+  size_t Got;
+  while ((Got = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
+    Out.append(Buf, Got);
+  bool Err = std::ferror(File) != 0;
+  std::fclose(File);
+  if (Err) {
+    R.St = Status::error(StatusCode::IoError, "read error on '" + Path + "'");
+    R.Diags.push_back({StatusCode::IoError, Severity::Error, 0, NoOpIndex,
+                       R.St.message()});
+    return false;
+  }
+  return true;
+}
+
+/// If \p Content ends with a sealed footer line, strips it and returns
+/// its records/sum fields.
+bool splitFooter(std::string &Content, uint64_t &Records, uint64_t &Sum) {
+  if (Content.empty() || Content.back() != '\n')
+    return false;
+  size_t LineStart = Content.rfind('\n', Content.size() - 2);
+  LineStart = LineStart == std::string::npos ? 0 : LineStart + 1;
+  const char *Line = Content.c_str() + LineStart;
+  if (std::strncmp(Line, FooterTag, sizeof(FooterTag) - 1) != 0)
+    return false;
+  if (std::sscanf(Line + sizeof(FooterTag) - 1,
+                  "records=%" SCNu64 " sum=%" SCNx64, &Records, &Sum) != 2)
+    return false;
+  Content.resize(LineStart);
+  return true;
+}
+
+} // namespace
+
+CaptureRecovery ft::recoverSegmentedCapture(const std::string &Prefix,
+                                            Trace &Out) {
+  Out.clear();
+  CaptureRecovery R;
+  std::string Content;
+  for (unsigned Index = 0;; ++Index) {
+    std::string Path = SegmentedTraceWriter::segmentPath(Prefix, Index);
+    bool Exists = false;
+    if (!slurpSegment(Path, Content, Exists, R)) {
+      if (Exists) // read error already reported
+        return R;
+      break; // end of chain
+    }
+
+    uint64_t Records = 0, Sum = 0;
+    bool IsSealed = splitFooter(Content, Records, Sum);
+
+    if (IsSealed) {
+      if (fnv1a(Fnv1aInit, Content.data(), Content.size()) != Sum) {
+        R.St = Status::error(StatusCode::ValidationError,
+                             "segment '" + Path + "' failed its checksum");
+        R.Diags.push_back({StatusCode::ValidationError, Severity::Error, 0,
+                           NoOpIndex, R.St.message()});
+        return R; // later segments would leave a gap: stop at the prefix
+      }
+      Trace Part;
+      ParseReport PR = parseTrace(Content, Part);
+      if (!PR.ok() || PR.Records != Records) {
+        R.St = Status::error(StatusCode::ValidationError,
+                             "segment '" + Path +
+                                 "' sealed but inconsistent: footer says " +
+                                 std::to_string(Records) + " records, parsed " +
+                                 std::to_string(PR.Records));
+        R.Diags.push_back({StatusCode::ValidationError, Severity::Error, 0,
+                           NoOpIndex, R.St.message()});
+        return R;
+      }
+      Out.appendRun(Part.operations().data(), Part.size());
+      R.Records += PR.Records;
+      ++R.SegmentsSealed;
+      continue;
+    }
+
+    // The torn tail: an open segment the crash cut off. Bytes after the
+    // last newline are a record interrupted mid-write — discard them, then
+    // keep records up to the first malformed line (budget 0 aborts the
+    // salvage there, holding exactly the valid prefix).
+    size_t LastNl = Content.rfind('\n');
+    size_t Discarded =
+        Content.size() - (LastNl == std::string::npos ? 0 : LastNl + 1);
+    if (LastNl == std::string::npos)
+      Content.clear();
+    else
+      Content.resize(LastNl + 1);
+    Trace Part;
+    ParseOptions Salvage;
+    Salvage.Salvage = true;
+    Salvage.ErrorBudget = 0;
+    ParseReport PR = parseTrace(Content, Part, Salvage);
+    Out.appendRun(Part.operations().data(), Part.size());
+    R.Records += PR.Records;
+    ++R.SegmentsTorn;
+    R.Diags.push_back(
+        {StatusCode::Ok, Severity::Note, 0, NoOpIndex,
+         "torn tail '" + Path + "': recovered " + std::to_string(PR.Records) +
+             " record(s), discarded " + std::to_string(Discarded) +
+             " trailing byte(s)" +
+             (PR.Skipped != 0 ? " and stopped at a malformed line" : "")});
+    // Anything after an unsealed segment is unreachable in a consistent
+    // chain; stop here so the result stays a prefix of the stream.
+    break;
+  }
+  return R;
+}

@@ -1,0 +1,148 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Crash-safe segmented flight recording: the merged online stream is
+/// written as a chain of bounded .trc segments, each sealed with a footer
+/// and fsynced, so killing the recorder process mid-run loses at most the
+/// one segment that was still open.
+///
+/// Segment files are named `<prefix>.seg000000.trc`, `<prefix>.seg000001
+/// .trc`, ... and each contains plain .trc text (TraceIO.h) — any segment
+/// loads on its own with loadTraceFile. A sealed segment ends with a
+/// footer written as a comment line, so the plain parser skips it:
+///
+/// \code
+///   rd 0 3
+///   wr 1 3
+///   # ftseg sealed records=2 sum=0123456789abcdef
+/// \endcode
+///
+/// `records` is the operation count and `sum` the FNV-1a 64 checksum of
+/// every byte above the footer. The writer flushes and fsyncs at each
+/// seal, so a sealed footer on disk implies the payload above it is fully
+/// durable and intact (the checksum verifies it).
+///
+/// recoverSegmentedCapture() walks the chain: every sealed segment is
+/// loaded whole after its checksum verifies; the final, unsealed segment
+/// (the torn tail of a crash) contributes its valid prefix — trailing
+/// bytes after the last newline are discarded (a record cut mid-write),
+/// then records are kept up to the first malformed line. The recovered
+/// trace is therefore always a prefix of the delivered stream, so an
+/// offline replay of it reproduces the online warnings emitted up to
+/// that point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_TRACE_SEGMENTEDCAPTURE_H
+#define FASTTRACK_TRACE_SEGMENTEDCAPTURE_H
+
+#include "support/Status.h"
+#include "trace/Trace.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ft {
+
+/// Options for one segmented recording.
+struct SegmentWriterOptions {
+  /// Seal the current segment once its payload reaches this many bytes.
+  /// Small segments bound crash loss; large ones bound file count.
+  size_t SegmentBytes = 1u << 20;
+
+  /// fsync each segment at seal time (and the final one at finish). Off
+  /// only for tests that simulate torn writes.
+  bool Fsync = true;
+
+  /// Flush the stdio buffer after every append batch. Keeps the torn
+  /// tail's valid prefix close to the crash point at the cost of a
+  /// write syscall per sequencer batch.
+  bool FlushEveryAppend = true;
+};
+
+/// Writes a totally-ordered operation stream as sealed .trc segments.
+/// Single-writer: the online sequencer thread owns it. I/O failures are
+/// absorbed into diagnostics (recording stops; detection keeps running).
+class SegmentedTraceWriter {
+public:
+  SegmentedTraceWriter(std::string Prefix,
+                       SegmentWriterOptions Options = SegmentWriterOptions());
+  ~SegmentedTraceWriter();
+
+  SegmentedTraceWriter(const SegmentedTraceWriter &) = delete;
+  SegmentedTraceWriter &operator=(const SegmentedTraceWriter &) = delete;
+
+  /// Appends \p N non-barrier operations (one sequencer batch). Seals and
+  /// rolls to a new segment whenever the size bound is crossed.
+  void append(const Operation *Ops, size_t N);
+
+  /// Seals the open segment and closes the chain. Idempotent. \returns
+  /// Ok, or the first I/O failure encountered over the writer's life.
+  Status finish();
+
+  /// Segments sealed so far (finish() seals the last one).
+  unsigned segmentsSealed() const { return Sealed; }
+
+  /// Operations handed to append() over the writer's life.
+  uint64_t recordsWritten() const { return TotalRecords; }
+
+  /// True once an I/O failure stopped recording (appends become no-ops).
+  bool broken() const { return Broken; }
+
+  /// I/O failures, if any.
+  const std::vector<Diagnostic> &diags() const { return Diags; }
+
+  /// Path of segment \p Index for \p Prefix: `<prefix>.segNNNNNN.trc`.
+  static std::string segmentPath(const std::string &Prefix, unsigned Index);
+
+private:
+  void fail(std::string Message);
+  bool ensureOpen();
+  void seal();
+
+  std::string Prefix;
+  SegmentWriterOptions Options;
+  std::FILE *File = nullptr;
+  std::string Buffer;          ///< Reused per-append serialization buffer.
+  size_t PayloadBytes = 0;     ///< Bytes written to the open segment.
+  uint64_t SegmentRecords = 0; ///< Records in the open segment.
+  uint64_t Sum = 0;            ///< Running FNV-1a of the open payload.
+  uint64_t TotalRecords = 0;
+  unsigned NextIndex = 0; ///< Index the next opened segment will get.
+  unsigned Sealed = 0;
+  bool Broken = false;
+  bool Finished = false;
+  std::vector<Diagnostic> Diags;
+};
+
+/// What recoverSegmentedCapture() salvaged.
+struct CaptureRecovery {
+  /// Ok when the chain was consistent (sealed segments verified, at most
+  /// a torn tail); an Error status when a sealed segment failed its
+  /// checksum or record count (recovery still returns the prefix that
+  /// verified).
+  Status St;
+
+  /// Per-segment notes, torn-tail salvage details, integrity failures.
+  std::vector<Diagnostic> Diags;
+
+  unsigned SegmentsSealed = 0; ///< Segments that verified sealed+intact.
+  unsigned SegmentsTorn = 0;   ///< Unsealed tails salvaged (0 or 1).
+  uint64_t Records = 0;        ///< Operations recovered into the trace.
+
+  bool ok() const { return St.ok(); }
+};
+
+/// Loads every verified segment of \p Prefix's chain plus the valid
+/// prefix of a torn tail into \p Out (cleared first). See file comment
+/// for the prefix guarantee.
+CaptureRecovery recoverSegmentedCapture(const std::string &Prefix, Trace &Out);
+
+} // namespace ft
+
+#endif // FASTTRACK_TRACE_SEGMENTEDCAPTURE_H

@@ -36,6 +36,42 @@ void Trace::append(const Operation &Op) {
   Ops.push_back(Op);
 }
 
+void Trace::appendRun(const Operation *Run, size_t N) {
+  Ops.reserve(Ops.size() + N);
+  for (size_t I = 0; I != N; ++I) {
+    const Operation &Op = Run[I];
+    assert(Op.Kind != OpKind::Barrier &&
+           "use appendBarrier for barrier operations");
+    noteThread(Op.Thread);
+    switch (Op.Kind) {
+    case OpKind::Read:
+    case OpKind::Write:
+      if (Op.Target + 1 > NumVars)
+        NumVars = Op.Target + 1;
+      break;
+    case OpKind::Acquire:
+    case OpKind::Release:
+      if (Op.Target + 1 > NumLocks)
+        NumLocks = Op.Target + 1;
+      break;
+    case OpKind::Fork:
+    case OpKind::Join:
+      noteThread(Op.Target);
+      break;
+    case OpKind::VolatileRead:
+    case OpKind::VolatileWrite:
+      if (Op.Target + 1 > NumVolatiles)
+        NumVolatiles = Op.Target + 1;
+      break;
+    case OpKind::Barrier:
+    case OpKind::AtomicBegin:
+    case OpKind::AtomicEnd:
+      break;
+    }
+    Ops.push_back(Op);
+  }
+}
+
 Operation Trace::appendBarrier(const std::vector<ThreadId> &Threads) {
   assert(!Threads.empty() && "barrier set must be nonempty");
   std::vector<ThreadId> Sorted = Threads;

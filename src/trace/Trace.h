@@ -31,6 +31,12 @@ public:
   /// Appends \p Op, updating entity counts.
   void append(const Operation &Op);
 
+  /// Appends \p N operations in one call, updating entity counts once per
+  /// op but growing storage once. The online sequencer captures each
+  /// drained batch through this, so the steady state has no per-event
+  /// capture branch. Barriers are not allowed (use appendBarrier).
+  void appendRun(const Operation *Ops, size_t N);
+
   /// Appends a barrier release of the thread set \p Threads and returns the
   /// stored operation. \p Threads must be nonempty.
   Operation appendBarrier(const std::vector<ThreadId> &Threads);

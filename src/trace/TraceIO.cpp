@@ -6,25 +6,31 @@
 
 using namespace ft;
 
+void ft::serializeOperation(std::string &Out, const Operation &Op) {
+  Out += opKindName(Op.Kind);
+  Out += ' ';
+  Out += std::to_string(Op.Thread);
+  if (Op.Target != NoTarget) {
+    Out += ' ';
+    Out += std::to_string(Op.Target);
+  }
+  Out += '\n';
+}
+
 std::string ft::serializeTrace(const Trace &T) {
   std::string Out;
   Out.reserve(T.size() * 8);
   for (const Operation &Op : T) {
-    Out += opKindName(Op.Kind);
     if (Op.Kind == OpKind::Barrier) {
+      Out += opKindName(Op.Kind);
       for (ThreadId U : T.barrierSet(Op.Target)) {
         Out += ' ';
         Out += std::to_string(U);
       }
-    } else {
-      Out += ' ';
-      Out += std::to_string(Op.Thread);
-      if (Op.Target != NoTarget) {
-        Out += ' ';
-        Out += std::to_string(Op.Target);
-      }
+      Out += '\n';
+      continue;
     }
-    Out += '\n';
+    serializeOperation(Out, Op);
   }
   return Out;
 }

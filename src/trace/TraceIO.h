@@ -88,6 +88,12 @@ struct ParseReport {
 /// Renders \p T in the text format described above.
 std::string serializeTrace(const Trace &T);
 
+/// Appends one non-barrier operation's line (with trailing newline) to
+/// \p Out. Barriers need the owning trace's side table; serializeTrace
+/// handles them. Shared with the segmented flight recorder, which
+/// serializes operations as they drain rather than from a whole Trace.
+void serializeOperation(std::string &Out, const Operation &Op);
+
 /// Parses the text format into \p Out (cleared first).
 ParseReport parseTrace(std::string_view Text, Trace &Out,
                        const ParseOptions &Options = ParseOptions());

@@ -128,7 +128,7 @@ void ValidatorState::visit(size_t Index, const Operation &Op) {
                         " which is not running");
       break;
     }
-    if (OpCount[U] == OpCountAtFork[U])
+    if (OpCount[U] == OpCountAtFork[U] && Options.RequireThreadOps)
       report(Index, "no operation of thread " + std::to_string(U) +
                         " between its fork and join (rule 4)");
     Phase[U] = ThreadPhase::Joined;

@@ -43,6 +43,13 @@ struct TraceValidatorOptions {
 
   /// Require atomic begin/end markers to be balanced per thread.
   bool CheckAtomicBalance = true;
+
+  /// Enforce Section 2.1's rule (4): at least one operation of u between
+  /// fork(t,u) and join(v,u). A degraded online capture legitimately
+  /// violates it — access shedding can remove every operation of a
+  /// thread while its fork/join spine is always delivered — so the
+  /// runtime validates shed captures with this off.
+  bool RequireThreadOps = true;
 };
 
 /// Validates the constraints of Section 2.1:

@@ -18,6 +18,8 @@
 #include "framework/Checkpoint.h"
 #include "framework/ParallelReplay.h"
 #include "framework/ResourceGovernor.h"
+#include "framework/ToolGroup.h"
+#include "runtime/FaultPlan.h"
 #include "support/ByteStream.h"
 #include "support/MemoryTracker.h"
 #include "trace/RandomTrace.h"
@@ -402,6 +404,58 @@ TEST(Watchdog, StalledWorkerFallsBackToSerial) {
   expectSameWarnings(Reference.warnings(), Tool.warnings(), "stall");
   expectSameRuleStats(Reference.ruleStats(), Tool.ruleStats(), "stall");
   EXPECT_EQ(Result.Total.NumWarnings, Reference.warnings().size());
+}
+
+TEST(Quarantine, ThrowingMemberIsIsolatedSiblingsKeepDetecting) {
+  // A composition survives one member throwing mid-stream: the group
+  // quarantines it at the faulting op and the healthy sibling's verdicts
+  // are exactly what it would have produced running alone.
+  Trace T = makeRacyTrace(26);
+  FastTrack Reference;
+  replay(T, Reference);
+
+  FastTrack Healthy, Victim;
+  ft::runtime::ThrowAfterTool Bomb(Victim, 50);
+  ToolGroup Group({&Healthy, &Bomb});
+  ReplayResult Result = replay(T, Group);
+
+  EXPECT_EQ(Result.Events, T.size()); // the replay itself never aborted
+  EXPECT_FALSE(Group.quarantined(0));
+  EXPECT_TRUE(Group.quarantined(1));
+  EXPECT_EQ(Group.activeMembers(), 1u);
+  ASSERT_EQ(Group.diags().size(), 1u);
+  EXPECT_EQ(Group.diags()[0].Code, StatusCode::ToolFault);
+  EXPECT_NE(Group.diags()[0].OpIndex, NoOpIndex);
+  expectSameWarnings(Reference.warnings(), Healthy.warnings(), "quarantine");
+  expectSameRuleStats(Reference.ruleStats(), Healthy.ruleStats(),
+                      "quarantine");
+  // The group adopted the surviving member's warnings.
+  expectSameWarnings(Reference.warnings(), Group.warnings(), "group-adopt");
+}
+
+TEST(Quarantine, HealthyGroupMatchesSoloRunExactly) {
+  Trace T = makeRacyTrace(27);
+  FastTrack Reference;
+  replay(T, Reference);
+
+  FastTrack A, B;
+  ToolGroup Group({&A, &B});
+  replay(T, Group);
+  EXPECT_EQ(Group.activeMembers(), 2u);
+  EXPECT_TRUE(Group.diags().empty());
+  expectSameWarnings(Reference.warnings(), A.warnings(), "group-a");
+  expectSameWarnings(Reference.warnings(), B.warnings(), "group-b");
+}
+
+TEST(Quarantine, GroupWithEveryMemberDeadStillCompletes) {
+  Trace T = makeRacyTrace(28);
+  FastTrack Victim;
+  ft::runtime::ThrowAfterTool Bomb(Victim, 0); // first access throws
+  ToolGroup Group({&Bomb});
+  ReplayResult Result = replay(T, Group);
+  EXPECT_EQ(Result.Events, T.size());
+  EXPECT_EQ(Group.activeMembers(), 0u);
+  EXPECT_TRUE(Group.warnings().empty());
 }
 
 TEST(Watchdog, HealthyRunStaysSharded) {

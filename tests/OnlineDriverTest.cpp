@@ -144,9 +144,11 @@ TEST(OnlineDriver, WarningSinkFiresImmediately) {
   EXPECT_EQ(SinkLog[0].second, 3u); // sink ran before op 3 was offered
 }
 
-TEST(OnlineDriver, OverCapacityVariableHaltsWithDiagnostic) {
+TEST(OnlineDriver, OverCapacityVariableHaltsWhenLadderPinnedOff) {
   FastTrack Checker;
-  OnlineDriver Driver(Checker, capacity(2, 4, 2, 2));
+  OnlineDriverOptions Options;
+  Options.Degrade.Enabled = false; // pre-ladder behavior: halt outright
+  OnlineDriver Driver(Checker, capacity(2, 4, 2, 2), Options);
   EXPECT_TRUE(Driver.dispatch(wr(0, 3)));  // at the edge: fine
   EXPECT_FALSE(Driver.dispatch(wr(0, 4))); // over: halt
   EXPECT_TRUE(Driver.halted());
@@ -156,6 +158,207 @@ TEST(OnlineDriver, OverCapacityVariableHaltsWithDiagnostic) {
   // Halted drivers reject everything; the raw stream stays replayable.
   EXPECT_FALSE(Driver.dispatch(wr(0, 0)));
   EXPECT_EQ(Driver.rawOps(), 1u);
+  Driver.finish();
+}
+
+TEST(OnlineDriver, OverCapacityVariableCoarsensInsteadOfHalting) {
+  FastTrack Checker;
+  OnlineDriver Driver(Checker, capacity(2, 4, 2, 2)); // default ladder on
+  EXPECT_TRUE(Driver.dispatch(wr(0, 3)));
+  Operation Over = wr(0, 4); // over capacity: first coarse rung absorbs it
+  EXPECT_EQ(Driver.offer(Over), OnlineDriver::DispatchOutcome::Delivered);
+  EXPECT_EQ(Over.Target, 0u); // 4 / 8
+  EXPECT_FALSE(Driver.halted());
+  EXPECT_EQ(Driver.rung(), 1u);
+  EXPECT_EQ(Driver.degradations(), 1u);
+  ASSERT_EQ(Driver.diags().size(), 1u);
+  EXPECT_EQ(Driver.diags()[0].Code, StatusCode::ResourceExhausted);
+  EXPECT_EQ(Driver.diags()[0].Sev, Severity::Warning);
+  // Every later access folds through the same divisor (coherent shadow).
+  Operation Low = wr(0, 3);
+  EXPECT_EQ(Driver.offer(Low), OnlineDriver::DispatchOutcome::Delivered);
+  EXPECT_EQ(Low.Target, 0u); // 3 / 8
+  EXPECT_EQ(Driver.rawOps(), 3u);
+  Driver.finish();
+}
+
+TEST(OnlineDriver, LadderWidensUntilTheMappedIdFits) {
+  // A wildly over-capacity id takes several coarse rungs in one offer.
+  FastTrack Checker;
+  OnlineDriver Driver(Checker, capacity(2, 4, 2, 2));
+  Operation Far = wr(0, 600); // 600/8=75, /64=9 still over, /512=1 fits
+  EXPECT_EQ(Driver.offer(Far), OnlineDriver::DispatchOutcome::Delivered);
+  EXPECT_EQ(Far.Target, 1u);
+  EXPECT_FALSE(Driver.halted());
+  EXPECT_EQ(Driver.rung(), 3u);
+  EXPECT_EQ(Driver.degradations(), 3u);
+  Driver.finish();
+}
+
+TEST(OnlineDriver, SamplingRungDeliversDeterministicSubset) {
+  FastTrack Checker;
+  OnlineDriverOptions Options;
+  Options.Degrade.Ladder = {{DegradeStep::Kind::AccessSampling, 4}};
+  Options.Degrade.StartRung = 1; // pinned at 1-in-4 from the first op
+  OnlineDriver Driver(Checker, capacity(), Options);
+  unsigned Count = 0;
+  for (int I = 0; I != 16; ++I) {
+    Operation Op = wr(0, 0);
+    Count += Driver.offer(Op) == OnlineDriver::DispatchOutcome::Delivered;
+  }
+  EXPECT_EQ(Count, 4u); // accesses 0, 4, 8, 12
+  EXPECT_EQ(Driver.accessesDropped(), 12u);
+  // A shed access consumes no raw index: the capture and its offline
+  // replay still agree on every delivered op's index.
+  EXPECT_EQ(Driver.rawOps(), 4u);
+  // The sync spine is never sampled.
+  Operation A = acq(0, 0);
+  EXPECT_EQ(Driver.offer(A), OnlineDriver::DispatchOutcome::Delivered);
+  Driver.finish();
+}
+
+TEST(OnlineDriver, SyncOnlyRungShedsAccessesButKeepsTheSpine) {
+  FastTrack Checker;
+  OnlineDriverOptions Options;
+  Options.Degrade.Ladder = {{DegradeStep::Kind::SyncOnly, 0}};
+  Options.Degrade.StartRung = 1;
+  OnlineDriver Driver(Checker, capacity(), Options);
+  Operation W = wr(0, 0);
+  EXPECT_EQ(Driver.offer(W), OnlineDriver::DispatchOutcome::Dropped);
+  EXPECT_TRUE(Driver.dispatch(fork(0, 1)));
+  EXPECT_TRUE(Driver.dispatch(acq(1, 0)));
+  EXPECT_TRUE(Driver.dispatch(rel(1, 0)));
+  EXPECT_TRUE(Driver.dispatch(volWr(1, 0)));
+  EXPECT_EQ(Driver.accessesDropped(), 1u);
+  EXPECT_EQ(Driver.rawOps(), 4u);
+  EXPECT_FALSE(Driver.halted());
+  Driver.finish();
+}
+
+TEST(OnlineDriver, ForcedBudgetBreachStepsDownOnceAtTheProbe) {
+  FastTrack Checker;
+  OnlineDriverOptions Options;
+  Options.Degrade.BudgetCheckEveryOps = 4;
+  Options.ForceBudgetBreachAtRawOp = 4; // the fault-injection hook
+  OnlineDriver Driver(Checker, capacity(), Options);
+  for (int I = 0; I != 12; ++I)
+    Driver.dispatch(wr(0, 1));
+  // Exactly one transition: the forced breach fires at the first probe at
+  // or after raw op 4; later probes read the real (zero-budget) state.
+  EXPECT_EQ(Driver.rung(), 1u);
+  EXPECT_EQ(Driver.degradations(), 1u);
+  ASSERT_EQ(Driver.diags().size(), 1u);
+  EXPECT_EQ(Driver.diags()[0].Code, StatusCode::ResourceExhausted);
+  EXPECT_LE(Driver.diags()[0].OpIndex, 8u);
+  Driver.finish();
+}
+
+TEST(OnlineDriver, BudgetBreachWalksLadderThenContinuesUnbudgeted) {
+  FastTrack Checker;
+  OnlineDriverOptions Options;
+  Options.Degrade.ShadowBudgetBytes = 1; // always breached
+  Options.Degrade.BudgetCheckEveryOps = 1;
+  OnlineDriver Driver(Checker, capacity(), Options);
+  // Sync ops keep consuming raw indices even on the SyncOnly rung, so the
+  // probes keep firing until the ladder runs out.
+  for (int I = 0; I != 16; ++I) {
+    Driver.dispatch(acq(0, 0));
+    Driver.dispatch(rel(0, 0));
+  }
+  EXPECT_FALSE(Driver.halted()); // never halts: detection beats death
+  EXPECT_EQ(Driver.rung(), 5u);  // full default ladder exhausted
+  bool Unbudgeted = false;
+  for (const Diagnostic &D : Driver.diags())
+    Unbudgeted |= D.Sev == Severity::Note &&
+                  D.Message.find("unbudgeted") != std::string::npos;
+  EXPECT_TRUE(Unbudgeted);
+  Driver.finish();
+}
+
+TEST(OnlineDriver, RequestStepDownHonorsPinnedOffLadder) {
+  {
+    FastTrack Checker;
+    OnlineDriverOptions Options;
+    Options.Degrade.Enabled = false;
+    OnlineDriver Driver(Checker, capacity(), Options);
+    EXPECT_FALSE(Driver.requestStepDown(StatusCode::Stalled, "test"));
+    EXPECT_EQ(Driver.rung(), 0u);
+    Driver.finish();
+  }
+  {
+    FastTrack Checker;
+    OnlineDriver Driver(Checker, capacity());
+    for (int I = 0; I != 5; ++I)
+      EXPECT_TRUE(Driver.requestStepDown(StatusCode::Stalled, "test"));
+    EXPECT_FALSE(Driver.requestStepDown(StatusCode::Stalled, "test"));
+    EXPECT_EQ(Driver.rung(), 5u);
+    EXPECT_FALSE(Driver.halted()); // final rung sheds; it does not halt
+    Driver.finish();
+  }
+}
+
+TEST(OnlineDriver, DegradedCaptureReplaysToIdenticalWarnings) {
+  // The equivalence contract on a degraded rung: the capture is the
+  // delivered subsequence, exactly as offer() left each op, and replaying
+  // it offline reproduces the online warnings byte for byte.
+  Trace T = mixedTrace();
+  FastTrack Online;
+  OnlineDriverOptions Options;
+  Options.Degrade.Ladder = {{DegradeStep::Kind::CoarseGranularity, 2},
+                            {DegradeStep::Kind::AccessSampling, 2}};
+  Options.Degrade.StartRung = 2;
+  OnlineDriver Driver(Online, capacity(), Options);
+  Trace Capture;
+  for (const Operation &Op : T) {
+    Operation Copy = Op;
+    if (Driver.offer(Copy) == OnlineDriver::DispatchOutcome::Delivered)
+      Capture.append(Copy);
+  }
+  Driver.finish();
+  EXPECT_LT(Capture.size(), T.size()); // sampling really shed accesses
+  EXPECT_EQ(Capture.size(), Driver.rawOps());
+
+  FastTrack Offline;
+  replay(Capture, Offline);
+  expectSameWarnings(Online.warnings(), Offline.warnings());
+}
+
+namespace {
+
+/// Throws from the Nth read/write handler call.
+class BombTool : public Tool {
+public:
+  explicit BombTool(uint64_t ThrowAt) : ThrowAt(ThrowAt) {}
+  const char *name() const override { return "Bomb"; }
+  bool onRead(ThreadId, VarId, size_t) override { return tick(); }
+  bool onWrite(ThreadId, VarId, size_t) override { return tick(); }
+
+private:
+  bool tick() {
+    if (Seen++ == ThrowAt)
+      throw std::runtime_error("boom");
+    return true;
+  }
+  uint64_t ThrowAt;
+  uint64_t Seen = 0;
+};
+
+} // namespace
+
+TEST(OnlineDriver, ThrowingToolHaltsWithToolFaultNotUnwind) {
+  BombTool Checker(2);
+  OnlineDriver Driver(Checker, capacity());
+  EXPECT_TRUE(Driver.dispatch(wr(0, 0)));
+  EXPECT_TRUE(Driver.dispatch(wr(0, 1)));
+  Operation Bang = wr(0, 2);
+  EXPECT_EQ(Driver.offer(Bang), OnlineDriver::DispatchOutcome::Rejected);
+  EXPECT_TRUE(Driver.halted());
+  // The throwing op was rolled back out of the stream: a capture holding
+  // the two delivered ops replays cleanly.
+  EXPECT_EQ(Driver.rawOps(), 2u);
+  ASSERT_EQ(Driver.diags().size(), 1u);
+  EXPECT_EQ(Driver.diags()[0].Code, StatusCode::ToolFault);
+  EXPECT_NE(Driver.diags()[0].Message.find("boom"), std::string::npos);
   Driver.finish();
 }
 

@@ -1,0 +1,334 @@
+//===--- OnlineResilienceTest.cpp - overload, stalls, quarantine ----------===//
+//
+// The tentpole contracts of the overload-resilient runtime, each driven
+// deterministically by a FaultPlan:
+//
+//  - a ring-full storm walks the degradation ladder instead of halting,
+//    application threads stay bounded by the park deadline, and the
+//    delivered subsequence still replays to identical warnings;
+//  - a stalled sequencer is detected, abandoned, and restarted by the
+//    watchdog; a second stall also downgrades a ladder rung; exhausting
+//    MaxRestarts halts detection (never the application) with every
+//    un-merged event counted;
+//  - a tool that throws inside a ToolGroup is quarantined while its
+//    siblings keep detecting; a tool that throws with no group around it
+//    halts the driver with a ToolFault and post-halt drops are counted
+//    per thread.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FastTrack.h"
+#include "detectors/Eraser.h"
+#include "framework/Replay.h"
+#include "framework/ToolGroup.h"
+#include "runtime/FaultPlan.h"
+#include "runtime/Instrument.h"
+#include "support/Stopwatch.h"
+#include "trace/TraceValidator.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace ft;
+namespace rt = ft::runtime;
+
+namespace {
+
+void expectSameWarnings(const std::vector<RaceWarning> &Online,
+                        const std::vector<RaceWarning> &Offline) {
+  ASSERT_EQ(Online.size(), Offline.size());
+  for (size_t I = 0; I != Online.size(); ++I) {
+    EXPECT_EQ(Online[I].Var, Offline[I].Var) << "warning " << I;
+    EXPECT_EQ(Online[I].OpIndex, Offline[I].OpIndex) << "warning " << I;
+    EXPECT_EQ(Online[I].CurrentThread, Offline[I].CurrentThread);
+    EXPECT_EQ(Online[I].CurrentKind, Offline[I].CurrentKind);
+    EXPECT_EQ(Online[I].PriorThread, Offline[I].PriorThread);
+    EXPECT_EQ(Online[I].PriorKind, Offline[I].PriorKind);
+    EXPECT_EQ(Online[I].Detail, Offline[I].Detail);
+  }
+}
+
+bool anyDiagContains(const std::vector<Diagnostic> &Diags,
+                     const char *Needle) {
+  for (const Diagnostic &D : Diags)
+    if (D.Message.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Overload: the degradation ladder under a ring-full storm
+//===----------------------------------------------------------------------===//
+
+TEST(OnlineResilience, RingStormWalksTheLadderWithoutHalting) {
+  // Every delivery costs 2 ms in the sequencer — a consumer far too slow
+  // for four producers hammering 16-slot rings. The only sustainable
+  // response is to walk the ladder until accesses are shed.
+  rt::FaultPlan Faults;
+  Faults.DelayFromTicket = 0;
+  Faults.DelayToTicket = rt::FaultPlan::None; // the whole session
+  Faults.DelayPerDeliveryUs = 2000;
+
+  rt::OnlineOptions Options;
+  Options.RingCapacity = 16;
+  Options.Faults = &Faults;
+  Options.Supervise.TickMs = 5;
+  Options.Supervise.MaxParkMs = 5;
+  Options.Supervise.PressureTicksToDegrade = 1;
+  // A 2 ms/event consumer is slow, not stalled: the watermark keeps
+  // moving. Park this test's stall detection out of the way so it
+  // isolates the pressure path.
+  Options.Supervise.StallDeadlineMs = 60000;
+
+  constexpr unsigned NumThreads = 4;
+  constexpr int PerThread = 400;
+
+  FastTrack Detector;
+  std::vector<rt::Shared<int>> Vars(NumThreads);
+  rt::Shared<int> Racy;
+  std::array<uint64_t, NumThreads> MaxWriteNs{};
+
+  rt::Engine Engine(Detector, Options);
+  {
+    std::vector<rt::Thread> Threads;
+    for (unsigned T = 0; T != NumThreads; ++T)
+      Threads.emplace_back([&, T] {
+        uint64_t Worst = 0;
+        for (int I = 0; I != PerThread; ++I) {
+          Stopwatch W;
+          FT_WRITE(Vars[T], I);
+          if (I % 16 == 0)
+            FT_WRITE(Racy, static_cast<int>(T)); // cross-thread races
+          Worst = std::max(Worst, W.nanoseconds());
+        }
+        MaxWriteNs[T] = Worst;
+      });
+    for (rt::Thread &T : Threads)
+      T.join();
+  }
+  rt::OnlineReport Report = Engine.finish();
+
+  // Overload degraded detection; it did not halt it.
+  EXPECT_FALSE(Report.Halted);
+  EXPECT_GE(Report.DegradeRung, 1u);
+  EXPECT_EQ(Report.Degradations, Report.DegradeRung);
+  EXPECT_TRUE(anyDiagContains(Report.Diags, "sustained ring pressure"));
+  EXPECT_TRUE(anyDiagContains(Report.Diags, "degraded to rung"));
+
+  // Load actually came off: accesses were shed at the driver (sampling /
+  // sync-only) or at the emit side (park deadline) — and counted.
+  EXPECT_GT(Report.AccessesShed + Report.DroppedOverload, 0u);
+  EXPECT_GT(Report.MaxBacklog, 0u);
+
+  // The emit-side bound held: no application thread blocked for
+  // anything near the un-shed backlog's worth of time (which would be
+  // multiple seconds at 2 ms/event). The park deadline is 5 ms; allow
+  // generous scheduler noise.
+  for (uint64_t Worst : MaxWriteNs)
+    EXPECT_LT(Worst, 1000u * 1000u * 1000u);
+
+  // The capture is the delivered subsequence: still a feasible trace
+  // (modulo rule 4 — shedding may strip every access of a thread while
+  // its fork/join spine survives), and an offline replay of it
+  // reproduces the online warnings exactly even though degradation
+  // remapped and shed accesses mid-stream.
+  TraceValidatorOptions VOpts;
+  VOpts.RequireThreadOps = false;
+  EXPECT_TRUE(isFeasible(Report.Captured, VOpts));
+  FastTrack Offline;
+  replay(Report.Captured, Offline);
+  expectSameWarnings(Detector.warnings(), Offline.warnings());
+}
+
+//===----------------------------------------------------------------------===//
+// Supervision: stall detection, restart, downgrade, give-up
+//===----------------------------------------------------------------------===//
+
+TEST(OnlineResilience, StalledSequencerIsRestartedExactlyOnce) {
+  rt::FaultPlan Faults;
+  Faults.StallAtTicket = 10;
+  Faults.StallsArmed.store(1);
+
+  rt::OnlineOptions Options;
+  Options.Faults = &Faults;
+  Options.Supervise.TickMs = 5;
+  Options.Supervise.StallDeadlineMs = 30;
+
+  FastTrack Detector;
+  rt::Shared<int> X;
+  rt::Engine Engine(Detector, Options);
+  for (int I = 0; I != 100; ++I)
+    FT_WRITE(X, I);
+  rt::OnlineReport Report = Engine.finish();
+
+  // The watchdog recovered the wedged sequencer; nothing was lost: the
+  // producer had already ticketed its events, and the successor resumed
+  // from the published watermark.
+  EXPECT_FALSE(Report.Halted);
+  EXPECT_EQ(Report.SequencerRestarts, 1u);
+  EXPECT_EQ(Report.EventsCaptured, 100u);
+  EXPECT_EQ(Report.DroppedPostHalt, 0u);
+  EXPECT_EQ(Report.DroppedOverload, 0u);
+  EXPECT_TRUE(anyDiagContains(Report.Diags, "sequencer stalled"));
+  EXPECT_TRUE(anyDiagContains(Report.Diags, "sequencer restarted"));
+  // A single stall does not touch the ladder.
+  EXPECT_EQ(Report.DegradeRung, 0u);
+
+  FastTrack Offline;
+  replay(Report.Captured, Offline);
+  expectSameWarnings(Detector.warnings(), Offline.warnings());
+}
+
+TEST(OnlineResilience, SecondStallDowngradesALadderRung) {
+  rt::FaultPlan Faults;
+  Faults.StallAtTicket = 10;
+  Faults.StallsArmed.store(2); // the restarted sequencer stalls again
+
+  rt::OnlineOptions Options;
+  Options.Faults = &Faults;
+  Options.Supervise.TickMs = 5;
+  Options.Supervise.StallDeadlineMs = 30;
+
+  FastTrack Detector;
+  rt::Shared<int> X;
+  rt::Engine Engine(Detector, Options);
+  for (int I = 0; I != 100; ++I)
+    FT_WRITE(X, I);
+  rt::OnlineReport Report = Engine.finish();
+
+  // Two stalls, two restarts — and the second one also concluded the
+  // sequencer cannot keep up at full fidelity, so a rung came off.
+  EXPECT_FALSE(Report.Halted);
+  EXPECT_EQ(Report.SequencerRestarts, 2u);
+  EXPECT_GE(Report.DegradeRung, 1u);
+  EXPECT_TRUE(anyDiagContains(Report.Diags, "repeated sequencer stall"));
+  // Coarse granularity remaps targets but sheds nothing: every event is
+  // still delivered and captured.
+  EXPECT_EQ(Report.EventsCaptured, 100u);
+
+  FastTrack Offline;
+  replay(Report.Captured, Offline);
+  expectSameWarnings(Detector.warnings(), Offline.warnings());
+}
+
+TEST(OnlineResilience, ExhaustedRestartsHaltDetectionNotTheApplication) {
+  rt::FaultPlan Faults;
+  Faults.StallAtTicket = 10;
+  Faults.StallsArmed.store(100); // wedged for good
+
+  rt::OnlineOptions Options;
+  Options.Faults = &Faults;
+  Options.Supervise.TickMs = 5;
+  Options.Supervise.StallDeadlineMs = 25;
+  Options.Supervise.MaxRestarts = 1;
+
+  FastTrack Detector;
+  rt::Shared<int> X;
+  rt::Engine Engine(Detector, Options);
+  for (int I = 0; I != 100; ++I)
+    FT_WRITE(X, I);
+  rt::OnlineReport Report = Engine.finish(); // must not hang
+
+  // One restart was allowed; the successor wedged too, so the watchdog
+  // gave up: detection halted, the application (this test) ran to
+  // completion, and every un-merged event is accounted for.
+  EXPECT_TRUE(Report.Halted);
+  EXPECT_EQ(Report.SequencerRestarts, 1u);
+  EXPECT_EQ(Report.EventsCaptured, 10u);
+  EXPECT_EQ(Report.DroppedPostHalt, 90u);
+  EXPECT_TRUE(anyDiagContains(Report.Diags, "unrecoverable"));
+  bool SawError = false;
+  for (const Diagnostic &D : Report.Diags)
+    SawError |= D.Sev == Severity::Error;
+  EXPECT_TRUE(SawError);
+}
+
+//===----------------------------------------------------------------------===//
+// Tool faults: quarantine in a group, ToolFault halt without one
+//===----------------------------------------------------------------------===//
+
+TEST(OnlineResilience, ThrowingMemberIsQuarantinedSiblingsKeepDetecting) {
+  FastTrack Main;
+  Eraser SiblingInner;
+  rt::ThrowAfterTool Bomb(SiblingInner, 3); // detonates on its 4th access
+  ToolGroup Group({&Main, &Bomb});
+
+  rt::Shared<int> X;
+  rt::Engine Engine(Group);
+  FT_WRITE(X, 0);
+  {
+    rt::Thread A([&] {
+      FT_WRITE(X, 1);
+      FT_WRITE(X, 2);
+    });
+    rt::Thread B([&] {
+      (void)FT_READ(X);
+      (void)FT_READ(X);
+    });
+    A.join();
+    B.join();
+  }
+  rt::OnlineReport Report = Engine.finish();
+
+  // The group absorbed the throw: the driver saw no exception, so the
+  // engine never halted and every event was delivered.
+  EXPECT_FALSE(Report.Halted);
+  EXPECT_EQ(Report.EventsCaptured, 9u); // wr + 2 forks + 4 accesses + 2 joins
+  EXPECT_FALSE(Group.quarantined(0));
+  EXPECT_TRUE(Group.quarantined(1));
+  EXPECT_EQ(Group.activeMembers(), 1u);
+  ASSERT_EQ(Group.diags().size(), 1u);
+  EXPECT_EQ(Group.diags()[0].Code, StatusCode::ToolFault);
+  EXPECT_NE(Group.diags()[0].Message.find("quarantined"), std::string::npos);
+
+  // The healthy sibling kept detecting: A's writes race B's reads.
+  EXPECT_GE(Main.warnings().size(), 1u);
+  EXPECT_GE(Report.NumWarnings, 1u);
+
+  // And its verdicts are untouched by the sibling's death: replaying the
+  // capture through a fresh FastTrack reproduces them exactly.
+  FastTrack Offline;
+  replay(Report.Captured, Offline);
+  expectSameWarnings(Main.warnings(), Offline.warnings());
+}
+
+TEST(OnlineResilience, UncontainedToolFaultHaltsAndCountsEveryDrop) {
+  FastTrack Inner;
+  rt::ThrowAfterTool Bomb(Inner, 2); // third access throws
+
+  rt::Shared<int> X;
+  rt::Engine Engine(Bomb);
+  FT_WRITE(X, 0);
+  FT_WRITE(X, 1);
+  FT_WRITE(X, 2); // detonates in the sequencer; halt lands asynchronously
+  for (int I = 0; I != 5000 && !Engine.halted(); ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_TRUE(Engine.halted());
+  // The application is still running; its events are now dropped and
+  // counted at the emit side, on this thread's row.
+  for (int I = 0; I != 5; ++I)
+    FT_WRITE(X, I);
+  rt::OnlineReport Report = Engine.finish();
+
+  EXPECT_TRUE(Report.Halted);
+  ASSERT_FALSE(Report.Diags.empty());
+  EXPECT_EQ(Report.Diags[0].Code, StatusCode::ToolFault);
+  // Exactly the two pre-fault accesses were delivered; the detonating
+  // op and everything after it is dropped-and-counted, never silent.
+  EXPECT_EQ(Report.EventsCaptured, 2u);
+  EXPECT_EQ(Report.DroppedPostHalt, 6u);
+  ASSERT_FALSE(Report.PerThreadDrops.empty());
+  EXPECT_EQ(Report.PerThreadDrops[0].Thread, 0u);
+  EXPECT_GE(Report.PerThreadDrops[0].PostHalt, 5u);
+  bool OneShot = false;
+  for (const Diagnostic &D : Report.Diags)
+    OneShot |= D.Message.find("dropped after detection halted") !=
+               std::string::npos;
+  EXPECT_TRUE(OneShot);
+}

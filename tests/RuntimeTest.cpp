@@ -14,6 +14,7 @@
 #include "core/FastTrack.h"
 #include "detectors/Eraser.h"
 #include "framework/Replay.h"
+#include "runtime/FaultPlan.h"
 #include "runtime/Instrument.h"
 #include "trace/TraceBuilder.h"
 #include "trace/TraceIO.h"
@@ -50,6 +51,13 @@ void expectSameWarnings(const std::vector<RaceWarning> &Online,
 template <typename Body>
 rt::OnlineReport checkedSession(FastTrack &Detector, Body &&Run,
                                 rt::OnlineOptions Options = {}) {
+  // These are exact-equivalence contract tests: every emitted event must
+  // be delivered. Pin off the overload ladder and the supervisor's
+  // load-shedding so a slow CI machine (TSan especially) cannot shed
+  // accesses mid-test. Resilience behavior has its own suite
+  // (OnlineResilienceTest.cpp).
+  Options.Degrade.Enabled = false;
+  Options.Supervise.Enabled = false;
   rt::Engine Engine(Detector, std::move(Options));
   Run();
   rt::OnlineReport Report = Engine.finish();
@@ -453,6 +461,10 @@ TEST(OnlineEngine, TinyRingsBackpressureWithoutDeadlockOrLoss) {
   FastTrack Detector;
   rt::OnlineOptions Options;
   Options.RingCapacity = 4;
+  // "Or loss" is the point here: disable every shedding mechanism so the
+  // count below is exact even when CI runs this at TSan speed.
+  Options.Degrade.Enabled = false;
+  Options.Supervise.Enabled = false;
   rt::Mutex M;
   rt::Shared<int> X;
   constexpr int PerThread = 500;
@@ -476,10 +488,65 @@ TEST(OnlineEngine, TinyRingsBackpressureWithoutDeadlockOrLoss) {
   EXPECT_TRUE(isFeasible(Report.Captured));
 }
 
+TEST(OnlineEngine, BackpressureParkUnparkIsCountedNotLost) {
+  // Tiny rings plus an injected slow-consumer storm guarantee producers
+  // park; generous supervisor deadlines guarantee nothing is shed. The
+  // report must carry the MaxQueueDepth-style pressure stats while the
+  // delivered stream stays complete. (The TSan CI job runs this: parking
+  // and unparking across producer/sequencer threads is the racy part.)
+  FastTrack Detector;
+  rt::FaultPlan Faults;
+  Faults.DelayFromTicket = 0;
+  Faults.DelayToTicket = 50; // storm over the first 50 tickets only
+  Faults.DelayPerDeliveryUs = 1000;
+  rt::OnlineOptions Options;
+  Options.RingCapacity = 4;
+  Options.Faults = &Faults;
+  Options.Degrade.Enabled = false;          // nothing may be shed...
+  Options.Supervise.MaxParkMs = 60000;      // ...parked accesses wait
+  Options.Supervise.StallDeadlineMs = 60000; // a slow merge is not a stall
+  rt::Mutex M;
+  rt::Shared<int> X;
+  constexpr int PerThread = 100;
+
+  rt::Engine Engine(Detector, Options);
+  auto Hammer = [&] {
+    for (int I = 0; I != PerThread; ++I) {
+      std::lock_guard<rt::Mutex> Guard(M);
+      FT_WRITE(X, I);
+    }
+  };
+  rt::Thread A(Hammer);
+  rt::Thread B(Hammer);
+  A.join();
+  B.join();
+  rt::OnlineReport Report = Engine.finish();
+
+  EXPECT_EQ(Report.EventsCaptured, 4u + 2u * PerThread * 3u);
+  EXPECT_EQ(Report.NumWarnings, 0u);
+  EXPECT_FALSE(Report.Halted);
+  EXPECT_EQ(Report.DroppedOverload, 0u);
+  EXPECT_EQ(Report.DroppedPostHalt, 0u);
+  EXPECT_EQ(Report.AccessesShed, 0u);
+  EXPECT_EQ(Report.SequencerRestarts, 0u);
+  // Pressure really happened, and the per-thread rows account for it.
+  EXPECT_GT(Report.ParkEpisodes, 0u);
+  EXPECT_GT(Report.MaxBacklog, 0u);
+  uint64_t Parks = 0;
+  for (const rt::ThreadDropStats &S : Report.PerThreadDrops)
+    Parks += S.Parks;
+  EXPECT_EQ(Parks, Report.ParkEpisodes);
+  EXPECT_TRUE(isFeasible(Report.Captured));
+}
+
 TEST(OnlineEngine, CapacityBreachHaltsDetectionNotTheProgram) {
   FastTrack Detector;
   rt::OnlineOptions Options;
   Options.MaxVars = 2;
+  // With the ladder on, an over-capacity variable coarsens instead of
+  // halting (OnlineResilienceTest covers that); this test pins the
+  // pre-ladder halt behavior.
+  Options.Degrade.Enabled = false;
   std::vector<rt::Shared<int>> Vars(8);
 
   rt::Engine Engine(Detector, Options);
@@ -490,6 +557,17 @@ TEST(OnlineEngine, CapacityBreachHaltsDetectionNotTheProgram) {
   EXPECT_TRUE(Report.Halted);
   ASSERT_FALSE(Report.Diags.empty());
   EXPECT_EQ(Report.Diags[0].Code, StatusCode::ResourceExhausted);
+  // The six writes emitted after the breach are not lost silently: each
+  // is counted exactly once (at emit when the halt was already visible,
+  // or discarded by the sequencer when it was ticketed first) and the
+  // loss is flagged by a one-shot diagnostic.
+  EXPECT_EQ(Report.DroppedPostHalt, 6u);
+  bool DropDiag = false;
+  for (const Diagnostic &D : Report.Diags)
+    DropDiag |= D.Code == StatusCode::Cancelled &&
+                D.Message.find("dropped after detection halted") !=
+                    std::string::npos;
+  EXPECT_TRUE(DropDiag);
   // The capture holds exactly the accepted prefix, still replayable.
   EXPECT_EQ(Report.Captured.size(), 2u);
   FastTrack Offline;

@@ -1,0 +1,225 @@
+//===--- SegmentedCaptureTest.cpp - crash-safe segmented flight recorder --===//
+//
+// The segmented writer/recovery pair in isolation (no runtime involved):
+// sealing, footers, checksums, torn-tail salvage, and the stop-at-gap
+// rules that keep every recovery a consistent prefix of the stream.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/SegmentedCapture.h"
+#include "trace/TraceBuilder.h"
+#include "trace/TraceIO.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+using namespace ft;
+
+namespace {
+
+/// Removes every segment of \p Prefix (best effort, for test hygiene).
+void removeChain(const std::string &Prefix) {
+  for (unsigned I = 0; I != 64; ++I)
+    std::remove(SegmentedTraceWriter::segmentPath(Prefix, I).c_str());
+}
+
+Trace interestingTrace(size_t Accesses) {
+  TraceBuilder B;
+  B.fork(0, 1);
+  for (size_t I = 0; I != Accesses; ++I) {
+    B.acq(I % 2, 0).wr(I % 2, static_cast<VarId>(I % 8)).rel(I % 2, 0);
+  }
+  B.join(0, 1);
+  return B.take();
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(In),
+                     std::istreambuf_iterator<char>());
+}
+
+void dump(const std::string &Path, const std::string &Content) {
+  std::ofstream Out(Path, std::ios::binary);
+  Out << Content;
+}
+
+} // namespace
+
+TEST(SegmentedCapture, SegmentPathsAreStableAndOrdered) {
+  EXPECT_EQ(SegmentedTraceWriter::segmentPath("run", 0), "run.seg000000.trc");
+  EXPECT_EQ(SegmentedTraceWriter::segmentPath("run", 41), "run.seg000041.trc");
+}
+
+TEST(SegmentedCapture, RoundTripsAcrossManySmallSegments) {
+  const std::string Prefix = "segtest_roundtrip";
+  removeChain(Prefix);
+  Trace T = interestingTrace(40);
+
+  SegmentWriterOptions Options;
+  Options.SegmentBytes = 128; // force many seals
+  SegmentedTraceWriter Writer(Prefix, Options);
+  // Append in uneven runs, like the sequencer's batches (the size bound
+  // is checked per batch, so runs must stay small to get many seals).
+  size_t At = 0;
+  for (size_t Run : {size_t(1), size_t(7), size_t(30), size_t(30),
+                     size_t(30), size_t(200)}) {
+    size_t N = std::min(Run, T.size() - At);
+    Writer.append(T.operations().data() + At, N);
+    At += N;
+  }
+  ASSERT_EQ(At, T.size());
+  ASSERT_TRUE(Writer.finish().ok());
+  EXPECT_FALSE(Writer.broken());
+  EXPECT_GT(Writer.segmentsSealed(), 2u);
+  EXPECT_EQ(Writer.recordsWritten(), T.size());
+
+  Trace Recovered;
+  CaptureRecovery R = recoverSegmentedCapture(Prefix, Recovered);
+  ASSERT_TRUE(R.St.ok()) << R.St.message();
+  EXPECT_EQ(R.SegmentsSealed, Writer.segmentsSealed());
+  EXPECT_EQ(R.SegmentsTorn, 0u);
+  EXPECT_EQ(R.Records, T.size());
+  EXPECT_EQ(serializeTrace(Recovered), serializeTrace(T));
+  removeChain(Prefix);
+}
+
+TEST(SegmentedCapture, EverySealedSegmentEndsWithAFooterLine) {
+  const std::string Prefix = "segtest_footer";
+  removeChain(Prefix);
+  Trace T = interestingTrace(20);
+  SegmentWriterOptions Options;
+  Options.SegmentBytes = 200;
+  SegmentedTraceWriter Writer(Prefix, Options);
+  Writer.append(T.operations().data(), T.size());
+  ASSERT_TRUE(Writer.finish().ok());
+
+  for (unsigned I = 0; I != Writer.segmentsSealed(); ++I) {
+    std::string Content =
+        slurp(SegmentedTraceWriter::segmentPath(Prefix, I));
+    ASSERT_FALSE(Content.empty());
+    size_t LastLine = Content.rfind('\n', Content.size() - 2);
+    LastLine = LastLine == std::string::npos ? 0 : LastLine + 1;
+    EXPECT_EQ(Content.compare(LastLine, 15, "# ftseg sealed "), 0)
+        << "segment " << I;
+  }
+  removeChain(Prefix);
+}
+
+TEST(SegmentedCapture, TornTailYieldsTheValidPrefix) {
+  const std::string Prefix = "segtest_torn";
+  removeChain(Prefix);
+  Trace T = interestingTrace(20);
+
+  // One sealed segment from the writer...
+  SegmentWriterOptions Options;
+  Options.SegmentBytes = 1; // seal on the first append
+  SegmentedTraceWriter Writer(Prefix, Options);
+  Writer.append(T.operations().data(), T.size());
+  ASSERT_TRUE(Writer.finish().ok());
+  ASSERT_EQ(Writer.segmentsSealed(), 1u);
+
+  // ...then a hand-made unsealed successor a crash cut off mid-record:
+  // three whole records and a torn fourth with no trailing newline.
+  dump(SegmentedTraceWriter::segmentPath(Prefix, 1),
+       "acq 0 0\nwr 0 3\nrel 0 0\nwr 0");
+
+  Trace Recovered;
+  CaptureRecovery R = recoverSegmentedCapture(Prefix, Recovered);
+  ASSERT_TRUE(R.St.ok()) << R.St.message();
+  EXPECT_EQ(R.SegmentsSealed, 1u);
+  EXPECT_EQ(R.SegmentsTorn, 1u);
+  EXPECT_EQ(R.Records, T.size() + 3);
+  ASSERT_EQ(Recovered.size(), T.size() + 3);
+  EXPECT_EQ(Recovered[T.size() + 1].Kind, OpKind::Write);
+  EXPECT_EQ(Recovered[T.size() + 1].Target, 3u);
+  // The torn tail is reported, not hidden.
+  bool TornNote = false;
+  for (const Diagnostic &D : R.Diags)
+    TornNote |= D.Sev == Severity::Note &&
+                D.Message.find("torn tail") != std::string::npos;
+  EXPECT_TRUE(TornNote);
+  removeChain(Prefix);
+}
+
+TEST(SegmentedCapture, CorruptedSealedSegmentFailsItsChecksum) {
+  const std::string Prefix = "segtest_corrupt";
+  removeChain(Prefix);
+  Trace T = interestingTrace(20);
+  SegmentWriterOptions Options;
+  Options.SegmentBytes = 200;
+  SegmentedTraceWriter Writer(Prefix, Options);
+  for (size_t At = 0; At < T.size(); At += 8)
+    Writer.append(T.operations().data() + At, std::min<size_t>(8, T.size() - At));
+  ASSERT_TRUE(Writer.finish().ok());
+  ASSERT_GT(Writer.segmentsSealed(), 1u);
+
+  // Flip one payload byte in the second segment; its footer checksum must
+  // catch it, and recovery must stop at the still-consistent prefix.
+  std::string Path = SegmentedTraceWriter::segmentPath(Prefix, 1);
+  std::string Content = slurp(Path);
+  Content[0] = Content[0] == 'w' ? 'r' : 'w';
+  dump(Path, Content);
+
+  Trace Recovered;
+  CaptureRecovery R = recoverSegmentedCapture(Prefix, Recovered);
+  EXPECT_FALSE(R.St.ok());
+  EXPECT_EQ(R.St.code(), StatusCode::ValidationError);
+  EXPECT_EQ(R.SegmentsSealed, 1u); // only segment 0 made it
+  removeChain(Prefix);
+}
+
+TEST(SegmentedCapture, RecoveryStopsAtAMissingSegment) {
+  const std::string Prefix = "segtest_gap";
+  removeChain(Prefix);
+  Trace T = interestingTrace(20);
+  SegmentWriterOptions Options;
+  Options.SegmentBytes = 100;
+  SegmentedTraceWriter Writer(Prefix, Options);
+  for (size_t At = 0; At < T.size(); At += 8)
+    Writer.append(T.operations().data() + At, std::min<size_t>(8, T.size() - At));
+  ASSERT_TRUE(Writer.finish().ok());
+  ASSERT_GT(Writer.segmentsSealed(), 2u);
+
+  // Deleting segment 1 severs the chain: segments 2+ are unreachable (a
+  // recovery crossing the gap would not be a prefix of the stream).
+  std::remove(SegmentedTraceWriter::segmentPath(Prefix, 1).c_str());
+
+  Trace Recovered;
+  CaptureRecovery R = recoverSegmentedCapture(Prefix, Recovered);
+  ASSERT_TRUE(R.St.ok());
+  EXPECT_EQ(R.SegmentsSealed, 1u);
+  EXPECT_LT(R.Records, T.size());
+  removeChain(Prefix);
+}
+
+TEST(SegmentedCapture, EmptyChainRecoversToAnEmptyTrace) {
+  const std::string Prefix = "segtest_none";
+  removeChain(Prefix);
+  Trace Recovered;
+  CaptureRecovery R = recoverSegmentedCapture(Prefix, Recovered);
+  EXPECT_TRUE(R.St.ok());
+  EXPECT_EQ(R.SegmentsSealed, 0u);
+  EXPECT_EQ(R.SegmentsTorn, 0u);
+  EXPECT_EQ(R.Records, 0u);
+  EXPECT_TRUE(Recovered.empty());
+}
+
+TEST(SegmentedCapture, WholeRecordTailWithNoNewlineIsDiscarded) {
+  // Only the bytes after the last newline are suspect; a file that is
+  // nothing but a torn record recovers to zero records, not an error.
+  const std::string Prefix = "segtest_allsuspect";
+  removeChain(Prefix);
+  dump(SegmentedTraceWriter::segmentPath(Prefix, 0), "wr 0 1");
+  Trace Recovered;
+  CaptureRecovery R = recoverSegmentedCapture(Prefix, Recovered);
+  EXPECT_TRUE(R.St.ok());
+  EXPECT_EQ(R.SegmentsTorn, 1u);
+  EXPECT_EQ(R.Records, 0u);
+  EXPECT_TRUE(Recovered.empty());
+  removeChain(Prefix);
+}
