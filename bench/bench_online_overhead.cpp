@@ -30,6 +30,7 @@
 #include "support/Table.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -138,6 +139,102 @@ rt::OnlineOptions fullFidelity() {
   return Options;
 }
 
+// --- shard scaling (E12 extension) -------------------------------------
+//
+// Aggregate detection throughput at Shards ∈ {1, 2, 4}. The workload is
+// deliberately shadow-bound rather than lock-bound: every thread reads a
+// pseudo-random tour of the whole var space (read-shared — no warnings,
+// so FastTrack stays on its read-epoch fast path and the bench measures
+// pipeline + shadow cost, not report formatting). Uniform touches over
+// the space mean the single sequencer walks the entire VarState array
+// between revisits, while a shard worker revisits only the 1/N slice the
+// block-cyclic map assigns it — the locality that pays even when the
+// machine has fewer cores than shards. A shared mutex taken every
+// SyncEvery events keeps the cross-shard sync spine exercised without
+// ordering the tours; it is sparse because this series measures access
+// throughput, not barrier pacing (the sync-heavy regime is covered by
+// the equivalence tests).
+
+constexpr uint64_t SyncEvery = 65536;
+
+/// Var-space size for the scaling series (env FT_SHARD_VARS overrides;
+/// must be a power of two). The default (2^18 vars = 4 MiB of VarState)
+/// is sized so the regimes actually differ on a small host: the single
+/// sequencer's shadow exceeds L2 outright, a 2-shard slice just matches
+/// it, and a 4-shard slice (1 MiB) fits alongside its ring.
+unsigned shardSpaceVars() {
+  if (const char *V = std::getenv("FT_SHARD_VARS"))
+    return static_cast<unsigned>(std::atoi(V));
+  return 1u << 18;
+}
+
+/// One timed sharded session. Reps live in the caller, which interleaves
+/// them round-robin across shard counts: on a shared machine the noise
+/// floor drifts on a seconds scale, so consecutive same-config reps
+/// sample correlated noise while the quantity under test — the *ratio*
+/// between shard counts — wants all configs sampled in the same window.
+RunResult runShardedOnce(unsigned Shards, unsigned NumThreads,
+                         uint64_t EventsPerThread) {
+  const unsigned SpaceVars = shardSpaceVars();
+  FastTrack Detector;
+  RunResult R;
+  {
+    rt::OnlineOptions Options;
+    Options.Shards = Shards;
+    Options.MaxVars = SpaceVars;
+    Options.RingCapacity = 1u << 16;
+    // Shard rings sized to stay cache-resident: the workers dispatch in
+    // place out of these rings, so ring bytes are repeatedly live — at
+    // 1<<13 slots a ring is 128 KiB and four of them still fit in L2
+    // beside the shadow slices. Oversizing them (1<<16 = 1 MiB each) costs
+    // more in eviction than the extra slack ever buys.
+    Options.ShardRingCapacity = 1u << 13;
+    Options.SequencerBatch = 4096;
+    Options.KeepCapture = false;
+    Options.ValidateCapture = false;
+    Options.Degrade.Enabled = false;
+    Options.Supervise.Enabled = false;
+
+    // Construction is outside the timed region (matching timeOnline): it
+    // is dominated by allocating and zeroing the clones' shadow spaces —
+    // an O(Shards x Vars) one-time cost that would otherwise be billed
+    // against a steady-state throughput number. The post-workload drain
+    // stays inside: detection is only done when finish() returns.
+    rt::Engine Engine(Detector, Options);
+    Stopwatch Watch;
+    rt::Mutex Spine;
+    {
+      std::vector<rt::Thread> Threads;
+      Threads.reserve(NumThreads);
+      for (unsigned T = 0; T != NumThreads; ++T)
+        Threads.emplace_back([&, T] {
+          rt::Engine *E = rt::Engine::current();
+          uint64_t X = 0x9e3779b97f4a7c15ull * (T + 1);
+          for (uint64_t I = 0; I != EventsPerThread; ++I) {
+            X = X * 6364136223846793005ull + 1442695040888963407ull;
+            E->emit(OpKind::Read,
+                    static_cast<uint32_t>((X >> 33) & (SpaceVars - 1)));
+            if ((I + 1) % SyncEvery == 0) {
+              Spine.lock();
+              Spine.unlock();
+            }
+          }
+        });
+      for (rt::Thread &T : Threads)
+        T.join();
+    }
+    rt::OnlineReport Report = Engine.finish();
+    // Throughput includes the post-workload drain: the detector is only
+    // done when the last routed event has been dispatched.
+    double Seconds = Watch.seconds();
+    if (Report.Halted)
+      std::fprintf(stderr, "warning: sharded session halted mid-bench\n");
+    R.Events = Report.EventsDispatched;
+    R.Seconds = Seconds;
+  }
+  return R;
+}
+
 /// Options pinning the session at one degraded rung (StartRung skips the
 /// overload trigger; the one-rung ladder is exhausted, so the session
 /// runs the whole workload there).
@@ -222,6 +319,45 @@ int main(int argc, char **argv) {
                   1e9 * SampleRun.Seconds / Emitted, "ns");
   }
   std::printf("%s", Out.render().c_str());
+
+  // The shard-scaling series: aggregate FastTrack throughput with the
+  // detection state partitioned across per-shard sequencers.
+  const unsigned ScaleThreads = 4;
+  const uint64_t PerThread =
+      static_cast<uint64_t>(400000 * sizeFactor());
+  std::printf("\nshard scaling: %u app threads x %llu shadow-bound events "
+              "over %u vars\n(throughput includes the post-workload "
+              "drain); best of %u interleaved reps\n\n",
+              ScaleThreads, static_cast<unsigned long long>(PerThread),
+              shardSpaceVars(), repetitions());
+  // Reps are interleaved round-robin across shard counts (see
+  // runShardedOnce) so every config samples the same noise window.
+  const unsigned ShardCounts[] = {1u, 2u, 4u};
+  RunResult ScaleBest[3];
+  for (unsigned Rep = 0, Reps = repetitions(); Rep != Reps; ++Rep)
+    for (size_t C = 0; C != 3; ++C) {
+      RunResult One =
+          runShardedOnce(ShardCounts[C], ScaleThreads, PerThread);
+      ScaleBest[C].Events = One.Events;
+      ScaleBest[C].Seconds = best(ScaleBest[C].Seconds, One.Seconds);
+    }
+  Table Scale;
+  Scale.addHeader({"shards", "seconds", "events", "events/sec", "vs 1"});
+  double Baseline = 0;
+  for (size_t C = 0; C != 3; ++C) {
+    const RunResult &R = ScaleBest[C];
+    double PerSec = static_cast<double>(R.Events) / R.Seconds;
+    if (ShardCounts[C] == 1)
+      Baseline = PerSec;
+    Scale.addRow({std::to_string(ShardCounts[C]), fixed(R.Seconds, 3),
+                  withCommas(R.Events), withCommas(uint64_t(PerSec)),
+                  fixed(PerSec / Baseline, 2) + "x"});
+    const std::string Prefix =
+        "shards" + std::to_string(ShardCounts[C]) + "_";
+    Report.metric(Prefix + "seconds", R.Seconds, "s");
+    Report.metric(Prefix + "events_per_sec", PerSec, "events/s");
+  }
+  std::printf("%s", Scale.render().c_str());
 
   std::printf("\nreading the table: 'no engine'/native is the dormant-shim "
               "tax, EMPTY/native\nthe full runtime pipeline (rings + "

@@ -1,5 +1,6 @@
 #include "core/FastTrack.h"
 
+#include "framework/FastDispatch.h"
 #include "framework/Replay.h"
 
 #include "support/ByteStream.h"
@@ -208,3 +209,6 @@ template class BasicFastTrack<Epoch64>;
 
 FT_REGISTER_FAST_REPLAY(::ft::FastTrack);
 FT_REGISTER_FAST_REPLAY(::ft::FastTrack64);
+
+FT_REGISTER_FAST_DISPATCH(::ft::FastTrack);
+FT_REGISTER_FAST_DISPATCH(::ft::FastTrack64);

@@ -1,7 +1,9 @@
 #include "detectors/EmptyTool.h"
 
+#include "framework/FastDispatch.h"
 #include "framework/Replay.h"
 
 // EmptyTool is header-only; this file anchors it in the library.
 
 FT_REGISTER_FAST_REPLAY(::ft::EmptyTool);
+FT_REGISTER_FAST_DISPATCH(::ft::EmptyTool);

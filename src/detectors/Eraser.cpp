@@ -1,5 +1,6 @@
 #include "detectors/Eraser.h"
 
+#include "framework/FastDispatch.h"
 #include "framework/Replay.h"
 
 using namespace ft;
@@ -110,3 +111,4 @@ size_t Eraser::shadowBytes() const {
 }
 
 FT_REGISTER_FAST_REPLAY(::ft::Eraser);
+FT_REGISTER_FAST_DISPATCH(::ft::Eraser);

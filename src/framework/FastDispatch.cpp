@@ -1,0 +1,33 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "framework/FastDispatch.h"
+
+#include <vector>
+
+namespace ft {
+
+namespace {
+
+std::vector<FastDispatchEntry> &fastDispatchRegistry() {
+  static std::vector<FastDispatchEntry> Registry;
+  return Registry;
+}
+
+} // namespace
+
+void registerFastDispatch(FastDispatchEntry Entry) {
+  fastDispatchRegistry().push_back(Entry);
+}
+
+FastDispatchRunFn resolveFastDispatch(const Tool &Checker) {
+  for (const FastDispatchEntry &Entry : fastDispatchRegistry())
+    if (Entry.Matches(Checker))
+      return Entry.Run;
+  return nullptr;
+}
+
+} // namespace ft

@@ -1,0 +1,108 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The online analogue of Replay.h's fast-replay registry: devirtualized
+/// *access-run* dispatch for OnlineDriver::dispatchRun.
+///
+/// The per-shard drain loop of the sharded online engine hands the driver
+/// whole runs of already-admitted access events. Dispatching each one
+/// through a virtual onRead/onWrite costs an indirect call per event and
+/// hides the tool's same-epoch fast path from the inliner — exactly the
+/// overhead replayWithTool<ToolT> eliminates offline. This registry
+/// applies the same trick online: a tool's own translation unit registers
+/// a run-dispatch function instantiated against its concrete type (the
+/// qualified calls pin the overrides, so FastTrack's [FT READ/WRITE SAME
+/// EPOCH] paths inline straight into the loop), and the driver resolves
+/// it once, at construction, by exact dynamic type. A subclass that
+/// overrides the handlers again fails the exact-typeid probe and safely
+/// falls back to virtual dispatch; results are identical either way.
+///
+/// Layering note: this framework header includes runtime/EventRing.h for
+/// the OnlineEvent wire format. EventRing.h is header-only and depends
+/// only on trace/, so no link-time framework → runtime edge is created;
+/// OnlineDriver.h itself only forward-declares OnlineEvent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_FRAMEWORK_FASTDISPATCH_H
+#define FASTTRACK_FRAMEWORK_FASTDISPATCH_H
+
+#include "framework/Tool.h"
+#include "runtime/EventRing.h"
+
+#include <typeinfo>
+
+namespace ft {
+
+/// Dispatches a run of admitted *access* events (Read/Write only) to
+/// \p Checker, whose dynamic type matched the registrar's. Each event's
+/// Seq field carries the raw op index assigned at admission. Returns the
+/// number of accesses whose handler returned the pass flag.
+using FastDispatchRunFn = uint64_t (*)(Tool &Checker,
+                                       const runtime::OnlineEvent *Run,
+                                       size_t N);
+
+/// One registry entry: an exact-dynamic-type probe plus the devirtualized
+/// run loop for that type.
+struct FastDispatchEntry {
+  bool (*Matches)(const Tool &Checker);
+  FastDispatchRunFn Run;
+};
+
+/// Adds \p Entry to the registry consulted by resolveFastDispatch.
+/// Called from static initializers in each tool's translation unit, so a
+/// linked-in tool is automatically fast-pathed and an absent one costs
+/// nothing.
+void registerFastDispatch(FastDispatchEntry Entry);
+
+/// Returns the registered run loop for \p Checker's exact dynamic type,
+/// or nullptr when none matches (the driver then dispatches virtually).
+FastDispatchRunFn resolveFastDispatch(const Tool &Checker);
+
+template <typename ToolT> bool fastDispatchMatches(const Tool &Checker) {
+  return typeid(Checker) == typeid(ToolT);
+}
+
+/// The generic run loop for concrete tool \p ToolT: qualified calls pin
+/// the overrides so the access handlers inline (see replayWithTool).
+template <typename ToolT>
+uint64_t fastDispatchRun(Tool &Base, const runtime::OnlineEvent *Run,
+                         size_t N) {
+  ToolT &Checker = static_cast<ToolT &>(Base);
+  uint64_t Passed = 0;
+  for (size_t I = 0; I != N; ++I) {
+    const runtime::OnlineEvent &E = Run[I];
+    Passed += E.Kind == OpKind::Read
+                  ? Checker.ToolT::onRead(E.Thread, E.Target,
+                                          static_cast<size_t>(E.Seq))
+                  : Checker.ToolT::onWrite(E.Thread, E.Target,
+                                           static_cast<size_t>(E.Seq));
+  }
+  return Passed;
+}
+
+/// Registers fastDispatchRun<ToolT> at static-initialization time.
+struct FastDispatchRegistrar {
+  explicit FastDispatchRegistrar(FastDispatchEntry Entry) {
+    registerFastDispatch(Entry);
+  }
+};
+
+#define FT_FAST_DISPATCH_CONCAT2(A, B) A##B
+#define FT_FAST_DISPATCH_CONCAT(A, B) FT_FAST_DISPATCH_CONCAT2(A, B)
+
+/// Place in the tool's own .cpp, next to FT_REGISTER_FAST_REPLAY, where
+/// the access handlers' bodies are visible to the instantiation.
+#define FT_REGISTER_FAST_DISPATCH(ToolT)                                       \
+  static ::ft::FastDispatchRegistrar FT_FAST_DISPATCH_CONCAT(                  \
+      FtFastDispatchRegistrar_,                                                \
+      __LINE__)({&::ft::fastDispatchMatches<ToolT>,                            \
+                 &::ft::fastDispatchRun<ToolT>})
+
+} // namespace ft
+
+#endif // FASTTRACK_FRAMEWORK_FASTDISPATCH_H

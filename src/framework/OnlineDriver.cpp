@@ -1,5 +1,7 @@
 #include "framework/OnlineDriver.h"
 
+#include "framework/FastDispatch.h"
+#include "runtime/EventRing.h"
 #include "support/MemoryTracker.h"
 
 #include <algorithm>
@@ -11,6 +13,8 @@ OnlineDriver::OnlineDriver(Tool &Checker, const ToolContext &Capacity,
                            OnlineDriverOptions Opts)
     : Checker(Checker), Capacity(Capacity), Options(std::move(Opts)),
       Reentrancy(Capacity.NumThreads, Capacity.NumLocks) {
+  if (Options.Role != DriverRole::AdmissionOnly)
+    FastRun = resolveFastDispatch(Checker);
   const DegradePolicy &D = Options.Degrade;
   if (D.Enabled && D.StartRung != 0) {
     Rung = D.StartRung < D.Ladder.size() ? D.StartRung
@@ -98,7 +102,8 @@ bool OnlineDriver::requestStepDown(StatusCode Code, const std::string &Reason) {
 
 void OnlineDriver::probeBudget() {
   const DegradePolicy &D = Options.Degrade;
-  uint64_t Live = Checker.shadowBytes();
+  uint64_t Live =
+      Options.ShadowBytes ? Options.ShadowBytes() : Checker.shadowBytes();
   if (D.Tracker)
     D.Tracker->sampleLive(Live);
   bool Breach = D.ShadowBudgetBytes != 0 && Live > D.ShadowBudgetBytes;
@@ -227,6 +232,23 @@ OnlineDriver::DispatchOutcome OnlineDriver::offer(Operation &Op) {
   }
 
   size_t I = Raw++;
+  if (Options.Role == DriverRole::AdmissionOnly) {
+    // Admission ends here: the event is part of the delivered stream (the
+    // caller captures it and routes it to a shard driver), but the tool is
+    // never called from this instance. The re-entrant lock filter still
+    // runs so filtered events own a raw index — they belong in the capture
+    // for offline-replay index fidelity — while lastAdmittedFiltered()
+    // tells the router not to route them (shard drivers run with the
+    // filter off; routing would double-apply the stripped semantics).
+    LastFiltered =
+        (Op.Kind == OpKind::Acquire && Options.FilterReentrantLocks &&
+         !Reentrancy.onAcquire(Op.Thread, Op.Target)) ||
+        (Op.Kind == OpKind::Release && Options.FilterReentrantLocks &&
+         !Reentrancy.onRelease(Op.Thread, Op.Target));
+    if (!LastFiltered)
+      ++Dispatched;
+    return DispatchOutcome::Delivered;
+  }
   // A tool that throws must not unwind into the sequencer thread (that
   // would terminate the host process — the one outcome the online runtime
   // exists to avoid). The op is rolled back out of the stream: its shadow
@@ -296,6 +318,113 @@ OnlineDriver::DispatchOutcome OnlineDriver::offer(Operation &Op) {
     return DispatchOutcome::Rejected;
   }
   return DispatchOutcome::Delivered;
+}
+
+bool OnlineDriver::admitAccessRun(ThreadId Thread,
+                                  const runtime::OnlineEvent *Run, size_t N) {
+  if (Options.Role != DriverRole::AdmissionOnly || Halted || Rung != 0 ||
+      Raw >= NextProbe || NextProbe - Raw < N || Thread >= Capacity.NumThreads)
+    return false;
+  const uint32_t MaxVar = Capacity.NumVars;
+  for (size_t I = 0; I != N; ++I) {
+    assert((Run[I].Kind == OpKind::Read || Run[I].Kind == OpKind::Write) &&
+           "admitAccessRun fed a non-access event");
+    if (Run[I].Target >= MaxVar)
+      return false;
+  }
+  Raw += N;
+  Dispatched += N;
+  LastFiltered = false;
+  return true;
+}
+
+bool OnlineDriver::dispatchRun(const runtime::OnlineEvent *Run, size_t N) {
+  if (Halted)
+    return false;
+  // Events arrive pre-admitted: capacity, rung transforms, and lock
+  // filtering already ran on the admission side, so this loop pays none of
+  // offer()'s per-event checks. Access stretches go through the
+  // devirtualized run loop when one is registered for the tool's concrete
+  // type; sync events dispatch virtually one at a time (they are rare and
+  // their handlers do real vector-clock work anyway).
+  size_t I = 0;
+  try {
+    while (I != N) {
+      const runtime::OnlineEvent &E = Run[I];
+      if (E.Kind == OpKind::Read || E.Kind == OpKind::Write) {
+        size_t End = I + 1;
+        while (End != N && (Run[End].Kind == OpKind::Read ||
+                            Run[End].Kind == OpKind::Write))
+          ++End;
+        const size_t Len = End - I;
+        if (FastRun) {
+          AccessesPassed += FastRun(Checker, Run + I, Len);
+        } else {
+          for (size_t J = I; J != End; ++J) {
+            const runtime::OnlineEvent &A = Run[J];
+            AccessesPassed +=
+                A.Kind == OpKind::Read
+                    ? Checker.onRead(A.Thread, A.Target,
+                                     static_cast<size_t>(A.Seq))
+                    : Checker.onWrite(A.Thread, A.Target,
+                                      static_cast<size_t>(A.Seq));
+          }
+        }
+        Dispatched += Len;
+        I = End;
+        continue;
+      }
+      const size_t Idx = static_cast<size_t>(E.Seq);
+      switch (E.Kind) {
+      case OpKind::Acquire:
+        Checker.onAcquire(E.Thread, E.Target, Idx);
+        break;
+      case OpKind::Release:
+        Checker.onRelease(E.Thread, E.Target, Idx);
+        break;
+      case OpKind::Fork:
+        Checker.onFork(E.Thread, E.Target, Idx);
+        break;
+      case OpKind::Join:
+        Checker.onJoin(E.Thread, E.Target, Idx);
+        break;
+      case OpKind::VolatileRead:
+        Checker.onVolatileRead(E.Thread, E.Target, Idx);
+        break;
+      case OpKind::VolatileWrite:
+        Checker.onVolatileWrite(E.Thread, E.Target, Idx);
+        break;
+      case OpKind::AtomicBegin:
+        Checker.onAtomicBegin(E.Thread, Idx);
+        break;
+      case OpKind::AtomicEnd:
+        Checker.onAtomicEnd(E.Thread, Idx);
+        break;
+      case OpKind::Barrier:
+      case OpKind::Read:
+      case OpKind::Write:
+        break; // unreachable: admission rejects barriers; accesses above
+      }
+      ++Dispatched;
+      ++I;
+    }
+    drainWarnings();
+  } catch (const std::exception &E) {
+    // Anchor the fault at the raw index of the group that threw (for an
+    // access run, its first event — the thrower's exact index is lost to
+    // the batched loop).
+    Raw = Run[I].Seq;
+    halt(StatusCode::ToolFault, std::string("tool '") + Checker.name() +
+                                    "' threw during dispatch: " + E.what());
+    return false;
+  } catch (...) {
+    Raw = Run[I].Seq;
+    halt(StatusCode::ToolFault, std::string("tool '") + Checker.name() +
+                                    "' threw a non-std exception during "
+                                    "dispatch");
+    return false;
+  }
+  return true;
 }
 
 void OnlineDriver::finish() {

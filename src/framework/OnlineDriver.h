@@ -62,6 +62,10 @@
 
 namespace ft {
 
+namespace runtime {
+struct OnlineEvent;
+} // namespace runtime
+
 class MemoryTracker;
 
 /// One rung of the overload-degradation ladder.
@@ -115,10 +119,41 @@ struct DegradePolicy {
   unsigned StartRung = 0;
 };
 
+/// Which half (or both) of the offer() pipeline a driver instance runs.
+/// The sharded engine splits the single-sequencer driver into one
+/// admission-side instance on the router thread and one dispatch-side
+/// instance per shard; Full is the classic single-sequencer combination
+/// and the default everywhere else.
+enum class DriverRole : uint8_t {
+  /// Admission + dispatch in one instance (the single-sequencer engine,
+  /// streaming ingesters, tests).
+  Full,
+  /// Admission only: degradation-ladder transform, capacity checks,
+  /// budget probes, re-entrant lock filtering, and raw-index assignment —
+  /// but the tool is never called. The router runs this role so the
+  /// capture and raw indices are decided exactly as a Full driver would
+  /// decide them, then routes Delivered events to shards.
+  AdmissionOnly,
+  /// Dispatch only: events arrive pre-admitted (already transformed,
+  /// filtered, and carrying their raw index in OnlineEvent::Seq) via
+  /// dispatchRun(). Shard workers run this role with the ladder disabled
+  /// and the re-entrant filter off — admission already applied both.
+  DispatchOnly,
+};
+
 /// Options controlling one online dispatch session.
 struct OnlineDriverOptions {
   /// Sentinel for the fault-injection knob below.
   static constexpr uint64_t NoFault = ~0ull;
+
+  /// Pipeline half this instance runs (see DriverRole).
+  DriverRole Role = DriverRole::Full;
+
+  /// Overrides the shadow-size source for budget probes. A Full driver
+  /// probes its own Tool::shadowBytes(); an AdmissionOnly driver's tool
+  /// holds no shadow state (the shard clones do), so the sharded engine
+  /// installs a functor summing the sizes the shard workers publish.
+  std::function<uint64_t()> ShadowBytes;
 
   /// Strip redundant re-entrant lock acquires/releases before dispatch,
   /// as the serial replay loop does. Keep this in sync with the replay
@@ -187,6 +222,38 @@ public:
     return offer(Copy) == DispatchOutcome::Delivered;
   }
 
+  /// AdmissionOnly: true iff the most recent Delivered offer() was
+  /// consumed by the re-entrant lock filter — it owns a raw index and
+  /// belongs in the capture, but must NOT be routed to shards (shard
+  /// drivers run with the filter off; routing it would double-apply the
+  /// lock semantics the filter stripped).
+  bool lastAdmittedFiltered() const { return LastFiltered; }
+
+  /// AdmissionOnly batched admission: the router-side complement of
+  /// dispatchRun(). Admits \p N access events (all Read/Write — the caller
+  /// guarantees it) emitted by thread \p Thread in one call when nothing
+  /// per-event can fire: the driver is un-halted, at the Full rung (no
+  /// transforms), every target is in capacity, and no budget probe falls
+  /// inside the run. Consumes N consecutive raw indices (the first is
+  /// rawOps() - N after the call) and counts N dispatched events — exactly
+  /// the state N Delivered offer() calls would leave. Returns false,
+  /// admitting nothing, when any condition fails; the caller falls back to
+  /// per-event offer(), which re-runs the checks and produces the exact
+  /// diagnostics and degradations.
+  bool admitAccessRun(ThreadId Thread, const runtime::OnlineEvent *Run,
+                      size_t N);
+
+  /// DispatchOnly batched dispatch: feeds \p N pre-admitted events to the
+  /// tool, hoisting the per-event halt/capacity/rung checks offer() pays
+  /// out of the loop (they already ran on the admission side). Access
+  /// events take a devirtualized per-run fast path when the tool's
+  /// concrete type registered one via FT_REGISTER_FAST_DISPATCH; sync
+  /// events dispatch virtually one at a time. Each event's Seq is the raw
+  /// op index admission assigned, so warnings carry single-sequencer
+  /// indices. Returns false when a throwing tool halted the driver
+  /// mid-run (the remainder of the run is discarded).
+  bool dispatchRun(const runtime::OnlineEvent *Run, size_t N);
+
   /// Steps one rung down the ladder on behalf of an external overload
   /// signal (the runtime's supervisor: sustained ring pressure, repeated
   /// sequencer stalls). \returns false when degradation is pinned off or
@@ -238,6 +305,9 @@ private:
   ToolContext Capacity;
   OnlineDriverOptions Options;
   ReentrancyFilter Reentrancy;
+  /// Devirtualized access-run loop for Checker's exact dynamic type, or
+  /// nullptr (virtual fallback). Resolved once at construction.
+  uint64_t (*FastRun)(Tool &, const runtime::OnlineEvent *, size_t) = nullptr;
   std::vector<Diagnostic> Diags;
   uint64_t Raw = 0;
   uint64_t Dispatched = 0;
@@ -252,6 +322,7 @@ private:
   uint32_t Divisor = 1;
   unsigned SampleEvery = 1;
   bool SyncOnlyMode = false;
+  bool LastFiltered = false;
   bool Halted = false;
   bool Finished = false;
 };

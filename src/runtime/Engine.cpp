@@ -1,9 +1,11 @@
 #include "runtime/Engine.h"
 
+#include "framework/ShardableTool.h"
 #include "runtime/FaultPlan.h"
 #include "trace/TraceIO.h"
 #include "trace/TraceValidator.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 
@@ -28,14 +30,39 @@ ToolContext capacityContext(const OnlineOptions &Options) {
   return Context;
 }
 
-OnlineDriverOptions driverOptions(const OnlineOptions &Options) {
+OnlineDriverOptions driverOptions(const OnlineOptions &Options,
+                                  unsigned NumShards,
+                                  std::function<uint64_t()> ShadowBytes) {
   OnlineDriverOptions Driver;
+  // With shards the primary driver is admission-only: it owns the ladder,
+  // the capacity checks, the raw indices, and the lock filter, but the
+  // tool handlers run in the shard workers' DispatchOnly drivers. Its
+  // budget probes read the shadow bytes the workers publish (its own tool
+  // instance never grows), and the warning sink stays empty — shard
+  // drivers sink warnings live; installing it here too would replay every
+  // adopted warning a second time at finish().
+  Driver.Role =
+      NumShards > 1 ? DriverRole::AdmissionOnly : DriverRole::Full;
+  Driver.ShadowBytes = std::move(ShadowBytes);
   Driver.FilterReentrantLocks = Options.FilterReentrantLocks;
-  Driver.WarningSink = Options.OnWarning;
+  if (NumShards == 1)
+    Driver.WarningSink = Options.OnWarning;
   Driver.Degrade = Options.Degrade;
   if (Options.Faults)
     Driver.ForceBudgetBreachAtRawOp = Options.Faults->ForceBudgetBreachAtRawOp;
   return Driver;
+}
+
+/// How many shard sequencers this session actually runs. Shards > 1
+/// requires the ShardableTool clone/merge hooks; a tool without them
+/// falls back to the single-sequencer engine (the constructor attaches
+/// the explanatory Note).
+unsigned resolveShardCount(const OnlineOptions &Options, Tool &Checker) {
+  unsigned N = Options.Shards == 0 ? 1 : Options.Shards;
+  N = std::min(N, 64u);
+  if (N > 1 && dynamic_cast<ShardableTool *>(&Checker) == nullptr)
+    return 1;
+  return N;
 }
 
 /// Which engine/channel the calling thread is bound to. Rebinding is
@@ -53,10 +80,65 @@ Engine *Engine::current() {
   return CurrentEngine.load(std::memory_order_acquire);
 }
 
+/// One shard worker's whole world. BatchPtr/BatchLen/BatchPos/SyncSeen
+/// are worker-private in the steady state, but they live here (not on the
+/// worker's stack) so a restarted worker resumes *exactly* where its
+/// wedged predecessor stopped. The batch is consumed in place (peekRun):
+/// events stay in the ring until dispatched-and-release()d, so the
+/// undispatched suffix survives a worker swap by construction. Access is
+/// serialized by the supervisor's join-before-respawn discipline.
+struct Engine::Shard {
+  Shard(unsigned Index, size_t RingCapacity, size_t BatchCap)
+      : Index(Index), BatchCap(BatchCap), Ring(RingCapacity) {}
+
+  const unsigned Index;
+  const size_t BatchCap; ///< Upper bound on one peeked batch — bounds how
+                         ///< long the worker can go between halt/epoch
+                         ///< checks, like the router's SequencerBatch.
+  EventRing Ring; ///< router → worker (SPSC; Seq = raw op index).
+  std::unique_ptr<Tool> Clone;          ///< Shard-local tool instance.
+  std::unique_ptr<OnlineDriver> Driver; ///< DispatchOnly over Clone.
+  std::thread Worker;
+
+  std::atomic<uint64_t> Routed{0};  ///< Events the router pushed.
+  std::atomic<uint64_t> Drained{0}; ///< Events the worker dispatched or
+                                    ///< discarded — the shard's drain
+                                    ///< watermark (stall detection).
+  std::atomic<uint64_t> SyncDone{0}; ///< Sync ordinals fully dispatched:
+                                     ///< the ticket watermark siblings
+                                     ///< wait on at the spine barrier.
+  std::atomic<bool> AtBarrier{false}; ///< Worker is waiting at the spine
+                                      ///< barrier (legitimately idle —
+                                      ///< not a stall).
+  std::atomic<uint64_t> ShadowPublished{0}; ///< Clone->shadowBytes() as
+                                            ///< of the last batch refill;
+                                            ///< read by the admission
+                                            ///< driver's budget probe.
+  std::atomic<uint64_t> Epoch{0}; ///< Bumped to abandon the worker.
+  std::atomic<unsigned> Restarts{0};
+  std::atomic<uint64_t> Discards{0}; ///< Post-halt discards worker-side.
+
+  // Restart-resume state (see struct comment). BatchPtr points into the
+  // ring's buffer (stable storage); [BatchPos, BatchLen) is the peeked,
+  // not-yet-released remainder.
+  const OnlineEvent *BatchPtr = nullptr;
+  size_t BatchLen = 0;
+  size_t BatchPos = 0;
+  uint64_t SyncSeen = 0;    ///< Sync ordinals this worker has dispatched.
+  uint64_t RefillCount = 0; ///< Throttles the shadow-size publish.
+  unsigned EmptyPolls = 0;  ///< Consecutive empty refills (idle backoff).
+};
+
 Engine::Engine(Tool &Checker, OnlineOptions Opts)
     : Checker(Checker), Options(std::move(Opts)),
       Gen(GenerationCounter.fetch_add(1, std::memory_order_relaxed) + 1),
-      Driver(Checker, capacityContext(Options), driverOptions(Options)),
+      NumShards(resolveShardCount(Options, Checker)),
+      Driver(Checker, capacityContext(Options),
+             driverOptions(Options, NumShards,
+                           NumShards > 1
+                               ? std::function<uint64_t()>(
+                                     [this] { return shardShadowBytes(); })
+                               : std::function<uint64_t()>())),
       MemCapture(Options.KeepCapture ||
                  (!Options.CapturePath.empty() &&
                   Options.CaptureSegmentBytes == 0)),
@@ -73,6 +155,46 @@ Engine::Engine(Tool &Checker, OnlineOptions Opts)
     SegWriter = std::make_unique<SegmentedTraceWriter>(Prefix, SW);
   }
   Capturing = MemCapture || SegWriter != nullptr;
+  if (Options.ShardBlockVars == 0)
+    Options.ShardBlockVars = 1;
+  if ((Options.ShardBlockVars & (Options.ShardBlockVars - 1)) == 0 &&
+      (NumShards & (NumShards - 1)) == 0) {
+    ShardDivShift = static_cast<unsigned>(__builtin_ctz(Options.ShardBlockVars));
+    ShardIdxMask = NumShards - 1;
+  }
+  if (Options.Shards > 1 && NumShards == 1)
+    superviseNote(Severity::Note, StatusCode::ValidationError,
+                  std::string("tool '") + Checker.name() +
+                      "' does not implement ShardableTool; falling back "
+                      "to the single-sequencer engine");
+
+  if (NumShards > 1) {
+    auto &Shardable = dynamic_cast<ShardableTool &>(Checker);
+    const size_t BatchCap = std::max<size_t>(1, Options.SequencerBatch);
+    const size_t RingCap =
+        Options.ShardRingCapacity != 0
+            ? Options.ShardRingCapacity
+            : std::max(Options.RingCapacity, 4 * BatchCap);
+    for (unsigned I = 0; I != NumShards; ++I) {
+      auto S = std::make_unique<Shard>(I, RingCap, BatchCap);
+      S->Clone = Shardable.cloneForShard();
+      OnlineDriverOptions DO;
+      DO.Role = DriverRole::DispatchOnly;
+      // Admission already ran the lock filter and the ladder transform on
+      // everything in this shard's ring; running either again would
+      // desync the clone from the capture.
+      DO.FilterReentrantLocks = false;
+      DO.Degrade.Enabled = false;
+      if (Options.OnWarning)
+        DO.WarningSink = [this](const RaceWarning &W) {
+          std::lock_guard<std::mutex> Guard(SinkMu);
+          Options.OnWarning(W);
+        };
+      S->Driver = std::make_unique<OnlineDriver>(
+          *S->Clone, capacityContext(Options), std::move(DO));
+      ShardSet.push_back(std::move(S));
+    }
+  }
 
   // The constructing thread is the session's main thread, dense id 0.
   ThreadId Main = Interner.allocateThreadId();
@@ -82,7 +204,15 @@ Engine::Engine(Tool &Checker, OnlineOptions Opts)
          "one online session at a time");
   CurrentEngine.store(this, std::memory_order_release);
 
-  SequencerThread = std::thread([this] { sequencerLoop(0); });
+  if (NumShards > 1) {
+    for (std::unique_ptr<Shard> &S : ShardSet) {
+      Shard *P = S.get();
+      P->Worker = std::thread([this, P] { shardLoop(*P, 0); });
+    }
+    SequencerThread = std::thread([this] { routerLoop(0); });
+  } else {
+    SequencerThread = std::thread([this] { sequencerLoop(0); });
+  }
   if (Options.Supervise.Enabled)
     SupervisorThread = std::thread([this] { supervisorLoop(); });
 }
@@ -306,7 +436,12 @@ void Engine::sequencerLoop(uint64_t Epoch) {
             SegWriter->append(Delivered.data(), Delivered.size());
         }
         // Publish the merge watermark per batch: the watchdog reads it
-        // for stall detection and a successor resumes from it.
+        // for stall detection and a successor resumes from it. The
+        // OnlineOptions::SequencerBatch invariant: published watermarks
+        // are strictly increasing and only ever move past *fully*
+        // processed batches.
+        assert(Next > NextSeq.load(std::memory_order_relaxed) &&
+               "per-batch watermark must advance monotonically");
         NextSeq.store(Next, std::memory_order_release);
         if (N != Cap)
           break;
@@ -327,8 +462,429 @@ void Engine::sequencerLoop(uint64_t Epoch) {
   }
   noteMaxBacklog(LocalMaxBacklog);
   // Vector-clock counters are thread-local (see ClockStats.h); each
-  // sequencer incarnation folds its block in at exit (writes are
-  // serialized by the supervisor's restart joins).
+  // sequencer incarnation folds its block in at exit. ClocksMu covers the
+  // sharded engine, where shard workers can exit concurrently.
+  std::lock_guard<std::mutex> Guard(ClocksMu);
+  SequencerClocks += clockStats();
+}
+
+unsigned Engine::shardIndexFor(uint32_t Target) const {
+  // Block-cyclic on the POST-transform id. Routing after the admission
+  // driver's coarse-rung remap is what keeps sharding exactly equivalent
+  // to the serial engine on every rung: whatever id the transform
+  // produced is the id whose VarState the access updates, so every access
+  // to that state lands in the same shard, in admission order.
+  if (ShardDivShift != ~0u)
+    return static_cast<unsigned>((Target >> ShardDivShift) & ShardIdxMask);
+  return static_cast<unsigned>((Target / Options.ShardBlockVars) % NumShards);
+}
+
+uint64_t Engine::shardShadowBytes() const {
+  // The admission driver's budget-probe source. Probing the clones'
+  // containers from the router thread would race the workers; instead
+  // each worker publishes its clone's size at every batch refill and the
+  // probe sums the published values (staleness of one batch is fine — the
+  // budget trigger is a trend detector, not an invariant).
+  uint64_t Total = 0;
+  for (const std::unique_ptr<Shard> &S : ShardSet)
+    Total += S->ShadowPublished.load(std::memory_order_relaxed);
+  return Total;
+}
+
+bool Engine::routeToShard(Shard &S, const OnlineEvent &E) {
+  // The router must NEVER abandon an admitted event: it is already in the
+  // capture and owns a raw index, so dropping it would desync every
+  // shard's state from the capture the equivalence contract replays. A
+  // full ring is backpressure (the shard is behind) or a wedged worker —
+  // either way the fix is on the shard side, so the router parks and
+  // raises RouterBlockedOnShard, which (a) tells the supervisor its
+  // frozen watermark is the shard's fault and (b) keeps the supervisor
+  // from restarting a router it could never join. Only a halt lets the
+  // router give up, counted by the caller.
+  if (S.Ring.hasSpace()) {
+    S.Ring.push(E);
+    S.Routed.fetch_add(1, std::memory_order_release);
+    return true;
+  }
+  RouterBlockedOnShard.store(true, std::memory_order_release);
+  unsigned Spins = 0;
+  bool Pushed = false;
+  for (;;) {
+    if (S.Ring.hasSpace()) {
+      S.Ring.push(E);
+      S.Routed.fetch_add(1, std::memory_order_release);
+      Pushed = true;
+      break;
+    }
+    if (Halted.load(std::memory_order_acquire))
+      break;
+    if (++Spins < 64)
+      std::this_thread::yield();
+    else
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  RouterBlockedOnShard.store(false, std::memory_order_release);
+  return Pushed;
+}
+
+void Engine::routerLoop(uint64_t Epoch) {
+  // The sharded engine's first pipeline stage: sequencerLoop's merge and
+  // admission stages verbatim (same watermark/restart contract, same
+  // fault hooks, same capture), with tool dispatch replaced by routing —
+  // admitted accesses go to the shard owning their variable, admitted
+  // sync events to every shard (the cross-shard spine). The raw index the
+  // admission driver just assigned rides in OnlineEvent::Seq so shard
+  // tools see single-sequencer op indices.
+  uint64_t Next = NextSeq.load(std::memory_order_acquire);
+  std::vector<Channel *> Snapshot;
+  size_t Known = 0;
+  const size_t BatchCap = std::max<size_t>(1, Options.SequencerBatch);
+  std::vector<OnlineEvent> Batch(BatchCap);
+  std::vector<Operation> Delivered;
+  Delivered.reserve(BatchCap);
+  // Routed accesses are staged per shard and flushed as whole runs
+  // (EventRing::pushRun: one release store per run, not one per event) —
+  // transport is what sharding pays over the single sequencer, so it is
+  // kept off the per-event path. Flushes happen when a stage fills,
+  // before any broadcast sync (per-shard ring order must match admission
+  // order), and before every watermark publish (a batch only counts as
+  // "routed" once its staged events are in the rings).
+  // Capped at 1024 events: past that the flush amortization is already
+  // total, and NumShards stage buffers at SequencerBatch size would cost
+  // more in cache footprint than the batching saves.
+  const size_t StageCap = std::max<size_t>(
+      1, std::min({BatchCap, ShardSet.front()->Ring.capacity() / 2,
+                   static_cast<size_t>(1024)}));
+  std::vector<std::vector<OnlineEvent>> Stage(NumShards);
+  for (std::vector<OnlineEvent> &Buf : Stage)
+    Buf.reserve(StageCap);
+  auto FlushShard = [&](unsigned SI) {
+    std::vector<OnlineEvent> &Buf = Stage[SI];
+    if (Buf.empty())
+      return;
+    Shard &S = *ShardSet[SI];
+    size_t Off = 0;
+    unsigned Spins = 0;
+    bool Flagged = false;
+    while (Off != Buf.size()) {
+      size_t K = S.Ring.pushRun(Buf.data() + Off, Buf.size() - Off);
+      if (K != 0) {
+        S.Routed.fetch_add(K, std::memory_order_release);
+        Off += K;
+        Spins = 0;
+        continue;
+      }
+      // Full ring: same park-don't-drop contract as routeToShard.
+      if (Halted.load(std::memory_order_acquire)) {
+        DiscardedPostHalt += Buf.size() - Off;
+        break;
+      }
+      if (!Flagged) {
+        Flagged = true;
+        RouterBlockedOnShard.store(true, std::memory_order_release);
+      }
+      if (++Spins < 64)
+        std::this_thread::yield();
+      else
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    if (Flagged)
+      RouterBlockedOnShard.store(false, std::memory_order_release);
+    Buf.clear();
+  };
+  const FaultPlan *Faults = Options.Faults;
+  uint64_t LocalMaxBacklog = 0;
+  unsigned IdlePolls = 0;
+  bool Abandoned = false;
+  while (!Abandoned) {
+    if (SequencerEpoch.load(std::memory_order_acquire) != Epoch)
+      break;
+    if (unsigned K = PendingDegrade.exchange(0, std::memory_order_acq_rel)) {
+      while (K-- != 0 &&
+             Driver.requestStepDown(StatusCode::Stalled,
+                                    "supervisor: sustained overload"))
+        ;
+    }
+    if (NumChannels.load(std::memory_order_acquire) != Known) {
+      std::lock_guard<std::mutex> Guard(ChannelMu);
+      Snapshot.clear();
+      for (const std::unique_ptr<Channel> &Ch : Channels)
+        Snapshot.push_back(Ch.get());
+      Known = Channels.size();
+    }
+    uint64_t Backlog = Seq.load(std::memory_order_relaxed) - Next;
+    if (Backlog > LocalMaxBacklog)
+      LocalMaxBacklog = Backlog;
+    bool Progress = false;
+    for (Channel *Ch : Snapshot) {
+      for (;;) {
+        if (Faults && Faults->takeStall(Next)) {
+          while (SequencerEpoch.load(std::memory_order_acquire) == Epoch)
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+          Abandoned = true;
+          break;
+        }
+        size_t Cap = BatchCap;
+        if (Faults &&
+            Faults->StallsArmed.load(std::memory_order_relaxed) != 0 &&
+            Faults->StallAtTicket > Next &&
+            Faults->StallAtTicket - Next < Cap)
+          Cap = static_cast<size_t>(Faults->StallAtTicket - Next);
+        size_t N = Ch->Ring.popRunInto(Next, Batch.data(), Cap);
+        if (N == 0)
+          break;
+        Progress = true;
+        Delivered.clear();
+        size_t I = 0;
+        while (I != N) {
+          if (Halted.load(std::memory_order_relaxed)) {
+            ++DiscardedPostHalt;
+            ++I;
+            continue;
+          }
+          // Access stretches take the batched admission fast path: one
+          // admitAccessRun() call consumes the whole stretch's raw
+          // indices and events move straight from the merge batch into
+          // the shard stages, without materializing per-event Operations
+          // or paying offer()'s per-event checks. Anything that needs to
+          // look at events individually — a degraded rung, a pending
+          // budget probe, a capacity breach, armed faults — falls back to
+          // the per-event path below, which owns the exact semantics.
+          if (!Faults && isAccess(Batch[I].Kind)) {
+            size_t End = I + 1;
+            while (End != N && isAccess(Batch[End].Kind))
+              ++End;
+            const size_t Len = End - I;
+            if (Driver.admitAccessRun(Ch->Id, &Batch[I], Len)) {
+              const uint64_t Base = Driver.rawOps() - Len;
+              for (size_t J = I; J != End; ++J) {
+                if (Capturing)
+                  Delivered.push_back(
+                      Operation(Batch[J].Kind, Ch->Id, Batch[J].Target));
+                OnlineEvent Routed;
+                Routed.Seq = Base + (J - I);
+                Routed.Kind = Batch[J].Kind;
+                Routed.Target = Batch[J].Target;
+                Routed.Thread = Ch->Id;
+                unsigned SI = shardIndexFor(Routed.Target);
+                Stage[SI].push_back(Routed);
+                if (Stage[SI].size() >= StageCap)
+                  FlushShard(SI);
+              }
+              I = End;
+              continue;
+            }
+          }
+          Operation Op(Batch[I].Kind, Ch->Id, Batch[I].Target);
+          OnlineDriver::DispatchOutcome Outcome = Driver.offer(Op);
+          if (Outcome == OnlineDriver::DispatchOutcome::Delivered) {
+            if (Capturing)
+              Delivered.push_back(Op);
+            OnlineEvent Routed;
+            Routed.Seq = Driver.rawOps() - 1; // the index just assigned
+            Routed.Kind = Op.Kind;
+            Routed.Target = Op.Target;
+            Routed.Thread = Ch->Id;
+            if (isAccess(Op.Kind)) {
+              unsigned SI = shardIndexFor(Op.Target);
+              Stage[SI].push_back(Routed);
+              if (Stage[SI].size() >= StageCap)
+                FlushShard(SI);
+            } else if (!Driver.lastAdmittedFiltered()) {
+              // The spine: every shard sees every admitted sync event, in
+              // admission order — that shared subsequence is what makes a
+              // per-shard sync *ordinal* well defined without carrying an
+              // extra field. Filter-stripped lock events are captured
+              // (they own raw indices) but never routed: shard drivers
+              // run with the filter off. Staged accesses flush first so
+              // every ring receives the sync after the accesses admitted
+              // before it.
+              for (unsigned SI = 0; SI != NumShards; ++SI)
+                FlushShard(SI);
+              for (std::unique_ptr<Shard> &S : ShardSet)
+                if (!routeToShard(*S, Routed))
+                  ++DiscardedPostHalt;
+            }
+            if (Faults && Faults->inStorm(Batch[I].Seq))
+              std::this_thread::sleep_for(
+                  std::chrono::microseconds(Faults->DelayPerDeliveryUs));
+          } else if (Outcome == OnlineDriver::DispatchOutcome::Rejected) {
+            Halted.store(true, std::memory_order_release);
+            ++DiscardedPostHalt;
+          }
+          ++I;
+        }
+        if (!Delivered.empty()) {
+          if (MemCapture)
+            Capture.appendRun(Delivered.data(), Delivered.size());
+          if (SegWriter)
+            SegWriter->append(Delivered.data(), Delivered.size());
+        }
+        // Same per-batch watermark contract as sequencerLoop: published
+        // only after the whole batch is admitted, captured, AND routed —
+        // staged events count as routed only once flushed into their
+        // rings — so a restarted router never re-admits (duplicate raw
+        // indices) or skips (holes in the capture) an event.
+        for (unsigned SI = 0; SI != NumShards; ++SI)
+          FlushShard(SI);
+        assert(Next > NextSeq.load(std::memory_order_relaxed) &&
+               "per-batch watermark must advance monotonically");
+        NextSeq.store(Next, std::memory_order_release);
+        if (N != Cap)
+          break;
+      }
+      if (Abandoned)
+        break;
+    }
+    if (Abandoned)
+      break;
+    if (Progress) {
+      IdlePolls = 0;
+      continue;
+    }
+    if (!Running.load(std::memory_order_acquire) &&
+        Next == Seq.load(std::memory_order_acquire))
+      break;
+    // Same idle backoff as the shard workers: on an oversubscribed host a
+    // yield-spinning router competes with the producers it is waiting on.
+    if (++IdlePolls < 64)
+      std::this_thread::yield();
+    else
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  noteMaxBacklog(LocalMaxBacklog);
+  std::lock_guard<std::mutex> Guard(ClocksMu);
+  SequencerClocks += clockStats();
+}
+
+void Engine::shardLoop(Shard &S, uint64_t MyEpoch) {
+  // One shard sequencer: drains the shard's routed stream into its
+  // DispatchOnly driver. Accesses dispatch in whole runs (batched,
+  // devirtualized where registered); each sync event first waits at the
+  // spine barrier until every sibling has finished the preceding sync
+  // ordinal. The barrier is *pacing*, not precision: each variable's
+  // state lives in exactly one shard and every clone sees the full sync
+  // spine in order, so warnings would be identical without it — but it
+  // bounds cross-shard skew to one sync era (limiting how far one shard's
+  // shadow state can run ahead) and gives the supervisor an unambiguous
+  // signal (a worker frozen *outside* the barrier is stalled; one waiting
+  // inside it is a sibling's victim).
+  OnlineDriver &D = *S.Driver;
+  const FaultPlan *Faults = Options.Faults;
+  // Mirrors the primary driver's own probe gate (OnlineDriver.cpp): with
+  // no budget and no tracker nobody reads ShadowPublished.
+  const bool ShadowProbeNeeded = Options.Degrade.ShadowBudgetBytes != 0 ||
+                                 Options.Degrade.Tracker != nullptr;
+  for (;;) {
+    if (S.Epoch.load(std::memory_order_acquire) != MyEpoch)
+      break;
+    if (S.BatchPos == S.BatchLen) {
+      // Refill. Tool::shadowBytes() walks the clone's whole shadow (it is
+      // O(vars) for every shipped detector), so publish it only when the
+      // router actually probes budgets, and then only every 16th refill —
+      // roughly the primary driver's own BudgetCheckEveryOps cadence.
+      if (ShadowProbeNeeded && (S.RefillCount++ & 15u) == 0)
+        S.ShadowPublished.store(S.Clone->shadowBytes(),
+                                std::memory_order_relaxed);
+      // Zero-copy refill: dispatch straight out of the ring (peekRun) and
+      // release slots only as they are consumed. Skipping the copy keeps
+      // a second 16-bytes-per-event load+store — and a batch buffer the
+      // size of L1 — off the worker's hot path, and makes restart-resume
+      // automatic: whatever this incarnation never releases is still in
+      // the ring for its successor.
+      S.BatchPos = 0;
+      S.BatchLen = S.Ring.peekRun(S.BatchPtr);
+      if (S.BatchLen > S.BatchCap)
+        S.BatchLen = S.BatchCap;
+      if (S.BatchLen == 0) {
+        if (RouterDone.load(std::memory_order_acquire) && S.Ring.empty())
+          break;
+        // Idle backoff: a yield-spinning worker is harmless with spare
+        // cores but on an oversubscribed host N spinners steal the very
+        // quanta the producers and router need to refill this ring.
+        if (++S.EmptyPolls < 64)
+          std::this_thread::yield();
+        else
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+        continue;
+      }
+      S.EmptyPolls = 0;
+    }
+    if (Halted.load(std::memory_order_acquire)) {
+      // Routed before the halt landed; discarded but counted.
+      const uint64_t Rest = S.BatchLen - S.BatchPos;
+      S.Discards.fetch_add(Rest, std::memory_order_relaxed);
+      S.Drained.fetch_add(Rest, std::memory_order_release);
+      S.Ring.release(Rest);
+      S.BatchPos = S.BatchLen;
+      continue;
+    }
+    const OnlineEvent &E = S.BatchPtr[S.BatchPos];
+    // Injected shard wedge (FaultPlan): park *before* dispatching,
+    // holding BatchPos, until the supervisor abandons this incarnation —
+    // the successor resumes at the exact wedge point. Entering the park
+    // consumes the armed stall, so the successor's re-check passes.
+    if (Faults && Faults->takeShardStall(S.Index, E.Seq)) {
+      while (S.Epoch.load(std::memory_order_acquire) == MyEpoch &&
+             !Halted.load(std::memory_order_acquire))
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      continue;
+    }
+    if (E.Kind == OpKind::Read || E.Kind == OpKind::Write) {
+      // Access run: everything up to the next sync event (or an armed
+      // injected stall, so the park above sees it exactly).
+      size_t End = S.BatchPos + 1;
+      while (End != S.BatchLen) {
+        const OnlineEvent &A = S.BatchPtr[End];
+        if (A.Kind != OpKind::Read && A.Kind != OpKind::Write)
+          break;
+        if (Faults && Faults->shardStallHits(S.Index, A.Seq))
+          break;
+        ++End;
+      }
+      const size_t Len = End - S.BatchPos;
+      if (!D.dispatchRun(&S.BatchPtr[S.BatchPos], Len))
+        Halted.store(true, std::memory_order_release);
+      S.BatchPos = End;
+      S.Drained.fetch_add(Len, std::memory_order_release);
+      S.Ring.release(Len);
+      continue;
+    }
+    // Sync event: the cross-shard spine barrier. Ordinal K is implied by
+    // position — every shard receives the same sync subsequence in the
+    // same order.
+    const uint64_t K = S.SyncSeen + 1;
+    S.AtBarrier.store(true, std::memory_order_release);
+    bool Bail = false;
+    for (;;) {
+      bool AllDone = true;
+      for (const std::unique_ptr<Shard> &Other : ShardSet)
+        if (Other->SyncDone.load(std::memory_order_acquire) + 1 < K) {
+          AllDone = false;
+          break;
+        }
+      if (AllDone)
+        break;
+      if (S.Epoch.load(std::memory_order_acquire) != MyEpoch ||
+          Halted.load(std::memory_order_acquire) ||
+          SequencerGaveUp.load(std::memory_order_acquire)) {
+        Bail = true;
+        break;
+      }
+      std::this_thread::yield();
+    }
+    S.AtBarrier.store(false, std::memory_order_release);
+    if (Bail)
+      continue; // the loop top turns epoch/halt into exit/discard
+    if (!D.dispatchRun(&S.BatchPtr[S.BatchPos], 1))
+      Halted.store(true, std::memory_order_release);
+    ++S.BatchPos;
+    S.SyncSeen = K;
+    S.SyncDone.store(K, std::memory_order_release);
+    S.Drained.fetch_add(1, std::memory_order_release);
+    S.Ring.release(1);
+  }
+  std::lock_guard<std::mutex> Guard(ClocksMu);
   SequencerClocks += clockStats();
 }
 
@@ -388,7 +944,50 @@ void Engine::restartSequencerLocked() {
     SequencerThread.join();
   Restarts.fetch_add(1, std::memory_order_relaxed);
   superviseNote(Severity::Note, StatusCode::Stalled, "sequencer restarted");
-  SequencerThread = std::thread([this, NewEpoch] { sequencerLoop(NewEpoch); });
+  if (NumShards > 1)
+    SequencerThread = std::thread([this, NewEpoch] { routerLoop(NewEpoch); });
+  else
+    SequencerThread =
+        std::thread([this, NewEpoch] { sequencerLoop(NewEpoch); });
+}
+
+void Engine::handleShardStall(Shard &S) {
+  // The per-shard mirror of handleStall: a worker whose drain watermark
+  // froze with routed events pending, outside the spine barrier, past the
+  // deadline. Crucially only *this* shard is recycled — its siblings (and
+  // the router, which may be parked on this shard's full ring) never stop
+  // detecting.
+  superviseNote(
+      Severity::Warning, StatusCode::Stalled,
+      "shard " + std::to_string(S.Index) +
+          " sequencer stalled at drain watermark " +
+          std::to_string(S.Drained.load(std::memory_order_relaxed)) +
+          " past the " + std::to_string(Options.Supervise.StallDeadlineMs) +
+          " ms deadline; restarting");
+  if (S.Restarts.load(std::memory_order_relaxed) >=
+      Options.Supervise.MaxRestarts) {
+    superviseNote(
+        Severity::Error, StatusCode::Stalled,
+        "shard " + std::to_string(S.Index) + " sequencer unrecoverable after " +
+            std::to_string(S.Restarts.load(std::memory_order_relaxed)) +
+            " restart(s); detection halted");
+    SequencerGaveUp.store(true, std::memory_order_release);
+    Halted.store(true, std::memory_order_release);
+    // The halt flag (plus the epoch bump, for a cooperatively-wedged
+    // loop) makes the worker exit; join so finish() finds a quiet shard.
+    S.Epoch.fetch_add(1, std::memory_order_acq_rel);
+    if (S.Worker.joinable())
+      S.Worker.join();
+    return;
+  }
+  uint64_t NewEpoch = S.Epoch.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (S.Worker.joinable())
+    S.Worker.join();
+  S.Restarts.fetch_add(1, std::memory_order_relaxed);
+  superviseNote(Severity::Note, StatusCode::Stalled,
+                "shard " + std::to_string(S.Index) + " sequencer restarted");
+  Shard *P = &S;
+  S.Worker = std::thread([this, P, NewEpoch] { shardLoop(*P, NewEpoch); });
 }
 
 void Engine::supervisorLoop() {
@@ -397,6 +996,8 @@ void Engine::supervisorLoop() {
   uint64_t LastDeadlineDrops = DeadlineDrops.load(std::memory_order_relaxed);
   unsigned StalledMs = 0;
   unsigned PressureTicks = 0;
+  std::vector<uint64_t> ShardMarks(ShardSet.size(), 0);
+  std::vector<unsigned> ShardStalledMs(ShardSet.size(), 0);
   while (SupervisorRun.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(S.TickMs));
     uint64_t Mark = NextSeq.load(std::memory_order_acquire);
@@ -404,7 +1005,10 @@ void Engine::supervisorLoop() {
     if (Tickets > Mark)
       noteMaxBacklog(Tickets - Mark);
 
-    // --- stall detection: outstanding tickets, frozen watermark ---
+    // --- stall detection: outstanding tickets, frozen watermark. A
+    // router parked on a full shard ring also freezes the watermark, but
+    // the cure is restarting the *shard* (the scan below) — restarting
+    // the router would hang this thread joining a parked router.
     if (Mark != LastMark) {
       StalledMs = 0;
       // The sequencer is draining again: leave drop-and-count mode.
@@ -412,7 +1016,8 @@ void Engine::supervisorLoop() {
         DropAccesses.store(false, std::memory_order_release);
     } else if (Tickets != Mark &&
                !Halted.load(std::memory_order_acquire) &&
-               !SequencerGaveUp.load(std::memory_order_acquire)) {
+               !SequencerGaveUp.load(std::memory_order_acquire) &&
+               !RouterBlockedOnShard.load(std::memory_order_acquire)) {
       StalledMs += S.TickMs;
       if (StalledMs >= S.StallDeadlineMs) {
         handleStall(Mark);
@@ -420,6 +1025,29 @@ void Engine::supervisorLoop() {
       }
     } else {
       StalledMs = 0;
+    }
+
+    // --- per-shard stall detection (Shards > 1): routed events pending,
+    // drain watermark frozen, and not parked at the spine barrier (a
+    // barrier wait is a sibling's fault; the scan catches the sibling).
+    for (size_t I = 0; I != ShardSet.size(); ++I) {
+      Shard &Sh = *ShardSet[I];
+      uint64_t Drained = Sh.Drained.load(std::memory_order_acquire);
+      uint64_t Routed = Sh.Routed.load(std::memory_order_acquire);
+      bool Idle = Routed <= Drained;
+      if (Drained != ShardMarks[I] || Idle ||
+          Sh.AtBarrier.load(std::memory_order_acquire) ||
+          Halted.load(std::memory_order_acquire) ||
+          SequencerGaveUp.load(std::memory_order_acquire)) {
+        ShardStalledMs[I] = 0;
+      } else {
+        ShardStalledMs[I] += S.TickMs;
+        if (ShardStalledMs[I] >= S.StallDeadlineMs) {
+          handleShardStall(Sh);
+          ShardStalledMs[I] = 0;
+        }
+      }
+      ShardMarks[I] = Drained;
     }
 
     // --- pressure detection: producers continuously parked or shedding
@@ -458,6 +1086,16 @@ OnlineReport Engine::finish() {
              Seq.load(std::memory_order_acquire) &&
          !SequencerGaveUp.load(std::memory_order_acquire))
     std::this_thread::yield();
+  // Sharded: the router has routed everything (the watermark is published
+  // only after a batch is fully routed); now wait for every worker to
+  // drain its routed stream too. A halted worker still advances its drain
+  // watermark by discard-and-count, so this terminates unless a worker is
+  // truly gone (gave-up) — then the leftovers are counted below.
+  for (const std::unique_ptr<Shard> &S : ShardSet)
+    while (S->Drained.load(std::memory_order_acquire) <
+               S->Routed.load(std::memory_order_acquire) &&
+           !SequencerGaveUp.load(std::memory_order_acquire))
+      std::this_thread::yield();
   Running.store(false, std::memory_order_release);
   // Stop the supervisor first so no restart can race the joins below.
   SupervisorRun.store(false, std::memory_order_release);
@@ -465,6 +1103,34 @@ OnlineReport Engine::finish() {
     SupervisorThread.join();
   if (SequencerThread.joinable())
     SequencerThread.join();
+  if (NumShards > 1) {
+    // Only after the router is joined is RouterDone true in the sense the
+    // workers rely on: no more pushes, ever.
+    RouterDone.store(true, std::memory_order_release);
+    for (const std::unique_ptr<Shard> &S : ShardSet)
+      if (S->Worker.joinable())
+        S->Worker.join();
+    for (const std::unique_ptr<Shard> &S : ShardSet)
+      S->Driver->finish();
+    // Fold the shards back into the primary tool: warnings first, merged
+    // in raw-index order so the set AND order match a single-sequencer
+    // run byte for byte (each variable lives in exactly one shard, so the
+    // one-warning-per-variable policy cannot collide across clones), then
+    // the instrumentation counters via the ShardableTool hook.
+    std::vector<RaceWarning> Merged;
+    for (const std::unique_ptr<Shard> &S : ShardSet)
+      for (const RaceWarning &W : S->Clone->warnings())
+        Merged.push_back(W);
+    std::stable_sort(Merged.begin(), Merged.end(),
+                     [](const RaceWarning &A, const RaceWarning &B) {
+                       return A.OpIndex != B.OpIndex ? A.OpIndex < B.OpIndex
+                                                     : A.Var < B.Var;
+                     });
+    Checker.adoptWarnings(Merged);
+    auto &Shardable = dynamic_cast<ShardableTool &>(Checker);
+    for (const std::unique_ptr<Shard> &S : ShardSet)
+      Shardable.mergeShard(*S->Clone);
+  }
   Driver.finish();
 
   Report.Seconds = Watch.seconds();
@@ -487,6 +1153,19 @@ OnlineReport Engine::finish() {
   Report.SequencerRestarts = Restarts.load(std::memory_order_relaxed);
   Report.MaxBacklog = MaxBacklogSeen.load(std::memory_order_relaxed);
   Report.DroppedPostHalt = DiscardedPostHalt;
+  Report.Shards = NumShards;
+  for (const std::unique_ptr<Shard> &S : ShardSet) {
+    Report.ShardRestarts += S->Restarts.load(std::memory_order_relaxed);
+    Report.Halted = Report.Halted || S->Driver->halted();
+    for (const Diagnostic &D : S->Driver->diags())
+      Report.Diags.push_back(D);
+    // Worker-side discards, plus anything still sitting in a dead
+    // worker's ring (gave-up): counted, never silent.
+    Report.DroppedPostHalt +=
+        S->Discards.load(std::memory_order_relaxed) +
+        (S->Routed.load(std::memory_order_relaxed) -
+         S->Drained.load(std::memory_order_relaxed));
+  }
   if (SequencerGaveUp.load(std::memory_order_acquire))
     // No sequencer will ever merge the outstanding tickets; count them as
     // dropped rather than pretending the stream simply ended.

@@ -44,6 +44,16 @@
 ///    OnlineDriver, which applies the serial replay loop's semantics
 ///    (re-entrant lock filtering, raw op indices) to the unmodified Tool.
 ///    Detection runs entirely off the application's critical path.
+///  - **Shards** (OnlineOptions::Shards > 1). The sequencer splits into
+///    a *router* (merge + admission + capture + routing) and N shard
+///    workers, each draining the accesses of the variables it owns into
+///    a shard-local tool clone; admitted sync events are broadcast to
+///    every shard as the cross-shard spine, paced by a ticket-watermark
+///    barrier (a shard may not dispatch sync ordinal k until every shard
+///    has finished ordinal k-1). Warnings and captures stay identical to
+///    the single-sequencer engine. The full protocol, including why the
+///    barrier is pacing rather than a precision requirement, is worked
+///    through in docs/RUNTIME.md.
 ///  - **The flight recorder.** The merged stream is optionally captured
 ///    as a Trace and written as a .trc file on finish() — or, with
 ///    CaptureSegmentBytes set, streamed as sealed, fsynced segments
@@ -158,7 +168,48 @@ struct OnlineOptions {
   /// visit before dispatching them (EventRing::popRunInto). Larger
   /// batches amortize the ring's atomic hand-off and release backpressure
   /// space in bulk; events are dispatched in ticket order either way.
+  ///
+  /// **Watermark invariant** (pinned by OnlineShardingTest): the merge
+  /// watermark NextSeq is published once per *batch*, after every event
+  /// of the batch has been admitted, captured, and — with Shards > 1 —
+  /// routed. A sequencer the supervisor restarts therefore resumes
+  /// exactly at its predecessor's last per-batch watermark, never
+  /// mid-batch, so no event is lost or delivered twice whatever
+  /// SequencerBatch is; successive published watermarks are strictly
+  /// increasing (asserted in the loop). With Shards > 1 each shard
+  /// worker keeps the same discipline over its own routed stream: its
+  /// in-flight batch and position persist across a restart, so the
+  /// successor resumes at the exact wedge point (the popped events are
+  /// gone from the ring and exist nowhere else).
   size_t SequencerBatch = 256;
+
+  /// Per-shard sequencer threads — the PR 1 variable partitioning
+  /// brought online. 0 or 1 keeps the classic single sequencer,
+  /// bit-compatible with previous releases. With N > 1 the old sequencer
+  /// becomes a *router*: it still merges tickets and runs admission
+  /// (degradation ladder, capacity checks, lock filtering, raw-index
+  /// assignment, capture), then routes each admitted access to the shard
+  /// owning its variable — shardOf(x) = (x / ShardBlockVars) % N — and
+  /// every admitted sync event to all shards (the cross-shard spine).
+  /// Each shard drains its own ring into a shard-local clone of the tool
+  /// (ShardableTool::cloneForShard), so warnings and captures are
+  /// byte-identical to the single-sequencer engine (asserted by the
+  /// determinism suite). A tool that does not implement ShardableTool
+  /// falls back to 1 with a Note diagnostic. Clamped to 64.
+  unsigned Shards = 1;
+
+  /// Variables per routing block. Block-cyclic routing keeps neighboring
+  /// variable ids (fields of one object, elements of one array) in one
+  /// shard's shadow arrays — the cache/TLB locality the shard split
+  /// exists to create; pure modulo would interleave every shard through
+  /// every cache line. Must not change mid-session. 0 is treated as 1.
+  uint32_t ShardBlockVars = 64;
+
+  /// Capacity of each router→shard ring (rounded up to a power of two).
+  /// 0 derives max(RingCapacity, 4 × SequencerBatch) so a full admission
+  /// batch can always be routed without the router wedging on its own
+  /// batch size.
+  size_t ShardRingCapacity = 0;
 
   /// Strip redundant re-entrant lock events, as replay() does.
   bool FilterReentrantLocks = true;
@@ -226,9 +277,16 @@ struct OnlineReport {
   uint64_t ParkEpisodes = 0;     ///< Total backpressure park episodes.
   uint64_t MaxBacklog = 0;       ///< Max observed tickets outstanding
                                  ///< (MaxQueueDepth-style pressure stat).
-  unsigned SequencerRestarts = 0; ///< Watchdog recoveries.
+  unsigned SequencerRestarts = 0; ///< Watchdog recoveries (router/sequencer).
   unsigned CaptureSegments = 0;  ///< Segments sealed (segmented recorder).
   std::vector<ThreadDropStats> PerThreadDrops; ///< Nonzero rows only.
+
+  // --- sharded-engine telemetry (OnlineOptions::Shards) ---
+  unsigned Shards = 1;        ///< Shard sequencers actually used (1 =
+                              ///< single-sequencer engine, including the
+                              ///< non-ShardableTool fallback).
+  unsigned ShardRestarts = 0; ///< Shard-worker watchdog recoveries,
+                              ///< summed across shards.
 };
 
 /// One online detection session over one Tool. Construct it, run
@@ -303,12 +361,23 @@ private:
     std::atomic<uint64_t> Parks{0};
   };
 
+  /// One shard worker's whole world: its router→worker ring, its tool
+  /// clone and DispatchOnly driver, its watermarks and restart state.
+  /// Defined in Engine.cpp.
+  struct Shard;
+
   Channel *channelForCurrentThread();
   Channel *registerThread(ThreadId Id);
   bool parkUntilSpace(Channel *Ch, OpKind Kind);
   void sequencerLoop(uint64_t Epoch);
+  void routerLoop(uint64_t Epoch);
+  void shardLoop(Shard &S, uint64_t MyEpoch);
+  bool routeToShard(Shard &S, const OnlineEvent &E);
+  unsigned shardIndexFor(uint32_t Target) const;
+  uint64_t shardShadowBytes() const;
   void supervisorLoop();
   void handleStall(uint64_t Watermark);
+  void handleShardStall(Shard &S);
   void restartSequencerLocked();
   void superviseNote(Severity Sev, StatusCode Code, std::string Message);
   void noteMaxBacklog(uint64_t Backlog);
@@ -317,6 +386,17 @@ private:
   OnlineOptions Options;
   uint64_t Gen;
   EntityInterner Interner;
+  /// Shard workers in use: resolved before Driver (declaration order
+  /// matters — driverOptions() selects the admission-only role from it).
+  /// 1 means the single-sequencer engine, whether requested or the
+  /// non-ShardableTool fallback.
+  unsigned NumShards;
+  /// Strength-reduced shardIndexFor: when ShardBlockVars and NumShards
+  /// are both powers of two (the defaults and every shipped config), the
+  /// block-cyclic map is a shift and a mask instead of two hardware
+  /// divisions on the router's per-access path. ~0u = not applicable.
+  unsigned ShardDivShift = ~0u;
+  uint32_t ShardIdxMask = 0;
   OnlineDriver Driver;
   Trace Capture;
   bool MemCapture;  ///< Keep the in-memory Trace capture.
@@ -376,10 +456,28 @@ private:
   uint64_t DiscardedPostHalt = 0; ///< Sequencer-side post-halt discards
                                   ///< (events ticketed before the halt).
 
+  // --- sharded mode (NumShards > 1) ---
+  std::vector<std::unique_ptr<Shard>> ShardSet;
+  std::atomic<bool> RouterDone{false}; ///< The router is joined and every
+                                       ///< routed event sits in a shard
+                                       ///< ring; set by finish() so idle
+                                       ///< workers may exit.
+  std::atomic<bool> RouterBlockedOnShard{false}; ///< The router is parked
+                                       ///< pushing into a full shard
+                                       ///< ring: its frozen watermark is
+                                       ///< the *shard's* fault, so the
+                                       ///< supervisor must restart the
+                                       ///< shard, never the router (that
+                                       ///< join would deadlock against
+                                       ///< the park).
+  std::mutex SinkMu;   ///< Serializes OnWarning across shard workers.
+  std::mutex ClocksMu; ///< Guards SequencerClocks folds: shard workers
+                       ///< and the router can exit concurrently.
+
   std::thread SequencerThread;
   std::thread SupervisorThread;
-  ClockStats SequencerClocks; ///< Accumulated across restarts; writes are
-                              ///< serialized by the restart joins.
+  ClockStats SequencerClocks; ///< Accumulated across restarts and shard
+                              ///< workers, under ClocksMu.
   Stopwatch Watch;
   OnlineReport Report;
   bool Finished = false;

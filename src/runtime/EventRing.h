@@ -41,13 +41,22 @@
 
 namespace ft::runtime {
 
-/// One instrumentation event in flight. The producing thread is implied
-/// by the ring it travels through; Seq is the global total-order ticket
-/// the sequencer merges on.
+/// One instrumentation event in flight. The meaning of the fields depends
+/// on which leg of the pipeline the event is traveling:
+///
+///  - In a *per-thread* ring (application thread → sequencer/router) the
+///    producing thread is implied by the ring, Thread is unused, and Seq
+///    is the global total-order ticket the merge runs on.
+///  - In a *per-shard* ring (router → shard sequencer, Shards > 1) the
+///    router has already merged and admitted the event: Thread is the
+///    dense id of the emitting thread and Seq is the *raw op index* the
+///    admission stage assigned — the OpIndex the shard's tool sees, so
+///    warnings carry the same indices a single-sequencer run would.
 struct OnlineEvent {
   uint64_t Seq = 0;
   OpKind Kind = OpKind::Read;
   uint32_t Target = 0;
+  ThreadId Thread = 0;
 };
 
 /// Bounded SPSC ring of OnlineEvents. Capacity is rounded up to a power
@@ -90,6 +99,26 @@ public:
            "push on a full ring");
     Buffer[T & Mask] = E;
     Tail.store(T + 1, std::memory_order_release);
+  }
+
+  /// Batch append for the router: copies in as many of the \p N events as
+  /// the ring has space for and publishes them with a single Tail store,
+  /// so a whole routed run costs one release operation instead of one per
+  /// event. Returns the number of events consumed from \p In (0 when the
+  /// ring is full — the caller parks and retries with the remainder).
+  size_t pushRun(const OnlineEvent *In, size_t N) {
+    uint64_t T = Tail.load(std::memory_order_relaxed);
+    if (T - HeadCache == Buffer.size()) {
+      HeadCache = Head.load(std::memory_order_acquire);
+      if (T - HeadCache == Buffer.size())
+        return 0;
+    }
+    size_t Space = Buffer.size() - static_cast<size_t>(T - HeadCache);
+    size_t K = N < Space ? N : Space;
+    for (size_t I = 0; I != K; ++I)
+      Buffer[(T + I) & Mask] = In[I];
+    Tail.store(T + K, std::memory_order_release);
+    return K;
   }
 
   // --- consumer side ---
@@ -141,6 +170,59 @@ public:
     if (N != 0)
       Head.store(H, std::memory_order_release);
     return N;
+  }
+
+  /// Batch drain for a *routed* ring (router → shard), where tickets are
+  /// the admission stage's raw indices and therefore not consecutive per
+  /// shard: copies out up to \p Max events in FIFO order regardless of
+  /// their Seq values, releasing all consumed slots with one Head store.
+  /// Returns the number of events written to \p Out.
+  size_t popInto(OnlineEvent *Out, size_t Max) {
+    uint64_t H = Head.load(std::memory_order_relaxed);
+    if (H == TailCache) {
+      TailCache = Tail.load(std::memory_order_acquire);
+      if (H == TailCache)
+        return 0;
+    }
+    size_t N = 0;
+    while (N != Max && H != TailCache) {
+      Out[N++] = Buffer[H & Mask];
+      ++H;
+    }
+    Head.store(H, std::memory_order_release);
+    return N;
+  }
+
+  /// Zero-copy batch consume for a routed ring: exposes the longest
+  /// contiguous readable run (bounded by the buffer's wrap point) without
+  /// copying it out. The slots stay owned by the consumer — and \p Ptr
+  /// stays valid — until release()d, so a consumer can dispatch straight
+  /// out of the ring and release incrementally as prefixes complete
+  /// (nothing is lost if it is abandoned mid-run: the unreleased suffix
+  /// is still in the ring for its successor). Returns the run length, 0
+  /// when empty.
+  size_t peekRun(const OnlineEvent *&Ptr) {
+    uint64_t H = Head.load(std::memory_order_relaxed);
+    if (H == TailCache) {
+      TailCache = Tail.load(std::memory_order_acquire);
+      if (H == TailCache)
+        return 0;
+    }
+    const size_t Idx = static_cast<size_t>(H & Mask);
+    const size_t Avail = static_cast<size_t>(TailCache - H);
+    const size_t UntilWrap = Buffer.size() - Idx;
+    Ptr = &Buffer[Idx];
+    return Avail < UntilWrap ? Avail : UntilWrap;
+  }
+
+  /// Releases the first \p N unreleased slots of a peekRun() run back to
+  /// the producer (one Head store). Call only after the consumer is done
+  /// reading them.
+  void release(size_t N) {
+    uint64_t H = Head.load(std::memory_order_relaxed);
+    assert(Tail.load(std::memory_order_acquire) - H >= N &&
+           "releasing more slots than are readable");
+    Head.store(H + N, std::memory_order_release);
   }
 
   bool empty() const {

@@ -97,6 +97,46 @@ struct FaultPlan {
     return DelayPerDeliveryUs != 0 && Ticket >= DelayFromTicket &&
            Ticket < DelayToTicket;
   }
+
+  // --- sharded-engine faults (OnlineOptions::Shards > 1) ---
+
+  /// Shard whose worker stalls. Per-thread tickets are invisible to shard
+  /// workers (they drain raw-indexed routed events), so shard stalls are
+  /// keyed on the raw op index instead: worker StallShard busy-waits
+  /// before dispatching the first routed event with Seq >=
+  /// StallShardAtRaw, until the supervisor restarts it. Sibling shards
+  /// keep draining throughout — that isolation is the scenario under
+  /// test.
+  unsigned StallShard = 0;
+  uint64_t StallShardAtRaw = None;
+
+  /// How many times the shard stall re-arms (mirrors StallsArmed).
+  mutable std::atomic<unsigned> ShardStallsArmed{0};
+
+  /// True when shard \p Shard should stall before dispatching the routed
+  /// event with raw index \p RawIndex — non-consuming, so a restarted
+  /// worker re-checking the same wedged batch position stays wedged until
+  /// takeShardStall() disarms it.
+  bool shardStallHits(unsigned Shard, uint64_t RawIndex) const {
+    return Shard == StallShard && StallShardAtRaw != None &&
+           RawIndex >= StallShardAtRaw &&
+           ShardStallsArmed.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Consumes one armed shard stall (the worker calls this as it enters
+  /// the busy-wait; the supervisor's restart then finds the stall
+  /// disarmed and the resumed worker proceeds).
+  bool takeShardStall(unsigned Shard, uint64_t RawIndex) const {
+    if (!shardStallHits(Shard, RawIndex))
+      return false;
+    unsigned Armed = ShardStallsArmed.load(std::memory_order_relaxed);
+    while (Armed != 0) {
+      if (ShardStallsArmed.compare_exchange_weak(Armed, Armed - 1,
+                                                 std::memory_order_relaxed))
+        return true;
+    }
+    return false;
+  }
 };
 
 /// Tool decorator that forwards every event to \p Inner and throws from

@@ -1,0 +1,418 @@
+//===--- OnlineShardingTest.cpp - per-shard sequencers, spine, restarts ---===//
+//
+// The sharded online engine's contracts:
+//
+//  - determinism: the same native workload run at Shards ∈ {1, 2, 4}
+//    warns on exactly the same variables, and every run's flight-recorder
+//    capture replays offline to the identical warning list — shard count
+//    is invisible in the results;
+//  - the sync spine: lock/fork/join-heavy workloads stay exactly
+//    equivalent because every shard sees the full sync stream in order;
+//  - resilience is per shard: a wedged shard worker is restarted by the
+//    watchdog while its siblings (and the router) keep detecting, and a
+//    tool without ShardableTool falls back to the single sequencer with
+//    a Note rather than failing;
+//  - the SequencerBatch/watermark invariant: a restarted sequencer
+//    resumes from the last per-batch watermark, so the capture is
+//    byte-identical whatever the batch size and however often it was
+//    restarted mid-stream;
+//  - the building blocks: EventRing::popInto (FIFO, non-consecutive Seq)
+//    and OnlineDriver::dispatchRun (batched, devirtualized) agree with
+//    the per-event paths they replace.
+//
+// The CI TSan job runs this binary: router, shard workers, supervisor,
+// and producers all exercise their real hand-off paths here.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FastTrack.h"
+#include "framework/Replay.h"
+#include "runtime/FaultPlan.h"
+#include "runtime/Instrument.h"
+#include "trace/TraceBuilder.h"
+#include "trace/TraceValidator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+using namespace ft;
+namespace rt = ft::runtime;
+
+namespace {
+
+void expectSameWarnings(const std::vector<RaceWarning> &Online,
+                        const std::vector<RaceWarning> &Offline) {
+  ASSERT_EQ(Online.size(), Offline.size());
+  for (size_t I = 0; I != Online.size(); ++I) {
+    EXPECT_EQ(Online[I].Var, Offline[I].Var) << "warning " << I;
+    EXPECT_EQ(Online[I].OpIndex, Offline[I].OpIndex) << "warning " << I;
+    EXPECT_EQ(Online[I].CurrentThread, Offline[I].CurrentThread);
+    EXPECT_EQ(Online[I].CurrentKind, Offline[I].CurrentKind);
+    EXPECT_EQ(Online[I].PriorThread, Offline[I].PriorThread);
+    EXPECT_EQ(Online[I].PriorKind, Offline[I].PriorKind);
+    EXPECT_EQ(Online[I].Detail, Offline[I].Detail);
+  }
+}
+
+std::set<VarId> warnedVars(const std::vector<RaceWarning> &Warnings) {
+  std::set<VarId> Vars;
+  for (const RaceWarning &W : Warnings)
+    Vars.insert(W.Var);
+  return Vars;
+}
+
+bool anyDiagContains(const std::vector<Diagnostic> &Diags,
+                     const char *Needle) {
+  for (const Diagnostic &D : Diags)
+    if (D.Message.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+/// The shared determinism workload: NumThreads threads, each writing its
+/// own private vars (never racy), all of them hammering a set of shared
+/// vars (always racy: no cross-thread synchronization ever orders two
+/// writers), plus per-thread mutexes that feed the sync spine without
+/// creating happens-before edges between siblings. Main pre-touches every
+/// variable before forking so dense ids — and therefore the warned-var
+/// set — are identical across runs and shard counts. The pre-touch reads
+/// happen-before every fork, so they are never part of a race.
+struct DeterminismWorkload {
+  static constexpr unsigned NumThreads = 4;
+  static constexpr unsigned NumRacy = 24; // spans several routing blocks
+  static constexpr int Rounds = 50;
+
+  std::vector<rt::Shared<int>> Private{NumThreads * 4};
+  std::vector<rt::Shared<int>> Racy{NumRacy};
+  std::vector<rt::Mutex> Locks{NumThreads};
+
+  void run() {
+    for (rt::Shared<int> &V : Private)
+      FT_READ(V);
+    for (rt::Shared<int> &V : Racy)
+      FT_READ(V);
+    std::vector<rt::Thread> Threads;
+    for (unsigned T = 0; T != NumThreads; ++T)
+      Threads.emplace_back([this, T] {
+        for (int I = 0; I != Rounds; ++I) {
+          for (unsigned P = 0; P != 4; ++P)
+            FT_WRITE(Private[T * 4 + P], I);
+          FT_WRITE(Racy[(T * 7 + static_cast<unsigned>(I)) % NumRacy],
+                   static_cast<int>(T));
+          Locks[T].lock(); // spine traffic, no cross-thread edge
+          Locks[T].unlock();
+        }
+      });
+    for (rt::Thread &T : Threads)
+      T.join();
+  }
+};
+
+/// Runs the determinism workload at \p Shards and returns the report
+/// after asserting the per-run equivalence contract (feasible capture,
+/// offline replay reproduces the online warnings exactly).
+rt::OnlineReport runDeterminism(FastTrack &Detector, unsigned Shards,
+                                const rt::FaultPlan *Faults = nullptr,
+                                bool Supervise = false) {
+  rt::OnlineOptions Options;
+  Options.Shards = Shards;
+  // Small routing blocks so the two-dozen interned vars actually spread
+  // across all shards instead of fitting inside one default-sized block.
+  Options.ShardBlockVars = 4;
+  Options.Faults = Faults;
+  // Exact-equivalence runs: no shedding allowed. The supervisor stays on
+  // only for the fault-injection tests (shard restarts), with bounds that
+  // never shed accesses.
+  Options.Degrade.Enabled = false;
+  Options.Supervise.Enabled = Supervise;
+  Options.Supervise.TickMs = 2;
+  Options.Supervise.StallDeadlineMs = 20;
+  Options.Supervise.MaxParkMs = 60000;
+  Options.Supervise.PressureTicksToDegrade = 1u << 30;
+
+  DeterminismWorkload Workload;
+  rt::Engine Engine(Detector, std::move(Options));
+  Workload.run();
+  rt::OnlineReport Report = Engine.finish();
+
+  EXPECT_TRUE(isFeasible(Report.Captured));
+  FastTrack Offline;
+  replay(Report.Captured, Offline);
+  expectSameWarnings(Detector.warnings(), Offline.warnings());
+  return Report;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Building blocks: popInto and dispatchRun
+//===----------------------------------------------------------------------===//
+
+TEST(EventRing, PopIntoDrainsFifoRegardlessOfSeq) {
+  // A routed ring carries raw op indices, which are not consecutive per
+  // shard — popInto must drain FIFO without looking at Seq at all.
+  rt::EventRing Ring(8);
+  const uint64_t Raw[] = {3, 7, 8, 100};
+  for (uint64_t S : Raw)
+    Ring.push({S, OpKind::Write, static_cast<uint32_t>(S), 1});
+  rt::OnlineEvent Out[8];
+  ASSERT_EQ(Ring.popInto(Out, 3), 3u);
+  for (size_t I = 0; I != 3; ++I) {
+    EXPECT_EQ(Out[I].Seq, Raw[I]);
+    EXPECT_EQ(Out[I].Thread, 1u);
+  }
+  EXPECT_TRUE(Ring.hasSpace()) << "popInto must release the slots";
+  ASSERT_EQ(Ring.popInto(Out, 8), 1u);
+  EXPECT_EQ(Out[0].Seq, 100u);
+  EXPECT_TRUE(Ring.empty());
+  EXPECT_EQ(Ring.popInto(Out, 8), 0u);
+}
+
+TEST(OnlineDriver, DispatchRunMatchesPerEventOffer) {
+  // The same pre-admitted stream through offer() (Full role) and
+  // dispatchRun() (DispatchOnly role) must leave two FastTracks with
+  // identical warnings — batching and devirtualization are pure
+  // mechanism.
+  TraceBuilder Builder;
+  Builder.fork(0, 1);
+  for (uint32_t I = 0; I != 64; ++I)
+    Builder.wr(0, I % 8).wr(1, I % 8); // racy pairs
+  Builder.acq(0, 0).rel(0, 0).join(0, 1);
+  Trace Ops = Builder.take();
+
+  ToolContext Capacity;
+  Capacity.NumThreads = 4;
+  Capacity.NumVars = 16;
+  Capacity.NumLocks = 4;
+  Capacity.NumVolatiles = 4;
+
+  FastTrack PerEvent;
+  OnlineDriver Serial(PerEvent, Capacity);
+  for (Operation Op : Ops)
+    ASSERT_EQ(Serial.offer(Op), OnlineDriver::DispatchOutcome::Delivered);
+  Serial.finish();
+
+  FastTrack Batched;
+  OnlineDriverOptions BatchOpts;
+  BatchOpts.Role = DriverRole::DispatchOnly;
+  BatchOpts.FilterReentrantLocks = false;
+  OnlineDriver Runs(Batched, Capacity, BatchOpts);
+  std::vector<rt::OnlineEvent> Events;
+  for (size_t I = 0; I != Ops.size(); ++I)
+    Events.push_back({static_cast<uint64_t>(I), Ops[I].Kind, Ops[I].Target,
+                      Ops[I].Thread});
+  // Deliver in uneven chunks so runs straddle chunk boundaries.
+  size_t Pos = 0;
+  for (size_t Chunk : {1u, 7u, 64u, 3u, 1000u}) {
+    size_t N = std::min(Chunk, Events.size() - Pos);
+    ASSERT_TRUE(Runs.dispatchRun(Events.data() + Pos, N));
+    Pos += N;
+  }
+  ASSERT_EQ(Pos, Events.size());
+  Runs.finish();
+
+  EXPECT_GT(PerEvent.warnings().size(), 0u);
+  expectSameWarnings(PerEvent.warnings(), Batched.warnings());
+  EXPECT_EQ(Serial.dispatched(), Runs.dispatched());
+  EXPECT_EQ(Serial.accessesPassed(), Runs.accessesPassed());
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-shard determinism
+//===----------------------------------------------------------------------===//
+
+TEST(OnlineSharding, WarningSetsIdenticalAcrossShardCounts) {
+  std::set<VarId> Expected; // the Racy array, whatever ids it interns to
+  std::vector<std::set<VarId>> PerShardCount;
+  for (unsigned Shards : {1u, 2u, 4u}) {
+    FastTrack Detector;
+    rt::OnlineReport Report = runDeterminism(Detector, Shards);
+    EXPECT_FALSE(Report.Halted);
+    EXPECT_EQ(Report.Shards, Shards);
+    EXPECT_EQ(Report.DroppedPostHalt, 0u);
+    for (const Diagnostic &D : Report.Diags)
+      ADD_FAILURE() << "Shards=" << Shards << ": " << toString(D);
+    EXPECT_EQ(warnedVars(Detector.warnings()).size(),
+              DeterminismWorkload::NumRacy);
+    PerShardCount.push_back(warnedVars(Detector.warnings()));
+  }
+  ASSERT_EQ(PerShardCount.size(), 3u);
+  EXPECT_EQ(PerShardCount[0], PerShardCount[1])
+      << "Shards=2 must warn on exactly the single-sequencer variables";
+  EXPECT_EQ(PerShardCount[0], PerShardCount[2])
+      << "Shards=4 must warn on exactly the single-sequencer variables";
+}
+
+TEST(OnlineSharding, SyncHeavyWorkloadStaysEquivalent) {
+  // A sync-dominated workload: every access bracketed by a lock, plus a
+  // deliberately unguarded pair. Each lock event crosses the spine
+  // barrier on all four shards, so this leans on the ticket-watermark
+  // protocol as hard as a small test can.
+  rt::OnlineOptions Options;
+  Options.Shards = 4;
+  Options.ShardBlockVars = 2; // spread the nine vars over all four shards
+  Options.Degrade.Enabled = false;
+  Options.Supervise.Enabled = false;
+
+  FastTrack Detector;
+  std::vector<rt::Shared<int>> Cells(8);
+  rt::Shared<int> Unguarded;
+  std::vector<rt::Mutex> Locks(8);
+
+  rt::Engine Engine(Detector, std::move(Options));
+  {
+    std::vector<rt::Thread> Threads;
+    for (unsigned T = 0; T != 4; ++T)
+      Threads.emplace_back([&, T] {
+        // Before the first acquire: no lock chain can order this write
+        // after a sibling's, so the race survives every schedule (the
+        // in-loop writes below can all be serialized through the shared
+        // locks on a one-core box).
+        FT_WRITE(Unguarded, static_cast<int>(T));
+        for (int I = 0; I != 100; ++I) {
+          unsigned C = (T + static_cast<unsigned>(I)) % 8;
+          Locks[C].lock();
+          FT_WRITE(Cells[C], I);
+          Locks[C].unlock();
+        }
+      });
+    for (rt::Thread &T : Threads)
+      T.join();
+  }
+  rt::OnlineReport Report = Engine.finish();
+
+  EXPECT_FALSE(Report.Halted);
+  EXPECT_EQ(Report.Shards, 4u);
+  EXPECT_TRUE(isFeasible(Report.Captured));
+  FastTrack Offline;
+  replay(Report.Captured, Offline);
+  expectSameWarnings(Detector.warnings(), Offline.warnings());
+  // Exactly the unguarded cell races; the locked cells never do.
+  EXPECT_EQ(warnedVars(Detector.warnings()).size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Fallback and per-shard resilience
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A correct but deliberately non-ShardableTool detector stand-in.
+class CountingTool : public Tool {
+public:
+  const char *name() const override { return "CountingTool"; }
+  bool onRead(ThreadId, VarId, size_t) override { return ++Accesses != 0; }
+  bool onWrite(ThreadId, VarId, size_t) override { return ++Accesses != 0; }
+  uint64_t Accesses = 0;
+};
+
+} // namespace
+
+TEST(OnlineSharding, NonShardableToolFallsBackToSingleSequencer) {
+  rt::OnlineOptions Options;
+  Options.Shards = 4;
+  Options.Degrade.Enabled = false;
+  Options.Supervise.Enabled = false;
+
+  CountingTool Counter;
+  rt::Shared<int> X;
+  rt::Engine Engine(Counter, std::move(Options));
+  for (int I = 0; I != 10; ++I)
+    FT_WRITE(X, I);
+  rt::OnlineReport Report = Engine.finish();
+
+  EXPECT_EQ(Report.Shards, 1u);
+  EXPECT_FALSE(Report.Halted);
+  EXPECT_EQ(Counter.Accesses, 10u);
+  EXPECT_TRUE(anyDiagContains(Report.Diags,
+                              "does not implement ShardableTool"));
+}
+
+TEST(OnlineSharding, StalledShardIsRestartedWhileSiblingsKeepDetecting) {
+  // Wedge shard 1's worker mid-stream. The watchdog must restart exactly
+  // that worker — the router and the other three shards never stop — and
+  // the resumed worker continues from the wedge point, so the session
+  // still satisfies the full equivalence contract afterwards.
+  rt::FaultPlan Faults;
+  Faults.StallShard = 1;
+  Faults.StallShardAtRaw = 200;
+  Faults.ShardStallsArmed.store(1);
+
+  FastTrack Detector;
+  rt::OnlineReport Report =
+      runDeterminism(Detector, 4, &Faults, /*Supervise=*/true);
+
+  EXPECT_FALSE(Report.Halted);
+  EXPECT_EQ(Report.Shards, 4u);
+  EXPECT_EQ(Report.ShardRestarts, 1u);
+  EXPECT_EQ(Report.SequencerRestarts, 0u)
+      << "the router must never be restarted for a shard's stall";
+  EXPECT_EQ(Report.DroppedPostHalt, 0u) << "nothing may be lost";
+  EXPECT_TRUE(anyDiagContains(Report.Diags, "shard 1 sequencer stalled"));
+  EXPECT_TRUE(anyDiagContains(Report.Diags, "shard 1 sequencer restarted"));
+  // Detection stayed complete: every always-racy variable still warned.
+  EXPECT_EQ(warnedVars(Detector.warnings()).size(),
+            DeterminismWorkload::NumRacy);
+}
+
+//===----------------------------------------------------------------------===//
+// The SequencerBatch/watermark invariant
+//===----------------------------------------------------------------------===//
+
+TEST(OnlineSharding, WatermarkResumesPerBatchWhateverTheBatchSize) {
+  // One producer thread → one deterministic ticket sequence. Wedge the
+  // router at ticket 40 and let the watchdog restart it, at several
+  // SequencerBatch sizes straddling the stall point. The per-batch
+  // watermark contract says the successor resumes exactly where the
+  // predecessor published: every capture must be byte-identical to the
+  // unstalled baseline, with zero events lost or duplicated.
+  auto RunOnce = [](size_t Batch, bool Stall) {
+    rt::FaultPlan Faults;
+    Faults.StallAtTicket = 40;
+    Faults.StallsArmed.store(Stall ? 1 : 0);
+
+    rt::OnlineOptions Options;
+    Options.Shards = 2;
+    Options.ShardBlockVars = 4;
+    Options.SequencerBatch = Batch;
+    Options.Degrade.Enabled = false;
+    Options.Supervise.TickMs = 2;
+    Options.Supervise.StallDeadlineMs = 10;
+    Options.Supervise.MaxParkMs = 60000;
+    Options.Supervise.PressureTicksToDegrade = 1u << 30;
+    Options.Faults = &Faults;
+
+    FastTrack Detector;
+    std::vector<rt::Shared<int>> Vars(16);
+    rt::Mutex M;
+    rt::Engine Engine(Detector, std::move(Options));
+    for (int I = 0; I != 100; ++I) {
+      FT_WRITE(Vars[static_cast<unsigned>(I) % 16], I);
+      if (I % 10 == 0) {
+        M.lock();
+        M.unlock();
+      }
+    }
+    rt::OnlineReport Report = Engine.finish();
+    EXPECT_FALSE(Report.Halted);
+    EXPECT_EQ(Report.SequencerRestarts, Stall ? 1u : 0u)
+        << "batch " << Batch;
+    EXPECT_EQ(Report.DroppedPostHalt, 0u) << "batch " << Batch;
+    return Report.Captured;
+  };
+
+  Trace Baseline = RunOnce(256, /*Stall=*/false);
+  ASSERT_GT(Baseline.size(), 0u);
+  for (size_t Batch : {1u, 3u, 1024u}) {
+    Trace Stalled = RunOnce(Batch, /*Stall=*/true);
+    ASSERT_EQ(Stalled.size(), Baseline.size()) << "batch " << Batch;
+    for (size_t I = 0; I != Baseline.size(); ++I) {
+      EXPECT_EQ(Stalled[I].Kind, Baseline[I].Kind) << "op " << I;
+      EXPECT_EQ(Stalled[I].Thread, Baseline[I].Thread) << "op " << I;
+      EXPECT_EQ(Stalled[I].Target, Baseline[I].Target) << "op " << I;
+    }
+  }
+}
