@@ -29,6 +29,8 @@
 #include "support/Stopwatch.h"
 #include "support/Table.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -245,6 +247,78 @@ rt::OnlineOptions pinnedRung(DegradeStep Step) {
   return Options;
 }
 
+// --- thread churn (E13) -------------------------------------------------
+//
+// Per-event throughput when the *threads* turn over instead of the data:
+// a fixed task count run by ChurnLanes concurrent lanes, where each lane
+// retires its worker thread and forks a fresh one every TasksPerThread
+// tasks (0 = one long-lived worker per lane — the no-churn baseline).
+// Every fork after the first reincarnates the joined predecessor's slot,
+// so the series prices the recycling path (join → drain → reincarnate)
+// and pins the lifecycle invariant the churn tests assert: peak slots
+// track max-live threads (2 per lane + main), not total threads forked.
+
+constexpr unsigned ChurnLanes = 4;
+constexpr unsigned EventsPerTask = 16;
+
+struct ChurnResult {
+  RunResult Run;
+  unsigned SlotsAllocated = 0;
+  unsigned PeakLiveSlots = 0;
+  uint64_t ThreadsRecycled = 0;
+  uint64_t ThreadsForked = 0;
+};
+
+ChurnResult runChurnOnce(unsigned TasksPerThread, unsigned TasksPerLane) {
+  FastTrack Detector;
+  ChurnResult R;
+  rt::OnlineOptions Options;
+  Options.MaxThreads = 2 * ChurnLanes + 1; // lane + its live worker, + main
+  Options.KeepCapture = false;
+  Options.ValidateCapture = false;
+  Options.Degrade.Enabled = false;
+  Options.Supervise.Enabled = false;
+
+  std::atomic<uint64_t> Forked{0};
+  rt::Engine Engine(Detector, Options);
+  Stopwatch Watch;
+  {
+    std::vector<rt::Shared<int>> Vars(ChurnLanes); // lane-private: race-free
+    std::vector<rt::Thread> Lanes;
+    Lanes.reserve(ChurnLanes);
+    for (unsigned L = 0; L != ChurnLanes; ++L)
+      Lanes.emplace_back([&, L] {
+        auto RunTasks = [&](unsigned From, unsigned To) {
+          rt::Thread Worker([&Vars, L, From, To] {
+            for (unsigned T = From; T != To; ++T)
+              for (unsigned E = 0; E != EventsPerTask; ++E)
+                FT_WRITE(Vars[L], static_cast<int>(T + E));
+          });
+          Worker.join(); // join → next fork: the lane's writes all chain
+          Forked.fetch_add(1, std::memory_order_relaxed);
+        };
+        if (TasksPerThread == 0) {
+          RunTasks(0, TasksPerLane);
+          return;
+        }
+        for (unsigned T = 0; T < TasksPerLane; T += TasksPerThread)
+          RunTasks(T, std::min(T + TasksPerThread, TasksPerLane));
+      });
+    for (rt::Thread &T : Lanes)
+      T.join();
+  }
+  rt::OnlineReport Report = Engine.finish();
+  R.Run.Seconds = Watch.seconds(); // includes the post-workload drain
+  if (Report.Halted)
+    std::fprintf(stderr, "warning: churn session halted mid-bench\n");
+  R.Run.Events = Report.EventsDispatched;
+  R.SlotsAllocated = Report.SlotsAllocated;
+  R.PeakLiveSlots = Report.PeakLiveSlots;
+  R.ThreadsRecycled = Report.ThreadsRecycled;
+  R.ThreadsForked = ChurnLanes + Forked.load(std::memory_order_relaxed);
+  return R;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -358,6 +432,50 @@ int main(int argc, char **argv) {
     Report.metric(Prefix + "events_per_sec", PerSec, "events/s");
   }
   std::printf("%s", Scale.render().c_str());
+
+  // The thread-churn series (E13): fixed work, varying thread turnover.
+  // "churn N%" forks a fresh worker every 100/N tasks; every such fork
+  // reincarnates a joined slot, so slot counts stay at max-live whatever
+  // the turnover.
+  const unsigned TasksPerLane =
+      static_cast<unsigned>(250 * sizeFactor());
+  struct ChurnPoint {
+    const char *Label;
+    unsigned Percent;        // of tasks that start on a fresh thread
+    unsigned TasksPerThread; // 0 = long-lived workers (no churn)
+  };
+  const ChurnPoint Points[] = {
+      {"churn0", 0, 0}, {"churn10", 10, 10}, {"churn50", 50, 2}};
+  std::printf("\nthread churn: %u lanes x %u tasks x %u events, a fresh "
+              "worker thread every\n1/rate tasks through a %u-slot table; "
+              "best of %u reps\n\n",
+              ChurnLanes, TasksPerLane, EventsPerTask, 2 * ChurnLanes + 1,
+              repetitions());
+  Table ChurnOut;
+  ChurnOut.addHeader({"churn", "threads", "slots", "peak live", "recycled",
+                      "seconds", "events/sec"});
+  for (const ChurnPoint &P : Points) {
+    ChurnResult Best;
+    for (unsigned Rep = 0, Reps = repetitions(); Rep != Reps; ++Rep) {
+      ChurnResult One = runChurnOnce(P.TasksPerThread, TasksPerLane);
+      if (Best.Run.Seconds == 0 || One.Run.Seconds < Best.Run.Seconds)
+        Best = One;
+    }
+    double PerSec =
+        static_cast<double>(Best.Run.Events) / Best.Run.Seconds;
+    ChurnOut.addRow({std::to_string(P.Percent) + "%",
+                     withCommas(Best.ThreadsForked),
+                     std::to_string(Best.SlotsAllocated),
+                     std::to_string(Best.PeakLiveSlots),
+                     withCommas(Best.ThreadsRecycled),
+                     fixed(Best.Run.Seconds, 3), withCommas(uint64_t(PerSec))});
+    const std::string Prefix = std::string(P.Label) + "_";
+    Report.metric(Prefix + "events_per_sec", PerSec, "events/s");
+    Report.metric(Prefix + "peak_slots", Best.SlotsAllocated);
+    Report.metric(Prefix + "threads_recycled",
+                  double(Best.ThreadsRecycled));
+  }
+  std::printf("%s", ChurnOut.render().c_str());
 
   std::printf("\nreading the table: 'no engine'/native is the dormant-shim "
               "tax, EMPTY/native\nthe full runtime pipeline (rings + "

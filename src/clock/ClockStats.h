@@ -44,6 +44,12 @@ struct ClockStats {
   /// nonempty source, regardless of spelling (copy constructor,
   /// operator=, or copyFrom). Copies from empty clocks count nothing.
   uint64_t CopyOps = 0;
+  /// Forks that reincarnated a recycled thread slot (the forked tid's
+  /// own clock entry had already advanced past its initial value —
+  /// possible only after a join of a previous lifetime under the same
+  /// id). Counts how often the online engine's slot recycling exercised
+  /// the stale-epoch comparison path; not an O(n) op itself.
+  uint64_t Reincarnations = 0;
 
   /// Total O(n)-time operations.
   uint64_t totalOps() const { return JoinOps + CompareOps + CopyOps; }
@@ -55,6 +61,7 @@ struct ClockStats {
     Delta.JoinOps = JoinOps - Other.JoinOps;
     Delta.CompareOps = CompareOps - Other.CompareOps;
     Delta.CopyOps = CopyOps - Other.CopyOps;
+    Delta.Reincarnations = Reincarnations - Other.Reincarnations;
     return Delta;
   }
 
@@ -64,6 +71,7 @@ struct ClockStats {
     JoinOps += Other.JoinOps;
     CompareOps += Other.CompareOps;
     CopyOps += Other.CopyOps;
+    Reincarnations += Other.Reincarnations;
     return *this;
   }
 };

@@ -146,6 +146,18 @@ private:
   /// Per-variable shadow state (Figure 5's VarState): write epoch W, read
   /// epoch R (or READ_SHARED), and the read vector clock used only in
   /// read-shared mode. The Rvc buffer is recycled across inflations.
+  ///
+  /// **Recycled thread slots.** The online engine reuses the dense id of
+  /// a fully joined thread, so W, R, and Rvc entries may name a tid whose
+  /// thread is dead — a *stale epoch* c@t. No rule here changes: the
+  /// fork that reincarnates tid t joins the slot's clock (which still
+  /// dominates the dead lifetime's final clock f, own entry already at
+  /// f+1 from the join) into the successor, so c ≼ C holds for every
+  /// clock that synchronized with the dead thread, and the successor's
+  /// fresh epochs start at (f+1)@t — never equal to a stale one. The
+  /// same argument covers dead-slot entries inside read-shared Rvc VCs.
+  /// Proved against the exact HB oracle in FastTrackTest
+  /// (RecycledSlot* cases).
   struct VarState {
     EpochT W;
     EpochT R;

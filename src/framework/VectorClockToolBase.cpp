@@ -29,6 +29,21 @@ void VectorClockToolBase::onRelease(ThreadId T, LockId M, size_t) {
 }
 
 void VectorClockToolBase::onFork(ThreadId T, ThreadId U, size_t) {
+  // Slot reincarnation (the online engine recycles joined threads' ids):
+  // begin() set every own-entry to 1 and only a join of U bumps Cu(U)
+  // further, so an own-entry above 1 here means U's slot carries a dead
+  // previous lifetime. No special handling is needed — Cu still holds the
+  // dead thread's final clock f, the predecessor's join already moved
+  // Cu(U) to f+1, and the join below layers the parent's clock on top.
+  // The fork edge thus doubles as the implicit dead-U → new-U edge: every
+  // stale epoch c@U (c ≤ f) left in write/read shadow state — including
+  // entries inside read-shared VCs — tests happens-before the new
+  // lifetime's work, and the new lifetime's own epochs start at f+1, so
+  // they never collide with the dead one's. (Races *between* the dead
+  // thread and its reincarnation are suppressed by construction, exactly
+  // as the real fork/join ordering demands.)
+  if (C[U].get(U) > 1)
+    ++clockStats().Reincarnations;
   C[U].joinWith(C[T]);
   refreshClock(U);
   C[T].inc(T);

@@ -196,9 +196,12 @@ Engine::Engine(Tool &Checker, OnlineOptions Opts)
     }
   }
 
-  // The constructing thread is the session's main thread, dense id 0.
-  ThreadId Main = Interner.allocateThreadId();
-  Binding = {this, registerThread(Main)};
+  // The constructing thread is the session's main thread, dense id 0 (a
+  // slot that is always live — the main thread is never joined).
+  {
+    std::lock_guard<std::mutex> Guard(ChannelMu);
+    Binding = {this, takeSlotLocked(/*ForeignThread=*/false)};
+  }
 
   assert(CurrentEngine.load(std::memory_order_relaxed) == nullptr &&
          "one online session at a time");
@@ -222,32 +225,151 @@ Engine::~Engine() {
     (void)finish();
 }
 
-Engine::Channel *Engine::registerThread(ThreadId Id) {
-  std::lock_guard<std::mutex> Guard(ChannelMu);
+Engine::Channel *Engine::registerThreadLocked(ThreadId Id) {
   Channels.push_back(std::make_unique<Channel>(Id, Options.RingCapacity));
   NumChannels.store(Channels.size(), std::memory_order_release);
+  ++LiveSlots;
+  PeakLiveSlots = std::max(PeakLiveSlots, LiveSlots);
   return Channels.back().get();
+}
+
+void Engine::promoteDrainedLocked() {
+  // Retiring → Free once the sequencer has drained the dead thread's
+  // ring. Ring.empty() is an acquire on both ends, so a true answer means
+  // every event of the dead incarnation has been popped — and popped
+  // events dispatch strictly before anything the successor will push,
+  // because dispatch order is ticket order and the successor's tickets
+  // all postdate the parent's join ticket.
+  size_t Out = 0;
+  for (Channel *Ch : RetiringSlots) {
+    if (Ch->Ring.empty()) {
+      Ch->State = SlotState::Free;
+      FreeSlots.push_back(Ch);
+    } else {
+      RetiringSlots[Out++] = Ch;
+    }
+  }
+  RetiringSlots.resize(Out);
+}
+
+Engine::Channel *Engine::takeSlotLocked(bool ForeignThread,
+                                        bool FreshDespiteRetiring) {
+  promoteDrainedLocked();
+  // Reincarnation first: same dense id, so the tool's VC column still
+  // holds the dead incarnation's final clock and the coming fork's join
+  // doubles as the dead→successor happens-before edge (see the class
+  // comment). Foreign threads never reincarnate a slot: without a fork
+  // event a recycled id would splice an unrelated thread into the dead
+  // thread's history with no edge to justify it — they get fresh slots
+  // (conservatively unordered) or run untracked.
+  bool MayRecycle = !ForeignThread && Options.RecycleThreadSlots;
+  if (MayRecycle && !FreeSlots.empty()) {
+    Channel *Ch = FreeSlots.back();
+    FreeSlots.pop_back();
+    Ch->State = SlotState::Live;
+    ++ThreadsRecycled;
+    ++LiveSlots;
+    PeakLiveSlots = std::max(PeakLiveSlots, LiveSlots);
+    return Ch;
+  }
+  // A retiring slot is a recycled slot in a few ring-drain microseconds:
+  // prefer waiting for it (acquireSlot's bounded loop) over widening the
+  // table, so VC width and shadow memory track *max-live* threads, not
+  // churn. Only once the caller's drain wait has expired does a fresh
+  // slot beat an undrained one.
+  if (MayRecycle && !RetiringSlots.empty() && !FreshDespiteRetiring)
+    return nullptr;
+  if (Channels.size() < Options.MaxThreads)
+    return registerThreadLocked(Interner.allocateThreadId());
+  return nullptr;
+}
+
+Engine::Channel *Engine::acquireSlot(bool ForeignThread) {
+  {
+    std::lock_guard<std::mutex> Guard(ChannelMu);
+    if (Channel *Ch = takeSlotLocked(ForeignThread))
+      return Ch;
+    if (ForeignThread || !Options.RecycleThreadSlots ||
+        RetiringSlots.empty())
+      return nullptr;
+  }
+  // A joined thread's slot is still draining. Draining is the sequencer's
+  // normal job (ring-latency fast); the one legitimate slow case is a
+  // stalled sequencer, which the supervisor recovers within its own
+  // deadline — so wait bounded rather than failing eagerly or forever.
+  Stopwatch Wait;
+  const uint64_t DeadlineNs =
+      static_cast<uint64_t>(Options.SlotDrainWaitMs) * 1000000ull;
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    std::lock_guard<std::mutex> Guard(ChannelMu);
+    if (Channel *Ch = takeSlotLocked(ForeignThread))
+      return Ch;
+    if (RetiringSlots.empty() || Wait.nanoseconds() >= DeadlineNs ||
+        Halted.load(std::memory_order_acquire))
+      // Give up on the drain: take a fresh slot if the table still has
+      // room (robustness beats width), else report exhaustion.
+      return takeSlotLocked(ForeignThread, /*FreshDespiteRetiring=*/true);
+  }
+}
+
+void Engine::noteExhaustion(const char *Who) {
+  ForksRejected.fetch_add(1, std::memory_order_relaxed);
+  // One diagnostic and one ladder request however many threads bounce:
+  // shedding a rung helps retiring rings drain faster, but no amount of
+  // degradation conjures slots, so repeating the request is noise.
+  if (ExhaustionNoted.exchange(true, std::memory_order_acq_rel))
+    return;
+  superviseNote(Severity::Warning, StatusCode::ResourceExhausted,
+                std::string(Who) + ": thread-slot table exhausted (" +
+                    std::to_string(Options.MaxThreads) +
+                    " slots all live or undrained); over-cap threads run "
+                    "untracked, their events dropped and counted");
+  if (Options.Degrade.Enabled)
+    PendingDegrade.fetch_add(1, std::memory_order_relaxed);
 }
 
 Engine::Channel *Engine::channelForCurrentThread() {
   if (Binding.E == this)
-    return static_cast<Channel *>(Binding.Ch);
+    return static_cast<Channel *>(Binding.Ch); // null = untracked binding
   // A thread the runtime has not seen: auto-register so its events are
   // analyzed rather than lost. Without a fork edge its accesses are
   // conservatively unordered with every other thread; captures containing
   // it fail the validator's fork-before-first-op rule (see class comment).
-  ThreadId Id = Interner.allocateThreadId();
-  Channel *Ch = registerThread(Id);
+  // Always a fresh slot, never a recycled one (see takeSlotLocked); on
+  // exhaustion the thread runs untracked rather than halting detection.
+  Channel *Ch = acquireSlot(/*ForeignThread=*/true);
+  if (!Ch)
+    noteExhaustion("foreign thread");
   Binding = {this, Ch};
   return Ch;
 }
 
 void Engine::bindCurrentThread(ThreadId Id) {
-  Binding = {this, registerThread(Id)};
+  // The slot was reserved (and its channel created) by forkThread(); the
+  // thread-creation edge orders this producer's ring accesses after the
+  // previous incarnation's, so the SPSC ring hand-off needs no extra
+  // synchronization.
+  std::lock_guard<std::mutex> Guard(ChannelMu);
+  for (const std::unique_ptr<Channel> &Ch : Channels)
+    if (Ch->Id == Id) {
+      Binding = {this, Ch.get()};
+      return;
+    }
+  // Hand-rolled caller with an id the engine never issued: register it so
+  // events are analyzed rather than lost (pre-recycling behavior).
+  Binding = {this, registerThreadLocked(Id)};
 }
+
+void Engine::bindCurrentThreadUntracked() { Binding = {this, nullptr}; }
 
 void Engine::emit(OpKind Kind, uint32_t Target) {
   Channel *Ch = channelForCurrentThread();
+  if (!Ch) {
+    // Untracked thread (slot exhaustion): never silent, never fatal.
+    UntrackedEvents.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   // Acquire pairs with the release store at every halt site: see the
   // Halted declaration for why relaxed would be wrong here.
   if (Halted.load(std::memory_order_acquire)) {
@@ -312,18 +434,55 @@ bool Engine::parkUntilSpace(Channel *Ch, OpKind Kind) {
   return GotSpace;
 }
 
-ThreadId Engine::forkThread() {
-  ThreadId Child = Interner.allocateThreadId();
+Status Engine::tryForkThread(ThreadId &Child) {
+  Child = NoThread;
+  Channel *Slot = acquireSlot(/*ForeignThread=*/false);
+  if (!Slot) {
+    // Max-live genuinely exceeds the cap: a structured error, a one-time
+    // supervisor diagnostic, and (when enabled) one ladder downgrade —
+    // the production answer to "out of slots", where PR 3's fixed table
+    // made the driver halt detection on the first over-cap thread id.
+    noteExhaustion("forkThread");
+    return Status::error(StatusCode::ResourceExhausted,
+                         "thread-slot table exhausted (" +
+                             std::to_string(Options.MaxThreads) +
+                             " slots all live or undrained); child will "
+                             "run untracked");
+  }
+  Child = Slot->Id;
   // Ticketed before the native thread starts, so fork(t, u) precedes
-  // every event of u in the merged order.
+  // every event of u in the merged order — and, for a recycled slot,
+  // strictly after the predecessor's join ticket, so the tool sees
+  // join(t, u) ... fork(t', u) with nothing of u in between.
   emit(OpKind::Fork, Child);
+  return Status();
+}
+
+ThreadId Engine::forkThread() {
+  ThreadId Child = NoThread;
+  (void)tryForkThread(Child);
   return Child;
 }
 
 void Engine::joinThread(ThreadId Child) {
+  if (Child == NoThread)
+    return; // untracked child: no slot, no events, no edge to emit
   // Ticketed after the native join returned, so every event of the child
   // precedes join(t, u) in the merged order.
   emit(OpKind::Join, Child);
+  if (!Options.RecycleThreadSlots)
+    return;
+  // Retire the slot. The ring may still hold undrained events (they all
+  // predate the join ticket just drawn); the slot becomes reusable only
+  // once the sequencer has emptied it (promoteDrainedLocked).
+  std::lock_guard<std::mutex> Guard(ChannelMu);
+  for (const std::unique_ptr<Channel> &Ch : Channels)
+    if (Ch->Id == Child && Ch->State == SlotState::Live) {
+      Ch->State = SlotState::Retiring;
+      RetiringSlots.push_back(Ch.get());
+      --LiveSlots;
+      break;
+    }
 }
 
 void Engine::noteMaxBacklog(uint64_t Backlog) {
@@ -1183,7 +1342,22 @@ OnlineReport Engine::finish() {
       if ((PH | OV | PK) != 0)
         Report.PerThreadDrops.push_back({Ch->Id, PH, OV, PK});
     }
+    // Lifecycle telemetry: with recycling, SlotsAllocated is the width
+    // the tool actually paid for (= Interner's dense-id high-water mark),
+    // bounded by max-live rather than total threads forked.
+    Report.SlotsAllocated = static_cast<unsigned>(Channels.size());
+    Report.PeakLiveSlots = PeakLiveSlots;
+    Report.ThreadsRecycled = ThreadsRecycled;
   }
+  Report.ForksRejected = ForksRejected.load(std::memory_order_relaxed);
+  Report.UntrackedEvents = UntrackedEvents.load(std::memory_order_relaxed);
+  if (Report.ForksRejected != 0)
+    Report.Diags.push_back(
+        {StatusCode::ResourceExhausted, Severity::Warning, 0, NoOpIndex,
+         std::to_string(Report.ForksRejected) +
+             " thread(s) ran untracked after slot-table exhaustion; " +
+             std::to_string(Report.UntrackedEvents) +
+             " of their event(s) dropped (counted, never silent)"});
   if (Report.DroppedPostHalt != 0)
     // One-shot: a single diagnostic however many events were lost; the
     // per-thread accounting lives in the counters above.
@@ -1206,6 +1380,9 @@ OnlineReport Engine::finish() {
     // legitimate degraded capture, not a malformed one.
     VOpts.RequireThreadOps =
         Report.AccessesShed == 0 && Report.DroppedOverload == 0;
+    // Recycled slots legally re-fork a joined tid; the validator knows
+    // the reincarnation protocol through this option.
+    VOpts.AllowTidReuse = Options.RecycleThreadSlots;
     for (Diagnostic &D : validateTrace(Capture, VOpts))
       Report.Diags.push_back(std::move(D));
   }

@@ -88,6 +88,25 @@
 /// capture containing such a thread will fail TraceValidator's
 /// fork-before-first-op rule, so instrument thread creation too).
 ///
+/// **Thread lifecycle.** Dense thread ids are *slots*, not threads: once
+/// a thread is joined and the sequencer has drained its ring, its slot
+/// (channel + vector-clock column) is retired and the next forkThread()
+/// reincarnates it under the same id (OnlineOptions::RecycleThreadSlots).
+/// Memory and VC width therefore track the *max-live* thread count, not
+/// total-ever — a thread-pool churning 10k workers through 8 slots costs
+/// 8 columns. The clock algebra needs no special case: the dead thread's
+/// final clock survives in its slot's VC entry, join already bumped the
+/// slot's own clock strictly past it, and fork joins the parent's clock
+/// on top — so the fork edge doubles as an implicit dead-thread→successor
+/// edge and every stale epoch `c@t` still compares correctly (proved
+/// against the HB oracle in the FastTrack suite; the full protocol is in
+/// docs/RUNTIME.md). When max-live genuinely exceeds MaxThreads, fork
+/// degrades instead of dying: tryForkThread() returns a structured
+/// ResourceExhausted Status, the child runs *untracked* (its events are
+/// dropped and counted, never silently), a supervisor diagnostic is
+/// attached, and one ladder downgrade is requested so the detector sheds
+/// load rather than the application crashing.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FASTTRACK_RUNTIME_ENGINE_H
@@ -211,6 +230,20 @@ struct OnlineOptions {
   /// batch size.
   size_t ShardRingCapacity = 0;
 
+  /// Reuse the slot (dense id + channel + VC column) of a fully joined
+  /// thread for the next fork, once the sequencer has drained the dead
+  /// thread's ring. On: shadow memory and VC width track max-live
+  /// threads, so unbounded churn fits in a bounded slot table. Off
+  /// restores PR 3 behavior (every fork consumes a fresh id forever).
+  bool RecycleThreadSlots = true;
+
+  /// When every slot is live or still draining, forkThread() waits up to
+  /// this long for a retiring slot's ring to empty before declaring the
+  /// table exhausted. Generous by default: the wait only triggers at the
+  /// capacity edge, and a supervisor-recovered sequencer stall (the one
+  /// legitimate cause of a slow drain) clears within StallDeadlineMs.
+  unsigned SlotDrainWaitMs = 1000;
+
   /// Strip redundant re-entrant lock events, as replay() does.
   bool FilterReentrantLocks = true;
 
@@ -287,6 +320,21 @@ struct OnlineReport {
                               ///< non-ShardableTool fallback).
   unsigned ShardRestarts = 0; ///< Shard-worker watchdog recoveries,
                               ///< summed across shards.
+
+  // --- thread-lifecycle telemetry (slot recycling) ---
+  unsigned SlotsAllocated = 0; ///< Distinct slots ever created — the VC
+                               ///< width the tool actually paid for. With
+                               ///< recycling this is the peak *live*
+                               ///< count, not the total thread count.
+  unsigned PeakLiveSlots = 0;  ///< Max simultaneously live slots.
+  uint64_t ThreadsRecycled = 0; ///< Forks served by reincarnating a
+                                ///< retired slot.
+  uint64_t ForksRejected = 0;  ///< Slot requests (forks and foreign-thread
+                               ///< auto-registrations) refused for
+                               ///< exhaustion; each such thread ran
+                               ///< untracked.
+  uint64_t UntrackedEvents = 0; ///< Events dropped (and counted here)
+                                ///< because their thread had no slot.
 };
 
 /// One online detection session over one Tool. Construct it, run
@@ -335,27 +383,66 @@ public:
   /// after a halt are dropped and counted, never silently.
   void emit(OpKind Kind, uint32_t Target);
 
-  /// Allocates a dense id for a child thread about to start and emits
+  /// Sentinel returned by forkThread() when the slot table is exhausted:
+  /// the child has no dense id and must run untracked (bind with
+  /// bindCurrentThreadUntracked(); its events are dropped and counted).
+  static constexpr ThreadId NoThread = ~0u;
+
+  /// Allocates a slot for a child thread about to start and emits
   /// fork(current, child). Call before the native thread launches so the
-  /// fork precedes the child's first event in ticket order.
+  /// fork precedes the child's first event in ticket order. Prefers the
+  /// drained slot of a joined thread (RecycleThreadSlots); falls back to
+  /// a fresh slot under MaxThreads; otherwise waits up to SlotDrainWaitMs
+  /// for a retiring ring to drain. On genuine exhaustion (max-live over
+  /// the cap) sets \p Child = NoThread and returns ResourceExhausted —
+  /// with a one-time supervisor diagnostic and (when the ladder is
+  /// enabled) one requested rung downgrade. Detection is never halted and
+  /// the application never aborted by running out of slots.
+  Status tryForkThread(ThreadId &Child);
+
+  /// tryForkThread() for callers that only need the id: returns NoThread
+  /// on exhaustion (the Instrument.h Thread shim runs such children
+  /// untracked).
   ThreadId forkThread();
 
-  /// Emits join(current, child). Call after the native join returns so
-  /// every child event precedes it in ticket order.
+  /// Emits join(current, child) and retires the child's slot for reuse.
+  /// Call after the native join returns so every child event precedes it
+  /// in ticket order. NoThread (an untracked child) is a no-op.
   void joinThread(ThreadId Child);
 
-  /// Binds the calling thread to dense id \p Id (child bootstrap).
+  /// Binds the calling thread to dense id \p Id (child bootstrap). The
+  /// slot was reserved by forkThread(); the native-thread creation edge
+  /// orders this incarnation's ring accesses after the dead previous
+  /// incarnation's (producer hand-off: dead producer → native join →
+  /// parent fork → native create → new producer).
   void bindCurrentThread(ThreadId Id);
 
+  /// Binds the calling thread to *no* slot: every event it emits is
+  /// dropped and counted (OnlineReport::UntrackedEvents). The bootstrap
+  /// for children forked after slot exhaustion.
+  void bindCurrentThreadUntracked();
+
 private:
-  /// One registered thread: its dense id, its event ring, and its drop
+  /// Where a slot is in its lifecycle. Transitions (always under
+  /// ChannelMu): Live → Retiring at joinThread(), Retiring → Free once
+  /// the sequencer has drained the ring (checked lazily at the next
+  /// fork), Free → Live at reincarnation — under the *same* dense id, so
+  /// the tool's VC column carries the dead incarnation's final clock into
+  /// the fork's join (the implicit dead→successor HB edge).
+  enum class SlotState : uint8_t { Live, Retiring, Free };
+
+  /// One registered slot: its dense id, its event ring, and its drop
   /// accounting (all counters relaxed; they are aggregated only after
-  /// every producer has been joined).
+  /// every producer has been joined — a recycled slot's counters span
+  /// every incarnation). The Channel object itself is never destroyed or
+  /// moved before teardown, whatever its SlotState, so the raw pointers
+  /// held by TLS bindings and the sequencer snapshot stay valid.
   struct Channel {
     explicit Channel(ThreadId Id, size_t RingCapacity)
         : Id(Id), Ring(RingCapacity) {}
     ThreadId Id;
     EventRing Ring;
+    SlotState State = SlotState::Live; ///< Guarded by ChannelMu.
     std::atomic<uint64_t> DroppedPostHalt{0};
     std::atomic<uint64_t> DroppedOverload{0};
     std::atomic<uint64_t> Parks{0};
@@ -367,7 +454,15 @@ private:
   struct Shard;
 
   Channel *channelForCurrentThread();
-  Channel *registerThread(ThreadId Id);
+  Channel *registerThreadLocked(ThreadId Id);
+  Channel *acquireSlot(bool ForeignThread);
+  /// One allocation attempt under ChannelMu: recycled slot first, then —
+  /// only when no retiring slot is about to drain, or the caller's drain
+  /// wait already expired (\p FreshDespiteRetiring) — a fresh slot under
+  /// MaxThreads. Null means "wait or give up".
+  Channel *takeSlotLocked(bool ForeignThread, bool FreshDespiteRetiring = false);
+  void promoteDrainedLocked();
+  void noteExhaustion(const char *Who);
   bool parkUntilSpace(Channel *Ch, OpKind Kind);
   void sequencerLoop(uint64_t Epoch);
   void routerLoop(uint64_t Epoch);
@@ -411,6 +506,19 @@ private:
   std::mutex ChannelMu;
   std::vector<std::unique_ptr<Channel>> Channels;
   std::atomic<size_t> NumChannels{0};
+
+  // --- slot-lifecycle state (all guarded by ChannelMu; fork/join are
+  // cold paths, so a mutex is fine) ---
+  std::vector<Channel *> FreeSlots;     ///< Drained, ready to reincarnate.
+  std::vector<Channel *> RetiringSlots; ///< Joined, ring not yet drained.
+  unsigned LiveSlots = 0;
+  unsigned PeakLiveSlots = 0;
+  uint64_t ThreadsRecycled = 0;
+  std::atomic<uint64_t> ForksRejected{0};
+  std::atomic<uint64_t> UntrackedEvents{0};
+  std::atomic<bool> ExhaustionNoted{false}; ///< One diagnostic + one
+                                            ///< ladder request however
+                                            ///< many forks bounce.
 
   std::atomic<uint64_t> Seq{0};     ///< Next ticket to hand out.
   std::atomic<uint64_t> NextSeq{0}; ///< The merge watermark: next ticket

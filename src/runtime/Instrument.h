@@ -122,7 +122,13 @@ private:
 /// std::thread that reports fork/join edges. The fork event is ticketed
 /// before the native thread starts; the join event after the native join
 /// returns — bracketing every child event in the merged order, which is
-/// exactly the feasibility constraint TraceValidator enforces.
+/// exactly the feasibility constraint TraceValidator enforces. The dense
+/// id is a recycled *slot* (see Engine): a pool churning thousands of
+/// short-lived Threads reuses the slots of the ones already joined. When
+/// the slot table is exhausted (max-live over OnlineOptions::MaxThreads),
+/// the child still runs — untracked, its events dropped and counted, with
+/// id() == Engine::NoThread — so running out of detector capacity never
+/// aborts the application.
 class Thread {
 public:
   Thread() = default;
@@ -135,10 +141,17 @@ public:
       return;
     }
     Child = E->forkThread();
-    HasChild = true;
+    HasChild = Child != Engine::NoThread;
     Impl = std::thread(
         [E, Id = Child](std::decay_t<Fn> Body, std::decay_t<Args>... Rest) {
-          E->bindCurrentThread(Id);
+          // Bind before the body so the child's first event lands in its
+          // own ring; untracked children bind to no slot so their events
+          // are counted as dropped rather than auto-registering a foreign
+          // thread (which would double-spend the exhausted table).
+          if (Id != Engine::NoThread)
+            E->bindCurrentThread(Id);
+          else
+            E->bindCurrentThreadUntracked();
           std::invoke(std::move(Body), std::move(Rest)...);
         },
         std::forward<Fn>(F), std::forward<Args>(A)...);
@@ -156,6 +169,10 @@ public:
   }
 
   bool joinable() const { return Impl.joinable(); }
+
+  /// The child's slot id, or Engine::NoThread for an untracked child
+  /// (forked after slot exhaustion). Note recycled slots mean two
+  /// Threads whose lifetimes do not overlap may report the same id.
   ThreadId id() const { return Child; }
 
 private:

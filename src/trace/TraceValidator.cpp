@@ -106,6 +106,16 @@ void ValidatorState::visit(size_t Index, const Operation &Op) {
       report(Index, "thread " + std::to_string(U) + " forks itself");
       break;
     }
+    if (Phase[U] == ThreadPhase::Joined && Options.AllowTidReuse) {
+      // Slot reincarnation: a joined tid is forked again as a fresh
+      // lifetime. Rule-4 bookkeeping restarts from the current count, so
+      // "no operation between fork and join" is enforced per incarnation;
+      // checkActor still rejects any op of U in the joined gap between
+      // the two lifetimes.
+      Phase[U] = ThreadPhase::Running;
+      OpCountAtFork[U] = OpCount[U];
+      break;
+    }
     if (Phase[U] != ThreadPhase::Unstarted) {
       report(Index, "thread " + std::to_string(U) + " forked twice");
       break;

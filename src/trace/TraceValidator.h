@@ -50,6 +50,16 @@ struct TraceValidatorOptions {
   /// thread while its fork/join spine is always delivered — so the
   /// runtime validates shed captures with this off.
   bool RequireThreadOps = true;
+
+  /// Allow fork(t,u) of a tid u that has already been joined: the online
+  /// engine recycles the slot of a fully joined thread, so one dense id
+  /// legally carries several non-overlapping thread lifetimes
+  /// (fork ... join, fork ... join, ...). Each reincarnation is validated
+  /// as a fresh lifetime — rules (3) and (4) apply per incarnation, and a
+  /// tid acting after its join but *before* its next fork is still a
+  /// violation. Off (the default), a joined tid may never be forked
+  /// again.
+  bool AllowTidReuse = false;
 };
 
 /// Validates the constraints of Section 2.1:
@@ -57,8 +67,9 @@ struct TraceValidatorOptions {
 ///  (2) no thread releases a lock it did not previously acquire,
 ///  (3) no operations of thread u precede fork(t,u) or follow join(v,u),
 ///  (4) at least one operation of u occurs between fork(t,u) and join(v,u).
-/// Plus: fork/join sanity (no self-fork, no double fork, join only of
-/// forked threads) and barrier sets containing only live threads.
+/// Plus: fork/join sanity (no self-fork, no double fork — unless the tid
+/// was joined and AllowTidReuse is on, join only of forked threads) and
+/// barrier sets containing only live threads.
 std::vector<Diagnostic>
 validateTrace(const Trace &T,
               const TraceValidatorOptions &Options = TraceValidatorOptions());

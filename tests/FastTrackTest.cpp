@@ -1,7 +1,9 @@
 //===--- FastTrackTest.cpp - the FastTrack algorithm, rule by rule --------===//
 
 #include "core/FastTrack.h"
+#include "clock/ClockStats.h"
 #include "framework/Replay.h"
+#include "hb/HappensBefore.h"
 #include "trace/TraceBuilder.h"
 
 #include <gtest/gtest.h>
@@ -372,4 +374,98 @@ TEST(FastTrack, RuleStatsTotalsMatchAccessCounts) {
   FtRun R(T);
   EXPECT_EQ(R.rules().reads(), 3u);
   EXPECT_EQ(R.rules().writes(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Recycled thread slots (online engine reuses joined threads' dense ids).
+// Each case is cross-checked against the exact happens-before oracle to
+// prove the stale-epoch comparisons — including dead-slot entries inside
+// read-shared VCs — match the reference relation.
+//===----------------------------------------------------------------------===//
+
+TEST(FastTrack, RecycledSlotStaleWriteEpochIsOrdered) {
+  // Tid 1 lives twice: write, join, then the reincarnation writes the
+  // same variable. The first lifetime's epoch c@1 is stale when the
+  // second write tests it; the reincarnating fork's join edge makes it
+  // ordered, so no race.
+  Trace T = TraceBuilder()
+                .fork(0, 1) // 0
+                .wr(1, 0)   // 1: first lifetime's write
+                .join(0, 1) // 2
+                .fork(0, 1) // 3: reincarnation of tid 1
+                .wr(1, 0)   // 4: second lifetime's write
+                .take();
+  ClockStats Before = clockStats();
+  FtRun R(T);
+  ClockStats Delta = clockStats() - Before;
+  EXPECT_EQ(R.warningCount(), 0u);
+  EXPECT_EQ(Delta.Reincarnations, 1u);
+  HappensBefore Oracle(T);
+  EXPECT_TRUE(Oracle.happensBefore(1, 4));
+}
+
+TEST(FastTrack, RecycledSlotDoesNotMaskRacesWithLiveThreads) {
+  // Recycling must not grant the reincarnation any ordering it does not
+  // have: thread 2 was forked before tid 1's second lifetime and never
+  // synchronized with it, so new-1's write races with 2's read.
+  Trace T = TraceBuilder()
+                .fork(0, 1) // 0
+                .wr(1, 0)   // 1: first lifetime's write
+                .join(0, 1) // 2
+                .fork(0, 2) // 3
+                .fork(0, 1) // 4: reincarnation of tid 1
+                .wr(1, 0)   // 5: second lifetime's write
+                .rd(2, 0)   // 6: concurrent with op 5
+                .take();
+  FtRun R(T);
+  ASSERT_EQ(R.warningCount(), 1u);
+  EXPECT_EQ(R.Tool.warnings()[0].OpIndex, 6u);
+  EXPECT_EQ(R.Tool.warnings()[0].CurrentThread, 2u);
+  EXPECT_EQ(R.Tool.warnings()[0].PriorThread, 1u);
+  HappensBefore Oracle(T);
+  EXPECT_TRUE(Oracle.concurrent(5, 6));  // the reported race is real
+  EXPECT_TRUE(Oracle.happensBefore(1, 6)); // the stale write is not racy
+}
+
+TEST(FastTrack, RecycledSlotEntryInsideReadSharedVC) {
+  // The read-shared VC holds an entry for dead tid 1 when new-1 writes.
+  // The dead entry is ordered (via join + reincarnating fork); the live
+  // concurrent reader 2 is not, and must be the one reported.
+  Trace T = TraceBuilder()
+                .wr(0, 0)   // 0
+                .fork(0, 1) // 1
+                .fork(0, 2) // 2
+                .rd(1, 0)   // 3: first lifetime's read (inflates with 4)
+                .rd(2, 0)   // 4: concurrent read → READ_SHARED
+                .join(0, 1) // 5
+                .fork(0, 1) // 6: reincarnation of tid 1
+                .wr(1, 0)   // 7: tests the shared VC
+                .take();
+  FtRun R(T);
+  ASSERT_EQ(R.warningCount(), 1u);
+  EXPECT_EQ(R.Tool.warnings()[0].OpIndex, 7u);
+  EXPECT_EQ(R.Tool.warnings()[0].PriorThread, 2u); // the live reader, not dead 1
+  EXPECT_EQ(R.rules().WriteShared, 1u);
+  HappensBefore Oracle(T);
+  EXPECT_TRUE(Oracle.concurrent(4, 7));   // reader 2 really is concurrent
+  EXPECT_TRUE(Oracle.happensBefore(3, 7)); // dead lifetime's read is ordered
+}
+
+TEST(FastTrack, RecycledSlotManyIncarnations) {
+  // Ten sequential lifetimes under one tid, all writing the same
+  // variable: every epoch left behind is stale for the next lifetime and
+  // every comparison must come out ordered.
+  TraceBuilder B;
+  for (int I = 0; I != 10; ++I)
+    B.fork(0, 1).wr(1, 0).join(0, 1);
+  Trace T = B.take();
+  ClockStats Before = clockStats();
+  FtRun R(T);
+  ClockStats Delta = clockStats() - Before;
+  EXPECT_EQ(R.warningCount(), 0u);
+  EXPECT_EQ(Delta.Reincarnations, 9u);
+  HappensBefore Oracle(T);
+  // Each lifetime's write happens before the next lifetime's.
+  for (size_t I = 1; I + 3 < T.size(); I += 3)
+    EXPECT_TRUE(Oracle.happensBefore(I, I + 3));
 }

@@ -23,6 +23,7 @@
 #include "support/ByteStream.h"
 #include "support/MemoryTracker.h"
 #include "trace/RandomTrace.h"
+#include "trace/TraceBuilder.h"
 
 #include <gtest/gtest.h>
 
@@ -472,4 +473,51 @@ TEST(Watchdog, HealthyRunStaysSharded) {
   EXPECT_TRUE(Result.Sharded);
   EXPECT_TRUE(Result.Diags.empty());
   expectSameWarnings(Reference.warnings(), Tool.warnings(), "healthy");
+}
+
+TEST(Checkpoint, TidReuseTraceResumesBitIdentical) {
+  // Crash-and-resume over a trace whose tids carry several lifetimes
+  // (the online engine's recycled slots, replayed offline): the clock
+  // snapshot must carry each slot's dead-lifetime clock across the
+  // crash, or the resumed replay would mis-order stale epochs against
+  // later incarnations. The bystander thread 3 is concurrent with every
+  // lifetime, so genuine races cross the checkpoint boundary too.
+  TraceBuilder B;
+  B.fork(0, 3);
+  for (int I = 0; I != 30; ++I) {
+    B.fork(0, 1).wr(1, 0).rd(1, 1).join(0, 1);
+    if (I % 5 == 0)
+      B.wr(3, 0); // no edge to tid 1's incarnations: races
+    B.fork(0, 2).rd(2, 1).wr(2, 1).join(0, 2);
+  }
+  B.join(0, 3);
+  Trace T = B.take();
+
+  FastTrack Reference;
+  ReplayResult Uninterrupted = replay(T, Reference);
+  EXPECT_FALSE(Reference.warnings().empty());
+
+  const std::string Path = "fault_tid_reuse.ckpt";
+  std::remove(Path.c_str());
+  CheckpointOptions Ck;
+  Ck.Path = Path;
+  Ck.EveryOps = 32; // lands mid-incarnation repeatedly
+
+  CheckpointOptions Crash = Ck;
+  Crash.InjectCrashAfterOps = 120;
+  FastTrack Victim;
+  CheckpointedReplayResult Killed = replayCheckpointed(T, Victim, {}, Crash);
+  EXPECT_EQ(Killed.St.code(), StatusCode::Cancelled);
+  ASSERT_TRUE(fileExists(Path));
+
+  FastTrack Survivor;
+  CheckpointedReplayResult Resumed = replayCheckpointed(T, Survivor, {}, Ck);
+  EXPECT_TRUE(Resumed.St.ok());
+  EXPECT_TRUE(Resumed.Resumed);
+  EXPECT_EQ(Resumed.Result.Events, Uninterrupted.Events);
+  expectSameWarnings(Reference.warnings(), Survivor.warnings(), "tid reuse");
+  expectSameRuleStats(Reference.ruleStats(), Survivor.ruleStats(),
+                      "tid reuse");
+  EXPECT_EQ(shadowImage(Reference), shadowImage(Survivor));
+  EXPECT_FALSE(fileExists(Path));
 }

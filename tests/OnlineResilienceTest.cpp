@@ -332,3 +332,63 @@ TEST(OnlineResilience, UncontainedToolFaultHaltsAndCountsEveryDrop) {
                std::string::npos;
   EXPECT_TRUE(OneShot);
 }
+
+TEST(OnlineResilience, JoinWhileRingNonemptyStallsSlotReuseNotCorrectness) {
+  // A thread is joined while the sequencer — wedged by fault injection —
+  // still holds undrained events in its ring. The slot must retire but
+  // NOT reincarnate until the ring is empty: the next fork waits on the
+  // drain, the watchdog recovers the sequencer, and only then does the
+  // successor take the slot. Nothing is lost and nothing is reordered.
+  rt::FaultPlan Faults;
+  Faults.StallAtTicket = 2; // the first child's second write
+  Faults.StallsArmed.store(1);
+
+  rt::OnlineOptions Options;
+  Options.Faults = &Faults;
+  Options.MaxThreads = 2; // main + one recyclable child slot
+  Options.SlotDrainWaitMs = 5000;
+  Options.Supervise.TickMs = 5;
+  Options.Supervise.StallDeadlineMs = 30;
+
+  FastTrack Detector;
+  rt::Shared<int> X;
+  rt::Engine Engine(Detector, Options);
+
+  rt::Thread First([&X] {
+    for (int I = 0; I != 3; ++I)
+      FT_WRITE(X, I); // tickets 1..3; the sequencer wedges merging 2
+  });
+  ThreadId FirstId = First.id();
+  First.join(); // retires the slot with tickets 2..3 still in its ring
+
+  // Only one child slot exists and it is still draining: this fork blocks
+  // on the drain until the supervisor abandons and restarts the wedged
+  // sequencer, then reincarnates the same slot.
+  rt::Thread Second([&X] {
+    for (int I = 3; I != 6; ++I)
+      FT_WRITE(X, I);
+  });
+  ThreadId SecondId = Second.id();
+  Second.join();
+  rt::OnlineReport Report = Engine.finish();
+
+  EXPECT_NE(FirstId, rt::Engine::NoThread);
+  EXPECT_EQ(SecondId, FirstId); // same slot, next incarnation
+  EXPECT_FALSE(Report.Halted);
+  EXPECT_EQ(Report.SequencerRestarts, 1u);
+  EXPECT_EQ(Report.SlotsAllocated, 2u);
+  EXPECT_EQ(Report.ThreadsRecycled, 1u);
+  EXPECT_EQ(Report.ForksRejected, 0u);
+  EXPECT_EQ(Report.EventsCaptured, 10u); // 2 × (fork + 3 writes + join)
+  EXPECT_EQ(Report.DroppedOverload, 0u);
+  EXPECT_EQ(Report.NumWarnings, 0u); // all writes chain through the joins
+  EXPECT_TRUE(anyDiagContains(Report.Diags, "sequencer stalled"));
+  EXPECT_TRUE(anyDiagContains(Report.Diags, "sequencer restarted"));
+
+  TraceValidatorOptions VOpts;
+  VOpts.AllowTidReuse = true;
+  EXPECT_TRUE(isFeasible(Report.Captured, VOpts));
+  FastTrack Offline;
+  replay(Report.Captured, Offline);
+  expectSameWarnings(Detector.warnings(), Offline.warnings());
+}

@@ -416,3 +416,47 @@ TEST(OnlineSharding, WatermarkResumesPerBatchWhateverTheBatchSize) {
     }
   }
 }
+
+TEST(OnlineSharding, ThreadChurnIsEquivalentAcrossShardCounts) {
+  // Slot recycling happens in the router's admission layer, upstream of
+  // the shard split: every shard sees the same fork/join spine whichever
+  // incarnation a tid is in, so churn through a tiny slot table must be
+  // invisible in the results at every shard count.
+  constexpr unsigned Churn = 50;
+  std::vector<std::set<VarId>> PerShardCount;
+  for (unsigned Shards : {1u, 2u, 4u}) {
+    FastTrack Detector;
+    std::vector<rt::Shared<int>> Vars(Churn);
+    rt::OnlineOptions Options;
+    Options.Shards = Shards;
+    Options.MaxThreads = 8;
+    Options.Supervise.Enabled = false;
+
+    rt::Engine Engine(Detector, Options);
+    for (unsigned I = 0; I != Churn; ++I) {
+      rt::Thread T([&Vars, I] { FT_WRITE(Vars[I], 1); });
+      FT_WRITE(Vars[I], 2); // concurrent with the child: always a race
+      T.join();
+    }
+    rt::OnlineReport Report = Engine.finish();
+
+    EXPECT_FALSE(Report.Halted);
+    EXPECT_EQ(Report.Shards, Shards);
+    for (const Diagnostic &D : Report.Diags)
+      ADD_FAILURE() << "Shards=" << Shards << ": " << toString(D);
+    EXPECT_EQ(Report.SlotsAllocated, 2u);
+    EXPECT_EQ(Report.ThreadsRecycled, static_cast<uint64_t>(Churn - 1));
+    EXPECT_EQ(Detector.warnings().size(), Churn);
+
+    TraceValidatorOptions VOpts;
+    VOpts.AllowTidReuse = true;
+    EXPECT_TRUE(isFeasible(Report.Captured, VOpts));
+    FastTrack Offline;
+    replay(Report.Captured, Offline);
+    expectSameWarnings(Detector.warnings(), Offline.warnings());
+    PerShardCount.push_back(warnedVars(Detector.warnings()));
+  }
+  ASSERT_EQ(PerShardCount.size(), 3u);
+  EXPECT_EQ(PerShardCount[0], PerShardCount[1]);
+  EXPECT_EQ(PerShardCount[0], PerShardCount[2]);
+}

@@ -16,14 +16,17 @@
 #include "framework/Replay.h"
 #include "runtime/FaultPlan.h"
 #include "runtime/Instrument.h"
+#include "support/MemoryTracker.h"
 #include "trace/TraceBuilder.h"
 #include "trace/TraceIO.h"
 #include "trace/TraceValidator.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 using namespace ft;
@@ -705,4 +708,251 @@ TEST(OnlineEngine, EraserRunsOnlineUnchanged) {
   Eraser Offline;
   replay(Report.Captured, Offline);
   expectSameWarnings(Detector.warnings(), Offline.warnings());
+}
+
+//===----------------------------------------------------------------------===//
+// Thread churn: recycled slots, bounded shadow lifecycle, graceful
+// exhaustion (the unbounded-churn robustness contract)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Validator options for captures of sessions that recycle thread slots:
+/// one dense id legally carries several non-overlapping lifetimes.
+TraceValidatorOptions tidReuse() {
+  TraceValidatorOptions O;
+  O.AllowTidReuse = true;
+  return O;
+}
+
+/// The churn suite's exact-equivalence check (checkedSession validates
+/// with the default options, which reject tid reuse by design).
+void expectOfflineEquivalent(const FastTrack &Online, const Trace &Captured) {
+  FastTrack Offline;
+  replay(Captured, Offline);
+  expectSameWarnings(Online.warnings(), Offline.warnings());
+}
+
+} // namespace
+
+TEST(ThreadChurn, SequentialChurnRecyclesSlots) {
+  // 200 short-lived threads through an 8-slot table: every fork after the
+  // first reincarnates the drained slot of its joined predecessor, so the
+  // session pays for 2 slots (main + one live child), not 201.
+  constexpr int Churn = 200;
+  FastTrack Detector;
+  rt::OnlineOptions Options;
+  Options.MaxThreads = 8;
+  Options.Degrade.Enabled = false;
+  Options.Supervise.Enabled = false;
+  rt::Shared<int> X;
+
+  rt::Engine Engine(Detector, Options);
+  for (int I = 0; I != Churn; ++I) {
+    rt::Thread T([&X, I] { FT_WRITE(X, I); });
+    T.join(); // join -> next fork: writes chain through main, race-free
+  }
+  rt::OnlineReport Report = Engine.finish();
+
+  EXPECT_FALSE(Report.Halted);
+  for (const Diagnostic &D : Report.Diags)
+    ADD_FAILURE() << toString(D);
+  EXPECT_EQ(Report.NumWarnings, 0u);
+  EXPECT_EQ(Report.SlotsAllocated, 2u);
+  EXPECT_EQ(Report.PeakLiveSlots, 2u);
+  EXPECT_EQ(Report.ThreadsRecycled, static_cast<uint64_t>(Churn - 1));
+  EXPECT_EQ(Report.ForksRejected, 0u);
+  EXPECT_EQ(Report.UntrackedEvents, 0u);
+  // The capture genuinely reuses tids: feasible only under AllowTidReuse.
+  EXPECT_TRUE(isFeasible(Report.Captured, tidReuse()));
+  EXPECT_FALSE(isFeasible(Report.Captured));
+  expectOfflineEquivalent(Detector, Report.Captured);
+}
+
+TEST(ThreadChurn, RecyclingOffPreservesFreshIdBehavior) {
+  // The PR 3 behavior is still available: with recycling pinned off each
+  // fork consumes a fresh slot forever.
+  FastTrack Detector;
+  rt::OnlineOptions Options;
+  Options.RecycleThreadSlots = false;
+  Options.Degrade.Enabled = false;
+  Options.Supervise.Enabled = false;
+  rt::Shared<int> X;
+
+  rt::Engine Engine(Detector, Options);
+  for (int I = 0; I != 5; ++I) {
+    rt::Thread T([&X, I] { FT_WRITE(X, I); });
+    T.join();
+  }
+  rt::OnlineReport Report = Engine.finish();
+
+  EXPECT_EQ(Report.SlotsAllocated, 6u); // main + 5 children
+  EXPECT_EQ(Report.ThreadsRecycled, 0u);
+  EXPECT_TRUE(isFeasible(Report.Captured)); // no tid ever reused
+  expectOfflineEquivalent(Detector, Report.Captured);
+}
+
+TEST(ThreadChurn, ForeignThreadsGetFreshSlotsNeverRecycled) {
+  // A foreign (non-runtime) thread has no fork edge, so splicing it into
+  // a dead thread's slot would invent ordering: it must always take a
+  // fresh slot even when drained slots are free.
+  FastTrack Detector;
+  rt::OnlineOptions Options;
+  Options.MaxThreads = 4;
+  Options.ValidateCapture = false; // foreign thread: no fork edge
+  Options.Degrade.Enabled = false;
+  Options.Supervise.Enabled = false;
+  rt::Shared<int> X, Y;
+
+  rt::Engine Engine(Detector, Options);
+  rt::Thread T([&X] { FT_WRITE(X, 1); });
+  T.join(); // slot 1 retires and drains
+  std::thread Foreign([&Y] { FT_WRITE(Y, 2); });
+  Foreign.join();
+  rt::OnlineReport Report = Engine.finish();
+
+  EXPECT_EQ(Report.SlotsAllocated, 3u); // main, child, foreign
+  EXPECT_EQ(Report.ThreadsRecycled, 0u);
+  EXPECT_EQ(Report.ForksRejected, 0u);
+}
+
+TEST(ThreadChurn, SlotExhaustionDegradesGracefully) {
+  // 8 slots, all live (main + 7 held children): the 8th child must not
+  // abort or halt detection — it runs untracked, the rejection surfaces
+  // as a structured Status plus one supervisor diagnostic, and once the
+  // held children are joined the next fork is tracked again.
+  FastTrack Detector;
+  rt::OnlineOptions Options;
+  Options.MaxThreads = 8;
+  Options.Degrade.Enabled = false;
+  Options.Supervise.Enabled = false;
+  std::vector<rt::Shared<int>> Vars(9);
+
+  rt::Engine Engine(Detector, Options);
+  std::atomic<bool> Release{false};
+  std::atomic<int> Started{0};
+  std::vector<rt::Thread> Held;
+  for (int I = 0; I != 7; ++I)
+    Held.emplace_back([&, I] {
+      FT_WRITE(Vars[I], I);
+      Started.fetch_add(1);
+      while (!Release.load())
+        std::this_thread::yield();
+    });
+  while (Started.load() != 7)
+    std::this_thread::yield();
+
+  // All 8 slots live: a direct fork request reports exhaustion without
+  // emitting anything.
+  ThreadId Direct = 0;
+  Status S = Engine.tryForkThread(Direct);
+  EXPECT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), StatusCode::ResourceExhausted);
+  EXPECT_EQ(Direct, rt::Engine::NoThread);
+
+  // The shim path: the child still runs, untracked.
+  std::atomic<bool> UntrackedRan{false};
+  rt::Thread Over([&] {
+    FT_WRITE(Vars[7], 7); // dropped and counted, never delivered
+    UntrackedRan.store(true);
+  });
+  EXPECT_EQ(Over.id(), rt::Engine::NoThread);
+  Over.join();
+  EXPECT_TRUE(UntrackedRan.load());
+
+  Release.store(true);
+  for (rt::Thread &T : Held)
+    T.join();
+
+  // With the table drained, churn resumes on recycled slots.
+  rt::Thread After([&] { FT_WRITE(Vars[8], 8); });
+  After.join();
+  EXPECT_NE(After.id(), rt::Engine::NoThread);
+
+  rt::OnlineReport Report = Engine.finish();
+  EXPECT_FALSE(Report.Halted);
+  EXPECT_EQ(Report.SlotsAllocated, 8u);
+  EXPECT_EQ(Report.PeakLiveSlots, 8u);
+  EXPECT_EQ(Report.ForksRejected, 2u); // tryForkThread + the Over shim
+  EXPECT_EQ(Report.UntrackedEvents, 1u);
+  EXPECT_GE(Report.ThreadsRecycled, 1u);
+  bool SawExhaustion = false;
+  for (const Diagnostic &D : Report.Diags)
+    SawExhaustion |= D.Code == StatusCode::ResourceExhausted &&
+                     D.Message.find("exhausted") != std::string::npos;
+  EXPECT_TRUE(SawExhaustion);
+  EXPECT_TRUE(isFeasible(Report.Captured, tidReuse()));
+  expectOfflineEquivalent(Detector, Report.Captured);
+}
+
+TEST(ThreadChurn, SoakTenThousandThreadsBoundedAndEquivalent) {
+  // The acceptance workload: 10,000 sequential short-lived threads, one
+  // deliberate race per thread on its own variable. Capped at 8 slots
+  // with recycling, the session must (a) run to completion, (b) keep VC
+  // width and shadow memory at max-live scale, and (c) report the same
+  // races as an uncapped run that gives every thread a fresh id.
+  constexpr unsigned Churn = 10000;
+  std::vector<rt::Shared<int>> Vars(Churn); // distinct interned ids
+
+  auto racedVars = [](const std::vector<RaceWarning> &Warnings) {
+    std::vector<VarId> Ids;
+    for (const RaceWarning &W : Warnings)
+      Ids.push_back(W.Var);
+    return Ids;
+  };
+  auto runChurn = [&](auto &Tool, rt::OnlineOptions Options) {
+    Options.Supervise.Enabled = false;
+    rt::Engine Engine(Tool, Options);
+    for (unsigned I = 0; I != Churn; ++I) {
+      rt::Thread T([&Vars, I] { FT_WRITE(Vars[I], 1); });
+      FT_WRITE(Vars[I], 2); // concurrent with the child: races always
+      T.join();
+    }
+    return Engine.finish();
+  };
+
+  // Capped run: 8 slots, recycling on, memory tracked (a huge budget so
+  // the probe samples without ever breaching).
+  FastTrack Capped;
+  MemoryTracker Tracker;
+  rt::OnlineOptions CappedOptions;
+  CappedOptions.MaxThreads = 8;
+  CappedOptions.Degrade.Enabled = true;
+  CappedOptions.Degrade.ShadowBudgetBytes = 1ull << 40;
+  CappedOptions.Degrade.Tracker = &Tracker;
+  rt::OnlineReport CappedReport = runChurn(Capped, CappedOptions);
+
+  EXPECT_FALSE(CappedReport.Halted);
+  EXPECT_EQ(CappedReport.DegradeRung, 0u); // tracked, never degraded
+  EXPECT_EQ(CappedReport.NumWarnings, Churn);
+  EXPECT_EQ(CappedReport.SlotsAllocated, 2u); // peak VC width = max-live
+  EXPECT_EQ(CappedReport.PeakLiveSlots, 2u);
+  EXPECT_EQ(CappedReport.ThreadsRecycled, Churn - 1);
+  EXPECT_EQ(CappedReport.ForksRejected, 0u);
+  // Bounded RSS: 10k threads' shadow fits in single-digit megabytes
+  // (an uncapped FastTrack64 run pays hundreds for the VC columns).
+  EXPECT_GT(Tracker.peakBytes(), 0u);
+  EXPECT_LT(Tracker.peakBytes(), 16u << 20);
+  EXPECT_TRUE(isFeasible(CappedReport.Captured, tidReuse()));
+  expectOfflineEquivalent(Capped, CappedReport.Captured);
+
+  // Uncapped control: fresh 16-bit-tid slots for all 10k threads (the
+  // 8-bit default epoch layout cannot even name them).
+  FastTrack64 Uncapped;
+  rt::OnlineOptions UncappedOptions;
+  UncappedOptions.MaxThreads = Churn + 50;
+  UncappedOptions.RecycleThreadSlots = false;
+  UncappedOptions.RingCapacity = 64; // 10k rings: keep the table small
+  UncappedOptions.Degrade.Enabled = false;
+  rt::OnlineReport UncappedReport = runChurn(Uncapped, UncappedOptions);
+
+  EXPECT_FALSE(UncappedReport.Halted);
+  EXPECT_EQ(UncappedReport.NumWarnings, Churn);
+  EXPECT_EQ(UncappedReport.SlotsAllocated, Churn + 1);
+  EXPECT_EQ(UncappedReport.ThreadsRecycled, 0u);
+  EXPECT_TRUE(isFeasible(UncappedReport.Captured));
+
+  // No warning differences: the same variables race, in the same order
+  // (one per churn iteration; reporter thread/epoch are schedule-local).
+  EXPECT_EQ(racedVars(Capped.warnings()), racedVars(Uncapped.warnings()));
 }

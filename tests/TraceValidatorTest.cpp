@@ -210,8 +210,8 @@ TEST(TraceValidator, JoinOfAlreadyJoinedThreadByAnotherThreadRejected) {
 }
 
 TEST(TraceValidator, ReforkOfJoinedThreadRejected) {
-  // The thread lifecycle is fork → act → join, once; ids are never
-  // recycled within a trace.
+  // By default the thread lifecycle is fork → act → join, once; only
+  // AllowTidReuse (the online engine's recycled slots) relaxes this.
   Trace T = TraceBuilder()
                 .fork(0, 1)
                 .wr(1, 0)
@@ -222,6 +222,131 @@ TEST(TraceValidator, ReforkOfJoinedThreadRejected) {
   ASSERT_EQ(V.size(), 1u);
   EXPECT_EQ(V[0].OpIndex, 3u);
   EXPECT_NE(V[0].Message.find("forked twice"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// AllowTidReuse: recycled-slot captures (fork-after-join of the same tid).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+TraceValidatorOptions tidReuse() {
+  TraceValidatorOptions Options;
+  Options.AllowTidReuse = true;
+  return Options;
+}
+
+} // namespace
+
+TEST(TraceValidator, TidReuseAcceptsForkAfterJoin) {
+  // Two complete lifetimes of tid 1, back to back — exactly what a
+  // recycled engine slot captures.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .wr(1, 0)
+                .join(0, 1)
+                .fork(0, 1)
+                .rd(1, 0)
+                .join(0, 1)
+                .take();
+  EXPECT_TRUE(isFeasible(T, tidReuse()));
+  EXPECT_FALSE(isFeasible(T)); // default still rejects the refork
+}
+
+TEST(TraceValidator, TidReuseAcceptsManyIncarnations) {
+  TraceBuilder B;
+  for (int I = 0; I != 5; ++I)
+    B.fork(0, 1).wr(1, static_cast<VarId>(I)).join(0, 1);
+  EXPECT_TRUE(isFeasible(B.take(), tidReuse()));
+}
+
+TEST(TraceValidator, TidReuseStillRejectsActInTheJoinedGap) {
+  // An op of tid 1 after its join but before its next fork belongs to no
+  // lifetime — still rule (3), reuse or not.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .wr(1, 0)
+                .join(0, 1)
+                .wr(1, 0) // the gap
+                .fork(0, 1)
+                .rd(1, 0)
+                .join(0, 1)
+                .take();
+  auto V = validateTrace(T, tidReuse());
+  ASSERT_EQ(V.size(), 1u);
+  EXPECT_EQ(V[0].OpIndex, 3u);
+  EXPECT_NE(V[0].Message.find("acts after being joined"), std::string::npos);
+}
+
+TEST(TraceValidator, TidReuseStillRejectsDoubleForkWhileRunning) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .wr(1, 0)
+                .fork(0, 1) // still running: not a reincarnation
+                .take();
+  auto V = validateTrace(T, tidReuse());
+  ASSERT_EQ(V.size(), 1u);
+  EXPECT_EQ(V[0].OpIndex, 2u);
+  EXPECT_NE(V[0].Message.find("forked twice"), std::string::npos);
+}
+
+TEST(TraceValidator, TidReuseStillRejectsSelfFork) {
+  Trace T = TraceBuilder().fork(0, 1).wr(1, 0).join(0, 1).take();
+  Trace Self = TraceBuilder().fork(0, 0).take();
+  EXPECT_TRUE(isFeasible(T, tidReuse()));
+  EXPECT_FALSE(isFeasible(Self, tidReuse()));
+}
+
+TEST(TraceValidator, TidReuseEnforcesRule4PerIncarnation) {
+  // The first lifetime of tid 1 has an op, the second does not: rule (4)
+  // must flag the second incarnation's empty span even though OpCount[1]
+  // is nonzero overall.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .wr(1, 0)
+                .join(0, 1)
+                .fork(0, 1)
+                .join(0, 1) // empty second lifetime
+                .take();
+  auto V = validateTrace(T, tidReuse());
+  ASSERT_EQ(V.size(), 1u);
+  EXPECT_EQ(V[0].OpIndex, 4u);
+  EXPECT_NE(V[0].Message.find("rule 4"), std::string::npos);
+
+  TraceValidatorOptions Lax = tidReuse();
+  Lax.RequireThreadOps = false; // the shed-capture combination
+  EXPECT_TRUE(isFeasible(T, Lax));
+}
+
+TEST(TraceValidator, TidReuseJoinOfJoinedTidStillRejected) {
+  // Reuse legalizes re-*fork*, never re-*join*: the second join sees a
+  // Joined (not Running) tid.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .wr(1, 0)
+                .join(0, 1)
+                .join(0, 1)
+                .take();
+  auto V = validateTrace(T, tidReuse());
+  ASSERT_EQ(V.size(), 1u);
+  EXPECT_EQ(V[0].OpIndex, 3u);
+  EXPECT_NE(V[0].Message.find("not running"), std::string::npos);
+}
+
+TEST(TraceValidator, TidReuseIncarnationsMayUseDifferentParents) {
+  // Lifetimes are independent: thread 2 may fork the reincarnation and a
+  // third thread may reap it.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .fork(0, 2)
+                .wr(1, 0)
+                .join(2, 1)
+                .fork(2, 1)
+                .rd(1, 1)
+                .join(0, 1)
+                .join(0, 2)
+                .take();
+  EXPECT_TRUE(isFeasible(T, tidReuse()));
 }
 
 TEST(TraceValidator, SingleThreadBarrierSatisfiesRule4) {
