@@ -1,0 +1,394 @@
+//===----------------------------------------------------------------------===//
+//
+// E14: what eliding proven-race-free instrumentation buys end to end.
+//
+// Two series, each with a mostly-thread-local and a mostly-shared
+// workload, elision off vs on:
+//
+//  MiniConc (static pass): the whole pipeline — interpret (emit events)
+//  + FastTrack over the emitted stream. The interpreter is this
+//  repository's stand-in for the *base program's own execution*, so it
+//  bounds how much end-to-end time event emission can be; the series
+//  reports how much of the stream disappears and what that saves.
+//
+//  native runtime (annotation path): real std::threads under a live
+//  online Engine, private tallies downgraded via Shared<T>::downgrade().
+//  Here the emit path (ticket, ring, sequencer, detector) *is* the
+//  overhead — the paper's Table 1 economics — so removing proven-safe
+//  events shows up directly in wall-clock throughput.
+//
+//   mostly-thread-local  workers hammer private accumulators and
+//                        publish under one lock; nearly every access
+//                        event is provably race-free and elides
+//   mostly-shared        every access is to genuinely shared state no
+//                        single lock covers end to end; nothing is
+//                        elidable, so this row bounds the regression
+//
+// All workloads are race-free; the harness asserts warnings and program
+// results match between the configurations before trusting any timing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "analysis/Elision.h"
+#include "core/FastTrack.h"
+#include "lang/Interp.h"
+#include "lang/Sema.h"
+#include "runtime/Instrument.h"
+#include "support/Stopwatch.h"
+#include "support/Table.h"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+using namespace ft;
+using namespace ft::bench;
+using namespace ft::lang;
+namespace rt = ft::runtime;
+
+namespace {
+
+/// Four workers, each with a private accumulator hammered in a tight
+/// loop, published once under the lock. Distinct functions so each
+/// accumulator has exactly one abstract accessor thread.
+std::string mostlyThreadLocal(int Rounds) {
+  std::string Source = "shared total;\nlock m;\n";
+  for (int W = 0; W != 4; ++W) {
+    std::string T = "t" + std::to_string(W);
+    Source += "shared " + T + ";\n";
+    Source += "fn worker" + std::to_string(W) + "(rounds) {\n"
+              "  local i = 0;\n"
+              "  while (i < rounds) { " + T + " = " + T + " + 1; "
+              "i = i + 1; }\n"
+              "  sync (m) { total = total + " + T + "; }\n"
+              "}\n";
+  }
+  Source += "fn main() {\n  total = 0;\n";
+  for (int W = 0; W != 4; ++W)
+    Source += "  let h" + std::to_string(W) + " = spawn worker" +
+              std::to_string(W) + "(" + std::to_string(Rounds) + ");\n";
+  for (int W = 0; W != 4; ++W)
+    Source += "  join h" + std::to_string(W) + ";\n";
+  Source += "  sync (m) { print total; }\n}\n";
+  return Source;
+}
+
+/// Four workers contending on one lock-protected counter — but main
+/// reads it unlocked after the joins (safe via join edges, invisible to
+/// a lockset), so every site stays instrumented.
+std::string mostlyShared(int Rounds) {
+  std::string Source = "shared counter;\nlock m;\n"
+                       "fn worker(rounds) {\n"
+                       "  local i = 0;\n"
+                       "  while (i < rounds) {\n"
+                       "    sync (m) { counter = counter + 1; }\n"
+                       "    i = i + 1;\n"
+                       "  }\n"
+                       "}\n"
+                       "fn main() {\n";
+  for (int W = 0; W != 4; ++W)
+    Source += "  let h" + std::to_string(W) + " = spawn worker(" +
+              std::to_string(Rounds) + ");\n";
+  for (int W = 0; W != 4; ++W)
+    Source += "  join h" + std::to_string(W) + ";\n";
+  Source += "  print counter;\n}\n";
+  return Source;
+}
+
+struct PipelineRun {
+  double Seconds = 0;      ///< interpret + detect, best-of-reps.
+  uint64_t Events = 0;     ///< emitted stream length.
+  uint64_t Elided = 0;     ///< accesses whose event was suppressed.
+  std::string Output;      ///< program output (sanity).
+  std::vector<VarId> Warned;
+};
+
+std::vector<VarId> warnedVars(const Trace &T) {
+  FastTrack Detector;
+  replay(T, Detector);
+  std::vector<VarId> Vars;
+  for (const RaceWarning &W : Detector.warnings())
+    Vars.push_back(W.Var);
+  return Vars;
+}
+
+/// One end-to-end pipeline pass: interpret the (pre-stamped) program,
+/// then run FastTrack over whatever stream came out. Timed together —
+/// that is the latency a user of the tool sees.
+PipelineRun runPipeline(const Program &P) {
+  PipelineRun Best;
+  for (unsigned Rep = 0, Reps = repetitions(); Rep != Reps; ++Rep) {
+    auto Start = std::chrono::steady_clock::now();
+    InterpResult Run = interpret(P);
+    FastTrack Detector;
+    replay(Run.EventTrace, Detector);
+    double Seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count();
+    if (!Run.Ok) {
+      std::fprintf(stderr, "runtime error: %s\n",
+                   toString(Run.Error).c_str());
+      std::exit(1);
+    }
+    if (Rep == 0 || Seconds < Best.Seconds) {
+      Best.Seconds = Seconds;
+      Best.Events = Run.EventTrace.size();
+      Best.Elided = Run.EventsElided;
+      Best.Output = Run.Output;
+      Best.Warned = warnedVars(Run.EventTrace);
+    }
+  }
+  return Best;
+}
+
+uint64_t accessEvents(const Program &P) {
+  InterpResult Run = interpret(P);
+  uint64_t Accesses = 0;
+  for (const Operation &Op : Run.EventTrace.operations())
+    if (Op.Kind == OpKind::Read || Op.Kind == OpKind::Write)
+      ++Accesses;
+  return Accesses;
+}
+
+struct WorkloadResult {
+  double ElidedAccessFrac = 0;
+  double Speedup = 1;
+};
+
+WorkloadResult measure(const std::string &Name, const std::string &Source,
+                       Table &Out) {
+  Program Full, Elided;
+  std::vector<Diag> Diags;
+  if (!compileProgram(Source, Full, Diags) ||
+      !compileProgram(Source, Elided, Diags)) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 toString(Diags.front()).c_str());
+    std::exit(1);
+  }
+  analysis::ElisionPlan Plan = analysis::applyElision(Elided);
+  uint64_t Accesses = accessEvents(Full);
+
+  PipelineRun A = runPipeline(Full);
+  PipelineRun B = runPipeline(Elided);
+  if (A.Output != B.Output || A.Warned != B.Warned) {
+    std::fprintf(stderr,
+                 "%s: elided pipeline diverged from the full one — "
+                 "timings are meaningless, aborting\n",
+                 Name.c_str());
+    std::exit(1);
+  }
+
+  WorkloadResult R;
+  R.ElidedAccessFrac =
+      Accesses ? (double)B.Elided / (double)Accesses : 0.0;
+  R.Speedup = B.Seconds > 0 ? A.Seconds / B.Seconds : 1.0;
+  Out.addRow({Name, withCommas(A.Events), withCommas(B.Events),
+              fixed(100.0 * R.ElidedAccessFrac, 1) + "%",
+              fixed(A.Seconds * 1e3, 1) + " ms",
+              fixed(B.Seconds * 1e3, 1) + " ms",
+              fixed(R.Speedup, 2) + "x",
+              std::to_string(Plan.SitesElided) + "/" +
+                  std::to_string(Plan.SitesTotal)});
+  return R;
+}
+
+// --- native runtime series (annotation path) ----------------------------
+
+constexpr unsigned NativeThreads = 4;
+
+struct NativeRun {
+  double Seconds = 0;
+  uint64_t Emitted = 0;
+  uint64_t Elided = 0;
+  size_t Warnings = 0;
+  long Total = 0;
+};
+
+/// Options pinning the session at full fidelity with no capture: the
+/// bench measures the emit path, not trace retention or the ladder.
+rt::OnlineOptions benchOptions() {
+  rt::OnlineOptions Options;
+  Options.KeepCapture = false;
+  Options.ValidateCapture = false;
+  Options.Supervise.Enabled = false;
+  Options.Degrade.Enabled = false;
+  return Options;
+}
+
+/// Mostly-thread-local, native: each thread hammers its own tally and
+/// folds it into a lock-protected total every 16 rounds. With
+/// \p Downgrade the tallies are annotated race-free (they are: strictly
+/// thread-confined) and their accesses skip the emit path entirely.
+NativeRun nativeThreadLocal(int Rounds, bool Downgrade) {
+  NativeRun Best;
+  for (unsigned Rep = 0, Reps = repetitions(); Rep != Reps; ++Rep) {
+    FastTrack Detector;
+    rt::Shared<long> Tallies[NativeThreads];
+    rt::Shared<long> Total;
+    rt::Mutex M;
+    if (Downgrade)
+      for (rt::Shared<long> &Tally : Tallies)
+        Tally.downgrade();
+
+    Stopwatch Watch;
+    rt::Engine Engine(Detector, benchOptions());
+    {
+      std::vector<rt::Thread> Threads;
+      Threads.reserve(NativeThreads);
+      for (unsigned T = 0; T != NativeThreads; ++T)
+        Threads.emplace_back([&, T] {
+          rt::Shared<long> &Tally = Tallies[T];
+          for (int I = 0; I != Rounds; ++I) {
+            Tally.write(Tally.read() + 1);
+            if (I % 16 == 15) {
+              std::lock_guard<rt::Mutex> Guard(M);
+              Total.write(Total.read() + 16);
+            }
+          }
+        });
+      for (rt::Thread &T : Threads)
+        T.join();
+    }
+    rt::OnlineReport Report = Engine.finish();
+    double Seconds = Watch.seconds();
+    if (Rep == 0 || Seconds < Best.Seconds) {
+      Best.Seconds = Seconds;
+      Best.Emitted = Report.EventsDispatched;
+      Best.Elided = Report.EventsElided;
+      Best.Warnings = Report.NumWarnings;
+      Best.Total = Total.read();
+    }
+  }
+  return Best;
+}
+
+/// Mostly-shared, native: every access is a lock-protected
+/// read-modify-write of a striped counter array every thread tours —
+/// genuinely shared state, nothing a sound annotation could remove.
+/// Identical in both configurations; the row bounds the regression.
+NativeRun nativeShared(int Rounds) {
+  NativeRun Best;
+  for (unsigned Rep = 0, Reps = repetitions(); Rep != Reps; ++Rep) {
+    FastTrack Detector;
+    constexpr unsigned Stripes = 4;
+    rt::Mutex Locks[Stripes];
+    rt::Shared<long> Cells[Stripes];
+
+    Stopwatch Watch;
+    rt::Engine Engine(Detector, benchOptions());
+    {
+      std::vector<rt::Thread> Threads;
+      Threads.reserve(NativeThreads);
+      for (unsigned T = 0; T != NativeThreads; ++T)
+        Threads.emplace_back([&, T] {
+          for (int I = 0; I != Rounds; ++I) {
+            unsigned S = (T + static_cast<unsigned>(I)) % Stripes;
+            std::lock_guard<rt::Mutex> Guard(Locks[S]);
+            Cells[S].write(Cells[S].read() + 1);
+          }
+        });
+      for (rt::Thread &T : Threads)
+        T.join();
+    }
+    rt::OnlineReport Report = Engine.finish();
+    double Seconds = Watch.seconds();
+    if (Rep == 0 || Seconds < Best.Seconds) {
+      Best.Seconds = Seconds;
+      Best.Emitted = Report.EventsDispatched;
+      Best.Elided = Report.EventsElided;
+      Best.Warnings = Report.NumWarnings;
+      long Sum = 0;
+      for (rt::Shared<long> &Cell : Cells)
+        Sum += Cell.read();
+      Best.Total = Sum;
+    }
+  }
+  return Best;
+}
+
+void addNativeRow(Table &Out, const std::string &Name, const NativeRun &A,
+                  const NativeRun &B, uint64_t FullAccesses,
+                  WorkloadResult &R) {
+  R.ElidedAccessFrac =
+      FullAccesses ? (double)B.Elided / (double)FullAccesses : 0.0;
+  R.Speedup = B.Seconds > 0 ? A.Seconds / B.Seconds : 1.0;
+  Out.addRow({Name, withCommas(A.Emitted), withCommas(B.Emitted),
+              fixed(100.0 * R.ElidedAccessFrac, 1) + "%",
+              fixed(A.Seconds * 1e3, 1) + " ms",
+              fixed(B.Seconds * 1e3, 1) + " ms",
+              fixed(R.Speedup, 2) + "x", "-"});
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchReport Report("bench_elision", Argc, Argv);
+  banner("E14: elision payoff — MiniConc static pass + native annotations");
+
+  int Rounds = static_cast<int>(25000 * sizeFactor());
+  std::printf("4 workers x %d rounds per workload, best of %u reps\n\n",
+              Rounds, repetitions());
+
+  Table T;
+  T.addHeader({"workload", "events full", "events elided", "accesses saved",
+               "full", "elided", "speedup", "sites"});
+  WorkloadResult Local =
+      measure("mc thread-local", mostlyThreadLocal(Rounds), T);
+  WorkloadResult Shared = measure("mc shared", mostlyShared(Rounds), T);
+
+  int NativeRounds = static_cast<int>(100000 * sizeFactor());
+  NativeRun NativeFull = nativeThreadLocal(NativeRounds, false);
+  NativeRun NativeElided = nativeThreadLocal(NativeRounds, true);
+  if (NativeFull.Warnings != NativeElided.Warnings ||
+      NativeFull.Total != NativeElided.Total ||
+      NativeFull.Total != (long)NativeThreads * (NativeRounds / 16) * 16) {
+    std::fprintf(stderr, "native thread-local: configurations diverged\n");
+    return 1;
+  }
+  // Per thread: 2 tally accesses per round + 2 total accesses per
+  // 16-round publish; fork/join and lock traffic are not accesses.
+  uint64_t LocalAccesses =
+      (uint64_t)NativeThreads *
+      (2u * (uint64_t)NativeRounds + 2u * ((uint64_t)NativeRounds / 16));
+  WorkloadResult NativeLocal;
+  addNativeRow(T, "native thread-local", NativeFull, NativeElided,
+               LocalAccesses, NativeLocal);
+
+  NativeRun SharedOnce = nativeShared(NativeRounds / 4);
+  NativeRun SharedAgain = nativeShared(NativeRounds / 4);
+  if (SharedOnce.Warnings != 0 || SharedAgain.Warnings != 0) {
+    std::fprintf(stderr, "native shared: unexpected warnings\n");
+    return 1;
+  }
+  uint64_t SharedAccesses =
+      (uint64_t)NativeThreads * 2u * (uint64_t)(NativeRounds / 4);
+  WorkloadResult NativeSharedR;
+  addNativeRow(T, "native shared", SharedOnce, SharedAgain, SharedAccesses,
+               NativeSharedR);
+
+  std::printf("%s\n", T.render().c_str());
+
+  std::printf(
+      "expectation: the thread-local workloads elide >=30%% of access\n"
+      "events; the native one turns that into >=15%% end-to-end speedup\n"
+      "(the emit path is the dominant cost there, as in the paper's\n"
+      "instrumented-JVM setting). The MiniConc pipeline is bounded by\n"
+      "interpreter time — its speedup shows the detector-side saving\n"
+      "only. Mostly-shared workloads elide ~0%% and must not regress.\n");
+
+  Report.metric("mc_threadlocal_access_events_elided_frac",
+                Local.ElidedAccessFrac);
+  Report.metric("mc_threadlocal_pipeline_speedup", Local.Speedup, "x");
+  Report.metric("mc_shared_access_events_elided_frac",
+                Shared.ElidedAccessFrac);
+  Report.metric("mc_shared_pipeline_speedup", Shared.Speedup, "x");
+  Report.metric("native_threadlocal_access_events_elided_frac",
+                NativeLocal.ElidedAccessFrac);
+  Report.metric("native_threadlocal_speedup", NativeLocal.Speedup, "x");
+  Report.metric("native_shared_speedup", NativeSharedR.Speedup, "x");
+  return Report.write() ? 0 : 1;
+}

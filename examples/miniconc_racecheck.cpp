@@ -10,12 +10,18 @@
 //   miniconc_racecheck FILE.mc [N]   # check FILE across N seeds (def. 10)
 //   miniconc_racecheck --shards S ...  # sharded parallel replay across S
 //                                      # workers (0 = all cores)
+//   miniconc_racecheck --dump-analysis ...  # print the static elision
+//                                      # classification per access site
+//   miniconc_racecheck --no-elide ...  # keep every access instrumented
+//                                      # (disable the static elision pass)
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Elision.h"
 #include "core/FastTrack.h"
 #include "framework/ParallelReplay.h"
 #include "lang/Interp.h"
+#include "lang/Sema.h"
 #include "trace/TraceStats.h"
 
 #include <cstdio>
@@ -31,6 +37,15 @@ namespace {
 /// -1: serial replay(). Otherwise parallelReplay with this NumShards
 /// (0 = one shard per hardware thread).
 int ShardsFlag = -1;
+
+/// --no-elide: run every access instrumented (the pre-analysis event
+/// stream). Elision never changes which variables are reported racy —
+/// the flag exists to demonstrate that, and to measure the saving.
+bool NoElide = false;
+
+/// --dump-analysis: print the per-site classification table before
+/// checking.
+bool DumpAnalysis = false;
 
 /// Replays through FastTrack with the engine selected by --shards.
 void checkTrace(const Trace &T, FastTrack &Detector) {
@@ -112,21 +127,36 @@ fn main() {
 int checkProgram(const std::string &Title, const std::string &Source,
                  unsigned Seeds) {
   std::printf("=== %s ===\n", Title.c_str());
+
+  // Compile once; the elision pass stamps the AST, so every seed below
+  // replays the same plan.
+  Program P;
+  std::vector<Diag> Diags;
+  if (!compileProgram(Source, P, Diags)) {
+    for (const Diag &D : Diags)
+      std::printf("compile error: %s\n", toString(D).c_str());
+    return 1;
+  }
+  analysis::AnalysisResult Analysis = analysis::analyzeProgram(P);
+  analysis::ElisionOptions ElideOpts;
+  ElideOpts.Enabled = !NoElide;
+  analysis::ElisionPlan Plan = analysis::planElision(P, Analysis, ElideOpts);
+  if (DumpAnalysis)
+    std::printf("%s", analysis::renderAnalysisTable(Analysis).c_str());
+  std::printf("%s\n", analysis::toString(Plan).c_str());
+
   unsigned RacySchedules = 0;
+  uint64_t Elided = 0, Emitted = 0;
   for (uint64_t Seed = 1; Seed <= Seeds; ++Seed) {
-    std::vector<Diag> Diags;
     InterpOptions Options;
     Options.Seed = Seed;
-    InterpResult Run = runSource(Source, Diags, Options);
-    if (!Diags.empty()) {
-      for (const Diag &D : Diags)
-        std::printf("compile error: %s\n", toString(D).c_str());
-      return 1;
-    }
+    InterpResult Run = interpret(P, Options);
     if (!Run.Ok) {
       std::printf("runtime error: %s\n", toString(Run.Error).c_str());
       return 1;
     }
+    Elided += Run.EventsElided;
+    Emitted += Run.EventTrace.size();
 
     FastTrack Detector;
     checkTrace(Run.EventTrace, Detector);
@@ -145,6 +175,12 @@ int checkProgram(const std::string &Title, const std::string &Source,
                       toString(W).c_str());
     }
   }
+  if (Elided != 0)
+    std::printf("elision saved %llu of %llu access+sync events across %u "
+                "schedules (%.1f%%).\n",
+                (unsigned long long)Elided,
+                (unsigned long long)(Elided + Emitted), Seeds,
+                100.0 * (double)Elided / (double)(Elided + Emitted));
   std::printf("%u of %u schedules produced race warnings.\n\n",
               RacySchedules, Seeds);
   return 0;
@@ -182,6 +218,14 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "error: invalid shard count '%s'\n", Argv[I]);
         return 1;
       }
+      continue;
+    }
+    if (std::string(Argv[I]) == "--no-elide") {
+      NoElide = true;
+      continue;
+    }
+    if (std::string(Argv[I]) == "--dump-analysis") {
+      DumpAnalysis = true;
       continue;
     }
     Args.push_back(Argv[I]);

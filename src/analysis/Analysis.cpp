@@ -1,0 +1,158 @@
+#include "analysis/Analysis.h"
+
+#include "analysis/CallGraph.h"
+#include "analysis/Lockset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace ft;
+using namespace ft::analysis;
+using namespace ft::lang;
+
+const char *ft::analysis::verdictName(Verdict V) {
+  switch (V) {
+  case Verdict::MustInstrument:
+    return "must-instrument";
+  case Verdict::ThreadLocal:
+    return "thread-local";
+  case Verdict::LockConsistent:
+    return "lock-consistent";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Classifies one variable from the facts of its reachable, non-pre-fork
+/// ("effective") sites.
+VarClass classifyVar(const Program &P, uint32_t G,
+                     const std::vector<size_t> &SiteIdx,
+                     const ProgramFacts &Facts, const CallGraphInfo &CG,
+                     const LocksetInfo &Locks) {
+  VarClass Out;
+  Out.Name = P.Globals[G].Name;
+  Out.GlobalIndex = G;
+  Out.NumSites = static_cast<unsigned>(SiteIdx.size());
+
+  // Sites that can actually run, split into the pre-fork prefix (whose
+  // effects happen-before every forked thread) and the rest.
+  std::vector<size_t> Effective;
+  bool AnyPreFork = false;
+  for (size_t I : SiteIdx) {
+    const AccessSiteFact &Site = Facts.Sites[I];
+    if (CG.FnMult[Site.Fn] == Mult::Zero)
+      continue; // statically unreachable: never emits
+    if (Site.PreFork)
+      AnyPreFork = true;
+    else
+      Effective.push_back(I);
+  }
+
+  if (Effective.empty()) {
+    Out.V = Verdict::ThreadLocal;
+    Out.Reason = AnyPreFork ? "only accessed before the first fork"
+                            : "no reachable accesses";
+    return Out;
+  }
+
+  // Which abstract threads reach an effective site, and can any of them
+  // stand for more than one dynamic thread?
+  std::set<uint32_t> Threads;
+  bool Many = false;
+  for (size_t I : Effective)
+    for (uint32_t T : CG.FnThreads[Facts.Sites[I].Fn]) {
+      Threads.insert(T);
+      Many |= CG.Threads[T].Instances == Mult::Many;
+    }
+
+  if (Threads.size() <= 1 && !Many) {
+    Out.V = Verdict::ThreadLocal;
+    std::string Who =
+        Threads.empty() ? "no thread" : CG.Threads[*Threads.begin()].Name;
+    Out.Reason = "only " + Who + " accesses it";
+    if (AnyPreFork)
+      Out.Reason += " after main's pre-fork init";
+    return Out;
+  }
+
+  // Lockset-at-site: a lock held across every effective access orders
+  // all conflicting pairs via rel→acq.
+  std::set<uint32_t> Common = Locks.SiteLocks[Effective.front()];
+  for (size_t I : Effective) {
+    std::set<uint32_t> Next;
+    for (uint32_t L : Common)
+      if (Locks.SiteLocks[I].count(L))
+        Next.insert(L);
+    Common = std::move(Next);
+    if (Common.empty())
+      break;
+  }
+  if (!Common.empty()) {
+    Out.V = Verdict::LockConsistent;
+    Out.Reason = "every access holds lock '" +
+                 P.Locks[*Common.begin()].Name + "'";
+    if (AnyPreFork)
+      Out.Reason += " (pre-fork init excluded)";
+    return Out;
+  }
+
+  Out.V = Verdict::MustInstrument;
+  // Name the offender: an unlocked site if there is one, otherwise the
+  // sets merely disagree across paths.
+  const AccessSiteFact *Unlocked = nullptr;
+  for (size_t I : Effective)
+    if (Locks.SiteLocks[I].empty()) {
+      Unlocked = &Facts.Sites[I];
+      break;
+    }
+  if (Unlocked)
+    Out.Reason = "unlocked access in '" + P.Functions[Unlocked->Fn].Name +
+                 "' at line " + std::to_string(Unlocked->Node->Line);
+  else
+    Out.Reason = "no lock common to all access sites";
+  return Out;
+}
+
+} // namespace
+
+AnalysisResult ft::analysis::analyzeProgram(Program &P) {
+  assert(P.MainIndex >= 0 && "program must be resolved before analysis");
+  ProgramFacts Facts = collectFacts(P);
+  CallGraphInfo CG = buildCallGraph(P, Facts);
+  LocksetInfo Locks = computeLocksets(P, Facts);
+
+  AnalysisResult Result;
+
+  // Group sites by variable.
+  std::vector<std::vector<size_t>> SitesOfVar(P.Globals.size());
+  for (size_t I = 0; I != Facts.Sites.size(); ++I)
+    SitesOfVar[Facts.Sites[I].GlobalIndex].push_back(I);
+
+  Result.Vars.reserve(P.Globals.size());
+  for (uint32_t G = 0; G != P.Globals.size(); ++G)
+    Result.Vars.push_back(
+        classifyVar(P, G, SitesOfVar[G], Facts, CG, Locks));
+
+  Result.Sites.reserve(Facts.Sites.size());
+  for (size_t I = 0; I != Facts.Sites.size(); ++I) {
+    const AccessSiteFact &Site = Facts.Sites[I];
+    const VarClass &Var = Result.Vars[Site.GlobalIndex];
+    SiteReport R;
+    R.Line = Site.Node->Line;
+    R.Column = Site.Node->Column;
+    R.Function = P.Functions[Site.Fn].Name;
+    R.Variable = Var.Name;
+    R.GlobalIndex = Site.GlobalIndex;
+    R.IsWrite = Site.IsWrite;
+    R.PreFork = Site.PreFork;
+    for (uint32_t L : Locks.SiteLocks[I])
+      R.HeldLocks.push_back(P.Locks[L].Name);
+    R.V = Var.V;
+    R.Reason = Var.Reason;
+    R.Node = Site.Node;
+    Result.Sites.push_back(std::move(R));
+  }
+  return Result;
+}

@@ -1,0 +1,89 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static elision analysis: classify every shared-variable access
+/// site of a resolved MiniConc program so the planner (Elision.h) can
+/// compile away the instrumentation the detector never needed.
+///
+/// The pass runs between Sema and execution and assigns each shared
+/// *variable* (scalars individually, arrays as one unit) one verdict:
+///
+///   - **ThreadLocal** — after excluding main's pre-fork initialization
+///     accesses (which happen-before every forked thread via the fork
+///     edge), at most one dynamic thread can ever touch the variable.
+///     No conflicting concurrent pair exists on any schedule.
+///   - **LockConsistent** — some common lock is in the must-hold set of
+///     every (post-pre-fork) access site. Any two conflicting accesses
+///     sit in critical sections on that lock, so the rel→acq edge
+///     orders them on every schedule.
+///   - **MustInstrument** — neither proof applies; every access keeps
+///     its event.
+///
+/// Eliding the rd/wr events of a ThreadLocal or LockConsistent variable
+/// is *race-preserving*: access events never contribute happens-before
+/// edges (only acq/rel/fork/join/volatile/barrier events move clocks),
+/// so removing them cannot change any other variable's warnings, and
+/// the elided variable itself was just proven warning-free on every
+/// schedule. The full argument, and why each sub-analysis only ever
+/// over-approximates, is in docs/ARCHITECTURE.md ("The elision layer");
+/// the AnalysisTest soundness harness checks it program-by-program
+/// against the happens-before oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_ANALYSIS_ANALYSIS_H
+#define FASTTRACK_ANALYSIS_ANALYSIS_H
+
+#include "lang/Ast.h"
+
+#include <string>
+#include <vector>
+
+namespace ft::analysis {
+
+enum class Verdict : uint8_t { MustInstrument, ThreadLocal, LockConsistent };
+
+/// "must-instrument" / "thread-local" / "lock-consistent".
+const char *verdictName(Verdict V);
+
+/// One classified access site (one rd/wr-emitting AST node).
+struct SiteReport {
+  unsigned Line = 0;
+  unsigned Column = 0;
+  std::string Function; ///< Enclosing function name.
+  std::string Variable; ///< Declared name (arrays unsubscripted).
+  uint32_t GlobalIndex = 0; ///< Index into Program.Globals.
+  bool IsWrite = false;
+  bool PreFork = false; ///< Runs only before the first possible fork.
+  std::vector<std::string> HeldLocks; ///< Must-held lock names at site.
+  Verdict V = Verdict::MustInstrument; ///< The variable's verdict.
+  std::string Reason;
+  lang::Expr *Node = nullptr; ///< For the planner; not for display.
+};
+
+/// One classified shared variable (scalar or whole array).
+struct VarClass {
+  std::string Name;
+  uint32_t GlobalIndex = 0;
+  Verdict V = Verdict::MustInstrument;
+  std::string Reason;
+  unsigned NumSites = 0; ///< Access sites of this variable.
+};
+
+struct AnalysisResult {
+  std::vector<SiteReport> Sites; ///< In AST walk order.
+  std::vector<VarClass> Vars;    ///< One per Program.Globals entry.
+};
+
+/// Classifies every shared-access site of \p P, which must have been
+/// successfully resolved (Sema). Does not modify the AST; the planner
+/// in Elision.h lowers the result into per-site ElideEvent stamps.
+AnalysisResult analyzeProgram(lang::Program &P);
+
+} // namespace ft::analysis
+
+#endif // FASTTRACK_ANALYSIS_ANALYSIS_H

@@ -1,0 +1,446 @@
+#include "analysis/CallGraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ft;
+using namespace ft::analysis;
+using namespace ft::lang;
+
+namespace {
+
+/// Collects sites and call/spawn edges from one function body,
+/// tracking the syntactic lock nesting and loop depth.
+class FactWalker {
+public:
+  FactWalker(Program &P, ProgramFacts &Facts) : P(P), Facts(Facts) {}
+
+  void run() {
+    Facts.EdgesInto.assign(P.Functions.size(), {});
+    Facts.EdgesFrom.assign(P.Functions.size(), {});
+    Facts.ContainsSpawnDirect.assign(P.Functions.size(), false);
+    for (uint32_t I = 0; I != P.Globals.size(); ++I)
+      Facts.GlobalOfBaseId[P.Globals[I].BaseId] = I;
+    for (uint32_t I = 0; I != P.Functions.size(); ++I) {
+      Fn = I;
+      LockStack.clear();
+      LoopDepth = 0;
+      walkStmt(*P.Functions[I].Body);
+    }
+    for (size_t E = 0; E != Facts.Edges.size(); ++E) {
+      Facts.EdgesInto[Facts.Edges[E].Callee].push_back(E);
+      Facts.EdgesFrom[Facts.Edges[E].Caller].push_back(E);
+    }
+  }
+
+private:
+  std::vector<uint32_t> heldSet() const {
+    std::vector<uint32_t> Held(LockStack);
+    std::sort(Held.begin(), Held.end());
+    Held.erase(std::unique(Held.begin(), Held.end()), Held.end());
+    return Held;
+  }
+
+  void addSite(Expr &E, uint32_t GlobalIndex, bool IsWrite) {
+    AccessSiteFact Site;
+    Site.Node = &E;
+    Site.Fn = Fn;
+    Site.GlobalIndex = GlobalIndex;
+    Site.IsWrite = IsWrite;
+    Site.HeldWithin = heldSet();
+    Facts.Sites.push_back(std::move(Site));
+  }
+
+  void addEdge(Expr &E, bool IsSpawn) {
+    CallEdgeFact Edge;
+    Edge.Node = &E;
+    Edge.Caller = Fn;
+    Edge.Callee = E.CalleeIndex;
+    Edge.IsSpawn = IsSpawn;
+    Edge.InLoop = LoopDepth > 0;
+    Edge.HeldWithin = heldSet();
+    if (IsSpawn)
+      Facts.ContainsSpawnDirect[Fn] = true;
+    Facts.Edges.push_back(std::move(Edge));
+  }
+
+  void walkExpr(Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::IntLit:
+      return;
+    case ExprKind::VarRef:
+      if (E.Ref == RefKind::Shared)
+        addSite(E, Facts.GlobalOfBaseId.at(E.RefIndex), /*IsWrite=*/false);
+      return;
+    case ExprKind::Index:
+      walkExpr(*E.Lhs);
+      addSite(E, Facts.GlobalOfBaseId.at(E.RefIndex), /*IsWrite=*/false);
+      return;
+    case ExprKind::Unary:
+      walkExpr(*E.Lhs);
+      return;
+    case ExprKind::Binary:
+      // The right operand of && / || runs conditionally; for must-hold
+      // locksets that is irrelevant (if the access runs, the enclosing
+      // syncs are held), so both sides walk uniformly.
+      walkExpr(*E.Lhs);
+      walkExpr(*E.Rhs);
+      return;
+    case ExprKind::Call:
+    case ExprKind::Spawn:
+      for (ExprPtr &Arg : E.Args)
+        walkExpr(*Arg);
+      addEdge(E, E.Kind == ExprKind::Spawn);
+      return;
+    }
+  }
+
+  void walkStmt(Stmt &S) {
+    switch (S.Kind) {
+    case StmtKind::Block:
+      for (StmtPtr &Child : S.Stmts)
+        walkStmt(*Child);
+      return;
+    case StmtKind::DeclLocal:
+      if (S.Value)
+        walkExpr(*S.Value);
+      return;
+    case StmtKind::Assign: {
+      walkExpr(*S.Value);
+      Expr &Target = *S.Target;
+      if (Target.Kind == ExprKind::VarRef) {
+        if (Target.Ref == RefKind::Shared)
+          addSite(Target, Facts.GlobalOfBaseId.at(Target.RefIndex),
+                  /*IsWrite=*/true);
+        return;
+      }
+      // Array-element store: the subscript is an ordinary read context.
+      walkExpr(*Target.Lhs);
+      addSite(Target, Facts.GlobalOfBaseId.at(Target.RefIndex),
+              /*IsWrite=*/true);
+      return;
+    }
+    case StmtKind::If:
+      walkExpr(*S.Value);
+      walkStmt(*S.Body);
+      if (S.Else)
+        walkStmt(*S.Else);
+      return;
+    case StmtKind::While:
+      // The condition re-evaluates every iteration: loop context for
+      // both it and the body (a spawn in either may run many times).
+      ++LoopDepth;
+      walkExpr(*S.Value);
+      walkStmt(*S.Body);
+      --LoopDepth;
+      return;
+    case StmtKind::Sync:
+      LockStack.push_back(S.RefIndex);
+      walkStmt(*S.Body);
+      LockStack.pop_back();
+      return;
+    case StmtKind::Atomic:
+      walkStmt(*S.Body);
+      return;
+    case StmtKind::Join:
+    case StmtKind::Print:
+    case StmtKind::ExprStmt:
+      walkExpr(*S.Value);
+      return;
+    case StmtKind::Return:
+      if (S.Value)
+        walkExpr(*S.Value);
+      return;
+    case StmtKind::Await:
+    case StmtKind::Wait:
+    case StmtKind::Notify:
+    case StmtKind::NotifyAll:
+      // wait(m) releases and reacquires m, so the must-hold set at
+      // every *subsequent* site is unchanged; no facts to record.
+      return;
+    }
+  }
+
+  Program &P;
+  ProgramFacts &Facts;
+  uint32_t Fn = 0;
+  unsigned LoopDepth = 0;
+  /// Enclosing sync statements, innermost last. Re-entrant acquisition
+  /// of the same lock simply appears twice; heldSet() collapses it.
+  std::vector<uint32_t> LockStack;
+};
+
+/// Does this subtree contain a Spawn, or a Call into a function that
+/// may transitively spawn?
+class SpawnReach {
+public:
+  explicit SpawnReach(const std::vector<bool> &MaySpawn)
+      : MaySpawn(MaySpawn) {}
+
+  bool stmt(const Stmt &S) const {
+    switch (S.Kind) {
+    case StmtKind::Block:
+      for (const StmtPtr &Child : S.Stmts)
+        if (stmt(*Child))
+          return true;
+      return false;
+    case StmtKind::DeclLocal:
+    case StmtKind::Join:
+    case StmtKind::Print:
+    case StmtKind::ExprStmt:
+    case StmtKind::Return:
+      return S.Value && expr(*S.Value);
+    case StmtKind::Assign:
+      return expr(*S.Value) ||
+             (S.Target->Lhs && expr(*S.Target->Lhs));
+    case StmtKind::If:
+      return expr(*S.Value) || stmt(*S.Body) || (S.Else && stmt(*S.Else));
+    case StmtKind::While:
+      return expr(*S.Value) || stmt(*S.Body);
+    case StmtKind::Sync:
+    case StmtKind::Atomic:
+      return stmt(*S.Body);
+    case StmtKind::Await:
+    case StmtKind::Wait:
+    case StmtKind::Notify:
+    case StmtKind::NotifyAll:
+      return false;
+    }
+    return false;
+  }
+
+  bool expr(const Expr &E) const {
+    switch (E.Kind) {
+    case ExprKind::IntLit:
+    case ExprKind::VarRef:
+      return false;
+    case ExprKind::Index:
+    case ExprKind::Unary:
+      return E.Lhs && expr(*E.Lhs);
+    case ExprKind::Binary:
+      return expr(*E.Lhs) || expr(*E.Rhs);
+    case ExprKind::Spawn:
+      return true;
+    case ExprKind::Call:
+      if (MaySpawn[E.CalleeIndex])
+        return true;
+      for (const ExprPtr &Arg : E.Args)
+        if (expr(*Arg))
+          return true;
+      return false;
+    }
+    return false;
+  }
+
+private:
+  const std::vector<bool> &MaySpawn;
+};
+
+/// Sets PreFork / PreForkCall on every fact whose Node lives in the
+/// given subtree.
+class PreForkMarker {
+public:
+  explicit PreForkMarker(ProgramFacts &Facts) : Facts(Facts) {
+    for (size_t I = 0; I != Facts.Sites.size(); ++I)
+      SiteByNode[Facts.Sites[I].Node] = I;
+    for (size_t I = 0; I != Facts.Edges.size(); ++I)
+      EdgeByNode[Facts.Edges[I].Node] = I;
+  }
+
+  void markStmt(const Stmt &S) {
+    switch (S.Kind) {
+    case StmtKind::Block:
+      for (const StmtPtr &Child : S.Stmts)
+        markStmt(*Child);
+      return;
+    case StmtKind::DeclLocal:
+    case StmtKind::Join:
+    case StmtKind::Print:
+    case StmtKind::ExprStmt:
+    case StmtKind::Return:
+      if (S.Value)
+        markExpr(*S.Value);
+      return;
+    case StmtKind::Assign:
+      markExpr(*S.Value);
+      markExpr(*S.Target);
+      return;
+    case StmtKind::If:
+      markExpr(*S.Value);
+      markStmt(*S.Body);
+      if (S.Else)
+        markStmt(*S.Else);
+      return;
+    case StmtKind::While:
+      markExpr(*S.Value);
+      markStmt(*S.Body);
+      return;
+    case StmtKind::Sync:
+    case StmtKind::Atomic:
+      markStmt(*S.Body);
+      return;
+    case StmtKind::Await:
+    case StmtKind::Wait:
+    case StmtKind::Notify:
+    case StmtKind::NotifyAll:
+      return;
+    }
+  }
+
+  void markExpr(const Expr &E) {
+    if (auto It = SiteByNode.find(&E); It != SiteByNode.end())
+      Facts.Sites[It->second].PreFork = true;
+    if (auto It = EdgeByNode.find(&E); It != EdgeByNode.end())
+      Facts.Edges[It->second].PreForkCall = true;
+    if (E.Lhs)
+      markExpr(*E.Lhs);
+    if (E.Rhs)
+      markExpr(*E.Rhs);
+    for (const ExprPtr &Arg : E.Args)
+      markExpr(*Arg);
+  }
+
+private:
+  ProgramFacts &Facts;
+  std::map<const Expr *, size_t> SiteByNode;
+  std::map<const Expr *, size_t> EdgeByNode;
+};
+
+} // namespace
+
+ProgramFacts ft::analysis::collectFacts(Program &P) {
+  assert(P.MainIndex >= 0 && "program must be resolved before analysis");
+  ProgramFacts Facts;
+  FactWalker(P, Facts).run();
+  return Facts;
+}
+
+CallGraphInfo ft::analysis::buildCallGraph(const Program &P,
+                                           ProgramFacts &Facts) {
+  const size_t N = P.Functions.size();
+  CallGraphInfo Info;
+
+  // -- Transitive may-spawn: a function spawns, or calls one that does.
+  Info.MaySpawn = Facts.ContainsSpawnDirect;
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (const CallEdgeFact &E : Facts.Edges)
+      if (!E.IsSpawn && Info.MaySpawn[E.Callee] && !Info.MaySpawn[E.Caller]) {
+        Info.MaySpawn[E.Caller] = true;
+        Changed = true;
+      }
+  }
+
+  // -- Execution multiplicity: main runs once; every call/spawn edge
+  // contributes its caller's bound, lifted to Many inside a loop.
+  // Saturating fixpoint over {Zero, One, Many}; recursion and multiple
+  // call sites both saturate to Many.
+  Info.FnMult.assign(N, Mult::Zero);
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (uint32_t F = 0; F != N; ++F) {
+      Mult M = F == static_cast<uint32_t>(P.MainIndex) ? Mult::One
+                                                       : Mult::Zero;
+      for (size_t EI : Facts.EdgesInto[F]) {
+        const CallEdgeFact &E = Facts.Edges[EI];
+        M = multAdd(M, multMul(Info.FnMult[E.Caller],
+                               E.InLoop ? Mult::Many : Mult::One));
+      }
+      if (M != Info.FnMult[F]) {
+        Info.FnMult[F] = M;
+        Changed = true;
+      }
+    }
+  }
+
+  // -- Pre-fork region of main: the top-level statement prefix that
+  // cannot transitively spawn. Everything inside it (including whole
+  // loops and branches) completes before the first fork, so its facts
+  // are marked PreFork / PreForkCall.
+  {
+    SpawnReach Reach(Info.MaySpawn);
+    PreForkMarker Marker(Facts);
+    const Stmt &Body = *P.Functions[P.MainIndex].Body;
+    assert(Body.Kind == StmtKind::Block && "function body is a block");
+    for (const StmtPtr &S : Body.Stmts) {
+      if (Reach.stmt(*S))
+        break; // this statement may fork: the pre-fork prefix ends here
+      Marker.markStmt(*S);
+    }
+  }
+
+  // -- Functions executing only inside the pre-fork region: never
+  // spawned, spawn-free, and every incoming call comes from main's
+  // pre-fork prefix or from another such function. Greatest fixpoint by
+  // iterated removal.
+  Info.PreForkOnly.assign(N, false);
+  for (uint32_t F = 0; F != N; ++F)
+    Info.PreForkOnly[F] = F != static_cast<uint32_t>(P.MainIndex) &&
+                          !Info.MaySpawn[F] && Info.FnMult[F] != Mult::Zero;
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (uint32_t F = 0; F != N; ++F) {
+      if (!Info.PreForkOnly[F])
+        continue;
+      bool Ok = true;
+      for (size_t EI : Facts.EdgesInto[F]) {
+        const CallEdgeFact &E = Facts.Edges[EI];
+        if (E.IsSpawn ||
+            (E.Caller == static_cast<uint32_t>(P.MainIndex)
+                 ? !E.PreForkCall
+                 : !Info.PreForkOnly[E.Caller])) {
+          Ok = false;
+          break;
+        }
+      }
+      if (!Ok) {
+        Info.PreForkOnly[F] = false;
+        Changed = true;
+      }
+    }
+  }
+  for (AccessSiteFact &Site : Facts.Sites)
+    if (Info.PreForkOnly[Site.Fn])
+      Site.PreFork = true;
+
+  // -- Abstract threads: main plus every reachable spawn site.
+  Info.Threads.push_back(
+      {static_cast<uint32_t>(P.MainIndex), Mult::One, "main"});
+  for (const CallEdgeFact &E : Facts.Edges) {
+    if (!E.IsSpawn)
+      continue;
+    Mult Instances = multMul(Info.FnMult[E.Caller],
+                             E.InLoop ? Mult::Many : Mult::One);
+    if (Instances == Mult::Zero)
+      continue; // the spawn site itself never runs
+    AbstractThread T;
+    T.Root = E.Callee;
+    T.Instances = Instances;
+    T.Name = "spawn " + P.Functions[E.Callee].Name + "@" +
+             std::to_string(E.Node->Line);
+    Info.Threads.push_back(std::move(T));
+  }
+
+  // -- Which threads may execute each function: call-edge closure from
+  // each thread's root.
+  Info.FnThreads.assign(N, {});
+  for (uint32_t T = 0; T != Info.Threads.size(); ++T) {
+    std::vector<bool> Seen(N, false);
+    std::vector<uint32_t> Work{Info.Threads[T].Root};
+    Seen[Info.Threads[T].Root] = true;
+    while (!Work.empty()) {
+      uint32_t F = Work.back();
+      Work.pop_back();
+      Info.FnThreads[F].push_back(T);
+      for (size_t EI : Facts.EdgesFrom[F]) {
+        const CallEdgeFact &E = Facts.Edges[EI];
+        if (!E.IsSpawn && !Seen[E.Callee]) {
+          Seen[E.Callee] = true;
+          Work.push_back(E.Callee);
+        }
+      }
+    }
+  }
+
+  return Info;
+}

@@ -1,0 +1,135 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Program facts and the call/spawn graph for the static elision pass.
+///
+/// One walk over the resolved MiniConc AST collects the raw facts —
+/// every shared-access site with its syntactic lockset, every call and
+/// spawn edge with loop context — and the graph layer turns them into
+/// the whole-program summaries the classifier consumes:
+///
+///   - a {Zero, One, Many} execution-multiplicity bound per function
+///     (how many times it may run across the whole execution);
+///   - the abstract-thread set: main plus one thread per reachable
+///     spawn site, each with a dynamic-instance bound;
+///   - which abstract threads may execute each function (closure over
+///     call edges from each thread's root);
+///   - the pre-fork region: accesses main (or a function called only
+///     from that region) performs before the first statement that can
+///     transitively spawn. Everything a pre-fork access produced
+///     happens-before every event of every later-forked thread, so the
+///     classifier may exclude these sites from escape and lockset
+///     reasoning (docs/ARCHITECTURE.md, "The elision layer").
+///
+/// Everything here over-approximates: more threads, more reachability,
+/// and higher multiplicity than real executions — never less — so a
+/// verdict built on these facts errs toward MustInstrument.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_ANALYSIS_CALLGRAPH_H
+#define FASTTRACK_ANALYSIS_CALLGRAPH_H
+
+#include "lang/Ast.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ft::analysis {
+
+/// How often a function (or spawn site) may execute across one whole
+/// program run. The lattice Zero < One < Many, with saturating
+/// arithmetic: One + One = Many, x * Many = Many (unless Zero).
+enum class Mult : uint8_t { Zero, One, Many };
+
+inline Mult multAdd(Mult A, Mult B) {
+  if (A == Mult::Zero)
+    return B;
+  if (B == Mult::Zero)
+    return A;
+  return Mult::Many;
+}
+
+inline Mult multMul(Mult A, Mult B) {
+  if (A == Mult::Zero || B == Mult::Zero)
+    return Mult::Zero;
+  if (A == Mult::Many || B == Mult::Many)
+    return Mult::Many;
+  return Mult::One;
+}
+
+/// One static shared-variable access site: an Expr that emits rd/wr
+/// when evaluated (VarRef in Shared position, or Index — as rvalue for
+/// reads, as an Assign target for writes).
+struct AccessSiteFact {
+  lang::Expr *Node = nullptr;
+  uint32_t Fn = 0;          ///< Enclosing function index.
+  uint32_t GlobalIndex = 0; ///< Index into Program.Globals (arrays whole).
+  bool IsWrite = false;
+  /// Locks held *syntactically* within the enclosing function at this
+  /// site (enclosing sync blocks; re-entrant nesting collapses to the
+  /// set). Context locks from call sites are added by the lockset pass.
+  std::vector<uint32_t> HeldWithin;
+  /// The site runs only in main's pre-fork region (directly, or inside
+  /// a function proven to execute only from it).
+  bool PreFork = false;
+};
+
+/// One static call or spawn edge.
+struct CallEdgeFact {
+  lang::Expr *Node = nullptr;
+  uint32_t Caller = 0;
+  uint32_t Callee = 0;
+  bool IsSpawn = false;
+  bool InLoop = false; ///< Lexically inside a while (body or condition).
+  std::vector<uint32_t> HeldWithin; ///< Caller-side syntactic lockset.
+  bool PreForkCall = false; ///< Call issued from main's pre-fork region.
+};
+
+/// The raw facts of one resolved program.
+struct ProgramFacts {
+  std::vector<AccessSiteFact> Sites;
+  std::vector<CallEdgeFact> Edges;
+  std::vector<std::vector<size_t>> EdgesInto; ///< Per callee fn: edge idx.
+  std::vector<std::vector<size_t>> EdgesFrom; ///< Per caller fn: edge idx.
+  std::vector<bool> ContainsSpawnDirect;      ///< Per fn: has a Spawn expr.
+  /// VarId base -> Program.Globals index, for resolving Index sites.
+  std::map<uint32_t, uint32_t> GlobalOfBaseId;
+};
+
+/// Walks every function of \p P (which must be successfully resolved)
+/// and collects sites and edges. The AST is taken non-const because the
+/// site records keep mutable Expr pointers for the planner to stamp.
+ProgramFacts collectFacts(lang::Program &P);
+
+/// One abstract thread: main, or the threads created by one spawn site.
+struct AbstractThread {
+  uint32_t Root = 0;   ///< Function the thread starts in.
+  Mult Instances = Mult::One; ///< Dynamic threads this site may create.
+  std::string Name;    ///< "main" or "spawn worker@12".
+};
+
+/// Whole-program summaries derived from the facts. Building them also
+/// marks the pre-fork sites and edges in \p Facts.
+struct CallGraphInfo {
+  std::vector<Mult> FnMult;     ///< Execution bound per function.
+  std::vector<bool> MaySpawn;   ///< Fn can transitively reach a spawn.
+  std::vector<AbstractThread> Threads; ///< [0] is always main.
+  /// Per function: the abstract threads that may execute it (indices
+  /// into Threads), via call-edge closure from each thread's root.
+  std::vector<std::vector<uint32_t>> FnThreads;
+  /// Per function: every execution happens inside main's pre-fork
+  /// region (called only from there, transitively, and spawn-free).
+  std::vector<bool> PreForkOnly;
+};
+
+CallGraphInfo buildCallGraph(const lang::Program &P, ProgramFacts &Facts);
+
+} // namespace ft::analysis
+
+#endif // FASTTRACK_ANALYSIS_CALLGRAPH_H

@@ -1,0 +1,86 @@
+#include "analysis/Elision.h"
+
+#include "support/Table.h"
+
+using namespace ft;
+using namespace ft::analysis;
+
+ElisionPlan ft::analysis::planElision(lang::Program &P,
+                                      const AnalysisResult &R,
+                                      const ElisionOptions &Options) {
+  (void)P; // the stamped nodes belong to P; kept in the signature to
+           // make the mutation explicit at call sites
+  ElisionPlan Plan;
+  Plan.Enabled = Options.Enabled;
+  for (const VarClass &Var : R.Vars) {
+    switch (Var.V) {
+    case Verdict::ThreadLocal:
+      ++Plan.VarsThreadLocal;
+      break;
+    case Verdict::LockConsistent:
+      ++Plan.VarsLockConsistent;
+      break;
+    case Verdict::MustInstrument:
+      ++Plan.VarsMustInstrument;
+      break;
+    }
+  }
+  for (const SiteReport &Site : R.Sites) {
+    ++Plan.SitesTotal;
+    bool Elide = Options.Enabled &&
+                 ((Site.V == Verdict::ThreadLocal &&
+                   Options.ElideThreadLocal) ||
+                  (Site.V == Verdict::LockConsistent &&
+                   Options.ElideLockConsistent));
+    Site.Node->ElideEvent = Elide;
+    if (Elide)
+      ++Plan.SitesElided;
+  }
+  return Plan;
+}
+
+ElisionPlan ft::analysis::applyElision(lang::Program &P,
+                                       const ElisionOptions &Options) {
+  AnalysisResult R = analyzeProgram(P);
+  return planElision(P, R, Options);
+}
+
+std::string ft::analysis::renderAnalysisTable(const AnalysisResult &R) {
+  Table T;
+  T.addHeader({"site", "fn", "var", "access", "held locks", "verdict",
+               "reason"});
+  for (const SiteReport &Site : R.Sites) {
+    std::string Loc =
+        std::to_string(Site.Line) + ":" + std::to_string(Site.Column);
+    std::string Locks;
+    for (const std::string &L : Site.HeldLocks)
+      Locks += Locks.empty() ? L : ("," + L);
+    if (Locks.empty())
+      Locks = "-";
+    std::string Access = Site.IsWrite ? "wr" : "rd";
+    if (Site.PreFork)
+      Access += " (pre-fork)";
+    T.addRow({Loc, Site.Function, Site.Variable, Access, Locks,
+              verdictName(Site.V), Site.Reason});
+  }
+  T.addSeparator();
+  uint64_t Elidable = 0;
+  for (const VarClass &Var : R.Vars)
+    if (Var.V != Verdict::MustInstrument)
+      ++Elidable;
+  T.addRow({"", "", "", "", "",
+            std::to_string(Elidable) + "/" + std::to_string(R.Vars.size()),
+            "variables elidable"});
+  return T.render();
+}
+
+std::string ft::analysis::toString(const ElisionPlan &Plan) {
+  if (!Plan.Enabled)
+    return "elision: disabled (--no-elide), all " +
+           std::to_string(Plan.SitesTotal) + " sites instrumented";
+  return "elision: " + std::to_string(Plan.SitesElided) + "/" +
+         std::to_string(Plan.SitesTotal) + " sites elided (" +
+         std::to_string(Plan.VarsThreadLocal) + " vars thread-local, " +
+         std::to_string(Plan.VarsLockConsistent) + " lock-consistent, " +
+         std::to_string(Plan.VarsMustInstrument) + " must-instrument)";
+}

@@ -1,0 +1,67 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The elision planner: lowers an AnalysisResult into the per-site
+/// `InstrumentationPlan` the interpreter consults — concretely, the
+/// `Expr::ElideEvent` stamp on every access site of a variable proven
+/// ThreadLocal or LockConsistent — plus the plan telemetry (sites
+/// elided, verdict counts) and the human-readable classification table
+/// behind `miniconc_racecheck --dump-analysis`.
+///
+/// `planElision(P, R, {.Enabled = false})` is the `--no-elide` escape
+/// hatch: it clears every stamp, restoring the exact pre-analysis event
+/// stream (guarded byte-for-byte by AnalysisTest).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_ANALYSIS_ELISION_H
+#define FASTTRACK_ANALYSIS_ELISION_H
+
+#include "analysis/Analysis.h"
+
+namespace ft::analysis {
+
+struct ElisionOptions {
+  /// Master switch: false clears every stamp (--no-elide).
+  bool Enabled = true;
+  /// Keep thread-local variables instrumented (ablation knob).
+  bool ElideThreadLocal = true;
+  /// Keep lock-consistent variables instrumented (ablation knob).
+  bool ElideLockConsistent = true;
+};
+
+/// What one planning run decided (static counts; the dynamic "events
+/// saved" counter is InterpResult::EventsElided).
+struct ElisionPlan {
+  bool Enabled = true;
+  uint64_t SitesTotal = 0;
+  uint64_t SitesElided = 0;
+  uint64_t VarsThreadLocal = 0;
+  uint64_t VarsLockConsistent = 0;
+  uint64_t VarsMustInstrument = 0;
+};
+
+/// Stamps \p P's access sites according to \p R and \p Options.
+/// Idempotent; re-planning with different options overwrites the stamps.
+ElisionPlan planElision(lang::Program &P, const AnalysisResult &R,
+                        const ElisionOptions &Options = ElisionOptions());
+
+/// Convenience: analyzeProgram + planElision in one step.
+ElisionPlan applyElision(lang::Program &P,
+                         const ElisionOptions &Options = ElisionOptions());
+
+/// Renders the per-site classification table (site, variable, access
+/// kind, must-held locks, verdict, reason) for --dump-analysis.
+std::string renderAnalysisTable(const AnalysisResult &R);
+
+/// One-line plan summary, e.g. "elision: 7/9 sites elided (2 vars
+/// thread-local, 1 lock-consistent, 1 must-instrument)".
+std::string toString(const ElisionPlan &Plan);
+
+} // namespace ft::analysis
+
+#endif // FASTTRACK_ANALYSIS_ELISION_H

@@ -1,0 +1,62 @@
+#include "analysis/Lockset.h"
+
+using namespace ft;
+using namespace ft::analysis;
+using namespace ft::lang;
+
+namespace {
+
+std::set<uint32_t> intersect(const std::set<uint32_t> &A,
+                             const std::set<uint32_t> &B) {
+  std::set<uint32_t> Out;
+  for (uint32_t X : A)
+    if (B.count(X))
+      Out.insert(X);
+  return Out;
+}
+
+} // namespace
+
+LocksetInfo ft::analysis::computeLocksets(const Program &P,
+                                          const ProgramFacts &Facts) {
+  const size_t N = P.Functions.size();
+  LocksetInfo Info;
+
+  std::set<uint32_t> Top;
+  for (uint32_t L = 0; L != P.Locks.size(); ++L)
+    Top.insert(L);
+
+  // Decreasing fixpoint from ⊤; main enters from the system with no
+  // locks held, so it is pinned to ∅ whatever calls it.
+  Info.ContextLocks.assign(N, Top);
+  Info.ContextLocks[P.MainIndex].clear();
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (uint32_t F = 0; F != N; ++F) {
+      if (F == static_cast<uint32_t>(P.MainIndex))
+        continue;
+      std::set<uint32_t> Ctx = Top;
+      for (size_t EI : Facts.EdgesInto[F]) {
+        const CallEdgeFact &E = Facts.Edges[EI];
+        std::set<uint32_t> Contribution;
+        if (!E.IsSpawn) {
+          Contribution = Info.ContextLocks[E.Caller];
+          Contribution.insert(E.HeldWithin.begin(), E.HeldWithin.end());
+        }
+        Ctx = intersect(Ctx, Contribution);
+      }
+      if (Ctx != Info.ContextLocks[F]) {
+        Info.ContextLocks[F] = std::move(Ctx);
+        Changed = true;
+      }
+    }
+  }
+
+  Info.SiteLocks.reserve(Facts.Sites.size());
+  for (const AccessSiteFact &Site : Facts.Sites) {
+    std::set<uint32_t> Held = Info.ContextLocks[Site.Fn];
+    Held.insert(Site.HeldWithin.begin(), Site.HeldWithin.end());
+    Info.SiteLocks.push_back(std::move(Held));
+  }
+  return Info;
+}

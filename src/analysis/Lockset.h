@@ -1,0 +1,54 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Must-hold locksets at every shared-access site (the RacerF-style
+/// lockset-at-site abstraction the elision classifier builds on).
+///
+/// Two ingredients:
+///
+///   - **Within a function**, the syntactic nesting of `sync (m)` blocks
+///     gives an exact must-hold set (collected by the facts walker;
+///     re-entrant nesting collapses, `wait` re-acquires before any
+///     subsequent site runs).
+///   - **Across calls**, a function's *context lockset* is what is held
+///     on every possible entry: the intersection over all incoming call
+///     edges of (caller's context ∪ caller-side syntactic set). A spawn
+///     edge contributes the empty set — a freshly forked thread holds
+///     no locks, whatever its parent held at the spawn site (the "fork
+///     inside a critical section" trap).
+///
+/// The fixpoint is decreasing from ⊤ (all locks), so functions the
+/// program never enters keep ⊤ and never weaken a verdict; a function
+/// that is both called under a lock and spawned intersects down to ∅.
+/// The result over-approximates nothing: SiteLocks(s) ⊆ locks actually
+/// held whenever s executes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_ANALYSIS_LOCKSET_H
+#define FASTTRACK_ANALYSIS_LOCKSET_H
+
+#include "analysis/CallGraph.h"
+
+#include <set>
+
+namespace ft::analysis {
+
+struct LocksetInfo {
+  /// Per function: locks definitely held at every entry. ⊤ (all lock
+  /// ids) for functions with no incoming edges (main is pinned to ∅).
+  std::vector<std::set<uint32_t>> ContextLocks;
+  /// Per facts site index: locks definitely held when the site runs.
+  std::vector<std::set<uint32_t>> SiteLocks;
+};
+
+LocksetInfo computeLocksets(const lang::Program &P,
+                            const ProgramFacts &Facts);
+
+} // namespace ft::analysis
+
+#endif // FASTTRACK_ANALYSIS_LOCKSET_H

@@ -77,6 +77,13 @@ struct Expr {
   std::vector<ExprPtr> Args;        // Call / Spawn
   uint32_t CalleeIndex = 0;         // Call / Spawn: function table index
 
+  /// Stamped by the elision planner (src/analysis) on shared-access
+  /// sites the static pass proved race-free: the interpreter performs
+  /// the access but suppresses its rd/wr event (counted in
+  /// InterpResult::EventsElided). The parser leaves it false, so an
+  /// unanalyzed program emits exactly the pre-analysis event stream.
+  bool ElideEvent = false;
+
   explicit Expr(ExprKind Kind) : Kind(Kind) {}
 };
 

@@ -227,7 +227,10 @@ void Machine::stepExpr(MachineThread &Th, Frame &F, const Expr &E) {
       Th.Values.push_back(Th.Locals[localsBase(Th) + E.RefIndex]);
       break;
     case RefKind::Shared:
-      Result.EventTrace.append(rd(Th.Id, E.RefIndex));
+      if (E.ElideEvent)
+        ++Result.EventsElided;
+      else
+        Result.EventTrace.append(rd(Th.Id, E.RefIndex));
       Th.Values.push_back(Globals[E.RefIndex]);
       break;
     case RefKind::Volatile:
@@ -256,7 +259,10 @@ void Machine::stepExpr(MachineThread &Th, Frame &F, const Expr &E) {
       return;
     }
     VarId X = E.RefIndex + static_cast<VarId>(Index);
-    Result.EventTrace.append(rd(Th.Id, X));
+    if (E.ElideEvent)
+      ++Result.EventsElided;
+    else
+      Result.EventTrace.append(rd(Th.Id, X));
     Th.Values.push_back(Globals[X]);
     Th.Frames.pop_back();
     return;
@@ -415,7 +421,10 @@ void Machine::stepStmt(MachineThread &Th, Frame &F, const Stmt &S) {
         Th.Locals[localsBase(Th) + Target.RefIndex] = V;
         break;
       case RefKind::Shared:
-        Result.EventTrace.append(wr(Th.Id, Target.RefIndex));
+        if (Target.ElideEvent)
+          ++Result.EventsElided;
+        else
+          Result.EventTrace.append(wr(Th.Id, Target.RefIndex));
         Globals[Target.RefIndex] = V;
         break;
       case RefKind::Volatile:
@@ -446,7 +455,10 @@ void Machine::stepStmt(MachineThread &Th, Frame &F, const Stmt &S) {
       return;
     }
     VarId X = Target.RefIndex + static_cast<VarId>(Index);
-    Result.EventTrace.append(wr(Th.Id, X));
+    if (Target.ElideEvent)
+      ++Result.EventsElided;
+    else
+      Result.EventTrace.append(wr(Th.Id, X));
     Globals[X] = V;
     Th.Frames.pop_back();
     return;

@@ -50,6 +50,12 @@ struct InterpResult {
   Trace EventTrace;    ///< The emitted operation stream.
   std::string Output;  ///< Concatenated 'print' lines.
   uint64_t Steps = 0;  ///< Machine steps executed.
+  /// Shared accesses whose event the elision plan suppressed (see
+  /// src/analysis): the access happened, the event was never emitted.
+  /// Always 0 for a program the planner has not stamped. Elision does
+  /// not perturb the scheduler, so for a given program, seed, and
+  /// options Output and Steps are identical with and without it.
+  uint64_t EventsElided = 0;
 };
 
 /// Runs \p P under the scheduler in \p Options. \p P must have been

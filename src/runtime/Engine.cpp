@@ -1351,6 +1351,7 @@ OnlineReport Engine::finish() {
   }
   Report.ForksRejected = ForksRejected.load(std::memory_order_relaxed);
   Report.UntrackedEvents = UntrackedEvents.load(std::memory_order_relaxed);
+  Report.EventsElided = ElidedEvents.load(std::memory_order_relaxed);
   if (Report.ForksRejected != 0)
     Report.Diags.push_back(
         {StatusCode::ResourceExhausted, Severity::Warning, 0, NoOpIndex,

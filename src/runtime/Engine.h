@@ -335,6 +335,10 @@ struct OnlineReport {
                                ///< untracked.
   uint64_t UntrackedEvents = 0; ///< Events dropped (and counted here)
                                 ///< because their thread had no slot.
+  uint64_t EventsElided = 0;    ///< Accesses skipped by elision — through
+                                ///< Unchecked<T> never counting, this is
+                                ///< only downgraded Shared<T> accesses
+                                ///< (Engine::noteElided()).
 };
 
 /// One online detection session over one Tool. Construct it, run
@@ -382,6 +386,13 @@ public:
   /// sync events wait for the watchdog to recover the sequencer. Events
   /// after a halt are dropped and counted, never silently.
   void emit(OpKind Kind, uint32_t Target);
+
+  /// Records one access a downgraded Shared<T> performed without
+  /// emitting (the native analogue of Expr::ElideEvent): a single
+  /// relaxed increment, aggregated into OnlineReport::EventsElided at
+  /// finish(). Keeping the count lets a session verify how much
+  /// instrumentation the elision annotations actually removed.
+  void noteElided() { ElidedEvents.fetch_add(1, std::memory_order_relaxed); }
 
   /// Sentinel returned by forkThread() when the slot table is exhausted:
   /// the child has no dense id and must run untracked (bind with
@@ -516,6 +527,7 @@ private:
   uint64_t ThreadsRecycled = 0;
   std::atomic<uint64_t> ForksRejected{0};
   std::atomic<uint64_t> UntrackedEvents{0};
+  std::atomic<uint64_t> ElidedEvents{0};
   std::atomic<bool> ExhaustionNoted{false}; ///< One diagnostic + one
                                             ///< ladder request however
                                             ///< many forks bounce.

@@ -17,6 +17,9 @@
 ///                          emit rd/wr events with *no* ordering semantics
 ///   ft::runtime::Volatile<T> a checked volatile: emits vrd/vwr, which
 ///                          carry happens-before edges (Section 4)
+///   ft::runtime::Unchecked<T> the elision end state: same storage, no
+///                          events — for data proven race-free; see also
+///                          Shared<T>::downgrade() (docs/TOOL_AUTHORING.md)
 ///
 /// With no Engine live, every shim is a plain pass-through, so the same
 /// program runs instrumented or not.
@@ -194,20 +197,65 @@ public:
   explicit Shared(T Initial) : Value(Initial) {}
 
   T read() const {
-    if (Engine *E = Engine::current())
-      E->emit(OpKind::Read, Id.get(*E, EntityKind::Var, this));
+    if (Engine *E = Engine::current()) {
+      if (Checked.load(std::memory_order_relaxed))
+        E->emit(OpKind::Read, Id.get(*E, EntityKind::Var, this));
+      else
+        E->noteElided();
+    }
     return Value.load(std::memory_order_relaxed);
   }
 
   void write(T V) {
-    if (Engine *E = Engine::current())
-      E->emit(OpKind::Write, Id.get(*E, EntityKind::Var, this));
+    if (Engine *E = Engine::current()) {
+      if (Checked.load(std::memory_order_relaxed))
+        E->emit(OpKind::Write, Id.get(*E, EntityKind::Var, this));
+      else
+        E->noteElided();
+    }
     Value.store(V, std::memory_order_relaxed);
   }
 
+  /// Stops emitting rd/wr for this variable; subsequent accesses only
+  /// bump OnlineReport::EventsElided. The annotation path for variables
+  /// an external analysis (or the author) proved race-free — the native
+  /// analogue of the planner stamping Expr::ElideEvent. Unsound if the
+  /// proof is wrong: a downgraded race is invisible to the detector.
+  /// Call from a single thread before sharing, or under the lock that
+  /// protects the variable.
+  void downgrade() { Checked.store(false, std::memory_order_relaxed); }
+
+  /// Re-enables emission (e.g. when a new phase invalidates the proof).
+  void upgrade() { Checked.store(true, std::memory_order_relaxed); }
+
+  bool checked() const { return Checked.load(std::memory_order_relaxed); }
+
 private:
   std::atomic<T> Value;
+  std::atomic<bool> Checked{true};
   mutable CachedId Id;
+};
+
+/// An *uninstrumented* shared variable: same relaxed-atomic storage as
+/// Shared<T> (so deliberately concurrent use stays TSan-clean) but no
+/// engine lookup, no event, no counter — the zero-overhead end state for
+/// data the author statically knows is race-free (thread-local by
+/// construction, or consistently lock-protected). Use Shared<T> +
+/// downgrade() instead when the claim should remain auditable at runtime
+/// (downgraded accesses are still counted in the session report).
+template <typename T> class Unchecked {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "Unchecked<T> requires a trivially copyable T");
+
+public:
+  Unchecked() : Value{} {}
+  explicit Unchecked(T Initial) : Value(Initial) {}
+
+  T read() const { return Value.load(std::memory_order_relaxed); }
+  void write(T V) { Value.store(V, std::memory_order_relaxed); }
+
+private:
+  std::atomic<T> Value;
 };
 
 /// A race-checked volatile (Java volatile / C++ seq_cst atomic): emits

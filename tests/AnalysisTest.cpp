@@ -1,0 +1,493 @@
+//===--- AnalysisTest.cpp - static elision classification & soundness -----===//
+//
+// Three layers of assurance for the elision subsystem (src/analysis):
+//
+//  1. Classification unit tests — the lockset and thread-locality
+//     verdicts on hand-written programs, including the edge cases that
+//     historically break static race analyses: reentrant acquisition,
+//     path-dependent locks, forks inside critical sections, and reads
+//     that precede the first lock-protected write.
+//  2. Adversarial conservatism — late-escape programs where a variable
+//     *looks* private until a later fork; the pass must refuse to elide.
+//  3. The soundness harness — every corpus program, full vs elided, on
+//     many schedules: identical program behavior (output, steps) and
+//     warning-for-warning identical FastTrack reports, which also match
+//     the exact happens-before oracle on the full trace. Plus the
+//     --no-elide guard: planning with Enabled=false restores the
+//     pre-analysis event stream byte for byte.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Elision.h"
+#include "core/FastTrack.h"
+#include "framework/Replay.h"
+#include "hb/RaceOracle.h"
+#include "lang/Interp.h"
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace ft;
+using namespace ft::lang;
+using analysis::Verdict;
+
+#ifndef FT_CORPUS_DIR
+#error "FT_CORPUS_DIR must point at examples/programs"
+#endif
+
+namespace {
+
+Program compileOrDie(const std::string &Source) {
+  Program P;
+  std::vector<Diag> Diags;
+  bool Ok = compileProgram(Source, P, Diags);
+  EXPECT_TRUE(Ok) << (Diags.empty() ? std::string("(no diagnostic)")
+                                    : toString(Diags.front()));
+  return P;
+}
+
+Verdict verdictOf(const analysis::AnalysisResult &R,
+                  const std::string &Var) {
+  for (const analysis::VarClass &V : R.Vars)
+    if (V.Name == Var)
+      return V.V;
+  ADD_FAILURE() << "variable '" << Var << "' not classified";
+  return Verdict::MustInstrument;
+}
+
+Verdict classify(const std::string &Source, const std::string &Var) {
+  Program P = compileOrDie(Source);
+  analysis::AnalysisResult R = analysis::analyzeProgram(P);
+  return verdictOf(R, Var);
+}
+
+std::vector<VarId> warnedVars(const Trace &T) {
+  FastTrack Detector;
+  replay(T, Detector);
+  std::vector<VarId> Vars;
+  for (const RaceWarning &W : Detector.warnings())
+    Vars.push_back(W.Var);
+  std::sort(Vars.begin(), Vars.end());
+  Vars.erase(std::unique(Vars.begin(), Vars.end()), Vars.end());
+  return Vars;
+}
+
+std::string readFileOrEmpty(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return {};
+  std::string Text;
+  char Buf[1 << 14];
+  size_t Got;
+  while ((Got = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
+    Text.append(Buf, Got);
+  std::fclose(File);
+  return Text;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// 1. Classification
+//===----------------------------------------------------------------------===//
+
+TEST(Classify, PerWorkerTalliesAreThreadLocal) {
+  const char *Source = R"(
+    shared tally;
+    fn worker(n) {
+      local i = 0;
+      while (i < n) { tally = tally + 1; i = i + 1; }
+    }
+    fn main() {
+      let t = spawn worker(5);
+      join t;
+    }
+  )";
+  EXPECT_EQ(classify(Source, "tally"), Verdict::ThreadLocal);
+}
+
+TEST(Classify, MainOnlyVariableIsThreadLocal) {
+  const char *Source = R"(
+    shared x;
+    fn noise() { local i = 0; i = i + 1; }
+    fn main() {
+      let t = spawn noise();
+      x = 1;
+      x = x + 1;
+      join t;
+      print x;
+    }
+  )";
+  EXPECT_EQ(classify(Source, "x"), Verdict::ThreadLocal);
+}
+
+TEST(Classify, PreForkInitDoesNotDefeatLockConsistency) {
+  const char *Source = R"(
+    shared total;
+    lock m;
+    fn worker() { sync (m) { total = total + 1; } }
+    fn main() {
+      total = 10;            // unlocked, but pre-fork: happens-before all
+      let a = spawn worker();
+      let b = spawn worker();
+      join a; join b;
+      sync (m) { print total; }
+    }
+  )";
+  EXPECT_EQ(classify(Source, "total"), Verdict::LockConsistent);
+}
+
+TEST(Classify, SpawnInLoopDefeatsThreadLocality) {
+  // One static spawn site, many dynamic threads: 'tally' is touched by
+  // every instance, unlocked, so it must stay instrumented.
+  const char *Source = R"(
+    shared tally;
+    fn worker() { tally = tally + 1; }
+    fn main() {
+      local i = 0;
+      while (i < 3) {
+        let t = spawn worker();
+        join t;
+        i = i + 1;
+      }
+    }
+  )";
+  EXPECT_EQ(classify(Source, "tally"), Verdict::MustInstrument);
+}
+
+TEST(Classify, ReentrantAcquireStillCountsAsHeld) {
+  // The inner sync(m) releases at its own brace; the lock-stack model
+  // must keep m in the outer region's must-hold set afterwards.
+  const char *Source = R"(
+    shared x;
+    lock m;
+    fn worker() {
+      sync (m) {
+        sync (m) { x = x + 1; }
+        x = x + 2;            // still under the outer m
+      }
+    }
+    fn main() {
+      let a = spawn worker();
+      let b = spawn worker();
+      join a; join b;
+    }
+  )";
+  EXPECT_EQ(classify(Source, "x"), Verdict::LockConsistent);
+}
+
+TEST(Classify, DifferentLocksOnDifferentPathsMustInstrument) {
+  // Each site is locked, but no single lock covers all of them — the
+  // classic lockset-intersection failure, and a genuine race.
+  const char *Source = R"(
+    shared x;
+    lock m1;
+    lock m2;
+    fn left() { sync (m1) { x = x + 1; } }
+    fn right() { sync (m2) { x = x + 1; } }
+    fn main() {
+      let a = spawn left();
+      let b = spawn right();
+      join a; join b;
+    }
+  )";
+  EXPECT_EQ(classify(Source, "x"), Verdict::MustInstrument);
+}
+
+TEST(Classify, ForkInsideCriticalSectionDoesNotInheritTheLock) {
+  // main spawns while holding m; the child does NOT hold m, so x is not
+  // lock-consistent (and really does race with main's locked access).
+  const char *Source = R"(
+    shared x;
+    lock m;
+    fn child() { x = x + 1; }
+    fn main() {
+      local t = 0;
+      sync (m) {
+        x = 1;
+        t = spawn child();
+      }
+      join t;
+    }
+  )";
+  EXPECT_EQ(classify(Source, "x"), Verdict::MustInstrument);
+}
+
+TEST(Classify, ForkInsideCriticalSectionChildWithOwnLockIsConsistent) {
+  // Same shape, but the child takes m itself: every access holds m.
+  const char *Source = R"(
+    shared x;
+    lock m;
+    fn child() { sync (m) { x = x + 1; } }
+    fn main() {
+      local t = 0;
+      sync (m) {
+        x = 1;
+        t = spawn child();
+      }
+      join t;
+    }
+  )";
+  EXPECT_EQ(classify(Source, "x"), Verdict::LockConsistent);
+}
+
+TEST(Classify, ReadBeforeFirstLockedWriteMustInstrument) {
+  // The worker peeks at x unlocked before entering the locked protocol;
+  // that one read defeats consistency for the whole variable.
+  const char *Source = R"(
+    shared x;
+    lock m;
+    fn worker() {
+      if (x > 0) {            // unlocked read
+        sync (m) { x = x + 1; }
+      }
+    }
+    fn main() {
+      let a = spawn worker();
+      let b = spawn worker();
+      join a; join b;
+    }
+  )";
+  EXPECT_EQ(classify(Source, "x"), Verdict::MustInstrument);
+}
+
+TEST(Classify, ArraysClassifyAsOneUnit) {
+  // One racy element poisons the whole array (indices are not separated
+  // statically).
+  const char *Source = R"(
+    shared buf[4];
+    lock m;
+    fn locked() { sync (m) { buf[0] = 1; } }
+    fn unlocked() { buf[3] = 2; }
+    fn main() {
+      let a = spawn locked();
+      let b = spawn unlocked();
+      join a; join b;
+    }
+  )";
+  EXPECT_EQ(classify(Source, "buf"), Verdict::MustInstrument);
+}
+
+TEST(Classify, VolatilesAreNeverElisionCandidates) {
+  const char *Source = R"(
+    shared x;
+    volatile flag;
+    fn worker() { x = 1; flag = 1; }
+    fn main() {
+      let t = spawn worker();
+      while (flag == 0) { }
+      print x;
+      join t;
+    }
+  )";
+  Program P = compileOrDie(Source);
+  analysis::AnalysisResult R = analysis::analyzeProgram(P);
+  for (const analysis::VarClass &V : R.Vars)
+    EXPECT_NE(V.Name, "flag") << "volatiles must not be classified";
+  for (const analysis::SiteReport &S : R.Sites)
+    EXPECT_NE(S.Variable, "flag");
+}
+
+//===----------------------------------------------------------------------===//
+// 2. Adversarial conservatism: late escape
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// x looks main-private for a long prefix, then escapes to a thread
+/// forked late. The pre-fork refinement must stop at the *first* spawn
+/// in main, so every one of main's accesses after it stays effective.
+const char *LateEscape = R"(
+  shared x;
+  fn noise() { local i = 0; i = i + 1; }
+  fn late() { x = x + 100; }
+  fn main() {
+    x = 1;                     // pre-fork: genuinely safe
+    let n = spawn noise();     // first spawn: refinement boundary
+    x = x + 1;                 // post-fork main access, unlocked
+    join n;
+    let t = spawn late();      // x escapes HERE
+    x = x + 1;                 // races with late()
+    join t;
+    print x;
+  }
+)";
+
+} // namespace
+
+TEST(LateEscape, VariableStaysInstrumented) {
+  EXPECT_EQ(classify(LateEscape, "x"), Verdict::MustInstrument);
+}
+
+TEST(LateEscape, ElisionPreservesTheRaceOnEverySchedule) {
+  Program Full = compileOrDie(LateEscape);
+  Program Elided = compileOrDie(LateEscape);
+  analysis::ElisionPlan Plan = analysis::applyElision(Elided);
+
+  bool SawRace = false;
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    InterpOptions Options;
+    Options.Seed = Seed;
+    InterpResult A = interpret(Full, Options);
+    InterpResult B = interpret(Elided, Options);
+    ASSERT_TRUE(A.Ok && B.Ok) << "seed " << Seed;
+    EXPECT_EQ(warnedVars(A.EventTrace), warnedVars(B.EventTrace))
+        << "seed " << Seed;
+    SawRace |= !warnedVars(B.EventTrace).empty();
+  }
+  EXPECT_TRUE(SawRace) << "the adversarial program never raced — the "
+                          "conservatism claim was not exercised";
+  (void)Plan;
+}
+
+//===----------------------------------------------------------------------===//
+// 3. Soundness harness over the corpus + the --no-elide guard
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *CorpusFiles[] = {
+    "philosophers.mc",   "bounded_buffer.mc", "stencil.mc",
+    "readers_writer.mc", "double_checked.mc", "worker_ledger.mc",
+};
+
+} // namespace
+
+class ElisionSoundness : public ::testing::TestWithParam<const char *> {
+protected:
+  std::string source() const {
+    return readFileOrEmpty(std::string(FT_CORPUS_DIR) + "/" + GetParam());
+  }
+};
+
+TEST_P(ElisionSoundness, WarningForWarningEquivalentToFullInstrumentation) {
+  std::string Source = source();
+  ASSERT_FALSE(Source.empty()) << GetParam();
+
+  Program Full = compileOrDie(Source);
+  Program Elided = compileOrDie(Source);
+  analysis::applyElision(Elided);
+
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    InterpOptions Options;
+    Options.Seed = Seed;
+    InterpResult A = interpret(Full, Options);
+    InterpResult B = interpret(Elided, Options);
+    ASSERT_TRUE(A.Ok) << GetParam() << " seed " << Seed;
+    ASSERT_TRUE(B.Ok) << GetParam() << " seed " << Seed;
+
+    // Elision must not perturb the program itself.
+    EXPECT_EQ(A.Output, B.Output) << GetParam() << " seed " << Seed;
+    EXPECT_EQ(A.Steps, B.Steps) << GetParam() << " seed " << Seed;
+    EXPECT_EQ(A.EventsElided, 0u);
+    EXPECT_EQ(B.EventTrace.size() + B.EventsElided, A.EventTrace.size())
+        << GetParam() << " seed " << Seed
+        << ": elision must only remove events, never add or reorder";
+
+    // Warning-for-warning equivalence, and both match the exact HB
+    // oracle on the fully instrumented trace.
+    std::vector<VarId> Oracle = racyVars(A.EventTrace);
+    std::sort(Oracle.begin(), Oracle.end());
+    Oracle.erase(std::unique(Oracle.begin(), Oracle.end()), Oracle.end());
+    EXPECT_EQ(warnedVars(A.EventTrace), Oracle)
+        << GetParam() << " seed " << Seed;
+    EXPECT_EQ(warnedVars(B.EventTrace), Oracle)
+        << GetParam() << " seed " << Seed;
+  }
+}
+
+TEST_P(ElisionSoundness, NoElideRestoresTheExactEventStream) {
+  std::string Source = source();
+  ASSERT_FALSE(Source.empty()) << GetParam();
+
+  Program Pristine = compileOrDie(Source);
+  Program Toggled = compileOrDie(Source);
+
+  // Elide, then retract with the --no-elide path; the stamps must all
+  // clear, not linger.
+  analysis::applyElision(Toggled);
+  analysis::ElisionOptions Off;
+  Off.Enabled = false;
+  analysis::applyElision(Toggled, Off);
+
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    InterpOptions Options;
+    Options.Seed = Seed;
+    InterpResult A = interpret(Pristine, Options);
+    InterpResult B = interpret(Toggled, Options);
+    ASSERT_TRUE(A.Ok && B.Ok) << GetParam() << " seed " << Seed;
+    EXPECT_EQ(B.EventsElided, 0u) << GetParam() << " seed " << Seed;
+    ASSERT_EQ(A.EventTrace.size(), B.EventTrace.size())
+        << GetParam() << " seed " << Seed;
+    for (size_t I = 0; I != A.EventTrace.size(); ++I)
+      ASSERT_EQ(A.EventTrace[I], B.EventTrace[I])
+          << GetParam() << " seed " << Seed << " op " << I;
+    EXPECT_EQ(A.Output, B.Output) << GetParam() << " seed " << Seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, ElisionSoundness,
+                         ::testing::ValuesIn(CorpusFiles),
+                         [](const ::testing::TestParamInfo<const char *>
+                                &Info) {
+                           std::string Name = Info.param;
+                           Name.resize(Name.size() - 3); // drop ".mc"
+                           for (char &C : Name)
+                             if (!std::isalnum(
+                                     static_cast<unsigned char>(C)))
+                               C = '_';
+                           return Name;
+                         });
+
+//===----------------------------------------------------------------------===//
+// Plan telemetry
+//===----------------------------------------------------------------------===//
+
+TEST(ElisionPlan, WorkerLedgerElidesEverything) {
+  std::string Source =
+      readFileOrEmpty(std::string(FT_CORPUS_DIR) + "/worker_ledger.mc");
+  ASSERT_FALSE(Source.empty());
+  Program P = compileOrDie(Source);
+  analysis::ElisionPlan Plan = analysis::applyElision(P);
+
+  EXPECT_EQ(Plan.VarsMustInstrument, 0u);
+  EXPECT_EQ(Plan.VarsThreadLocal, 2u);    // tallyA, tallyB
+  EXPECT_EQ(Plan.VarsLockConsistent, 1u); // total
+  EXPECT_EQ(Plan.SitesElided, Plan.SitesTotal);
+  EXPECT_GT(Plan.SitesTotal, 0u);
+
+  InterpResult Run = interpret(P);
+  ASSERT_TRUE(Run.Ok);
+  EXPECT_EQ(Run.Output, "50\n");
+  EXPECT_GT(Run.EventsElided, 0u);
+  // The headline claim: most of this program's events are accesses to
+  // proven-race-free data, and they all disappear.
+  double Saved = (double)Run.EventsElided /
+                 (double)(Run.EventsElided + Run.EventTrace.size());
+  EXPECT_GE(Saved, 0.30);
+}
+
+TEST(ElisionPlan, AblationKnobsKeepChosenVerdictsInstrumented) {
+  std::string Source =
+      readFileOrEmpty(std::string(FT_CORPUS_DIR) + "/worker_ledger.mc");
+  ASSERT_FALSE(Source.empty());
+  Program P = compileOrDie(Source);
+
+  analysis::ElisionOptions OnlyLocks;
+  OnlyLocks.ElideThreadLocal = false;
+  analysis::ElisionPlan Plan = analysis::applyElision(P, OnlyLocks);
+  EXPECT_GT(Plan.SitesElided, 0u);
+  EXPECT_LT(Plan.SitesElided, Plan.SitesTotal);
+
+  InterpResult Run = interpret(P);
+  ASSERT_TRUE(Run.Ok);
+  // The thread-local tallies now emit again; the trace must still be
+  // race-free and the program output unchanged.
+  EXPECT_EQ(Run.Output, "50\n");
+  EXPECT_TRUE(warnedVars(Run.EventTrace).empty());
+}

@@ -42,6 +42,7 @@ const CorpusEntry Corpus[] = {
     {"stencil.mc", nullptr, false},
     {"readers_writer.mc", "8\n", false},
     {"double_checked.mc", "42\n", true},
+    {"worker_ledger.mc", "50\n", false},
 };
 
 std::string readFileOrEmpty(const std::string &Path) {

@@ -255,6 +255,65 @@ TEST(OnlineEngine, DetectsARaceOnlineAndReportsItImmediately) {
   expectSameWarnings(Detector.warnings(), Sunk);
 }
 
+TEST(OnlineEngine, DowngradedSharedSkipsEventsButCountsThem) {
+  // The native elision annotation: a downgraded Shared<T> performs its
+  // accesses without emitting, and the session report says how many.
+  FastTrack Detector;
+  rt::Shared<int> Local;
+  rt::Shared<int> Checked;
+  Local.downgrade();
+  EXPECT_FALSE(Local.checked());
+
+  rt::Engine Engine(Detector);
+  FT_WRITE(Local, 1);
+  FT_WRITE(Checked, 2);
+  rt::Thread Child([&Local] {
+    FT_WRITE(Local, 3); // would be a capture-visible op if checked
+    (void)FT_READ(Local);
+  });
+  Child.join();
+  (void)FT_READ(Checked);
+  rt::OnlineReport Report = Engine.finish();
+
+  // Only Checked's accesses (plus fork/join) reach the stream.
+  Trace Expected =
+      TraceBuilder().wr(0, 0).fork(0, 1).join(0, 1).rd(0, 0).take();
+  EXPECT_EQ(serializeTrace(Report.Captured), serializeTrace(Expected));
+  EXPECT_EQ(Report.EventsElided, 3u);
+  EXPECT_EQ(Report.NumWarnings, 0u);
+  EXPECT_EQ(Local.read(), 3);
+}
+
+TEST(OnlineEngine, UpgradeRestoresEmission) {
+  FastTrack Detector;
+  rt::Shared<int> X;
+  X.downgrade();
+  X.upgrade();
+
+  rt::Engine Engine(Detector);
+  FT_WRITE(X, 1);
+  rt::OnlineReport Report = Engine.finish();
+  EXPECT_EQ(Report.EventsCaptured, 1u);
+  EXPECT_EQ(Report.EventsElided, 0u);
+}
+
+TEST(OnlineEngine, UncheckedIsAPureUninstrumentedPassThrough) {
+  FastTrack Detector;
+  rt::Unchecked<int> Scratch(5);
+  rt::Engine Engine(Detector);
+  Scratch.write(Scratch.read() + 1);
+  rt::Thread Child([&Scratch] { (void)Scratch.read(); });
+  Child.join();
+  rt::OnlineReport Report = Engine.finish();
+
+  EXPECT_EQ(Scratch.read(), 6);
+  // Nothing emitted, nothing counted: Unchecked is invisible to the
+  // session (unlike downgrade(), which is audited via EventsElided).
+  Trace Expected = TraceBuilder().fork(0, 1).join(0, 1).take();
+  EXPECT_EQ(serializeTrace(Report.Captured), serializeTrace(Expected));
+  EXPECT_EQ(Report.EventsElided, 0u);
+}
+
 //===----------------------------------------------------------------------===//
 // Online/offline equivalence on the ported example programs
 //===----------------------------------------------------------------------===//
