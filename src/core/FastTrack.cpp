@@ -7,12 +7,40 @@
 
 using namespace ft;
 
+namespace {
+
+/// Checkpoint shadow-section format (see snapshotShadow below).
+///
+/// v1 (legacy, pre-paged-shadow): u32 variable count, then a dense
+/// record per variable. Kept readable so old images resume on the paged
+/// layout.
+///
+/// v2: the u32 slot holds kShadowFormatV2 (never a valid v1 count — it
+/// would mean 2^32-1 variables), then a u64 variable count (million-
+/// variable-plus tables snapshot safely), then one record per *page*
+/// with a compact kind byte, so image size is proportional to touched
+/// pages — and within them to inflated state — not to NumVars.
+constexpr uint32_t kShadowFormatV2 = 0xffffffffu;
+
+/// Page kinds, chosen purely from logical content so a snapshot is a
+/// function of shadow *state*, never of fault-in history — that is what
+/// keeps resumed and uninterrupted runs byte-identical.
+enum ShadowPageKind : uint8_t {
+  kPageAbsent = 0,    ///< Every slot ⊥ (or the page was never faulted).
+  kPageWriteOnly = 1, ///< Some W set, every R still ⊥: W array only.
+  kPageDense = 2,     ///< Full W/R records (read VCs for inflated slots).
+};
+
+} // namespace
+
 template <typename EpochT>
 void BasicFastTrack<EpochT>::begin(const ToolContext &Context) {
-  assert(Context.NumThreads <= EpochT::MaxTid + 1 &&
+  // The top tid is the shadow table's READ_SHARED handle tag, so the
+  // usable range is one short of the raw epoch packing.
+  assert(Context.NumThreads <= EpochT::MaxTid &&
          "thread count exceeds this epoch layout; use FastTrack64");
   VectorClockToolBase::begin(Context);
-  Vars.assign(Context.NumVars, VarState());
+  Shadow.reset(Context.NumVars);
   Rules = FastTrackRuleStats();
 }
 
@@ -45,65 +73,71 @@ ThreadId BasicFastTrack<EpochT>::concurrentReader(const VectorClock &Rvc,
 
 template <typename EpochT>
 bool BasicFastTrack<EpochT>::onRead(ThreadId T, VarId X, size_t OpIndex) {
-  VarState &State = Vars[X];
+  Slot &S = Shadow.slot(X);
   EpochT Et = epochOf(T);
 
-  // [FT READ SAME EPOCH]: single epoch comparison, 63.4 % of reads.
-  if (Options.SameEpochFastPath && State.R == Et) {
+  // [FT READ SAME EPOCH]: single epoch comparison on the hot W/R pair,
+  // 63.4 % of reads. A tagged handle never equals a real epoch (its tid
+  // is the reserved tag), so no extra branch distinguishes them here.
+  if (Options.SameEpochFastPath && S.R == Et) {
     ++Rules.ReadSameEpoch;
     return false;
   }
 
-  bool Shared = State.R.isReadShared();
+  bool Shared = ShadowTable<EpochT>::isInflated(S.R);
 
   // Optional extension (Section 3): same-epoch hit on read-shared data.
   if (Options.ExtendedSharedSameEpoch && Shared &&
-      State.Rvc.get(T) == Et.clock()) {
+      Shadow.clockFor(S.R).get(T) == Et.clock()) {
     ++Rules.ReadSameEpoch;
     return false;
   }
 
   const VectorClock &Ct = threadClock(T);
 
-  // Write-read race check: Wx ≼ Ct, O(1).
-  if (!Ct.epochLeq(State.W))
-    reportAccessRace(T, X, OpIndex, OpKind::Read, State.W.tid(),
-                     OpKind::Write, "write-read race");
+  // Write-read race check: Wx ≼ Ct, O(1), same cache line as the R just
+  // read.
+  if (!Ct.epochLeq(S.W))
+    reportAccessRace(T, X, OpIndex, OpKind::Read, S.W.tid(), OpKind::Write,
+                     "write-read race");
 
   if (Shared) {
-    // [FT READ SHARED]: O(1) update of this thread's Rvc entry.
+    // [FT READ SHARED]: O(1) update of this thread's side-store entry.
     ++Rules.ReadShared;
-    State.Rvc.set(T, Ct.get(T));
+    Shadow.clockFor(S.R).set(T, Ct.get(T));
     return true;
   }
 
-  if (Options.EpochReads && Ct.epochLeq(State.R)) {
+  if (Options.EpochReads && Ct.epochLeq(S.R)) {
     // [FT READ EXCLUSIVE]: the previous read happens-before this one, so
     // the epoch representation still suffices.
     ++Rules.ReadExclusive;
-    State.R = Et;
+    S.R = Et;
     return true;
   }
 
   // [FT READ SHARE] (SLOW PATH): concurrent reads — inflate to a vector
-  // clock holding both read epochs. The Rvc buffer is recycled, but must
-  // be zeroed: entries from an earlier read-shared phase predate the
-  // write that deflated it and would cause false alarms if kept.
+  // clock holding both read epochs. inflate() recycles a deflated
+  // handle's buffer when one is parked (zeroed: entries from an earlier
+  // read-shared phase predate the write that deflated it and would cause
+  // false alarms if kept); only the handle moves into R.
   ++Rules.ReadShare;
-  State.Rvc.resetToBottom();
-  State.Rvc.set(State.R.tid(), static_cast<ClockValue>(State.R.clock()));
-  State.Rvc.set(T, Ct.get(T));
-  State.R = EpochT::readShared();
+  EpochT Prior = S.R;
+  EpochT Handle = Shadow.inflate();
+  VectorClock &Rvc = Shadow.clockFor(Handle);
+  Rvc.set(Prior.tid(), static_cast<ClockValue>(Prior.clock()));
+  Rvc.set(T, Ct.get(T));
+  S.R = Handle;
   return true;
 }
 
 template <typename EpochT>
 bool BasicFastTrack<EpochT>::onWrite(ThreadId T, VarId X, size_t OpIndex) {
-  VarState &State = Vars[X];
+  Slot &S = Shadow.slot(X);
   EpochT Et = epochOf(T);
 
   // [FT WRITE SAME EPOCH]: 71.0 % of writes.
-  if (Options.SameEpochFastPath && State.W == Et) {
+  if (Options.SameEpochFastPath && S.W == Et) {
     ++Rules.WriteSameEpoch;
     return false;
   }
@@ -112,59 +146,92 @@ bool BasicFastTrack<EpochT>::onWrite(ThreadId T, VarId X, size_t OpIndex) {
 
   // Write-write race check: Wx ≼ Ct, O(1). All prior writes are totally
   // ordered (absent detected races), so the last write epoch suffices.
-  if (!Ct.epochLeq(State.W))
-    reportAccessRace(T, X, OpIndex, OpKind::Write, State.W.tid(),
-                     OpKind::Write, "write-write race");
+  if (!Ct.epochLeq(S.W))
+    reportAccessRace(T, X, OpIndex, OpKind::Write, S.W.tid(), OpKind::Write,
+                     "write-write race");
 
-  if (!State.R.isReadShared()) {
+  if (!ShadowTable<EpochT>::isInflated(S.R)) {
     // [FT WRITE EXCLUSIVE]: read-write check against the read epoch, O(1).
     ++Rules.WriteExclusive;
-    if (!Ct.epochLeq(State.R))
-      reportAccessRace(T, X, OpIndex, OpKind::Write, State.R.tid(),
-                       OpKind::Read, "read-write race");
+    if (!Ct.epochLeq(S.R))
+      reportAccessRace(T, X, OpIndex, OpKind::Write, S.R.tid(), OpKind::Read,
+                       "read-write race");
   } else {
     // [FT WRITE SHARED] (SLOW PATH): full Rvc ⊑ Ct comparison, then the
     // read state deflates back to an epoch — later accesses cannot race
-    // with the discarded reads without also racing with this write.
+    // with the discarded reads without also racing with this write. The
+    // handle parks on the free list; its clock buffer is recycled by the
+    // next inflation anywhere in the table.
     ++Rules.WriteShared;
-    if (!State.Rvc.leq(Ct))
-      reportAccessRace(T, X, OpIndex, OpKind::Write,
-                       concurrentReader(State.Rvc, T), OpKind::Read,
-                       "read-write race");
-    State.R = EpochT();
+    const VectorClock &Rvc = Shadow.clockFor(S.R);
+    if (!Rvc.leq(Ct))
+      reportAccessRace(T, X, OpIndex, OpKind::Write, concurrentReader(Rvc, T),
+                       OpKind::Read, "read-write race");
+    Shadow.deflate(S.R);
+    S.R = EpochT();
   }
-  State.W = Et;
+  S.W = Et;
   return true;
 }
 
 template <typename EpochT>
 size_t BasicFastTrack<EpochT>::shadowBytes() const {
-  size_t Bytes = VectorClockToolBase::shadowBytes();
-  for (const VarState &State : Vars)
-    Bytes += sizeof(VarState) + State.Rvc.memoryBytes();
-  return Bytes;
+  // The table walks its side store, so heap-spilled read VCs (ClockArena
+  // blocks behind wide clocks) are charged against memory budgets too.
+  return VectorClockToolBase::shadowBytes() + Shadow.memoryBytes();
 }
 
 template <typename EpochT>
 uint64_t BasicFastTrack<EpochT>::inflatedReadStates() const {
-  uint64_t Count = 0;
-  for (const VarState &State : Vars)
-    Count += State.R.isReadShared();
-  return Count;
+  return Shadow.inflatedStates();
 }
 
 template <typename EpochT>
 void BasicFastTrack<EpochT>::snapshotShadow(ByteWriter &Writer) const {
+  using Table = ShadowTable<EpochT>;
   snapshotClocks(Writer);
-  Writer.u32(Vars.size());
-  for (const VarState &State : Vars) {
-    Writer.u64(static_cast<uint64_t>(State.W.raw()));
-    Writer.u64(static_cast<uint64_t>(State.R.raw()));
-    // The Rvc buffer only matters while the variable is read-shared;
-    // skipping it otherwise keeps checkpoints proportional to inflated
-    // state, not variable count.
-    if (State.R.isReadShared())
-      writeClock(Writer, State.Rvc);
+  Writer.u32(kShadowFormatV2);
+  Writer.u64(Shadow.numVars());
+  for (size_t PI = 0, E = Shadow.numPages(); PI != E; ++PI) {
+    const typename Table::Page *P = Shadow.pageAt(PI);
+    const uint32_t Used = Shadow.slotsInPage(PI);
+
+    // Classify from logical content only: a faulted page whose slots are
+    // all still ⊥ serializes as absent, identically to one never touched.
+    uint8_t Kind = kPageAbsent;
+    if (P) {
+      bool AnyW = false, AnyR = false;
+      for (uint32_t I = 0; I != Used; ++I) {
+        AnyW |= P->Slots[I].W.raw() != 0;
+        AnyR |= P->Slots[I].R.raw() != 0;
+      }
+      if (AnyR)
+        Kind = kPageDense;
+      else if (AnyW)
+        Kind = kPageWriteOnly;
+    }
+    Writer.u8(Kind);
+    if (Kind == kPageAbsent)
+      continue;
+    if (Kind == kPageWriteOnly) {
+      for (uint32_t I = 0; I != Used; ++I)
+        Writer.u64(static_cast<uint64_t>(P->Slots[I].W.raw()));
+      continue;
+    }
+    for (uint32_t I = 0; I != Used; ++I) {
+      const typename Table::Slot &S = P->Slots[I];
+      Writer.u64(static_cast<uint64_t>(S.W.raw()));
+      if (Table::isInflated(S.R)) {
+        // Handles are an internal indirection: serialize the canonical
+        // READ_SHARED sentinel plus the clock payload, so images never
+        // depend on side-store numbering and restore may re-assign
+        // handles freely without breaking byte-identical resume.
+        Writer.u64(static_cast<uint64_t>(EpochT::readShared().raw()));
+        writeClock(Writer, Shadow.clockFor(S.R));
+      } else {
+        Writer.u64(static_cast<uint64_t>(S.R.raw()));
+      }
+    }
   }
   Writer.u64(Rules.ReadSameEpoch);
   Writer.u64(Rules.ReadShared);
@@ -177,19 +244,64 @@ void BasicFastTrack<EpochT>::snapshotShadow(ByteWriter &Writer) const {
 
 template <typename EpochT>
 bool BasicFastTrack<EpochT>::restoreShadow(ByteReader &Reader) {
+  using Table = ShadowTable<EpochT>;
+  using RawT = typename Table::RawT;
   if (!restoreClocks(Reader))
     return false;
-  if (Reader.u32() != Vars.size())
+  Shadow.reset(Shadow.numVars()); // drop any state from a partial restore
+
+  const uint32_t Head = Reader.u32();
+  if (Reader.failed())
     return false;
-  using RawT = decltype(EpochT().raw());
-  for (VarState &State : Vars) {
-    State.W = EpochT::fromRaw(static_cast<RawT>(Reader.u64()));
-    State.R = EpochT::fromRaw(static_cast<RawT>(Reader.u64()));
-    if (State.R.isReadShared()) {
-      if (!readClock(Reader, State.Rvc))
+
+  if (Head == kShadowFormatV2) {
+    if (Reader.u64() != Shadow.numVars())
+      return false;
+    for (size_t PI = 0, E = Shadow.numPages(); PI != E; ++PI) {
+      const uint8_t Kind = Reader.u8();
+      if (Reader.failed() || Kind > kPageDense)
         return false;
-    } else {
-      State.Rvc = VectorClock();
+      if (Kind == kPageAbsent)
+        continue;
+      const uint32_t Used = Shadow.slotsInPage(PI);
+      const VarId Base = static_cast<VarId>(PI << Table::PageShift);
+      for (uint32_t I = 0; I != Used; ++I) {
+        typename Table::Slot &S = Shadow.slot(Base + I);
+        S.W = EpochT::fromRaw(static_cast<RawT>(Reader.u64()));
+        if (Kind == kPageWriteOnly)
+          continue;
+        EpochT R = EpochT::fromRaw(static_cast<RawT>(Reader.u64()));
+        if (R == EpochT::readShared()) {
+          S.R = Shadow.inflate();
+          if (!readClock(Reader, Shadow.clockFor(S.R)))
+            return false;
+        } else {
+          S.R = R;
+        }
+      }
+      if (Reader.failed())
+        return false;
+    }
+  } else {
+    // v1 (legacy dense image): u32 count already consumed into Head.
+    if (Head != Shadow.numVars())
+      return false;
+    for (VarId X = 0; X != Head; ++X) {
+      EpochT W = EpochT::fromRaw(static_cast<RawT>(Reader.u64()));
+      EpochT R = EpochT::fromRaw(static_cast<RawT>(Reader.u64()));
+      if (Reader.failed())
+        return false;
+      if (R == EpochT::readShared()) {
+        typename Table::Slot &S = Shadow.slot(X);
+        S.W = W;
+        S.R = Shadow.inflate();
+        if (!readClock(Reader, Shadow.clockFor(S.R)))
+          return false;
+      } else if (W.raw() != 0 || R.raw() != 0) {
+        typename Table::Slot &S = Shadow.slot(X);
+        S.W = W;
+        S.R = R;
+      } // else: still ⊥ — leave the region absent.
     }
   }
   Rules.ReadSameEpoch = Reader.u64();

@@ -32,9 +32,12 @@
 /// The detector is parameterized by the epoch representation (Section 4:
 /// "switching to 64-bit epochs would enable FastTrack to handle large
 /// thread identifiers or clock values"):
-///   - FastTrack   — 32-bit epochs, up to 256 threads (the paper's
+///   - FastTrack   — 32-bit epochs, up to 255 threads (the paper's
 ///                   default layout);
-///   - FastTrack64 — 64-bit epochs, up to 65,536 threads.
+///   - FastTrack64 — 64-bit epochs, up to 65,535 threads.
+/// The top tid of each layout is reserved as the shadow table's
+/// READ_SHARED handle tag (shadow/ShadowTable.h), extending the paper's
+/// all-ones sentinel into a whole tag space.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -43,6 +46,7 @@
 
 #include "framework/ShardableTool.h"
 #include "framework/VectorClockToolBase.h"
+#include "shadow/ShadowTable.h"
 
 namespace ft {
 
@@ -142,27 +146,32 @@ public:
   void snapshotShadow(ByteWriter &Writer) const override;
   bool restoreShadow(ByteReader &Reader) override;
 
+  /// Shadow pages currently faulted in (the table's memory footprint is
+  /// proportional to these, not to NumVars — see shadow/ShadowTable.h).
+  size_t residentShadowPages() const { return Shadow.residentPages(); }
+
 private:
-  /// Per-variable shadow state (Figure 5's VarState): write epoch W, read
-  /// epoch R (or READ_SHARED), and the read vector clock used only in
-  /// read-shared mode. The Rvc buffer is recycled across inflations.
+  /// Per-variable shadow state (Figure 5's VarState) lives in the paged
+  /// two-level ShadowTable: the hot pair (write epoch W, read epoch R)
+  /// packed side by side in on-demand pages, with read-shared vector
+  /// clocks hoisted into the table's side store. When a variable is
+  /// read-shared, R carries a tagged side-store handle in place of an
+  /// epoch (Shadow.isInflated/clockFor); inflation moves a handle, not a
+  /// clock, and the side store recycles both handles and clock buffers
+  /// across inflate → deflate cycles.
   ///
   /// **Recycled thread slots.** The online engine reuses the dense id of
-  /// a fully joined thread, so W, R, and Rvc entries may name a tid whose
-  /// thread is dead — a *stale epoch* c@t. No rule here changes: the
-  /// fork that reincarnates tid t joins the slot's clock (which still
-  /// dominates the dead lifetime's final clock f, own entry already at
-  /// f+1 from the join) into the successor, so c ≼ C holds for every
-  /// clock that synchronized with the dead thread, and the successor's
-  /// fresh epochs start at (f+1)@t — never equal to a stale one. The
-  /// same argument covers dead-slot entries inside read-shared Rvc VCs.
-  /// Proved against the exact HB oracle in FastTrackTest
-  /// (RecycledSlot* cases).
-  struct VarState {
-    EpochT W;
-    EpochT R;
-    VectorClock Rvc;
-  };
+  /// a fully joined thread, so W, R, and side-store clock entries may
+  /// name a tid whose thread is dead — a *stale epoch* c@t. No rule here
+  /// changes: the fork that reincarnates tid t joins the slot's clock
+  /// (which still dominates the dead lifetime's final clock f, own entry
+  /// already at f+1 from the join) into the successor, so c ≼ C holds
+  /// for every clock that synchronized with the dead thread, and the
+  /// successor's fresh epochs start at (f+1)@t — never equal to a stale
+  /// one. The same argument covers dead-slot entries inside read-shared
+  /// side-store VCs. Proved against the exact HB oracle in FastTrackTest
+  /// (RecycledSlot* cases) and ShadowTableTest.
+  using Slot = typename ShadowTable<EpochT>::Slot;
 
   /// E(t) = Ct(t)@t, packed into this instantiation's epoch layout.
   EpochT epochOf(ThreadId T) const { return EpochT::make(T, currentClock(T)); }
@@ -174,7 +183,7 @@ private:
   ThreadId concurrentReader(const VectorClock &Rvc, ThreadId T) const;
 
   FastTrackOptions Options;
-  std::vector<VarState> Vars;
+  ShadowTable<EpochT> Shadow;
   FastTrackRuleStats Rules;
 };
 
@@ -182,7 +191,7 @@ private:
 using FastTrack = BasicFastTrack<Epoch>;
 
 /// The Section 4 extension: 64-bit epochs for programs with more than
-/// 256 threads (16-bit tid, 48-bit clock).
+/// 255 threads (16-bit tid, 48-bit clock).
 using FastTrack64 = BasicFastTrack<Epoch64>;
 
 extern template class BasicFastTrack<Epoch>;

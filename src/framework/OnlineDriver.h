@@ -54,6 +54,7 @@
 #define FASTTRACK_FRAMEWORK_ONLINEDRIVER_H
 
 #include "framework/Tool.h"
+#include "shadow/ShadowTable.h"
 #include "support/Status.h"
 #include "trace/ReentrancyFilter.h"
 
@@ -94,11 +95,14 @@ struct DegradePolicy {
   bool Enabled = true;
 
   /// Rungs in the order they are applied. The default mirrors
-  /// ResourceGovernor's divisor ladder, then sheds accesses.
+  /// ResourceGovernor's divisor ladder — whose final divisor folds one
+  /// shadow page region (ShadowPageVars fields) per object, aligning
+  /// maximal coarsening with the paged table's geometry — then sheds
+  /// accesses.
   std::vector<DegradeStep> Ladder = {
       {DegradeStep::Kind::CoarseGranularity, 8},
       {DegradeStep::Kind::CoarseGranularity, 64},
-      {DegradeStep::Kind::CoarseGranularity, 512},
+      {DegradeStep::Kind::CoarseGranularity, ShadowPageVars},
       {DegradeStep::Kind::AccessSampling, 8},
       {DegradeStep::Kind::SyncOnly, 0},
   };

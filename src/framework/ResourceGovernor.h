@@ -19,7 +19,12 @@
 /// governed replay always completes — possibly with reduced precision,
 /// which is reported, never silently.
 ///
-/// Degradation ladder (fields per object): fine → 8 → 64 → 512.
+/// Degradation ladder (fields per object): fine → 8 → 64 →
+/// ShadowPageVars (512). The final rung is deliberately one shadow page
+/// region per object (VarId >> ShadowPageShift): fully degraded replay
+/// folds each 4 KiB shadow page of the fine-grained table onto a single
+/// slot, so the coarse table's directory geometry matches the fine one's
+/// page grid (shadow/ShadowTable.h).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +32,7 @@
 #define FASTTRACK_FRAMEWORK_RESOURCEGOVERNOR_H
 
 #include "framework/Replay.h"
+#include "shadow/ShadowTable.h"
 #include "support/Status.h"
 
 #include <vector>
@@ -46,8 +52,10 @@ struct GovernorOptions {
 
   /// Coarse-granularity rungs (fields per object), tried in order after
   /// the caller's own configuration breaches the budget. The last rung
-  /// runs without a budget so the replay always completes.
-  std::vector<unsigned> Ladder = {8, 64, 512};
+  /// runs without a budget so the replay always completes; it folds one
+  /// shadow page region per object so maximal degradation aligns with
+  /// the paged table's geometry.
+  std::vector<unsigned> Ladder = {8, 64, ShadowPageVars};
 
   /// Optional tracker observing every probe (live/peak shadow bytes).
   MemoryTracker *Tracker = nullptr;

@@ -1,0 +1,42 @@
+#include "shadow/ShadowTable.h"
+
+using namespace ft;
+
+template <typename EpochT>
+typename ShadowTable<EpochT>::Page *ShadowTable<EpochT>::faultIn(size_t PI) {
+  // Value-initialization zeroes every slot: raw 0 is ⊥e for both fields,
+  // so a fresh page is indistinguishable from never-accessed state.
+  assert(!EagerBlock && "eager tables have every page resident");
+  Page *P = new Page();
+  Dir[PI] = P;
+  ++Resident;
+  return P;
+}
+
+template <typename EpochT>
+void ShadowTable<EpochT>::materializeEagerly(size_t NumPages) {
+  static_assert(sizeof(Page) == PageSize * sizeof(Slot),
+                "pages must tile so the eager block's slots are flat");
+  EagerBlock.reset(new Page[NumPages]()); // value-init: every slot ⊥
+  for (size_t PI = 0; PI != NumPages; ++PI)
+    Dir[PI] = &EagerBlock[PI];
+  FlatSlots = EagerBlock[0].Slots;
+  Resident = NumPages;
+}
+
+template <typename EpochT> void ShadowTable<EpochT>::releasePages() noexcept {
+  if (EagerBlock) {
+    EagerBlock.reset();
+    FlatSlots = nullptr;
+  } else {
+    for (Page *P : Dir)
+      delete P;
+  }
+  Dir.clear();
+  Resident = 0;
+}
+
+namespace ft {
+template class ShadowTable<Epoch>;
+template class ShadowTable<Epoch64>;
+} // namespace ft

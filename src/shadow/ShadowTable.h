@@ -1,0 +1,278 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compressed two-level shadow map backing FastTrack's per-variable
+/// state (docs/ARCHITECTURE.md, "Shadow memory").
+///
+/// FastTrack's whole thesis is that the common-case access touches O(1)
+/// shadow state, yet a naive per-variable record charges every variable
+/// for the rare case: two epochs plus an inline read vector clock that
+/// only the ~0.1 % read-shared variables ever materialize, laid out AoS
+/// in a flat array pre-sized to the declared variable count. This file
+/// applies the production shape used by Valgrind-family tools (two-level
+/// shadow maps with compressed per-address states) and Helgrind+ (shadow
+/// values packed into machine words):
+///
+///   - **Primary map, level 1**: a page directory indexed by
+///     `VarId >> ShadowPageShift`. A null entry is the distinguished
+///     compact state for a never-accessed region — it costs one pointer
+///     regardless of how many variables the region declares.
+///   - **Primary map, level 2**: fixed-size pages allocated on first
+///     touch. A page holds the packed hot fields only — write epoch W
+///     and read epoch R side by side, so the same-epoch fast paths and
+///     the O(1) race checks read exactly one cache line (~8 variables
+///     per line with 32-bit epochs). Spaces at or below
+///     ShadowEagerVarLimit skip lazy faulting: one contiguous block
+///     backs every page and accesses go through a flat pointer, so small
+///     programs pay zero indirection over the dense layout.
+///   - **Side store**: the rare read-shared vector clocks are hoisted
+///     out of the per-variable record into a per-table array keyed by a
+///     compact handle. The handle reuses R's tag bits: the top tid value
+///     of the epoch layout is reserved as the READ_SHARED tag (it was
+///     already burned by the all-ones sentinel) and the clock bits carry
+///     the side-store index. Inflation and deflation therefore move a
+///     4-byte handle instead of carrying 32+ inline bytes per variable
+///     forever, and freed handles park on a free list so a
+///     deflate → re-inflate cycle recycles both the handle and the
+///     clock's heap buffer (the Figure 5 Rvc-recycling behaviour,
+///     table-wide instead of per-variable).
+///
+/// Consequences the rest of the system relies on:
+///   - shadow RSS is proportional to *touched pages*, not the declared
+///     variable count — million-variable address spaces cost kilobytes
+///     until touched;
+///   - the hot slot is 2×sizeof(EpochT) (8 bytes for the paper's 32-bit
+///     layout, down from 48 with the inline-VC record), so dense scans
+///     stream 6x less shadow memory;
+///   - sharded clones fault in only the pages their shard's variables
+///     live on, making per-shard shadow an LLC-friendly slice for free;
+///   - the resource governor's final coarse-granularity rung folds
+///     exactly one shadow page region onto one shadow slot
+///     (ShadowPageVars fields per object), so the degraded shadow is one
+///     slot per page of the fine-grained one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_SHADOW_SHADOWTABLE_H
+#define FASTTRACK_SHADOW_SHADOWTABLE_H
+
+#include "clock/VectorClock.h"
+#include "trace/Ids.h"
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ft {
+
+/// Shadow page geometry, shared by both epoch layouts (and by the
+/// degradation ladder, whose final rung maps one page region to one
+/// shadow slot — see framework/ResourceGovernor.h). 512 slots keep a
+/// 32-bit-epoch page at exactly one 4 KiB allocation.
+inline constexpr uint32_t ShadowPageShift = 9;
+inline constexpr uint32_t ShadowPageVars = 1u << ShadowPageShift;
+
+/// Variable spaces up to this size are backed eagerly by one contiguous
+/// page block and accessed flat, skipping the directory's dependent load
+/// (measurably ~6 % of FastTrack's replay overhead on cache-resident
+/// workloads). Compression has nothing to win below this: the whole
+/// fine-grained shadow is at most a megabyte. Above it, pages fault in
+/// on first touch and footprint follows touched pages.
+inline constexpr size_t ShadowEagerVarLimit = 64 * 1024;
+
+/// The two-level SoA shadow map over epoch representation \p EpochT.
+///
+/// The table owns storage and representation only; the FastTrack rules
+/// that interpret W/R live in core/FastTrack.cpp. Thread-count contract:
+/// the top tid of the epoch layout is the READ_SHARED handle tag, so
+/// detectors using this table admit at most EpochT::MaxTid threads
+/// (255 / 65535), one fewer than the raw epoch packing.
+template <typename EpochT> class ShadowTable {
+public:
+  using RawT = decltype(EpochT().raw());
+
+  static constexpr uint32_t PageShift = ShadowPageShift;
+  static constexpr uint32_t PageSize = ShadowPageVars;
+  static constexpr uint32_t PageMask = PageSize - 1;
+
+  /// The packed hot pair. W and R are adjacent so every Figure 2 rule's
+  /// O(1) checks (same-epoch, Wx ≼ Ct, epoch-Rx ≼ Ct) read one line.
+  struct Slot {
+    EpochT W;
+    EpochT R;
+  };
+
+  /// A level-2 page: nothing but slots, zero-initialized to ⊥ on fault-in.
+  struct Page {
+    Slot Slots[PageSize];
+  };
+
+  ShadowTable() = default;
+  ShadowTable(const ShadowTable &) = delete;
+  ShadowTable &operator=(const ShadowTable &) = delete;
+  ~ShadowTable() { releasePages(); }
+
+  /// Re-sizes the directory for \p NumVars variables and drops all pages
+  /// and side-store state (Tool::begin semantics). Spaces at or below
+  /// ShadowEagerVarLimit are materialized as one contiguous block (the
+  /// directory still points into it, so snapshot iteration is uniform);
+  /// larger spaces start empty and fault pages in on first touch.
+  void reset(size_t NumVars) {
+    releasePages();
+    const size_t NumPages = (NumVars + PageMask) >> PageShift;
+    Dir.assign(NumPages, nullptr);
+    Vars = NumVars;
+    Resident = 0;
+    Clocks.clear();
+    FreeHandles.clear();
+    Live = 0;
+    if (NumVars != 0 && NumVars <= ShadowEagerVarLimit)
+      materializeEagerly(NumPages);
+  }
+
+  /// The hot-path accessor: returns the slot for \p X. Small tables take
+  /// the flat path — identical address arithmetic to the dense layout
+  /// behind one always-predicted branch. Large tables pay one extra
+  /// (cache-resident) directory load, faulting the page in on first
+  /// touch; the directory is 8 bytes per 512 variables.
+  Slot &slot(VarId X) {
+    assert(X < Vars && "variable id outside the shadow table");
+    if (__builtin_expect(FlatSlots != nullptr, 1))
+      return FlatSlots[X];
+    Page *P = Dir[X >> PageShift];
+    if (__builtin_expect(P == nullptr, 0))
+      P = faultIn(X >> PageShift);
+    return P->Slots[X & PageMask];
+  }
+
+  /// \name READ_SHARED handles (R's tag bits).
+  /// @{
+
+  /// True when \p R carries a side-store handle rather than a read epoch.
+  static constexpr bool isInflated(EpochT R) {
+    return (R.raw() >> EpochT::ClockBits) == EpochT::MaxTid;
+  }
+
+  /// The side-store index carried by an inflated \p R.
+  static constexpr uint32_t handleOf(EpochT R) {
+    return static_cast<uint32_t>(R.raw() & EpochT::MaxClock);
+  }
+
+  /// Packs side-store index \p H into the reserved-tid tag space.
+  static EpochT handleEpoch(uint32_t H) {
+    return EpochT::fromRaw((RawT(EpochT::MaxTid) << EpochT::ClockBits) |
+                           RawT(H));
+  }
+
+  /// Allocates a side-store clock (recycling a freed handle and its
+  /// buffer when one is parked) and returns the tagged R value for it.
+  /// The clock is ⊥ — recycled buffers are zeroed here, because stale
+  /// entries predate the write that deflated them and would raise false
+  /// alarms if kept.
+  EpochT inflate() {
+    uint32_t H;
+    if (!FreeHandles.empty()) {
+      H = FreeHandles.back();
+      FreeHandles.pop_back();
+      Clocks[H].resetToBottom();
+    } else {
+      H = static_cast<uint32_t>(Clocks.size());
+      assert(RawT(H) < EpochT::MaxClock &&
+             "side-store handle space exhausted for this epoch layout");
+      Clocks.emplace_back();
+    }
+    ++Live;
+    return handleEpoch(H);
+  }
+
+  /// Returns the inflated \p R's handle to the free list. The clock's
+  /// buffer is kept for the next inflation.
+  void deflate(EpochT R) {
+    assert(isInflated(R));
+    FreeHandles.push_back(handleOf(R));
+    --Live;
+  }
+
+  /// The read vector clock behind an inflated \p R.
+  VectorClock &clockFor(EpochT R) {
+    assert(isInflated(R));
+    return Clocks[handleOf(R)];
+  }
+  const VectorClock &clockFor(EpochT R) const {
+    assert(isInflated(R));
+    return Clocks[handleOf(R)];
+  }
+
+  /// Currently inflated (read-shared) variables.
+  uint64_t inflatedStates() const { return Live; }
+
+  /// Side-store slots ever materialized (high-water mark; freed handles
+  /// stay allocated for reuse).
+  size_t sideStoreSlots() const { return Clocks.size(); }
+
+  /// @}
+
+  /// \name Geometry and snapshot iteration (no faulting).
+  /// @{
+
+  size_t numVars() const { return Vars; }
+  size_t numPages() const { return Dir.size(); }
+  size_t residentPages() const { return Resident; }
+
+  /// The page for index \p PI, or null for a never-accessed region.
+  const Page *pageAt(size_t PI) const { return Dir[PI]; }
+
+  /// Slots of page \p PI that map to declared variables (the last page
+  /// may be partial).
+  uint32_t slotsInPage(size_t PI) const {
+    size_t Base = PI << PageShift;
+    size_t Left = Vars - Base;
+    return Left < PageSize ? static_cast<uint32_t>(Left) : PageSize;
+  }
+
+  /// @}
+
+  /// Bytes owned by the table: the directory, resident pages, the side
+  /// store's slot array and any heap-spilled (ClockArena) clock buffers,
+  /// and the handle free list. Walking the side store is O(inflation
+  /// high-water), matching the amortized contract of shadowBytes()
+  /// probes.
+  size_t memoryBytes() const {
+    size_t Bytes = Dir.capacity() * sizeof(Page *) + Resident * sizeof(Page);
+    Bytes += Clocks.capacity() * sizeof(VectorClock);
+    for (const VectorClock &Clock : Clocks)
+      Bytes += Clock.memoryBytes();
+    Bytes += FreeHandles.capacity() * sizeof(uint32_t);
+    return Bytes;
+  }
+
+private:
+  Page *faultIn(size_t PI); // out of line: first touch is the cold path
+  void materializeEagerly(size_t NumPages);
+  void releasePages() noexcept;
+
+  std::vector<Page *> Dir;        ///< Level 1: null = never-accessed region.
+  /// Flat view of the eager block for small tables (null when paging).
+  /// Page holds nothing but its slot array, so the block's slots are
+  /// contiguous and FlatSlots[X] is exactly Dir[X >> 9]->Slots[X & 511].
+  Slot *FlatSlots = nullptr;
+  std::unique_ptr<Page[]> EagerBlock; ///< Owns the contiguous small-table pages.
+  size_t Vars = 0;                ///< Declared variable count.
+  size_t Resident = 0;            ///< Pages faulted in (all, when eager).
+  std::vector<VectorClock> Clocks;///< Side store, indexed by handle.
+  std::vector<uint32_t> FreeHandles; ///< Deflated handles awaiting reuse.
+  uint64_t Live = 0;              ///< Handles currently in use.
+};
+
+extern template class ShadowTable<Epoch>;
+extern template class ShadowTable<Epoch64>;
+
+} // namespace ft
+
+#endif // FASTTRACK_SHADOW_SHADOWTABLE_H

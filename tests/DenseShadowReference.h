@@ -1,0 +1,123 @@
+//===--- DenseShadowReference.h - dense AoS FastTrack oracle for tests ----===//
+//
+// A deliberately naive FastTrack implementation over the pre-paged shadow
+// layout: one flat array-of-structs VarState per declared variable, with
+// the read vector clock inline and the all-ones READ_SHARED sentinel of
+// the paper. It exists so tests can assert warning-for-warning
+// equivalence between the production paged/SoA ShadowTable detector and
+// an independent dense implementation of the same Figure 2 rules —
+// catching representation bugs (handle aliasing, page-boundary faults,
+// recycled side-store buffers) that detectors sharing the table could
+// not.
+//
+// Test-only: never link this into shipped targets.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_TESTS_DENSESHADOWREFERENCE_H
+#define FASTTRACK_TESTS_DENSESHADOWREFERENCE_H
+
+#include "framework/VectorClockToolBase.h"
+
+#include <vector>
+
+namespace ft {
+
+template <typename EpochT>
+class DenseShadowReference : public VectorClockToolBase {
+public:
+  const char *name() const override { return "DenseShadowReference"; }
+
+  void begin(const ToolContext &Context) override {
+    VectorClockToolBase::begin(Context);
+    Vars.assign(Context.NumVars, VarState());
+  }
+
+  bool onRead(ThreadId T, VarId X, size_t OpIndex) override {
+    VarState &State = Vars[X];
+    EpochT Et = EpochT::make(T, currentClock(T));
+    if (State.R == Et) // [FT READ SAME EPOCH]
+      return false;
+
+    const VectorClock &Ct = threadClock(T);
+    if (!Ct.epochLeq(State.W))
+      report(T, X, OpIndex, OpKind::Read, State.W.tid(), OpKind::Write,
+             "write-read race");
+
+    if (State.R.isReadShared()) { // [FT READ SHARED]
+      State.Rvc.set(T, Ct.get(T));
+      return true;
+    }
+    if (Ct.epochLeq(State.R)) { // [FT READ EXCLUSIVE]
+      State.R = Et;
+      return true;
+    }
+    // [FT READ SHARE]
+    State.Rvc.resetToBottom();
+    State.Rvc.set(State.R.tid(), static_cast<ClockValue>(State.R.clock()));
+    State.Rvc.set(T, Ct.get(T));
+    State.R = EpochT::readShared();
+    return true;
+  }
+
+  bool onWrite(ThreadId T, VarId X, size_t OpIndex) override {
+    VarState &State = Vars[X];
+    EpochT Et = EpochT::make(T, currentClock(T));
+    if (State.W == Et) // [FT WRITE SAME EPOCH]
+      return false;
+
+    const VectorClock &Ct = threadClock(T);
+    if (!Ct.epochLeq(State.W))
+      report(T, X, OpIndex, OpKind::Write, State.W.tid(), OpKind::Write,
+             "write-write race");
+
+    if (!State.R.isReadShared()) { // [FT WRITE EXCLUSIVE]
+      if (!Ct.epochLeq(State.R))
+        report(T, X, OpIndex, OpKind::Write, State.R.tid(), OpKind::Read,
+               "read-write race");
+    } else { // [FT WRITE SHARED]
+      if (!State.Rvc.leq(Ct)) {
+        ThreadId Reader = UnknownThread;
+        for (ThreadId U = 0; U != State.Rvc.size(); ++U)
+          if (State.Rvc.get(U) > Ct.get(U)) {
+            Reader = U;
+            break;
+          }
+        report(T, X, OpIndex, OpKind::Write, Reader, OpKind::Read,
+               "read-write race");
+      }
+      State.Rvc.resetToBottom();
+      State.R = EpochT();
+    }
+    State.W = Et;
+    return true;
+  }
+
+private:
+  struct VarState {
+    EpochT W;
+    EpochT R;
+    VectorClock Rvc;
+  };
+
+  void report(ThreadId T, VarId X, size_t OpIndex, OpKind Kind,
+              ThreadId PriorThread, OpKind PriorKind, const char *Detail) {
+    RaceWarning W;
+    W.Var = X;
+    W.OpIndex = OpIndex;
+    W.CurrentThread = T;
+    W.CurrentKind = Kind;
+    W.PriorThread = PriorThread;
+    W.PriorKind = PriorKind;
+    W.Detail = Detail;
+    reportRace(std::move(W));
+  }
+
+  std::vector<VarState> Vars;
+};
+
+using DenseFastTrackReference = DenseShadowReference<Epoch>;
+
+} // namespace ft
+
+#endif // FASTTRACK_TESTS_DENSESHADOWREFERENCE_H

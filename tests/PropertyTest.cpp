@@ -18,6 +18,8 @@
 #include "trace/RandomTrace.h"
 #include "trace/TraceValidator.h"
 
+#include "DenseShadowReference.h"
+
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -110,6 +112,35 @@ TEST_P(RandomTraceProperty, AblatedFastTrackKeepsPrecision) {
   Extended.ExtendedSharedSameEpoch = true;
   FastTrack C(Extended);
   EXPECT_EQ(warnedVars(C, T), Expected) << "seed " << GetParam();
+}
+
+TEST_P(RandomTraceProperty, PagedShadowMatchesDenseReference) {
+  // The production detector stores shadow state in the paged/SoA
+  // ShadowTable; the reference reimplements the same Figure 2 rules over
+  // the naive dense AoS layout. Sparse page-straddling variable spaces
+  // exercise fault-in, partial pages, and side-store handle churn; the
+  // two must agree warning for warning, not just var for var.
+  for (double Chaos : {0.0, 0.15, 0.45}) {
+    RandomTraceConfig Config = configFor(GetParam(), Chaos);
+    Config.NumVars = static_cast<unsigned>(
+        ShadowPageVars * (1 + GetParam() % 3) + GetParam() * 31);
+    Trace T = generateRandomTrace(Config);
+    FastTrack Paged;
+    DenseFastTrackReference Dense;
+    replay(T, Paged);
+    replay(T, Dense);
+    ASSERT_EQ(Dense.warnings().size(), Paged.warnings().size())
+        << "seed " << GetParam() << " chaos " << Chaos;
+    for (size_t I = 0; I != Dense.warnings().size(); ++I) {
+      const RaceWarning &E = Dense.warnings()[I];
+      const RaceWarning &A = Paged.warnings()[I];
+      EXPECT_EQ(E.Var, A.Var) << "seed " << GetParam();
+      EXPECT_EQ(E.OpIndex, A.OpIndex) << "seed " << GetParam();
+      EXPECT_EQ(E.CurrentThread, A.CurrentThread) << "seed " << GetParam();
+      EXPECT_EQ(E.PriorThread, A.PriorThread) << "seed " << GetParam();
+      EXPECT_EQ(E.Detail, A.Detail) << "seed " << GetParam();
+    }
+  }
 }
 
 TEST_P(RandomTraceProperty, EraserStaysQuietOnDisciplinedLockTraces) {

@@ -1,0 +1,472 @@
+//===--- ShadowTableTest.cpp - the paged SoA shadow subsystem -------------===//
+//
+// Exercises shadow/ShadowTable.h both directly (page lifecycle, handle
+// recycling, memory accounting) and through FastTrack (checkpoint images
+// over the paged layout, legacy dense-image back-compat, recycled thread
+// slots inside side-store clocks, and warning-for-warning equivalence
+// against an independent dense AoS implementation of the same rules).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FastTrack.h"
+#include "framework/Replay.h"
+#include "shadow/ShadowTable.h"
+#include "support/ByteStream.h"
+#include "trace/RandomTrace.h"
+#include "trace/TraceBuilder.h"
+
+#include "DenseShadowReference.h"
+
+#include <gtest/gtest.h>
+
+using namespace ft;
+
+namespace {
+
+std::string shadowImage(const FastTrack &Tool) {
+  ByteWriter Writer;
+  Tool.snapshotShadow(Writer);
+  return std::string(Writer.bytes());
+}
+
+/// Drives \p Checker over \p T exactly like the serial replay loop, but
+/// in the open — so tests can probe or snapshot between operations.
+/// \p From / \p To bound the dispatched range (checkpoint-resume style).
+void drive(Tool &Checker, const Trace &T, size_t From, size_t To) {
+  for (size_t I = From; I != To; ++I) {
+    const Operation &Op = T[I];
+    if (Op.Kind == OpKind::Read)
+      Checker.onRead(Op.Thread, Op.Target, I);
+    else if (Op.Kind == OpKind::Write)
+      Checker.onWrite(Op.Thread, Op.Target, I);
+    else
+      dispatchSyncOp(Checker, T, Op, I);
+  }
+}
+
+ToolContext contextFor(const Trace &T) {
+  return makeToolContext(T, GranularityMap());
+}
+
+void expectSameWarnings(const std::vector<RaceWarning> &Expected,
+                        const std::vector<RaceWarning> &Actual,
+                        const char *Where) {
+  ASSERT_EQ(Expected.size(), Actual.size()) << Where;
+  for (size_t I = 0; I != Expected.size(); ++I) {
+    EXPECT_EQ(Expected[I].Var, Actual[I].Var) << Where << " #" << I;
+    EXPECT_EQ(Expected[I].OpIndex, Actual[I].OpIndex) << Where << " #" << I;
+    EXPECT_EQ(Expected[I].CurrentThread, Actual[I].CurrentThread)
+        << Where << " #" << I;
+    EXPECT_EQ(Expected[I].PriorThread, Actual[I].PriorThread)
+        << Where << " #" << I;
+    EXPECT_EQ(Expected[I].Detail, Actual[I].Detail) << Where << " #" << I;
+  }
+}
+
+/// Exposes the protected static clock codec and the clocks-section length
+/// of a serialized image (needed to transcode images byte-level).
+class ClockCodec : public VectorClockToolBase {
+public:
+  const char *name() const override { return "ClockCodec"; }
+  using VectorClockToolBase::readClock;
+  using VectorClockToolBase::writeClock;
+
+  /// Length in bytes of the C/L clocks section at the head of a
+  /// FastTrack shadow image for \p T.
+  static size_t clocksSectionLength(const Trace &T, std::string_view Image) {
+    ClockCodec Tool;
+    Tool.begin(contextFor(T));
+    ByteReader Reader(Image);
+    EXPECT_TRUE(Tool.restoreClocks(Reader));
+    return Image.size() - Reader.remaining();
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Direct table tests
+//===----------------------------------------------------------------------===//
+
+TEST(ShadowTable, PagesFaultInOnFirstTouchOnly) {
+  // Above the eager limit the table starts empty and pays per touch.
+  constexpr size_t NumVars = 2 * ShadowEagerVarLimit;
+  constexpr size_t NumPages = NumVars / ShadowPageVars;
+  ShadowTable<Epoch> Table;
+  Table.reset(NumVars);
+  EXPECT_EQ(Table.numPages(), NumPages);
+  EXPECT_EQ(Table.residentPages(), 0u);
+
+  Table.slot(0).W = Epoch::make(1, 7);
+  EXPECT_EQ(Table.residentPages(), 1u);
+  Table.slot(ShadowPageVars - 1).R = Epoch::make(2, 3); // same page
+  EXPECT_EQ(Table.residentPages(), 1u);
+  Table.slot(NumVars - ShadowPageVars).W = Epoch::make(1, 9); // last page
+  EXPECT_EQ(Table.residentPages(), 2u);
+
+  // Slots persist across faults and unrelated touches.
+  EXPECT_EQ(Table.slot(0).W, Epoch::make(1, 7));
+  EXPECT_EQ(Table.slot(ShadowPageVars - 1).R, Epoch::make(2, 3));
+
+  // reset() tears every page down.
+  Table.reset(NumVars);
+  EXPECT_EQ(Table.residentPages(), 0u);
+  EXPECT_EQ(Table.slot(0).W.raw(), Epoch().raw());
+}
+
+TEST(ShadowTable, SmallTablesMaterializeEagerly) {
+  // At or below the eager limit the whole space is resident from reset:
+  // the flat fast path must behave exactly like the paged one, and the
+  // footprint is still a fraction of the dense AoS layout's.
+  ShadowTable<Epoch> Table;
+  Table.reset(10 * ShadowPageVars);
+  EXPECT_EQ(Table.numPages(), 10u);
+  EXPECT_EQ(Table.residentPages(), 10u);
+
+  Table.slot(7).W = Epoch::make(1, 7);
+  Table.slot(9 * ShadowPageVars + 1).R = Epoch::make(2, 3);
+  EXPECT_EQ(Table.slot(7).W, Epoch::make(1, 7));
+  EXPECT_EQ(Table.pageAt(9)->Slots[1].R, Epoch::make(2, 3));
+  EXPECT_EQ(Table.pageAt(0)->Slots[7].W, Epoch::make(1, 7));
+
+  // reset() zeroes eager tables too.
+  Table.reset(10 * ShadowPageVars);
+  EXPECT_EQ(Table.slot(7).W.raw(), Epoch().raw());
+}
+
+TEST(ShadowTable, UntouchedMillionVarTableCostsOnlyTheDirectory) {
+  ShadowTable<Epoch> Table;
+  Table.reset(1u << 20);
+  // 2048 directory pointers; no pages, no side store.
+  EXPECT_EQ(Table.residentPages(), 0u);
+  EXPECT_LT(Table.memoryBytes(), 64u * 1024);
+  // Dense AoS at 48 bytes/var (2 epochs + inline VC) would be ~48 MiB.
+  EXPECT_LT(Table.memoryBytes() * 100, (1u << 20) * 48u);
+}
+
+TEST(ShadowTable, HandleRoundTripAndTagIsolation) {
+  using Table = ShadowTable<Epoch>;
+  // No real epoch — any tid the detector admits, any clock — ever looks
+  // like a handle: the tag tid is reserved.
+  for (ThreadId T = 0; T != Epoch::MaxTid; ++T) {
+    EXPECT_FALSE(Table::isInflated(Epoch::make(T, 0)));
+    EXPECT_FALSE(Table::isInflated(Epoch::make(T, Epoch::MaxClock)));
+  }
+  EXPECT_FALSE(Table::isInflated(Epoch()));
+  EXPECT_TRUE(Table::isInflated(Epoch::readShared()));
+  for (uint32_t H : {0u, 1u, 513u}) {
+    Epoch E = Table::handleEpoch(H);
+    EXPECT_TRUE(Table::isInflated(E));
+    EXPECT_EQ(Table::handleOf(E), H);
+  }
+}
+
+TEST(ShadowTable, InflateDeflateRecyclesHandleAndBuffer) {
+  ShadowTable<Epoch> Table;
+  Table.reset(ShadowPageVars);
+
+  Epoch H1 = Table.inflate();
+  Table.clockFor(H1).set(3, 17);
+  EXPECT_EQ(Table.inflatedStates(), 1u);
+  EXPECT_EQ(Table.sideStoreSlots(), 1u);
+
+  Table.deflate(H1);
+  EXPECT_EQ(Table.inflatedStates(), 0u);
+  EXPECT_EQ(Table.sideStoreSlots(), 1u); // buffer parked, not freed
+
+  // Re-inflation reuses the parked handle — and hands back a ⊥ clock:
+  // the old entries predate the deflating write and must not leak.
+  Epoch H2 = Table.inflate();
+  EXPECT_EQ(ShadowTable<Epoch>::handleOf(H2),
+            ShadowTable<Epoch>::handleOf(H1));
+  EXPECT_EQ(Table.sideStoreSlots(), 1u);
+  EXPECT_EQ(Table.clockFor(H2).get(3), 0u);
+
+  // A second concurrent inflation grows the store.
+  Epoch H3 = Table.inflate();
+  EXPECT_NE(ShadowTable<Epoch>::handleOf(H3),
+            ShadowTable<Epoch>::handleOf(H2));
+  EXPECT_EQ(Table.sideStoreSlots(), 2u);
+  EXPECT_EQ(Table.inflatedStates(), 2u);
+}
+
+TEST(ShadowTable, HeapSpilledSideStoreClocksAreAccounted) {
+  // Regression: a read VC wider than VectorClock::InlineCapacity spills
+  // to a heap (ClockArena) block; memoryBytes() must charge those bytes
+  // or budget probes under-account read-shared-heavy workloads.
+  ShadowTable<Epoch> Table;
+  Table.reset(ShadowPageVars);
+  Epoch H = Table.inflate();
+  size_t Inline = Table.memoryBytes();
+
+  Table.clockFor(H).set(VectorClock::InlineCapacity + 4, 9);
+  size_t Spilled = Table.memoryBytes();
+  EXPECT_EQ(Spilled - Inline, Table.clockFor(H).memoryBytes());
+  EXPECT_GE(Spilled - Inline,
+            (VectorClock::InlineCapacity + 5) * sizeof(ClockValue));
+}
+
+//===----------------------------------------------------------------------===//
+// Detector-level tests
+//===----------------------------------------------------------------------===//
+
+TEST(ShadowTable, FastTrackResidencyTracksTouchedPagesNotNumVars) {
+  // A million declared variables, a handful touched, spread across five
+  // page regions: shadow cost must follow the touches.
+  TraceBuilder B;
+  B.fork(0, 1);
+  for (VarId X : {0u, 5u, 600u, 601u, 300000u, 300100u, 999999u})
+    B.wr(1, X).rd(1, X);
+  B.join(0, 1);
+  B.wr(0, 999999); // keep the last page's id the trace's max var
+  Trace T = B.take();
+  ASSERT_EQ(T.numVars(), 1000000u);
+
+  FastTrack Tool;
+  replay(T, Tool);
+  EXPECT_TRUE(Tool.warnings().empty());
+  // {0,5} and {600,601} share pages 0 and 1; 300000 and 300100 land on
+  // pages 585 and 586; 999999 on page 1953.
+  EXPECT_EQ(Tool.residentShadowPages(), 5u);
+  // Dense AoS shadow was ~48 MiB here; the paged table stays well under
+  // 1 MiB (directory + 5 pages).
+  EXPECT_LT(Tool.shadowBytes(), 1u << 20);
+}
+
+TEST(ShadowTable, SpilledReadSharedClockMovesDetectorShadowBytes) {
+  // Budget-probe view of the spill regression: once a variable is read
+  // by more threads than fit inline, shadowBytes() must jump by at least
+  // the spilled buffer. Twelve workers read x0 with no ordering between
+  // their reads (each is forked and joined by thread 0 independently, so
+  // reads stay concurrent and the state stays read-shared).
+  constexpr unsigned Readers = 12;
+  static_assert(Readers > VectorClock::InlineCapacity,
+                "must exceed the inline clock to force an arena spill");
+  TraceBuilder B;
+  for (unsigned T = 1; T <= Readers; ++T)
+    B.fork(0, T);
+  for (unsigned T = 1; T <= Readers; ++T)
+    B.rd(T, 0);
+  for (unsigned T = 1; T <= Readers; ++T)
+    B.join(0, T);
+  Trace T = B.take();
+
+  FastTrack Tool;
+  Tool.begin(contextFor(T));
+  size_t Before = Tool.shadowBytes();
+  drive(Tool, T, 0, T.size());
+  Tool.end();
+  EXPECT_TRUE(Tool.warnings().empty());
+  EXPECT_EQ(Tool.inflatedReadStates(), 1u);
+  EXPECT_GE(Tool.shadowBytes(),
+            Before + (Readers + 1) * sizeof(ClockValue));
+}
+
+TEST(ShadowTable, CheckpointRoundTripIsBitIdenticalAndResumable) {
+  RandomTraceConfig Config;
+  Config.Seed = 99;
+  Config.NumThreads = 5;
+  Config.NumVars = 3 * ShadowPageVars; // spans pages
+  Config.OpsPerThread = 300;
+  Config.ChaosProbability = 0.2;
+  Trace T = generateRandomTrace(Config);
+
+  FastTrack Reference;
+  Reference.begin(contextFor(T));
+  const size_t Cut = T.size() / 2;
+  drive(Reference, T, 0, Cut);
+  std::string Mid = shadowImage(Reference);
+  const uint64_t MidInflated = Reference.inflatedReadStates();
+  drive(Reference, T, Cut, T.size());
+  Reference.end();
+  std::string Final = shadowImage(Reference);
+
+  // Restore the mid-trace image into a fresh tool and replay the rest:
+  // the result must be byte-identical, warnings included.
+  FastTrack Resumed;
+  Resumed.begin(contextFor(T));
+  ByteReader Reader(Mid);
+  ASSERT_TRUE(Resumed.restoreShadow(Reader));
+  EXPECT_EQ(shadowImage(Resumed), Mid); // restore → snapshot is identity
+  EXPECT_EQ(Resumed.inflatedReadStates(), MidInflated);
+  drive(Resumed, T, Cut, T.size());
+  Resumed.end();
+  EXPECT_EQ(shadowImage(Resumed), Final);
+
+  std::vector<RaceWarning> Suffix(
+      Reference.warnings().begin() +
+          static_cast<ptrdiff_t>(Reference.warnings().size() -
+                                 Resumed.warnings().size()),
+      Reference.warnings().end());
+  expectSameWarnings(Suffix, Resumed.warnings(), "resumed suffix");
+}
+
+TEST(ShadowTable, SnapshotIsCanonicalUnderHandlePermutation) {
+  // Inflate x520 before x5, so the live tool's side store numbers them
+  // handle 0 and 1 — the reverse of restore's var-order assignment. The
+  // image must not care (handles never serialize), and a restored tool
+  // running on permuted handle numbering must stay step-for-step
+  // equivalent through further inflations and deflations.
+  TraceBuilder B;
+  B.fork(0, 1).fork(0, 2);
+  B.rd(1, 520).rd(2, 520); // inflate x520 first → live handle 0
+  B.rd(1, 5).rd(2, 5);     // then x5 → live handle 1
+  const size_t Cut = 6;    // both inflated here
+  B.volWr(2, 0).volRd(1, 0); // order 2's reads before 1's write
+  B.wr(1, 520);              // deflate x520 (slow-path Rvc ⊑ C1 check)
+  B.volWr(1, 1).volRd(2, 1); // order the write before 2's next read
+  B.rd(2, 520).rd(1, 520);   // concurrent again: re-inflate, reusing the
+                             // freed handle via the free list
+  B.join(0, 1).join(0, 2);
+  Trace T = B.take();
+
+  FastTrack Live;
+  Live.begin(contextFor(T));
+  drive(Live, T, 0, Cut);
+  ASSERT_EQ(Live.inflatedReadStates(), 2u);
+  std::string Mid = shadowImage(Live);
+
+  FastTrack Restored;
+  Restored.begin(contextFor(T));
+  ByteReader Reader(Mid);
+  ASSERT_TRUE(Restored.restoreShadow(Reader));
+  EXPECT_EQ(shadowImage(Restored), Mid);
+
+  drive(Live, T, Cut, T.size());
+  drive(Restored, T, Cut, T.size());
+  EXPECT_TRUE(Live.warnings().empty());
+  EXPECT_TRUE(Restored.warnings().empty());
+  EXPECT_EQ(shadowImage(Restored), shadowImage(Live));
+}
+
+TEST(ShadowTable, LegacyDenseImageRestoresOntoPagedLayout) {
+  // Transcode a current image into the pre-paged v1 format (u32 count +
+  // one dense record per variable) at the byte level, restore it, and
+  // demand the re-snapshot reproduce the v2 image exactly.
+  RandomTraceConfig Config;
+  Config.Seed = 41;
+  Config.NumThreads = 4;
+  Config.NumVars = 2 * ShadowPageVars + 37; // partial last page
+  Config.OpsPerThread = 250;
+  Config.ChaosProbability = 0.25;
+  Trace T = generateRandomTrace(Config);
+
+  FastTrack Reference;
+  replay(T, Reference);
+  std::string V2 = shadowImage(Reference);
+
+  const size_t ClocksLen = ClockCodec::clocksSectionLength(T, V2);
+  ByteReader In(std::string_view(V2).substr(ClocksLen));
+  ASSERT_EQ(In.u32(), 0xffffffffu); // v2 format tag
+  const uint64_t NumVars = In.u64();
+  ASSERT_EQ(NumVars, T.numVars());
+
+  ByteWriter Out;
+  ASSERT_LT(NumVars, (1ull << 32)); // v1's headroom — hence the v2 header
+  Out.u32(static_cast<uint32_t>(NumVars));
+  const uint64_t SharedRaw = Epoch::readShared().raw();
+  for (uint64_t X = 0; X != NumVars;) {
+    const uint8_t Kind = In.u8();
+    ASSERT_FALSE(In.failed());
+    uint64_t Left = NumVars - X;
+    uint64_t Used = Left < ShadowPageVars ? Left : ShadowPageVars;
+    for (uint64_t I = 0; I != Used; ++I, ++X) {
+      uint64_t W = Kind == 0 ? 0 : In.u64();
+      uint64_t R = Kind == 2 ? In.u64() : 0;
+      Out.u64(W);
+      Out.u64(R);
+      if (R == SharedRaw) {
+        VectorClock Rvc;
+        ASSERT_TRUE(ClockCodec::readClock(In, Rvc));
+        ClockCodec::writeClock(Out, Rvc);
+      }
+    }
+  }
+  for (int I = 0; I != 7; ++I) // rule counters are unchanged across formats
+    Out.u64(In.u64());
+  ASSERT_FALSE(In.failed());
+  ASSERT_EQ(In.remaining(), 0u);
+
+  std::string V1 = V2.substr(0, ClocksLen) + Out.bytes();
+  FastTrack Restored;
+  Restored.begin(contextFor(T));
+  ByteReader Reader(V1);
+  ASSERT_TRUE(Restored.restoreShadow(Reader));
+  EXPECT_EQ(shadowImage(Restored), V2);
+}
+
+TEST(ShadowTable, MalformedImagesAreRejected) {
+  TraceBuilder B;
+  B.fork(0, 1).wr(1, 0).rd(1, 1).join(0, 1);
+  Trace T = B.take();
+  FastTrack Tool;
+  replay(T, Tool);
+  std::string Image = shadowImage(Tool);
+
+  // Truncation anywhere must fail cleanly, never crash or mis-restore.
+  for (size_t Len : {Image.size() - 1, Image.size() / 2, size_t(4)}) {
+    FastTrack Fresh;
+    Fresh.begin(contextFor(T));
+    ByteReader Reader(std::string_view(Image).substr(0, Len));
+    EXPECT_FALSE(Fresh.restoreShadow(Reader)) << "len " << Len;
+  }
+
+  // A v1 image whose count disagrees with the trace is rejected.
+  const size_t ClocksLen = ClockCodec::clocksSectionLength(T, Image);
+  ByteWriter Wrong;
+  Wrong.u32(T.numVars() + 1);
+  std::string Bad = Image.substr(0, ClocksLen) + Wrong.bytes();
+  FastTrack Fresh;
+  Fresh.begin(contextFor(T));
+  ByteReader Reader(Bad);
+  EXPECT_FALSE(Fresh.restoreShadow(Reader));
+}
+
+TEST(ShadowTable, RecycledSlotStaleEpochsInsideSideStoreClocks) {
+  // The online engine reuses dense thread slots; with the side store the
+  // stale entries live behind a shared handle table. Reincarnate tid 1
+  // several times around a read-shared variable and check the paged
+  // detector against the independent dense implementation, warning for
+  // warning (this trace has real races from the unsynchronized thread 3).
+  TraceBuilder B;
+  B.fork(0, 3);
+  for (int I = 0; I != 20; ++I) {
+    B.fork(0, 1).rd(1, 0).join(0, 1);  // reader lifetime of slot 1
+    B.fork(0, 2).rd(2, 0).join(0, 2);  // keeps x0 read-shared
+    if (I % 4 == 0)
+      B.wr(3, 0);                       // concurrent writer: races
+    B.fork(0, 1).wr(1, 0).join(0, 1);  // writer lifetime deflates x0
+  }
+  B.join(0, 3);
+  Trace T = B.take();
+
+  FastTrack Paged;
+  DenseFastTrackReference Dense;
+  replay(T, Paged);
+  replay(T, Dense);
+  EXPECT_FALSE(Paged.warnings().empty());
+  expectSameWarnings(Dense.warnings(), Paged.warnings(), "recycled slots");
+}
+
+TEST(ShadowTable, PagedMatchesDenseReferenceOnRandomTraces) {
+  // The tentpole's equivalence guarantee, against an implementation that
+  // shares no shadow code with the production detector. Variable counts
+  // straddle several pages so faults, partial pages, and handle churn
+  // all occur.
+  for (uint64_t Seed = 1; Seed != 30; ++Seed) {
+    RandomTraceConfig Config;
+    Config.Seed = Seed;
+    Config.NumThreads = 2 + Seed % 5;
+    Config.NumVars = static_cast<unsigned>(ShadowPageVars - 2 + Seed * 97);
+    Config.NumLocks = 1 + Seed % 3;
+    Config.OpsPerThread = 150 + Seed % 100;
+    Config.ChaosProbability = 0.05 * static_cast<double>(Seed % 8);
+    Trace T = generateRandomTrace(Config);
+
+    FastTrack Paged;
+    DenseFastTrackReference Dense;
+    replay(T, Paged);
+    replay(T, Dense);
+    expectSameWarnings(Dense.warnings(), Paged.warnings(), "random trace");
+  }
+}
