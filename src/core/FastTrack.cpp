@@ -29,6 +29,11 @@ enum ShadowPageKind : uint8_t {
   kPageAbsent = 0,    ///< Every slot ⊥ (or the page was never faulted).
   kPageWriteOnly = 1, ///< Some W set, every R still ⊥: W array only.
   kPageDense = 2,     ///< Full W/R records (read VCs for inflated slots).
+  kPageSummarized = 3, ///< Page folded to one page-granularity summary
+                       ///< slot by governed pressure shedding: W then R,
+                       ///< each either a raw epoch or the READ_SHARED
+                       ///< sentinel followed by a clock payload (a
+                       ///< summary's W may be a multi-writer join).
 };
 
 } // namespace
@@ -40,7 +45,12 @@ void BasicFastTrack<EpochT>::begin(const ToolContext &Context) {
   assert(Context.NumThreads <= EpochT::MaxTid &&
          "thread count exceeds this epoch layout; use FastTrack64");
   VectorClockToolBase::begin(Context);
+  Shadow.setPolicy(Options.Memory);
   Shadow.reset(Context.NumVars);
+  // Governance ticks count dispatched accesses (never wall clock), so a
+  // governed capture replays through identical table transitions.
+  MaintainCountdown =
+      Shadow.governed() ? Options.Memory.MaintainEveryAccesses : 0;
   Rules = FastTrackRuleStats();
 }
 
@@ -73,6 +83,13 @@ ThreadId BasicFastTrack<EpochT>::concurrentReader(const VectorClock &Rvc,
 
 template <typename EpochT>
 bool BasicFastTrack<EpochT>::onRead(ThreadId T, VarId X, size_t OpIndex) {
+  // The governance tick runs before the slot reference is taken, so page
+  // compression/shedding never runs under an in-flight rule.
+  if (__builtin_expect(MaintainCountdown != 0, 0) &&
+      --MaintainCountdown == 0) {
+    MaintainCountdown = Options.Memory.MaintainEveryAccesses;
+    Shadow.maintain();
+  }
   Slot &S = Shadow.slot(X);
   EpochT Et = epochOf(T);
 
@@ -96,10 +113,18 @@ bool BasicFastTrack<EpochT>::onRead(ThreadId T, VarId X, size_t OpIndex) {
   const VectorClock &Ct = threadClock(T);
 
   // Write-read race check: Wx ≼ Ct, O(1), same cache line as the R just
-  // read.
-  if (!Ct.epochLeq(S.W))
+  // read. A summarized region's W may carry an inflated multi-writer
+  // join ("governed tables may hand out an inflated W" —
+  // shadow/ShadowTable.h); the check widens to a clock comparison there.
+  if (__builtin_expect(ShadowTable<EpochT>::isInflated(S.W), 0)) {
+    const VectorClock &Wvc = Shadow.clockFor(S.W);
+    if (!Wvc.leq(Ct))
+      reportAccessRace(T, X, OpIndex, OpKind::Read, concurrentReader(Wvc, T),
+                       OpKind::Write, "write-read race");
+  } else if (!Ct.epochLeq(S.W)) {
     reportAccessRace(T, X, OpIndex, OpKind::Read, S.W.tid(), OpKind::Write,
                      "write-read race");
+  }
 
   if (Shared) {
     // [FT READ SHARED]: O(1) update of this thread's side-store entry.
@@ -133,10 +158,17 @@ bool BasicFastTrack<EpochT>::onRead(ThreadId T, VarId X, size_t OpIndex) {
 
 template <typename EpochT>
 bool BasicFastTrack<EpochT>::onWrite(ThreadId T, VarId X, size_t OpIndex) {
+  if (__builtin_expect(MaintainCountdown != 0, 0) &&
+      --MaintainCountdown == 0) {
+    MaintainCountdown = Options.Memory.MaintainEveryAccesses;
+    Shadow.maintain();
+  }
   Slot &S = Shadow.slot(X);
   EpochT Et = epochOf(T);
 
-  // [FT WRITE SAME EPOCH]: 71.0 % of writes.
+  // [FT WRITE SAME EPOCH]: 71.0 % of writes. A summarized region's
+  // inflated W never equals a real epoch (its tid is the reserved tag),
+  // so the fast path needs no extra branch.
   if (Options.SameEpochFastPath && S.W == Et) {
     ++Rules.WriteSameEpoch;
     return false;
@@ -145,10 +177,18 @@ bool BasicFastTrack<EpochT>::onWrite(ThreadId T, VarId X, size_t OpIndex) {
   const VectorClock &Ct = threadClock(T);
 
   // Write-write race check: Wx ≼ Ct, O(1). All prior writes are totally
-  // ordered (absent detected races), so the last write epoch suffices.
-  if (!Ct.epochLeq(S.W))
+  // ordered (absent detected races), so the last write epoch suffices —
+  // except on a summarized region, whose W may be the inflated per-tid
+  // join of several cold writers (full clock comparison).
+  if (__builtin_expect(ShadowTable<EpochT>::isInflated(S.W), 0)) {
+    const VectorClock &Wvc = Shadow.clockFor(S.W);
+    if (!Wvc.leq(Ct))
+      reportAccessRace(T, X, OpIndex, OpKind::Write, concurrentReader(Wvc, T),
+                       OpKind::Write, "write-write race");
+  } else if (!Ct.epochLeq(S.W)) {
     reportAccessRace(T, X, OpIndex, OpKind::Write, S.W.tid(), OpKind::Write,
                      "write-write race");
+  }
 
   if (!ShadowTable<EpochT>::isInflated(S.R)) {
     // [FT WRITE EXCLUSIVE]: read-write check against the read epoch, O(1).
@@ -170,6 +210,11 @@ bool BasicFastTrack<EpochT>::onWrite(ThreadId T, VarId X, size_t OpIndex) {
     Shadow.deflate(S.R);
     S.R = EpochT();
   }
+  // A summarized region's multi-writer W join is subsumed by this write
+  // exactly like an exclusive epoch (the ≼ check above already compared
+  // the full join); its side-store handle parks for reuse.
+  if (__builtin_expect(ShadowTable<EpochT>::isInflated(S.W), 0))
+    Shadow.deflate(S.W);
   S.W = Et;
   return true;
 }
@@ -189,21 +234,49 @@ uint64_t BasicFastTrack<EpochT>::inflatedReadStates() const {
 template <typename EpochT>
 void BasicFastTrack<EpochT>::snapshotShadow(ByteWriter &Writer) const {
   using Table = ShadowTable<EpochT>;
+  // Renumber side-store handles into page order first, so restore
+  // re-assigns them sequentially. Internal renumbering only — images
+  // never encode handles — so this changes no serialized byte.
+  if (Options.SortSideStoreOnSnapshot)
+    const_cast<Table &>(Shadow).compactSideStore();
   snapshotClocks(Writer);
   Writer.u32(kShadowFormatV2);
   Writer.u64(Shadow.numVars());
+  // Epochs-or-sentinel encoding shared by dense records and summary
+  // slots: an inflated value serializes as the canonical READ_SHARED
+  // sentinel plus its clock payload, so images never depend on
+  // side-store numbering and restore may re-assign handles freely
+  // without breaking byte-identical resume.
+  auto writeEpochOrClock = [&](EpochT E) {
+    if (Table::isInflated(E)) {
+      Writer.u64(static_cast<uint64_t>(EpochT::readShared().raw()));
+      writeClock(Writer, Shadow.clockFor(E));
+    } else {
+      Writer.u64(static_cast<uint64_t>(E.raw()));
+    }
+  };
+  std::vector<typename Table::Slot> Buf(Table::PageSize);
   for (size_t PI = 0, E = Shadow.numPages(); PI != E; ++PI) {
-    const typename Table::Page *P = Shadow.pageAt(PI);
     const uint32_t Used = Shadow.slotsInPage(PI);
 
+    if (Shadow.pageStateAt(PI) == ShadowPageState::Summarized) {
+      const typename Table::Slot &Sum = Shadow.summaryAt(PI);
+      Writer.u8(kPageSummarized);
+      writeEpochOrClock(Sum.W);
+      writeEpochOrClock(Sum.R);
+      continue;
+    }
+
     // Classify from logical content only: a faulted page whose slots are
-    // all still ⊥ serializes as absent, identically to one never touched.
+    // all still ⊥ serializes as absent, identically to one never touched,
+    // and a compressed page expands into Buf so its record is
+    // byte-identical to its resident twin's.
     uint8_t Kind = kPageAbsent;
-    if (P) {
+    if (Shadow.readPageContent(PI, Buf.data())) {
       bool AnyW = false, AnyR = false;
       for (uint32_t I = 0; I != Used; ++I) {
-        AnyW |= P->Slots[I].W.raw() != 0;
-        AnyR |= P->Slots[I].R.raw() != 0;
+        AnyW |= Buf[I].W.raw() != 0;
+        AnyR |= Buf[I].R.raw() != 0;
       }
       if (AnyR)
         Kind = kPageDense;
@@ -215,22 +288,12 @@ void BasicFastTrack<EpochT>::snapshotShadow(ByteWriter &Writer) const {
       continue;
     if (Kind == kPageWriteOnly) {
       for (uint32_t I = 0; I != Used; ++I)
-        Writer.u64(static_cast<uint64_t>(P->Slots[I].W.raw()));
+        Writer.u64(static_cast<uint64_t>(Buf[I].W.raw()));
       continue;
     }
     for (uint32_t I = 0; I != Used; ++I) {
-      const typename Table::Slot &S = P->Slots[I];
-      Writer.u64(static_cast<uint64_t>(S.W.raw()));
-      if (Table::isInflated(S.R)) {
-        // Handles are an internal indirection: serialize the canonical
-        // READ_SHARED sentinel plus the clock payload, so images never
-        // depend on side-store numbering and restore may re-assign
-        // handles freely without breaking byte-identical resume.
-        Writer.u64(static_cast<uint64_t>(EpochT::readShared().raw()));
-        writeClock(Writer, Shadow.clockFor(S.R));
-      } else {
-        Writer.u64(static_cast<uint64_t>(S.R.raw()));
-      }
+      Writer.u64(static_cast<uint64_t>(Buf[I].W.raw()));
+      writeEpochOrClock(Buf[I].R);
     }
   }
   Writer.u64(Rules.ReadSameEpoch);
@@ -257,12 +320,34 @@ bool BasicFastTrack<EpochT>::restoreShadow(ByteReader &Reader) {
   if (Head == kShadowFormatV2) {
     if (Reader.u64() != Shadow.numVars())
       return false;
+    // Mirror of snapshotShadow's writeEpochOrClock: the READ_SHARED
+    // sentinel re-inflates into a freshly assigned side-store handle
+    // (the ungated internal path — restore must not consume injected
+    // fault ordinals, hence no policy-gated inflate()).
+    auto readEpochOrClock = [&](EpochT &Out) {
+      EpochT E = EpochT::fromRaw(static_cast<RawT>(Reader.u64()));
+      if (E == EpochT::readShared()) {
+        Out = Shadow.inflateForRestore();
+        return readClock(Reader, Shadow.clockFor(Out));
+      }
+      Out = E;
+      return !Reader.failed();
+    };
     for (size_t PI = 0, E = Shadow.numPages(); PI != E; ++PI) {
       const uint8_t Kind = Reader.u8();
-      if (Reader.failed() || Kind > kPageDense)
+      if (Reader.failed() || Kind > kPageSummarized)
         return false;
       if (Kind == kPageAbsent)
         continue;
+      if (Kind == kPageSummarized) {
+        if (!Shadow.paged())
+          return false; // summaries cannot exist in an eager table
+        typename Table::Slot Sum;
+        if (!readEpochOrClock(Sum.W) || !readEpochOrClock(Sum.R))
+          return false;
+        Shadow.installSummary(PI, Sum);
+        continue;
+      }
       const uint32_t Used = Shadow.slotsInPage(PI);
       const VarId Base = static_cast<VarId>(PI << Table::PageShift);
       for (uint32_t I = 0; I != Used; ++I) {
@@ -270,14 +355,8 @@ bool BasicFastTrack<EpochT>::restoreShadow(ByteReader &Reader) {
         S.W = EpochT::fromRaw(static_cast<RawT>(Reader.u64()));
         if (Kind == kPageWriteOnly)
           continue;
-        EpochT R = EpochT::fromRaw(static_cast<RawT>(Reader.u64()));
-        if (R == EpochT::readShared()) {
-          S.R = Shadow.inflate();
-          if (!readClock(Reader, Shadow.clockFor(S.R)))
-            return false;
-        } else {
-          S.R = R;
-        }
+        if (!readEpochOrClock(S.R))
+          return false;
       }
       if (Reader.failed())
         return false;
@@ -294,7 +373,7 @@ bool BasicFastTrack<EpochT>::restoreShadow(ByteReader &Reader) {
       if (R == EpochT::readShared()) {
         typename Table::Slot &S = Shadow.slot(X);
         S.W = W;
-        S.R = Shadow.inflate();
+        S.R = Shadow.inflateForRestore();
         if (!readClock(Reader, Shadow.clockFor(S.R)))
           return false;
       } else if (W.raw() != 0 || R.raw() != 0) {

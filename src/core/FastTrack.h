@@ -103,6 +103,19 @@ struct FastTrackOptions {
   /// read-shared data (Rx ∈ VC and Rx(t) = Ct(t)) as a same-epoch hit,
   /// covering 78 % of reads like DJIT+'s same-epoch rule.
   bool ExtendedSharedSameEpoch = false;
+
+  /// Shadow-memory governance (shadow/ShadowPolicy.h): page temperature
+  /// tracking, lossless cold-page compression, and watermark-driven
+  /// summarization, all keyed deterministically on dispatched accesses.
+  /// Inert by default; the online driver installs the session policy via
+  /// configureShadowPolicy before begin().
+  ShadowMemoryPolicy Memory;
+
+  /// Renumber side-store handles in page order before every snapshot, so
+  /// checkpoint restore re-assigns them sequentially (sequential side-
+  /// store I/O). Serialized images never encode handles, so this changes
+  /// no image byte — it is purely the restore-side access pattern.
+  bool SortSideStoreOnSnapshot = true;
 };
 
 /// The FastTrack analysis over epoch representation \p EpochT. Accesses
@@ -123,6 +136,16 @@ public:
   bool onRead(ThreadId T, VarId X, size_t OpIndex) override;
   bool onWrite(ThreadId T, VarId X, size_t OpIndex) override;
   size_t shadowBytes() const override;
+
+  /// Adopts \p Policy for the shadow table (applied at the next begin(),
+  /// and inherited by shard clones through Options).
+  bool configureShadowPolicy(const ShadowMemoryPolicy &Policy) override {
+    Options.Memory = Policy;
+    return true;
+  }
+  ShadowGovernorStats shadowGovernorStats() const override {
+    return Shadow.governorStats();
+  }
 
   const FastTrackRuleStats &ruleStats() const { return Rules; }
 
@@ -181,6 +204,11 @@ private:
                         const char *Detail);
   /// Finds the reader recorded in Rvc that is concurrent with Ct.
   ThreadId concurrentReader(const VectorClock &Rvc, ThreadId T) const;
+
+  /// Counts down dispatched accesses to the next governance maintenance
+  /// tick (0 = governance off). Access-keyed — never wall clock — so a
+  /// degraded capture replays through identical table transitions.
+  uint64_t MaintainCountdown = 0;
 
   FastTrackOptions Options;
   ShadowTable<EpochT> Shadow;

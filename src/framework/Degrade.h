@@ -1,0 +1,123 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the FastTrack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The degradation ladder, shared by every governor in the repository.
+///
+/// Three subsystems shed precision under pressure: the offline resource
+/// governor (framework/ResourceGovernor.h) restarts replay at coarser
+/// granularity, the online driver (framework/OnlineDriver.h) transforms
+/// the live stream rung by rung, and the governed shadow table
+/// (shadow/ShadowPolicy.h) summarizes cold pages in place. All three walk
+/// the same divisor ladder — fine → 8 → 64 → ShadowPageVars — so this
+/// header is the single source of truth for the rung constants, the rung
+/// descriptions, and the memory-driven rung the shadow governor adds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTTRACK_FRAMEWORK_DEGRADE_H
+#define FASTTRACK_FRAMEWORK_DEGRADE_H
+
+#include "shadow/ShadowPolicy.h"
+#include "shadow/ShadowTable.h"
+
+#include <vector>
+
+namespace ft {
+
+class MemoryTracker;
+
+/// The canonical coarse-granularity divisors (fields per object), in the
+/// order they are applied. The final divisor folds exactly one shadow
+/// page region (ShadowPageVars fields) per object, aligning maximal
+/// coarsening with the paged table's geometry: fully degraded shadow is
+/// one slot per page of the fine-grained table — the same fold the
+/// shadow governor's page summarization applies in place.
+inline constexpr unsigned DegradeDivisorLadder[] = {8, 64, ShadowPageVars};
+
+/// One rung of the overload-degradation ladder.
+struct DegradeStep {
+  enum class Kind : uint8_t {
+    /// Map variable ids through a widening divisor (fields-per-object),
+    /// like ResourceGovernor's 8/64/512 rungs. Divisors are absolute,
+    /// not cumulative: the step's Param replaces any earlier divisor.
+    CoarseGranularity,
+    /// Deliver a deterministic 1 in Param accesses; drop the rest.
+    AccessSampling,
+    /// Drop every access; only the sync spine reaches the tool.
+    SyncOnly,
+    /// The memory-driven rung: the governed shadow table has summarized
+    /// cold pages to page-granularity slots (warnings may coarsen to the
+    /// page region; no race is missed). The stream is *not* transformed —
+    /// the precision loss already happened inside the table, and it is a
+    /// deterministic function of the delivered stream, so a degraded
+    /// capture still replays to identical warnings. Crossing this rung
+    /// records the transition and its diagnostic.
+    ShadowSummarize,
+  };
+  Kind K = Kind::CoarseGranularity;
+  unsigned Param = 8;
+};
+
+/// The offline governor's default divisor rungs as a vector (its ladder
+/// is divisors only; restart-based degradation has no sampling rung).
+inline std::vector<unsigned> defaultDivisorLadder() {
+  return {std::begin(DegradeDivisorLadder), std::end(DegradeDivisorLadder)};
+}
+
+/// The online driver's default ladder: the shared divisor rungs, then
+/// access shedding.
+inline std::vector<DegradeStep> defaultOnlineLadder() {
+  std::vector<DegradeStep> Ladder;
+  for (unsigned Divisor : DegradeDivisorLadder)
+    Ladder.push_back({DegradeStep::Kind::CoarseGranularity, Divisor});
+  Ladder.push_back({DegradeStep::Kind::AccessSampling, 8});
+  Ladder.push_back({DegradeStep::Kind::SyncOnly, 0});
+  return Ladder;
+}
+
+/// Policy for stepping down under overload instead of halting. The
+/// effective configuration at rung R is the cumulative result of applying
+/// ladder steps [0, R): the latest coarse divisor, the latest sampling
+/// modulus, and whether a SyncOnly step was crossed.
+struct DegradePolicy {
+  /// Pin the whole ladder off: every trigger that would have degraded
+  /// halts instead (the pre-PR-5 behavior).
+  bool Enabled = true;
+
+  /// Rungs in the order they are applied (see defaultOnlineLadder). When
+  /// Memory.Enabled, the driver prepends a ShadowSummarize rung so the
+  /// first memory-pressure transition is the in-table fold, before any
+  /// stream transform.
+  std::vector<DegradeStep> Ladder = defaultOnlineLadder();
+
+  /// Shadow-memory budget in bytes; 0 disables the budget trigger. The
+  /// driver probes Tool::shadowBytes() every BudgetCheckEveryOps raw ops
+  /// and steps down one rung per breached probe. Once the ladder is
+  /// exhausted the run continues unbudgeted (with a Note diagnostic),
+  /// exactly like the governor's final rung.
+  uint64_t ShadowBudgetBytes = 0;
+  unsigned BudgetCheckEveryOps = 4096;
+
+  /// Optional tracker observing every budget probe (live/peak bytes).
+  MemoryTracker *Tracker = nullptr;
+
+  /// Ladder steps pre-applied at construction (0 = start Full). Lets the
+  /// benches measure a pinned rung without manufacturing overload.
+  unsigned StartRung = 0;
+
+  /// Shadow-table self-governance (temperature tracking, cold-page
+  /// compression, watermark shedding). Offered to the tool via
+  /// Tool::configureShadowPolicy before begin(); tools without a governed
+  /// table decline and the driver falls back to ladder-only budgeting.
+  /// When Memory.BudgetBytes is 0 but ShadowBudgetBytes is set, the
+  /// driver forwards the latter so one knob governs both layers.
+  ShadowMemoryPolicy Memory;
+};
+
+} // namespace ft
+
+#endif // FASTTRACK_FRAMEWORK_DEGRADE_H

@@ -15,14 +15,28 @@ OnlineDriver::OnlineDriver(Tool &Checker, const ToolContext &Capacity,
       Reentrancy(Capacity.NumThreads, Capacity.NumLocks) {
   if (Options.Role != DriverRole::AdmissionOnly)
     FastRun = resolveFastDispatch(Checker);
-  const DegradePolicy &D = Options.Degrade;
+  DegradePolicy &D = Options.Degrade;
+  if (D.Enabled && D.Memory.Enabled) {
+    // Offer self-governance to the tool before begin() (the policy takes
+    // effect at the table's next reset). One budget knob governs both
+    // layers: an unset table budget inherits the ladder's.
+    ShadowMemoryPolicy M = D.Memory;
+    if (M.BudgetBytes == 0)
+      M.BudgetBytes = D.ShadowBudgetBytes;
+    MemoryGoverned = Checker.configureShadowPolicy(M);
+    if (MemoryGoverned)
+      // The first memory-pressure transition is the in-table fold, taken
+      // before any stream transform (see DegradeStep::Kind::ShadowSummarize).
+      D.Ladder.insert(D.Ladder.begin(),
+                      {DegradeStep::Kind::ShadowSummarize, 0});
+  }
   if (D.Enabled && D.StartRung != 0) {
     Rung = D.StartRung < D.Ladder.size() ? D.StartRung
                                          : static_cast<unsigned>(D.Ladder.size());
     applyRung();
   }
   if (D.Enabled &&
-      (D.ShadowBudgetBytes != 0 ||
+      (D.ShadowBudgetBytes != 0 || MemoryGoverned ||
        Options.ForceBudgetBreachAtRawOp != OnlineDriverOptions::NoFault))
     NextProbe = std::max<unsigned>(1, D.BudgetCheckEveryOps);
   Checker.begin(Capacity);
@@ -60,6 +74,10 @@ void OnlineDriver::applyRung() {
     case DegradeStep::Kind::SyncOnly:
       SyncOnlyMode = true;
       break;
+    case DegradeStep::Kind::ShadowSummarize:
+      // No stream transform: the precision fold happened inside the
+      // governed shadow table. Crossing the rung records the transition.
+      break;
     }
   }
 }
@@ -82,6 +100,9 @@ bool OnlineDriver::stepDown(StatusCode Code, const std::string &Reason) {
     break;
   case DegradeStep::Kind::SyncOnly:
     What = "sync-only (all accesses shed)";
+    break;
+  case DegradeStep::Kind::ShadowSummarize:
+    What = "shadow summarization (page-granularity cold shadow)";
     break;
   }
   Diagnostic Diag;
@@ -106,6 +127,33 @@ void OnlineDriver::probeBudget() {
       Options.ShadowBytes ? Options.ShadowBytes() : Checker.shadowBytes();
   if (D.Tracker)
     D.Tracker->sampleLive(Live);
+
+  // Memory-governed tools shed for themselves (watermark summarization,
+  // denied-allocation fallbacks); the probe's job is to surface the first
+  // such transition as the ShadowSummarize rung and its diagnostic.
+  if (MemoryGoverned && !MemoryRungNoted) {
+    ShadowGovernorStats S = Options.GovernorStats
+                                ? Options.GovernorStats()
+                                : Checker.shadowGovernorStats();
+    if (S.BudgetTrips != 0 || S.AllocDenied != 0) {
+      MemoryRungNoted = true;
+      const std::string Why =
+          S.AllocDenied != 0
+              ? "shadow allocation denied; cold pages summarized at page "
+                "granularity"
+              : "shadow memory high watermark tripped; cold pages summarized "
+                "at page granularity";
+      if (Rung < D.Ladder.size() &&
+          D.Ladder[Rung].K == DegradeStep::Kind::ShadowSummarize)
+        stepDown(StatusCode::ResourceExhausted, Why);
+      else
+        // A deeper rung is already active (or the ladder was customized
+        // without the memory rung): record the event without stepping.
+        Diags.push_back(
+            {StatusCode::ResourceExhausted, Severity::Note, 0, Raw, Why});
+    }
+  }
+
   bool Breach = D.ShadowBudgetBytes != 0 && Live > D.ShadowBudgetBytes;
   if (Options.ForceBudgetBreachAtRawOp != OnlineDriverOptions::NoFault &&
       Raw >= Options.ForceBudgetBreachAtRawOp) {

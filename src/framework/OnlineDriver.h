@@ -53,8 +53,8 @@
 #ifndef FASTTRACK_FRAMEWORK_ONLINEDRIVER_H
 #define FASTTRACK_FRAMEWORK_ONLINEDRIVER_H
 
+#include "framework/Degrade.h"
 #include "framework/Tool.h"
-#include "shadow/ShadowTable.h"
 #include "support/Status.h"
 #include "trace/ReentrancyFilter.h"
 
@@ -66,62 +66,6 @@ namespace ft {
 namespace runtime {
 struct OnlineEvent;
 } // namespace runtime
-
-class MemoryTracker;
-
-/// One rung of the overload-degradation ladder.
-struct DegradeStep {
-  enum class Kind : uint8_t {
-    /// Map variable ids through a widening divisor (fields-per-object),
-    /// like ResourceGovernor's 8/64/512 rungs. Divisors are absolute,
-    /// not cumulative: the step's Param replaces any earlier divisor.
-    CoarseGranularity,
-    /// Deliver a deterministic 1 in Param accesses; drop the rest.
-    AccessSampling,
-    /// Drop every access; only the sync spine reaches the tool.
-    SyncOnly,
-  };
-  Kind K = Kind::CoarseGranularity;
-  unsigned Param = 8;
-};
-
-/// Policy for stepping down under overload instead of halting. The
-/// effective configuration at rung R is the cumulative result of applying
-/// ladder steps [0, R): the latest coarse divisor, the latest sampling
-/// modulus, and whether a SyncOnly step was crossed.
-struct DegradePolicy {
-  /// Pin the whole ladder off: every trigger that would have degraded
-  /// halts instead (the pre-PR-5 behavior).
-  bool Enabled = true;
-
-  /// Rungs in the order they are applied. The default mirrors
-  /// ResourceGovernor's divisor ladder — whose final divisor folds one
-  /// shadow page region (ShadowPageVars fields) per object, aligning
-  /// maximal coarsening with the paged table's geometry — then sheds
-  /// accesses.
-  std::vector<DegradeStep> Ladder = {
-      {DegradeStep::Kind::CoarseGranularity, 8},
-      {DegradeStep::Kind::CoarseGranularity, 64},
-      {DegradeStep::Kind::CoarseGranularity, ShadowPageVars},
-      {DegradeStep::Kind::AccessSampling, 8},
-      {DegradeStep::Kind::SyncOnly, 0},
-  };
-
-  /// Shadow-memory budget in bytes; 0 disables the budget trigger. The
-  /// driver probes Tool::shadowBytes() every BudgetCheckEveryOps raw ops
-  /// and steps down one rung per breached probe. Once the ladder is
-  /// exhausted the run continues unbudgeted (with a Note diagnostic),
-  /// exactly like the governor's final rung.
-  uint64_t ShadowBudgetBytes = 0;
-  unsigned BudgetCheckEveryOps = 4096;
-
-  /// Optional tracker observing every budget probe (live/peak bytes).
-  MemoryTracker *Tracker = nullptr;
-
-  /// Ladder steps pre-applied at construction (0 = start Full). Lets the
-  /// benches measure a pinned rung without manufacturing overload.
-  unsigned StartRung = 0;
-};
 
 /// Which half (or both) of the offer() pipeline a driver instance runs.
 /// The sharded engine splits the single-sequencer driver into one
@@ -158,6 +102,12 @@ struct OnlineDriverOptions {
   /// holds no shadow state (the shard clones do), so the sharded engine
   /// installs a functor summing the sizes the shard workers publish.
   std::function<uint64_t()> ShadowBytes;
+
+  /// Same override for governance telemetry: an AdmissionOnly driver's
+  /// tool governs nothing (the shard clones do), so the sharded engine
+  /// installs a functor summing the trip/denial counters the shard
+  /// workers publish. Empty = poll Tool::shadowGovernorStats().
+  std::function<ShadowGovernorStats()> GovernorStats;
 
   /// Strip redundant re-entrant lock acquires/releases before dispatch,
   /// as the serial replay loop does. Keep this in sync with the replay
@@ -327,6 +277,12 @@ private:
   unsigned SampleEvery = 1;
   bool SyncOnlyMode = false;
   bool LastFiltered = false;
+  /// The tool accepted configureShadowPolicy: budget probes also poll its
+  /// governor telemetry to surface the memory-driven rung.
+  bool MemoryGoverned = false;
+  /// The ShadowSummarize transition was already taken/noted (the table
+  /// governs itself continuously; the ladder records it exactly once).
+  bool MemoryRungNoted = false;
   bool Halted = false;
   bool Finished = false;
 };

@@ -31,8 +31,8 @@
 #ifndef FASTTRACK_FRAMEWORK_RESOURCEGOVERNOR_H
 #define FASTTRACK_FRAMEWORK_RESOURCEGOVERNOR_H
 
+#include "framework/Degrade.h"
 #include "framework/Replay.h"
-#include "shadow/ShadowTable.h"
 #include "support/Status.h"
 
 #include <vector>
@@ -54,8 +54,10 @@ struct GovernorOptions {
   /// the caller's own configuration breaches the budget. The last rung
   /// runs without a budget so the replay always completes; it folds one
   /// shadow page region per object so maximal degradation aligns with
-  /// the paged table's geometry.
-  std::vector<unsigned> Ladder = {8, 64, ShadowPageVars};
+  /// the paged table's geometry. The defaults are the shared divisor
+  /// constants of framework/Degrade.h, so the offline governor, the
+  /// online ladder, and the shadow governor's page fold stay in lockstep.
+  std::vector<unsigned> Ladder = defaultDivisorLadder();
 
   /// Optional tracker observing every probe (live/peak shadow bytes).
   MemoryTracker *Tracker = nullptr;

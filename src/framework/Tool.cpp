@@ -21,6 +21,12 @@ void Tool::onAtomicEnd(ThreadId, size_t) {}
 
 size_t Tool::shadowBytes() const { return 0; }
 
+bool Tool::configureShadowPolicy(const ShadowMemoryPolicy &) { return false; }
+
+ShadowGovernorStats Tool::shadowGovernorStats() const {
+  return ShadowGovernorStats();
+}
+
 void Tool::clearWarnings() {
   Warnings.clear();
   WarnedVars.assign(WarnedVars.size(), false);

@@ -19,6 +19,7 @@
 #define FASTTRACK_FRAMEWORK_TOOL_H
 
 #include "framework/Warning.h"
+#include "shadow/ShadowPolicy.h"
 #include "trace/Trace.h"
 
 #include <vector>
@@ -75,6 +76,18 @@ public:
 
   /// Bytes of shadow state currently held, for Table 3's memory column.
   virtual size_t shadowBytes() const;
+
+  /// Offers a shadow-memory governance policy (temperature tracking,
+  /// cold-page compression, watermark shedding — shadow/ShadowPolicy.h)
+  /// to the tool, before begin(). \returns true when the tool will
+  /// govern its shadow state accordingly; the default declines, and the
+  /// caller (framework/OnlineDriver.h) falls back to ladder-only
+  /// budgeting.
+  virtual bool configureShadowPolicy(const ShadowMemoryPolicy &Policy);
+
+  /// Governance telemetry accumulated since begin(). Tools that decline
+  /// configureShadowPolicy report zeros.
+  virtual ShadowGovernorStats shadowGovernorStats() const;
 
   /// Warnings reported so far (deduplicated to one per variable).
   const std::vector<RaceWarning> &warnings() const { return Warnings; }

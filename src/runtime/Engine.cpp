@@ -30,24 +30,49 @@ ToolContext capacityContext(const OnlineOptions &Options) {
   return Context;
 }
 
+/// The session's shadow-governance policy: the configured one, with the
+/// FaultPlan's real allocation failures folded in (arming either shadow
+/// fault forces governance on — the gates live inside the governed
+/// table), and an unset table budget inheriting the ladder's.
+ShadowMemoryPolicy effectiveMemoryPolicy(const OnlineOptions &Options) {
+  ShadowMemoryPolicy M = Options.Degrade.Memory;
+  if (Options.Faults) {
+    if (Options.Faults->FailShadowPageAllocAt != FaultPlan::None) {
+      M.Enabled = true;
+      M.FailPageAllocAt = Options.Faults->FailShadowPageAllocAt;
+    }
+    if (Options.Faults->FailSideStoreInflateAt != FaultPlan::None) {
+      M.Enabled = true;
+      M.FailInflateAt = Options.Faults->FailSideStoreInflateAt;
+    }
+  }
+  if (M.Enabled && M.BudgetBytes == 0)
+    M.BudgetBytes = Options.Degrade.ShadowBudgetBytes;
+  return M;
+}
+
 OnlineDriverOptions driverOptions(const OnlineOptions &Options,
                                   unsigned NumShards,
-                                  std::function<uint64_t()> ShadowBytes) {
+                                  std::function<uint64_t()> ShadowBytes,
+                                  std::function<ShadowGovernorStats()> Gov) {
   OnlineDriverOptions Driver;
   // With shards the primary driver is admission-only: it owns the ladder,
   // the capacity checks, the raw indices, and the lock filter, but the
   // tool handlers run in the shard workers' DispatchOnly drivers. Its
-  // budget probes read the shadow bytes the workers publish (its own tool
-  // instance never grows), and the warning sink stays empty — shard
-  // drivers sink warnings live; installing it here too would replay every
-  // adopted warning a second time at finish().
+  // budget probes read the shadow bytes and governance telemetry the
+  // workers publish (its own tool instance never grows), and the warning
+  // sink stays empty — shard drivers sink warnings live; installing it
+  // here too would replay every adopted warning a second time at
+  // finish().
   Driver.Role =
       NumShards > 1 ? DriverRole::AdmissionOnly : DriverRole::Full;
   Driver.ShadowBytes = std::move(ShadowBytes);
+  Driver.GovernorStats = std::move(Gov);
   Driver.FilterReentrantLocks = Options.FilterReentrantLocks;
   if (NumShards == 1)
     Driver.WarningSink = Options.OnWarning;
   Driver.Degrade = Options.Degrade;
+  Driver.Degrade.Memory = effectiveMemoryPolicy(Options);
   if (Options.Faults)
     Driver.ForceBudgetBreachAtRawOp = Options.Faults->ForceBudgetBreachAtRawOp;
   return Driver;
@@ -114,6 +139,10 @@ struct Engine::Shard {
                                             ///< of the last batch refill;
                                             ///< read by the admission
                                             ///< driver's budget probe.
+  std::atomic<uint64_t> TripsPublished{0};  ///< Clone governor BudgetTrips
+                                            ///< as of the last publish.
+  std::atomic<uint64_t> DeniedPublished{0}; ///< Clone governor AllocDenied
+                                            ///< as of the last publish.
   std::atomic<uint64_t> Epoch{0}; ///< Bumped to abandon the worker.
   std::atomic<unsigned> Restarts{0};
   std::atomic<uint64_t> Discards{0}; ///< Post-halt discards worker-side.
@@ -138,7 +167,11 @@ Engine::Engine(Tool &Checker, OnlineOptions Opts)
                            NumShards > 1
                                ? std::function<uint64_t()>(
                                      [this] { return shardShadowBytes(); })
-                               : std::function<uint64_t()>())),
+                               : std::function<uint64_t()>(),
+                           NumShards > 1
+                               ? std::function<ShadowGovernorStats()>(
+                                     [this] { return shardGovernorStats(); })
+                               : std::function<ShadowGovernorStats()>())),
       MemCapture(Options.KeepCapture ||
                  (!Options.CapturePath.empty() &&
                   Options.CaptureSegmentBytes == 0)),
@@ -175,9 +208,19 @@ Engine::Engine(Tool &Checker, OnlineOptions Opts)
         Options.ShardRingCapacity != 0
             ? Options.ShardRingCapacity
             : std::max(Options.RingCapacity, 4 * BatchCap);
+    // Per-shard governance: each clone self-governs against an equal
+    // slice of the byte budget (the admission driver's ladder probe still
+    // sees the sum via shardGovernorStats). Configured before the shard
+    // driver exists — its begin() is what applies the policy.
+    ShadowMemoryPolicy ShardMem = effectiveMemoryPolicy(Options);
+    if (ShardMem.BudgetBytes != 0)
+      ShardMem.BudgetBytes =
+          std::max<uint64_t>(1, ShardMem.BudgetBytes / NumShards);
     for (unsigned I = 0; I != NumShards; ++I) {
       auto S = std::make_unique<Shard>(I, RingCap, BatchCap);
       S->Clone = Shardable.cloneForShard();
+      if (Options.Degrade.Enabled && ShardMem.Enabled)
+        ShardMemoryGoverned = S->Clone->configureShadowPolicy(ShardMem);
       OnlineDriverOptions DO;
       DO.Role = DriverRole::DispatchOnly;
       // Admission already ran the lock filter and the ladder transform on
@@ -650,6 +693,20 @@ uint64_t Engine::shardShadowBytes() const {
   return Total;
 }
 
+ShadowGovernorStats Engine::shardGovernorStats() const {
+  // The admission driver's governance-poll source (same publish-and-sum
+  // discipline as shardShadowBytes — probing the clones directly from the
+  // router thread would race the workers). Only the two counters the
+  // probe branches on are published; finish() reads the clones' full
+  // stats after the workers are joined.
+  ShadowGovernorStats Total;
+  for (const std::unique_ptr<Shard> &S : ShardSet) {
+    Total.BudgetTrips += S->TripsPublished.load(std::memory_order_relaxed);
+    Total.AllocDenied += S->DeniedPublished.load(std::memory_order_relaxed);
+  }
+  return Total;
+}
+
 bool Engine::routeToShard(Shard &S, const OnlineEvent &E) {
   // The router must NEVER abandon an admitted event: it is already in the
   // capture and owns a raw index, so dropping it would desync every
@@ -931,9 +988,11 @@ void Engine::shardLoop(Shard &S, uint64_t MyEpoch) {
   OnlineDriver &D = *S.Driver;
   const FaultPlan *Faults = Options.Faults;
   // Mirrors the primary driver's own probe gate (OnlineDriver.cpp): with
-  // no budget and no tracker nobody reads ShadowPublished.
+  // no budget and no tracker nobody reads ShadowPublished; without
+  // governed clones nobody reads the governor publishes.
   const bool ShadowProbeNeeded = Options.Degrade.ShadowBudgetBytes != 0 ||
                                  Options.Degrade.Tracker != nullptr;
+  const bool GovernorProbeNeeded = ShardMemoryGoverned;
   for (;;) {
     if (S.Epoch.load(std::memory_order_acquire) != MyEpoch)
       break;
@@ -942,9 +1001,17 @@ void Engine::shardLoop(Shard &S, uint64_t MyEpoch) {
       // O(vars) for every shipped detector), so publish it only when the
       // router actually probes budgets, and then only every 16th refill —
       // roughly the primary driver's own BudgetCheckEveryOps cadence.
-      if (ShadowProbeNeeded && (S.RefillCount++ & 15u) == 0)
-        S.ShadowPublished.store(S.Clone->shadowBytes(),
-                                std::memory_order_relaxed);
+      if ((ShadowProbeNeeded || GovernorProbeNeeded) &&
+          (S.RefillCount++ & 15u) == 0) {
+        if (ShadowProbeNeeded)
+          S.ShadowPublished.store(S.Clone->shadowBytes(),
+                                  std::memory_order_relaxed);
+        if (GovernorProbeNeeded) {
+          const ShadowGovernorStats GS = S.Clone->shadowGovernorStats();
+          S.TripsPublished.store(GS.BudgetTrips, std::memory_order_relaxed);
+          S.DeniedPublished.store(GS.AllocDenied, std::memory_order_relaxed);
+        }
+      }
       // Zero-copy refill: dispatch straight out of the ring (peekRun) and
       // release slots only as they are consumed. Skipping the copy keeps
       // a second 16-bytes-per-event load+store — and a batch buffer the
@@ -1352,6 +1419,23 @@ OnlineReport Engine::finish() {
   Report.ForksRejected = ForksRejected.load(std::memory_order_relaxed);
   Report.UntrackedEvents = UntrackedEvents.load(std::memory_order_relaxed);
   Report.EventsElided = ElidedEvents.load(std::memory_order_relaxed);
+  {
+    // Memory-governance telemetry. Sharded: sum the clones (workers are
+    // joined, so reading them is safe); the primary's table saw no
+    // accesses and its reset-seeded high water would only distort the
+    // sum. High waters add across shards — a conservative (never
+    // understated) peak, since the shards' peaks need not coincide.
+    ShadowGovernorStats GS;
+    if (NumShards > 1)
+      for (const std::unique_ptr<Shard> &S : ShardSet)
+        GS += S->Clone->shadowGovernorStats();
+    else
+      GS = Checker.shadowGovernorStats();
+    Report.ShadowBytesHighWater = GS.ShadowBytesHighWater;
+    Report.PagesCompressed = GS.PagesCompressed;
+    Report.PagesSummarized = GS.PagesSummarized;
+    Report.BudgetTrips = GS.BudgetTrips;
+  }
   if (Report.ForksRejected != 0)
     Report.Diags.push_back(
         {StatusCode::ResourceExhausted, Severity::Warning, 0, NoOpIndex,

@@ -339,6 +339,13 @@ struct OnlineReport {
                                 ///< Unchecked<T> never counting, this is
                                 ///< only downgraded Shared<T> accesses
                                 ///< (Engine::noteElided()).
+
+  // --- memory-governance telemetry (shadow/ShadowPolicy.h; summed
+  // across shard clones in sharded mode) ---
+  uint64_t ShadowBytesHighWater = 0; ///< Peak governed shadow footprint.
+  uint64_t PagesCompressed = 0;  ///< Cold pages packed losslessly.
+  uint64_t PagesSummarized = 0;  ///< Pages folded to one summary slot.
+  uint64_t BudgetTrips = 0;      ///< High-watermark crossings.
 };
 
 /// One online detection session over one Tool. Construct it, run
@@ -481,6 +488,7 @@ private:
   bool routeToShard(Shard &S, const OnlineEvent &E);
   unsigned shardIndexFor(uint32_t Target) const;
   uint64_t shardShadowBytes() const;
+  ShadowGovernorStats shardGovernorStats() const;
   void supervisorLoop();
   void handleStall(uint64_t Watermark);
   void handleShardStall(Shard &S);
@@ -503,6 +511,9 @@ private:
   /// divisions on the router's per-access path. ~0u = not applicable.
   unsigned ShardDivShift = ~0u;
   uint32_t ShardIdxMask = 0;
+  /// Shard clones accepted configureShadowPolicy (set during shard
+  /// construction, read by the workers' publish gate and finish()).
+  bool ShardMemoryGoverned = false;
   OnlineDriver Driver;
   Trace Capture;
   bool MemCapture;  ///< Keep the in-memory Trace capture.

@@ -74,6 +74,18 @@ struct FaultPlan {
   /// first budget probe at or after this raw op reports a breach.
   uint64_t ForceBudgetBreachAtRawOp = None;
 
+  /// Real allocation-failure injection inside the governed shadow table
+  /// (forwarded to ShadowMemoryPolicy::FailPageAllocAt): the Nth shadow
+  /// page allocation attempt is denied, exercising the zero-allocation
+  /// summarized-page fallback. Setting either shadow fault forces
+  /// OnlineOptions::Degrade.Memory.Enabled for the session.
+  uint64_t FailShadowPageAllocAt = None;
+
+  /// Same for fresh side-store growth (ShadowMemoryPolicy::FailInflateAt):
+  /// the Nth new clock allocation is denied, exercising shed-and-recycle
+  /// before the growth fallback.
+  uint64_t FailSideStoreInflateAt = None;
+
   FaultPlan() = default;
   FaultPlan(const FaultPlan &) = delete;
   FaultPlan &operator=(const FaultPlan &) = delete;

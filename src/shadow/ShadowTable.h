@@ -40,11 +40,27 @@
 ///     deflate → re-inflate cycle recycles both the handle and the
 ///     clock's heap buffer (the Figure 5 Rvc-recycling behaviour,
 ///     table-wide instead of per-variable).
+///   - **Memory governance** (opt-in via ShadowMemoryPolicy): pages carry
+///     a last-touch generation stamp; a periodic maintenance tick
+///     (deterministically keyed on dispatched accesses, never wall clock)
+///     compresses cold write-only pages into lossless same-epoch/
+///     delta-packed encodings that decompress bit-identically on the next
+///     touch, and releases cold all-bottom pages outright. Under a byte
+///     budget, crossing the high watermark arms *pressure shedding*: cold
+///     pages are summarized — oldest first — down to one page-granularity
+///     slot holding the per-tid join of the page's write and read
+///     histories. That is exactly the fold of the degradation ladder's
+///     ShadowPageVars rung applied in place: warnings may coarsen to the
+///     page region, but no race is missed (joins only grow the histories
+///     a conflicting access is checked against). Shedding disarms at the
+///     low watermark (hysteresis). Because every decision is a function
+///     of the delivered access stream, a governed capture replays to
+///     identical warnings.
 ///
 /// Consequences the rest of the system relies on:
 ///   - shadow RSS is proportional to *touched pages*, not the declared
 ///     variable count — million-variable address spaces cost kilobytes
-///     until touched;
+///     until touched — and under a governed budget it is *bounded*;
 ///   - the hot slot is 2×sizeof(EpochT) (8 bytes for the paper's 32-bit
 ///     layout, down from 48 with the inline-VC record), so dense scans
 ///     stream 6x less shadow memory;
@@ -52,8 +68,9 @@
 ///     live on, making per-shard shadow an LLC-friendly slice for free;
 ///   - the resource governor's final coarse-granularity rung folds
 ///     exactly one shadow page region onto one shadow slot
-///     (ShadowPageVars fields per object), so the degraded shadow is one
-///     slot per page of the fine-grained one.
+///     (ShadowPageVars fields per object, framework/Degrade.h), so both
+///     the degraded shadow and a summarized page are one slot per page
+///     of the fine-grained table.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -61,6 +78,7 @@
 #define FASTTRACK_SHADOW_SHADOWTABLE_H
 
 #include "clock/VectorClock.h"
+#include "shadow/ShadowPolicy.h"
 #include "trace/Ids.h"
 
 #include <cassert>
@@ -73,7 +91,7 @@ namespace ft {
 
 /// Shadow page geometry, shared by both epoch layouts (and by the
 /// degradation ladder, whose final rung maps one page region to one
-/// shadow slot — see framework/ResourceGovernor.h). 512 slots keep a
+/// shadow slot — see framework/Degrade.h). 512 slots keep a
 /// 32-bit-epoch page at exactly one 4 KiB allocation.
 inline constexpr uint32_t ShadowPageShift = 9;
 inline constexpr uint32_t ShadowPageVars = 1u << ShadowPageShift;
@@ -86,6 +104,15 @@ inline constexpr uint32_t ShadowPageVars = 1u << ShadowPageShift;
 /// on first touch and footprint follows touched pages.
 inline constexpr size_t ShadowEagerVarLimit = 64 * 1024;
 
+/// Lifecycle of one shadow page region under the paged layout. Eager
+/// tables have no per-page lifecycle (every page is resident forever).
+enum class ShadowPageState : uint8_t {
+  Untouched,  ///< Null directory entry, no encoded state: all slots ⊥.
+  Resident,   ///< Backed by a materialized Page.
+  Compressed, ///< Cold write-only page, held as a lossless packed image.
+  Summarized, ///< Folded to one page-granularity summary slot (pressure).
+};
+
 /// The two-level SoA shadow map over epoch representation \p EpochT.
 ///
 /// The table owns storage and representation only; the FastTrack rules
@@ -93,6 +120,13 @@ inline constexpr size_t ShadowEagerVarLimit = 64 * 1024;
 /// the top tid of the epoch layout is the READ_SHARED handle tag, so
 /// detectors using this table admit at most EpochT::MaxTid threads
 /// (255 / 65535), one fewer than the raw epoch packing.
+///
+/// **Governed tables may hand out an inflated W.** A summarized page
+/// whose cold writes came from multiple threads joins them into a
+/// side-store vector clock, tagged into W exactly like a read-shared R.
+/// Detectors must branch on isInflated(W) before epoch-comparing it; the
+/// same-epoch fast path needs no change (a tagged handle never equals a
+/// real epoch).
 template <typename EpochT> class ShadowTable {
 public:
   using RawT = decltype(EpochT().raw());
@@ -100,6 +134,9 @@ public:
   static constexpr uint32_t PageShift = ShadowPageShift;
   static constexpr uint32_t PageSize = ShadowPageVars;
   static constexpr uint32_t PageMask = PageSize - 1;
+
+  /// Widest raw-epoch span a delta-packed page can encode (u8 deltas).
+  static constexpr RawT MaxDelta = 255;
 
   /// The packed hot pair. W and R are adjacent so every Figure 2 rule's
   /// O(1) checks (same-epoch, Wx ≼ Ct, epoch-Rx ≼ Ct) read one line.
@@ -113,10 +150,34 @@ public:
     Slot Slots[PageSize];
   };
 
+  /// Lossless packed image of a cold write-only page. Uniform pages
+  /// (every occupied W identical) drop the delta array entirely; near-
+  /// uniform pages (raw span ≤ MaxDelta) pack one byte per slot. Either
+  /// way decompression is pure integer reconstruction — BaseW + delta —
+  /// so the expanded page is bit-identical to the one compressed.
+  struct CompressedPage {
+    RawT BaseW = 0;                     ///< Smallest occupied raw W.
+    uint64_t Occupied[PageSize / 64] = {}; ///< Bitmap of non-⊥ slots.
+    std::unique_ptr<uint8_t[]> Deltas;  ///< Null = uniform page.
+  };
+
   ShadowTable() = default;
   ShadowTable(const ShadowTable &) = delete;
   ShadowTable &operator=(const ShadowTable &) = delete;
   ~ShadowTable() { releasePages(); }
+
+  /// Installs the governance policy. Takes effect at the next reset()
+  /// (Tool::begin), so a running table's representation never changes
+  /// under an in-flight rule.
+  void setPolicy(const ShadowMemoryPolicy &P) { Policy = P; }
+  const ShadowMemoryPolicy &policy() const { return Policy; }
+
+  /// True when this table is actively governing (policy enabled and the
+  /// space is paged — eager tables are at most a megabyte and exempt).
+  bool governed() const { return Governed; }
+
+  /// Telemetry accumulated since the last reset().
+  const ShadowGovernorStats &governorStats() const { return Stats; }
 
   /// Re-sizes the directory for \p NumVars variables and drops all pages
   /// and side-store state (Tool::begin semantics). Spaces at or below
@@ -132,24 +193,56 @@ public:
     Clocks.clear();
     FreeHandles.clear();
     Live = 0;
-    if (NumVars != 0 && NumVars <= ShadowEagerVarLimit)
+    Stats = ShadowGovernorStats();
+    Gen = 1;
+    PageAllocs = 0;
+    InflateAllocs = 0;
+    SheddingArmed = false;
+    ShedStalled = false;
+    Meta.clear();
+    const bool Eager = NumVars != 0 && NumVars <= ShadowEagerVarLimit;
+    if (Eager) {
       materializeEagerly(NumPages);
+    } else {
+      // Per-page lifecycle state exists for every paged table (a restored
+      // checkpoint may install summarized pages even when ungoverned);
+      // only the temperature stamping and maintenance are gated.
+      Meta.resize(NumPages);
+    }
+    Governed = Policy.Enabled && !Eager;
+    Bytes = Governed ? memoryBytes() : 0;
+    if (Governed)
+      Stats.ShadowBytesHighWater = Bytes;
   }
 
   /// The hot-path accessor: returns the slot for \p X. Small tables take
   /// the flat path — identical address arithmetic to the dense layout
   /// behind one always-predicted branch. Large tables pay one extra
   /// (cache-resident) directory load, faulting the page in on first
-  /// touch; the directory is 8 bytes per 512 variables.
+  /// touch; the directory is 8 bytes per 512 variables. Compressed and
+  /// summarized regions route through the cold path: compressed pages
+  /// re-expand bit-identically, summarized regions serve their single
+  /// page-granularity slot.
   Slot &slot(VarId X) {
     assert(X < Vars && "variable id outside the shadow table");
     if (__builtin_expect(FlatSlots != nullptr, 1))
       return FlatSlots[X];
-    Page *P = Dir[X >> PageShift];
+    const size_t PI = X >> PageShift;
+    Page *P = Dir[PI];
     if (__builtin_expect(P == nullptr, 0))
-      P = faultIn(X >> PageShift);
+      return coldSlot(X, PI);
+    if (__builtin_expect(Governed, 0))
+      Meta[PI].LastTouch = Gen;
     return P->Slots[X & PageMask];
   }
+
+  /// One governance maintenance tick. Call cadence defines the
+  /// temperature clock (ShadowMemoryPolicy::MaintainEveryAccesses): the
+  /// generation advances, pages that just crossed ColdAgeTicks without a
+  /// touch are compressed (or released when all-⊥), the byte count is
+  /// resynced exactly, and the watermarks are re-evaluated. No-op when
+  /// not governed.
+  void maintain();
 
   /// \name READ_SHARED handles (R's tag bits).
   /// @{
@@ -174,22 +267,20 @@ public:
   /// buffer when one is parked) and returns the tagged R value for it.
   /// The clock is ⊥ — recycled buffers are zeroed here, because stale
   /// entries predate the write that deflated them and would raise false
-  /// alarms if kept.
+  /// alarms if kept. Governed tables route fresh growth through the
+  /// injected allocation-failure gate: a denied growth arms pressure
+  /// shedding — which refills the free list by deflating summarized
+  /// pages' handles — and retries recycling before falling back.
   EpochT inflate() {
-    uint32_t H;
-    if (!FreeHandles.empty()) {
-      H = FreeHandles.back();
-      FreeHandles.pop_back();
-      Clocks[H].resetToBottom();
-    } else {
-      H = static_cast<uint32_t>(Clocks.size());
-      assert(RawT(H) < EpochT::MaxClock &&
-             "side-store handle space exhausted for this epoch layout");
-      Clocks.emplace_back();
-    }
-    ++Live;
-    return handleEpoch(H);
+    if (__builtin_expect(Governed, 0) && FreeHandles.empty())
+      takeInflateFault();
+    return inflateRaw();
   }
+
+  /// Restore-path inflation: assigns a handle without consulting the
+  /// policy's fault gate, so checkpoint restore never consumes injected
+  /// fault ordinals (those belong to the replayed access stream).
+  EpochT inflateForRestore() { return inflateRaw(); }
 
   /// Returns the inflated \p R's handle to the free list. The clock's
   /// buffer is kept for the next inflation.
@@ -216,6 +307,14 @@ public:
   /// stay allocated for reuse).
   size_t sideStoreSlots() const { return Clocks.size(); }
 
+  /// Renumbers live side-store handles in page order and drops retired
+  /// buffers, so a snapshot walking pages front to back reads (and a
+  /// restore re-assigns) handles sequentially — sequential side-store
+  /// I/O instead of allocation-history order. Purely an internal
+  /// renumbering: logical state, and therefore serialized images (which
+  /// never encode handles), are unchanged.
+  void compactSideStore();
+
   /// @}
 
   /// \name Geometry and snapshot iteration (no faulting).
@@ -225,8 +324,43 @@ public:
   size_t numPages() const { return Dir.size(); }
   size_t residentPages() const { return Resident; }
 
-  /// The page for index \p PI, or null for a never-accessed region.
+  /// True for lazily-paged tables (per-page lifecycle states exist).
+  bool paged() const { return !Meta.empty(); }
+
+  /// The page for index \p PI, or null when the region holds no
+  /// materialized page (never-accessed, compressed, or summarized —
+  /// disambiguate with pageStateAt).
   const Page *pageAt(size_t PI) const { return Dir[PI]; }
+
+  /// Lifecycle state of page \p PI (eager tables are always Resident).
+  ShadowPageState pageStateAt(size_t PI) const {
+    if (!Meta.empty())
+      return Meta[PI].State;
+    return Dir[PI] ? ShadowPageState::Resident : ShadowPageState::Untouched;
+  }
+
+  /// Materializes the logical slot contents of page \p PI into \p Out
+  /// (PageSize entries, ⊥-filled first) without faulting or mutating —
+  /// compressed pages are expanded into \p Out, so a snapshot of a
+  /// compressed page is byte-identical to one of its resident twin.
+  /// \returns false when the page has no per-slot content (Untouched or
+  /// Summarized).
+  bool readPageContent(size_t PI, Slot *Out) const;
+
+  /// The page-granularity summary slot of a Summarized page.
+  const Slot &summaryAt(size_t PI) const {
+    assert(pageStateAt(PI) == ShadowPageState::Summarized);
+    return Meta[PI].Summary;
+  }
+
+  /// Installs \p S as page \p PI's summary slot (checkpoint restore of a
+  /// kPageSummarized record). The page must hold no materialized state.
+  void installSummary(size_t PI, const Slot &S) {
+    assert(!Meta.empty() && "summarized pages require a paged table");
+    assert(Dir[PI] == nullptr && "summary would shadow a materialized page");
+    Meta[PI].State = ShadowPageState::Summarized;
+    Meta[PI].Summary = S;
+  }
 
   /// Slots of page \p PI that map to declared variables (the last page
   /// may be partial).
@@ -238,26 +372,81 @@ public:
 
   /// @}
 
-  /// Bytes owned by the table: the directory, resident pages, the side
-  /// store's slot array and any heap-spilled (ClockArena) clock buffers,
-  /// and the handle free list. Walking the side store is O(inflation
+  /// Bytes owned by the table: the directory, resident pages, page
+  /// lifecycle metadata and compressed images, the side store's slot
+  /// array and any heap-spilled (ClockArena) clock buffers, and the
+  /// handle free list. Walking the side store is O(inflation
   /// high-water), matching the amortized contract of shadowBytes()
   /// probes.
   size_t memoryBytes() const {
-    size_t Bytes = Dir.capacity() * sizeof(Page *) + Resident * sizeof(Page);
-    Bytes += Clocks.capacity() * sizeof(VectorClock);
+    size_t Total = Dir.capacity() * sizeof(Page *) + Resident * sizeof(Page);
+    Total += Meta.capacity() * sizeof(PageMeta);
+    for (const PageMeta &M : Meta)
+      if (M.Packed)
+        Total += compressedBytes(*M.Packed);
+    Total += Clocks.capacity() * sizeof(VectorClock);
     for (const VectorClock &Clock : Clocks)
-      Bytes += Clock.memoryBytes();
-    Bytes += FreeHandles.capacity() * sizeof(uint32_t);
-    return Bytes;
+      Total += Clock.memoryBytes();
+    Total += FreeHandles.capacity() * sizeof(uint32_t);
+    return Total;
   }
 
 private:
+  /// Per-page governance state, allocated for every paged table (24-32
+  /// bytes per 512 variables; the stamping is what's gated on Governed).
+  struct PageMeta {
+    uint32_t LastTouch = 0; ///< Generation of the last slot() touch.
+    ShadowPageState State = ShadowPageState::Untouched;
+    std::unique_ptr<CompressedPage> Packed; ///< When State == Compressed.
+    Slot Summary{};                         ///< When State == Summarized.
+  };
+
+  static size_t compressedBytes(const CompressedPage &C) {
+    return sizeof(CompressedPage) + (C.Deltas ? PageSize : 0);
+  }
+
+  uint64_t highWaterBytes() const {
+    return static_cast<uint64_t>(static_cast<double>(Policy.BudgetBytes) *
+                                 Policy.HighWaterFrac);
+  }
+  uint64_t lowWaterBytes() const {
+    return static_cast<uint64_t>(static_cast<double>(Policy.BudgetBytes) *
+                                 Policy.LowWaterFrac);
+  }
+
   Page *faultIn(size_t PI); // out of line: first touch is the cold path
+  Slot &coldSlot(VarId X, size_t PI);
   void materializeEagerly(size_t NumPages);
   void releasePages() noexcept;
 
-  std::vector<Page *> Dir;        ///< Level 1: null = never-accessed region.
+  /// The side-store allocation with no fault gate (internal joins and
+  /// checkpoint restore must not consume injected-fault ordinals).
+  EpochT inflateRaw() {
+    uint32_t H;
+    if (!FreeHandles.empty()) {
+      H = FreeHandles.back();
+      FreeHandles.pop_back();
+      Clocks[H].resetToBottom();
+    } else {
+      H = static_cast<uint32_t>(Clocks.size());
+      assert(RawT(H) < EpochT::MaxClock &&
+             "side-store handle space exhausted for this epoch layout");
+      Clocks.emplace_back();
+    }
+    ++Live;
+    return handleEpoch(H);
+  }
+
+  bool takePageAllocFault();
+  void takeInflateFault();
+  void notePressure();
+  bool compressPage(size_t PI);
+  Page *decompressPage(size_t PI);
+  void summarizePage(size_t PI);
+  void shedColdPages(bool StopAtFreeHandle);
+  EpochT foldClock(VectorClock &&VC);
+
+  std::vector<Page *> Dir;        ///< Level 1: null = no materialized page.
   /// Flat view of the eager block for small tables (null when paging).
   /// Page holds nothing but its slot array, so the block's slots are
   /// contiguous and FlatSlots[X] is exactly Dir[X >> 9]->Slots[X & 511].
@@ -265,9 +454,31 @@ private:
   std::unique_ptr<Page[]> EagerBlock; ///< Owns the contiguous small-table pages.
   size_t Vars = 0;                ///< Declared variable count.
   size_t Resident = 0;            ///< Pages faulted in (all, when eager).
+  std::vector<PageMeta> Meta;     ///< Per-page lifecycle (paged mode only).
   std::vector<VectorClock> Clocks;///< Side store, indexed by handle.
   std::vector<uint32_t> FreeHandles; ///< Deflated handles awaiting reuse.
   uint64_t Live = 0;              ///< Handles currently in use.
+
+  // --- governance state (see shadow/ShadowPolicy.h) ---
+  ShadowMemoryPolicy Policy;
+  ShadowGovernorStats Stats;
+  bool Governed = false;
+  bool SheddingArmed = false; ///< High watermark crossed, not yet back
+                              ///< under the low one.
+  bool ShedStalled = false;   ///< A shed pass could not reach the low
+                              ///< watermark (everything left is hot);
+                              ///< suppresses rescans until the next
+                              ///< generation creates new cold candidates.
+  uint32_t Gen = 1;           ///< Temperature generation (maintain ticks).
+  /// Running byte estimate between maintenance ticks: page fault-ins,
+  /// compressions, and releases update it immediately (the fault-in /
+  /// inflation budget probes read it); side-store growth and container
+  /// capacity drift are folded in by maintain()'s exact resync.
+  uint64_t Bytes = 0;
+  uint64_t PageAllocs = 0;    ///< Page allocations attempted (fault
+                              ///< ordinal space for FailPageAllocAt).
+  uint64_t InflateAllocs = 0; ///< Fresh side-store growths attempted
+                              ///< (ordinal space for FailInflateAt).
 };
 
 extern template class ShadowTable<Epoch>;

@@ -333,6 +333,124 @@ TEST(OnlineResilience, UncontainedToolFaultHaltsAndCountsEveryDrop) {
   EXPECT_TRUE(OneShot);
 }
 
+//===----------------------------------------------------------------------===//
+// Memory governance: OOM faults, budget soak, governed capture replay
+//===----------------------------------------------------------------------===//
+
+TEST(OnlineResilience, DeniedShadowAllocationDegradesOneRungNeverAborts) {
+  // The third shadow page allocation is denied mid-stream. The contract:
+  // the engine never aborts, detection continues (a real race planted
+  // after the fault is still caught), exactly one diagnostic reports the
+  // denial, and the degradation ladder steps down exactly one rung — the
+  // prepended shadow-summarization rung, not a stream transform.
+  rt::FaultPlan Faults;
+  Faults.FailShadowPageAllocAt = 2;
+
+  rt::OnlineOptions Options;
+  Options.Faults = &Faults;
+  Options.MaxVars = 128 * 1024; // paged shadow table
+  Options.Degrade.BudgetCheckEveryOps = 256;
+  // The sweep saturates the rings by design; park the overload ladder out
+  // of the way so the only degradation in the session is the memory rung.
+  Options.RingCapacity = 8192;
+  Options.Supervise.MaxParkMs = 10000;
+  Options.Supervise.PressureTicksToDegrade = 1u << 30;
+
+  // Enough distinct variables that the capture itself spans a paged
+  // table (> ShadowEagerVarLimit), so the governed offline replay below
+  // exercises the same lifecycle the online table walked.
+  constexpr size_t Sweep = 96 * 1024;
+  FastTrack Detector;
+  std::vector<rt::Shared<int>> Vars(Sweep);
+  rt::Engine Engine(Detector, Options);
+  for (size_t I = 0; I != Sweep; ++I)
+    FT_WRITE(Vars[I], 1); // page 2's fault-in (var 1024) is denied
+  {
+    rt::Thread A([&] { FT_WRITE(Vars[2000], 2); });
+    rt::Thread B([&] { FT_WRITE(Vars[2000], 3); }); // concurrent with A
+    A.join();
+    B.join();
+  }
+  rt::OnlineReport Report = Engine.finish();
+
+  EXPECT_FALSE(Report.Halted);
+  EXPECT_GE(Report.NumWarnings, 1u);
+  EXPECT_GE(Report.PagesSummarized, 1u); // the denied region degraded
+  EXPECT_EQ(Report.BudgetTrips, 0u);     // no byte budget in play
+  EXPECT_EQ(Report.DegradeRung, 1u);     // exactly one rung: the fold
+  EXPECT_TRUE(anyDiagContains(Report.Diags, "shadow allocation denied"));
+  EXPECT_TRUE(anyDiagContains(Report.Diags, "degraded to rung"));
+  unsigned DenialDiags = 0;
+  for (const Diagnostic &D : Report.Diags)
+    DenialDiags += D.Message.find("shadow allocation denied") !=
+                   std::string::npos;
+  EXPECT_EQ(DenialDiags, 1u);
+
+  // A governed replay of the capture — same policy, same fault ordinal —
+  // walks the identical table lifecycle and reproduces every warning.
+  FastTrackOptions SamePolicy;
+  SamePolicy.Memory.Enabled = true;
+  SamePolicy.Memory.FailPageAllocAt = 2;
+  FastTrack Offline(SamePolicy);
+  replay(Report.Captured, Offline);
+  expectSameWarnings(Detector.warnings(), Offline.warnings());
+  EXPECT_EQ(Offline.shadowGovernorStats().AllocDenied, 1u);
+}
+
+TEST(OnlineResilience, BudgetSoakHoldsHighWaterAndKeepsDetecting) {
+  // A million-variable-class streaming sweep against a 256 KiB budget the
+  // ungoverned table exceeds several times over. The governed session
+  // must hold its high-water mark near the budget, report the trips and
+  // folds, step the memory rung once, keep finding races planted after
+  // the pressure — and stay warning-for-warning replayable.
+  rt::OnlineOptions Options;
+  Options.MaxVars = 256 * 1024;
+  Options.Degrade.Memory.Enabled = true;
+  Options.Degrade.Memory.BudgetBytes = 128 * 1024;
+  Options.Degrade.Memory.MaintainEveryAccesses = 512;
+  Options.Degrade.Memory.ColdAgeTicks = 1;
+  Options.Degrade.BudgetCheckEveryOps = 512;
+  // As above: only the memory rung may move in this session.
+  Options.RingCapacity = 8192;
+  Options.Supervise.MaxParkMs = 10000;
+  Options.Supervise.PressureTicksToDegrade = 1u << 30;
+
+  constexpr size_t Sweep = 100 * 1024; // ~200 page regions ≈ 800 KiB raw
+  FastTrack Detector;
+  std::vector<rt::Shared<int>> Vars(Sweep);
+  rt::Engine Engine(Detector, Options);
+  for (size_t I = 0; I != Sweep; ++I) {
+    // Write *and read* every variable: read state makes the swept pages
+    // incompressible (lossless packing serves write-only pages), so the
+    // budget has to be enforced the hard way — by summarization.
+    FT_WRITE(Vars[I], 1);
+    (void)FT_READ(Vars[I]);
+  }
+  {
+    rt::Thread A([&] { FT_WRITE(Vars[0], 2); });
+    rt::Thread B([&] { FT_WRITE(Vars[0], 3); }); // concurrent with A
+    A.join();
+    B.join();
+  }
+  rt::OnlineReport Report = Engine.finish();
+
+  EXPECT_FALSE(Report.Halted);
+  EXPECT_GE(Report.BudgetTrips, 1u);
+  EXPECT_GT(Report.PagesSummarized, 0u);
+  EXPECT_EQ(Report.DegradeRung, 1u); // the memory rung, noted once
+  EXPECT_TRUE(anyDiagContains(Report.Diags, "summarized at page granularity"));
+  EXPECT_GE(Report.NumWarnings, 1u); // the race survived the pressure
+  // The watermark held: within one hysteresis band plus per-generation
+  // drift of the budget, against an ungoverned footprint 4x+ larger.
+  EXPECT_LE(Report.ShadowBytesHighWater,
+            Options.Degrade.Memory.BudgetBytes + 64 * 1024);
+
+  FastTrack Offline; // ungoverned: the unbounded reference
+  replay(Report.Captured, Offline);
+  expectSameWarnings(Detector.warnings(), Offline.warnings());
+  EXPECT_GT(Offline.shadowBytes(), 4 * Report.ShadowBytesHighWater);
+}
+
 TEST(OnlineResilience, JoinWhileRingNonemptyStallsSlotReuseNotCorrectness) {
   // A thread is joined while the sequencer — wedged by fault injection —
   // still holds undrained events in its ring. The slot must retire but

@@ -460,3 +460,50 @@ TEST(OnlineSharding, ThreadChurnIsEquivalentAcrossShardCounts) {
   EXPECT_EQ(PerShardCount[0], PerShardCount[1]);
   EXPECT_EQ(PerShardCount[0], PerShardCount[2]);
 }
+
+//===----------------------------------------------------------------------===//
+// Memory governance across shards
+//===----------------------------------------------------------------------===//
+
+TEST(OnlineSharding, GovernedShardsCompressAndStayEquivalent) {
+  // Each shard clone governs its own slice of the shadow space. With no
+  // byte budget the governance is compression only — lossless — so the
+  // sharded run must stay warning-for-warning equivalent to an offline
+  // ungoverned replay of its capture, while the report aggregates real
+  // compression work and high-water telemetry from every clone.
+  rt::OnlineOptions Options;
+  Options.Shards = 4;
+  Options.MaxVars = 128 * 1024; // every clone runs a paged table
+  Options.Degrade.Memory.Enabled = true;
+  Options.Degrade.Memory.MaintainEveryAccesses = 256;
+  Options.Degrade.Memory.ColdAgeTicks = 1;
+  Options.RingCapacity = 8192;
+  Options.Supervise.MaxParkMs = 10000;
+  Options.Supervise.PressureTicksToDegrade = 1u << 30;
+
+  constexpr size_t Sweep = 80 * 1024; // ~160 page regions, block-routed
+  FastTrack Detector;
+  std::vector<rt::Shared<int>> Vars(Sweep);
+  rt::Engine Engine(Detector, Options);
+  for (size_t I = 0; I != Sweep; ++I)
+    FT_WRITE(Vars[I], 1); // write-only sweep: compressible once cold
+  {
+    rt::Thread A([&] { FT_WRITE(Vars[100], 2); });
+    rt::Thread B([&] { FT_WRITE(Vars[100], 3); }); // concurrent with A
+    A.join();
+    B.join();
+  }
+  rt::OnlineReport Report = Engine.finish();
+
+  EXPECT_FALSE(Report.Halted);
+  EXPECT_EQ(Report.Shards, 4u);
+  EXPECT_GT(Report.PagesCompressed, 0u);
+  EXPECT_EQ(Report.PagesSummarized, 0u); // lossless mode only
+  EXPECT_EQ(Report.BudgetTrips, 0u);
+  EXPECT_GT(Report.ShadowBytesHighWater, 0u);
+  EXPECT_GE(Report.NumWarnings, 1u);
+
+  FastTrack Offline;
+  replay(Report.Captured, Offline);
+  expectSameWarnings(Detector.warnings(), Offline.warnings());
+}

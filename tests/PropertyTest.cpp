@@ -16,6 +16,7 @@
 #include "framework/Replay.h"
 #include "hb/RaceOracle.h"
 #include "trace/RandomTrace.h"
+#include "trace/TraceBuilder.h"
 #include "trace/TraceValidator.h"
 
 #include "DenseShadowReference.h"
@@ -23,6 +24,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <random>
+#include <vector>
 
 using namespace ft;
 
@@ -141,6 +144,136 @@ TEST_P(RandomTraceProperty, PagedShadowMatchesDenseReference) {
       EXPECT_EQ(E.Detail, A.Detail) << "seed " << GetParam();
     }
   }
+}
+
+namespace {
+
+/// A seeded workload shaped for memory governance: a streaming-write
+/// sweep over dozens of page regions (the cold write-only state that
+/// compresses), a few read-shared variables, unsynchronized writes that
+/// race against the sweep, and enough trailing churn to drive the
+/// access-keyed maintenance clock. Random traces won't do here — their
+/// variable spaces are tiny and every page stays read-warm.
+Trace governanceTrace(uint64_t Seed) {
+  std::mt19937_64 Rng(Seed * 0x9E3779B97F4A7C15ull + 1);
+  TraceBuilder B;
+  B.fork(0, 1).fork(0, 2);
+  const unsigned Sweep = 60 + Seed % 60;
+  std::vector<VarId> Written;
+  for (unsigned I = 0; I != Sweep; ++I) {
+    const VarId X = static_cast<VarId>(
+        (1 + Rng() % 138) * ShadowPageVars + Rng() % ShadowPageVars);
+    B.wr(1, X);
+    Written.push_back(X);
+  }
+  for (unsigned I = 0; I != 4; ++I) {
+    const VarId X = static_cast<VarId>(Rng() % (8 * ShadowPageVars));
+    B.rd(1, X).rd(2, X);
+  }
+  // Thread 2 never synchronizes with thread 1: these writes race with
+  // the sweep (and sometimes with each other's pages).
+  for (unsigned I = 0; I != 6; ++I)
+    B.wr(2, Written[Rng() % Written.size()]);
+  const int Churn = 200 + static_cast<int>(Seed % 200);
+  for (int I = 0; I != Churn; ++I)
+    B.wr(1, 3).rd(1, 3);
+  B.wr(1, 140 * ShadowPageVars - 1); // pin NumVars = 71680 → paged table
+  B.join(0, 1).join(0, 2);
+  return B.take();
+}
+
+} // namespace
+
+TEST_P(RandomTraceProperty, GovernedCompressionIsWarningForWarningLossless) {
+  // With no budget, governance is compression only — lossless by
+  // construction, so the governed detector must agree with the dense
+  // reference warning for warning even while pages sit compressed.
+  Trace T = governanceTrace(GetParam());
+  FastTrackOptions Gov;
+  Gov.Memory.Enabled = true;
+  Gov.Memory.MaintainEveryAccesses = 64;
+  Gov.Memory.ColdAgeTicks = 1;
+  FastTrack Governed(Gov);
+  DenseFastTrackReference Dense;
+  replay(T, Governed);
+  replay(T, Dense);
+  ASSERT_GT(Governed.shadowGovernorStats().PagesCompressed, 0u)
+      << "seed " << GetParam();
+  ASSERT_FALSE(Dense.warnings().empty()) << "seed " << GetParam();
+  ASSERT_EQ(Dense.warnings().size(), Governed.warnings().size())
+      << "seed " << GetParam();
+  for (size_t I = 0; I != Dense.warnings().size(); ++I) {
+    const RaceWarning &E = Dense.warnings()[I];
+    const RaceWarning &A = Governed.warnings()[I];
+    EXPECT_EQ(E.Var, A.Var) << "seed " << GetParam();
+    EXPECT_EQ(E.OpIndex, A.OpIndex) << "seed " << GetParam();
+    EXPECT_EQ(E.CurrentThread, A.CurrentThread) << "seed " << GetParam();
+    EXPECT_EQ(E.PriorThread, A.PriorThread) << "seed " << GetParam();
+    EXPECT_EQ(E.Detail, A.Detail) << "seed " << GetParam();
+  }
+}
+
+TEST_P(RandomTraceProperty, PressureSheddingIsPageRegionSound) {
+  // Under a budget small enough to force summarization, per-variable
+  // precision may coarsen to the page region — but soundness survives:
+  // every page region the unbounded dense reference flags must also be
+  // flagged by the governed detector (a summary only joins histories, so
+  // a conflicting access can only find *more* to conflict with).
+  Trace T = governanceTrace(GetParam());
+  FastTrackOptions Gov;
+  Gov.Memory.Enabled = true;
+  Gov.Memory.BudgetBytes = 32 * 1024;
+  Gov.Memory.MaintainEveryAccesses = 32;
+  Gov.Memory.ColdAgeTicks = 1;
+  FastTrack Governed(Gov);
+  DenseFastTrackReference Dense;
+  replay(T, Governed);
+  replay(T, Dense);
+  ASSERT_GT(Governed.shadowGovernorStats().BudgetTrips, 0u)
+      << "seed " << GetParam();
+  ASSERT_GT(Governed.shadowGovernorStats().PagesSummarized, 0u)
+      << "seed " << GetParam();
+  ASSERT_FALSE(Dense.warnings().empty()) << "seed " << GetParam();
+
+  std::vector<VarId> GovernedRegions;
+  for (const RaceWarning &W : Governed.warnings())
+    GovernedRegions.push_back(W.Var >> ShadowPageShift);
+  std::sort(GovernedRegions.begin(), GovernedRegions.end());
+  for (const RaceWarning &W : Dense.warnings()) {
+    const VarId Region = W.Var >> ShadowPageShift;
+    EXPECT_TRUE(std::binary_search(GovernedRegions.begin(),
+                                   GovernedRegions.end(), Region))
+        << "seed " << GetParam() << ": dense race on x" << W.Var
+        << " lost from page region " << Region << " under pressure";
+  }
+}
+
+TEST_P(RandomTraceProperty, GovernedDetectionIsDeterministic) {
+  // Every governance decision — temperature, compression, shedding order
+  // — is keyed on the dispatched access stream, never the clock or the
+  // allocator, so two identical runs agree bit for bit on warnings and
+  // telemetry alike.
+  Trace T = governanceTrace(GetParam());
+  FastTrackOptions Gov;
+  Gov.Memory.Enabled = true;
+  Gov.Memory.BudgetBytes = 32 * 1024;
+  Gov.Memory.MaintainEveryAccesses = 32;
+  Gov.Memory.ColdAgeTicks = 1;
+  FastTrack A(Gov), B(Gov);
+  replay(T, A);
+  replay(T, B);
+  ASSERT_EQ(A.warnings().size(), B.warnings().size()) << "seed " << GetParam();
+  for (size_t I = 0; I != A.warnings().size(); ++I) {
+    EXPECT_EQ(A.warnings()[I].Var, B.warnings()[I].Var);
+    EXPECT_EQ(A.warnings()[I].OpIndex, B.warnings()[I].OpIndex);
+    EXPECT_EQ(A.warnings()[I].Detail, B.warnings()[I].Detail);
+  }
+  const ShadowGovernorStats SA = A.shadowGovernorStats();
+  const ShadowGovernorStats SB = B.shadowGovernorStats();
+  EXPECT_EQ(SA.PagesCompressed, SB.PagesCompressed);
+  EXPECT_EQ(SA.PagesSummarized, SB.PagesSummarized);
+  EXPECT_EQ(SA.BudgetTrips, SB.BudgetTrips);
+  EXPECT_EQ(SA.ShadowBytesHighWater, SB.ShadowBytesHighWater);
 }
 
 TEST_P(RandomTraceProperty, EraserStaysQuietOnDisciplinedLockTraces) {

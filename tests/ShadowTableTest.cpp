@@ -137,9 +137,11 @@ TEST(ShadowTable, SmallTablesMaterializeEagerly) {
 TEST(ShadowTable, UntouchedMillionVarTableCostsOnlyTheDirectory) {
   ShadowTable<Epoch> Table;
   Table.reset(1u << 20);
-  // 2048 directory pointers; no pages, no side store.
+  // 2048 directory pointers plus 2048 page-lifecycle records (the
+  // governance metadata exists for every paged table so checkpoint
+  // restore can install summarized pages); no pages, no side store.
   EXPECT_EQ(Table.residentPages(), 0u);
-  EXPECT_LT(Table.memoryBytes(), 64u * 1024);
+  EXPECT_LT(Table.memoryBytes(), 96u * 1024);
   // Dense AoS at 48 bytes/var (2 epochs + inline VC) would be ~48 MiB.
   EXPECT_LT(Table.memoryBytes() * 100, (1u << 20) * 48u);
 }
@@ -446,6 +448,284 @@ TEST(ShadowTable, RecycledSlotStaleEpochsInsideSideStoreClocks) {
   replay(T, Dense);
   EXPECT_FALSE(Paged.warnings().empty());
   expectSameWarnings(Dense.warnings(), Paged.warnings(), "recycled slots");
+}
+
+//===----------------------------------------------------------------------===//
+// Memory governance: temperature, compression, watermarks, fault gates
+//===----------------------------------------------------------------------===//
+
+TEST(ShadowTable, ColdWriteOnlyPagesCompressAndDecompressBitIdentically) {
+  constexpr size_t NumVars = 2 * ShadowEagerVarLimit; // paged: 256 pages
+  ShadowMemoryPolicy P;
+  P.Enabled = true; // defaults: ColdAgeTicks = 2, no budget
+  ShadowTable<Epoch> Table;
+  Table.setPolicy(P);
+  Table.reset(NumVars);
+  ASSERT_TRUE(Table.governed());
+
+  // Page 0: uniform (every occupied W identical) — packs with no deltas.
+  for (uint32_t I = 0; I != ShadowPageVars; ++I)
+    Table.slot(I).W = Epoch::make(1, 7);
+  // Page 1: near-uniform (span 199 ≤ MaxDelta) — packs one byte per slot,
+  // with holes (⊥ slots) that must survive the round trip.
+  for (uint32_t I = 0; I != ShadowPageVars; I += 2)
+    Table.slot(ShadowPageVars + I).W = Epoch::make(1, 1 + (I % 200));
+  // Page 2: raw span 399 > MaxDelta — incompressible, must stay resident.
+  Table.slot(2 * ShadowPageVars).W = Epoch::make(1, 1);
+  Table.slot(2 * ShadowPageVars + 1).W = Epoch::make(1, 400);
+  // Page 3: touched but still all-⊥ — released outright when cold.
+  (void)Table.slot(3 * ShadowPageVars);
+  const size_t BytesHot = Table.memoryBytes();
+
+  // One tick is not cold enough (ColdAgeTicks = 2): everything resident.
+  Table.maintain();
+  EXPECT_EQ(Table.governorStats().PagesCompressed, 0u);
+  EXPECT_EQ(Table.pageStateAt(0), ShadowPageState::Resident);
+
+  // The second tick crosses the cold threshold.
+  Table.maintain();
+  EXPECT_EQ(Table.pageStateAt(0), ShadowPageState::Compressed);
+  EXPECT_EQ(Table.pageStateAt(1), ShadowPageState::Compressed);
+  EXPECT_EQ(Table.pageStateAt(2), ShadowPageState::Resident);
+  EXPECT_EQ(Table.pageStateAt(3), ShadowPageState::Untouched);
+  EXPECT_EQ(Table.governorStats().PagesCompressed, 2u);
+  EXPECT_EQ(Table.governorStats().PagesFreed, 1u);
+  EXPECT_EQ(Table.residentPages(), 1u);
+  EXPECT_LT(Table.memoryBytes(), BytesHot);
+
+  // Touching a compressed slot re-expands the page bit-identically.
+  for (uint32_t I = 0; I != ShadowPageVars; ++I) {
+    EXPECT_EQ(Table.slot(I).W.raw(), Epoch::make(1, 7).raw()) << I;
+    EXPECT_EQ(Table.slot(I).R.raw(), 0u) << I;
+  }
+  for (uint32_t I = 0; I != ShadowPageVars; ++I) {
+    const uint64_t Want = I % 2 == 0 ? Epoch::make(1, 1 + (I % 200)).raw() : 0;
+    EXPECT_EQ(Table.slot(ShadowPageVars + I).W.raw(), Want) << I;
+    EXPECT_EQ(Table.slot(ShadowPageVars + I).R.raw(), 0u) << I;
+  }
+  EXPECT_EQ(Table.governorStats().PagesDecompressed, 2u);
+  EXPECT_EQ(Table.pageStateAt(0), ShadowPageState::Resident);
+  EXPECT_EQ(Table.slot(2 * ShadowPageVars + 1).W, Epoch::make(1, 400));
+  EXPECT_EQ(Table.governorStats().PagesSummarized, 0u); // lossless only
+}
+
+TEST(ShadowTable, WatermarkTripShedsColdPagesOldestFirstWithHysteresis) {
+  constexpr size_t NumVars = 2 * ShadowEagerVarLimit;
+  ShadowMemoryPolicy P;
+  P.Enabled = true;
+  P.BudgetBytes = 64 * 1024; // low watermark at 48 KiB (default 0.75)
+  ShadowTable<Epoch> Table;
+  Table.setPolicy(P);
+  Table.reset(NumVars);
+
+  // Twenty resident pages ≈ 80 KiB of page storage: the high watermark
+  // trips mid-streak, but nothing is cold in the current generation so
+  // shedding stalls (and must not spin re-scanning, nor re-trip).
+  for (uint32_t PI = 0; PI != 20; ++PI)
+    Table.slot(PI * ShadowPageVars).W = Epoch::make(1, 10 + PI);
+  EXPECT_EQ(Table.governorStats().BudgetTrips, 1u);
+  EXPECT_EQ(Table.governorStats().PagesSummarized, 0u);
+  EXPECT_GT(Table.memoryBytes(), P.BudgetBytes);
+  EXPECT_GE(Table.governorStats().ShadowBytesHighWater, Table.memoryBytes());
+
+  // The next generation makes the streak cold: shedding folds the oldest
+  // pages (index-ordered among equals) down to the low watermark and
+  // stops there — not at zero.
+  Table.maintain();
+  const ShadowGovernorStats &S = Table.governorStats();
+  EXPECT_GT(S.PagesSummarized, 0u);
+  EXPECT_LT(S.PagesSummarized, 20u);
+  EXPECT_EQ(Table.pageStateAt(0), ShadowPageState::Summarized);
+  EXPECT_EQ(Table.pageStateAt(19), ShadowPageState::Resident);
+  EXPECT_LE(Table.memoryBytes(), 48u * 1024);
+  EXPECT_EQ(S.BudgetTrips, 1u); // armed once, no thrash
+
+  // The page summary is the sound fold: the single writer's epoch, no
+  // read state, and every variable of the region aliases the one slot.
+  EXPECT_EQ(Table.summaryAt(0).W, Epoch::make(1, 10));
+  EXPECT_EQ(Table.summaryAt(0).R.raw(), 0u);
+  EXPECT_EQ(&Table.slot(0), &Table.slot(5));
+
+  // Under the low watermark the trip is disarmed: survivors compress on
+  // their own cold schedule and new touches don't re-trip.
+  Table.maintain();
+  EXPECT_GT(Table.governorStats().PagesCompressed, 0u);
+  Table.slot(30 * ShadowPageVars).W = Epoch::make(2, 1);
+  EXPECT_EQ(Table.governorStats().BudgetTrips, 1u);
+}
+
+TEST(ShadowTable, DeniedPageFaultServesPageGranularitySummary) {
+  ShadowMemoryPolicy P;
+  P.Enabled = true;
+  P.FailPageAllocAt = 0; // the very first page allocation is denied
+  ShadowTable<Epoch> Table;
+  Table.setPolicy(P);
+  Table.reset(2 * ShadowEagerVarLimit);
+
+  // The denied fault-in allocates nothing: the region degrades to one
+  // page-granularity slot and the access is served from it.
+  Epoch W = Epoch::make(2, 9);
+  Table.slot(3 * ShadowPageVars + 100).W = W;
+  EXPECT_EQ(Table.residentPages(), 0u);
+  EXPECT_EQ(Table.pageStateAt(3), ShadowPageState::Summarized);
+  EXPECT_EQ(Table.governorStats().AllocDenied, 1u);
+  EXPECT_EQ(Table.governorStats().PagesSummarized, 1u);
+  // Every variable of the denied region shares the slot.
+  EXPECT_EQ(Table.slot(3 * ShadowPageVars).W, W);
+  EXPECT_EQ(&Table.slot(3 * ShadowPageVars), &Table.slot(3 * ShadowPageVars + 511));
+
+  // The fault is ordinal-keyed and single-shot: the next region faults in
+  // normally and the denial is not re-taken.
+  Table.slot(0).W = Epoch::make(1, 1);
+  EXPECT_EQ(Table.residentPages(), 1u);
+  EXPECT_EQ(Table.pageStateAt(0), ShadowPageState::Resident);
+  EXPECT_EQ(Table.governorStats().AllocDenied, 1u);
+}
+
+TEST(ShadowTable, DeniedSideStoreGrowthRecyclesHandlesViaShedding) {
+  ShadowMemoryPolicy P;
+  P.Enabled = true;
+  P.FailInflateAt = 2; // the third fresh growth is denied
+  ShadowTable<Epoch> Table;
+  Table.setPolicy(P);
+  Table.reset(2 * ShadowEagerVarLimit);
+
+  // Two read-shared variables on page 0, plus one write epoch — the cold
+  // state a denied growth can shed for parts.
+  Epoch H1 = Table.inflate();
+  Table.clockFor(H1).set(1, 5);
+  Table.clockFor(H1).set(2, 3);
+  Epoch H2 = Table.inflate();
+  Table.clockFor(H2).set(1, 7);
+  Table.clockFor(H2).set(3, 2);
+  Table.slot(10).R = H1;
+  Table.slot(10).W = Epoch::make(1, 4);
+  Table.slot(20).R = H2;
+  Table.maintain(); // page 0 is now cold (untouched this generation)
+
+  // Denied growth: shedding summarizes page 0, whose deflated handles
+  // refill the free list, and the inflation recycles instead of growing.
+  Epoch H3 = Table.inflate();
+  EXPECT_EQ(Table.governorStats().AllocDenied, 1u);
+  EXPECT_EQ(Table.governorStats().PagesSummarized, 1u);
+  EXPECT_EQ(Table.sideStoreSlots(), 2u); // no growth happened
+  ASSERT_TRUE(ShadowTable<Epoch>::isInflated(H3));
+  EXPECT_EQ(Table.clockFor(H3).get(1), 0u); // recycled buffers are ⊥
+
+  // The summary joined both read clocks (soundness: every prior reader
+  // still constrains a later writer) and kept the lone write epoch.
+  EXPECT_EQ(Table.pageStateAt(0), ShadowPageState::Summarized);
+  const ShadowTable<Epoch>::Slot &Sum = Table.summaryAt(0);
+  EXPECT_EQ(Sum.W, Epoch::make(1, 4));
+  ASSERT_TRUE(ShadowTable<Epoch>::isInflated(Sum.R));
+  const VectorClock &Joined = Table.clockFor(Sum.R);
+  EXPECT_EQ(Joined.get(1), 7u);
+  EXPECT_EQ(Joined.get(2), 3u);
+  EXPECT_EQ(Joined.get(3), 2u);
+}
+
+TEST(ShadowTable, SideStoreSortAtSnapshotChangesNoImageByte) {
+  // Inflation order (page 1, page 0, page 2) disagrees with page order,
+  // so snapshot-time compaction genuinely renumbers — and must still
+  // change no serialized byte, because images never encode handles.
+  TraceBuilder B;
+  B.fork(0, 1).fork(0, 2);
+  B.rd(1, 520).rd(2, 520);
+  B.rd(1, 5).rd(2, 5);
+  B.rd(1, 1030).rd(2, 1030);
+  B.join(0, 1).join(0, 2);
+  Trace T = B.take();
+
+  FastTrackOptions Unsorted;
+  Unsorted.SortSideStoreOnSnapshot = false;
+  FastTrack Plain(Unsorted);
+  FastTrack Sorted;
+  replay(T, Plain);
+  replay(T, Sorted);
+  EXPECT_EQ(Plain.inflatedReadStates(), 3u);
+  std::string PlainImage = shadowImage(Plain);
+  EXPECT_EQ(shadowImage(Sorted), PlainImage);
+  // Compaction is idempotent: snapshotting again changes nothing.
+  EXPECT_EQ(shadowImage(Sorted), PlainImage);
+}
+
+TEST(ShadowTable, CompressedPagesSnapshotIdenticallyToResidentTwins) {
+  // A streaming-write workload over ~100 page regions, with page-0 churn
+  // afterwards to drive the access-keyed maintenance ticks while the
+  // streamed pages cool, and one genuine race through a page that has
+  // already been compressed (the decompress-on-touch path mid-analysis).
+  TraceBuilder B;
+  B.fork(0, 1).fork(0, 2);
+  for (unsigned PI = 1; PI <= 100; ++PI)
+    B.wr(1, PI * ShadowPageVars);
+  B.wr(1, 140 * ShadowPageVars - 1); // max var 71679 → paged table
+  for (int I = 0; I != 300; ++I)
+    B.wr(1, 0).rd(1, 0);
+  B.wr(2, ShadowPageVars); // unsynchronized: write-write race on page 1
+  B.join(0, 1).join(0, 2);
+  Trace T = B.take();
+  ASSERT_GT(T.numVars(), ShadowEagerVarLimit);
+
+  FastTrackOptions Gov;
+  Gov.Memory.Enabled = true;
+  Gov.Memory.MaintainEveryAccesses = 64;
+  Gov.Memory.ColdAgeTicks = 1;
+  FastTrack Governed(Gov);
+  FastTrack Plain;
+  replay(T, Governed);
+  replay(T, Plain);
+
+  // Compression-only governance (no budget) is lossless: warning for
+  // warning and byte for byte against the ungoverned table, even though
+  // most streamed pages sit compressed at snapshot time.
+  EXPECT_GT(Governed.shadowGovernorStats().PagesCompressed, 0u);
+  EXPECT_GT(Governed.shadowGovernorStats().PagesDecompressed, 0u);
+  EXPECT_EQ(Governed.shadowGovernorStats().PagesSummarized, 0u);
+  EXPECT_FALSE(Plain.warnings().empty());
+  expectSameWarnings(Plain.warnings(), Governed.warnings(), "compressed");
+  EXPECT_EQ(shadowImage(Governed), shadowImage(Plain));
+}
+
+TEST(ShadowTable, SummarizedPagesCheckpointAndRestore) {
+  // Force real pressure shedding with a tiny budget, then demand the v2
+  // kPageSummarized records restore to a byte-identical image — both into
+  // a same-policy tool and into an ungoverned one (summaries are logical
+  // state; restoring them must not require governance to be on).
+  TraceBuilder B;
+  B.fork(0, 1).fork(0, 2);
+  B.rd(1, 5 * ShadowPageVars).rd(2, 5 * ShadowPageVars);     // inflated R
+  B.rd(1, 5 * ShadowPageVars + 3).rd(2, 5 * ShadowPageVars + 3);
+  B.join(0, 2);
+  for (unsigned PI = 0; PI != 120; ++PI)
+    B.wr(1, PI * ShadowPageVars + (PI % 7));
+  B.wr(1, 140 * ShadowPageVars - 1);
+  for (int I = 0; I != 400; ++I)
+    B.rd(1, 3); // hot page 0 keeps the tick clock running
+  B.join(0, 1);
+  Trace T = B.take();
+
+  FastTrackOptions Gov;
+  Gov.Memory.Enabled = true;
+  Gov.Memory.BudgetBytes = 24 * 1024;
+  Gov.Memory.MaintainEveryAccesses = 32;
+  Gov.Memory.ColdAgeTicks = 1;
+  FastTrack Tool(Gov);
+  replay(T, Tool);
+  ASSERT_GT(Tool.shadowGovernorStats().BudgetTrips, 0u);
+  ASSERT_GT(Tool.shadowGovernorStats().PagesSummarized, 0u);
+  std::string Image = shadowImage(Tool);
+
+  FastTrack SamePolicy(Gov);
+  SamePolicy.begin(contextFor(T));
+  ByteReader Reader(Image);
+  ASSERT_TRUE(SamePolicy.restoreShadow(Reader));
+  EXPECT_EQ(shadowImage(SamePolicy), Image);
+
+  FastTrack Ungoverned;
+  Ungoverned.begin(contextFor(T));
+  ByteReader Reader2(Image);
+  ASSERT_TRUE(Ungoverned.restoreShadow(Reader2));
+  EXPECT_EQ(shadowImage(Ungoverned), Image);
 }
 
 TEST(ShadowTable, PagedMatchesDenseReferenceOnRandomTraces) {
